@@ -1,0 +1,456 @@
+// Package repro's root benchmark harness regenerates every table and figure
+// of the paper, one testing.B benchmark per artifact (see DESIGN.md §3 for
+// the experiment index). Each benchmark runs its experiment at a reduced,
+// deterministic scale and reports the headline *domain* metrics alongside
+// wall-clock time, so `go test -bench=. -benchmem` doubles as a one-shot
+// reproduction summary.
+//
+// The Ablation* benchmarks quantify the design decisions DESIGN.md calls
+// out: sign-magnitude vs two's-complement weight encoding, read-overlay vs
+// persistent fault semantics, leakage share in the power model, and the
+// marginal-cell jitter band.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/board"
+	"repro/internal/bram"
+	"repro/internal/characterize"
+	"repro/internal/dataset"
+	"repro/internal/dvfs"
+	"repro/internal/ecc"
+	"repro/internal/experiments"
+	"repro/internal/fixed"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/prng"
+	"repro/internal/report"
+)
+
+// benchCfg is the reduced scale every figure benchmark runs at.
+func benchCfg() experiments.Config {
+	return experiments.Config{BRAMs: 100, Runs: 6, TrainSamples: 1200, TestSamples: 300, Workers: 8}
+}
+
+// runExperiment executes one registered experiment b.N times and reports the
+// selected comparison metrics from the last run.
+func runExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.StopTimer()
+	reportComparisons(b, last.Comparisons, metrics)
+}
+
+// reportComparisons emits measured comparison values as benchmark metrics.
+// metrics maps a substring of the comparison's Metric name to the reported
+// unit suffix.
+func reportComparisons(b *testing.B, comps []report.Comparison, metrics map[string]string) {
+	b.Helper()
+	for _, c := range comps {
+		for substr, unit := range metrics {
+			if strings.Contains(c.Metric, substr) {
+				b.ReportMetric(c.Measured, unit)
+			}
+		}
+	}
+}
+
+func BenchmarkFig01Guardbands(b *testing.B) {
+	runExperiment(b, "fig1-guardbands", map[string]string{
+		"avg VCCBRAM guardband": "BRAM-guardband",
+		"avg VCCINT guardband":  "INT-guardband",
+	})
+}
+
+func BenchmarkTable1Specs(b *testing.B) {
+	runExperiment(b, "table1-specs", nil)
+}
+
+func BenchmarkFig03FaultPowerSweep(b *testing.B) {
+	runExperiment(b, "fig3-fault-power", map[string]string{
+		"VC707 faults/Mbit @Vcrash":   "VC707-faults/Mbit",
+		"KC705-B faults/Mbit @Vcrash": "KC705B-faults/Mbit",
+	})
+}
+
+func BenchmarkFig04DataPatterns(b *testing.B) {
+	runExperiment(b, "fig4-patterns", map[string]string{
+		"FFFF / AAAA": "FFFF/AAAA-ratio",
+		"flip share":  "flip10-share",
+	})
+}
+
+func BenchmarkTable2Stability(b *testing.B) {
+	runExperiment(b, "table2-stability", map[string]string{
+		"VC707 stddev": "VC707-stddev",
+	})
+}
+
+func BenchmarkFig05Clustering(b *testing.B) {
+	runExperiment(b, "fig5-clustering", map[string]string{
+		"low-vulnerable share": "low-share",
+		"never-faulting share": "zero-share",
+	})
+}
+
+func BenchmarkFig06FVM(b *testing.B) {
+	runExperiment(b, "fig6-fvm", map[string]string{
+		"never-faulting BRAMs": "zero-share",
+	})
+}
+
+func BenchmarkFig07DieToDie(b *testing.B) {
+	runExperiment(b, "fig7-die2die", map[string]string{
+		"KC705-A/B fault ratio": "A/B-ratio",
+	})
+}
+
+func BenchmarkFig08Temperature(b *testing.B) {
+	runExperiment(b, "fig8-temperature", map[string]string{
+		"VC707 fault reduction 50->80C": "ITD-reduction-x",
+	})
+}
+
+func BenchmarkFig09Precision(b *testing.B) {
+	runExperiment(b, "fig9-precision", map[string]string{
+		"last-layer digit bits": "last-digit-bits",
+	})
+}
+
+func BenchmarkTable3NNSpec(b *testing.B) {
+	runExperiment(b, "table3-nn-spec", map[string]string{
+		"BRAM usage":           "utilization",
+		"baseline":             "baseline-error",
+		"weight bits that are": "zero-bit-frac",
+	})
+}
+
+func BenchmarkFig10PowerBreakdown(b *testing.B) {
+	runExperiment(b, "fig10-power-breakdown", map[string]string{
+		"total on-chip reduction": "total-reduction",
+		"BRAM power reduction":    "BRAM-reduction-x",
+	})
+}
+
+func BenchmarkFig11NNError(b *testing.B) {
+	runExperiment(b, "fig11-nn-error", map[string]string{
+		"baseline (fault-free) error": "baseline-error",
+		"error @Vcrash":               "vcrash-error",
+	})
+}
+
+func BenchmarkFig12ICBPFlow(b *testing.B) {
+	runExperiment(b, "fig12-icbp-flow", map[string]string{
+		"constrained BRAMs": "constrained-BRAMs",
+	})
+}
+
+func BenchmarkFig13LayerVulnerability(b *testing.B) {
+	runExperiment(b, "fig13-layer-vuln", map[string]string{
+		"last/first layer vulnerability": "last/first-vuln",
+	})
+}
+
+func BenchmarkFig14ICBP(b *testing.B) {
+	runExperiment(b, "fig14-icbp", map[string]string{
+		"mnist accuracy loss @Vcrash (default)": "mnist-default-loss",
+		"mnist accuracy loss @Vcrash (ICBP)":    "mnist-icbp-loss",
+		"power savings @Vcrash over Vmin":       "power-savings",
+	})
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationEncoding compares the weight-bit sparsity of
+// sign-magnitude vs two's-complement storage for the same trained network —
+// the mechanism behind the paper's 76.3% zero-bit observation and MNIST's
+// inherent tolerance to 1->0 flips.
+func BenchmarkAblationEncoding(b *testing.B) {
+	ds := dataset.MNISTLike(dataset.Options{TrainSamples: 1200, TestSamples: 200, Features: 196})
+	net, err := nn.New([]int{196, 64, 32, 10}, "ablation-encoding")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Train(ds.TrainX, ds.TrainY, nn.TrainOptions{Epochs: 8, LearnRate: 0.3, Workers: 8}); err != nil {
+		b.Fatal(err)
+	}
+	var smOnes, tcOnes float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := nn.Quantize(net)
+		smOnes = q.OneBitFraction()
+		totalOnes, totalBits := 0, 0
+		for j, ws := range q.Words {
+			for _, w := range ws {
+				tc := fixed.TwosComplement(q.Formats[j], w)
+				for bit := 0; bit < 16; bit++ {
+					totalOnes += int(tc>>bit) & 1
+				}
+				totalBits += 16
+			}
+		}
+		tcOnes = float64(totalOnes) / float64(totalBits)
+	}
+	b.StopTimer()
+	b.ReportMetric(smOnes, "signmag-one-frac")
+	b.ReportMetric(tcOnes, "twoscomp-one-frac")
+}
+
+// BenchmarkAblationFaultPersistence contrasts the repository's read-overlay
+// fault semantics with a persistent-corruption alternative: after an
+// undervolted pass, raising the rail back to nominal fully recovers the data
+// under the overlay model (what the paper observes) but not under
+// persistence.
+func BenchmarkAblationFaultPersistence(b *testing.B) {
+	var overlayResidual, persistentResidual float64
+	for i := 0; i < b.N; i++ {
+		brd := board.New(platform.VC707().Scaled(100))
+		brd.FillAll(0xFFFF)
+		if err := brd.SetVCCBRAM(brd.Platform.Cal.Vcrash); err != nil {
+			b.Fatal(err)
+		}
+		run := brd.BeginRun()
+		buf := make([]uint16, bram.Rows)
+		// Persistent alternative: write the faulty readout back, emulating
+		// storage corruption.
+		for site := 0; site < brd.Pool.Len(); site++ {
+			if err := brd.ReadBRAMInto(buf, site, run); err != nil {
+				b.Fatal(err)
+			}
+			if site%2 == 1 { // corrupt half the pool persistently
+				blk := brd.Pool.Block(site)
+				for row, w := range buf {
+					blk.Write(row, w)
+				}
+			}
+		}
+		if err := brd.SetVCCBRAM(1.0); err != nil {
+			b.Fatal(err)
+		}
+		run = brd.BeginRun()
+		overlay, persistent := 0, 0
+		for site := 0; site < brd.Pool.Len(); site++ {
+			if err := brd.ReadBRAMInto(buf, site, run); err != nil {
+				b.Fatal(err)
+			}
+			for _, w := range buf {
+				if w != 0xFFFF {
+					if site%2 == 1 {
+						persistent++
+					} else {
+						overlay++
+					}
+				}
+			}
+		}
+		overlayResidual = float64(overlay)
+		persistentResidual = float64(persistent)
+	}
+	b.ReportMetric(overlayResidual, "overlay-residual-faults")
+	b.ReportMetric(persistentResidual, "persistent-residual-faults")
+}
+
+// BenchmarkAblationLeakageShare shows why the BRAM power budget must be
+// leakage-dominated: with a dynamic-dominated split the paper's >10x
+// reduction at Vmin is unreachable (V² alone gives only 2.7x).
+func BenchmarkAblationLeakageShare(b *testing.B) {
+	model := power.DefaultModel()
+	var ratios [3]float64
+	shares := [3]float64{0.05, 0.30, 0.60} // dynamic fraction of nominal power
+	for i := 0; i < b.N; i++ {
+		for k, dynFrac := range shares {
+			c := power.Component{
+				Name:   "BRAM",
+				DynNom: 2.8 * dynFrac, StatNom: 2.8 * (1 - dynFrac), Rail: "VCCBRAM",
+			}
+			ratios[k] = model.Power(c, 1.0, 50) / model.Power(c, 0.61, 50)
+		}
+	}
+	b.ReportMetric(ratios[0], "gain-dyn5%")
+	b.ReportMetric(ratios[1], "gain-dyn30%")
+	b.ReportMetric(ratios[2], "gain-dyn60%")
+}
+
+// BenchmarkAblationJitter quantifies the marginal-cell jitter band: with the
+// band disabled every run returns the identical count (stddev 0, unlike
+// Table II); the calibrated band reproduces the small run-to-run spread.
+func BenchmarkAblationJitter(b *testing.B) {
+	var withJitter, withoutJitter float64
+	for i := 0; i < b.N; i++ {
+		brd := board.New(platform.VC707().Scaled(150))
+		s, err := characterize.Run(brd, characterize.Options{
+			Runs: 12, Workers: 8,
+			VStart: brd.Platform.Cal.Vcrash, VStop: brd.Platform.Cal.Vcrash,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		withJitter = s.Final().Stats.StdDev
+
+		brd2 := board.New(platform.VC707().Scaled(150))
+		brd2.SetEnvironmentNoise(1e-9) // collapse the jitter band
+		s2, err := characterize.Run(brd2, characterize.Options{
+			Runs: 12, Workers: 8,
+			VStart: brd2.Platform.Cal.Vcrash, VStop: brd2.Platform.Cal.Vcrash,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		withoutJitter = s2.Final().Stats.StdDev
+	}
+	b.ReportMetric(withJitter, "stddev-jitter")
+	b.ReportMetric(withoutJitter, "stddev-nojitter")
+}
+
+// BenchmarkAblationMitigationECC compares the paper's zero-overhead ICBP
+// against the conventional SECDED-ECC alternative its related-work section
+// cites: ECC corrects essentially every undervolting weight fault (they are
+// overwhelmingly single-bit per word) but pays 37.5% extra BRAM per word;
+// ICBP is storage-free but only removes faults from the protected layer.
+func BenchmarkAblationMitigationECC(b *testing.B) {
+	p := platform.VC707().Scaled(100)
+	p.Cal.FaultsPerMbit *= 8 // dense faults for a measurable signal
+	brd := board.New(p)
+	ds := dataset.MNISTLike(dataset.Options{TrainSamples: 1200, TestSamples: 300, Features: 196})
+	net, err := nn.New([]int{196, 64, 32, 10}, "ablation-ecc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Train(ds.TrainX, ds.TrainY, nn.TrainOptions{Epochs: 8, LearnRate: 0.3, Workers: 8}); err != nil {
+		b.Fatal(err)
+	}
+	q := nn.Quantize(net)
+
+	var rawFaults, eccResidual float64
+	for i := 0; i < b.N; i++ {
+		a, err := accel.Build(brd, q, nil, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := brd.SetVCCBRAM(p.Cal.Vcrash); err != nil {
+			b.Fatal(err)
+		}
+		words, faults, err := a.ReadParameters(brd.BeginRun())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := brd.SetVCCBRAM(p.Cal.Vnom); err != nil {
+			b.Fatal(err)
+		}
+		rawFaults = float64(faults)
+		// SECDED view: any word with exactly one flipped bit is corrected;
+		// multi-bit words remain faulty.
+		residual := 0
+		for j := range words {
+			for k := range words[j] {
+				diff := uint16(words[j][k] ^ q.Words[j][k])
+				if n := popcount(diff); n >= 2 {
+					residual += n
+				}
+			}
+		}
+		eccResidual = float64(residual)
+	}
+	b.ReportMetric(rawFaults, "raw-fault-bits")
+	b.ReportMetric(eccResidual, "ecc-residual-bits")
+	b.ReportMetric(ecc.Overhead(), "ecc-storage-overhead")
+}
+
+func popcount(v uint16) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// BenchmarkBaselineDVFS runs the DVFS-vs-undervolting comparison the paper
+// argues from (Section I): at the deepest safe voltage, DVFS saves
+// substantial energy but halves throughput; undervolting saves more energy
+// at full speed.
+func BenchmarkBaselineDVFS(b *testing.B) {
+	p := platform.VC707()
+	c := dvfs.NewComparator(p.BRAMComponent(0.708), p.Cal)
+	nom := c.Nominal()
+	var dSave, uSave, dSpeed float64
+	for i := 0; i < b.N; i++ {
+		d := c.AtDVFS(p.Cal.Vmin)
+		u := c.AtUndervolt(p.Cal.Vmin)
+		dSave = d.EnergySavings(nom)
+		uSave = u.EnergySavings(nom)
+		dSpeed = d.FreqScale
+	}
+	b.ReportMetric(dSave, "dvfs-energy-savings")
+	b.ReportMetric(uSave, "undervolt-energy-savings")
+	b.ReportMetric(dSpeed, "dvfs-speed-fraction")
+}
+
+// --- Core machinery micro-benchmarks -------------------------------------
+
+// BenchmarkFullPoolReadPass measures one full-chip read pass (the inner loop
+// of Listing 1) at Vcrash on a 200-BRAM pool.
+func BenchmarkFullPoolReadPass(b *testing.B) {
+	brd := board.New(platform.VC707().Scaled(200))
+	brd.FillAll(0xFFFF)
+	if err := brd.SetVCCBRAM(brd.Platform.Cal.Vcrash); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]uint16, bram.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := brd.BeginRun()
+		for site := 0; site < brd.Pool.Len(); site++ {
+			if err := brd.ReadBRAMInto(buf, site, run); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(brd.Pool.Len() * bram.Rows * 2))
+}
+
+// BenchmarkDieConstruction measures growing a full VC707 die (weak-cell
+// population synthesis from the serial number).
+func BenchmarkDieConstruction(b *testing.B) {
+	p := platform.VC707()
+	for i := 0; i < b.N; i++ {
+		brd := board.New(p.Scaled(500))
+		_ = brd.Die.TotalWeakCells()
+	}
+}
+
+// BenchmarkQuantizePaperNet measures quantizing the full 1.5M-weight network.
+func BenchmarkQuantizePaperNet(b *testing.B) {
+	net, err := nn.New(nn.PaperTopology(), "bench-quant")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nn.Quantize(net)
+	}
+}
+
+// BenchmarkPRNGHierarchy measures the keyed derivation chain used per BRAM.
+func BenchmarkPRNGHierarchy(b *testing.B) {
+	root := prng.NewKeyed("bench")
+	for i := 0; i < b.N; i++ {
+		_ = root.DeriveN(uint64(i), uint64(i>>4)).Uint64()
+	}
+}

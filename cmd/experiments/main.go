@@ -1,0 +1,76 @@
+// Command experiments regenerates every table and figure of the paper.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments                       # all experiments, reduced scale
+//	experiments -full                 # paper scale (slow)
+//	experiments -id fig3-fault-power  # one experiment
+//	experiments -out results.txt      # also write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/fpgavolt"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		id      = flag.String("id", "", "run only the experiment with this id")
+		full    = flag.Bool("full", false, "paper scale: full BRAM pools, 100 runs, full NN topology")
+		brams   = flag.Int("brams", 0, "override the simulated BRAM pool size")
+		runs    = flag.Int("runs", 0, "override read passes per voltage level")
+		train   = flag.Int("train", 0, "override training samples")
+		test    = flag.Int("test", 0, "override test samples")
+		workers = flag.Int("workers", 0, "override worker goroutines (0 = all CPUs)")
+		out     = flag.String("out", "", "also write rendered results to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range fpgavolt.Experiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := fpgavolt.ExperimentConfig{
+		Full: *full, BRAMs: *brams, Runs: *runs,
+		TrainSamples: *train, TestSamples: *test, Workers: *workers,
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *id != "" {
+		e, err := fpgavolt.ExperimentByID(*id)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := e.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		return
+	}
+	if _, err := fpgavolt.RunAllExperiments(cfg, w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

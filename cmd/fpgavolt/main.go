@@ -1,0 +1,150 @@
+// Command fpgavolt drives the Section II characterization flows on a
+// simulated board, mirroring the paper's host-side tooling.
+//
+// Usage:
+//
+//	fpgavolt sweep      -platform VC707 [-brams N] [-runs N] [-pattern ffff] [-temp 50]
+//	fpgavolt thresholds -platform VC707 [-brams N]
+//	fpgavolt patterns   -platform VC707 [-brams N] [-runs N]
+//	fpgavolt temps      -platform VC707 [-brams N] [-runs N]
+//	fpgavolt fvm        -platform VC707 [-brams N] [-runs N] [-save fvm.json] [-classes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/fpgavolt"
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		platformName = fs.String("platform", "VC707", "VC707, ZC702, KC705-A, or KC705-B")
+		brams        = fs.Int("brams", 200, "simulated BRAM pool size (0 = full chip)")
+		runs         = fs.Int("runs", 20, "read passes per voltage level")
+		pattern      = fs.String("pattern", "ffff", "initial data pattern (hex word)")
+		tempC        = fs.Float64("temp", 50, "on-board temperature in degC")
+		save         = fs.String("save", "", "write the FVM as JSON to this file")
+		classes      = fs.Bool("classes", false, "render the k-means class map instead of the heatmap")
+		workers      = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	p, err := fpgavolt.PlatformByName(*platformName)
+	check(err)
+	if *brams > 0 {
+		p = p.Scaled(*brams)
+	}
+	b := fpgavolt.OpenBoard(p)
+
+	switch cmd {
+	case "sweep":
+		pat, err := strconv.ParseUint(*pattern, 16, 16)
+		check(err)
+		opts := fpgavolt.SweepOptions{
+			Runs: *runs, Pattern: uint16(pat), OnBoardC: *tempC, Workers: *workers,
+		}
+		if pat == 0 {
+			opts.ZeroFill = true
+			opts.PatternName = "16'h0000"
+		}
+		s, err := fpgavolt.Characterize(b, opts)
+		check(err)
+		t := report.NewTable(
+			fmt.Sprintf("%s undervolting sweep (pattern %s, %.0fC)", p.Name, s.PatternName, s.OnBoardC),
+			"VCCBRAM (V)", "median faults", "faults/Mbit", "run stddev", "BRAM power (W)")
+		for _, l := range s.Levels {
+			t.AddRow(report.F(l.V, 2), report.F(l.MedianFaults, 0),
+				report.F(l.FaultsPerMbit, 1), report.F(l.Stats.StdDev, 2),
+				report.F(l.BRAMPowerW, 3))
+		}
+		t.Render(os.Stdout)
+
+	case "thresholds":
+		thB, err := fpgavolt.DiscoverBRAMThresholds(b, 2)
+		check(err)
+		thI, err := fpgavolt.DiscoverIntThresholds(b)
+		check(err)
+		t := report.NewTable(p.Name+" operating thresholds",
+			"rail", "Vnom", "Vmin", "Vcrash", "guardband")
+		t.AddRow("VCCBRAM", report.F(thB.Vnom, 2), report.F(thB.Vmin, 2),
+			report.F(thB.Vcrash, 2), report.Pct(thB.GuardbandFrac(), 1))
+		t.AddRow("VCCINT", report.F(thI.Vnom, 2), report.F(thI.Vmin, 2),
+			report.F(thI.Vcrash, 2), report.Pct(thI.GuardbandFrac(), 1))
+		t.Render(os.Stdout)
+
+	case "patterns":
+		results, err := fpgavolt.PatternStudy(b, p.Cal.Vcrash, []fpgavolt.SweepOptions{
+			{Pattern: 0xFFFF},
+			{Pattern: 0xAAAA},
+			{Pattern: 0x5555},
+			{RandomFill: true},
+			{ZeroFill: true, PatternName: "16'h0000"},
+		}, *runs)
+		check(err)
+		t := report.NewTable(p.Name+" data-pattern study @ Vcrash",
+			"pattern", "faults/Mbit", "1->0 share")
+		for _, r := range results {
+			t.AddRow(r.Name, report.F(r.FaultsPerMbit, 1), report.Pct(r.Flip10Share, 2))
+		}
+		t.Render(os.Stdout)
+
+	case "temps":
+		sweeps, err := fpgavolt.TemperatureStudy(b, []float64{50, 60, 70, 80},
+			fpgavolt.SweepOptions{Runs: *runs, Workers: *workers})
+		check(err)
+		t := report.NewTable(p.Name+" temperature study (faults/Mbit at Vcrash)",
+			"on-board temp", "faults/Mbit")
+		for i, tc := range []float64{50, 60, 70, 80} {
+			t.AddRow(fmt.Sprintf("%.0fC", tc), report.F(sweeps[i].Final().FaultsPerMbit, 1))
+		}
+		t.Render(os.Stdout)
+
+	case "fvm":
+		m, err := fpgavolt.ExtractFVM(b, *runs, *workers)
+		check(err)
+		if *classes {
+			out, err := m.RenderClasses()
+			check(err)
+			fmt.Print(out)
+		} else {
+			fmt.Print(m.Render())
+		}
+		sum := m.Summary()
+		fmt.Printf("zero-fault BRAMs: %s  max rate: %s  mean rate: %s\n",
+			report.Pct(m.ZeroShare(), 1), report.Pct(sum.Max, 2), report.Pct(sum.Mean, 3))
+		if *save != "" {
+			f, err := os.Create(*save)
+			check(err)
+			check(m.Save(f))
+			check(f.Close())
+			fmt.Println("saved FVM to", *save)
+		}
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fpgavolt <sweep|thresholds|patterns|temps|fvm> [flags]
+run "fpgavolt <cmd> -h" for flags`)
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpgavolt:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Command fvmdiff compares two saved Fault Variation Maps — the paper's
+// die-to-die analysis (Fig. 7) as a standalone tool. Maps are produced with
+// "fpgavolt fvm -save".
+//
+// Usage:
+//
+//	fpgavolt fvm -platform KC705-A -save a.json
+//	fpgavolt fvm -platform KC705-B -save b.json
+//	fvmdiff a.json b.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/fvm"
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: fvmdiff <a.json> <b.json>")
+		os.Exit(2)
+	}
+	a := load(os.Args[1])
+	b := load(os.Args[2])
+	ds := fvm.Diff(a, b)
+
+	t := report.NewTable(fmt.Sprintf("FVM diff: %s (S/N %s) vs %s (S/N %s)",
+		a.Platform, a.Serial, b.Platform, b.Serial),
+		"metric", "value")
+	t.AddRow("common sites", fmt.Sprintf("%d", ds.CommonSites))
+	t.AddRow("total faults A", report.F(ds.TotalA, 0))
+	t.AddRow("total faults B", report.F(ds.TotalB, 0))
+	t.AddRow("A/B ratio", report.F(ds.RatioAB, 2))
+	t.AddRow("per-site correlation", report.F(ds.Correlation, 3))
+	t.AddRow("largest disagreement", ds.DisagreeExample)
+	t.Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Print(a.Render())
+	fmt.Println()
+	fmt.Print(b.Render())
+}
+
+func load(path string) *fvm.Map {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvmdiff:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	m, err := fvm.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvmdiff:", err)
+		os.Exit(1)
+	}
+	return m
+}

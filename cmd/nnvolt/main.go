@@ -1,0 +1,112 @@
+// Command nnvolt runs the Section III pipeline: generate a benchmark, train
+// the classifier, quantize it, deploy it into a simulated board's BRAMs, and
+// sweep VCCBRAM — optionally with the ICBP placement mitigation.
+//
+// Usage:
+//
+//	nnvolt -benchmark mnist                 # default placement, reduced scale
+//	nnvolt -benchmark reuters -icbp         # ICBP-protected placement
+//	nnvolt -benchmark mnist -full           # paper topology (slow)
+//	nnvolt -benchmark mnist -power          # include the Fig. 10 breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/fpgavolt"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "mnist", "mnist, forest, or reuters")
+		icbp      = flag.Bool("icbp", false, "protect the last layer with ICBP constraints")
+		full      = flag.Bool("full", false, "paper-scale topology and board")
+		brams     = flag.Int("brams", 200, "simulated BRAM pool size (ignored with -full)")
+		train     = flag.Int("train", 4000, "training samples")
+		test      = flag.Int("test", 800, "test samples")
+		epochs    = flag.Int("epochs", 10, "training epochs")
+		seed      = flag.Uint64("seed", 1, "placement seed")
+		power     = flag.Bool("power", false, "print the on-chip power breakdown")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	opts := fpgavolt.DatasetOptions{TrainSamples: *train, TestSamples: *test}
+	if !*full {
+		switch *benchmark {
+		case "mnist":
+			opts.Features = 196
+		case "reuters":
+			opts.Features = 400
+		}
+	}
+	ds, err := fpgavolt.Benchmark(*benchmark, opts)
+	check(err)
+
+	topo := []int{ds.NumFeatures, 128, 64, 32, 16, ds.NumClasses}
+	if *full {
+		topo = []int{ds.NumFeatures, 1024, 512, 256, 128, ds.NumClasses}
+	}
+	fmt.Printf("training %v on %s (%d train / %d test samples)...\n",
+		topo, ds.Name, len(ds.TrainX), len(ds.TestX))
+	net, err := fpgavolt.NewNetwork(topo, "nnvolt:"+*benchmark)
+	check(err)
+	loss, err := net.Train(ds.TrainX, ds.TrainY, fpgavolt.TrainOptions{
+		Epochs: *epochs, LearnRate: 0.3, Workers: *workers, Seed: "nnvolt:" + *benchmark,
+	})
+	check(err)
+	q := fpgavolt.QuantizeNetwork(net)
+	fmt.Printf("final training loss %.4f, weight-bit sparsity %s zeros\n",
+		loss, report.Pct(1-q.OneBitFraction(), 1))
+
+	p := fpgavolt.VC707()
+	if !*full {
+		p = p.Scaled(*brams)
+	}
+	b := fpgavolt.OpenBoard(p)
+
+	var cs *fpgavolt.ConstraintSet
+	if *icbp {
+		fmt.Println("extracting FVM for ICBP constraints...")
+		m, err := fpgavolt.ExtractFVM(b, 10, *workers)
+		check(err)
+		cs, err = fpgavolt.ICBPConstraints(m, q, fpgavolt.ICBPOptions{})
+		check(err)
+	}
+	a, err := fpgavolt.BuildAccelerator(b, q, cs, *seed)
+	check(err)
+	fmt.Printf("deployed: %s BRAM utilization\n", report.Pct(a.BRAMUtilization(), 1))
+
+	if *power {
+		t := report.NewTable("on-chip power breakdown (W)", "operating point", "BRAM", "total")
+		for _, v := range []float64{p.Cal.Vnom, p.Cal.Vmin, p.Cal.Vcrash} {
+			bd := a.PowerBreakdown(v)
+			t.AddRow(fmt.Sprintf("VCCBRAM=%.2fV", v),
+				report.F(bd.Of("BRAM"), 3), report.F(bd.Total(), 3))
+		}
+		t.Render(os.Stdout)
+	}
+
+	rs, err := a.Sweep(ds.TestX, ds.TestY, *workers)
+	check(err)
+	mode := "default"
+	if *icbp {
+		mode = "ICBP"
+	}
+	t := report.NewTable(fmt.Sprintf("%s: classification error vs VCCBRAM (%s placement)", ds.Name, mode),
+		"VCCBRAM (V)", "error", "faulty weight bits")
+	for _, r := range rs {
+		t.AddRow(report.F(r.V, 2), report.Pct(r.Error, 2), fmt.Sprintf("%d", r.WeightFault))
+	}
+	t.Render(os.Stdout)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nnvolt:", err)
+		os.Exit(1)
+	}
+}

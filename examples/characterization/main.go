@@ -1,0 +1,75 @@
+// Characterization walks the full Section II methodology on one platform:
+// threshold discovery (Fig. 1), the fault/power sweep (Fig. 3), the
+// data-pattern study (Fig. 4), run stability (Table II), vulnerability
+// clustering (Fig. 5), and the Fault Variation Map (Fig. 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/fpgavolt"
+	"repro/internal/report"
+)
+
+func main() {
+	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
+	p := board.Platform
+
+	// --- Fig. 1: discover the operating thresholds from scratch.
+	thB, err := fpgavolt.DiscoverBRAMThresholds(board, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	thI, err := fpgavolt.DiscoverIntThresholds(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VCCBRAM: Vmin=%.2fV Vcrash=%.2fV (guardband %s)\n",
+		thB.Vmin, thB.Vcrash, report.Pct(thB.GuardbandFrac(), 1))
+	fmt.Printf("VCCINT:  Vmin=%.2fV Vcrash=%.2fV (guardband %s)\n\n",
+		thI.Vmin, thI.Vcrash, report.Pct(thI.GuardbandFrac(), 1))
+
+	// --- Fig. 3 / Table II: the main sweep, 100-run statistics per level.
+	sweep, err := fpgavolt.Characterize(board, fpgavolt.SweepOptions{Runs: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable(p.Name+" sweep (pattern 16'hFFFF)",
+		"V", "faults/Mbit", "stddev", "1->0 share", "BRAM power (W)")
+	for _, l := range sweep.Levels {
+		t.AddRow(report.F(l.V, 2), report.F(l.FaultsPerMbit, 1),
+			report.F(l.Stats.StdDev, 1), report.Pct(l.Flip10Share(), 2),
+			report.F(l.BRAMPowerW, 3))
+	}
+	t.Render(log.Writer())
+
+	// --- Fig. 4: pattern dependence at Vcrash.
+	patterns, err := fpgavolt.PatternStudy(board, p.Cal.Vcrash, []fpgavolt.SweepOptions{
+		{Pattern: 0xFFFF}, {Pattern: 0xAAAA}, {RandomFill: true},
+		{ZeroFill: true, PatternName: "16'h0000"},
+	}, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npattern study @ Vcrash:")
+	for _, r := range patterns {
+		fmt.Printf("  %-12s %8.1f faults/Mbit\n", r.Name, r.FaultsPerMbit)
+	}
+
+	// --- Figs. 5 & 6: the Fault Variation Map and its classes.
+	m, err := fpgavolt.ExtractFVM(board, 20, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(m.Render())
+	classes, err := m.RenderClasses()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(classes)
+	sum := m.Summary()
+	fmt.Printf("never-faulting BRAMs: %s, max per-BRAM rate: %s\n",
+		report.Pct(m.ZeroShare(), 1), report.Pct(sum.Max, 2))
+}

@@ -1,0 +1,87 @@
+// ICBP-mitigation demonstrates the paper's fault-mitigation technique
+// (Section III-C, Figs. 12 and 14): extract the chip's Fault Variation Map
+// once, emit Pblock constraints pinning the most vulnerable NN layer to
+// low-vulnerable BRAMs, and compare classification error against the default
+// placement across the critical voltage region.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/fpgavolt"
+	"repro/internal/report"
+)
+
+func main() {
+	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
+
+	// Step 1 (pre-process): characterize the chip and build its FVM.
+	fmt.Println("extracting the Fault Variation Map (one-time, chip-specific)...")
+	m, err := fpgavolt.ExtractFVM(board, 20, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d BRAMs, %s never fault\n", m.NumSites(), report.Pct(m.ZeroShare(), 1))
+
+	// Step 2: train and quantize the workload.
+	ds, err := fpgavolt.Benchmark("mnist", fpgavolt.DatasetOptions{
+		TrainSamples: 4000, TestSamples: 800, Features: 196,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := fpgavolt.NewNetwork([]int{196, 128, 64, 32, 16, 10}, "icbp-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Train(ds.TrainX, ds.TrainY, fpgavolt.TrainOptions{
+		Epochs: 12, LearnRate: 0.3,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	q := fpgavolt.QuantizeNetwork(net)
+
+	// Step 3: generate the ICBP constraints (the added step of Fig. 12b) and
+	// compile both variants.
+	cs, err := fpgavolt.ICBPConstraints(m, q, fpgavolt.ICBPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngenerated XDC constraints:")
+	fmt.Print(cs.String())
+
+	defAcc, err := fpgavolt.BuildAccelerator(board, q, nil, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defResults, err := defAcc.Sweep(ds.TestX, ds.TestY, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	icbpAcc, err := fpgavolt.BuildAccelerator(board, q, cs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	icbpResults, err := icbpAcc.Sweep(ds.TestX, ds.TestY, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4: compare (the Fig. 14 view).
+	t := report.NewTable("classification error: default vs ICBP placement",
+		"VCCBRAM (V)", "default", "ICBP")
+	for i := range defResults {
+		t.AddRow(report.F(defResults[i].V, 2),
+			report.Pct(defResults[i].Error, 2), report.Pct(icbpResults[i].Error, 2))
+	}
+	t.Render(log.Writer())
+
+	last := len(defResults) - 1
+	bdMin := defAcc.PowerBreakdown(board.Platform.Cal.Vmin)
+	bdCrash := defAcc.PowerBreakdown(board.Platform.Cal.Vcrash)
+	fmt.Printf("\nBRAM power savings at Vcrash over Vmin: %s (paper: 38.1%% avg)\n",
+		report.Pct(1-bdCrash.Of("BRAM")/bdMin.Of("BRAM"), 1))
+	fmt.Printf("error at Vcrash: default %s vs ICBP %s\n",
+		report.Pct(defResults[last].Error, 2), report.Pct(icbpResults[last].Error, 2))
+}

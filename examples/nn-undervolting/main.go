@@ -1,0 +1,72 @@
+// NN-undervolting reproduces the Section III trade-off on a reduced scale:
+// train the fully-connected classifier, quantize it to the per-layer 16-bit
+// fixed-point model (Fig. 9), deploy it into BRAMs, and trade power against
+// classification accuracy as VCCBRAM drops (Figs. 10 and 11).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/fpgavolt"
+	"repro/internal/report"
+)
+
+func main() {
+	// Train on the MNIST-like benchmark (784->196 pixels at this scale).
+	ds, err := fpgavolt.Benchmark("mnist", fpgavolt.DatasetOptions{
+		TrainSamples: 4000, TestSamples: 800, Features: 196,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := fpgavolt.NewNetwork([]int{196, 128, 64, 32, 16, 10}, "example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training (6-level topology, logsig hidden + softmax output)...")
+	if _, err := net.Train(ds.TrainX, ds.TrainY, fpgavolt.TrainOptions{
+		Epochs: 12, LearnRate: 0.3,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 9: the per-layer minimum-precision quantization.
+	q := fpgavolt.QuantizeNetwork(net)
+	for j, f := range q.Formats {
+		fmt.Printf("  Layer%d format %s (%d words)\n", j, f, q.LayerWords(j))
+	}
+	fmt.Printf("weight-bit sparsity: %s zeros (the paper's inherent fault tolerance)\n\n",
+		report.Pct(1-q.OneBitFraction(), 1))
+
+	// Deploy on a scaled VC707 and sweep VCCBRAM.
+	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
+	acc, err := fpgavolt.BuildAccelerator(board, q, nil, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BRAM utilization: %s\n", report.Pct(acc.BRAMUtilization(), 1))
+
+	t := report.NewTable("accuracy/power trade-off under BRAM undervolting",
+		"VCCBRAM (V)", "class. error", "faulty weight bits", "BRAM power (W)", "total (W)")
+	results, err := acc.Sweep(ds.TestX, ds.TestY, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := board.Platform.Cal
+	for _, v := range []float64{cal.Vnom} {
+		bd := acc.PowerBreakdown(v)
+		r, err := acc.EvaluateAt(v, ds.TestX, ds.TestY, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(report.F(v, 2), report.Pct(r.Error, 2), fmt.Sprintf("%d", r.WeightFault),
+			report.F(bd.Of("BRAM"), 3), report.F(bd.Total(), 3))
+	}
+	for _, r := range results {
+		bd := acc.PowerBreakdown(r.V)
+		t.AddRow(report.F(r.V, 2), report.Pct(r.Error, 2), fmt.Sprintf("%d", r.WeightFault),
+			report.F(bd.Of("BRAM"), 3), report.F(bd.Total(), 3))
+	}
+	t.Render(log.Writer())
+}

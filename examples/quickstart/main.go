@@ -1,0 +1,63 @@
+// Quickstart: open a simulated VC707, underscale VCCBRAM through the PMBus
+// regulator, and watch the three operating regions of the paper's Fig. 1 —
+// SAFE (huge power savings, zero faults), CRITICAL (faults appear), and
+// CRASH (the design stops).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/fpgavolt"
+)
+
+func main() {
+	// A 200-BRAM slice of VC707 keeps the demo fast; drop Scaled() for the
+	// full 2060-BRAM chip.
+	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
+	cal := board.Platform.Cal
+	fmt.Printf("board: %s (S/N %s), %d BRAMs simulated\n",
+		board.Platform.Name, board.Platform.Serial, board.Pool.Len())
+
+	// Fill every BRAM with the worst-case pattern (all ones: undervolting
+	// faults are overwhelmingly 1->0 flips).
+	board.FillAll(0xFFFF)
+	nominalPower := board.BRAMPowerW()
+
+	countFaults := func() int {
+		buf := make([]uint16, 1024)
+		run := board.BeginRun()
+		faults := 0
+		for site := 0; site < board.Pool.Len(); site++ {
+			if err := board.ReadBRAMInto(buf, site, run); err != nil {
+				log.Fatal(err)
+			}
+			for _, w := range buf {
+				for b := 0; b < 16; b++ {
+					if w&(1<<b) == 0 {
+						faults++
+					}
+				}
+			}
+		}
+		return faults
+	}
+
+	for _, v := range []float64{1.00, 0.80, cal.Vmin, 0.57, cal.Vcrash} {
+		if err := board.SetVCCBRAM(v); err != nil {
+			log.Fatal(err)
+		}
+		region := cal.RegionOfBRAM(v)
+		faults := countFaults()
+		fmt.Printf("VCCBRAM=%.2fV  region=%-8s  faults=%-6d  BRAM power=%.3fW (%.1fx saving)\n",
+			v, region, faults, board.BRAMPowerW(), nominalPower/board.BRAMPowerW())
+	}
+
+	// Below Vcrash the DONE pin drops and reads fail, exactly as on the
+	// paper's boards.
+	if err := board.SetVCCBRAM(cal.Vcrash - 0.02); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VCCBRAM=%.2fV  operating=%v (DONE pin dropped -> reconfigure needed)\n",
+		board.VCCBRAM(), board.Operating())
+}

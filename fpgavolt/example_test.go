@@ -1,0 +1,78 @@
+package fpgavolt_test
+
+import (
+	"fmt"
+
+	"repro/fpgavolt"
+)
+
+// ExampleCharacterize reproduces the paper's core measurement: at Vmin the
+// guardband is eliminated with zero faults; at Vcrash the fault rate matches
+// the published VC707 value.
+func ExampleCharacterize() {
+	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
+	sweep, err := fpgavolt.Characterize(board, fpgavolt.SweepOptions{Runs: 10, Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	first := sweep.Levels[0] // Vmin
+	last := sweep.Final()    // Vcrash
+	fmt.Printf("at %.2fV: %d faults\n", first.V, int(first.MedianFaults))
+	fmt.Printf("at %.2fV: faults/Mbit within 20%% of 652: %v\n",
+		last.V, last.FaultsPerMbit > 652*0.8 && last.FaultsPerMbit < 652*1.2)
+	// Output:
+	// at 0.61V: 0 faults
+	// at 0.54V: faults/Mbit within 20% of 652: true
+}
+
+// ExampleDiscoverBRAMThresholds finds the SAFE/CRITICAL/CRASH boundaries of
+// Fig. 1 from scratch, without consulting the calibration.
+func ExampleDiscoverBRAMThresholds() {
+	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
+	th, err := fpgavolt.DiscoverBRAMThresholds(board, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Vmin=%.2fV Vcrash=%.2fV guardband=%.0f%%\n",
+		th.Vmin, th.Vcrash, th.GuardbandFrac()*100)
+	// Output:
+	// Vmin=0.61V Vcrash=0.54V guardband=39%
+}
+
+// ExamplePlatforms lists the four studied boards of Table I.
+func ExamplePlatforms() {
+	for _, p := range fpgavolt.Platforms() {
+		fmt.Printf("%s: %s, %d BRAMs\n", p.Name, p.Family, p.NumBRAMs)
+	}
+	// Output:
+	// VC707: Virtex-7, 2060 BRAMs
+	// ZC702: Zynq-7000, 280 BRAMs
+	// KC705-A: Kintex-7, 890 BRAMs
+	// KC705-B: Kintex-7, 890 BRAMs
+}
+
+// ExampleICBPConstraints shows the mitigation flow: the FVM's safest sites
+// become Pblock constraints for the most vulnerable NN layer.
+func ExampleICBPConstraints() {
+	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(100))
+	m, err := fpgavolt.ExtractFVM(board, 6, 4)
+	if err != nil {
+		panic(err)
+	}
+	net, err := fpgavolt.NewNetwork([]int{54, 24, 12, 7}, "example-icbp")
+	if err != nil {
+		panic(err)
+	}
+	q := fpgavolt.QuantizeNetwork(net)
+	cs, err := fpgavolt.ICBPConstraints(m, q, fpgavolt.ICBPOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// The last layer occupies one BRAM at this scale; it is the only
+	// constrained cell.
+	fmt.Println(cs.PblockOf("nn/layer2/w000") != nil)
+	fmt.Println(cs.PblockOf("nn/layer0/w000") == nil)
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,195 @@
+// Package fpgavolt is the public API of the reproduction of "Comprehensive
+// Evaluation of Supply Voltage Underscaling in FPGA on-Chip Memories"
+// (Salami, Unsal, Cristal Kestelman — MICRO 2018).
+//
+// It bundles the repository's subsystems behind one import:
+//
+//   - Simulated boards of the paper's four platforms (VC707, ZC702, and the
+//     two KC705 samples), complete with PMBus-controlled voltage regulation,
+//     calibrated BRAM fault behavior, power, and thermals.
+//   - The characterization harness of Section II (voltage sweeps, threshold
+//     discovery, data-pattern / stability / temperature studies).
+//   - Fault Variation Maps with k-means vulnerability classes.
+//   - The Section III NN accelerator pipeline: synthetic benchmarks,
+//     training, 16-bit per-layer quantization, deployment into BRAMs, and
+//     the ICBP placement mitigation.
+//   - The experiment registry that regenerates every table and figure.
+//
+// A minimal session:
+//
+//	b := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
+//	sweep, err := fpgavolt.Characterize(b, fpgavolt.SweepOptions{Runs: 20})
+//	// sweep.Final().FaultsPerMbit ≈ 652 for VC707, as in the paper
+package fpgavolt
+
+import (
+	"io"
+
+	"repro/internal/accel"
+	"repro/internal/board"
+	"repro/internal/characterize"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fvm"
+	"repro/internal/nn"
+	"repro/internal/placement"
+	"repro/internal/platform"
+	"repro/internal/xdc"
+)
+
+// Core hardware types.
+type (
+	// Platform is one of the paper's FPGA boards (Table I).
+	Platform = platform.Platform
+	// Board is a fully assembled test rig (Fig. 2).
+	Board = board.Board
+	// FVM is a chip's Fault Variation Map (Fig. 6).
+	FVM = fvm.Map
+	// Thresholds holds a rail's discovered Vmin/Vcrash (Fig. 1).
+	Thresholds = characterize.Thresholds
+	// Sweep is a completed undervolting characterization (Fig. 3).
+	Sweep = characterize.Sweep
+	// SweepOptions tunes a characterization run (Listing 1 parameters).
+	SweepOptions = characterize.Options
+	// PatternResult is one row of the data-pattern study (Fig. 4).
+	PatternResult = characterize.PatternResult
+)
+
+// NN pipeline types.
+type (
+	// Dataset is a train/test split of a benchmark task.
+	Dataset = dataset.Dataset
+	// DatasetOptions sizes a synthetic benchmark.
+	DatasetOptions = dataset.Options
+	// Network is a float fully-connected classifier.
+	Network = nn.Network
+	// TrainOptions tunes the SGD trainer.
+	TrainOptions = nn.TrainOptions
+	// Quantized is the 16-bit fixed-point deployment form of a network.
+	Quantized = nn.Quantized
+	// Accelerator is a compiled-and-loaded NN design on a board.
+	Accelerator = accel.Accelerator
+	// InferenceResult is one voltage point of an accelerator sweep (Fig. 11).
+	InferenceResult = accel.InferenceResult
+	// ConstraintSet is a set of Pblock placement constraints (Fig. 12).
+	ConstraintSet = xdc.ConstraintSet
+	// ICBPOptions tunes the ICBP constraint generator.
+	ICBPOptions = placement.ICBPOptions
+)
+
+// Experiment framework types.
+type (
+	// Experiment reproduces one table or figure.
+	Experiment = experiments.Experiment
+	// ExperimentConfig scales an experiment run.
+	ExperimentConfig = experiments.Config
+	// ExperimentResult is an experiment's tables/figures/comparisons.
+	ExperimentResult = experiments.Result
+)
+
+// VC707 returns the Virtex-7 performance-optimized platform.
+func VC707() Platform { return platform.VC707() }
+
+// ZC702 returns the Zynq-7000 hardware/software platform.
+func ZC702() Platform { return platform.ZC702() }
+
+// KC705A returns the first power-optimized Kintex-7 sample.
+func KC705A() Platform { return platform.KC705A() }
+
+// KC705B returns the second, identical-model Kintex-7 sample.
+func KC705B() Platform { return platform.KC705B() }
+
+// Platforms returns all four studied platforms in the paper's order.
+func Platforms() []Platform { return platform.All() }
+
+// PlatformByName resolves "VC707", "ZC702", "KC705-A" or "KC705-B".
+func PlatformByName(name string) (Platform, error) { return platform.ByName(name) }
+
+// OpenBoard assembles a simulated board for the platform: chip (with its
+// serial-derived fault population), regulator, serial link, heat chamber,
+// and power meter.
+func OpenBoard(p Platform) *Board { return board.New(p) }
+
+// Characterize runs the Listing 1 methodology: pattern fill, 10 mV downward
+// sweep, ~100 reads per level, host-side fault analysis.
+func Characterize(b *Board, opts SweepOptions) (*Sweep, error) {
+	return characterize.Run(b, opts)
+}
+
+// DiscoverBRAMThresholds locates VCCBRAM's Vmin and Vcrash (Fig. 1a).
+func DiscoverBRAMThresholds(b *Board, probeRuns int) (Thresholds, error) {
+	return characterize.DiscoverBRAMThresholds(b, probeRuns)
+}
+
+// DiscoverIntThresholds locates VCCINT's Vmin and Vcrash (Fig. 1b).
+func DiscoverIntThresholds(b *Board) (Thresholds, error) {
+	return characterize.DiscoverIntThresholds(b)
+}
+
+// PatternStudy measures fault rates for several data patterns at a fixed
+// voltage (Fig. 4).
+func PatternStudy(b *Board, v float64, patterns []SweepOptions, runs int) ([]PatternResult, error) {
+	return characterize.RunPatternStudy(b, v, patterns, runs)
+}
+
+// TemperatureStudy sweeps voltage at several on-board temperatures (Fig. 8).
+func TemperatureStudy(b *Board, temps []float64, opts SweepOptions) ([]*Sweep, error) {
+	return characterize.TemperatureStudy(b, temps, opts)
+}
+
+// ExtractFVM characterizes the board and assembles its Fault Variation Map
+// at the deepest voltage level.
+func ExtractFVM(b *Board, runs, workers int) (*FVM, error) {
+	s, err := characterize.Run(b, characterize.Options{Runs: runs, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return fvm.New(b.Platform.Name, b.Platform.Serial,
+		b.Platform.Geometry.GridCols, b.Platform.Geometry.GridRows,
+		s.Levels[0].V, s.Final().V, s.OnBoardC,
+		b.Platform.Sites(), s.PerBRAMMedian())
+}
+
+// LoadFVM reads a map saved with FVM.Save.
+func LoadFVM(r io.Reader) (*FVM, error) { return fvm.Load(r) }
+
+// Benchmark generates one of the paper's benchmarks ("mnist", "forest",
+// "reuters") as a deterministic synthetic dataset.
+func Benchmark(name string, opts DatasetOptions) (*Dataset, error) {
+	return dataset.ByName(name, opts)
+}
+
+// NewNetwork builds a fully-connected classifier with the given topology.
+func NewNetwork(topology []int, key string) (*Network, error) { return nn.New(topology, key) }
+
+// PaperTopology returns the Table III network shape.
+func PaperTopology() []int { return nn.PaperTopology() }
+
+// QuantizeNetwork converts a trained network to its 16-bit per-layer
+// minimum-precision fixed-point form (Fig. 9).
+func QuantizeNetwork(n *Network) *Quantized { return nn.Quantize(n) }
+
+// BuildAccelerator compiles and loads an NN design onto a board; cs may be
+// nil for the default placement, or the output of ICBPConstraints.
+func BuildAccelerator(b *Board, q *Quantized, cs *ConstraintSet, seed uint64) (*Accelerator, error) {
+	return accel.Build(b, q, cs, seed)
+}
+
+// ICBPConstraints derives the Pblock constraints of the paper's mitigation:
+// the most vulnerable layer's BRAMs are pinned to the FVM's safest sites.
+func ICBPConstraints(m *FVM, q *Quantized, opts ICBPOptions) (*ConstraintSet, error) {
+	d := placement.BuildDesign("nn", q)
+	return placement.ICBPConstraints(m, d, q, opts)
+}
+
+// Experiments returns the full registry in the paper's presentation order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID resolves an experiment id like "fig3-fault-power".
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// RunAllExperiments regenerates every table and figure, streaming rendered
+// results to w (which may be nil).
+func RunAllExperiments(cfg ExperimentConfig, w io.Writer) ([]*ExperimentResult, error) {
+	return experiments.RunAll(cfg, w)
+}

@@ -1,0 +1,121 @@
+package fpgavolt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The quickstart path advertised in the package comment must work.
+	b := OpenBoard(VC707().Scaled(120))
+	sweep, err := Characterize(b, SweepOptions{Runs: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sweep.Final().FaultsPerMbit
+	if got < 652*0.5 || got > 652*1.5 {
+		t.Fatalf("faults/Mbit at Vcrash = %v, want ~652", got)
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	if len(Platforms()) != 4 {
+		t.Fatal("want four platforms")
+	}
+	p, err := PlatformByName("ZC702")
+	if err != nil || p.NumBRAMs != 280 {
+		t.Fatalf("ZC702 lookup: %+v, %v", p, err)
+	}
+	if _, err := PlatformByName("nope"); err == nil {
+		t.Fatal("unknown platform should fail")
+	}
+	if len(PaperTopology()) != 6 {
+		t.Fatal("paper topology should have 6 levels")
+	}
+}
+
+func TestFacadeThresholds(t *testing.T) {
+	b := OpenBoard(KC705B().Scaled(60))
+	th, err := DiscoverBRAMThresholds(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Vmin <= th.Vcrash {
+		t.Fatalf("thresholds ordering: %+v", th)
+	}
+}
+
+func TestFacadeFVMRoundTrip(t *testing.T) {
+	b := OpenBoard(VC707().Scaled(80))
+	m, err := ExtractFVM(b, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFVM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSites() != m.NumSites() {
+		t.Fatal("FVM round trip lost sites")
+	}
+}
+
+func TestFacadeNNPipeline(t *testing.T) {
+	ds, err := Benchmark("forest", DatasetOptions{TrainSamples: 800, TestSamples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork([]int{54, 32, 16, 7}, "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(ds.TrainX, ds.TrainY, TrainOptions{Epochs: 6, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	q := QuantizeNetwork(net)
+	b := OpenBoard(VC707().Scaled(40))
+	a, err := BuildAccelerator(b, q, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.EvaluateAt(1.0, ds.TestX, ds.TestY, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WeightFault != 0 {
+		t.Fatal("faults at nominal voltage")
+	}
+	// ICBP path compiles too.
+	m, err := ExtractFVM(b, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ICBPConstraints(m, q, ICBPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildAccelerator(b, q, cs, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(Experiments()) != 16 {
+		t.Fatalf("registry size = %d", len(Experiments()))
+	}
+	e, err := ExperimentByID("table1-specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(ExperimentConfig{BRAMs: 40, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "table1-specs" {
+		t.Fatal("wrong result id")
+	}
+}

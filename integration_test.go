@@ -1,0 +1,222 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/fpgavolt"
+	"repro/internal/accel"
+	"repro/internal/bitstream"
+	"repro/internal/board"
+	"repro/internal/bram"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/placement"
+	"repro/internal/platform"
+	"repro/internal/silicon"
+)
+
+// TestRecompilationFaultsTrackPhysicalSites reproduces the paper's
+// place-and-route control experiment (Section II-C3): the test design is
+// compiled several times, producing different logical→physical BRAM maps,
+// and the undervolting faults observed at each *physical* site must be
+// identical across bitstreams. This is the evidence that the FVM is a
+// property of the chip, not of the design.
+func TestRecompilationFaultsTrackPhysicalSites(t *testing.T) {
+	p := platform.VC707().Scaled(120)
+	b := board.New(p)
+	d := bitstream.NewDesign("recompile-test")
+	for i := 0; i < 60; i++ {
+		d.AddCell(placement.CellName(0, i), "bulk")
+	}
+
+	faultsBySite := func(seed uint64) map[silicon.Site][]uint16 {
+		bs, err := bitstream.Place(d, p.Sites(), nil, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Configure()
+		b.FillAll(0xFFFF)
+		if err := b.SetVCCBRAM(p.Cal.Vcrash); err != nil {
+			t.Fatal(err)
+		}
+		// Fixed run index: the regulator ripple is part of the environment,
+		// and the paper compares like-for-like readouts.
+		const run = 42
+		out := make(map[silicon.Site][]uint16)
+		buf := make([]uint16, bram.Rows)
+		for _, c := range d.Cells {
+			site := bs.Placement.ByCell[c.Name]
+			blk := b.Pool.At(site)
+			if err := b.ReadBRAMInto(buf, blk.Index(), run); err != nil {
+				t.Fatal(err)
+			}
+			var rows []uint16
+			for row, w := range buf {
+				if w != 0xFFFF {
+					rows = append(rows, uint16(row))
+				}
+			}
+			out[site] = rows
+		}
+		if err := b.SetVCCBRAM(p.Cal.Vnom); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	base := faultsBySite(1)
+	for _, seed := range []uint64{2, 3} {
+		got := faultsBySite(seed)
+		for site, rows := range got {
+			baseRows, ok := base[site]
+			if !ok {
+				continue // different cells landed here; only shared sites compare
+			}
+			if len(rows) != len(baseRows) {
+				t.Fatalf("seed %d: site %+v fault rows differ: %v vs %v",
+					seed, site, rows, baseRows)
+			}
+			for i := range rows {
+				if rows[i] != baseRows[i] {
+					t.Fatalf("seed %d: site %+v fault moved", seed, site)
+				}
+			}
+		}
+	}
+}
+
+// TestEndToEndPaperFlow walks the complete pipeline through the public API:
+// characterize → FVM (with a save/load round trip) → ICBP constraints →
+// accelerator → voltage sweep, checking the paper's headline invariants at
+// each stage.
+func TestEndToEndPaperFlow(t *testing.T) {
+	brd := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(150))
+
+	// Stage 1: characterization.
+	sweep, err := fpgavolt.Characterize(brd, fpgavolt.SweepOptions{Runs: 10, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := sweep.Final()
+	if final.FaultsPerMbit < 300 || final.FaultsPerMbit > 1100 {
+		t.Fatalf("VC707 faults/Mbit at Vcrash = %v, want ~652", final.FaultsPerMbit)
+	}
+	if final.Flip10Share() < 0.99 {
+		t.Fatalf("1->0 share = %v", final.Flip10Share())
+	}
+
+	// Stage 2: FVM with persistence round trip.
+	m, err := fpgavolt.ExtractFVM(brd, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := fpgavolt.LoadFVM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 3: workload.
+	ds, err := fpgavolt.Benchmark("mnist", fpgavolt.DatasetOptions{
+		TrainSamples: 1200, TestSamples: 300, Features: 196,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fpgavolt.NewNetwork([]int{196, 64, 32, 10}, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(ds.TrainX, ds.TrainY, fpgavolt.TrainOptions{
+		Epochs: 8, LearnRate: 0.3, Workers: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := fpgavolt.QuantizeNetwork(net)
+	if q.OneBitFraction() > 0.5 {
+		t.Fatalf("quantized net not bit-sparse: %v", q.OneBitFraction())
+	}
+
+	// Stage 4: ICBP from the reloaded FVM.
+	cs, err := fpgavolt.ICBPConstraints(m2, q, fpgavolt.ICBPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fpgavolt.BuildAccelerator(brd, q, cs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 5: sweep; the protected accelerator must hold its baseline at
+	// Vmin and stay operational at Vcrash.
+	rs, err := a.Sweep(ds.TestX, ds.TestY, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].WeightFault != 0 {
+		t.Fatal("faults at Vmin")
+	}
+	last := len(q.Words) - 1
+	counts, err := a.LayerFaultCounts(brd.Platform.Cal.Vcrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[last] != 0 {
+		t.Fatalf("ICBP-protected layer saw %d faults", counts[last])
+	}
+}
+
+// TestDeterministicReproduction pins the repository's determinism guarantee:
+// two completely independent end-to-end runs produce bit-identical results.
+func TestDeterministicReproduction(t *testing.T) {
+	run := func() (float64, int) {
+		brd := fpgavolt.OpenBoard(fpgavolt.KC705A().Scaled(100))
+		s, err := fpgavolt.Characterize(brd, fpgavolt.SweepOptions{Runs: 6, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Final().FaultsPerMbit, int(s.Final().MedianFaults)
+	}
+	r1a, r1b := run()
+	r2a, r2b := run()
+	if r1a != r2a || r1b != r2b {
+		t.Fatalf("independent runs diverged: (%v,%v) vs (%v,%v)", r1a, r1b, r2a, r2b)
+	}
+}
+
+// TestAccelMatchesDirectEvaluation cross-checks the accelerator path against
+// direct network evaluation: with zero faults the deployed network must
+// classify identically to the quantized network evaluated in software.
+func TestAccelMatchesDirectEvaluation(t *testing.T) {
+	ds := dataset.ForestLike(dataset.Options{TrainSamples: 600, TestSamples: 200})
+	net, err := nn.New([]int{54, 24, 12, 7}, "crosscheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(ds.TrainX, ds.TrainY, nn.TrainOptions{Epochs: 6, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	q := nn.Quantize(net)
+	qn, err := q.Dequantize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qn.Evaluate(ds.TestX, ds.TestY, 4)
+
+	brd := board.New(platform.ZC702().Scaled(40))
+	a, err := accel.Build(brd, q, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.EvaluateAt(brd.Platform.Cal.Vnom, ds.TestX, ds.TestY, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Error != want {
+		t.Fatalf("accelerator error %v != direct %v", r.Error, want)
+	}
+}

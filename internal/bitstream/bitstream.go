@@ -1,0 +1,186 @@
+// Package bitstream models the part of the FPGA compilation flow the paper
+// interacts with: a design declares logical BRAM instances; the placer
+// assigns each to a physical site, honoring any Pblock constraints; the
+// result (a Bitstream) records the logical→physical map the way a Vivado
+// checkpoint would.
+//
+// Two properties of the real flow matter to the paper's experiments and are
+// reproduced here:
+//
+//   - Placement uncertainty: different compilation seeds place logical BRAMs
+//     onto different physical sites. The paper recompiled its test design
+//     several times and observed that undervolting faults track *physical*
+//     sites, not logical names — the proof that the FVM is a property of the
+//     chip. Seeded placement lets the experiments repeat that test.
+//
+//   - Constraint honoring: Pblocks force chosen cells onto chosen regions,
+//     which is the entire mechanism of ICBP.
+package bitstream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/prng"
+	"repro/internal/silicon"
+	"repro/internal/xdc"
+)
+
+// Cell is one logical BRAM instance in a design.
+type Cell struct {
+	Name  string // hierarchical instance name, e.g. "nn/layer4/weights_0"
+	Group string // optional grouping label, e.g. "layer4"
+}
+
+// Design is a netlist's BRAM usage.
+type Design struct {
+	Name  string
+	Cells []Cell
+}
+
+// NewDesign returns a design with the given name.
+func NewDesign(name string) *Design { return &Design{Name: name} }
+
+// AddCell appends a logical BRAM.
+func (d *Design) AddCell(name, group string) {
+	d.Cells = append(d.Cells, Cell{Name: name, Group: group})
+}
+
+// CellsInGroup returns the names of cells in the given group, in order.
+func (d *Design) CellsInGroup(group string) []string {
+	var out []string
+	for _, c := range d.Cells {
+		if c.Group == group {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Placement maps logical cell names to physical sites.
+type Placement struct {
+	ByCell map[string]silicon.Site
+}
+
+// SiteOf returns the site of a cell.
+func (p Placement) SiteOf(cell string) (silicon.Site, bool) {
+	s, ok := p.ByCell[cell]
+	return s, ok
+}
+
+// Sites returns the placed sites of the given cells, in cell order.
+func (p Placement) Sites(cells []string) ([]silicon.Site, error) {
+	out := make([]silicon.Site, len(cells))
+	for i, c := range cells {
+		s, ok := p.ByCell[c]
+		if !ok {
+			return nil, fmt.Errorf("bitstream: cell %q not placed", c)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Bitstream is a compiled design: the placement plus its provenance.
+type Bitstream struct {
+	Design    *Design
+	Seed      uint64
+	Placement Placement
+}
+
+// Place runs the placer: every cell gets a distinct physical site from
+// sites; cells constrained by cs must land inside their pblock regions.
+// Constrained cells are placed first (tightest first), then the rest fill
+// the remaining sites in a seed-shuffled order — different seeds model
+// different compilation runs.
+func Place(d *Design, sites []silicon.Site, cs *xdc.ConstraintSet, seed uint64) (*Bitstream, error) {
+	if cs != nil {
+		if err := cs.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(d.Cells) > len(sites) {
+		return nil, fmt.Errorf("bitstream: design %q needs %d BRAMs, device has %d",
+			d.Name, len(d.Cells), len(sites))
+	}
+	used := make(map[silicon.Site]bool, len(d.Cells))
+	assign := make(map[string]silicon.Site, len(d.Cells))
+	src := prng.NewKeyed(fmt.Sprintf("place:%s:%d", d.Name, seed))
+
+	// Partition cells into constrained and free.
+	type job struct {
+		cell    string
+		allowed []silicon.Site
+	}
+	var constrained []job
+	var free []string
+	for _, c := range d.Cells {
+		if cs != nil && cs.PblockOf(c.Name) != nil {
+			constrained = append(constrained, job{cell: c.Name, allowed: cs.AllowedSites(c.Name, sites)})
+		} else {
+			free = append(free, c.Name)
+		}
+	}
+	// Tightest constraints first so small pblocks are not starved.
+	sort.SliceStable(constrained, func(i, j int) bool {
+		return len(constrained[i].allowed) < len(constrained[j].allowed)
+	})
+	for _, j := range constrained {
+		placed := false
+		cands := append([]silicon.Site(nil), j.allowed...)
+		src.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+		for _, s := range cands {
+			if !used[s] {
+				used[s] = true
+				assign[j.cell] = s
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("bitstream: no free site satisfies constraints of %q", j.cell)
+		}
+	}
+	// Free cells get the remaining sites in shuffled order.
+	var remaining []silicon.Site
+	for _, s := range sites {
+		if !used[s] {
+			remaining = append(remaining, s)
+		}
+	}
+	src.Shuffle(len(remaining), func(a, b int) { remaining[a], remaining[b] = remaining[b], remaining[a] })
+	for i, cell := range free {
+		assign[cell] = remaining[i]
+	}
+	return &Bitstream{Design: d, Seed: seed, Placement: Placement{ByCell: assign}}, nil
+}
+
+// Validate checks a bitstream: all cells placed, all sites distinct, all
+// constraints satisfied.
+func (b *Bitstream) Validate(sites []silicon.Site, cs *xdc.ConstraintSet) error {
+	valid := make(map[silicon.Site]bool, len(sites))
+	for _, s := range sites {
+		valid[s] = true
+	}
+	seen := make(map[silicon.Site]string, len(b.Placement.ByCell))
+	for _, c := range b.Design.Cells {
+		s, ok := b.Placement.ByCell[c.Name]
+		if !ok {
+			return fmt.Errorf("bitstream: cell %q unplaced", c.Name)
+		}
+		if !valid[s] {
+			return fmt.Errorf("bitstream: cell %q on nonexistent site %+v", c.Name, s)
+		}
+		if prev, dup := seen[s]; dup {
+			return fmt.Errorf("bitstream: cells %q and %q share site %+v", prev, c.Name, s)
+		}
+		seen[s] = c.Name
+		if cs != nil {
+			if p := cs.PblockOf(c.Name); p != nil && !p.Contains(s) {
+				return fmt.Errorf("bitstream: cell %q placed at %+v outside pblock %q",
+					c.Name, s, p.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package bitstream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/silicon"
+	"repro/internal/xdc"
+)
+
+func sites(cols, rows int) []silicon.Site {
+	var out []silicon.Site
+	for x := 0; x < cols; x++ {
+		for y := 0; y < rows; y++ {
+			out = append(out, silicon.Site{X: x, Y: y})
+		}
+	}
+	return out
+}
+
+func design(n int) *Design {
+	d := NewDesign("test")
+	for i := 0; i < n; i++ {
+		group := "bulk"
+		if i >= n-2 {
+			group = "layer4"
+		}
+		d.AddCell(fmt.Sprintf("nn/w%03d", i), group)
+	}
+	return d
+}
+
+func TestPlaceBasic(t *testing.T) {
+	d := design(20)
+	ss := sites(5, 10)
+	bs, err := Place(d, ss, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Validate(ss, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Placement.ByCell) != 20 {
+		t.Fatalf("placed %d cells", len(bs.Placement.ByCell))
+	}
+}
+
+func TestPlaceDeterministicPerSeed(t *testing.T) {
+	d := design(20)
+	ss := sites(5, 10)
+	a, _ := Place(d, ss, nil, 42)
+	b, _ := Place(d, ss, nil, 42)
+	for _, c := range d.Cells {
+		if a.Placement.ByCell[c.Name] != b.Placement.ByCell[c.Name] {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentPlacements(t *testing.T) {
+	// The paper's recompilation experiment needs distinct placements.
+	d := design(20)
+	ss := sites(5, 10)
+	a, _ := Place(d, ss, nil, 1)
+	b, _ := Place(d, ss, nil, 2)
+	same := 0
+	for _, c := range d.Cells {
+		if a.Placement.ByCell[c.Name] == b.Placement.ByCell[c.Name] {
+			same++
+		}
+	}
+	if same == len(d.Cells) {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+func TestPlaceHonorsConstraints(t *testing.T) {
+	d := design(20)
+	ss := sites(5, 10)
+	cs := xdc.NewConstraintSet()
+	cs.Resize("icbp", xdc.Region{X1: 0, Y1: 0, X2: 0, Y2: 4})
+	cs.AddCells("icbp", "nn/w018", "nn/w019")
+	bs, err := Place(d, ss, cs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Validate(ss, cs); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"nn/w018", "nn/w019"} {
+		s := bs.Placement.ByCell[cell]
+		if s.X != 0 || s.Y > 4 {
+			t.Fatalf("constrained cell %s placed at %+v", cell, s)
+		}
+	}
+}
+
+func TestPlaceFailsWhenConstraintUnsatisfiable(t *testing.T) {
+	d := design(4)
+	ss := sites(2, 2)
+	cs := xdc.NewConstraintSet()
+	// One-site pblock, two cells: impossible.
+	cs.Resize("tiny", xdc.Region{X1: 0, Y1: 0, X2: 0, Y2: 0})
+	cs.AddCells("tiny", "nn/w000", "nn/w001")
+	if _, err := Place(d, ss, cs, 1); err == nil {
+		t.Fatal("unsatisfiable constraints should fail")
+	}
+}
+
+func TestPlaceFailsWhenDeviceTooSmall(t *testing.T) {
+	if _, err := Place(design(10), sites(3, 3), nil, 1); err == nil {
+		t.Fatal("oversubscribed device should fail")
+	}
+}
+
+func TestPlaceRejectsInvalidConstraints(t *testing.T) {
+	cs := xdc.NewConstraintSet()
+	cs.Create("empty")
+	cs.AddCells("empty", "nn/w000")
+	if _, err := Place(design(4), sites(3, 3), cs, 1); err == nil {
+		t.Fatal("invalid constraint set should fail Place")
+	}
+}
+
+func TestCellsInGroup(t *testing.T) {
+	d := design(10)
+	got := d.CellsInGroup("layer4")
+	if len(got) != 2 || got[0] != "nn/w008" || got[1] != "nn/w009" {
+		t.Fatalf("layer4 cells = %v", got)
+	}
+	if len(d.CellsInGroup("nope")) != 0 {
+		t.Fatal("unknown group should be empty")
+	}
+}
+
+func TestPlacementSites(t *testing.T) {
+	d := design(5)
+	ss := sites(3, 3)
+	bs, _ := Place(d, ss, nil, 3)
+	got, err := bs.Placement.Sites([]string{"nn/w000", "nn/w004"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Sites: %v, %v", got, err)
+	}
+	if _, err := bs.Placement.Sites([]string{"missing"}); err == nil {
+		t.Fatal("missing cell should error")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := design(4)
+	ss := sites(3, 3)
+	bs, _ := Place(d, ss, nil, 1)
+	// Corrupt: duplicate site.
+	bs.Placement.ByCell["nn/w001"] = bs.Placement.ByCell["nn/w000"]
+	if err := bs.Validate(ss, nil); err == nil {
+		t.Fatal("duplicate site not caught")
+	}
+	// Corrupt: off-device site.
+	bs2, _ := Place(d, ss, nil, 1)
+	bs2.Placement.ByCell["nn/w001"] = silicon.Site{X: 99, Y: 99}
+	if err := bs2.Validate(ss, nil); err == nil {
+		t.Fatal("off-device site not caught")
+	}
+	// Corrupt: missing cell.
+	bs3, _ := Place(d, ss, nil, 1)
+	delete(bs3.Placement.ByCell, "nn/w002")
+	if err := bs3.Validate(ss, nil); err == nil {
+		t.Fatal("unplaced cell not caught")
+	}
+}

@@ -1,0 +1,371 @@
+// Package board assembles the full experimental rig of Fig. 2: the FPGA chip
+// (BRAM pool + silicon fault model), the PMBus-controlled UCD9248 voltage
+// regulator, the serial readout link, the JTAG configuration port with its
+// DONE pin, the heat chamber, and the external power meter.
+//
+// The host side of every experiment talks to a Board exactly the way the
+// paper's host talks to its platforms: PMBus commands to move VCCBRAM,
+// serial frames to retrieve BRAM contents, the DONE pin to detect crash.
+package board
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bram"
+	"repro/internal/platform"
+	"repro/internal/pmbus"
+	"repro/internal/power"
+	"repro/internal/silicon"
+	"repro/internal/thermal"
+	"repro/internal/voltage"
+)
+
+// PMBus pages of the regulator rails, fixed across the studied boards.
+const (
+	PageVCCINT  = 0
+	PageVCCBRAM = 1
+	PageVCCAUX  = 2
+)
+
+// RegulatorAddr is the PMBus address of the UCD9248 on the studied boards.
+const RegulatorAddr = 0x34
+
+// ErrNotOperating is returned when the design is not running: the board is
+// unconfigured, crashed (DONE unset), or a rail sits below its crash level.
+var ErrNotOperating = errors.New("board: design not operating (DONE unset)")
+
+// Board is one assembled test platform.
+type Board struct {
+	Platform platform.Platform
+	Die      *silicon.Die
+	Pool     *bram.Pool
+	Reg      *voltage.Regulator
+	Bus      *pmbus.Bus
+	Ctl      *pmbus.Controller
+	Chamber  *thermal.Chamber
+	Link     *Link
+	Meter    *power.Meter
+	PowerMod power.Model
+
+	thermals      thermal.BoardThermals
+	onBoardTarget float64 // closed-loop chamber setpoint for the sensor
+	configured    bool
+	crashed       bool
+	runCounter    uint64
+	jitterScale   float64
+	scratch       []silicon.Fault
+
+	// env caches the electrical snapshot reads run under; it is refreshed on
+	// every rail/chamber change so the hot read path stays allocation-free
+	// and safe for concurrent Readers.
+	env silicon.Conditions
+}
+
+// New assembles a board for the given platform, configured with the
+// characterization design and all rails at nominal.
+func New(p platform.Platform) *Board {
+	sites := p.Sites()
+	b := &Board{
+		Platform: p,
+		Die:      silicon.NewDie(p.Cal, p.Serial, sites),
+		Pool:     bram.NewPool(sites),
+		Reg: voltage.NewRegulator(p.Serial,
+			voltage.Rail{Name: "VCCINT", Nominal: p.Cal.Vnom, Min: 0.40, Max: 1.10},
+			voltage.Rail{Name: "VCCBRAM", Nominal: p.Cal.Vnom, Min: 0.40, Max: 1.10},
+			voltage.Rail{Name: "VCCAUX", Nominal: 1.80, Min: 1.60, Max: 2.00},
+		),
+		Bus:         pmbus.NewBus(),
+		Chamber:     thermal.NewChamber(thermal.DefaultOnBoardC - 5),
+		Link:        NewLink(921600),
+		Meter:       power.NewMeter(p.Name+":"+p.Serial, p.MeterOverheadW, 0.01),
+		PowerMod:    power.DefaultModel(),
+		thermals:    thermal.BoardThermals{ThetaJA: p.ThetaJA},
+		jitterScale: 1.0,
+	}
+	b.Bus.Attach(RegulatorAddr, b.Reg)
+	b.Ctl = pmbus.NewController(b.Bus, RegulatorAddr)
+	b.Reg.BindSensors(b.OnBoardTempC, func(page int) float64 {
+		return b.railPowerW(page)
+	})
+	// Hold the default on-board temperature of 50 degC.
+	b.onBoardTarget = thermal.DefaultOnBoardC
+	b.Configure()
+	b.refreshEnv()
+	return b
+}
+
+// refreshEnv re-trims the chamber to hold the on-board setpoint at the
+// current power draw (a real heat chamber regulates in closed loop — without
+// this, undervolting would cool the die and the ITD response would shift
+// every critical voltage), then recomputes the cached read-path conditions.
+func (b *Board) refreshEnv() {
+	b.Chamber.SetTarget(b.thermals.AirForOnBoard(b.onBoardTarget, b.chipPowerW()))
+	b.env = silicon.Conditions{
+		V:           b.VCCBRAM(),
+		TempC:       b.OnBoardTempC(),
+		JitterScale: b.jitterScale,
+	}
+}
+
+// Configure loads the characterization bitstream over JTAG: BRAMs are
+// zeroed, the DONE pin rises, and the crash latch clears.
+func (b *Board) Configure() {
+	b.Pool.FillAll(0)
+	b.configured = true
+	b.crashed = false
+	b.runCounter = 0
+}
+
+// SoftReset clears the run counter without reloading the bitstream — the
+// "soft reset" between voltage steps in Listing 1.
+func (b *Board) SoftReset() { b.runCounter = 0 }
+
+// Done reports the JTAG DONE pin: high only when a bitstream is loaded and
+// the chip has not crashed. Below Vcrash the paper observes DONE unset.
+func (b *Board) Done() bool {
+	b.refreshCrashLatch()
+	return b.configured && !b.crashed
+}
+
+// Operating reports whether the design is currently running.
+func (b *Board) Operating() bool { return b.Done() }
+
+// refreshCrashLatch trips the crash latch when either on-chip rail sits
+// below its crash level. The latch is sticky: recovery requires raising the
+// rails and reconfiguring, as on the real boards.
+func (b *Board) refreshCrashLatch() {
+	if b.VCCBRAM() < b.Platform.Cal.Vcrash-1e-9 || b.VCCINT() < b.Platform.Cal.VcrashInt-1e-9 {
+		b.crashed = true
+	}
+}
+
+// VCCBRAM returns the current BRAM rail setpoint.
+func (b *Board) VCCBRAM() float64 { return b.Reg.Setpoint(PageVCCBRAM) }
+
+// VCCINT returns the current internal-logic rail setpoint.
+func (b *Board) VCCINT() float64 { return b.Reg.Setpoint(PageVCCINT) }
+
+// SetVCCBRAM programs the BRAM rail through the full PMBus path.
+func (b *Board) SetVCCBRAM(v float64) error {
+	if err := b.Ctl.SetVout(PageVCCBRAM, v); err != nil {
+		return err
+	}
+	b.refreshCrashLatch()
+	b.refreshEnv()
+	return nil
+}
+
+// SetVCCINT programs the internal rail through the full PMBus path.
+func (b *Board) SetVCCINT(v float64) error {
+	if err := b.Ctl.SetVout(PageVCCINT, v); err != nil {
+		return err
+	}
+	b.refreshCrashLatch()
+	b.refreshEnv()
+	return nil
+}
+
+// SetOnBoardTemp programs the heat chamber's closed-loop setpoint: the
+// chamber holds the on-board sensor at the requested temperature across
+// rail changes (the Fig. 8 procedure).
+func (b *Board) SetOnBoardTemp(tempC float64) {
+	b.onBoardTarget = tempC
+	b.refreshEnv()
+}
+
+// OnBoardTempC returns the true on-board temperature (the PMBus sensor adds
+// its 0.5 degC quantization on top).
+func (b *Board) OnBoardTempC() float64 {
+	return b.thermals.OnBoardC(b.Chamber.AirC(), b.chipPowerW())
+}
+
+// SetEnvironmentNoise scales the read-jitter band; >1 models the paper's
+// "more noisy and harsh environments", which can surface faults above the
+// quiet-lab Vmin.
+func (b *Board) SetEnvironmentNoise(scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	b.jitterScale = scale
+	b.refreshEnv()
+}
+
+// FillAll writes the given pattern into every BRAM (host-side
+// initialization; the write path at nominal voltage is reliable).
+func (b *Board) FillAll(pattern uint16) { b.Pool.FillAll(pattern) }
+
+// FillAllFunc writes pattern(site, row) into every BRAM.
+func (b *Board) FillAllFunc(pattern func(site, row int) uint16) {
+	for i := 0; i < b.Pool.Len(); i++ {
+		blk := b.Pool.Block(i)
+		site := i
+		blk.FillFunc(func(row int) uint16 { return pattern(site, row) })
+	}
+}
+
+// conditions returns the cached electrical environment stamped with the run
+// index. The cache is refreshed by every rail/chamber mutation, so reads are
+// cheap and Readers can share it concurrently.
+func (b *Board) conditions(run uint64) silicon.Conditions {
+	c := b.env
+	c.Run = run
+	return c
+}
+
+// BeginRun starts a new read pass and returns its run index; all BRAM reads
+// within one pass share the same marginal-cell jitter draw, like one
+// iteration of Listing 1's inner loop.
+func (b *Board) BeginRun() uint64 {
+	b.runCounter++
+	return b.runCounter
+}
+
+// ReadBRAMInto reads one BRAM's contents under the current voltage and
+// temperature into dst (length bram.Rows) — the fast host path used by
+// full-chip sweeps. It fails when the design is not operating.
+func (b *Board) ReadBRAMInto(dst []uint16, site int, run uint64) error {
+	if !b.Done() {
+		return ErrNotOperating
+	}
+	if len(dst) < bram.Rows {
+		return fmt.Errorf("board: dst holds %d rows, need %d", len(dst), bram.Rows)
+	}
+	var err error
+	b.scratch, err = readFaulty(b, dst, site, run, b.scratch)
+	return err
+}
+
+// readFaulty snapshots a block and applies the active fault overlay, reusing
+// the provided scratch slice. The caller has already verified Done().
+func readFaulty(b *Board, dst []uint16, site int, run uint64, scratch []silicon.Fault) ([]silicon.Fault, error) {
+	b.Pool.Block(site).Snapshot(dst)
+	scratch = b.Die.ActiveFaults(scratch[:0], site, b.conditions(run))
+	for _, f := range scratch {
+		bit := uint16(1) << f.Col
+		if f.Flip01 {
+			dst[f.Row] |= bit
+		} else {
+			dst[f.Row] &^= bit
+		}
+	}
+	return scratch, nil
+}
+
+// Reader is an independent host read channel with private buffers, so
+// full-chip scans can fan out across goroutines. The board's electrical
+// state (rails, temperature) must not change while readers are active.
+type Reader struct {
+	b       *Board
+	scratch []silicon.Fault
+}
+
+// NewReader returns a reader bound to the board.
+func (b *Board) NewReader() *Reader { return &Reader{b: b} }
+
+// operatingNow is a mutation-free operating check for concurrent Readers
+// (Done() may flip the sticky crash latch, which is a write).
+func (b *Board) operatingNow() bool {
+	return b.configured && !b.crashed &&
+		b.VCCBRAM() >= b.Platform.Cal.Vcrash-1e-9 &&
+		b.VCCINT() >= b.Platform.Cal.VcrashInt-1e-9
+}
+
+// ReadInto behaves like Board.ReadBRAMInto but is safe to call from multiple
+// Readers concurrently.
+func (r *Reader) ReadInto(dst []uint16, site int, run uint64) error {
+	if !r.b.operatingNow() {
+		return ErrNotOperating
+	}
+	if len(dst) < bram.Rows {
+		return fmt.Errorf("board: dst holds %d rows, need %d", len(dst), bram.Rows)
+	}
+	var err error
+	r.scratch, err = readFaulty(r.b, dst, site, run, r.scratch)
+	return err
+}
+
+// StreamBRAM reads one BRAM and ships it through the full serial-link wire
+// path (encode, CRC, decode), returning the host-side frame. Experiments use
+// it to verify link fidelity at every voltage level, as the paper did.
+func (b *Board) StreamBRAM(site int, run uint64) (Frame, error) {
+	buf := make([]uint16, bram.Rows)
+	if err := b.ReadBRAMInto(buf, site, run); err != nil {
+		return Frame{}, err
+	}
+	wire := b.Link.Encode(Frame{Site: uint16(site), Rows: buf})
+	return b.Link.Decode(wire)
+}
+
+// LogicSelfTestErrors models the observable fault signal used to locate the
+// VCCINT Vmin in Fig. 1b: the readout design runs a self-check whose error
+// count is zero in the SAFE region and grows exponentially below VminInt.
+func (b *Board) LogicSelfTestErrors(run uint64) (int, error) {
+	if !b.Done() {
+		return 0, ErrNotOperating
+	}
+	v := b.VCCINT()
+	cal := b.Platform.Cal
+	if v >= cal.VminInt {
+		return 0, nil
+	}
+	span := cal.VminInt - cal.VcrashInt
+	if span <= 0 {
+		return 1, nil
+	}
+	// ~1 error at VminInt falling edge, a few hundred at crash.
+	depth := (cal.VminInt - v) / span
+	n := int(0.5 + 400*pow(depth, 3))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}
+
+// chipPowerW returns the true on-chip power of the characterization design
+// at the current rails and chamber air temperature. (Uses the chamber air
+// rather than the closed-loop on-board temperature to keep the model
+// explicit and loop-free; the difference is a second-order leakage term.)
+func (b *Board) chipPowerW() float64 {
+	comps := []power.Component{
+		b.Platform.BRAMComponent(1.0),
+		b.Platform.LogicComponent(),
+	}
+	volts := map[string]float64{
+		"VCCBRAM": b.VCCBRAM(),
+		"VCCINT":  b.VCCINT(),
+	}
+	return b.PowerMod.Evaluate(comps, volts, b.Chamber.AirC()).Total()
+}
+
+// railPowerW reports per-rail power for PMBus READ_POUT.
+func (b *Board) railPowerW(page int) float64 {
+	switch page {
+	case PageVCCBRAM:
+		return b.PowerMod.Power(b.Platform.BRAMComponent(1.0), b.VCCBRAM(), b.Chamber.AirC())
+	case PageVCCINT:
+		return b.PowerMod.Power(b.Platform.LogicComponent(), b.VCCINT(), b.Chamber.AirC())
+	default:
+		return 0.05 // auxiliary housekeeping
+	}
+}
+
+// BRAMPowerW returns the BRAM pool's power at current conditions — the
+// quantity Fig. 3 plots (the paper extracts the BRAM contribution via XPE).
+func (b *Board) BRAMPowerW() float64 {
+	return b.railPowerW(PageVCCBRAM)
+}
+
+// MeasureTotalPowerW samples the external power meter (chip + board
+// overhead + measurement noise), averaged over n readings.
+func (b *Board) MeasureTotalPowerW(n int) float64 {
+	return b.Meter.SampleN(b.chipPowerW(), n)
+}

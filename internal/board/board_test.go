@@ -1,0 +1,369 @@
+package board
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bram"
+	"repro/internal/platform"
+	"repro/internal/thermal"
+)
+
+// testBoard returns a scaled-down VC707 for fast tests.
+func testBoard() *Board {
+	return New(platform.VC707().Scaled(120))
+}
+
+func TestNewBoardDefaults(t *testing.T) {
+	b := testBoard()
+	if !b.Operating() || !b.Done() {
+		t.Fatal("fresh board should be operating")
+	}
+	if b.VCCBRAM() != 1.0 || b.VCCINT() != 1.0 {
+		t.Fatalf("rails not nominal: %v / %v", b.VCCBRAM(), b.VCCINT())
+	}
+	if got := b.OnBoardTempC(); math.Abs(got-thermal.DefaultOnBoardC) > 0.5 {
+		t.Fatalf("default on-board temp = %v, want ~50", got)
+	}
+}
+
+func TestPMBusRoundTripOnRails(t *testing.T) {
+	b := testBoard()
+	if err := b.SetVCCBRAM(0.61); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Ctl.ReadVout(PageVCCBRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.61) > 0.001 {
+		t.Fatalf("ReadVout = %v", got)
+	}
+}
+
+func TestNoFaultsInSafeRegion(t *testing.T) {
+	b := testBoard()
+	b.FillAll(0xFFFF)
+	buf := make([]uint16, bram.Rows)
+	for _, v := range []float64{1.0, 0.80, b.Platform.Cal.Vmin} {
+		if err := b.SetVCCBRAM(v); err != nil {
+			t.Fatal(err)
+		}
+		run := b.BeginRun()
+		for site := 0; site < b.Pool.Len(); site++ {
+			if err := b.ReadBRAMInto(buf, site, run); err != nil {
+				t.Fatal(err)
+			}
+			for r, w := range buf {
+				if w != 0xFFFF {
+					t.Fatalf("fault at %v V, site %d row %d: %#x", v, site, r, w)
+				}
+			}
+		}
+	}
+}
+
+func TestFaultsAppearBelowVmin(t *testing.T) {
+	b := testBoard()
+	b.FillAll(0xFFFF)
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vcrash); err != nil {
+		t.Fatal(err)
+	}
+	run := b.BeginRun()
+	buf := make([]uint16, bram.Rows)
+	faults := 0
+	for site := 0; site < b.Pool.Len(); site++ {
+		if err := b.ReadBRAMInto(buf, site, run); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range buf {
+			if w != 0xFFFF {
+				for i := 0; i < 16; i++ {
+					if w&(1<<i) == 0 {
+						faults++
+					}
+				}
+			}
+		}
+	}
+	if faults == 0 {
+		t.Fatal("no faults at Vcrash with all-ones pattern")
+	}
+}
+
+func TestStoredDataUnaffected(t *testing.T) {
+	// Undervolting corrupts reads, not storage: raising the rail back must
+	// return clean data with no reconfiguration.
+	b := testBoard()
+	b.FillAll(0xFFFF)
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vcrash); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.BeginRun()
+	if err := b.SetVCCBRAM(1.0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]uint16, bram.Rows)
+	run := b.BeginRun()
+	for site := 0; site < b.Pool.Len(); site++ {
+		if err := b.ReadBRAMInto(buf, site, run); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range buf {
+			if w != 0xFFFF {
+				t.Fatal("stored data was corrupted by undervolting")
+			}
+		}
+	}
+}
+
+func TestCrashLatchAndReconfigure(t *testing.T) {
+	b := testBoard()
+	crash := b.Platform.Cal.Vcrash
+	if err := b.SetVCCBRAM(crash - 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if b.Done() {
+		t.Fatal("DONE should drop below Vcrash")
+	}
+	buf := make([]uint16, bram.Rows)
+	if err := b.ReadBRAMInto(buf, 0, 1); err == nil {
+		t.Fatal("reads must fail when crashed")
+	}
+	// Raising voltage alone is not enough: the latch is sticky.
+	if err := b.SetVCCBRAM(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Done() {
+		t.Fatal("crash latch should persist until reconfiguration")
+	}
+	b.Configure()
+	if !b.Done() {
+		t.Fatal("reconfiguration should restore DONE")
+	}
+}
+
+func TestVCCINTCrashAlsoLatches(t *testing.T) {
+	b := testBoard()
+	if err := b.SetVCCINT(b.Platform.Cal.VcrashInt - 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if b.Done() {
+		t.Fatal("VCCINT crash should drop DONE")
+	}
+}
+
+func TestStreamBRAMWirePath(t *testing.T) {
+	b := testBoard()
+	b.FillAll(0xA5A5)
+	fr, err := b.StreamBRAM(3, b.BeginRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Site != 3 || len(fr.Rows) != bram.Rows {
+		t.Fatalf("frame shape: site=%d rows=%d", fr.Site, len(fr.Rows))
+	}
+	for _, w := range fr.Rows {
+		if w != 0xA5A5 {
+			t.Fatalf("wire corrupted word %#x", w)
+		}
+	}
+	if b.Link.FramesMoved != 1 || b.Link.BytesMoved == 0 {
+		t.Fatal("link accounting missing")
+	}
+}
+
+func TestLinkReliableUnderUndervolting(t *testing.T) {
+	// The paper validates the serial interface is unaffected by VCCBRAM
+	// undervolting: frames must decode cleanly at any level.
+	b := testBoard()
+	b.FillAll(0x0000)
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vcrash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.StreamBRAM(0, b.BeginRun()); err != nil {
+		t.Fatalf("link failed under undervolting: %v", err)
+	}
+}
+
+func TestLogicSelfTest(t *testing.T) {
+	b := testBoard()
+	n, err := b.LogicSelfTestErrors(1)
+	if err != nil || n != 0 {
+		t.Fatalf("errors at nominal = %d, %v", n, err)
+	}
+	if err := b.SetVCCINT(b.Platform.Cal.VminInt - 0.02); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := b.LogicSelfTestErrors(1)
+	if err != nil || mid <= 0 {
+		t.Fatalf("errors below VminInt = %d, %v", mid, err)
+	}
+	if err := b.SetVCCINT(b.Platform.Cal.VcrashInt); err != nil {
+		t.Fatal(err)
+	}
+	deep, err := b.LogicSelfTestErrors(1)
+	if err != nil || deep <= mid {
+		t.Fatalf("errors must grow toward crash: %d -> %d", mid, deep)
+	}
+}
+
+func TestPowerDropsWithVoltage(t *testing.T) {
+	b := testBoard()
+	pNom := b.BRAMPowerW()
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vmin); err != nil {
+		t.Fatal(err)
+	}
+	pMin := b.BRAMPowerW()
+	if pNom/pMin < 10 {
+		t.Fatalf("BRAM power reduction = %.1fx, want >10x", pNom/pMin)
+	}
+	meterNom := b.MeasureTotalPowerW(50)
+	if meterNom <= 0 {
+		t.Fatal("meter reading not positive")
+	}
+}
+
+func TestSetOnBoardTemp(t *testing.T) {
+	b := testBoard()
+	for _, want := range []float64{50, 60, 70, 80} {
+		b.SetOnBoardTemp(want)
+		if got := b.OnBoardTempC(); math.Abs(got-want) > 0.75 {
+			t.Fatalf("on-board temp = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTemperatureReducesObservedFaults(t *testing.T) {
+	b := testBoard()
+	b.FillAll(0xFFFF)
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vcrash); err != nil {
+		t.Fatal(err)
+	}
+	count := func() int {
+		buf := make([]uint16, bram.Rows)
+		run := b.BeginRun()
+		n := 0
+		for site := 0; site < b.Pool.Len(); site++ {
+			if err := b.ReadBRAMInto(buf, site, run); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range buf {
+				if w != 0xFFFF {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	b.SetOnBoardTemp(50)
+	cold := count()
+	b.SetOnBoardTemp(80)
+	hot := count()
+	if cold == 0 {
+		t.Fatal("no faults at 50C")
+	}
+	if hot >= cold {
+		t.Fatalf("ITD violated on board path: cold=%d hot=%d", cold, hot)
+	}
+}
+
+func TestHarshEnvironmentFaultsAboveVmin(t *testing.T) {
+	// Section II-B: "repeating these tests in more noisy and harsh
+	// environments can cause observable faults above observed Vmin".
+	// Cranking the environment-noise scale widens both the per-cell jitter
+	// band and the rail ripple, surfacing faults at the quiet-lab Vmin.
+	b := testBoard()
+	b.FillAll(0xFFFF)
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vmin); err != nil {
+		t.Fatal(err)
+	}
+	count := func() int {
+		buf := make([]uint16, bram.Rows)
+		n := 0
+		for run := 0; run < 10; run++ {
+			r := b.BeginRun()
+			for site := 0; site < b.Pool.Len(); site++ {
+				if err := b.ReadBRAMInto(buf, site, r); err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range buf {
+					if w != 0xFFFF {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	quiet := count()
+	if quiet != 0 {
+		t.Fatalf("quiet lab shows %d faults at Vmin", quiet)
+	}
+	b.SetEnvironmentNoise(60)
+	if harsh := count(); harsh == 0 {
+		t.Fatal("harsh environment produced no faults at Vmin")
+	}
+	// Restore sanity.
+	b.SetEnvironmentNoise(1)
+	if again := count(); again != 0 {
+		t.Fatalf("noise scale did not restore: %d faults", again)
+	}
+}
+
+func TestReaderMatchesBoardRead(t *testing.T) {
+	// Concurrent-reader path must return byte-identical data to the serial
+	// board path under identical conditions.
+	b := testBoard()
+	b.FillAll(0xFFFF)
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vcrash); err != nil {
+		t.Fatal(err)
+	}
+	run := b.BeginRun()
+	r := b.NewReader()
+	a := make([]uint16, bram.Rows)
+	c := make([]uint16, bram.Rows)
+	for site := 0; site < b.Pool.Len(); site += 7 {
+		if err := b.ReadBRAMInto(a, site, run); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ReadInto(c, site, run); err != nil {
+			t.Fatal(err)
+		}
+		for row := range a {
+			if a[row] != c[row] {
+				t.Fatalf("site %d row %d: board %#x reader %#x", site, row, a[row], c[row])
+			}
+		}
+	}
+}
+
+func TestReadBRAMIntoShortBuffer(t *testing.T) {
+	b := testBoard()
+	if err := b.ReadBRAMInto(make([]uint16, 10), 0, 1); err == nil {
+		t.Fatal("short buffer should error")
+	}
+}
+
+func TestFrameCodecDetectsCorruption(t *testing.T) {
+	l := NewLink(0)
+	wire := l.Encode(Frame{Site: 7, Rows: []uint16{1, 2, 3}})
+	if _, err := l.Decode(wire); err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
+	}
+	wire[5] ^= 0x40
+	if _, err := l.Decode(wire); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+	if _, err := l.Decode(wire[:4]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	l := NewLink(921600)
+	sec := l.TransferSeconds(921600)
+	if math.Abs(sec-10) > 1e-9 {
+		t.Fatalf("transfer time = %v, want 10s (10 bits/byte)", sec)
+	}
+}

@@ -1,0 +1,77 @@
+package board
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame is one serial transfer of a full BRAM's contents from the FPGA to
+// the host, as in Fig. 2 ("Read to host one-by-one").
+type Frame struct {
+	Site uint16   // BRAM index
+	Rows []uint16 // 1024 data words
+}
+
+// Link models the UART between the FPGA and the host. The paper verifies the
+// interface is reliable at every VCCBRAM level (it is powered from a
+// separate rail), so transfers never corrupt — but every frame still carries
+// a CRC32 and the host checks it, exactly like the real rig would. The link
+// tracks transferred bytes so experiments can account for readout cost.
+type Link struct {
+	Baud        int   // line rate, e.g. 921600
+	BytesMoved  int64 // cumulative payload+framing bytes
+	FramesMoved int64
+}
+
+// NewLink returns a link at the given baud rate.
+func NewLink(baud int) *Link {
+	if baud <= 0 {
+		baud = 921600
+	}
+	return &Link{Baud: baud}
+}
+
+// Encode serializes a frame to wire format: site, row count, rows
+// little-endian, CRC32 of everything before the checksum.
+func (l *Link) Encode(f Frame) []byte {
+	buf := make([]byte, 0, 4+2*len(f.Rows)+4)
+	buf = binary.LittleEndian.AppendUint16(buf, f.Site)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Rows)))
+	for _, w := range f.Rows {
+		buf = binary.LittleEndian.AppendUint16(buf, w)
+	}
+	crc := crc32.ChecksumIEEE(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	l.BytesMoved += int64(len(buf))
+	l.FramesMoved++
+	return buf
+}
+
+// Decode parses and validates a wire frame.
+func (l *Link) Decode(wire []byte) (Frame, error) {
+	if len(wire) < 8 {
+		return Frame{}, fmt.Errorf("board: short frame (%d bytes)", len(wire))
+	}
+	body, tail := wire[:len(wire)-4], wire[len(wire)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return Frame{}, fmt.Errorf("board: frame CRC mismatch")
+	}
+	site := binary.LittleEndian.Uint16(body[0:2])
+	n := int(binary.LittleEndian.Uint16(body[2:4]))
+	if len(body) != 4+2*n {
+		return Frame{}, fmt.Errorf("board: frame length %d != header count %d", len(body), n)
+	}
+	rows := make([]uint16, n)
+	for i := range rows {
+		rows[i] = binary.LittleEndian.Uint16(body[4+2*i:])
+	}
+	return Frame{Site: site, Rows: rows}, nil
+}
+
+// TransferSeconds returns how long the given byte count takes on the line
+// (10 bits per byte with start/stop framing) — used to report virtual
+// experiment time.
+func (l *Link) TransferSeconds(bytes int64) float64 {
+	return float64(bytes*10) / float64(l.Baud)
+}

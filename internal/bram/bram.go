@@ -1,0 +1,248 @@
+// Package bram models the on-chip Block RAMs of the studied 7-series FPGAs
+// (Section II-A): each basic block is a 1024×16-bit bitcell matrix with two
+// additional parity bits per row (excluded from the paper's experiments, as
+// noted under Table I), individually accessible or cascadable into larger
+// logical memories.
+//
+// Blocks are pure storage. Voltage-dependent read faults are an electrical
+// phenomenon and live in internal/silicon; the chip model (internal/board)
+// combines the two by applying a fault overlay on the read path. That split
+// mirrors the physics: undervolting corrupts reads, not the stored charge,
+// which is why the paper observes stable fault locations and full recovery
+// at nominal voltage.
+package bram
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/silicon"
+)
+
+// Geometry re-exports the block dimensions for convenience.
+const (
+	Rows = silicon.BRAMRows
+	Cols = silicon.BRAMCols
+	Bits = silicon.BRAMBits
+)
+
+// Block is one 16 Kbit BRAM: 1024 rows of 16 data bits (+2 parity bits).
+type Block struct {
+	site   silicon.Site
+	index  int
+	words  []uint16
+	parity []uint8 // 2 parity bits per row, even parity over each byte
+}
+
+// NewBlock allocates a zeroed block at the given floorplan site.
+func NewBlock(index int, site silicon.Site) *Block {
+	return &Block{
+		site:   site,
+		index:  index,
+		words:  make([]uint16, Rows),
+		parity: make([]uint8, Rows),
+	}
+}
+
+// Index returns the block's linear index in its pool.
+func (b *Block) Index() int { return b.index }
+
+// Site returns the block's physical floorplan location.
+func (b *Block) Site() silicon.Site { return b.site }
+
+// Write stores a word (and its parity bits) at the given row.
+func (b *Block) Write(row int, w uint16) {
+	b.words[row] = w
+	b.parity[row] = evenParity(w)
+}
+
+// ReadRaw returns the stored word without any fault overlay (the nominal-
+// voltage read path).
+func (b *Block) ReadRaw(row int) uint16 { return b.words[row] }
+
+// Snapshot copies the whole block's data rows into dst and returns the number
+// of rows copied. It is the bulk path used by full-chip read sweeps.
+func (b *Block) Snapshot(dst []uint16) int { return copy(dst, b.words) }
+
+// ReadParity returns the stored parity bits of a row (bit0: low byte, bit1:
+// high byte).
+func (b *Block) ReadParity(row int) uint8 { return b.parity[row] }
+
+// ParityOK reports whether the stored parity of the row matches its data.
+func (b *Block) ParityOK(row int) bool { return b.parity[row] == evenParity(b.words[row]) }
+
+// Fill writes the same word to every row — the pattern initialization of the
+// characterization flow (Listing 1).
+func (b *Block) Fill(pattern uint16) {
+	p := evenParity(pattern)
+	for r := range b.words {
+		b.words[r] = pattern
+		b.parity[r] = p
+	}
+}
+
+// FillFunc writes pattern(row) to every row; used for random and per-row
+// patterns in the Fig. 4 study.
+func (b *Block) FillFunc(pattern func(row int) uint16) {
+	for r := range b.words {
+		w := pattern(r)
+		b.words[r] = w
+		b.parity[r] = evenParity(w)
+	}
+}
+
+// evenParity returns one even-parity bit per byte of w (the 7-series BRAM
+// carries one parity bit per 8 data bits).
+func evenParity(w uint16) uint8 {
+	lo := uint8(bits.OnesCount8(uint8(w)) & 1)
+	hi := uint8(bits.OnesCount8(uint8(w>>8)) & 1)
+	return lo | hi<<1
+}
+
+// Pool is the full set of BRAMs of one FPGA, indexed both linearly and by
+// physical site.
+type Pool struct {
+	blocks []*Block
+	bySite map[silicon.Site]*Block
+}
+
+// NewPool allocates one block per site, in site order.
+func NewPool(sites []silicon.Site) *Pool {
+	p := &Pool{
+		blocks: make([]*Block, len(sites)),
+		bySite: make(map[silicon.Site]*Block, len(sites)),
+	}
+	for i, s := range sites {
+		b := NewBlock(i, s)
+		p.blocks[i] = b
+		p.bySite[s] = b
+	}
+	return p
+}
+
+// Len returns the number of blocks.
+func (p *Pool) Len() int { return len(p.blocks) }
+
+// Block returns the block with the given linear index.
+func (p *Pool) Block(i int) *Block { return p.blocks[i] }
+
+// At returns the block at a physical site, or nil if the site is empty.
+func (p *Pool) At(s silicon.Site) *Block { return p.bySite[s] }
+
+// FillAll writes the same pattern into every block.
+func (p *Pool) FillAll(pattern uint16) {
+	for _, b := range p.blocks {
+		b.Fill(pattern)
+	}
+}
+
+// TotalBits returns the data capacity of the pool in bits (parity excluded,
+// as in the paper's accounting).
+func (p *Pool) TotalBits() int { return p.Len() * Bits }
+
+// TotalMbits returns the capacity in Mbit (2^20 bits), the unit of the
+// paper's fault rates.
+func (p *Pool) TotalMbits() float64 {
+	return float64(p.TotalBits()) / float64(silicon.BitsPerMbit)
+}
+
+// Cascade is a logical memory built from multiple basic blocks, the way
+// designs combine BRAMs "to build larger memories (with some overheads)"
+// (Section II-A). Word addresses map to (block, row) in block order.
+type Cascade struct {
+	blocks []*Block
+	words  int
+}
+
+// NewCascade builds a logical memory of the given word count over the
+// supplied blocks. It fails if the blocks cannot hold that many words.
+func NewCascade(words int, blocks []*Block) (*Cascade, error) {
+	if words < 0 {
+		return nil, fmt.Errorf("bram: negative size %d", words)
+	}
+	if cap := len(blocks) * Rows; words > cap {
+		return nil, fmt.Errorf("bram: cascade needs %d words but %d blocks hold %d",
+			words, len(blocks), cap)
+	}
+	return &Cascade{blocks: blocks, words: words}, nil
+}
+
+// BlocksFor returns how many basic blocks a memory of the given word count
+// needs.
+func BlocksFor(words int) int { return (words + Rows - 1) / Rows }
+
+// Len returns the logical word count.
+func (c *Cascade) Len() int { return c.words }
+
+// NumBlocks returns the number of underlying blocks.
+func (c *Cascade) NumBlocks() int { return len(c.blocks) }
+
+// Locate translates a word address into its (block, row) location.
+func (c *Cascade) Locate(addr int) (blk *Block, row int, err error) {
+	if addr < 0 || addr >= c.words {
+		return nil, 0, fmt.Errorf("bram: address %d out of range [0,%d)", addr, c.words)
+	}
+	return c.blocks[addr/Rows], addr % Rows, nil
+}
+
+// Write stores a word at a logical address.
+func (c *Cascade) Write(addr int, w uint16) error {
+	blk, row, err := c.Locate(addr)
+	if err != nil {
+		return err
+	}
+	blk.Write(row, w)
+	return nil
+}
+
+// ReadRaw reads a logical address without fault overlay.
+func (c *Cascade) ReadRaw(addr int) (uint16, error) {
+	blk, row, err := c.Locate(addr)
+	if err != nil {
+		return 0, err
+	}
+	return blk.ReadRaw(row), nil
+}
+
+// Blocks returns the underlying blocks (shared slice; do not modify).
+func (c *Cascade) Blocks() []*Block { return c.blocks }
+
+// ApplyFaults corrupts a row's readout according to the active faults of the
+// block's site: "1"→"0" faults clear bits whose stored value is 1, "0"→"1"
+// faults set bits whose stored value is 0. Faults for other rows are ignored.
+func ApplyFaults(stored uint16, row int, faults []silicon.Fault) uint16 {
+	w := stored
+	for _, f := range faults {
+		if int(f.Row) != row {
+			continue
+		}
+		bit := uint16(1) << f.Col
+		if f.Flip01 {
+			w |= bit
+		} else {
+			w &^= bit
+		}
+	}
+	return w
+}
+
+// RowMasks folds a block's active fault list into per-row AND/OR masks so a
+// full-block read touches each faulty row once. Returned maps are keyed by
+// row; rows absent from both maps read back unmodified.
+func RowMasks(faults []silicon.Fault) (and map[int]uint16, or map[int]uint16) {
+	and = make(map[int]uint16)
+	or = make(map[int]uint16)
+	for _, f := range faults {
+		row := int(f.Row)
+		bit := uint16(1) << f.Col
+		if f.Flip01 {
+			or[row] |= bit
+		} else {
+			if _, ok := and[row]; !ok {
+				and[row] = 0xffff
+			}
+			and[row] &^= bit
+		}
+	}
+	return and, or
+}

@@ -1,0 +1,245 @@
+package bram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/silicon"
+)
+
+func TestBlockReadWrite(t *testing.T) {
+	b := NewBlock(0, silicon.Site{X: 3, Y: 7})
+	b.Write(0, 0xBEEF)
+	b.Write(1023, 0x1234)
+	if b.ReadRaw(0) != 0xBEEF || b.ReadRaw(1023) != 0x1234 {
+		t.Fatal("read-back mismatch")
+	}
+	if b.ReadRaw(5) != 0 {
+		t.Fatal("unwritten row not zero")
+	}
+	if b.Site() != (silicon.Site{X: 3, Y: 7}) || b.Index() != 0 {
+		t.Fatal("identity accessors wrong")
+	}
+}
+
+func TestFill(t *testing.T) {
+	b := NewBlock(0, silicon.Site{})
+	b.Fill(0xFFFF)
+	for r := 0; r < Rows; r++ {
+		if b.ReadRaw(r) != 0xFFFF {
+			t.Fatalf("row %d = %#x", r, b.ReadRaw(r))
+		}
+	}
+}
+
+func TestFillFunc(t *testing.T) {
+	b := NewBlock(0, silicon.Site{})
+	b.FillFunc(func(row int) uint16 { return uint16(row) })
+	if b.ReadRaw(0) != 0 || b.ReadRaw(513) != 513 {
+		t.Fatal("FillFunc pattern wrong")
+	}
+}
+
+func TestParity(t *testing.T) {
+	b := NewBlock(0, silicon.Site{})
+	b.Write(4, 0x0101) // one bit per byte -> parity 0b11
+	if b.ReadParity(4) != 0b11 {
+		t.Fatalf("parity = %#b", b.ReadParity(4))
+	}
+	b.Write(5, 0x0300) // two bits in high byte -> parity 0b00
+	if b.ReadParity(5) != 0 {
+		t.Fatalf("parity = %#b", b.ReadParity(5))
+	}
+	if !b.ParityOK(4) || !b.ParityOK(5) {
+		t.Fatal("self-consistent parity reported bad")
+	}
+}
+
+func TestQuickParityMatchesPopcount(t *testing.T) {
+	f := func(w uint16) bool {
+		b := NewBlock(0, silicon.Site{})
+		b.Write(0, w)
+		ones := 0
+		for i := 0; i < 8; i++ {
+			ones += int(w>>i) & 1
+		}
+		lo := uint8(ones & 1)
+		ones = 0
+		for i := 8; i < 16; i++ {
+			ones += int(w>>i) & 1
+		}
+		hi := uint8(ones & 1)
+		return b.ReadParity(0) == lo|hi<<1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPool(t *testing.T) {
+	sites := []silicon.Site{{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 0}}
+	p := NewPool(sites)
+	if p.Len() != 3 {
+		t.Fatalf("pool len = %d", p.Len())
+	}
+	if p.Block(1).Site() != sites[1] {
+		t.Fatal("block site mismatch")
+	}
+	if p.At(silicon.Site{X: 1, Y: 0}).Index() != 2 {
+		t.Fatal("site lookup wrong")
+	}
+	if p.At(silicon.Site{X: 9, Y: 9}) != nil {
+		t.Fatal("missing site should be nil")
+	}
+	p.FillAll(0xAAAA)
+	if p.Block(2).ReadRaw(100) != 0xAAAA {
+		t.Fatal("FillAll missed a block")
+	}
+	if p.TotalBits() != 3*16384 {
+		t.Fatalf("TotalBits = %d", p.TotalBits())
+	}
+	if got := p.TotalMbits(); got != 3.0*16384/1048576 {
+		t.Fatalf("TotalMbits = %v", got)
+	}
+}
+
+func TestBlocksFor(t *testing.T) {
+	cases := []struct{ words, want int }{
+		{0, 0}, {1, 1}, {1024, 1}, {1025, 2}, {1492224, 1458},
+	}
+	for _, c := range cases {
+		if got := BlocksFor(c.words); got != c.want {
+			t.Fatalf("BlocksFor(%d) = %d, want %d", c.words, got, c.want)
+		}
+	}
+}
+
+func TestCascade(t *testing.T) {
+	sites := []silicon.Site{{X: 0, Y: 0}, {X: 0, Y: 1}}
+	p := NewPool(sites)
+	c, err := NewCascade(1500, []*Block{p.Block(0), p.Block(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1500 || c.NumBlocks() != 2 {
+		t.Fatal("cascade shape wrong")
+	}
+	// Address 1024 maps to the second block, row 0.
+	if err := c.Write(1024, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	if p.Block(1).ReadRaw(0) != 0xCAFE {
+		t.Fatal("address mapping wrong")
+	}
+	got, err := c.ReadRaw(1024)
+	if err != nil || got != 0xCAFE {
+		t.Fatalf("cascade read = %#x, %v", got, err)
+	}
+	if _, err := c.ReadRaw(1500); err == nil {
+		t.Fatal("out-of-range read should fail")
+	}
+	if err := c.Write(-1, 0); err == nil {
+		t.Fatal("negative write should fail")
+	}
+}
+
+func TestCascadeCapacity(t *testing.T) {
+	p := NewPool([]silicon.Site{{X: 0, Y: 0}})
+	if _, err := NewCascade(1025, []*Block{p.Block(0)}); err == nil {
+		t.Fatal("oversized cascade should fail")
+	}
+	if _, err := NewCascade(-1, nil); err == nil {
+		t.Fatal("negative cascade should fail")
+	}
+	if _, err := NewCascade(0, nil); err != nil {
+		t.Fatal("empty cascade should be fine")
+	}
+}
+
+func TestApplyFaults(t *testing.T) {
+	faults := []silicon.Fault{
+		{Row: 5, Col: 0, Flip01: false}, // 1->0 on bit 0
+		{Row: 5, Col: 3, Flip01: true},  // 0->1 on bit 3
+		{Row: 6, Col: 1, Flip01: false}, // other row: ignored
+	}
+	// Stored 0b0001: bit0 is 1 (cleared), bit3 is 0 (set).
+	got := ApplyFaults(0b0001, 5, faults)
+	if got != 0b1000 {
+		t.Fatalf("ApplyFaults = %#b, want 0b1000", got)
+	}
+	// Stored 0b1000: bit0 already 0 (1->0 fault invisible), bit3 already 1
+	// (0->1 fault invisible).
+	if got := ApplyFaults(0b1000, 5, faults); got != 0b1000 {
+		t.Fatalf("pattern-dependent masking broken: %#b", got)
+	}
+}
+
+func TestRowMasks(t *testing.T) {
+	faults := []silicon.Fault{
+		{Row: 10, Col: 15, Flip01: false},
+		{Row: 10, Col: 2, Flip01: false},
+		{Row: 11, Col: 7, Flip01: true},
+	}
+	and, or := RowMasks(faults)
+	if len(and) != 1 || len(or) != 1 {
+		t.Fatalf("mask rows: and=%d or=%d", len(and), len(or))
+	}
+	if and[10] != 0xffff&^(1<<15)&^(1<<2) {
+		t.Fatalf("AND mask = %#x", and[10])
+	}
+	if or[11] != 1<<7 {
+		t.Fatalf("OR mask = %#x", or[11])
+	}
+}
+
+func TestQuickMasksEquivalentToApplyFaults(t *testing.T) {
+	// Property: folding faults into masks and applying them must equal the
+	// direct per-fault application for any stored word.
+	f := func(stored uint16, rows []uint8, cols []uint8, flips []bool) bool {
+		n := len(rows)
+		if len(cols) < n {
+			n = len(cols)
+		}
+		if len(flips) < n {
+			n = len(flips)
+		}
+		var faults []silicon.Fault
+		for i := 0; i < n; i++ {
+			faults = append(faults, silicon.Fault{
+				Row:    uint16(rows[i] % 4),
+				Col:    cols[i] % 16,
+				Flip01: flips[i],
+			})
+		}
+		// A cell can appear with both polarities in this generator; dedupe by
+		// (row,col) keeping the first, as the silicon model guarantees.
+		seen := map[[2]int]bool{}
+		uniq := faults[:0]
+		for _, f := range faults {
+			k := [2]int{int(f.Row), int(f.Col)}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			uniq = append(uniq, f)
+		}
+		and, or := RowMasks(uniq)
+		for row := 0; row < 4; row++ {
+			direct := ApplyFaults(stored, row, uniq)
+			masked := stored
+			if m, ok := and[row]; ok {
+				masked &= m
+			}
+			if m, ok := or[row]; ok {
+				masked |= m
+			}
+			if direct != masked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

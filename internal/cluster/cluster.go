@@ -1,0 +1,168 @@
+// Package cluster implements the k-means clustering the paper uses to group
+// BRAMs into low-, mid-, and high-vulnerable classes (Section II-C3, Fig. 5).
+// k-means++ seeding with a deterministic source keeps the classification
+// reproducible — a requirement, since ICBP consumes the class labels.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/prng"
+)
+
+// Result is a completed clustering.
+type Result struct {
+	K         int
+	Centroids []float64 // sorted ascending: index 0 is the "low" class
+	Assign    []int     // cluster index per input value
+	Sizes     []int     // members per cluster
+	Iters     int       // iterations until convergence
+}
+
+// ErrBadInput is returned for empty inputs or non-positive k.
+var ErrBadInput = errors.New("cluster: need at least one value and k >= 1")
+
+// KMeans1D clusters scalar values into k groups. Centroids are returned in
+// ascending order, so for the paper's k=3 use, cluster 0/1/2 are the
+// low/mid/high vulnerability classes. Seeding uses k-means++ driven by the
+// given key, making results deterministic.
+func KMeans1D(values []float64, k int, key string) (Result, error) {
+	n := len(values)
+	if n == 0 || k <= 0 {
+		return Result{}, ErrBadInput
+	}
+	if k > n {
+		k = n
+	}
+	src := prng.NewKeyed("kmeans:" + key)
+	centroids := seedPlusPlus(values, k, src)
+
+	assign := make([]int, n)
+	const maxIters = 200
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		changed := false
+		for i, v := range values {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				d := (v - ctr) * (v - ctr)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] > 0 {
+				centroids[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+	}
+
+	// Sort centroids ascending and remap assignments.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return centroids[order[a]] < centroids[order[b]] })
+	remap := make([]int, k)
+	for newIdx, oldIdx := range order {
+		remap[oldIdx] = newIdx
+	}
+	sorted := make([]float64, k)
+	for newIdx, oldIdx := range order {
+		sorted[newIdx] = centroids[oldIdx]
+	}
+	res := Result{K: k, Centroids: sorted, Assign: make([]int, n), Sizes: make([]int, k), Iters: iters}
+	for i := range assign {
+		res.Assign[i] = remap[assign[i]]
+		res.Sizes[res.Assign[i]]++
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ (D² weighting).
+func seedPlusPlus(values []float64, k int, src *prng.Source) []float64 {
+	centroids := make([]float64, 0, k)
+	centroids = append(centroids, values[src.Intn(len(values))])
+	d2 := make([]float64, len(values))
+	for len(centroids) < k {
+		var total float64
+		for i, v := range values {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := (v - c) * (v - c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, values[src.Intn(len(values))])
+			continue
+		}
+		target := src.Float64() * total
+		acc := 0.0
+		pick := len(values) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, values[pick])
+	}
+	return centroids
+}
+
+// MeanOf returns the mean of the values assigned to cluster c.
+func (r Result) MeanOf(values []float64, c int) float64 {
+	var sum float64
+	n := 0
+	for i, a := range r.Assign {
+		if a == c {
+			sum += values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ShareOf returns the fraction of points assigned to cluster c.
+func (r Result) ShareOf(c int) float64 {
+	if len(r.Assign) == 0 {
+		return 0
+	}
+	return float64(r.Sizes[c]) / float64(len(r.Assign))
+}
+
+// Inertia returns the within-cluster sum of squared distances — the k-means
+// objective, useful for sanity checks and elbow analysis.
+func (r Result) Inertia(values []float64) float64 {
+	var total float64
+	for i, a := range r.Assign {
+		d := values[i] - r.Centroids[a]
+		total += d * d
+	}
+	return total
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThreeObviousGroups(t *testing.T) {
+	values := []float64{
+		0.1, 0.2, 0.15, 0.12, // low
+		5.0, 5.2, 4.9, // mid
+		20.0, 19.5, // high
+	}
+	r, err := KMeans1D(values, 3, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 3 {
+		t.Fatalf("K = %d", r.K)
+	}
+	// Centroids ascending.
+	if !(r.Centroids[0] < r.Centroids[1] && r.Centroids[1] < r.Centroids[2]) {
+		t.Fatalf("centroids not sorted: %v", r.Centroids)
+	}
+	// Group memberships.
+	for i := 0; i < 4; i++ {
+		if r.Assign[i] != 0 {
+			t.Fatalf("low point %d in cluster %d", i, r.Assign[i])
+		}
+	}
+	for i := 4; i < 7; i++ {
+		if r.Assign[i] != 1 {
+			t.Fatalf("mid point %d in cluster %d", i, r.Assign[i])
+		}
+	}
+	for i := 7; i < 9; i++ {
+		if r.Assign[i] != 2 {
+			t.Fatalf("high point %d in cluster %d", i, r.Assign[i])
+		}
+	}
+	if r.Sizes[0] != 4 || r.Sizes[1] != 3 || r.Sizes[2] != 2 {
+		t.Fatalf("sizes = %v", r.Sizes)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = float64(i % 17)
+	}
+	a, _ := KMeans1D(values, 3, "same-key")
+	b, _ := KMeans1D(values, 3, "same-key")
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same key produced different clusterings")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := KMeans1D(nil, 3, "x"); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := KMeans1D([]float64{1}, 0, "x"); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	r, err := KMeans1D([]float64{1, 2}, 5, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 2 {
+		t.Fatalf("K clamped to %d, want 2", r.K)
+	}
+}
+
+func TestAllIdenticalValues(t *testing.T) {
+	r, err := KMeans1D([]float64{3, 3, 3, 3}, 3, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range r.Sizes {
+		total += s
+	}
+	if total != 4 {
+		t.Fatalf("members lost: %v", r.Sizes)
+	}
+	if r.Inertia([]float64{3, 3, 3, 3}) != 0 {
+		t.Fatal("identical values must have zero inertia")
+	}
+}
+
+func TestMeanOfAndShareOf(t *testing.T) {
+	values := []float64{0, 0, 10, 10}
+	r, err := KMeans1D(values, 2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := r.MeanOf(values, 0); m != 0 {
+		t.Fatalf("low mean = %v", m)
+	}
+	if m := r.MeanOf(values, 1); m != 10 {
+		t.Fatalf("high mean = %v", m)
+	}
+	if s := r.ShareOf(0); s != 0.5 {
+		t.Fatalf("low share = %v", s)
+	}
+}
+
+func TestVulnerabilityShapedData(t *testing.T) {
+	// Shape like Fig. 5: most BRAMs near zero, a tail of hot ones. The low
+	// cluster must hold the vast majority.
+	var values []float64
+	for i := 0; i < 885; i++ {
+		values = append(values, float64(i%7)) // 0..6 faults
+	}
+	for i := 0; i < 100; i++ {
+		values = append(values, 40+float64(i%30))
+	}
+	for i := 0; i < 15; i++ {
+		values = append(values, 300+float64(i*10))
+	}
+	r, err := KMeans1D(values, 3, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := r.ShareOf(0); share < 0.80 {
+		t.Fatalf("low-vulnerable share = %v, want most BRAMs", share)
+	}
+	if r.Centroids[2] < 100 {
+		t.Fatalf("high centroid = %v", r.Centroids[2])
+	}
+}
+
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		var values []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				values = append(values, math.Mod(v, 1e6))
+			}
+		}
+		if len(values) == 0 {
+			return true
+		}
+		k := int(kRaw%5) + 1
+		r, err := KMeans1D(values, k, "quick")
+		if err != nil {
+			return false
+		}
+		// Every point assigned to a valid cluster, sizes sum to n, centroids
+		// sorted.
+		total := 0
+		for _, s := range r.Sizes {
+			total += s
+		}
+		if total != len(values) {
+			return false
+		}
+		for _, a := range r.Assign {
+			if a < 0 || a >= r.K {
+				return false
+			}
+		}
+		for i := 1; i < r.K; i++ {
+			if r.Centroids[i] < r.Centroids[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAssignmentIsNearest(t *testing.T) {
+	f := func(raw []float64) bool {
+		var values []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				values = append(values, math.Mod(v, 1000))
+			}
+		}
+		if len(values) < 4 {
+			return true
+		}
+		r, err := KMeans1D(values, 3, "nearest")
+		if err != nil {
+			return false
+		}
+		for i, v := range values {
+			dAssigned := math.Abs(v - r.Centroids[r.Assign[i]])
+			for _, c := range r.Centroids {
+				if math.Abs(v-c) < dAssigned-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestDefaultShapes(t *testing.T) {
+	small := Options{TrainSamples: 50, TestSamples: 20}
+	cases := []struct {
+		ds       *Dataset
+		features int
+		classes  int
+	}{
+		{MNISTLike(small), 784, 10},
+		{ForestLike(small), 54, 7},
+		{ReutersLike(small), 900, 8},
+	}
+	for _, c := range cases {
+		if c.ds.NumFeatures != c.features || c.ds.NumClasses != c.classes {
+			t.Fatalf("%s shape = %d features %d classes", c.ds.Name, c.ds.NumFeatures, c.ds.NumClasses)
+		}
+		if len(c.ds.TrainX) != 50 || len(c.ds.TestX) != 20 {
+			t.Fatalf("%s sample counts wrong", c.ds.Name)
+		}
+		for _, x := range c.ds.TrainX {
+			if len(x) != c.features {
+				t.Fatalf("%s feature vector length %d", c.ds.Name, len(x))
+			}
+		}
+		for _, y := range c.ds.TrainY {
+			if y < 0 || y >= c.classes {
+				t.Fatalf("%s label out of range: %d", c.ds.Name, y)
+			}
+		}
+	}
+}
+
+func TestValuesInRange(t *testing.T) {
+	for _, ds := range []*Dataset{
+		MNISTLike(Options{TrainSamples: 30, TestSamples: 5}),
+		ForestLike(Options{TrainSamples: 30, TestSamples: 5}),
+		ReutersLike(Options{TrainSamples: 30, TestSamples: 5}),
+	} {
+		for _, x := range ds.TrainX {
+			for _, v := range x {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s value out of [0,1]: %v", ds.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := MNISTLike(Options{TrainSamples: 20, TestSamples: 5})
+	b := MNISTLike(Options{TrainSamples: 20, TestSamples: 5})
+	for i := range a.TrainX {
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatal("labels differ across generations")
+		}
+		for f := range a.TrainX[i] {
+			if a.TrainX[i][f] != b.TrainX[i][f] {
+				t.Fatal("features differ across generations")
+			}
+		}
+	}
+}
+
+func TestAllClassesPresent(t *testing.T) {
+	ds := MNISTLike(Options{TrainSamples: 500, TestSamples: 100})
+	seen := make(map[int]bool)
+	for _, y := range ds.TrainY {
+		seen[y] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d classes present", len(seen))
+	}
+}
+
+func TestTrainableToLowError(t *testing.T) {
+	// A small model must learn the scaled-down MNIST-like task to a low
+	// error — this pins the class structure as learnable, the property the
+	// paper's 2.56% baseline depends on.
+	ds := MNISTLike(Options{TrainSamples: 1500, TestSamples: 400, Features: 196, Classes: 10})
+	net, err := nn.New([]int{196, 64, 32, 10}, "ds-train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(ds.TrainX, ds.TrainY, nn.TrainOptions{Epochs: 12, LearnRate: 0.3, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if e := net.Evaluate(ds.TestX, ds.TestY, 8); e > 0.12 {
+		t.Fatalf("test error = %v, want learnable task", e)
+	}
+}
+
+func TestMNISTReducedFeatures(t *testing.T) {
+	ds := MNISTLike(Options{TrainSamples: 10, TestSamples: 2, Features: 196})
+	if ds.NumFeatures != 196 {
+		t.Fatalf("reduced features = %d", ds.NumFeatures)
+	}
+	// Non-square request falls back to 784.
+	ds2 := MNISTLike(Options{TrainSamples: 2, TestSamples: 1, Features: 200})
+	if ds2.NumFeatures != 784 {
+		t.Fatalf("non-square fallback = %d", ds2.NumFeatures)
+	}
+}
+
+func TestSparsityProperties(t *testing.T) {
+	// MNIST-like images keep a meaningful share of zero pixels (dark
+	// background), Forest's one-hot indicators are mostly zero, and
+	// Reuters-like term vectors are sparse by construction.
+	m := MNISTLike(Options{TrainSamples: 100, TestSamples: 10}).Sparsity()
+	f := ForestLike(Options{TrainSamples: 100, TestSamples: 10}).Sparsity()
+	r := ReutersLike(Options{TrainSamples: 100, TestSamples: 10}).Sparsity()
+	if m < 0.15 {
+		t.Fatalf("MNIST input sparsity = %v, want dark background pixels", m)
+	}
+	if f < 0.5 {
+		t.Fatalf("Forest input sparsity = %v, want mostly-zero indicators", f)
+	}
+	if r <= 0.5 {
+		t.Fatalf("Reuters input sparsity = %v, want sparse term vectors", r)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mnist", "forest", "reuters"} {
+		ds, err := ByName(name, Options{TrainSamples: 5, TestSamples: 2})
+		if err != nil || ds == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("imagenet", Options{}); err == nil {
+		t.Fatal("unknown benchmark should fail")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := ForestLike(Options{TrainSamples: 100, TestSamples: 50})
+	s := ds.Subset(10, 5)
+	if len(s.TrainX) != 10 || len(s.TestX) != 5 {
+		t.Fatalf("subset sizes: %d/%d", len(s.TrainX), len(s.TestX))
+	}
+	full := ds.Subset(0, 0)
+	if len(full.TrainX) != 100 {
+		t.Fatal("zero means full")
+	}
+	over := ds.Subset(1000, 1000)
+	if len(over.TrainX) != 100 {
+		t.Fatal("overrequest should clamp")
+	}
+}

@@ -1,0 +1,199 @@
+// Package dvfs implements the baseline the paper positions undervolting
+// against: Dynamic Voltage and Frequency Scaling (Sections I and IV-A2).
+//
+// DVFS lowers frequency together with voltage so the design always runs
+// above its critical operating point — no faults at any voltage, but every
+// run takes longer. Aggressive undervolting keeps the clock at nominal, so
+// performance is untouched and energy savings are larger, at the price of
+// faults below Vmin. This package makes that comparison quantitative:
+//
+//   - an alpha-power-law delay model gives the maximum safe frequency at
+//     each voltage;
+//   - both policies are evaluated for a fixed workload (energy = power ×
+//     time), with the undervolting side annotated with the fault region it
+//     enters.
+//
+// The comparison reproduces the paper's qualitative claim (and the ~70%
+// energy-saving figure its FPGA-DVFS citation [43] reports): DVFS saves
+// substantial energy, undervolting saves more and keeps full throughput.
+package dvfs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/power"
+	"repro/internal/silicon"
+)
+
+// DelayModel is the alpha-power-law gate-delay model: delay ∝ V/(V−Vth)^α.
+// At 28 nm, Vth ≈ 0.35 V and α ≈ 1.3 are conventional values.
+type DelayModel struct {
+	Vth   float64 // threshold voltage in volts
+	Alpha float64 // velocity-saturation exponent
+	Vnom  float64 // voltage at which delay is normalized to 1.0
+}
+
+// DefaultDelayModel returns the 28 nm model used by the comparison.
+func DefaultDelayModel() DelayModel {
+	return DelayModel{Vth: 0.35, Alpha: 1.3, Vnom: 1.0}
+}
+
+// Delay returns the critical-path delay at v, normalized to Delay(Vnom)=1.
+// It returns +Inf at or below threshold.
+func (m DelayModel) Delay(v float64) float64 {
+	if v <= m.Vth {
+		return math.Inf(1)
+	}
+	raw := func(x float64) float64 { return x / math.Pow(x-m.Vth, m.Alpha) }
+	return raw(v) / raw(m.Vnom)
+}
+
+// FMaxScale returns the maximum safe clock at v as a fraction of the nominal
+// clock (the DVFS critical operating point of [42]).
+func (m DelayModel) FMaxScale(v float64) float64 {
+	d := m.Delay(v)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	return 1 / d
+}
+
+// Policy identifies which knob strategy produced an operating point.
+type Policy int
+
+// The two compared strategies.
+const (
+	PolicyDVFS Policy = iota
+	PolicyUndervolt
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyDVFS {
+		return "DVFS"
+	}
+	return "undervolting"
+}
+
+// OperatingPoint is one policy evaluated at one voltage for a fixed
+// workload.
+type OperatingPoint struct {
+	Policy     Policy
+	V          float64
+	FreqScale  float64 // clock as fraction of nominal
+	TimeScale  float64 // execution time as multiple of nominal
+	PowerW     float64 // average power during the run
+	EnergyJ    float64 // normalized: nominal run takes 1 second
+	Region     silicon.Region
+	FaultsFree bool // true when the point operates without observable faults
+}
+
+// EnergySavings returns the energy saving fraction relative to the nominal
+// point of the same component.
+func (p OperatingPoint) EnergySavings(nominal OperatingPoint) float64 {
+	if nominal.EnergyJ == 0 {
+		return 0
+	}
+	return 1 - p.EnergyJ/nominal.EnergyJ
+}
+
+// Comparator evaluates the two policies on one component (typically the
+// BRAM budget of a design) against a platform's fault calibration.
+type Comparator struct {
+	Model      power.Model
+	Delay      DelayModel
+	Cal        silicon.Calibration
+	Comp       power.Component
+	TempC      float64
+	FreqMargin float64 // DVFS guard margin below fmax (e.g. 0.05)
+}
+
+// NewComparator returns a comparator with conventional defaults.
+func NewComparator(comp power.Component, cal silicon.Calibration) *Comparator {
+	return &Comparator{
+		Model:      power.DefaultModel(),
+		Delay:      DefaultDelayModel(),
+		Cal:        cal,
+		Comp:       comp,
+		TempC:      50,
+		FreqMargin: 0.05,
+	}
+}
+
+// Nominal returns the reference operating point (V = Vnom, full clock).
+func (c *Comparator) Nominal() OperatingPoint {
+	p := c.Model.Power(c.Comp, c.Cal.Vnom, c.TempC)
+	return OperatingPoint{
+		Policy: PolicyUndervolt, V: c.Cal.Vnom,
+		FreqScale: 1, TimeScale: 1,
+		PowerW: p, EnergyJ: p,
+		Region: silicon.RegionSafe, FaultsFree: true,
+	}
+}
+
+// dynamicScale returns dynamic power scaled by both voltage and frequency.
+func (c *Comparator) dynamicScale(v, freqScale float64) float64 {
+	r := v / c.Model.Vnom
+	return c.Comp.DynNom * r * r * freqScale
+}
+
+// AtDVFS evaluates the DVFS policy at voltage v: the clock drops to the
+// maximum safe frequency (with margin), execution stretches accordingly, and
+// the design never faults. Below the delay model's floor the point is
+// unusable (zero frequency).
+func (c *Comparator) AtDVFS(v float64) OperatingPoint {
+	f := c.Delay.FMaxScale(v) * (1 - c.FreqMargin)
+	if f <= 0 {
+		return OperatingPoint{Policy: PolicyDVFS, V: v, Region: silicon.RegionCrash}
+	}
+	if f > 1 {
+		f = 1 // never clock above the design's nominal
+	}
+	t := 1 / f
+	p := c.dynamicScale(v, f) + c.Model.Static(c.Comp, v, c.TempC)
+	return OperatingPoint{
+		Policy: PolicyDVFS, V: v,
+		FreqScale: f, TimeScale: t,
+		PowerW: p, EnergyJ: p * t,
+		Region:     silicon.RegionSafe, // DVFS tracks the critical point
+		FaultsFree: true,
+	}
+}
+
+// AtUndervolt evaluates aggressive undervolting at voltage v: the clock
+// stays at nominal, power falls with voltage, and below Vmin the point
+// enters the faulty region (the paper's trade-off).
+func (c *Comparator) AtUndervolt(v float64) OperatingPoint {
+	region := c.Cal.RegionOfBRAM(v)
+	if region == silicon.RegionCrash {
+		return OperatingPoint{Policy: PolicyUndervolt, V: v, Region: region}
+	}
+	p := c.Model.Power(c.Comp, v, c.TempC)
+	return OperatingPoint{
+		Policy: PolicyUndervolt, V: v,
+		FreqScale: 1, TimeScale: 1,
+		PowerW: p, EnergyJ: p,
+		Region:     region,
+		FaultsFree: region == silicon.RegionSafe,
+	}
+}
+
+// Compare evaluates both policies over a downward voltage schedule.
+func (c *Comparator) Compare(voltages []float64) (dvfs, undervolt []OperatingPoint) {
+	for _, v := range voltages {
+		dvfs = append(dvfs, c.AtDVFS(v))
+		undervolt = append(undervolt, c.AtUndervolt(v))
+	}
+	return dvfs, undervolt
+}
+
+// Summary renders the headline numbers of the comparison at one voltage.
+func (c *Comparator) Summary(v float64) string {
+	nom := c.Nominal()
+	d := c.AtDVFS(v)
+	u := c.AtUndervolt(v)
+	return fmt.Sprintf(
+		"at %.2fV: DVFS saves %.0f%% energy at %.2fx speed; undervolting saves %.0f%% at full speed (%s)",
+		v, d.EnergySavings(nom)*100, d.FreqScale, u.EnergySavings(nom)*100, u.Region)
+}

@@ -1,0 +1,108 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, d := range []uint16{0x0000, 0xFFFF, 0xA5A5, 0x0001, 0x8000, 0x1234} {
+		data, r := Decode(Encode(d))
+		if r != OK || data != d {
+			t.Fatalf("clean decode of %#x: got %#x, %v", d, data, r)
+		}
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	// Every possible single-bit flip of every bit position must be corrected.
+	for _, d := range []uint16{0x0000, 0xFFFF, 0xBEEF, 0x5555} {
+		cw := Encode(d)
+		for bit := 0; bit < TotalBits; bit++ {
+			flipped := cw ^ (1 << bit)
+			data, r := Decode(flipped)
+			if r != Corrected {
+				t.Fatalf("data %#x bit %d: result %v, want Corrected", d, bit, r)
+			}
+			if data != d {
+				t.Fatalf("data %#x bit %d: decoded %#x", d, bit, data)
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	d := uint16(0xCAFE)
+	cw := Encode(d)
+	for a := 0; a < TotalBits; a++ {
+		for b := a + 1; b < TotalBits; b += 3 { // sampled pairs
+			flipped := cw ^ (1 << a) ^ (1 << b)
+			_, r := Decode(flipped)
+			if r != Detected {
+				t.Fatalf("double flip (%d,%d) -> %v, want Detected", a, b, r)
+			}
+		}
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Detected.String() != "detected" {
+		t.Fatal("result names wrong")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead() != 0.375 {
+		t.Fatalf("overhead = %v", Overhead())
+	}
+}
+
+func TestScrub(t *testing.T) {
+	words := []uint16{1, 2, 3, 4}
+	cws := make([]Codeword, len(words))
+	for i, w := range words {
+		cws[i] = Encode(w)
+	}
+	cws[1] ^= 1 << 5              // single flip
+	cws[3] ^= (1 << 2) | (1 << 9) // double flip
+	out, st := Scrub(cws)
+	if st.Words != 4 || st.Corrected != 1 || st.Detected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("scrubbed data wrong: %v", out)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(d uint16) bool {
+		got, r := Decode(Encode(d))
+		return r == OK && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSingleFlipAlwaysCorrected(t *testing.T) {
+	f := func(d uint16, bit uint8) bool {
+		b := int(bit) % TotalBits
+		got, r := Decode(Encode(d) ^ (1 << b))
+		return r == Corrected && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodewordDensity(t *testing.T) {
+	// Distinct data words must map to distinct codewords (injective).
+	seen := make(map[Codeword]uint16)
+	for d := 0; d < 1<<16; d += 17 {
+		cw := Encode(uint16(d))
+		if prev, ok := seen[cw]; ok {
+			t.Fatalf("codeword collision: %#x and %#x", prev, d)
+		}
+		seen[cw] = uint16(d)
+	}
+}

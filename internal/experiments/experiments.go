@@ -1,0 +1,208 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a registered, self-contained procedure that
+// drives the simulated rigs through the same methodology the paper used and
+// reports its results as text tables, ASCII figures, and paper-vs-measured
+// comparison rows (recorded in EXPERIMENTS.md).
+//
+// Two scales are supported: the default reduced scale keeps the full suite
+// fast enough for CI, and Config.Full runs paper scale (full BRAM pools, 100
+// runs per level, the 784-1024-512-256-128-10 network).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/board"
+	"repro/internal/characterize"
+	"repro/internal/fvm"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/report"
+)
+
+// boardPowerModel returns the power model the simulated boards share.
+func boardPowerModel() power.Model { return power.DefaultModel() }
+
+// Config scales and targets an experiment run.
+type Config struct {
+	Full         bool // paper scale: full pools, 100 runs, full topology
+	BRAMs        int  // pool-size override for the primary platform (0 = per Full)
+	Runs         int  // read passes per level (0 = per Full)
+	TrainSamples int
+	TestSamples  int
+	Workers      int
+}
+
+// effective returns the concrete knob values for this config.
+func (c Config) effective() Config {
+	out := c
+	if out.Runs == 0 {
+		if out.Full {
+			out.Runs = 100
+		} else {
+			out.Runs = 20
+		}
+	}
+	if out.TrainSamples == 0 {
+		if out.Full {
+			out.TrainSamples = 20000
+		} else {
+			out.TrainSamples = 4000
+		}
+	}
+	if out.TestSamples == 0 {
+		if out.Full {
+			out.TestSamples = 4000
+		} else {
+			out.TestSamples = 600
+		}
+	}
+	return out
+}
+
+// poolFor returns the BRAM count to simulate for a platform under this
+// config.
+func (c Config) poolFor(p platform.Platform) int {
+	if c.Full {
+		return p.NumBRAMs
+	}
+	if c.BRAMs > 0 {
+		return min(c.BRAMs, p.NumBRAMs)
+	}
+	switch p.Name {
+	case "VC707":
+		return 200
+	case "ZC702":
+		return 80
+	default:
+		return 120
+	}
+}
+
+// boardFor assembles a board at the configured scale.
+func (c Config) boardFor(p platform.Platform) *board.Board {
+	return board.New(p.Scaled(c.poolFor(p)))
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID          string
+	Title       string
+	Tables      []*report.Table
+	Figures     []string
+	Comparisons []report.Comparison
+}
+
+// Render writes the full result to w.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "############ %s — %s ############\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, f := range r.Figures {
+		fmt.Fprintln(w, f)
+	}
+	if len(r.Comparisons) > 0 {
+		report.ComparisonTable("paper vs measured", r.Comparisons).Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Experiment is a registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in the paper's presentation order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// orderOf gives the paper's presentation order.
+func orderOf(id string) int {
+	order := []string{
+		"fig1-guardbands", "table1-specs", "fig3-fault-power", "fig4-patterns",
+		"table2-stability", "fig5-clustering", "fig6-fvm", "fig7-die2die",
+		"fig8-temperature", "fig9-precision", "table3-nn-spec",
+		"fig10-power-breakdown", "fig11-nn-error", "fig12-icbp-flow",
+		"fig13-layer-vuln", "fig14-icbp",
+	}
+	for i, x := range order {
+		if x == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// RunAll executes every experiment, rendering into w as results arrive, and
+// returns all results (or the first error). A consolidated paper-vs-measured
+// table across all experiments closes the report.
+func RunAll(cfg Config, w io.Writer) ([]*Result, error) {
+	var out []*Result
+	for _, e := range All() {
+		r, err := e.Run(cfg)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, r)
+		if w != nil {
+			r.Render(w)
+		}
+	}
+	if w != nil {
+		Summary(out).Render(w)
+	}
+	return out, nil
+}
+
+// Summary consolidates every experiment's comparisons into one table.
+func Summary(results []*Result) *report.Table {
+	t := report.NewTable("CONSOLIDATED paper-vs-measured summary",
+		"experiment", "metric", "paper", "measured", "unit", "rel.err", "note")
+	for _, r := range results {
+		for _, c := range r.Comparisons {
+			t.AddRow(r.ID, c.Metric, report.F(c.Paper, 3), report.F(c.Measured, 3),
+				c.Unit, report.Pct(c.RelErr(), 1), c.Note)
+		}
+	}
+	return t
+}
+
+// extractFVM characterizes a board and assembles its Fault Variation Map at
+// the deepest level of the sweep.
+func extractFVM(b *board.Board, runs, workers int) (*fvm.Map, *characterize.Sweep, error) {
+	s, err := characterize.Run(b, characterize.Options{Runs: runs, Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := fvm.New(b.Platform.Name, b.Platform.Serial,
+		b.Platform.Geometry.GridCols, b.Platform.Geometry.GridRows,
+		s.Levels[0].V, s.Final().V, s.OnBoardC,
+		b.Platform.Sites(), s.PerBRAMMedian())
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, s, nil
+}

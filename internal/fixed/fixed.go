@@ -1,0 +1,229 @@
+// Package fixed implements the 16-bit fixed-point data representation the
+// paper's NN accelerator uses for weights (Section III-A, Fig. 9): every word
+// is composed of a sign bit, a per-layer minimum number of integer ("digit")
+// bits, and the remaining bits as fraction.
+//
+// The encoding is sign-magnitude rather than two's complement. The paper
+// describes words as "composed of the sign, digit, and fraction components"
+// and reports that 76.3% of the trained MNIST weight bits are logic "0" —
+// which is what makes the workload inherently tolerant to the dominant
+// "1"→"0" undervolting bit-flips. Sign-magnitude reproduces that mechanism:
+// a small-magnitude weight is mostly 0-bits regardless of sign, whereas in
+// two's complement small negative values would be dense in 1-bits.
+// BenchmarkAblationEncoding in the repository root quantifies the difference.
+package fixed
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// WordBits is the total width of a stored weight word, as in the paper.
+const WordBits = 16
+
+// MagnitudeBits is the width available to digit+fraction (one bit is sign).
+const MagnitudeBits = WordBits - 1
+
+// Word is one 16-bit sign-magnitude fixed-point value as stored in a BRAM.
+// Bit 15 is the sign (1 = negative); bits 14..0 hold the magnitude, whose
+// binary point is defined by a Format.
+type Word uint16
+
+// SignMask selects the sign bit of a Word.
+const SignMask Word = 1 << 15
+
+// Format describes a sign-magnitude fixed-point layout: 1 sign bit,
+// Digit integer bits, Frac fraction bits, with Digit+Frac == 15.
+//
+// Fig. 9 of the paper derives the minimum Digit per NN layer: layers whose
+// weights lie in (-1, 1) need Digit = 0; the last layer needs Digit = 4.
+type Format struct {
+	Digit uint8 // integer bits
+	Frac  uint8 // fraction bits
+}
+
+// NewFormat returns a Format with the given number of integer bits; the
+// remaining magnitude bits become fraction bits. It panics if digit exceeds
+// MagnitudeBits.
+func NewFormat(digit uint8) Format {
+	if int(digit) > MagnitudeBits {
+		panic(fmt.Sprintf("fixed: digit width %d exceeds %d", digit, MagnitudeBits))
+	}
+	return Format{Digit: digit, Frac: uint8(MagnitudeBits) - digit}
+}
+
+// Valid reports whether the format uses exactly the 15 magnitude bits.
+func (f Format) Valid() bool { return int(f.Digit)+int(f.Frac) == MagnitudeBits }
+
+// String renders the format in Q notation, e.g. "s0.15" or "s4.11".
+func (f Format) String() string { return fmt.Sprintf("s%d.%d", f.Digit, f.Frac) }
+
+// Scale returns 2^Frac, the factor between real values and raw magnitudes.
+func (f Format) Scale() float64 { return float64(uint64(1) << f.Frac) }
+
+// Max returns the largest representable value.
+func (f Format) Max() float64 {
+	return float64((uint64(1)<<MagnitudeBits)-1) / f.Scale()
+}
+
+// Min returns the most negative representable value (-Max: sign-magnitude is
+// symmetric).
+func (f Format) Min() float64 { return -f.Max() }
+
+// Resolution returns the value of one least-significant fraction bit.
+func (f Format) Resolution() float64 { return 1 / f.Scale() }
+
+// Quantize encodes x with round-to-nearest and saturation.
+func (f Format) Quantize(x float64) Word {
+	neg := math.Signbit(x)
+	mag := math.Abs(x) * f.Scale()
+	m := uint64(math.Round(mag))
+	if m > (1<<MagnitudeBits)-1 {
+		m = (1 << MagnitudeBits) - 1
+	}
+	w := Word(m)
+	if neg && m != 0 {
+		w |= SignMask
+	}
+	return w
+}
+
+// Value decodes w back to a float64.
+func (f Format) Value(w Word) float64 {
+	mag := float64(w &^ SignMask)
+	v := mag / f.Scale()
+	if w&SignMask != 0 {
+		return -v
+	}
+	return v
+}
+
+// QuantError returns the absolute quantization error |x - Value(Quantize(x))|.
+func (f Format) QuantError(x float64) float64 {
+	return math.Abs(x - f.Value(f.Quantize(x)))
+}
+
+// Representable reports whether x fits in the format without saturating.
+func (f Format) Representable(x float64) bool {
+	return math.Abs(x) <= f.Max()
+}
+
+// OneBits returns the number of logic-"1" bits in the stored word, the
+// quantity the paper's sparsity argument is about (76.3% of MNIST weight bits
+// are "0").
+func (w Word) OneBits() int { return bits.OnesCount16(uint16(w)) }
+
+// FlipBit returns w with bit i (0 = LSB) inverted. It panics if i is out of
+// range. Fault injection uses the AND/OR forms below instead; FlipBit exists
+// for the RTL-style random-flip vulnerability study (Fig. 13).
+func (w Word) FlipBit(i uint) Word {
+	if i >= WordBits {
+		panic(fmt.Sprintf("fixed: bit index %d out of range", i))
+	}
+	return w ^ (1 << i)
+}
+
+// Bit returns bit i of w (0 or 1).
+func (w Word) Bit(i uint) int {
+	if i >= WordBits {
+		panic(fmt.Sprintf("fixed: bit index %d out of range", i))
+	}
+	return int(w>>i) & 1
+}
+
+// MinimalDigitBits returns the smallest number of integer bits that can
+// represent every value in xs without saturation (given 15 magnitude bits in
+// total). This is the per-layer pre-processing analysis behind Fig. 9.
+func MinimalDigitBits(xs []float64) uint8 {
+	var maxAbs float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for d := uint8(0); d <= MagnitudeBits; d++ {
+		if maxAbs <= NewFormat(d).Max() {
+			return d
+		}
+	}
+	return MagnitudeBits
+}
+
+// MinimalFormat returns the per-layer minimum-precision format for xs:
+// minimum digit bits, rest fraction — the paper's "min sign and digit per
+// layer" policy.
+func MinimalFormat(xs []float64) Format {
+	return NewFormat(MinimalDigitBits(xs))
+}
+
+// QuantizeSlice encodes all values of xs in format f.
+func QuantizeSlice(f Format, xs []float64) []Word {
+	ws := make([]Word, len(xs))
+	for i, x := range xs {
+		ws[i] = f.Quantize(x)
+	}
+	return ws
+}
+
+// ValueSlice decodes all words of ws under format f.
+func ValueSlice(f Format, ws []Word) []float64 {
+	xs := make([]float64, len(ws))
+	for i, w := range ws {
+		xs[i] = f.Value(w)
+	}
+	return xs
+}
+
+// OneBitFraction returns the fraction of "1" bits across all words — the
+// sparsity statistic the paper reports (0.237 of bits are "1" for MNIST, i.e.
+// 76.3% are "0").
+func OneBitFraction(ws []Word) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, w := range ws {
+		ones += w.OneBits()
+	}
+	return float64(ones) / float64(len(ws)*WordBits)
+}
+
+// TwosComplement converts a sign-magnitude word to its two's-complement bit
+// pattern at the same binary point. Used only by the encoding ablation.
+func TwosComplement(f Format, w Word) uint16 {
+	v := int32(w &^ SignMask)
+	if w&SignMask != 0 {
+		v = -v
+	}
+	return uint16(v)
+}
+
+// Acc is a widened accumulator for fixed-point dot products. The accelerator
+// multiplies sign-magnitude words into an int64 accumulator scaled by
+// weightFrac+actFrac fraction bits, mirroring a DSP48 MAC cascade.
+type Acc struct {
+	sum int64
+}
+
+// MAC accumulates weight*activation, both given as decoded sign-magnitude
+// words.
+func (a *Acc) MAC(wf Format, w Word, af Format, act Word) {
+	wm := int64(w &^ SignMask)
+	if w&SignMask != 0 {
+		wm = -wm
+	}
+	am := int64(act &^ SignMask)
+	if act&SignMask != 0 {
+		am = -am
+	}
+	a.sum += wm * am
+}
+
+// Value returns the accumulated real value given the two fraction widths.
+func (a *Acc) Value(wf, af Format) float64 {
+	return float64(a.sum) / (wf.Scale() * af.Scale())
+}
+
+// Reset clears the accumulator.
+func (a *Acc) Reset() { a.sum = 0 }

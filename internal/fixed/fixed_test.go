@@ -1,0 +1,288 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFormat(t *testing.T) {
+	f := NewFormat(0)
+	if f.Digit != 0 || f.Frac != 15 || !f.Valid() {
+		t.Fatalf("NewFormat(0) = %+v", f)
+	}
+	f = NewFormat(4)
+	if f.Digit != 4 || f.Frac != 11 || !f.Valid() {
+		t.Fatalf("NewFormat(4) = %+v", f)
+	}
+	if f.String() != "s4.11" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestNewFormatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFormat(16) should panic")
+		}
+	}()
+	NewFormat(16)
+}
+
+func TestRanges(t *testing.T) {
+	q015 := NewFormat(0)
+	if got, want := q015.Max(), float64(32767)/32768; got != want {
+		t.Fatalf("Q0.15 Max = %v, want %v", got, want)
+	}
+	if q015.Min() != -q015.Max() {
+		t.Fatal("sign-magnitude range must be symmetric")
+	}
+	q411 := NewFormat(4)
+	if q411.Max() < 15.99 || q411.Max() >= 16 {
+		t.Fatalf("Q4.11 Max = %v, want just under 16", q411.Max())
+	}
+	if got := q015.Resolution(); got != 1.0/32768 {
+		t.Fatalf("Q0.15 resolution = %v", got)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	f := NewFormat(0)
+	for _, x := range []float64{0, 0.5, -0.5, 0.25, -0.999, 0.99996} {
+		w := f.Quantize(x)
+		got := f.Value(w)
+		if math.Abs(got-x) > f.Resolution()/2+1e-12 {
+			t.Fatalf("round trip %v -> %v (err %v)", x, got, math.Abs(got-x))
+		}
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	f := NewFormat(0)
+	if v := f.Value(f.Quantize(5.0)); v != f.Max() {
+		t.Fatalf("positive saturation = %v, want %v", v, f.Max())
+	}
+	if v := f.Value(f.Quantize(-5.0)); v != f.Min() {
+		t.Fatalf("negative saturation = %v, want %v", v, f.Min())
+	}
+}
+
+func TestQuantizeZeroIsAllZeroBits(t *testing.T) {
+	// In sign-magnitude, both +0.0 and -0.0-ish tiny values must map to the
+	// all-zero word; a negative zero with a sign bit would break the sparsity
+	// accounting.
+	f := NewFormat(0)
+	if w := f.Quantize(0); w != 0 {
+		t.Fatalf("Quantize(0) = %#x", w)
+	}
+	if w := f.Quantize(math.Copysign(0, -1)); w != 0 {
+		t.Fatalf("Quantize(-0) = %#x", w)
+	}
+	if w := f.Quantize(-1e-9); w != 0 {
+		t.Fatalf("Quantize(-eps) = %#x, want 0 (rounds to zero magnitude)", w)
+	}
+}
+
+func TestSignBitSemantics(t *testing.T) {
+	f := NewFormat(0)
+	pos := f.Quantize(0.5)
+	neg := f.Quantize(-0.5)
+	if pos&SignMask != 0 {
+		t.Fatal("positive value has sign bit set")
+	}
+	if neg&SignMask == 0 {
+		t.Fatal("negative value missing sign bit")
+	}
+	if pos&^SignMask != neg&^SignMask {
+		t.Fatal("magnitudes of +x and -x must match in sign-magnitude")
+	}
+	// A 1->0 flip of the sign bit turns -x into +x: magnitude preserved.
+	if got := f.Value(neg &^ SignMask); got != 0.5 {
+		t.Fatalf("sign-bit flip of -0.5 = %v, want 0.5", got)
+	}
+}
+
+func TestSmallMagnitudeSparsity(t *testing.T) {
+	// The design rationale: small negative weights must be sparse in 1-bits
+	// under sign-magnitude, unlike two's complement.
+	f := NewFormat(0)
+	w := f.Quantize(-0.001) // tiny negative
+	if w.OneBits() > 6 {
+		t.Fatalf("sign-magnitude -0.001 has %d one-bits, expected few", w.OneBits())
+	}
+	tc := TwosComplement(f, w)
+	tcOnes := 0
+	for i := 0; i < 16; i++ {
+		tcOnes += int(tc>>i) & 1
+	}
+	if tcOnes <= w.OneBits() {
+		t.Fatalf("two's complement of tiny negative should be denser: sm=%d tc=%d",
+			w.OneBits(), tcOnes)
+	}
+}
+
+func TestBitAccess(t *testing.T) {
+	w := Word(0b1010)
+	if w.Bit(1) != 1 || w.Bit(0) != 0 || w.Bit(3) != 1 {
+		t.Fatal("Bit() wrong")
+	}
+	if w.FlipBit(0) != 0b1011 {
+		t.Fatal("FlipBit wrong")
+	}
+	if w.FlipBit(0).FlipBit(0) != w {
+		t.Fatal("FlipBit not involutive")
+	}
+}
+
+func TestBitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit(16) should panic")
+		}
+	}()
+	Word(0).Bit(16)
+}
+
+func TestMinimalDigitBits(t *testing.T) {
+	// Layers 0-3 of the paper's NN: weights in (-1,1) -> 0 digit bits.
+	if d := MinimalDigitBits([]float64{0.3, -0.8, 0.999}); d != 0 {
+		t.Fatalf("digit bits for (-1,1) = %d, want 0", d)
+	}
+	// Layer 4: |w| up to ~15 -> 4 digit bits.
+	if d := MinimalDigitBits([]float64{12.5, -9.0, 0.1}); d != 4 {
+		t.Fatalf("digit bits for |w|<16 = %d, want 4", d)
+	}
+	if d := MinimalDigitBits([]float64{1.5}); d != 1 {
+		t.Fatalf("digit bits for 1.5 = %d, want 1", d)
+	}
+	if d := MinimalDigitBits(nil); d != 0 {
+		t.Fatalf("digit bits of empty = %d", d)
+	}
+}
+
+func TestMinimalFormatRepresentsAll(t *testing.T) {
+	xs := []float64{-3.7, 2.2, 0.001, -0.9}
+	f := MinimalFormat(xs)
+	for _, x := range xs {
+		if !f.Representable(x) {
+			t.Fatalf("format %v cannot represent %v", f, x)
+		}
+	}
+	// One fewer digit bit must fail for the max element.
+	if f.Digit > 0 {
+		smaller := NewFormat(f.Digit - 1)
+		ok := true
+		for _, x := range xs {
+			if !smaller.Representable(x) {
+				ok = false
+			}
+		}
+		if ok {
+			t.Fatal("MinimalFormat was not minimal")
+		}
+	}
+}
+
+func TestQuantizeValueSlices(t *testing.T) {
+	f := NewFormat(0)
+	xs := []float64{0.1, -0.2, 0.3}
+	ws := QuantizeSlice(f, xs)
+	back := ValueSlice(f, ws)
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > f.Resolution() {
+			t.Fatalf("slice round trip [%d]: %v -> %v", i, xs[i], back[i])
+		}
+	}
+}
+
+func TestOneBitFraction(t *testing.T) {
+	if got := OneBitFraction([]Word{0xFFFF, 0x0000}); got != 0.5 {
+		t.Fatalf("OneBitFraction = %v, want 0.5", got)
+	}
+	if got := OneBitFraction(nil); got != 0 {
+		t.Fatalf("empty OneBitFraction = %v", got)
+	}
+}
+
+func TestAccMAC(t *testing.T) {
+	wf := NewFormat(0)
+	af := NewFormat(0)
+	var a Acc
+	// 0.5 * 0.5 + (-0.25) * 0.5 = 0.125
+	a.MAC(wf, wf.Quantize(0.5), af, af.Quantize(0.5))
+	a.MAC(wf, wf.Quantize(-0.25), af, af.Quantize(0.5))
+	if got := a.Value(wf, af); math.Abs(got-0.125) > 1e-6 {
+		t.Fatalf("MAC value = %v, want 0.125", got)
+	}
+	a.Reset()
+	if a.Value(wf, af) != 0 {
+		t.Fatal("Reset did not clear accumulator")
+	}
+}
+
+func TestAccMatchesFloat(t *testing.T) {
+	wf := NewFormat(0)
+	af := NewFormat(2)
+	ws := []float64{0.5, -0.3, 0.25, 0.9, -0.99}
+	as := []float64{1.5, -2.0, 0.75, 3.1, 0.01}
+	var acc Acc
+	var want float64
+	for i := range ws {
+		qw := wf.Quantize(ws[i])
+		qa := af.Quantize(as[i])
+		acc.MAC(wf, qw, af, qa)
+		want += wf.Value(qw) * af.Value(qa)
+	}
+	if got := acc.Value(wf, af); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fixed MAC %v != float-of-quantized %v", got, want)
+	}
+}
+
+func TestQuickRoundTripWithinResolution(t *testing.T) {
+	f := func(x float64, digit uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		d := digit % 8
+		fm := NewFormat(d)
+		// Clamp into representable range so we test rounding, not saturation.
+		if math.Abs(x) > fm.Max() {
+			x = math.Mod(x, fm.Max())
+		}
+		w := fm.Quantize(x)
+		return math.Abs(fm.Value(w)-x) <= fm.Resolution()/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSaturationNeverExceedsRange(t *testing.T) {
+	f := func(x float64, digit uint8) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		fm := NewFormat(digit % 16)
+		v := fm.Value(fm.Quantize(x))
+		return v >= fm.Min() && v <= fm.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNegationSymmetry(t *testing.T) {
+	// Property: Quantize(-x) has the same magnitude bits as Quantize(x).
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		fm := NewFormat(0)
+		a := fm.Quantize(x)
+		b := fm.Quantize(-x)
+		return a&^SignMask == b&^SignMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

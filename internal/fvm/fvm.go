@@ -1,0 +1,283 @@
+// Package fvm implements the chip-dependent Fault Variation Map of
+// Section II-C3 (Figs. 6 and 7): per-BRAM undervolting fault intensities
+// mapped onto the physical floorplan. The FVM is the artifact ICBP consumes
+// — because fault locations are deterministic and chip-specific, a one-time
+// characterization pass yields a map that placement can steer around.
+//
+// The package covers extraction from per-BRAM fault counts, vulnerability
+// classification (via k-means, as in Fig. 5), floorplan rendering (empty
+// sites render as the paper's "white boxes"), JSON persistence, and
+// die-to-die comparison (Fig. 7).
+package fvm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/silicon"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// Class is a vulnerability class label.
+type Class int
+
+// The three classes of Fig. 5, ordered by vulnerability.
+const (
+	ClassLow Class = iota
+	ClassMid
+	ClassHigh
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassLow:
+		return "low"
+	case ClassMid:
+		return "mid"
+	case ClassHigh:
+		return "high"
+	}
+	return "unknown"
+}
+
+// Map is one chip's Fault Variation Map.
+type Map struct {
+	Platform string         `json:"platform"`
+	Serial   string         `json:"serial"`
+	VFrom    float64        `json:"v_from"` // top of the characterized window (Vmin)
+	VTo      float64        `json:"v_to"`   // bottom of the window (Vcrash)
+	TempC    float64        `json:"temp_c"`
+	GridCols int            `json:"grid_cols"`
+	GridRows int            `json:"grid_rows"`
+	Sites    []silicon.Site `json:"sites"`
+	Counts   []float64      `json:"counts"` // median fault count per site
+}
+
+// New builds a map from aligned sites and per-site fault counts.
+func New(platformName, serial string, gridCols, gridRows int, vFrom, vTo, tempC float64,
+	sites []silicon.Site, counts []float64) (*Map, error) {
+	if len(sites) != len(counts) {
+		return nil, fmt.Errorf("fvm: %d sites but %d counts", len(sites), len(counts))
+	}
+	return &Map{
+		Platform: platformName, Serial: serial,
+		GridCols: gridCols, GridRows: gridRows,
+		VFrom: vFrom, VTo: vTo, TempC: tempC,
+		Sites: sites, Counts: counts,
+	}, nil
+}
+
+// NumSites returns the number of populated BRAM sites.
+func (m *Map) NumSites() int { return len(m.Sites) }
+
+// Rate returns the per-bit fault rate of site i (count / 16 Kbit).
+func (m *Map) Rate(i int) float64 { return m.Counts[i] / silicon.BRAMBits }
+
+// Summary returns descriptive statistics over the per-BRAM fault rates, the
+// numbers the paper quotes for VC707 at Vcrash (max 2.84%, min 0%, average
+// 0.04%).
+func (m *Map) Summary() stats.Summary {
+	rates := make([]float64, len(m.Counts))
+	for i := range m.Counts {
+		rates[i] = m.Rate(i)
+	}
+	return stats.Summarize(rates)
+}
+
+// ZeroShare returns the fraction of BRAMs that never faulted (38.9% on
+// VC707).
+func (m *Map) ZeroShare() float64 {
+	if len(m.Counts) == 0 {
+		return 0
+	}
+	zero := 0
+	for _, c := range m.Counts {
+		if c == 0 {
+			zero++
+		}
+	}
+	return float64(zero) / float64(len(m.Counts))
+}
+
+// Classify clusters the per-BRAM counts into k vulnerability classes
+// (paper: k=3). The returned slice maps site index → Class.
+func (m *Map) Classify(k int) ([]Class, cluster.Result, error) {
+	res, err := cluster.KMeans1D(m.Counts, k, m.Platform+":"+m.Serial)
+	if err != nil {
+		return nil, cluster.Result{}, err
+	}
+	classes := make([]Class, len(m.Counts))
+	for i, a := range res.Assign {
+		c := Class(a)
+		if c > ClassHigh {
+			c = ClassHigh
+		}
+		classes[i] = c
+	}
+	return classes, res, nil
+}
+
+// SitesInClass returns the site list belonging to the given class under a
+// k=3 classification — the "list of low-vulnerable BRAMs" input of the ICBP
+// flow (Fig. 12b).
+func (m *Map) SitesInClass(want Class) ([]silicon.Site, error) {
+	classes, _, err := m.Classify(3)
+	if err != nil {
+		return nil, err
+	}
+	var out []silicon.Site
+	for i, c := range classes {
+		if c == want {
+			out = append(out, m.Sites[i])
+		}
+	}
+	return out, nil
+}
+
+// SafestSites returns up to n sites ordered by ascending fault count (ties
+// broken by site coordinates for determinism) — a finer-grained variant of
+// SitesInClass(ClassLow) used when a placement needs the very best sites.
+func (m *Map) SafestSites(n int) []silicon.Site {
+	idx := make([]int, len(m.Sites))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if m.Counts[ia] != m.Counts[ib] {
+			return m.Counts[ia] < m.Counts[ib]
+		}
+		if m.Sites[ia].X != m.Sites[ib].X {
+			return m.Sites[ia].X < m.Sites[ib].X
+		}
+		return m.Sites[ia].Y < m.Sites[ib].Y
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]silicon.Site, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.Sites[idx[i]]
+	}
+	return out
+}
+
+// grid lays counts onto the floorplan; empty positions are NaN.
+func (m *Map) grid() [][]float64 {
+	g := make([][]float64, m.GridRows)
+	for r := range g {
+		g[r] = make([]float64, m.GridCols)
+		for c := range g[r] {
+			g[r][c] = math.NaN()
+		}
+	}
+	for i, s := range m.Sites {
+		if s.Y >= 0 && s.Y < m.GridRows && s.X >= 0 && s.X < m.GridCols {
+			g[m.GridRows-1-s.Y][s.X] = m.Counts[i]
+		}
+	}
+	return g
+}
+
+// Render draws the FVM as an ASCII heatmap in floorplan orientation; empty
+// sites (the paper's white boxes) render as spaces.
+func (m *Map) Render() string {
+	title := fmt.Sprintf("FVM %s (S/N %s), VCCBRAM %.2fV..%.2fV @ %.0fC",
+		m.Platform, m.Serial, m.VFrom, m.VTo, m.TempC)
+	return textplot.Heatmap(title, m.grid(), ' ')
+}
+
+// RenderClasses draws the k=3 classification: '.' low, 'o' mid, '#' high,
+// space for empty sites.
+func (m *Map) RenderClasses() (string, error) {
+	classes, _, err := m.Classify(3)
+	if err != nil {
+		return "", err
+	}
+	glyph := map[Class]byte{ClassLow: '.', ClassMid: 'o', ClassHigh: '#'}
+	rows := make([][]byte, m.GridRows)
+	for r := range rows {
+		rows[r] = make([]byte, m.GridCols)
+		for c := range rows[r] {
+			rows[r][c] = ' '
+		}
+	}
+	for i, s := range m.Sites {
+		if s.Y >= 0 && s.Y < m.GridRows && s.X >= 0 && s.X < m.GridCols {
+			rows[m.GridRows-1-s.Y][s.X] = glyph[classes[i]]
+		}
+	}
+	out := fmt.Sprintf("FVM classes %s ('.'=low 'o'=mid '#'=high)\n", m.Platform)
+	for _, r := range rows {
+		out += string(r) + "\n"
+	}
+	return out, nil
+}
+
+// Save writes the map as JSON.
+func (m *Map) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Load reads a map saved by Save.
+func Load(r io.Reader) (*Map, error) {
+	var m Map
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	if len(m.Sites) != len(m.Counts) {
+		return nil, fmt.Errorf("fvm: corrupt map: %d sites, %d counts", len(m.Sites), len(m.Counts))
+	}
+	return &m, nil
+}
+
+// DiffStats quantifies how two FVMs disagree — the die-to-die comparison of
+// Fig. 7 (two identical KC705 boards with visibly different maps).
+type DiffStats struct {
+	CommonSites     int
+	Correlation     float64 // Pearson correlation of per-site counts
+	TotalA, TotalB  float64
+	RatioAB         float64 // TotalA / TotalB (the paper's 4.1x)
+	DisagreeExample string  // a site hot on one die and cold on the other
+}
+
+// Diff compares two maps site-by-site (sites are matched by coordinates).
+func Diff(a, b *Map) DiffStats {
+	bBySite := make(map[silicon.Site]float64, len(b.Sites))
+	for i, s := range b.Sites {
+		bBySite[s] = b.Counts[i]
+	}
+	var xs, ys []float64
+	var ds DiffStats
+	bestGap := -1.0
+	for i, s := range a.Sites {
+		cb, ok := bBySite[s]
+		if !ok {
+			continue
+		}
+		ca := a.Counts[i]
+		xs = append(xs, ca)
+		ys = append(ys, cb)
+		ds.CommonSites++
+		ds.TotalA += ca
+		ds.TotalB += cb
+		if gap := math.Abs(ca - cb); gap > bestGap {
+			bestGap = gap
+			ds.DisagreeExample = fmt.Sprintf("BRAM#(%d,%d): %s=%.0f vs %s=%.0f",
+				s.X, s.Y, a.Platform, ca, b.Platform, cb)
+		}
+	}
+	ds.Correlation = stats.Pearson(xs, ys)
+	if ds.TotalB > 0 {
+		ds.RatioAB = ds.TotalA / ds.TotalB
+	}
+	return ds
+}

@@ -1,0 +1,234 @@
+package fvm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/characterize"
+	"repro/internal/platform"
+	"repro/internal/silicon"
+)
+
+// smallMap builds a 4x3 grid with 10 populated sites and a hot corner.
+func smallMap(t *testing.T) *Map {
+	t.Helper()
+	var sites []silicon.Site
+	var counts []float64
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 3; y++ {
+			if x == 3 && y == 2 {
+				continue // empty site (white box)
+			}
+			if x == 3 && y == 1 {
+				continue
+			}
+			sites = append(sites, silicon.Site{X: x, Y: y})
+			switch {
+			case x == 0 && y == 0:
+				counts = append(counts, 450) // hot
+			case x == 1:
+				counts = append(counts, 30)
+			default:
+				counts = append(counts, 0)
+			}
+		}
+	}
+	m, err := New("TEST", "SN-1", 4, 3, 0.61, 0.54, 50, sites, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New("X", "s", 2, 2, 0, 0, 0, []silicon.Site{{X: 0, Y: 0}}, nil); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+}
+
+func TestSummaryAndZeroShare(t *testing.T) {
+	m := smallMap(t)
+	s := m.Summary()
+	if s.Max != 450.0/silicon.BRAMBits {
+		t.Fatalf("max rate = %v", s.Max)
+	}
+	if s.Min != 0 {
+		t.Fatalf("min rate = %v", s.Min)
+	}
+	// 6 of 10 sites are zero.
+	if got := m.ZeroShare(); got != 0.6 {
+		t.Fatalf("zero share = %v", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	m := smallMap(t)
+	classes, res, err := m.Classify(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != m.NumSites() {
+		t.Fatalf("classes = %d", len(classes))
+	}
+	// The 450-count site must be high, zero-count sites low.
+	for i, s := range m.Sites {
+		if s.X == 0 && s.Y == 0 && classes[i] != ClassHigh {
+			t.Fatalf("hot site class = %v", classes[i])
+		}
+		if m.Counts[i] == 0 && classes[i] != ClassLow {
+			t.Fatalf("cold site class = %v", classes[i])
+		}
+	}
+	if res.Sizes[0] < res.Sizes[2] {
+		t.Fatal("low class should dominate")
+	}
+	if ClassLow.String() != "low" || ClassHigh.String() != "high" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestSitesInClass(t *testing.T) {
+	m := smallMap(t)
+	low, err := m.SitesInClass(ClassLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(low) != 6 {
+		t.Fatalf("low sites = %d, want the 6 zero-fault sites", len(low))
+	}
+	high, err := m.SitesInClass(ClassHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high) != 1 || high[0] != (silicon.Site{X: 0, Y: 0}) {
+		t.Fatalf("high sites = %v", high)
+	}
+}
+
+func TestSafestSites(t *testing.T) {
+	m := smallMap(t)
+	best := m.SafestSites(3)
+	if len(best) != 3 {
+		t.Fatalf("safest = %v", best)
+	}
+	for _, s := range best {
+		for i, ms := range m.Sites {
+			if ms == s && m.Counts[i] != 0 {
+				t.Fatalf("safest site %v has %v faults", s, m.Counts[i])
+			}
+		}
+	}
+	// Deterministic ordering.
+	again := m.SafestSites(3)
+	for i := range best {
+		if best[i] != again[i] {
+			t.Fatal("SafestSites not deterministic")
+		}
+	}
+	if got := m.SafestSites(99); len(got) != m.NumSites() {
+		t.Fatalf("overrequest = %d sites", len(got))
+	}
+}
+
+func TestRenderShowsHotAndEmpty(t *testing.T) {
+	m := smallMap(t)
+	out := m.Render()
+	if !strings.Contains(out, "FVM TEST") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Fatalf("hot site not rendered at max ramp:\n%s", out)
+	}
+	// Grid lines: 3 rows of 4 cols; empty sites are spaces inside the grid.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("short render:\n%s", out)
+	}
+}
+
+func TestRenderClasses(t *testing.T) {
+	m := smallMap(t)
+	out, err := m.RenderClasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Fatalf("classes render missing glyphs:\n%s", out)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := smallMap(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Platform != m.Platform || back.NumSites() != m.NumSites() {
+		t.Fatal("round trip lost identity")
+	}
+	for i := range m.Counts {
+		if back.Counts[i] != m.Counts[i] {
+			t.Fatal("round trip lost counts")
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"sites":[{"X":0,"Y":0}],"counts":[]}`)); err == nil {
+		t.Fatal("corrupt map accepted")
+	}
+	if _, err := Load(strings.NewReader(`{{{`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestDiffDieToDie(t *testing.T) {
+	// Build FVMs for the two KC705 samples from real sweeps at reduced scale.
+	sweep := func(p platform.Platform) *Map {
+		b := board.New(p.Scaled(120))
+		s, err := characterize.Run(b, characterize.Options{Runs: 8, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(p.Name, p.Serial, b.Platform.Geometry.GridCols, b.Platform.Geometry.GridRows,
+			s.Levels[0].V, s.Final().V, 50, b.Platform.Sites(), s.PerBRAMMedian())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ma := sweep(platform.KC705A())
+	mb := sweep(platform.KC705B())
+	ds := Diff(ma, mb)
+	if ds.CommonSites == 0 {
+		t.Fatal("no common sites")
+	}
+	// KC705-A carries ~4x the faults of KC705-B.
+	if ds.RatioAB < 2.0 || ds.RatioAB > 9.0 {
+		t.Fatalf("A/B fault ratio = %v, want ~4", ds.RatioAB)
+	}
+	// Maps should be largely uncorrelated (different dies).
+	if ds.Correlation > 0.5 {
+		t.Fatalf("die-to-die correlation = %v, want low", ds.Correlation)
+	}
+	if ds.DisagreeExample == "" {
+		t.Fatal("no disagreement example found")
+	}
+}
+
+func TestDiffSameDiePerfectlyCorrelated(t *testing.T) {
+	m := smallMap(t)
+	ds := Diff(m, m)
+	if ds.Correlation < 0.999 {
+		t.Fatalf("self-diff correlation = %v", ds.Correlation)
+	}
+	if ds.RatioAB != 1 {
+		t.Fatalf("self ratio = %v", ds.RatioAB)
+	}
+}

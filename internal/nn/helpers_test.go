@@ -1,0 +1,6 @@
+package nn
+
+import "repro/internal/prng"
+
+// newTestSource returns a deterministic source for test-local injection.
+func newTestSource() *prng.Source { return prng.NewKeyed("nn-test-source") }

@@ -1,0 +1,553 @@
+// Package nn implements the paper's neural-network workload (Section III,
+// Table III): a fully-connected classifier with logarithmic-sigmoid hidden
+// activations and a softmax output layer, trained offline (the paper uses
+// MATLAB; here a built-in SGD/backprop trainer), then quantized to the
+// 16-bit per-layer minimum-precision fixed-point model of Fig. 9 for
+// deployment on the FPGA accelerator.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/fixed"
+	"repro/internal/prng"
+)
+
+// PaperTopology is the Table III network: 784-1024-512-256-128-10, one input
+// layer, four hidden layers, one output layer; ~1.49 M weights.
+func PaperTopology() []int { return []int{784, 1024, 512, 256, 128, 10} }
+
+// Layer is one fully-connected weight set Layer_j between L_j and L_{j+1}.
+type Layer struct {
+	In, Out int
+	W       []float64 // row-major [Out][In]
+	B       []float64 // [Out]
+}
+
+// At returns W[row][col].
+func (l *Layer) At(row, col int) float64 { return l.W[row*l.In+col] }
+
+// NumWeights returns the weight count excluding biases.
+func (l *Layer) NumWeights() int { return l.In * l.Out }
+
+// NumParams returns weights plus biases.
+func (l *Layer) NumParams() int { return l.NumWeights() + l.Out }
+
+// Network is a fully-connected feed-forward classifier.
+type Network struct {
+	Topology []int
+	Layers   []*Layer
+}
+
+// New builds a network with Xavier-uniform initial weights, deterministic in
+// the seed key.
+func New(topology []int, key string) (*Network, error) {
+	if len(topology) < 2 {
+		return nil, errors.New("nn: topology needs at least input and output layers")
+	}
+	for _, n := range topology {
+		if n <= 0 {
+			return nil, fmt.Errorf("nn: non-positive layer size in %v", topology)
+		}
+	}
+	src := prng.NewKeyed("nn-init:" + key)
+	net := &Network{Topology: append([]int(nil), topology...)}
+	for j := 0; j+1 < len(topology); j++ {
+		in, out := topology[j], topology[j+1]
+		l := &Layer{In: in, Out: out, W: make([]float64, in*out), B: make([]float64, out)}
+		// Xavier-uniform, with the 4x gain appropriate for the logistic
+		// sigmoid (its derivative at 0 is 1/4 of tanh's): without the gain,
+		// gradients vanish through the paper's four hidden layers.
+		bound := 4 * math.Sqrt(6.0/float64(in+out))
+		if j == len(topology)-2 {
+			bound = math.Sqrt(6.0 / float64(in+out)) // softmax output layer
+		}
+		ls := src.DeriveN(uint64(j))
+		for i := range l.W {
+			l.W[i] = (2*ls.Float64() - 1) * bound
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	return net, nil
+}
+
+// NumWeights returns the total weight count (the paper's ~1.5 million for
+// the Table III topology).
+func (n *Network) NumWeights() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.NumWeights()
+	}
+	return total
+}
+
+// NumParams returns weights plus biases.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.NumParams()
+	}
+	return total
+}
+
+// LogSig is the logarithmic sigmoid activation of the paper's hidden layers.
+func LogSig(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward runs inference and returns the softmax output distribution.
+// scratch may be nil; pass a Scratch to avoid allocation in hot loops.
+func (n *Network) Forward(x []float64, s *Scratch) []float64 {
+	if s == nil {
+		s = n.NewScratch()
+	}
+	act := s.acts[0]
+	copy(act, x)
+	for j, l := range n.Layers {
+		next := s.acts[j+1]
+		affine(l, act, next)
+		if j == len(n.Layers)-1 {
+			softmax(next)
+		} else {
+			for i := range next {
+				next[i] = LogSig(next[i])
+			}
+		}
+		act = next
+	}
+	return act
+}
+
+// affine computes next = W*act + B.
+func affine(l *Layer, act, next []float64) {
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, a := range act {
+			sum += row[i] * a
+		}
+		next[o] = sum
+	}
+}
+
+// softmax normalizes in place (numerically stable form).
+func softmax(v []float64) {
+	maxV := v[0]
+	for _, x := range v[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	sum := 0.0
+	for i := range v {
+		v[i] = math.Exp(v[i] - maxV)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Predict returns the argmax class for x.
+func (n *Network) Predict(x []float64, s *Scratch) int {
+	out := n.Forward(x, s)
+	best := 0
+	for i, v := range out {
+		if v > out[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Scratch holds per-goroutine forward/backward buffers.
+type Scratch struct {
+	acts   [][]float64 // activations per level (including input)
+	deltas [][]float64 // error terms per non-input level
+}
+
+// NewScratch allocates buffers matching the network's topology.
+func (n *Network) NewScratch() *Scratch {
+	s := &Scratch{}
+	for _, sz := range n.Topology {
+		s.acts = append(s.acts, make([]float64, sz))
+	}
+	for _, sz := range n.Topology[1:] {
+		s.deltas = append(s.deltas, make([]float64, sz))
+	}
+	return s
+}
+
+// Gradient mirrors the network's parameters for accumulation.
+type Gradient struct {
+	W [][]float64
+	B [][]float64
+	N int // samples accumulated
+}
+
+// NewGradient allocates a zero gradient for the network.
+func (n *Network) NewGradient() *Gradient {
+	g := &Gradient{}
+	for _, l := range n.Layers {
+		g.W = append(g.W, make([]float64, len(l.W)))
+		g.B = append(g.B, make([]float64, len(l.B)))
+	}
+	return g
+}
+
+// Reset zeroes the gradient.
+func (g *Gradient) Reset() {
+	for j := range g.W {
+		clear(g.W[j])
+		clear(g.B[j])
+	}
+	g.N = 0
+}
+
+// Add merges another gradient into g.
+func (g *Gradient) Add(o *Gradient) {
+	for j := range g.W {
+		for i, v := range o.W[j] {
+			g.W[j][i] += v
+		}
+		for i, v := range o.B[j] {
+			g.B[j][i] += v
+		}
+	}
+	g.N += o.N
+}
+
+// backprop accumulates the cross-entropy gradient of one sample into g.
+// Returns the sample's loss.
+func (n *Network) backprop(x []float64, label int, s *Scratch, g *Gradient) float64 {
+	// Forward pass keeping every activation.
+	copy(s.acts[0], x)
+	for j, l := range n.Layers {
+		affine(l, s.acts[j], s.acts[j+1])
+		if j == len(n.Layers)-1 {
+			softmax(s.acts[j+1])
+		} else {
+			a := s.acts[j+1]
+			for i := range a {
+				a[i] = LogSig(a[i])
+			}
+		}
+	}
+	out := s.acts[len(s.acts)-1]
+	loss := -math.Log(math.Max(out[label], 1e-300))
+
+	// Output delta: softmax + cross-entropy gives (p - onehot).
+	last := len(n.Layers) - 1
+	dOut := s.deltas[last]
+	copy(dOut, out)
+	dOut[label] -= 1
+
+	// Hidden deltas: delta_j = (W_{j+1}^T delta_{j+1}) * a_j * (1 - a_j).
+	for j := last - 1; j >= 0; j-- {
+		l := n.Layers[j+1]
+		dNext := s.deltas[j+1]
+		d := s.deltas[j]
+		a := s.acts[j+1]
+		for i := 0; i < l.In; i++ {
+			sum := 0.0
+			for o := 0; o < l.Out; o++ {
+				sum += l.W[o*l.In+i] * dNext[o]
+			}
+			d[i] = sum * a[i] * (1 - a[i])
+		}
+	}
+
+	// Accumulate parameter gradients.
+	for j, l := range n.Layers {
+		d := s.deltas[j]
+		a := s.acts[j]
+		gw := g.W[j]
+		for o := 0; o < l.Out; o++ {
+			do := d[o]
+			if do == 0 {
+				continue
+			}
+			row := gw[o*l.In : (o+1)*l.In]
+			for i, ai := range a {
+				row[i] += do * ai
+			}
+			g.B[j][o] += do
+		}
+	}
+	g.N++
+	return loss
+}
+
+// TrainOptions tunes the SGD trainer.
+type TrainOptions struct {
+	Epochs    int     // default 3
+	BatchSize int     // default 32
+	LearnRate float64 // default 0.5 (logsig nets like large rates)
+	Momentum  float64 // classical momentum; default 0.9 (set negative for none)
+	Workers   int     // default GOMAXPROCS
+	Seed      string  // shuffling key; default "train"
+	Verbose   func(epoch int, loss float64)
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 3
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.LearnRate <= 0 {
+		o.LearnRate = 0.5
+	}
+	if o.Momentum == 0 {
+		o.Momentum = 0.9
+	} else if o.Momentum < 0 {
+		o.Momentum = 0
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == "" {
+		o.Seed = "train"
+	}
+	return o
+}
+
+// Train runs mini-batch SGD over the samples. Gradients within a batch are
+// computed in parallel across workers and merged, so results are
+// deterministic for a fixed options set.
+func (n *Network) Train(xs [][]float64, ys []int, opts TrainOptions) (finalLoss float64, err error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, errors.New("nn: bad training set")
+	}
+	o := opts.withDefaults()
+	src := prng.NewKeyed("nn-shuffle:" + o.Seed)
+
+	type shard struct {
+		grad    *Gradient
+		scratch *Scratch
+		loss    float64
+	}
+	shards := make([]*shard, o.Workers)
+	for i := range shards {
+		shards[i] = &shard{grad: n.NewGradient(), scratch: n.NewScratch()}
+	}
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	velocity := n.NewGradient() // momentum state, reusing the gradient shape
+
+	for epoch := 0; epoch < o.Epochs; epoch++ {
+		src.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		epochLoss := 0.0
+		for start := 0; start < len(order); start += o.BatchSize {
+			end := start + o.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			for _, sh := range shards {
+				sh.grad.Reset()
+				sh.loss = 0
+			}
+			var wg sync.WaitGroup
+			per := (len(batch) + o.Workers - 1) / o.Workers
+			for w := 0; w < o.Workers; w++ {
+				lo := w * per
+				if lo >= len(batch) {
+					break
+				}
+				hi := lo + per
+				if hi > len(batch) {
+					hi = len(batch)
+				}
+				wg.Add(1)
+				go func(sh *shard, idxs []int) {
+					defer wg.Done()
+					for _, i := range idxs {
+						sh.loss += n.backprop(xs[i], ys[i], sh.scratch, sh.grad)
+					}
+				}(shards[w], batch[lo:hi])
+			}
+			wg.Wait()
+			total := shards[0].grad
+			for _, sh := range shards[1:] {
+				if sh.grad.N > 0 {
+					total.Add(sh.grad)
+				}
+				epochLoss += sh.loss
+			}
+			epochLoss += shards[0].loss
+			if total.N == 0 {
+				continue
+			}
+			scale := o.LearnRate / float64(total.N)
+			for j, l := range n.Layers {
+				gw, gb := total.W[j], total.B[j]
+				vw, vb := velocity.W[j], velocity.B[j]
+				for i := range l.W {
+					vw[i] = o.Momentum*vw[i] - scale*gw[i]
+					l.W[i] += vw[i]
+				}
+				for i := range l.B {
+					vb[i] = o.Momentum*vb[i] - scale*gb[i]
+					l.B[i] += vb[i]
+				}
+			}
+		}
+		finalLoss = epochLoss / float64(len(order))
+		if o.Verbose != nil {
+			o.Verbose(epoch, finalLoss)
+		}
+	}
+	return finalLoss, nil
+}
+
+// Evaluate returns the classification error rate (fraction misclassified)
+// over the given set, computed in parallel.
+func (n *Network) Evaluate(xs [][]float64, ys []int, workers int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wrong int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	per := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		if lo >= len(xs) {
+			break
+		}
+		hi := lo + per
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := n.NewScratch()
+			local := int64(0)
+			for i := lo; i < hi; i++ {
+				if n.Predict(xs[i], s) != ys[i] {
+					local++
+				}
+			}
+			mu.Lock()
+			wrong += local
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return float64(wrong) / float64(len(xs))
+}
+
+// Clone deep-copies the network.
+func (n *Network) Clone() *Network {
+	c := &Network{Topology: append([]int(nil), n.Topology...)}
+	for _, l := range n.Layers {
+		c.Layers = append(c.Layers, &Layer{
+			In: l.In, Out: l.Out,
+			W: append([]float64(nil), l.W...),
+			B: append([]float64(nil), l.B...),
+		})
+	}
+	return c
+}
+
+// Quantized is the fixed-point deployment form: per layer, the minimum
+// digit-width format of Fig. 9 and the words (weights then biases) that get
+// written into BRAMs.
+type Quantized struct {
+	Topology []int
+	Formats  []fixed.Format
+	Words    [][]fixed.Word // per layer: In*Out weights, then Out biases
+}
+
+// Quantize converts a trained float network into its 16-bit fixed-point
+// deployment form using the per-layer minimum-precision analysis.
+func Quantize(n *Network) *Quantized {
+	q := &Quantized{Topology: append([]int(nil), n.Topology...)}
+	for _, l := range n.Layers {
+		all := make([]float64, 0, l.NumParams())
+		all = append(all, l.W...)
+		all = append(all, l.B...)
+		f := fixed.MinimalFormat(all)
+		q.Formats = append(q.Formats, f)
+		q.Words = append(q.Words, fixed.QuantizeSlice(f, all))
+	}
+	return q
+}
+
+// LayerWords returns the word count of layer j (weights + biases).
+func (q *Quantized) LayerWords(j int) int { return len(q.Words[j]) }
+
+// TotalWords returns the BRAM words the whole network occupies.
+func (q *Quantized) TotalWords() int {
+	total := 0
+	for _, ws := range q.Words {
+		total += len(ws)
+	}
+	return total
+}
+
+// OneBitFraction returns the share of "1" bits across all stored words — the
+// sparsity statistic behind the paper's inherent fault-tolerance argument
+// (76.3% of MNIST weight bits are "0", i.e. a 0.237 one-bit fraction).
+func (q *Quantized) OneBitFraction() float64 {
+	ones, bits := 0, 0
+	for _, ws := range q.Words {
+		for _, w := range ws {
+			ones += w.OneBits()
+		}
+		bits += len(ws) * fixed.WordBits
+	}
+	if bits == 0 {
+		return 0
+	}
+	return float64(ones) / float64(bits)
+}
+
+// Dequantize reconstructs a float network from (possibly corrupted) words.
+// The words argument defaults to q.Words; pass modified copies to model
+// BRAM read faults.
+func (q *Quantized) Dequantize(words [][]fixed.Word) (*Network, error) {
+	if words == nil {
+		words = q.Words
+	}
+	if len(words) != len(q.Formats) {
+		return nil, fmt.Errorf("nn: %d word layers for %d formats", len(words), len(q.Formats))
+	}
+	net := &Network{Topology: append([]int(nil), q.Topology...)}
+	for j, f := range q.Formats {
+		in, out := q.Topology[j], q.Topology[j+1]
+		want := in*out + out
+		if len(words[j]) != want {
+			return nil, fmt.Errorf("nn: layer %d has %d words, want %d", j, len(words[j]), want)
+		}
+		vals := fixed.ValueSlice(f, words[j])
+		net.Layers = append(net.Layers, &Layer{
+			In: in, Out: out,
+			W: vals[:in*out],
+			B: vals[in*out:],
+		})
+	}
+	return net, nil
+}
+
+// QuantizationError returns the classification-error difference between the
+// quantized and float networks on the given set (positive means the
+// quantized network is worse).
+func QuantizationError(n *Network, xs [][]float64, ys []int, workers int) (float64, error) {
+	q := Quantize(n)
+	qn, err := q.Dequantize(nil)
+	if err != nil {
+		return 0, err
+	}
+	return qn.Evaluate(xs, ys, workers) - n.Evaluate(xs, ys, workers), nil
+}

@@ -1,0 +1,339 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fixed"
+)
+
+// tinyDataset is a fast, separable 3-class task for trainer tests.
+func tinyDataset() (xs [][]float64, ys []int) {
+	ds := dataset.ForestLike(dataset.Options{
+		TrainSamples: 600, TestSamples: 1, Features: 12, Classes: 3,
+	})
+	return ds.TrainX, ds.TrainY
+}
+
+func TestNewTopologyValidation(t *testing.T) {
+	if _, err := New([]int{5}, "x"); err == nil {
+		t.Fatal("single-layer topology should fail")
+	}
+	if _, err := New([]int{5, 0, 3}, "x"); err == nil {
+		t.Fatal("zero-width layer should fail")
+	}
+	n, err := New([]int{4, 8, 3}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 2 {
+		t.Fatalf("layers = %d", len(n.Layers))
+	}
+}
+
+func TestPaperTopologyCounts(t *testing.T) {
+	n, err := New(PaperTopology(), "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III: ~1.5 million weights (exactly 1,492,224).
+	if got := n.NumWeights(); got != 1492224 {
+		t.Fatalf("paper topology weights = %d, want 1492224", got)
+	}
+	if n.NumParams() != 1492224+1024+512+256+128+10 {
+		t.Fatalf("params = %d", n.NumParams())
+	}
+}
+
+func TestForwardIsDistribution(t *testing.T) {
+	n, _ := New([]int{6, 10, 4}, "dist")
+	x := []float64{0.1, 0.9, 0.3, 0, 1, 0.5}
+	out := n.Forward(x, nil)
+	if len(out) != 4 {
+		t.Fatalf("output size = %d", len(out))
+	}
+	sum := 0.0
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Fatalf("softmax out of range: %v", out)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := New([]int{5, 7, 3}, "same")
+	b, _ := New([]int{5, 7, 3}, "same")
+	for j := range a.Layers {
+		for i := range a.Layers[j].W {
+			if a.Layers[j].W[i] != b.Layers[j].W[i] {
+				t.Fatal("same key produced different weights")
+			}
+		}
+	}
+	c, _ := New([]int{5, 7, 3}, "other")
+	if a.Layers[0].W[0] == c.Layers[0].W[0] {
+		t.Fatal("different keys should differ")
+	}
+}
+
+func TestLogSig(t *testing.T) {
+	if LogSig(0) != 0.5 {
+		t.Fatalf("logsig(0) = %v", LogSig(0))
+	}
+	if LogSig(100) < 0.999 || LogSig(-100) > 0.001 {
+		t.Fatal("logsig saturation wrong")
+	}
+}
+
+func TestTrainingLearnsSeparableTask(t *testing.T) {
+	xs, ys := tinyDataset()
+	n, _ := New([]int{12, 16, 8, 3}, "learn")
+	before := n.Evaluate(xs, ys, 4)
+	loss, err := n.Train(xs, ys, TrainOptions{Epochs: 15, BatchSize: 16, LearnRate: 0.8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := n.Evaluate(xs, ys, 4)
+	if after >= before {
+		t.Fatalf("training did not improve: %v -> %v", before, after)
+	}
+	if after > 0.10 {
+		t.Fatalf("train error = %v, want near zero on separable data", after)
+	}
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("final loss = %v", loss)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	xs, ys := tinyDataset()
+	train := func() *Network {
+		n, _ := New([]int{12, 10, 3}, "det")
+		if _, err := n.Train(xs, ys, TrainOptions{Epochs: 3, BatchSize: 8, Workers: 3}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a, b := train(), train()
+	for j := range a.Layers {
+		for i := range a.Layers[j].W {
+			if math.Abs(a.Layers[j].W[i]-b.Layers[j].W[i]) > 1e-12 {
+				t.Fatal("training not deterministic")
+			}
+		}
+	}
+}
+
+func TestTrainBadInputs(t *testing.T) {
+	n, _ := New([]int{3, 2}, "bad")
+	if _, err := n.Train(nil, nil, TrainOptions{}); err == nil {
+		t.Fatal("empty training set should fail")
+	}
+	if _, err := n.Train([][]float64{{1, 2, 3}}, []int{0, 1}, TrainOptions{}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numerical gradient check on a tiny network: backprop must match finite
+	// differences.
+	n, _ := New([]int{3, 4, 2}, "gradcheck")
+	x := []float64{0.2, 0.8, 0.5}
+	label := 1
+	s := n.NewScratch()
+	g := n.NewGradient()
+	n.backprop(x, label, s, g)
+
+	loss := func() float64 {
+		out := n.Forward(x, s)
+		return -math.Log(out[label])
+	}
+	const eps = 1e-6
+	for j, l := range n.Layers {
+		for _, i := range []int{0, 1, len(l.W) - 1} {
+			orig := l.W[i]
+			l.W[i] = orig + eps
+			up := loss()
+			l.W[i] = orig - eps
+			down := loss()
+			l.W[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-g.W[j][i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d weight %d: backprop %v vs numeric %v",
+					j, i, g.W[j][i], numeric)
+			}
+		}
+		orig := l.B[0]
+		l.B[0] = orig + eps
+		up := loss()
+		l.B[0] = orig - eps
+		down := loss()
+		l.B[0] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-g.B[j][0]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("layer %d bias: backprop %v vs numeric %v", j, g.B[j][0], numeric)
+		}
+	}
+}
+
+func TestEvaluateWorkersAgree(t *testing.T) {
+	xs, ys := tinyDataset()
+	n, _ := New([]int{12, 8, 3}, "workers")
+	if e1, e8 := n.Evaluate(xs, ys, 1), n.Evaluate(xs, ys, 8); e1 != e8 {
+		t.Fatalf("worker counts disagree: %v vs %v", e1, e8)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	n, _ := New([]int{4, 5, 2}, "clone")
+	c := n.Clone()
+	c.Layers[0].W[0] += 1
+	if n.Layers[0].W[0] == c.Layers[0].W[0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestQuantizeFormats(t *testing.T) {
+	n, _ := New([]int{4, 5, 2}, "quant")
+	// Force layer 0 weights into (-1,1) and layer 1 to need digit bits.
+	for i := range n.Layers[0].W {
+		n.Layers[0].W[i] = 0.5 * math.Sin(float64(i))
+	}
+	for i := range n.Layers[1].W {
+		n.Layers[1].W[i] = 9.0 * math.Cos(float64(i))
+	}
+	q := Quantize(n)
+	if q.Formats[0].Digit != 0 {
+		t.Fatalf("layer 0 digit bits = %d, want 0", q.Formats[0].Digit)
+	}
+	if q.Formats[1].Digit != 4 {
+		t.Fatalf("layer 1 digit bits = %d, want 4 (|w| up to 9)", q.Formats[1].Digit)
+	}
+	if q.TotalWords() != n.NumParams() {
+		t.Fatalf("total words = %d, want %d", q.TotalWords(), n.NumParams())
+	}
+}
+
+func TestQuantizeDequantizeRoundTrip(t *testing.T) {
+	xs, ys := tinyDataset()
+	n, _ := New([]int{12, 10, 3}, "roundtrip")
+	if _, err := n.Train(xs, ys, TrainOptions{Epochs: 5, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	q := Quantize(n)
+	back, err := q.Dequantize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantization error on weights bounded by each format's resolution.
+	for j, l := range n.Layers {
+		res := q.Formats[j].Resolution()
+		for i := range l.W {
+			if math.Abs(l.W[i]-back.Layers[j].W[i]) > res {
+				t.Fatalf("layer %d weight %d: %v vs %v", j, i, l.W[i], back.Layers[j].W[i])
+			}
+		}
+	}
+	// Accuracy barely moves.
+	diff, err := QuantizationError(n, xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(diff) > 0.02 {
+		t.Fatalf("quantization accuracy shift = %v", diff)
+	}
+}
+
+func TestDequantizeValidation(t *testing.T) {
+	n, _ := New([]int{3, 4, 2}, "val")
+	q := Quantize(n)
+	if _, err := q.Dequantize([][]fixed.Word{{}}); err == nil {
+		t.Fatal("wrong layer count should fail")
+	}
+	bad := cloneWords(q.Words)
+	bad[0] = bad[0][:3]
+	if _, err := q.Dequantize(bad); err == nil {
+		t.Fatal("wrong word count should fail")
+	}
+}
+
+func TestOneBitFractionSmallWeights(t *testing.T) {
+	// Trained nets have mostly small weights -> sparse bits under
+	// sign-magnitude (the paper reports 23.7% ones for MNIST).
+	n, _ := New([]int{50, 30, 5}, "sparsity")
+	for _, l := range n.Layers {
+		for i := range l.W {
+			l.W[i] *= 0.3
+		}
+	}
+	q := Quantize(n)
+	if frac := q.OneBitFraction(); frac > 0.45 {
+		t.Fatalf("one-bit fraction = %v, want sparse", frac)
+	}
+}
+
+func TestLayerVulnerabilityOrdering(t *testing.T) {
+	// Deeper layers should be more vulnerable (less masking), as in Fig. 13.
+	ds := dataset.ForestLike(dataset.Options{
+		TrainSamples: 900, TestSamples: 400, Features: 16, Classes: 4,
+	})
+	n, _ := New([]int{16, 24, 12, 4}, "vuln")
+	if _, err := n.Train(ds.TrainX, ds.TrainY, TrainOptions{Epochs: 12, Workers: 6}); err != nil {
+		t.Fatal(err)
+	}
+	q := Quantize(n)
+	rep, err := LayerVulnerability(q, ds.TestX, ds.TestY, 40, 6, "test", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ErrorRise) != 3 {
+		t.Fatalf("layers = %d", len(rep.ErrorRise))
+	}
+	last := len(rep.ErrorRise) - 1
+	if rep.ErrorRise[last] <= rep.ErrorRise[0] {
+		t.Fatalf("output layer should be more vulnerable: %v", rep.ErrorRise)
+	}
+	if rep.Normalized[last] < 1 {
+		t.Fatalf("normalized vulnerability of last layer = %v", rep.Normalized[last])
+	}
+	if rep.String() == "" {
+		t.Fatal("report string empty")
+	}
+}
+
+func TestLayerVulnerabilityValidation(t *testing.T) {
+	n, _ := New([]int{3, 2}, "v")
+	q := Quantize(n)
+	if _, err := LayerVulnerability(q, nil, nil, 0, 1, "k", 1); err == nil {
+		t.Fatal("zero faults should fail")
+	}
+}
+
+func TestInjectUndervoltingFlips(t *testing.T) {
+	src := newTestSource()
+	ws := make([]fixed.Word, 100)
+	for i := range ws {
+		ws[i] = 0xFFFF
+	}
+	applied := InjectUndervoltingFlips(ws, 50, 1.0, src) // pure 1->0
+	if applied != 50 {
+		t.Fatalf("applied = %d", applied)
+	}
+	ones := 0
+	for _, w := range ws {
+		ones += w.OneBits()
+	}
+	if ones != 100*16-50 {
+		t.Fatalf("ones = %d, want %d", ones, 100*16-50)
+	}
+	// All-zero words cannot take 1->0 flips; must not loop forever.
+	zero := make([]fixed.Word, 4)
+	if n := InjectUndervoltingFlips(zero, 5, 1.0, src); n != 0 {
+		t.Fatalf("applied %d flips to zero words", n)
+	}
+}

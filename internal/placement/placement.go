@@ -1,0 +1,111 @@
+// Package placement builds the BRAM-level floorplanning policies of
+// Section III: the default flow (unconstrained seeded place & route) and the
+// paper's mitigation, Intelligently-Constrained BRAM Placement (ICBP).
+//
+// ICBP (Fig. 12b) adds one step to the standard flow: from the chip's Fault
+// Variation Map it takes the list of low-vulnerable BRAMs, and emits Pblock
+// constraints forcing the logical BRAMs of the most fault-sensitive NN layer
+// (the last layer — smallest and most vulnerable, per Fig. 13) onto those
+// sites. Everything else is left to the standard placer, so the timing-slack
+// overhead is negligible: for the paper's network only two BRAMs are
+// constrained.
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/bram"
+	"repro/internal/fvm"
+	"repro/internal/nn"
+	"repro/internal/xdc"
+)
+
+// LayerGroup names the placement group of NN layer j.
+func LayerGroup(j int) string { return fmt.Sprintf("layer%d", j) }
+
+// CellName names the k-th logical BRAM of NN layer j.
+func CellName(j, k int) string { return fmt.Sprintf("nn/layer%d/w%03d", j, k) }
+
+// BuildDesign creates the accelerator netlist's BRAM usage: one logical cell
+// per basic block each quantized layer needs (weights + biases, 1024 words
+// per block).
+func BuildDesign(name string, q *nn.Quantized) *bitstream.Design {
+	d := bitstream.NewDesign(name)
+	for j := range q.Words {
+		blocks := bram.BlocksFor(q.LayerWords(j))
+		for k := 0; k < blocks; k++ {
+			d.AddCell(CellName(j, k), LayerGroup(j))
+		}
+	}
+	return d
+}
+
+// BlocksPerLayer returns the BRAM count each layer occupies — the sizes bar
+// of Fig. 13.
+func BlocksPerLayer(q *nn.Quantized) []int {
+	out := make([]int, len(q.Words))
+	for j := range q.Words {
+		out[j] = bram.BlocksFor(q.LayerWords(j))
+	}
+	return out
+}
+
+// TotalBlocks returns the design's total BRAM usage.
+func TotalBlocks(q *nn.Quantized) int {
+	total := 0
+	for _, n := range BlocksPerLayer(q) {
+		total += n
+	}
+	return total
+}
+
+// ICBPOptions tunes the constraint generator.
+type ICBPOptions struct {
+	// ProtectLayers lists the layer indices to constrain; nil means "last
+	// layer only", the paper's choice.
+	ProtectLayers []int
+	// SpareFactor is how many low-vulnerable candidate sites to offer per
+	// constrained cell (>=1). More spares give the placer routing freedom.
+	SpareFactor int
+}
+
+// ICBPConstraints emits the Pblock constraint set of the ICBP flow: the
+// protected layers' cells are restricted to the safest sites of the FVM.
+func ICBPConstraints(m *fvm.Map, d *bitstream.Design, q *nn.Quantized, opts ICBPOptions) (*xdc.ConstraintSet, error) {
+	layers := opts.ProtectLayers
+	if layers == nil {
+		layers = []int{len(q.Words) - 1}
+	}
+	spare := opts.SpareFactor
+	if spare < 1 {
+		spare = 4
+	}
+	cs := xdc.NewConstraintSet()
+	nextSafe := 0
+	safe := m.SafestSites(m.NumSites())
+	for _, j := range layers {
+		if j < 0 || j >= len(q.Words) {
+			return nil, fmt.Errorf("placement: layer %d out of range", j)
+		}
+		cells := d.CellsInGroup(LayerGroup(j))
+		if len(cells) == 0 {
+			return nil, fmt.Errorf("placement: no cells in group %q", LayerGroup(j))
+		}
+		want := len(cells) * spare
+		if nextSafe+want > len(safe) {
+			want = len(safe) - nextSafe
+		}
+		if want < len(cells) {
+			return nil, fmt.Errorf("placement: only %d safe sites left for %d cells of layer %d",
+				want, len(cells), j)
+		}
+		name := fmt.Sprintf("icbp_layer%d", j)
+		for _, s := range safe[nextSafe : nextSafe+want] {
+			cs.Resize(name, xdc.Region{X1: s.X, Y1: s.Y, X2: s.X, Y2: s.Y})
+		}
+		cs.AddCells(name, cells...)
+		nextSafe += want
+	}
+	return cs, cs.Validate()
+}

@@ -1,0 +1,148 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/board"
+	"repro/internal/characterize"
+	"repro/internal/fvm"
+	"repro/internal/nn"
+	"repro/internal/platform"
+)
+
+// quantNet builds a small quantized network: 196-64-32-10.
+func quantNet(t *testing.T) *nn.Quantized {
+	t.Helper()
+	net, err := nn.New([]int{196, 64, 32, 10}, "placement-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn.Quantize(net)
+}
+
+// boardFVM characterizes a small board and returns its map.
+func boardFVM(t *testing.T, b *board.Board) *fvm.Map {
+	t.Helper()
+	s, err := characterize.Run(b, characterize.Options{Runs: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fvm.New(b.Platform.Name, b.Platform.Serial,
+		b.Platform.Geometry.GridCols, b.Platform.Geometry.GridRows,
+		s.Levels[0].V, s.Final().V, 50, b.Platform.Sites(), s.PerBRAMMedian())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildDesignShape(t *testing.T) {
+	q := quantNet(t)
+	d := BuildDesign("nn", q)
+	// Layer words: 196*64+64=12608 -> 13 blocks; 64*32+32=2080 -> 3; 330 -> 1.
+	want := []int{13, 3, 1}
+	got := BlocksPerLayer(q)
+	for j, w := range want {
+		if got[j] != w {
+			t.Fatalf("layer %d blocks = %d, want %d", j, got[j], w)
+		}
+		cells := d.CellsInGroup(LayerGroup(j))
+		if len(cells) != w {
+			t.Fatalf("layer %d cells = %d, want %d", j, len(cells), w)
+		}
+	}
+	if TotalBlocks(q) != 17 {
+		t.Fatalf("total blocks = %d", TotalBlocks(q))
+	}
+	if CellName(2, 0) != "nn/layer2/w000" {
+		t.Fatalf("cell name = %q", CellName(2, 0))
+	}
+}
+
+func TestPaperTopologyUses1458Blocks(t *testing.T) {
+	// Table III: the 6-layer network fills 70.8% of VC707's 2060 BRAMs.
+	// Weights alone need 1458 blocks; biases add two more at the layer
+	// granularity used here.
+	net, err := nn.New(nn.PaperTopology(), "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := nn.Quantize(net)
+	total := TotalBlocks(q)
+	if total < 1458 || total > 1462 {
+		t.Fatalf("paper design blocks = %d, want ~1458", total)
+	}
+	util := float64(total) / 2060
+	if util < 0.70 || util > 0.72 {
+		t.Fatalf("utilization = %v, want ~0.708", util)
+	}
+}
+
+func TestICBPConstraintsProtectLastLayer(t *testing.T) {
+	b := board.New(platform.VC707().Scaled(80))
+	m := boardFVM(t, b)
+	q := quantNet(t)
+	d := BuildDesign("nn", q)
+	cs, err := ICBPConstraints(m, d, q, ICBPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the last layer's single cell is constrained.
+	if cs.PblockOf("nn/layer2/w000") == nil {
+		t.Fatal("last layer cell unconstrained")
+	}
+	if cs.PblockOf("nn/layer0/w000") != nil {
+		t.Fatal("outer layer cell should be unconstrained")
+	}
+	// The constraint must be satisfiable by the placer.
+	bs, err := bitstream.Place(d, b.Platform.Sites(), cs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Validate(b.Platform.Sites(), cs); err != nil {
+		t.Fatal(err)
+	}
+	// The chosen site must be one of the safest (zero-fault in the FVM).
+	site, _ := bs.Placement.SiteOf("nn/layer2/w000")
+	for i, s := range m.Sites {
+		if s == site && m.Counts[i] != 0 {
+			t.Fatalf("ICBP placed last layer on a faulty BRAM (%v faults)", m.Counts[i])
+		}
+	}
+	// Renders as real XDC.
+	if !strings.Contains(cs.String(), "icbp_layer2") {
+		t.Fatalf("constraints missing pblock:\n%s", cs.String())
+	}
+}
+
+func TestICBPMultiLayerProtection(t *testing.T) {
+	b := board.New(platform.VC707().Scaled(80))
+	m := boardFVM(t, b)
+	q := quantNet(t)
+	d := BuildDesign("nn", q)
+	cs, err := ICBPConstraints(m, d, q, ICBPOptions{ProtectLayers: []int{1, 2}, SpareFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.PblockOf("nn/layer1/w000") == nil || cs.PblockOf("nn/layer2/w000") == nil {
+		t.Fatal("requested layers unconstrained")
+	}
+}
+
+func TestICBPErrors(t *testing.T) {
+	b := board.New(platform.VC707().Scaled(80))
+	m := boardFVM(t, b)
+	q := quantNet(t)
+	d := BuildDesign("nn", q)
+	if _, err := ICBPConstraints(m, d, q, ICBPOptions{ProtectLayers: []int{9}}); err == nil {
+		t.Fatal("out-of-range layer should fail")
+	}
+	// Protecting a layer larger than the pool must fail.
+	tiny := board.New(platform.VC707().Scaled(8))
+	mTiny := boardFVM(t, tiny)
+	if _, err := ICBPConstraints(mTiny, d, q, ICBPOptions{ProtectLayers: []int{0}}); err == nil {
+		t.Fatal("unsatisfiable protection should fail")
+	}
+}

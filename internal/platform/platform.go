@@ -1,0 +1,303 @@
+// Package platform defines the four FPGA boards the paper studies (Table I):
+// VC707 (Virtex-7, performance-optimized), ZC702 (Zynq-7000,
+// hardware/software), and two identical samples of KC705 (Kintex-7,
+// power-optimized). Each platform bundles its Table I specification, its
+// silicon calibration (DESIGN.md §1 records how every constant traces back
+// to a published number), its floorplan geometry, and its power budget.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/silicon"
+)
+
+// LinkKind describes who drives the serial readout interface (Section II-A:
+// on ZC702 the on-board ARM core controls it; on the other boards the paper's
+// authors built a custom hardware interface).
+type LinkKind int
+
+// The two serial interface implementations.
+const (
+	LinkCustomHW LinkKind = iota
+	LinkARM
+)
+
+// String names the link implementation.
+func (k LinkKind) String() string {
+	if k == LinkARM {
+		return "on-board ARM"
+	}
+	return "custom HW"
+}
+
+// Geometry is the BRAM floorplan: a GridCols×GridRows lattice of candidate
+// sites, of which the first NumBRAMs (column-major) are populated. The
+// remaining sites are the "white boxes" of Fig. 6 — physical locations with
+// no BRAM.
+type Geometry struct {
+	GridCols, GridRows int
+}
+
+// Sites returns the populated site list for n BRAMs, column-major.
+// It panics if the grid cannot hold n sites.
+func (g Geometry) Sites(n int) []silicon.Site {
+	if n > g.GridCols*g.GridRows {
+		panic(fmt.Sprintf("platform: %d BRAMs exceed %dx%d grid",
+			n, g.GridCols, g.GridRows))
+	}
+	sites := make([]silicon.Site, 0, n)
+	for x := 0; x < g.GridCols && len(sites) < n; x++ {
+		for y := 0; y < g.GridRows && len(sites) < n; y++ {
+			sites = append(sites, silicon.Site{X: x, Y: y})
+		}
+	}
+	return sites
+}
+
+// Platform is one of the studied boards.
+type Platform struct {
+	Name       string // board name, e.g. "VC707"
+	Family     string // device family, e.g. "Virtex-7"
+	ChipModel  string // full part number from Table I
+	SpeedGrade string
+	Serial     string // board serial number (Table I)
+	ProcessNm  int    // manufacturing node (28 nm for all)
+	NumBRAMs   int
+	DesignGoal string // vendor optimization target, per the paper's analysis
+	Link       LinkKind
+
+	Cal      silicon.Calibration
+	Geometry Geometry
+
+	// Power budget of the characterization design (BRAM pool + readout
+	// logic), calibrated per DESIGN.md. BRAMPowerNom is the full-pool BRAM
+	// power at nominal voltage; DynFrac its dynamic share.
+	BRAMPowerNom   float64
+	BRAMDynFrac    float64
+	LogicPowerNom  float64 // VCCINT-side readout/interface logic
+	MeterOverheadW float64 // board overhead seen by the external power meter
+	ThetaJA        float64 // °C/W junction rise used for on-board temperature
+	PowerUnit      string  // reporting unit used by the paper's Fig. 3 ("W" or "mW")
+}
+
+// Sites returns the populated BRAM floorplan.
+func (p Platform) Sites() []silicon.Site { return p.Geometry.Sites(p.NumBRAMs) }
+
+// BRAMComponent returns the BRAM power budget scaled to the given fraction
+// of the pool (1.0 = whole pool, as in the characterization design).
+func (p Platform) BRAMComponent(utilization float64) power.Component {
+	return power.Component{
+		Name:    "BRAM",
+		DynNom:  p.BRAMPowerNom * p.BRAMDynFrac * utilization,
+		StatNom: p.BRAMPowerNom * (1 - p.BRAMDynFrac) * utilization,
+		Rail:    "VCCBRAM",
+	}
+}
+
+// LogicComponent returns the VCCINT-side logic budget of the
+// characterization design.
+func (p Platform) LogicComponent() power.Component {
+	return power.Component{
+		Name:    "Logic",
+		DynNom:  p.LogicPowerNom * 0.6,
+		StatNom: p.LogicPowerNom * 0.4,
+		Rail:    "VCCINT",
+	}
+}
+
+// TotalMbits returns the BRAM capacity in Mbit.
+func (p Platform) TotalMbits() float64 {
+	return float64(p.NumBRAMs*silicon.BRAMBits) / float64(silicon.BitsPerMbit)
+}
+
+// VC707 returns the Virtex-7 performance-optimized platform.
+// Fault-rate landmarks (652 faults/Mbit at Vcrash = 0.54 V, Vmin = 0.61 V,
+// 38.9% never-faulting BRAMs, >3× fault reduction from 50→80 °C) are the
+// paper's published VC707 numbers.
+func VC707() Platform {
+	return Platform{
+		Name:       "VC707",
+		Family:     "Virtex-7",
+		ChipModel:  "XC7VX485T-ffg1761-2",
+		SpeedGrade: "-2",
+		Serial:     "1308-6520",
+		ProcessNm:  28,
+		NumBRAMs:   2060,
+		DesignGoal: "performance",
+		Link:       LinkCustomHW,
+		Cal: silicon.Calibration{
+			Family:          "Virtex-7",
+			ReferenceSerial: "1308-6520",
+			Vnom:            1.00,
+			Vmin:            0.61,
+			Vcrash:          0.54,
+			VminInt:         0.66,
+			VcrashInt:       0.59,
+			FaultsPerMbit:   652,
+			ZeroFaultFrac:   0.389,
+			HotspotSigma:    1.5,
+			TempRef:         50,
+			TempCoeff:       2.73e-4,
+			JitterSigma:     5e-5,
+			RippleSigma:     1.2e-4,
+			Flip01Frac:      0.001,
+			DieToDieSigma:   0.6,
+		},
+		Geometry:       Geometry{GridCols: 21, GridRows: 103},
+		BRAMPowerNom:   2.80,
+		BRAMDynFrac:    0.05,
+		LogicPowerNom:  0.60,
+		MeterOverheadW: 1.50,
+		ThetaJA:        1.0,
+		PowerUnit:      "W",
+	}
+}
+
+// ZC702 returns the Zynq-7000 hardware/software platform, whose readout runs
+// on the on-board ARM core. With only 280 BRAMs its pool power is reported
+// in mW (Fig. 3's caption).
+func ZC702() Platform {
+	return Platform{
+		Name:       "ZC702",
+		Family:     "Zynq-7000",
+		ChipModel:  "XC7Z020-CLG484-1",
+		SpeedGrade: "-1",
+		Serial:     "630851561533-44019",
+		ProcessNm:  28,
+		NumBRAMs:   280,
+		DesignGoal: "hardware-software",
+		Link:       LinkARM,
+		Cal: silicon.Calibration{
+			Family:          "Zynq-7000",
+			ReferenceSerial: "630851561533-44019",
+			Vnom:            1.00,
+			Vmin:            0.62,
+			Vcrash:          0.55,
+			VminInt:         0.67,
+			VcrashInt:       0.60,
+			FaultsPerMbit:   153,
+			ZeroFaultFrac:   0.55,
+			HotspotSigma:    1.3,
+			TempRef:         50,
+			TempCoeff:       1.69e-4,
+			JitterSigma:     5e-5,
+			RippleSigma:     1.63e-3,
+			Flip01Frac:      0.001,
+			DieToDieSigma:   0.6,
+		},
+		Geometry:       Geometry{GridCols: 11, GridRows: 28},
+		BRAMPowerNom:   0.380,
+		BRAMDynFrac:    0.05,
+		LogicPowerNom:  0.20,
+		MeterOverheadW: 0.90,
+		ThetaJA:        1.6,
+		PowerUnit:      "mW",
+	}
+}
+
+// KC705A returns the first Kintex-7 power-optimized sample. Its 254
+// faults/Mbit at Vcrash is 4.1× the identical KC705-B board — the paper's
+// die-to-die variation evidence.
+func KC705A() Platform {
+	p := kc705Base()
+	p.Name = "KC705-A"
+	p.Serial = "604018691749-76023"
+	p.Cal.ReferenceSerial = p.Serial
+	p.Cal.Vmin = 0.60
+	p.Cal.Vcrash = 0.53
+	p.Cal.VminInt = 0.65
+	p.Cal.VcrashInt = 0.58
+	p.Cal.FaultsPerMbit = 254
+	p.Cal.ZeroFaultFrac = 0.45
+	p.Cal.TempCoeff = 2.72e-5
+	p.Cal.JitterSigma = 5e-5
+	p.Cal.RippleSigma = 3.47e-4
+	return p
+}
+
+// KC705B returns the second, identical-model Kintex-7 sample.
+func KC705B() Platform {
+	p := kc705Base()
+	p.Name = "KC705-B"
+	p.Serial = "604016111717-65664"
+	p.Cal.ReferenceSerial = p.Serial
+	p.Cal.Vmin = 0.61
+	p.Cal.Vcrash = 0.54
+	p.Cal.VminInt = 0.66
+	p.Cal.VcrashInt = 0.59
+	p.Cal.FaultsPerMbit = 60
+	p.Cal.ZeroFaultFrac = 0.60
+	p.Cal.TempCoeff = 9.1e-5
+	p.Cal.JitterSigma = 5e-5
+	p.Cal.RippleSigma = 5.7e-4
+	return p
+}
+
+func kc705Base() Platform {
+	return Platform{
+		Family:     "Kintex-7",
+		ChipModel:  "XC7K325T-ffg900-2",
+		SpeedGrade: "-2",
+		ProcessNm:  28,
+		NumBRAMs:   890,
+		DesignGoal: "power",
+		Link:       LinkCustomHW,
+		Cal: silicon.Calibration{
+			Family:        "Kintex-7",
+			Vnom:          1.00,
+			HotspotSigma:  1.4,
+			TempRef:       50,
+			Flip01Frac:    0.001,
+			DieToDieSigma: 0.6,
+		},
+		Geometry:       Geometry{GridCols: 11, GridRows: 89},
+		BRAMPowerNom:   0.950,
+		BRAMDynFrac:    0.05,
+		LogicPowerNom:  0.35,
+		MeterOverheadW: 1.10,
+		ThetaJA:        1.2,
+		PowerUnit:      "W",
+	}
+}
+
+// All returns the four studied platforms in the paper's order.
+func All() []Platform {
+	return []Platform{VC707(), ZC702(), KC705A(), KC705B()}
+}
+
+// ByName returns the platform with the given name (case-sensitive), or an
+// error listing the valid names.
+func ByName(name string) (Platform, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("platform: unknown %q (want VC707, ZC702, KC705-A, or KC705-B)", name)
+}
+
+// Scaled returns a copy of p with the BRAM count (and floorplan) reduced to
+// n BRAMs, for fast tests and benchmarks. Fault densities per Mbit are
+// preserved; only the pool shrinks. The scaled platform keeps its serial, so
+// its die is a deterministic function of the original board identity plus
+// the new geometry.
+func (p Platform) Scaled(n int) Platform {
+	if n <= 0 || n >= p.NumBRAMs {
+		return p
+	}
+	q := p
+	q.NumBRAMs = n
+	// Keep the grid aspect: shrink rows first, then columns.
+	rows := p.Geometry.GridRows
+	cols := (n + rows - 1) / rows
+	if cols < 2 {
+		cols = 2
+		rows = (n + 1) / 2
+	}
+	q.Geometry = Geometry{GridCols: cols + 1, GridRows: rows}
+	frac := float64(n) / float64(p.NumBRAMs)
+	q.BRAMPowerNom = p.BRAMPowerNom * frac
+	return q
+}

@@ -1,0 +1,186 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/silicon"
+)
+
+func TestTableISpecs(t *testing.T) {
+	// Pin the Table I values the experiments depend on.
+	cases := []struct {
+		p        Platform
+		family   string
+		chip     string
+		numBRAMs int
+	}{
+		{VC707(), "Virtex-7", "XC7VX485T-ffg1761-2", 2060},
+		{ZC702(), "Zynq-7000", "XC7Z020-CLG484-1", 280},
+		{KC705A(), "Kintex-7", "XC7K325T-ffg900-2", 890},
+		{KC705B(), "Kintex-7", "XC7K325T-ffg900-2", 890},
+	}
+	for _, c := range cases {
+		if c.p.Family != c.family || c.p.ChipModel != c.chip || c.p.NumBRAMs != c.numBRAMs {
+			t.Fatalf("%s spec mismatch: %+v", c.p.Name, c.p)
+		}
+		if c.p.ProcessNm != 28 {
+			t.Fatalf("%s process node = %d", c.p.Name, c.p.ProcessNm)
+		}
+		if c.p.Cal.Vnom != 1.0 {
+			t.Fatalf("%s Vnom = %v", c.p.Name, c.p.Cal.Vnom)
+		}
+	}
+}
+
+func TestGuardbandAverages(t *testing.T) {
+	// The paper: VCCBRAM guardband averages 39%, VCCINT 34%.
+	var gbBRAM, gbInt float64
+	for _, p := range All() {
+		gbBRAM += p.Cal.GuardbandBRAM()
+		gbInt += p.Cal.GuardbandInt()
+	}
+	gbBRAM /= 4
+	gbInt /= 4
+	if math.Abs(gbBRAM-0.39) > 0.005 {
+		t.Fatalf("avg VCCBRAM guardband = %v, want 0.39", gbBRAM)
+	}
+	if math.Abs(gbInt-0.34) > 0.005 {
+		t.Fatalf("avg VCCINT guardband = %v, want 0.34", gbInt)
+	}
+}
+
+func TestFaultRateLandmarks(t *testing.T) {
+	want := map[string]float64{
+		"VC707": 652, "ZC702": 153, "KC705-A": 254, "KC705-B": 60,
+	}
+	for _, p := range All() {
+		if p.Cal.FaultsPerMbit != want[p.Name] {
+			t.Fatalf("%s faults/Mbit = %v, want %v", p.Name, p.Cal.FaultsPerMbit, want[p.Name])
+		}
+	}
+	// KC705-A vs B: the paper's 4.1x die-to-die gap (254/60 = 4.23).
+	ratio := KC705A().Cal.FaultsPerMbit / KC705B().Cal.FaultsPerMbit
+	if ratio < 3.8 || ratio > 4.5 {
+		t.Fatalf("KC705 A/B ratio = %v", ratio)
+	}
+}
+
+func TestSitesGeometry(t *testing.T) {
+	for _, p := range All() {
+		sites := p.Sites()
+		if len(sites) != p.NumBRAMs {
+			t.Fatalf("%s: %d sites for %d BRAMs", p.Name, len(sites), p.NumBRAMs)
+		}
+		// Sites must be unique and inside the grid.
+		seen := map[silicon.Site]bool{}
+		for _, s := range sites {
+			if s.X < 0 || s.X >= p.Geometry.GridCols || s.Y < 0 || s.Y >= p.Geometry.GridRows {
+				t.Fatalf("%s site %+v outside grid", p.Name, s)
+			}
+			if seen[s] {
+				t.Fatalf("%s duplicate site %+v", p.Name, s)
+			}
+			seen[s] = true
+		}
+		// The floorplan must have at least one empty site (Fig. 6 white boxes).
+		if p.Geometry.GridCols*p.Geometry.GridRows <= p.NumBRAMs {
+			t.Fatalf("%s floorplan has no empty sites", p.Name)
+		}
+	}
+}
+
+func TestSitesPanicsWhenOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Geometry{GridCols: 2, GridRows: 2}.Sites(5)
+}
+
+func TestTotalMbits(t *testing.T) {
+	if got := VC707().TotalMbits(); math.Abs(got-32.1875) > 1e-9 {
+		t.Fatalf("VC707 Mbits = %v", got)
+	}
+	if got := ZC702().TotalMbits(); math.Abs(got-4.375) > 1e-9 {
+		t.Fatalf("ZC702 Mbits = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("KC705-B")
+	if err != nil || p.Serial != "604016111717-65664" {
+		t.Fatalf("ByName: %+v, %v", p, err)
+	}
+	if _, err := ByName("VU9P"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+}
+
+func TestDistinctSerialsDistinctDies(t *testing.T) {
+	// KC705-A and KC705-B share a family; their dies must still differ.
+	a, b := KC705A(), KC705B()
+	da := silicon.NewDie(a.Cal, a.Serial, a.Sites()[:50])
+	db := silicon.NewDie(b.Cal, b.Serial, b.Sites()[:50])
+	same := true
+	for s := 0; s < 50 && same; s++ {
+		ca, cb := da.WeakCells(s), db.WeakCells(s)
+		if len(ca) != len(cb) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("KC705-A and KC705-B dies identical")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	p := VC707()
+	full := p.BRAMComponent(1.0)
+	if math.Abs(full.Total()-2.8) > 1e-9 {
+		t.Fatalf("full BRAM budget = %v", full.Total())
+	}
+	nn := p.BRAMComponent(0.708)
+	if nn.Total() >= full.Total() {
+		t.Fatal("scaled budget should shrink")
+	}
+	if full.Rail != "VCCBRAM" || p.LogicComponent().Rail != "VCCINT" {
+		t.Fatal("component rails wrong")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := VC707().Scaled(120)
+	if p.NumBRAMs != 120 {
+		t.Fatalf("scaled BRAMs = %d", p.NumBRAMs)
+	}
+	if len(p.Sites()) != 120 {
+		t.Fatalf("scaled sites = %d", len(p.Sites()))
+	}
+	if p.BRAMPowerNom >= VC707().BRAMPowerNom {
+		t.Fatal("scaled power should shrink")
+	}
+	if p.Cal.FaultsPerMbit != VC707().Cal.FaultsPerMbit {
+		t.Fatal("scaling must preserve fault density")
+	}
+	// No-ops.
+	if got := VC707().Scaled(0); got.NumBRAMs != 2060 {
+		t.Fatal("Scaled(0) should be identity")
+	}
+	if got := VC707().Scaled(99999); got.NumBRAMs != 2060 {
+		t.Fatal("Scaled(large) should be identity")
+	}
+}
+
+func TestLinkKinds(t *testing.T) {
+	if ZC702().Link != LinkARM {
+		t.Fatal("ZC702 readout is ARM-controlled in the paper")
+	}
+	if VC707().Link != LinkCustomHW {
+		t.Fatal("VC707 readout is the custom HW interface")
+	}
+	if LinkARM.String() == LinkCustomHW.String() {
+		t.Fatal("link names must differ")
+	}
+}

@@ -1,0 +1,294 @@
+// Package pmbus emulates the slice of the PMBus power-management protocol the
+// paper's experimental setup depends on (Fig. 2): the host drives the
+// on-board TI UCD9248 voltage controller over PMBus — via the TI USB adapter
+// and its C API — to set VCCBRAM/VCCINT setpoints, read back output voltage,
+// and read the on-board temperature.
+//
+// The package implements the PMBus wire formats faithfully enough that host
+// code goes through real encode/decode round trips:
+//
+//   - LINEAR11: 5-bit two's-complement exponent + 11-bit two's-complement
+//     mantissa, used by READ_TEMPERATURE_2, READ_POUT, and friends.
+//   - LINEAR16 ("ULINEAR16"): 16-bit unsigned mantissa with the exponent
+//     taken from VOUT_MODE, used by VOUT_COMMAND and READ_VOUT.
+//
+// Devices register on a Bus by address; commands are paged (PAGE selects the
+// rail), matching how the UCD9248 exposes its four DC/DC converter pages.
+package pmbus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Command is a PMBus command code.
+type Command uint8
+
+// The subset of standard PMBus command codes used by the rig.
+const (
+	CmdPage             Command = 0x00
+	CmdOperation        Command = 0x01
+	CmdClearFaults      Command = 0x03
+	CmdVoutMode         Command = 0x20
+	CmdVoutCommand      Command = 0x21
+	CmdVoutMarginHigh   Command = 0x25
+	CmdVoutMarginLow    Command = 0x26
+	CmdVoutOVFaultLimit Command = 0x40
+	CmdVoutUVFaultLimit Command = 0x44
+	CmdStatusWord       Command = 0x79
+	CmdReadVout         Command = 0x8B
+	CmdReadIout         Command = 0x8C
+	CmdReadTemperature2 Command = 0x8E
+	CmdReadPout         Command = 0x96
+	CmdMfrSerial        Command = 0x9E
+)
+
+// Status word bits (subset).
+const (
+	StatusVout   = 1 << 15 // an output-voltage fault or warning occurred
+	StatusOff    = 1 << 6  // unit is not providing power
+	StatusVoutUV = 1 << 4  // undervoltage fault (manufacturer-specific bit here)
+)
+
+// Errors returned by bus and codec operations.
+var (
+	ErrNoDevice       = errors.New("pmbus: no device at address")
+	ErrBadPage        = errors.New("pmbus: page out of range")
+	ErrUnsupportedCmd = errors.New("pmbus: unsupported command")
+	ErrRange          = errors.New("pmbus: value out of encodable range")
+)
+
+// EncodeLinear11 encodes v into the LINEAR11 format, choosing the largest
+// precision exponent that fits the mantissa in 11 signed bits. Exponents
+// range -16..15, mantissas -1024..1023.
+func EncodeLinear11(v float64) (uint16, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, ErrRange
+	}
+	for exp := -16; exp <= 15; exp++ {
+		m := v / math.Pow(2, float64(exp))
+		mr := math.Round(m)
+		if mr >= -1024 && mr <= 1023 {
+			// Prefer the smallest exponent (highest precision) that fits.
+			mi := int16(mr)
+			return uint16(exp&0x1f)<<11 | uint16(mi)&0x07ff, nil
+		}
+	}
+	return 0, ErrRange
+}
+
+// DecodeLinear11 decodes a LINEAR11 word.
+func DecodeLinear11(raw uint16) float64 {
+	exp := int8(raw>>11) & 0x1f
+	if exp > 15 { // sign-extend 5-bit exponent
+		exp -= 32
+	}
+	man := int16(raw & 0x07ff)
+	if man > 1023 { // sign-extend 11-bit mantissa
+		man -= 2048
+	}
+	return float64(man) * math.Pow(2, float64(exp))
+}
+
+// VoutMode describes the fixed exponent used by LINEAR16 VOUT encodings.
+// The UCD9248 family uses two's-complement exponents around -12, giving a
+// VOUT resolution of 1/4096 V ≈ 0.24 mV — finer than the 10 mV steps the
+// paper's sweep uses.
+type VoutMode struct {
+	Exponent int8 // typically -12
+}
+
+// Encode encodes volts into LINEAR16 under this VOUT_MODE.
+func (m VoutMode) Encode(volts float64) (uint16, error) {
+	if math.IsNaN(volts) || volts < 0 {
+		return 0, ErrRange
+	}
+	raw := math.Round(volts * math.Pow(2, -float64(m.Exponent)))
+	if raw > math.MaxUint16 {
+		return 0, ErrRange
+	}
+	return uint16(raw), nil
+}
+
+// Decode decodes a LINEAR16 word under this VOUT_MODE.
+func (m VoutMode) Decode(raw uint16) float64 {
+	return float64(raw) * math.Pow(2, float64(m.Exponent))
+}
+
+// Byte returns the VOUT_MODE register encoding (linear mode, 5-bit exponent).
+func (m VoutMode) Byte() uint8 { return uint8(m.Exponent) & 0x1f }
+
+// VoutModeFromByte parses a VOUT_MODE register value in linear mode.
+func VoutModeFromByte(b uint8) VoutMode {
+	exp := int8(b & 0x1f)
+	if exp > 15 {
+		exp -= 32
+	}
+	return VoutMode{Exponent: exp}
+}
+
+// Device is a PMBus slave. Write sends a command with data; Read sends a
+// command and returns response data. Both take the currently selected page.
+type Device interface {
+	// Pages returns how many pages (rails) the device exposes.
+	Pages() int
+	// Write handles a paged write command.
+	Write(page int, cmd Command, data []byte) error
+	// Read handles a paged read command.
+	Read(page int, cmd Command) ([]byte, error)
+}
+
+// Bus is a PMBus segment with addressed devices and per-address page state
+// (the PAGE register lives in the device, but tracking it here keeps device
+// implementations simple).
+type Bus struct {
+	devices map[uint8]Device
+	pages   map[uint8]int
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{devices: make(map[uint8]Device), pages: make(map[uint8]int)}
+}
+
+// Attach registers a device at the given 7-bit address, replacing any
+// previous occupant.
+func (b *Bus) Attach(addr uint8, d Device) { b.devices[addr] = d }
+
+// Write issues a write transaction.
+func (b *Bus) Write(addr uint8, cmd Command, data []byte) error {
+	d, ok := b.devices[addr]
+	if !ok {
+		return fmt.Errorf("%w %#02x", ErrNoDevice, addr)
+	}
+	if cmd == CmdPage {
+		if len(data) != 1 {
+			return fmt.Errorf("pmbus: PAGE write needs 1 byte, got %d", len(data))
+		}
+		p := int(data[0])
+		if p < 0 || p >= d.Pages() {
+			return fmt.Errorf("%w: %d (device has %d)", ErrBadPage, p, d.Pages())
+		}
+		b.pages[addr] = p
+		return nil
+	}
+	return d.Write(b.pages[addr], cmd, data)
+}
+
+// Read issues a read transaction.
+func (b *Bus) Read(addr uint8, cmd Command) ([]byte, error) {
+	d, ok := b.devices[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w %#02x", ErrNoDevice, addr)
+	}
+	if cmd == CmdPage {
+		return []byte{byte(b.pages[addr])}, nil
+	}
+	return d.Read(b.pages[addr], cmd)
+}
+
+// Controller is the host-side convenience wrapper: the role the TI "Fusion
+// Digital Power" C API plays in the paper's setup. It speaks typed values and
+// handles page selection and wire encoding.
+type Controller struct {
+	bus  *Bus
+	addr uint8
+}
+
+// NewController returns a controller for the device at addr on bus.
+func NewController(bus *Bus, addr uint8) *Controller {
+	return &Controller{bus: bus, addr: addr}
+}
+
+func (c *Controller) setPage(page int) error {
+	return c.bus.Write(c.addr, CmdPage, []byte{byte(page)})
+}
+
+func (c *Controller) voutMode(page int) (VoutMode, error) {
+	if err := c.setPage(page); err != nil {
+		return VoutMode{}, err
+	}
+	raw, err := c.bus.Read(c.addr, CmdVoutMode)
+	if err != nil {
+		return VoutMode{}, err
+	}
+	if len(raw) != 1 {
+		return VoutMode{}, fmt.Errorf("pmbus: VOUT_MODE returned %d bytes", len(raw))
+	}
+	return VoutModeFromByte(raw[0]), nil
+}
+
+// SetVout programs the output voltage of a page in volts.
+func (c *Controller) SetVout(page int, volts float64) error {
+	mode, err := c.voutMode(page)
+	if err != nil {
+		return err
+	}
+	raw, err := mode.Encode(volts)
+	if err != nil {
+		return err
+	}
+	return c.bus.Write(c.addr, CmdVoutCommand, []byte{byte(raw), byte(raw >> 8)})
+}
+
+// ReadVout reads back the measured output voltage of a page in volts.
+func (c *Controller) ReadVout(page int) (float64, error) {
+	mode, err := c.voutMode(page)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := c.bus.Read(c.addr, CmdReadVout)
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) != 2 {
+		return 0, fmt.Errorf("pmbus: READ_VOUT returned %d bytes", len(raw))
+	}
+	return mode.Decode(uint16(raw[0]) | uint16(raw[1])<<8), nil
+}
+
+// ReadTemperature reads the page's temperature sensor in °C (LINEAR11).
+func (c *Controller) ReadTemperature(page int) (float64, error) {
+	if err := c.setPage(page); err != nil {
+		return 0, err
+	}
+	raw, err := c.bus.Read(c.addr, CmdReadTemperature2)
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) != 2 {
+		return 0, fmt.Errorf("pmbus: READ_TEMPERATURE_2 returned %d bytes", len(raw))
+	}
+	return DecodeLinear11(uint16(raw[0]) | uint16(raw[1])<<8), nil
+}
+
+// ReadPout reads the page's output power in watts (LINEAR11).
+func (c *Controller) ReadPout(page int) (float64, error) {
+	if err := c.setPage(page); err != nil {
+		return 0, err
+	}
+	raw, err := c.bus.Read(c.addr, CmdReadPout)
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) != 2 {
+		return 0, fmt.Errorf("pmbus: READ_POUT returned %d bytes", len(raw))
+	}
+	return DecodeLinear11(uint16(raw[0]) | uint16(raw[1])<<8), nil
+}
+
+// StatusWord reads the page's STATUS_WORD register.
+func (c *Controller) StatusWord(page int) (uint16, error) {
+	if err := c.setPage(page); err != nil {
+		return 0, err
+	}
+	raw, err := c.bus.Read(c.addr, CmdStatusWord)
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) != 2 {
+		return 0, fmt.Errorf("pmbus: STATUS_WORD returned %d bytes", len(raw))
+	}
+	return uint16(raw[0]) | uint16(raw[1])<<8, nil
+}

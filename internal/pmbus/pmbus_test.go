@@ -1,0 +1,259 @@
+package pmbus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinear11RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.5, 50, 80.5, -40, 1023, 0.001, 300.25} {
+		raw, err := EncodeLinear11(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		got := DecodeLinear11(raw)
+		tol := math.Max(math.Abs(v)*0.001, 0.002)
+		if math.Abs(got-v) > tol {
+			t.Fatalf("LINEAR11 round trip %v -> %v (tol %v)", v, got, tol)
+		}
+	}
+}
+
+func TestLinear11Errors(t *testing.T) {
+	if _, err := EncodeLinear11(math.NaN()); err == nil {
+		t.Fatal("NaN should fail")
+	}
+	if _, err := EncodeLinear11(math.Inf(1)); err == nil {
+		t.Fatal("Inf should fail")
+	}
+	if _, err := EncodeLinear11(1e12); err == nil {
+		t.Fatal("huge value should fail")
+	}
+}
+
+func TestLinear11NegativeExponentDecoding(t *testing.T) {
+	// 0xD204: exponent 0b11010 = -6, mantissa 0x204 = 516 -> 8.0625
+	raw := uint16(0b11010_010_0000_0100)
+	if got := DecodeLinear11(raw); math.Abs(got-8.0625) > 1e-9 {
+		t.Fatalf("decode = %v, want 8.0625", got)
+	}
+}
+
+func TestQuickLinear11RoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 3e7 {
+			return true
+		}
+		raw, err := EncodeLinear11(v)
+		if err != nil {
+			return math.Abs(v) > 1023*math.Pow(2, 15)
+		}
+		got := DecodeLinear11(raw)
+		return math.Abs(got-v) <= math.Max(math.Abs(v)*0.001, math.Pow(2, -16))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoutModeRoundTrip(t *testing.T) {
+	mode := VoutMode{Exponent: -12}
+	for _, v := range []float64{1.0, 0.61, 0.54, 0.95, 0.0} {
+		raw, err := mode.Encode(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		if got := mode.Decode(raw); math.Abs(got-v) > 1.0/4096 {
+			t.Fatalf("VOUT round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestVoutModeResolutionFinerThan10mV(t *testing.T) {
+	// The sweep steps 10 mV; encoding must distinguish adjacent steps.
+	mode := VoutMode{Exponent: -12}
+	a, _ := mode.Encode(0.61)
+	b, _ := mode.Encode(0.60)
+	if a == b {
+		t.Fatal("10 mV steps aliased in LINEAR16")
+	}
+}
+
+func TestVoutModeByteRoundTrip(t *testing.T) {
+	m := VoutMode{Exponent: -12}
+	if got := VoutModeFromByte(m.Byte()); got != m {
+		t.Fatalf("VOUT_MODE byte round trip: %+v -> %+v", m, got)
+	}
+	if got := VoutModeFromByte(VoutMode{Exponent: 3}.Byte()); got.Exponent != 3 {
+		t.Fatalf("positive exponent round trip: %+v", got)
+	}
+}
+
+func TestVoutModeEncodeErrors(t *testing.T) {
+	mode := VoutMode{Exponent: -12}
+	if _, err := mode.Encode(-0.5); err == nil {
+		t.Fatal("negative volts should fail")
+	}
+	if _, err := mode.Encode(100); err == nil {
+		t.Fatal("overflow volts should fail (100V at 2^-12 > 16 bits)")
+	}
+}
+
+// fakeDevice implements Device with two pages of registers for bus tests.
+type fakeDevice struct {
+	vout [2]uint16
+	mode VoutMode
+}
+
+func (f *fakeDevice) Pages() int { return 2 }
+
+func (f *fakeDevice) Write(page int, cmd Command, data []byte) error {
+	switch cmd {
+	case CmdVoutCommand:
+		f.vout[page] = uint16(data[0]) | uint16(data[1])<<8
+		return nil
+	}
+	return ErrUnsupportedCmd
+}
+
+func (f *fakeDevice) Read(page int, cmd Command) ([]byte, error) {
+	switch cmd {
+	case CmdVoutMode:
+		return []byte{f.mode.Byte()}, nil
+	case CmdReadVout:
+		return []byte{byte(f.vout[page]), byte(f.vout[page] >> 8)}, nil
+	case CmdReadTemperature2:
+		raw, _ := EncodeLinear11(50)
+		return []byte{byte(raw), byte(raw >> 8)}, nil
+	}
+	return nil, ErrUnsupportedCmd
+}
+
+func TestBusPaging(t *testing.T) {
+	bus := NewBus()
+	dev := &fakeDevice{mode: VoutMode{Exponent: -12}}
+	bus.Attach(0x34, dev)
+	ctl := NewController(bus, 0x34)
+
+	if err := ctl.SetVout(0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.SetVout(1, 0.61); err != nil {
+		t.Fatal(err)
+	}
+	v0, err := ctl.ReadVout(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := ctl.ReadVout(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v0-1.0) > 0.001 || math.Abs(v1-0.61) > 0.001 {
+		t.Fatalf("paged vouts = %v, %v", v0, v1)
+	}
+}
+
+func TestBusErrors(t *testing.T) {
+	bus := NewBus()
+	if err := bus.Write(0x10, CmdVoutCommand, nil); err == nil {
+		t.Fatal("write to missing device should fail")
+	}
+	if _, err := bus.Read(0x10, CmdReadVout); err == nil {
+		t.Fatal("read from missing device should fail")
+	}
+	dev := &fakeDevice{}
+	bus.Attach(0x34, dev)
+	if err := bus.Write(0x34, CmdPage, []byte{5}); err == nil {
+		t.Fatal("out-of-range page should fail")
+	}
+	if err := bus.Write(0x34, CmdPage, []byte{}); err == nil {
+		t.Fatal("empty PAGE write should fail")
+	}
+}
+
+func TestControllerTemperature(t *testing.T) {
+	bus := NewBus()
+	bus.Attach(0x34, &fakeDevice{mode: VoutMode{Exponent: -12}})
+	ctl := NewController(bus, 0x34)
+	temp, err := ctl.ReadTemperature(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(temp-50) > 0.1 {
+		t.Fatalf("temperature = %v, want 50", temp)
+	}
+}
+
+// brokenDevice returns malformed responses to exercise the controller's
+// wire-format validation.
+type brokenDevice struct {
+	modeBytes []byte
+	voutBytes []byte
+	tempBytes []byte
+}
+
+func (d *brokenDevice) Pages() int { return 1 }
+func (d *brokenDevice) Write(page int, cmd Command, data []byte) error {
+	return nil
+}
+func (d *brokenDevice) Read(page int, cmd Command) ([]byte, error) {
+	switch cmd {
+	case CmdVoutMode:
+		return d.modeBytes, nil
+	case CmdReadVout:
+		return d.voutBytes, nil
+	case CmdReadTemperature2, CmdReadPout:
+		return d.tempBytes, nil
+	case CmdStatusWord:
+		return d.tempBytes, nil
+	}
+	return nil, ErrUnsupportedCmd
+}
+
+func TestControllerRejectsMalformedResponses(t *testing.T) {
+	bus := NewBus()
+	dev := &brokenDevice{
+		modeBytes: []byte{0x14, 0x00}, // VOUT_MODE must be one byte
+		voutBytes: []byte{0x01},       // READ_VOUT must be two bytes
+		tempBytes: []byte{0x01, 0x02, 0x03},
+	}
+	bus.Attach(0x20, dev)
+	ctl := NewController(bus, 0x20)
+
+	if _, err := ctl.ReadVout(0); err == nil {
+		t.Fatal("bad VOUT_MODE length accepted")
+	}
+	dev.modeBytes = []byte{VoutMode{Exponent: -12}.Byte()}
+	if _, err := ctl.ReadVout(0); err == nil {
+		t.Fatal("bad READ_VOUT length accepted")
+	}
+	if _, err := ctl.ReadTemperature(0); err == nil {
+		t.Fatal("bad READ_TEMPERATURE_2 length accepted")
+	}
+	if _, err := ctl.ReadPout(0); err == nil {
+		t.Fatal("bad READ_POUT length accepted")
+	}
+	if _, err := ctl.StatusWord(0); err == nil {
+		t.Fatal("bad STATUS_WORD length accepted")
+	}
+	if err := ctl.SetVout(0, 1e6); err == nil {
+		t.Fatal("unencodable voltage accepted")
+	}
+}
+
+func TestPageRegisterReadback(t *testing.T) {
+	bus := NewBus()
+	bus.Attach(0x34, &fakeDevice{})
+	if err := bus.Write(0x34, CmdPage, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bus.Read(0x34, CmdPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("PAGE readback = %v", got)
+	}
+}

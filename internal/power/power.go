@@ -1,0 +1,155 @@
+// Package power models the consumption the paper measures with a power meter
+// and attributes with the Xilinx Power Estimation (XPE) tool: per-component
+// dynamic and static power as a function of rail voltage and die temperature.
+//
+// Undervolting reduces both terms (Section II-A): dynamic power scales with
+// CV²f, and static (leakage) power falls super-linearly with voltage because
+// subthreshold and gate leakage currents shrink exponentially as the supply
+// approaches the threshold voltage. The paper's headline BRAM result — more
+// than an order of magnitude power reduction at Vmin = 0.61 V, plus a further
+// ~40% at Vcrash — pins the model's shape: BRAM power at nominal voltage must
+// be leakage-dominated (arrays sit idle most cycles; leakage accrues over
+// every bitcell), so the exponential term carries most of the reduction.
+// DESIGN.md records the calibration; the ablation bench
+// BenchmarkAblationLeakageShare quantifies the sensitivity.
+package power
+
+import (
+	"math"
+
+	"repro/internal/prng"
+)
+
+// Component is one on-chip resource class with its nominal power budget, the
+// way XPE reports a design's breakdown (BRAM, DSP, LUT/logic, clocking,
+// routing, ...).
+type Component struct {
+	Name    string
+	DynNom  float64 // W of dynamic power at Vnom, design utilization included
+	StatNom float64 // W of static power at Vnom and TempRef
+	Rail    string  // supply rail name, e.g. "VCCBRAM" or "VCCINT"
+}
+
+// Total returns the component's nominal total.
+func (c Component) Total() float64 { return c.DynNom + c.StatNom }
+
+// Model evaluates component power at arbitrary voltage and temperature.
+type Model struct {
+	Vnom      float64 // nominal rail voltage (1.0 V for the studied boards)
+	TempRef   float64 // °C at which StatNom holds
+	LeakAlpha float64 // 1/V: exponential slope of leakage current vs voltage
+	LeakBeta  float64 // 1/°C: exponential slope of leakage vs temperature
+}
+
+// DefaultModel is calibrated so that a leakage-dominated BRAM budget
+// reproduces the paper's >10× reduction at 0.61 V and ~40% further reduction
+// at 0.54 V (see package comment).
+func DefaultModel() Model {
+	return Model{Vnom: 1.0, TempRef: 50, LeakAlpha: 6.0, LeakBeta: 0.016}
+}
+
+// Dynamic returns the dynamic term at rail voltage v: DynNom·(v/Vnom)².
+// Frequency is fixed — the paper's undervolting explicitly does not scale
+// the clock (unlike DVFS).
+func (m Model) Dynamic(c Component, v float64) float64 {
+	r := v / m.Vnom
+	return c.DynNom * r * r
+}
+
+// Static returns the leakage term at rail voltage v and die temperature t:
+// StatNom·(v/Vnom)·exp(alpha·(v−Vnom))·exp(beta·(t−TempRef)).
+func (m Model) Static(c Component, v, tempC float64) float64 {
+	r := v / m.Vnom
+	return c.StatNom * r * math.Exp(m.LeakAlpha*(v-m.Vnom)) *
+		math.Exp(m.LeakBeta*(tempC-m.TempRef))
+}
+
+// Power returns the component's total power at (v, tempC).
+func (m Model) Power(c Component, v, tempC float64) float64 {
+	return m.Dynamic(c, v) + m.Static(c, v, tempC)
+}
+
+// Breakdown is a per-component power report at one operating point — the
+// content of the paper's Fig. 10 bars.
+type Breakdown struct {
+	Entries []BreakdownEntry
+}
+
+// BreakdownEntry is one component's share.
+type BreakdownEntry struct {
+	Name  string
+	Watts float64
+}
+
+// Total sums all entries.
+func (b Breakdown) Total() float64 {
+	t := 0.0
+	for _, e := range b.Entries {
+		t += e.Watts
+	}
+	return t
+}
+
+// Of returns the wattage of the named entry (0 if absent).
+func (b Breakdown) Of(name string) float64 {
+	for _, e := range b.Entries {
+		if e.Name == name {
+			return e.Watts
+		}
+	}
+	return 0
+}
+
+// Evaluate computes the breakdown of a set of components given per-rail
+// voltages (volts maps rail name → V; missing rails stay at Vnom).
+func (m Model) Evaluate(comps []Component, volts map[string]float64, tempC float64) Breakdown {
+	var b Breakdown
+	for _, c := range comps {
+		v, ok := volts[c.Rail]
+		if !ok {
+			v = m.Vnom
+		}
+		b.Entries = append(b.Entries, BreakdownEntry{Name: c.Name, Watts: m.Power(c, v, tempC)})
+	}
+	return b
+}
+
+// Meter models the external power meter of the experimental setup (Fig. 2):
+// it reads true power with a small gaussian measurement error and a fixed
+// board overhead (regulators, fans, I/O) that undervolting does not touch.
+type Meter struct {
+	OverheadW float64 // board overhead included in every sample
+	NoiseFrac float64 // 1-sigma relative measurement noise
+	src       *prng.Source
+}
+
+// NewMeter returns a meter with the given overhead and noise, seeded
+// deterministically by name.
+func NewMeter(name string, overheadW, noiseFrac float64) *Meter {
+	return &Meter{OverheadW: overheadW, NoiseFrac: noiseFrac, src: prng.NewKeyed("meter:" + name)}
+}
+
+// Sample returns one reading of the given true on-chip power.
+func (m *Meter) Sample(trueW float64) float64 {
+	w := trueW + m.OverheadW
+	if m.NoiseFrac > 0 {
+		w *= 1 + m.src.NormMS(0, m.NoiseFrac)
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// SampleN returns the mean of n readings, the way the harness averages meter
+// samples per voltage level.
+func (m *Meter) SampleN(trueW float64, n int) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += m.Sample(trueW)
+	}
+	return sum / float64(n)
+}

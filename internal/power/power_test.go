@@ -1,0 +1,153 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// vc707BRAM is a leakage-dominated BRAM budget like the one DESIGN.md
+// calibrates for VC707 (2.8 W nominal, 5% dynamic).
+func vc707BRAM() Component {
+	return Component{Name: "BRAM", DynNom: 0.14, StatNom: 2.66, Rail: "VCCBRAM"}
+}
+
+func TestDynamicQuadratic(t *testing.T) {
+	m := DefaultModel()
+	c := Component{DynNom: 4, StatNom: 0}
+	if got := m.Dynamic(c, 1.0); got != 4 {
+		t.Fatalf("dyn at Vnom = %v", got)
+	}
+	if got := m.Dynamic(c, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("dyn at half V = %v, want quarter", got)
+	}
+}
+
+func TestStaticShrinksExponentially(t *testing.T) {
+	m := DefaultModel()
+	c := vc707BRAM()
+	nom := m.Static(c, 1.0, 50)
+	if math.Abs(nom-2.66) > 1e-9 {
+		t.Fatalf("static at nominal = %v", nom)
+	}
+	low := m.Static(c, 0.61, 50)
+	if low >= nom*0.2 {
+		t.Fatalf("leakage at 0.61V = %v, want large reduction from %v", low, nom)
+	}
+}
+
+func TestStaticGrowsWithTemperature(t *testing.T) {
+	m := DefaultModel()
+	c := vc707BRAM()
+	if m.Static(c, 1.0, 80) <= m.Static(c, 1.0, 50) {
+		t.Fatal("leakage must grow with temperature")
+	}
+}
+
+func TestPaperShapeOrderOfMagnitudeAtVmin(t *testing.T) {
+	// The headline claim: >10x BRAM power reduction from Vnom to Vmin, and a
+	// further ~30-45% from Vmin to Vcrash.
+	m := DefaultModel()
+	c := vc707BRAM()
+	pNom := m.Power(c, 1.0, 50)
+	pMin := m.Power(c, 0.61, 50)
+	pCrash := m.Power(c, 0.54, 50)
+	if ratio := pNom / pMin; ratio < 10 {
+		t.Fatalf("Vnom->Vmin reduction = %.1fx, want >10x", ratio)
+	}
+	further := (pMin - pCrash) / pMin
+	if further < 0.30 || further > 0.50 {
+		t.Fatalf("Vmin->Vcrash further reduction = %.1f%%, want ~40%%", further*100)
+	}
+}
+
+func TestPowerMonotoneInVoltage(t *testing.T) {
+	m := DefaultModel()
+	c := vc707BRAM()
+	prev := math.Inf(1)
+	for v := 1.0; v >= 0.5; v -= 0.01 {
+		p := m.Power(c, v, 50)
+		if p >= prev {
+			t.Fatalf("power not strictly decreasing at %v V", v)
+		}
+		prev = p
+	}
+}
+
+func TestEvaluateBreakdown(t *testing.T) {
+	m := DefaultModel()
+	comps := []Component{
+		vc707BRAM(),
+		{Name: "DSP", DynNom: 1.2, StatNom: 0.4, Rail: "VCCINT"},
+		{Name: "LUT+Routing", DynNom: 2.4, StatNom: 1.5, Rail: "VCCINT"},
+	}
+	b := m.Evaluate(comps, map[string]float64{"VCCBRAM": 0.61}, 50)
+	if len(b.Entries) != 3 {
+		t.Fatalf("entries = %d", len(b.Entries))
+	}
+	// Only the BRAM rail was underscaled; VCCINT parts stay nominal.
+	if got := b.Of("DSP"); math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("DSP power = %v, want nominal 1.6", got)
+	}
+	if b.Of("BRAM") >= vc707BRAM().Total()/10 {
+		t.Fatalf("BRAM at Vmin = %v, want >10x below %v", b.Of("BRAM"), vc707BRAM().Total())
+	}
+	if math.Abs(b.Total()-(b.Of("BRAM")+b.Of("DSP")+b.Of("LUT+Routing"))) > 1e-9 {
+		t.Fatal("Total != sum of entries")
+	}
+	if b.Of("missing") != 0 {
+		t.Fatal("missing component should read 0")
+	}
+}
+
+func TestComponentTotal(t *testing.T) {
+	if math.Abs(vc707BRAM().Total()-2.8) > 1e-12 {
+		t.Fatalf("Total = %v", vc707BRAM().Total())
+	}
+}
+
+func TestMeterDeterministicAndUnbiased(t *testing.T) {
+	a := NewMeter("vc707", 1.5, 0.01)
+	b := NewMeter("vc707", 1.5, 0.01)
+	if a.Sample(5) != b.Sample(5) {
+		t.Fatal("same meter name must sample identically")
+	}
+	m := NewMeter("bias-check", 1.5, 0.01)
+	got := m.SampleN(5, 2000)
+	if math.Abs(got-6.5) > 0.05 {
+		t.Fatalf("mean of samples = %v, want ~6.5 (5 + 1.5 overhead)", got)
+	}
+}
+
+func TestMeterNoNegativeReadings(t *testing.T) {
+	m := NewMeter("noisy", 0, 3.0) // absurd noise to force negatives
+	for i := 0; i < 1000; i++ {
+		if m.Sample(0.01) < 0 {
+			t.Fatal("negative power reading")
+		}
+	}
+}
+
+func TestMeterSampleNDegenerate(t *testing.T) {
+	m := NewMeter("deg", 0, 0)
+	if got := m.SampleN(3, 0); got != 3 {
+		t.Fatalf("SampleN(_, 0) = %v", got)
+	}
+}
+
+func TestQuickPowerPositiveAndMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(dyn, stat, v1, v2 float64) bool {
+		dyn = math.Abs(math.Mod(dyn, 10))
+		stat = math.Abs(math.Mod(stat, 10))
+		lo := 0.4 + math.Abs(math.Mod(v1, 0.6))
+		hi := lo + math.Abs(math.Mod(v2, 0.5)) + 1e-6
+		c := Component{DynNom: dyn, StatNom: stat}
+		pLo := m.Power(c, lo, 50)
+		pHi := m.Power(c, hi, 50)
+		return pLo >= 0 && pHi >= pLo-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package prng provides the deterministic random-number machinery that gives
+// every simulated die, BRAM, and bitcell a reproducible random identity.
+//
+// The paper's central experimental finding is that undervolting faults are
+// *deterministic*: the same chip shows the same faulty bitcells at the same
+// voltage, run after run, bitstream after bitstream. The Fault Variation Map
+// (FVM) and the ICBP mitigation both depend on that property. To reproduce it
+// in simulation, all "process variation" randomness must be a pure function of
+// stable identifiers (board serial number, BRAM X/Y site, bitcell row/column)
+// rather than of global generator state or call order.
+//
+// This package therefore provides:
+//
+//   - SplitMix64: a tiny, high-quality 64-bit mixer used both as a stream
+//     seeder and as a stateless hash of identifiers.
+//   - Xoshiro256: xoshiro256** — the workhorse sequential generator.
+//   - Source: a hierarchical, keyed generator. Deriving a child with a string
+//     or integer key yields an independent stream; two children with the same
+//     derivation path always produce identical output, regardless of what any
+//     other part of the simulation consumed.
+//
+// Only the Go standard library is used; the generators are implemented from
+// their published reference algorithms.
+package prng
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// Reference: Steele, Lea, Flood — "Fast Splittable Pseudorandom Number
+// Generators" (OOPSLA 2014); constants from the public-domain reference code.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns the SplitMix64 finalizer applied to x. It is a bijective
+// 64-bit mixer, useful as a cheap stateless hash with good avalanche behavior.
+func Mix64(x uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// HashString folds s into a 64-bit value using an FNV-1a pass followed by a
+// SplitMix64 finalizer. It is stable across runs and platforms.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return Mix64(h)
+}
+
+// Combine mixes any number of 64-bit values into one, order-sensitively.
+// Combine(a, b) != Combine(b, a) in general, which is what key derivation
+// needs.
+func Combine(vs ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // pi fractional bits; arbitrary non-zero
+	for _, v := range vs {
+		h = Mix64(h ^ v)
+	}
+	return h
+}
+
+// Xoshiro256 is the xoshiro256** generator of Blackman and Vigna.
+// The zero value is invalid; construct with NewXoshiro256.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator seeded from a single 64-bit seed via
+// SplitMix64, as recommended by the xoshiro authors.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	var x Xoshiro256
+	x.Seed(seed)
+	return &x
+}
+
+// Seed reinitializes the generator state from seed.
+func (x *Xoshiro256) Seed(seed uint64) {
+	sm := seed
+	for i := range x.s {
+		x.s[i] = splitMix64(&sm)
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Source is a deterministic random stream with support for keyed derivation.
+// It wraps xoshiro256** and remembers the key that created it, so derived
+// children are independent of the parent's consumption position: a child's
+// stream depends only on the chain of derivation keys, never on how many
+// values were drawn from any ancestor.
+type Source struct {
+	key uint64
+	gen Xoshiro256
+}
+
+// New returns a root Source for the given seed.
+func New(seed uint64) *Source {
+	s := &Source{key: Mix64(seed)}
+	s.gen.Seed(s.key)
+	return s
+}
+
+// NewKeyed returns a root Source keyed by a string, typically a board serial
+// number or experiment name.
+func NewKeyed(name string) *Source {
+	return New(HashString(name))
+}
+
+// Derive returns a child Source keyed by the given string. Children with equal
+// derivation paths are identical; siblings with different keys are
+// statistically independent.
+func (s *Source) Derive(key string) *Source {
+	c := &Source{key: Combine(s.key, HashString(key))}
+	c.gen.Seed(c.key)
+	return c
+}
+
+// DeriveN returns a child Source keyed by one or more integers (for example
+// BRAM X/Y coordinates, or a run index).
+func (s *Source) DeriveN(keys ...uint64) *Source {
+	c := &Source{key: Combine(append([]uint64{s.key, 0x5deece66d}, keys...)...)}
+	c.gen.Seed(c.key)
+	return c
+}
+
+// Key returns the derivation key identifying this source.
+func (s *Source) Key() uint64 { return s.key }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 { return s.gen.Uint64() }
+
+// Int63 returns a non-negative 63-bit value. It exists so a Source satisfies
+// the shape of math/rand.Source where needed.
+func (s *Source) Int63() int64 { return int64(s.gen.Uint64() >> 1) }
+
+// Float64 returns a uniform value in [0,1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.gen.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0,n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	// Lemire-style bounded rejection on the high bits.
+	bound := uint64(n)
+	for {
+		v := s.gen.Uint64()
+		if v < (-bound)%bound && bound&(bound-1) != 0 {
+			continue
+		}
+		return int(v % bound)
+	}
+}
+
+// Norm returns a standard normal variate (Box–Muller, polar form).
+func (s *Source) Norm() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// NormMS returns a normal variate with the given mean and standard deviation.
+func (s *Source) NormMS(mean, stddev float64) float64 {
+	return mean + stddev*s.Norm()
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.NormMS(mu, sigma))
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (s *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("prng: Exp with non-positive rate")
+	}
+	return -math.Log(1-s.Float64()) / rate
+}
+
+// Poisson returns a Poisson variate with the given mean. Knuth's algorithm is
+// used for small means and a normal approximation (clamped at zero) for large
+// means, which is accurate enough for weak-cell population sizing.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := math.Round(s.NormMS(mean, math.Sqrt(mean)))
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool { return s.Float64() < p }
+
+// Perm returns a random permutation of [0,n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes n elements using the supplied swap
+// function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

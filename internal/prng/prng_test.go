@@ -1,0 +1,300 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Distinct inputs must give distinct outputs on a sample; the finalizer is
+	// bijective by construction, so any collision indicates a broken port.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		v := Mix64(i)
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d) == %#x", i, prev, v)
+		}
+		seen[v] = i
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	total := 0
+	samples := 0
+	for i := uint64(1); i < 1000; i++ {
+		for bit := uint(0); bit < 64; bit += 7 {
+			a := Mix64(i)
+			b := Mix64(i ^ (1 << bit))
+			diff := a ^ b
+			n := 0
+			for diff != 0 {
+				diff &= diff - 1
+				n++
+			}
+			total += n
+			samples++
+		}
+	}
+	mean := float64(total) / float64(samples)
+	if mean < 28 || mean > 36 {
+		t.Fatalf("avalanche mean bit flips = %.2f, want ~32", mean)
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	// Golden values pin cross-run stability: everything downstream (FVMs,
+	// fault locations) depends on these not changing.
+	if h1, h2 := HashString("VC707:1308-6520"), HashString("VC707:1308-6520"); h1 != h2 {
+		t.Fatalf("HashString not deterministic: %#x vs %#x", h1, h2)
+	}
+	if HashString("a") == HashString("b") {
+		t.Fatal("HashString trivially colliding")
+	}
+	if HashString("") == 0 {
+		t.Fatal("HashString(\"\") should not be zero after mixing")
+	}
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Fatal("Combine must be order-sensitive")
+	}
+	if Combine(1, 2, 3) == Combine(1, 2) {
+		t.Fatal("Combine must depend on all inputs")
+	}
+}
+
+func TestXoshiroKnownDistinct(t *testing.T) {
+	a := NewXoshiro256(1)
+	b := NewXoshiro256(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams from different seeds overlapped %d/100 times", same)
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewKeyed("board-serial-604018691749-76023")
+	b := NewKeyed("board-serial-604018691749-76023")
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same key diverged at draw %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestDeriveIndependentOfConsumption(t *testing.T) {
+	// The core property: a child's stream must not depend on how much the
+	// parent has consumed.
+	p1 := NewKeyed("root")
+	p2 := NewKeyed("root")
+	for i := 0; i < 57; i++ {
+		p2.Uint64() // advance p2 only
+	}
+	c1 := p1.Derive("bram")
+	c2 := p2.Derive("bram")
+	for i := 0; i < 100; i++ {
+		if a, b := c1.Uint64(), c2.Uint64(); a != b {
+			t.Fatalf("derived streams depend on parent consumption (draw %d)", i)
+		}
+	}
+}
+
+func TestDeriveNSiblingsIndependent(t *testing.T) {
+	root := NewKeyed("chip")
+	a := root.DeriveN(3, 7)
+	b := root.DeriveN(3, 8)
+	c := root.DeriveN(4, 7)
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Fatal("sibling keys collide")
+	}
+	// Column-major vs row-major coordinates must not alias.
+	if root.DeriveN(1, 2).Key() == root.DeriveN(2, 1).Key() {
+		t.Fatal("DeriveN must be order-sensitive")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(42)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	s := New(7)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Fatalf("uniform variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(9)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[s.Intn(10)]++
+	}
+	for d, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(10) digit %d count %d, want ~10000", d, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 12, 100, 400} {
+		s := New(uint64(mean * 1000))
+		const n = 50000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	s := New(1)
+	if s.Poisson(0) != 0 || s.Poisson(-3) != 0 {
+		t.Fatal("Poisson of non-positive mean must be 0")
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(5)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2.0)
+	}
+	if got := sum / n; math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("Exp(2) sample mean = %v, want 0.5", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(3)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		if v := s.LogNormal(0, 1.5); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestQuickDeriveDeterministic(t *testing.T) {
+	// Property: for any pair of integer keys, deriving twice yields the same
+	// first draw, and the draw differs from the sibling with swapped keys
+	// (unless keys are equal).
+	f := func(a, b uint64) bool {
+		root := NewKeyed("prop")
+		x := root.DeriveN(a, b).Uint64()
+		y := root.DeriveN(a, b).Uint64()
+		if x != y {
+			return false
+		}
+		if a != b && root.DeriveN(b, a).Uint64() == x {
+			// A single collision is not impossible, but with Mix64 it is
+			// vanishingly unlikely across quick's default 100 cases.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	s := NewXoshiro256(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	root := NewKeyed("bench")
+	for i := 0; i < b.N; i++ {
+		_ = root.DeriveN(uint64(i), uint64(i>>8))
+	}
+}

@@ -1,0 +1,185 @@
+// Package report renders the experiment outputs: aligned text tables with
+// optional paper-vs-measured comparison columns, and CSV emission so results
+// can be post-processed. Every experiment in internal/experiments produces a
+// Table (or several), which cmd/experiments prints and EXPERIMENTS.md records.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Note    string // optional caption line printed under the title
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Cells beyond the header count are kept; short rows
+// are padded when rendering.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row built from formatted values.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	writeRow := func(r []string) {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		var rule strings.Builder
+		for i := 0; i < cols; i++ {
+			if i > 0 {
+				rule.WriteString("  ")
+			}
+			rule.WriteString(strings.Repeat("-", widths[i]))
+		}
+		fmt.Fprintln(w, rule.String())
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// RenderCSV writes the table as CSV (headers first). Cells containing commas,
+// quotes or newlines are quoted per RFC 4180.
+func (t *Table) RenderCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = csvEscape(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeLine(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeLine(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// F formats a float with the given number of decimals, trimming to a compact
+// representation.
+func F(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Pct formats v (a fraction) as a percentage with the given decimals.
+func Pct(v float64, decimals int) string {
+	return strconv.FormatFloat(v*100, 'f', decimals, 64) + "%"
+}
+
+// Comparison is one paper-vs-measured line inside an experiment report.
+type Comparison struct {
+	Metric   string
+	Paper    float64
+	Measured float64
+	Unit     string
+	Note     string
+}
+
+// RelErr returns |measured-paper|/|paper| (or |measured| when paper == 0).
+func (c Comparison) RelErr() float64 {
+	if c.Paper == 0 {
+		if c.Measured == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := c.Measured - c.Paper
+	if d < 0 {
+		d = -d
+	}
+	p := c.Paper
+	if p < 0 {
+		p = -p
+	}
+	return d / p
+}
+
+// ComparisonTable renders a set of Comparisons as a Table.
+func ComparisonTable(title string, cs []Comparison) *Table {
+	t := NewTable(title, "metric", "paper", "measured", "unit", "rel.err", "note")
+	for _, c := range cs {
+		t.AddRow(c.Metric, F(c.Paper, 3), F(c.Measured, 3), c.Unit,
+			Pct(c.RelErr(), 1), c.Note)
+	}
+	return t
+}

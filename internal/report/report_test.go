@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("Demo", "platform", "faults/Mbit")
+	tb.AddRow("VC707", "652")
+	tb.AddRow("KC705-B", "60")
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Column 2 must start at the same offset in header and data rows.
+	hIdx := strings.Index(lines[1], "faults/Mbit")
+	dIdx := strings.Index(lines[3], "652")
+	if hIdx != dIdx {
+		t.Fatalf("columns not aligned: header@%d data@%d\n%s", hIdx, dIdx, out)
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1")           // short
+	tb.AddRow("1", "2", "3") // long
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("long row cell dropped:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "v", "rate")
+	tb.AddRowf("%.2f\t%d", 0.54, 652)
+	if tb.NumRows() != 1 || tb.Rows[0][1] != "652" {
+		t.Fatalf("AddRowf rows = %+v", tb.Rows)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("t", "name", "note")
+	tb.AddRow("a,b", `say "hi"`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestComparison(t *testing.T) {
+	c := Comparison{Metric: "faults", Paper: 652, Measured: 620}
+	if got := c.RelErr(); got < 0.048 || got > 0.05 {
+		t.Fatalf("RelErr = %v", got)
+	}
+	zero := Comparison{Paper: 0, Measured: 0}
+	if zero.RelErr() != 0 {
+		t.Fatal("0 vs 0 should be 0 error")
+	}
+	mism := Comparison{Paper: 0, Measured: 4}
+	if mism.RelErr() != 1 {
+		t.Fatal("nonzero vs zero should be full error")
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	tab := ComparisonTable("Fig 3", []Comparison{
+		{Metric: "VC707 @Vcrash", Paper: 652, Measured: 648, Unit: "faults/Mbit"},
+	})
+	out := tab.String()
+	if !strings.Contains(out, "VC707 @Vcrash") || !strings.Contains(out, "faults/Mbit") {
+		t.Fatalf("comparison table missing content:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatalf("F = %q", F(1.23456, 2))
+	}
+	if Pct(0.391, 1) != "39.1%" {
+		t.Fatalf("Pct = %q", Pct(0.391, 1))
+	}
+}

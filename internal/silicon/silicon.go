@@ -1,0 +1,430 @@
+// Package silicon models the physical mechanism behind the paper's findings:
+// undervolting faults in FPGA BRAMs are read-path timing violations whose
+// occurrence is governed by per-bitcell critical voltages shaped by process
+// variation.
+//
+// The model reproduces every fault property the paper characterizes in
+// Section II:
+//
+//   - Below Vmin the chip-level fault count grows exponentially as voltage
+//     drops, reaching the platform's published faults-per-Mbit at Vcrash
+//     (Fig. 3).
+//   - ~99.9% of faults are "1"→"0" flips; a fault manifests only when the
+//     stored bit has the vulnerable polarity, which yields the data-pattern
+//     proportionality of Fig. 4.
+//   - Fault locations are a pure function of the die (serial number), not of
+//     time, run index, or bitstream: the determinism behind the FVM and ICBP.
+//     A small per-read jitter band around each critical voltage produces the
+//     slight run-to-run count variation of Table II without moving locations.
+//   - Fault counts are heavily non-uniform across BRAMs: a spatially
+//     correlated lognormal vulnerability field plus a zero-inflated share of
+//     never-faulting BRAMs (Figs. 5, 6).
+//   - Two dies of the same family differ (die-to-die variation, Fig. 7 and
+//     the 4.1× KC705-A vs KC705-B gap): each board serial derives its own
+//     weak-cell population; non-reference serials also draw a die factor.
+//   - Higher temperature lowers effective critical voltages (Inverse Thermal
+//     Dependence), reducing fault rates with platform-specific strength
+//     (Fig. 8).
+package silicon
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/prng"
+)
+
+// BRAM geometry constants shared across the studied 7-series platforms
+// (Table I: each basic BRAM is 1024 rows × 16 columns, 16 Kbit).
+const (
+	BRAMRows = 1024
+	BRAMCols = 16
+	BRAMBits = BRAMRows * BRAMCols
+)
+
+// BitsPerMbit is the divisor used when the paper reports "faults per 1 Mbit".
+const BitsPerMbit = 1 << 20
+
+// Site is the physical location of one BRAM on the die floorplan.
+type Site struct {
+	X, Y int
+}
+
+// Calibration captures the published undervolting behavior of one platform.
+// Values are taken from (or chosen consistently with) the paper; see
+// DESIGN.md for the calibration table and the derivation of each constant.
+type Calibration struct {
+	Family          string  // device family, e.g. "Virtex-7"
+	ReferenceSerial string  // the paper's board; reproduces the published numbers exactly
+	Vnom            float64 // nominal VCCBRAM (1.0 V on all studied boards)
+	Vmin            float64 // minimum safe VCCBRAM: no observable faults at or above
+	Vcrash          float64 // lowest operating VCCBRAM
+	VminInt         float64 // minimum safe VCCINT
+	VcrashInt       float64 // lowest operating VCCINT
+	FaultsPerMbit   float64 // chip fault rate at Vcrash, pattern 0xFFFF, TempRef
+	ZeroFaultFrac   float64 // fraction of BRAMs with no faults even at Vcrash
+	HotspotSigma    float64 // lognormal sigma of the per-BRAM vulnerability field
+	TempRef         float64 // °C at which FaultsPerMbit holds (on-board default, 50)
+	TempCoeff       float64 // V/°C of ITD critical-voltage reduction
+	JitterSigma     float64 // V of per-cell per-read critical-voltage jitter
+	RippleSigma     float64 // V of per-run common-mode rail ripple (regulator noise)
+	Flip01Frac      float64 // share of weak cells flipping 0→1 (paper: ~0.1%)
+	DieToDieSigma   float64 // lognormal sigma of the die factor for new serials
+}
+
+// RateSlope returns k of the exponential fault-count profile
+// N(V) = Ntotal·exp(-k·(V-Vcrash)), chosen so that roughly one weak cell
+// remains at Vmin (the definition of the fault-free boundary).
+func (c Calibration) RateSlope(totalCells float64) float64 {
+	span := c.Vmin - c.Vcrash
+	if span <= 0 || totalCells <= 1 {
+		return 1
+	}
+	return math.Log(totalCells) / span
+}
+
+// GuardbandBRAM returns the VCCBRAM guardband fraction (Vnom−Vmin)/Vnom.
+func (c Calibration) GuardbandBRAM() float64 { return (c.Vnom - c.Vmin) / c.Vnom }
+
+// GuardbandInt returns the VCCINT guardband fraction.
+func (c Calibration) GuardbandInt() float64 { return (c.Vnom - c.VminInt) / c.Vnom }
+
+// Region classifies a VCCBRAM level the way Fig. 1 does.
+type Region int
+
+// The three operating regions of Fig. 1.
+const (
+	RegionSafe     Region = iota // no observable faults
+	RegionCritical               // faults manifest
+	RegionCrash                  // the platform stops operating
+)
+
+// String names the region as in Fig. 1.
+func (r Region) String() string {
+	switch r {
+	case RegionSafe:
+		return "SAFE"
+	case RegionCritical:
+		return "CRITICAL"
+	case RegionCrash:
+		return "CRASH"
+	}
+	return "UNKNOWN"
+}
+
+// RegionOfBRAM classifies a VCCBRAM voltage.
+func (c Calibration) RegionOfBRAM(v float64) Region {
+	switch {
+	case v >= c.Vmin:
+		return RegionSafe
+	case v >= c.Vcrash:
+		return RegionCritical
+	default:
+		return RegionCrash
+	}
+}
+
+// RegionOfInt classifies a VCCINT voltage.
+func (c Calibration) RegionOfInt(v float64) Region {
+	switch {
+	case v >= c.VminInt:
+		return RegionSafe
+	case v >= c.VcrashInt:
+		return RegionCritical
+	default:
+		return RegionCrash
+	}
+}
+
+// WeakCell is one bitcell whose read-path margin is thin enough to fail
+// within the observable voltage window [Vcrash, Vmin).
+type WeakCell struct {
+	Row        uint16  // bitcell row within the BRAM (0..1023)
+	Col        uint8   // bitcell column (0..15)
+	Flip01     bool    // true: reads stored "0" as "1"; false: "1" read as "0"
+	Vc         float64 // critical voltage at TempRef: read fails when V < Vc(T)
+	TempCoeff  float64 // V/°C of this cell's ITD slope
+	jitterSeed uint64  // per-cell base for run-indexed read jitter
+}
+
+// VcAt returns the cell's effective critical voltage at temperature tempC.
+// Higher temperature lowers it (ITD), so fewer cells fail at a given voltage.
+func (w WeakCell) VcAt(tempC, tempRef float64) float64 {
+	return w.Vc - w.TempCoeff*(tempC-tempRef)
+}
+
+// Fault is one manifested bit error during a read.
+type Fault struct {
+	Site   int // BRAM site index
+	Row    uint16
+	Col    uint8
+	Flip01 bool
+}
+
+// Conditions are the environmental parameters of one read pass.
+type Conditions struct {
+	V           float64 // VCCBRAM in volts
+	TempC       float64 // die temperature in °C
+	Run         uint64  // run index; jitter is deterministic per (cell, run)
+	JitterScale float64 // 1.0 = calibrated noise; >1 models harsher environments
+}
+
+// Die is the weak-cell population of one physical chip. It is immutable
+// after construction and safe for concurrent reads.
+type Die struct {
+	Cal       Calibration
+	Serial    string
+	DieFactor float64 // 1.0 for the reference serial
+	Sites     []Site
+
+	cells     [][]WeakCell // indexed by site
+	intensity []float64    // expected faults per site at Vcrash/TempRef
+	total     float64      // sum of intensity
+	rippleKey uint64       // per-die base for run-indexed rail ripple
+}
+
+// NewDie grows a die for the given calibration, serial number and floorplan
+// sites. The reference serial reproduces the calibrated totals exactly (in
+// expectation); any other serial draws a die-to-die factor, modeling a new
+// sample of the same platform.
+func NewDie(cal Calibration, serial string, sites []Site) *Die {
+	d := &Die{Cal: cal, Serial: serial, Sites: sites}
+	root := prng.NewKeyed(cal.Family + ":" + serial)
+
+	d.DieFactor = 1.0
+	if serial != cal.ReferenceSerial {
+		d.DieFactor = root.Derive("die-factor").LogNormal(0, cal.DieToDieSigma)
+	}
+	d.rippleKey = root.Derive("rail-ripple").Key()
+
+	d.intensity = d.buildVulnerabilityField(root)
+	totalCells := cal.FaultsPerMbit * float64(len(sites)*BRAMBits) / BitsPerMbit * d.DieFactor
+	sum := 0.0
+	for _, v := range d.intensity {
+		sum += v
+	}
+	k := cal.RateSlope(math.Max(totalCells, 2))
+	// Keep every weak cell far enough below Vmin that neither per-cell
+	// jitter nor rail ripple can surface a fault in the SAFE region.
+	margin := math.Max(3*cal.JitterSigma+4*cal.RippleSigma, 0.002)
+
+	d.cells = make([][]WeakCell, len(sites))
+	for i, site := range sites {
+		if d.intensity[i] <= 0 || sum <= 0 {
+			continue
+		}
+		lambda := totalCells * d.intensity[i] / sum
+		d.intensity[i] = lambda
+		src := root.DeriveN(uint64(site.X), uint64(site.Y))
+		d.cells[i] = growWeakCells(src, cal, lambda, k, margin)
+	}
+	d.total = 0
+	for _, v := range d.intensity {
+		d.total += v
+	}
+	return d
+}
+
+// buildVulnerabilityField returns the relative per-site vulnerability: a
+// spatially correlated lognormal field with the lowest ZeroFaultFrac share
+// forced to exactly zero (the paper's never-faulting BRAMs).
+func (d *Die) buildVulnerabilityField(root *prng.Source) []float64 {
+	n := len(d.Sites)
+	field := make([]float64, n)
+	if n == 0 {
+		return field
+	}
+	minX, maxX := d.Sites[0].X, d.Sites[0].X
+	minY, maxY := d.Sites[0].Y, d.Sites[0].Y
+	for _, s := range d.Sites {
+		minX, maxX = min(minX, s.X), max(maxX, s.X)
+		minY, maxY = min(minY, s.Y), max(maxY, s.Y)
+	}
+	// Coarse Gaussian lattice + bilinear interpolation gives the systematic
+	// within-die component; a per-site draw adds the random component.
+	const lattice = 7
+	nodes := make([][]float64, lattice+1)
+	nodeSrc := root.Derive("spatial-field")
+	for i := range nodes {
+		nodes[i] = make([]float64, lattice+1)
+		for j := range nodes[i] {
+			nodes[i][j] = nodeSrc.DeriveN(uint64(i), uint64(j)).Norm()
+		}
+	}
+	spanX := float64(maxX-minX) + 1e-9
+	spanY := float64(maxY-minY) + 1e-9
+	sigma := d.Cal.HotspotSigma
+	const systematic = 0.75 // weight of the correlated component
+	random := math.Sqrt(1 - systematic*systematic)
+	for i, s := range d.Sites {
+		fx := float64(s.X-minX) / spanX * lattice
+		fy := float64(s.Y-minY) / spanY * lattice
+		x0, y0 := int(fx), int(fy)
+		tx, ty := fx-float64(x0), fy-float64(y0)
+		g := nodes[x0][y0]*(1-tx)*(1-ty) +
+			nodes[x0+1][y0]*tx*(1-ty) +
+			nodes[x0][y0+1]*(1-tx)*ty +
+			nodes[x0+1][y0+1]*tx*ty
+		eta := root.DeriveN(uint64(s.X), uint64(s.Y), 0xf1e1d).Norm()
+		field[i] = math.Exp(sigma * (systematic*g + random*eta))
+	}
+	// Force the weakest ZeroFaultFrac of sites to zero vulnerability.
+	zeroN := int(math.Round(d.Cal.ZeroFaultFrac * float64(n)))
+	if zeroN > 0 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return field[idx[a]] < field[idx[b]] })
+		for _, i := range idx[:zeroN] {
+			field[i] = 0
+		}
+	}
+	return field
+}
+
+// growWeakCells samples one BRAM's weak-cell population.
+func growWeakCells(src *prng.Source, cal Calibration, lambda, k, margin float64) []WeakCell {
+	n := src.Poisson(lambda)
+	if n == 0 {
+		return nil
+	}
+	cells := make([]WeakCell, 0, n)
+	occupied := make(map[uint32]bool, n)
+	vmax := cal.Vmin - margin
+	for len(cells) < n {
+		row := uint16(src.Intn(BRAMRows))
+		col := uint8(src.Intn(BRAMCols))
+		key := uint32(row)<<8 | uint32(col)
+		if occupied[key] {
+			continue // one weak mechanism per bitcell
+		}
+		occupied[key] = true
+		vc := cal.Vcrash + src.Exp(k)
+		for vc > vmax {
+			vc = cal.Vcrash + src.Exp(k)
+		}
+		cells = append(cells, WeakCell{
+			Row:        row,
+			Col:        col,
+			Flip01:     src.Bernoulli(cal.Flip01Frac),
+			Vc:         vc,
+			TempCoeff:  cal.TempCoeff * (0.8 + 0.4*src.Float64()),
+			jitterSeed: src.Uint64(),
+		})
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].Row != cells[b].Row {
+			return cells[a].Row < cells[b].Row
+		}
+		return cells[a].Col < cells[b].Col
+	})
+	return cells
+}
+
+// NumSites returns the number of BRAM sites on the die.
+func (d *Die) NumSites() int { return len(d.Sites) }
+
+// WeakCells returns the weak-cell population of a site (shared slice; do not
+// modify).
+func (d *Die) WeakCells(site int) []WeakCell { return d.cells[site] }
+
+// Intensity returns the expected fault count of a site at Vcrash/TempRef.
+func (d *Die) Intensity(site int) float64 { return d.intensity[site] }
+
+// TotalWeakCells returns the total weak-cell count of the die.
+func (d *Die) TotalWeakCells() int {
+	n := 0
+	for _, cs := range d.cells {
+		n += len(cs)
+	}
+	return n
+}
+
+// RippleAt returns the run's common-mode rail perturbation: the regulator's
+// output wanders a fraction of a millivolt between read passes, which moves
+// *every* marginal cell together. This correlated noise — not independent
+// per-cell jitter — is what produces Table II's run-to-run count spread
+// (σ ≈ 1% of the count, far above the √N of independent cells).
+func (d *Die) RippleAt(run uint64, scale float64) float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	u := prng.Mix64(d.rippleKey ^ (run * 0xd1342543de82ef95))
+	return normFromBits(u) * d.Cal.RippleSigma * scale
+}
+
+// ActiveFaults appends to dst the faults a read of the whole site would
+// observe under the given conditions, and returns the extended slice. The
+// result is deterministic in (die, site, conditions).
+func (d *Die) ActiveFaults(dst []Fault, site int, cond Conditions) []Fault {
+	scale := cond.JitterScale
+	if scale <= 0 {
+		scale = 1
+	}
+	sigma := d.Cal.JitterSigma * scale
+	v := cond.V + d.RippleAt(cond.Run, scale)
+	for _, c := range d.cells[site] {
+		vc := c.VcAt(cond.TempC, d.Cal.TempRef)
+		gap := vc - v // fault when positive (V below effective Vc)
+		if gap > 6*sigma {
+			dst = append(dst, Fault{Site: site, Row: c.Row, Col: c.Col, Flip01: c.Flip01})
+			continue
+		}
+		if gap < -6*sigma {
+			continue
+		}
+		// Marginal cell: jittered decision, deterministic per (cell, run).
+		u := prng.Mix64(c.jitterSeed ^ (cond.Run * 0x9e3779b97f4a7c15))
+		jitter := normFromBits(u) * sigma
+		if v < vc+jitter {
+			dst = append(dst, Fault{Site: site, Row: c.Row, Col: c.Col, Flip01: c.Flip01})
+		}
+	}
+	return dst
+}
+
+// ExpectedFaultsAt returns the deterministic (jitter-free) chip-level fault
+// count at the given voltage and temperature — the model's median behavior.
+func (d *Die) ExpectedFaultsAt(v, tempC float64) int {
+	n := 0
+	for _, cs := range d.cells {
+		for _, c := range cs {
+			if v < c.VcAt(tempC, d.Cal.TempRef) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// VminAt returns the die's effective minimum safe voltage at the given
+// temperature: the highest critical voltage of any weak cell. The paper's
+// ITD finding implies Vmin falls as temperature rises ("lower Vmin at higher
+// temperatures"); this exposes that derived quantity directly.
+func (d *Die) VminAt(tempC float64) float64 {
+	maxVc := 0.0
+	for _, cs := range d.cells {
+		for _, c := range cs {
+			if vc := c.VcAt(tempC, d.Cal.TempRef); vc > maxVc {
+				maxVc = vc
+			}
+		}
+	}
+	return maxVc
+}
+
+// NormFromBits is exported for the model-validation tests.
+func NormFromBits(u uint64) float64 { return normFromBits(u) }
+
+// normFromBits converts 64 uniform bits into an approximately standard-normal
+// variate using the sum of four 16-bit uniforms (Irwin–Hall, rescaled). The
+// approximation is plenty for marginal-cell jitter and avoids transcendental
+// calls in the hot read path.
+func normFromBits(u uint64) float64 {
+	const mean = 4 * 32767.5
+	const invStd = 1 / 37837.22 // sqrt(4 * (65536^2-1)/12)
+	s := float64(u&0xffff) + float64((u>>16)&0xffff) +
+		float64((u>>32)&0xffff) + float64((u>>48)&0xffff)
+	return (s - mean) * invStd
+}

@@ -1,0 +1,472 @@
+package silicon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// testCal is a small, fast calibration shaped like VC707 but over a reduced
+// floorplan, for unit testing the model mechanics.
+func testCal() Calibration {
+	return Calibration{
+		Family:          "Test-7",
+		ReferenceSerial: "TEST-0001",
+		Vnom:            1.0,
+		Vmin:            0.61,
+		Vcrash:          0.54,
+		VminInt:         0.66,
+		VcrashInt:       0.59,
+		FaultsPerMbit:   652,
+		ZeroFaultFrac:   0.389,
+		HotspotSigma:    1.5,
+		TempRef:         50,
+		TempCoeff:       2.7e-4,
+		JitterSigma:     5e-5,
+		RippleSigma:     7.9e-5,
+		Flip01Frac:      0.001,
+		DieToDieSigma:   0.6,
+	}
+}
+
+func grid(cols, rows int) []Site {
+	sites := make([]Site, 0, cols*rows)
+	for x := 0; x < cols; x++ {
+		for y := 0; y < rows; y++ {
+			sites = append(sites, Site{X: x, Y: y})
+		}
+	}
+	return sites
+}
+
+func testDie() *Die { return NewDie(testCal(), "TEST-0001", grid(10, 20)) }
+
+func TestRegions(t *testing.T) {
+	cal := testCal()
+	cases := []struct {
+		v    float64
+		want Region
+	}{
+		{1.0, RegionSafe},
+		{0.61, RegionSafe},
+		{0.6099, RegionCritical},
+		{0.55, RegionCritical},
+		{0.54, RegionCritical},
+		{0.5399, RegionCrash},
+	}
+	for _, c := range cases {
+		if got := cal.RegionOfBRAM(c.v); got != c.want {
+			t.Fatalf("RegionOfBRAM(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if cal.RegionOfInt(0.66) != RegionSafe || cal.RegionOfInt(0.60) != RegionCritical ||
+		cal.RegionOfInt(0.58) != RegionCrash {
+		t.Fatal("RegionOfInt thresholds wrong")
+	}
+	if RegionSafe.String() != "SAFE" || RegionCrash.String() != "CRASH" {
+		t.Fatal("Region names wrong")
+	}
+}
+
+func TestGuardbands(t *testing.T) {
+	cal := testCal()
+	if g := cal.GuardbandBRAM(); math.Abs(g-0.39) > 1e-9 {
+		t.Fatalf("BRAM guardband = %v, want 0.39", g)
+	}
+	if g := cal.GuardbandInt(); math.Abs(g-0.34) > 1e-9 {
+		t.Fatalf("INT guardband = %v, want 0.34", g)
+	}
+}
+
+func TestDieDeterministic(t *testing.T) {
+	a := testDie()
+	b := testDie()
+	if a.TotalWeakCells() != b.TotalWeakCells() {
+		t.Fatal("same serial produced different populations")
+	}
+	for s := 0; s < a.NumSites(); s++ {
+		ca, cb := a.WeakCells(s), b.WeakCells(s)
+		if len(ca) != len(cb) {
+			t.Fatalf("site %d cell count differs", s)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("site %d cell %d differs: %+v vs %+v", s, i, ca[i], cb[i])
+			}
+		}
+	}
+}
+
+func TestTotalCellsNearCalibration(t *testing.T) {
+	d := testDie()
+	sites := float64(d.NumSites())
+	want := testCal().FaultsPerMbit * sites * BRAMBits / BitsPerMbit
+	got := float64(d.TotalWeakCells())
+	if got < want*0.7 || got > want*1.3 {
+		t.Fatalf("weak cells = %v, want ~%v", got, want)
+	}
+}
+
+func TestZeroFaultSiteFraction(t *testing.T) {
+	d := testDie()
+	zero := 0
+	for s := 0; s < d.NumSites(); s++ {
+		if len(d.WeakCells(s)) == 0 {
+			zero++
+		}
+	}
+	frac := float64(zero) / float64(d.NumSites())
+	// At least the forced fraction; Poisson can zero a few more small sites.
+	if frac < 0.30 || frac > 0.65 {
+		t.Fatalf("zero-fault site fraction = %v, want near 0.389", frac)
+	}
+}
+
+func TestCellInvariants(t *testing.T) {
+	d := testDie()
+	cal := testCal()
+	flip01 := 0
+	total := 0
+	for s := 0; s < d.NumSites(); s++ {
+		seen := map[uint32]bool{}
+		for _, c := range d.WeakCells(s) {
+			total++
+			if c.Row >= BRAMRows || c.Col >= BRAMCols {
+				t.Fatalf("cell out of geometry: %+v", c)
+			}
+			if c.Vc <= cal.Vcrash || c.Vc >= cal.Vmin {
+				t.Fatalf("Vc %v outside (Vcrash, Vmin)", c.Vc)
+			}
+			if c.TempCoeff <= 0 {
+				t.Fatalf("non-positive temp coefficient: %+v", c)
+			}
+			key := uint32(c.Row)<<8 | uint32(c.Col)
+			if seen[key] {
+				t.Fatalf("duplicate weak cell at site %d row %d col %d", s, c.Row, c.Col)
+			}
+			seen[key] = true
+			if c.Flip01 {
+				flip01++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("die has no weak cells at all")
+	}
+	// ~0.1% are 0->1; allow sampling slack on a few thousand cells.
+	if frac := float64(flip01) / float64(total); frac > 0.01 {
+		t.Fatalf("0->1 fraction = %v, want ~0.001", frac)
+	}
+}
+
+func TestExponentialRateShape(t *testing.T) {
+	d := testDie()
+	cal := testCal()
+	var vs, ns []float64
+	for v := cal.Vcrash; v < cal.Vmin; v += 0.01 {
+		n := d.ExpectedFaultsAt(v, cal.TempRef)
+		vs = append(vs, v)
+		ns = append(ns, float64(n))
+	}
+	if ns[0] == 0 {
+		t.Fatal("no faults at Vcrash")
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] > ns[i-1] {
+			t.Fatalf("fault count not non-increasing with voltage: %v", ns)
+		}
+	}
+	fit, err := stats.FitExponential(vs, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.B >= 0 {
+		t.Fatalf("fault curve must decay with voltage, slope %v", fit.B)
+	}
+	if fit.R2 < 0.9 {
+		t.Fatalf("fault curve poorly exponential: R2 = %v", fit.R2)
+	}
+}
+
+func TestNoFaultsAtVmin(t *testing.T) {
+	d := testDie()
+	cal := testCal()
+	if n := d.ExpectedFaultsAt(cal.Vmin, cal.TempRef); n != 0 {
+		t.Fatalf("faults at Vmin = %d, want 0", n)
+	}
+	if n := d.ExpectedFaultsAt(cal.Vnom, cal.TempRef); n != 0 {
+		t.Fatalf("faults at Vnom = %d, want 0", n)
+	}
+}
+
+func TestITDTemperatureReducesFaults(t *testing.T) {
+	d := testDie()
+	cal := testCal()
+	base := d.ExpectedFaultsAt(cal.Vcrash, 50)
+	hot := d.ExpectedFaultsAt(cal.Vcrash, 80)
+	if hot >= base {
+		t.Fatalf("ITD violated: 50C=%d 80C=%d", base, hot)
+	}
+	ratio := float64(base) / float64(hot)
+	if ratio < 2.0 || ratio > 5.5 {
+		t.Fatalf("50->80C reduction = %.2fx, want ~3x for VC707-like cal", ratio)
+	}
+	// Monotone across the full Fig. 8 range.
+	prev := base
+	for _, temp := range []float64{60, 70, 80} {
+		n := d.ExpectedFaultsAt(cal.Vcrash, temp)
+		if n > prev {
+			t.Fatalf("fault count rose with temperature at %v C", temp)
+		}
+		prev = n
+	}
+}
+
+func TestActiveFaultsDeterministicPerRun(t *testing.T) {
+	d := testDie()
+	cal := testCal()
+	cond := Conditions{V: cal.Vcrash, TempC: 50, Run: 7}
+	site := hottestSite(d)
+	a := d.ActiveFaults(nil, site, cond)
+	b := d.ActiveFaults(nil, site, cond)
+	if len(a) != len(b) {
+		t.Fatal("same conditions, different fault count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same conditions, different fault locations")
+		}
+	}
+}
+
+func TestFaultLocationsStableAcrossRuns(t *testing.T) {
+	// Table II / Section II-C2: locations must not move between runs; only a
+	// few marginal cells may blink.
+	d := testDie()
+	site := hottestSite(d)
+	base := faultSet(d.ActiveFaults(nil, site, Conditions{V: 0.56, TempC: 50, Run: 0}))
+	for run := uint64(1); run < 20; run++ {
+		got := faultSet(d.ActiveFaults(nil, site, Conditions{V: 0.56, TempC: 50, Run: run}))
+		// Symmetric difference must be a small fraction of the set.
+		diff := 0
+		for k := range got {
+			if !base[k] {
+				diff++
+			}
+		}
+		for k := range base {
+			if !got[k] {
+				diff++
+			}
+		}
+		if len(base) > 20 && diff > len(base)/5 {
+			t.Fatalf("run %d moved %d/%d faults", run, diff, len(base))
+		}
+	}
+}
+
+func TestRunJitterChangesMarginalCells(t *testing.T) {
+	// With jitter scaled up, different runs should occasionally disagree —
+	// otherwise Table II's nonzero stddev could never arise.
+	d := testDie()
+	counts := map[int]bool{}
+	for run := uint64(0); run < 30; run++ {
+		n := 0
+		for s := 0; s < d.NumSites(); s++ {
+			n += len(d.ActiveFaults(nil, s, Conditions{V: 0.56, TempC: 50, Run: run, JitterScale: 40}))
+		}
+		counts[n] = true
+	}
+	if len(counts) < 2 {
+		t.Fatal("scaled jitter produced identical counts across all runs")
+	}
+}
+
+func TestDieToDieVariation(t *testing.T) {
+	cal := testCal()
+	sites := grid(10, 20)
+	ref := NewDie(cal, cal.ReferenceSerial, sites)
+	if ref.DieFactor != 1.0 {
+		t.Fatalf("reference die factor = %v", ref.DieFactor)
+	}
+	other := NewDie(cal, "TEST-9999", sites)
+	if other.DieFactor == 1.0 {
+		t.Fatal("non-reference die should draw a die factor")
+	}
+	// Different serials must produce different fault populations.
+	if ref.TotalWeakCells() == other.TotalWeakCells() &&
+		sameCells(ref, other) {
+		t.Fatal("two serials produced identical dies")
+	}
+}
+
+func TestIntensityMatchesPopulation(t *testing.T) {
+	d := testDie()
+	for s := 0; s < d.NumSites(); s++ {
+		if d.Intensity(s) == 0 && len(d.WeakCells(s)) != 0 {
+			t.Fatalf("site %d has zero intensity but %d cells", s, len(d.WeakCells(s)))
+		}
+	}
+}
+
+func TestHeavyTailAcrossSites(t *testing.T) {
+	// Fig. 5: the per-BRAM distribution is strongly non-uniform; the hottest
+	// site should carry far more than the mean.
+	d := testDie()
+	var counts []float64
+	for s := 0; s < d.NumSites(); s++ {
+		counts = append(counts, float64(len(d.WeakCells(s))))
+	}
+	sum := stats.Summarize(counts)
+	if sum.Max < 4*sum.Mean {
+		t.Fatalf("distribution not heavy-tailed: max %v mean %v", sum.Max, sum.Mean)
+	}
+}
+
+func TestRateSlopeDegenerate(t *testing.T) {
+	cal := testCal()
+	cal.Vmin = cal.Vcrash
+	if k := cal.RateSlope(100); k != 1 {
+		t.Fatalf("degenerate span slope = %v", k)
+	}
+	cal = testCal()
+	if k := cal.RateSlope(0.5); k != 1 {
+		t.Fatalf("degenerate count slope = %v", k)
+	}
+}
+
+func TestNormFromBitsMoments(t *testing.T) {
+	var sum, sumSq float64
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		v := NormFromBits(i*0x9e3779b97f4a7c15 + 12345)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normFromBits mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestVminFallsWithTemperature(t *testing.T) {
+	// The paper's ITD corollary: heating the die lowers the effective Vmin.
+	d := testDie()
+	cold := d.VminAt(50)
+	hot := d.VminAt(80)
+	if cold <= 0 {
+		t.Fatal("no weak cells found")
+	}
+	if hot >= cold {
+		t.Fatalf("Vmin did not fall with temperature: 50C=%v 80C=%v", cold, hot)
+	}
+	// And it must stay below the calibrated quiet-lab Vmin.
+	if cold >= testCal().Vmin {
+		t.Fatalf("effective Vmin %v above calibrated boundary %v", cold, testCal().Vmin)
+	}
+}
+
+func TestVcAt(t *testing.T) {
+	c := WeakCell{Vc: 0.58, TempCoeff: 3e-4}
+	if got := c.VcAt(50, 50); got != 0.58 {
+		t.Fatalf("VcAt(ref) = %v", got)
+	}
+	if got := c.VcAt(80, 50); math.Abs(got-(0.58-0.009)) > 1e-12 {
+		t.Fatalf("VcAt(80) = %v", got)
+	}
+}
+
+func TestQuickFaultCountMonotoneInVoltage(t *testing.T) {
+	// Property: at any temperature, lowering the rail never removes faults
+	// (jitter-free view).
+	d := testDie()
+	cal := testCal()
+	f := func(a, b, tRaw float64) bool {
+		lo := cal.Vcrash + math.Mod(math.Abs(a), cal.Vmin-cal.Vcrash)
+		hi := cal.Vcrash + math.Mod(math.Abs(b), cal.Vmin-cal.Vcrash)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		temp := 40 + math.Mod(math.Abs(tRaw), 50)
+		return d.ExpectedFaultsAt(lo, temp) >= d.ExpectedFaultsAt(hi, temp)
+	}
+	if err := quickCheck(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFaultCountMonotoneInTemperature(t *testing.T) {
+	// Property: at any voltage in the critical window, heating never adds
+	// faults (ITD).
+	d := testDie()
+	cal := testCal()
+	f := func(vRaw, a, b float64) bool {
+		v := cal.Vcrash + math.Mod(math.Abs(vRaw), cal.Vmin-cal.Vcrash)
+		t1 := 40 + math.Mod(math.Abs(a), 50)
+		t2 := 40 + math.Mod(math.Abs(b), 50)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return d.ExpectedFaultsAt(v, t1) >= d.ExpectedFaultsAt(v, t2)
+	}
+	if err := quickCheck(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickActiveFaultsBounded(t *testing.T) {
+	// Property: a read never reports more faults than the site has weak
+	// cells, at any conditions.
+	d := testDie()
+	cal := testCal()
+	f := func(siteRaw uint16, vRaw float64, run uint64) bool {
+		site := int(siteRaw) % d.NumSites()
+		v := cal.Vcrash + math.Mod(math.Abs(vRaw), 0.5)
+		got := d.ActiveFaults(nil, site, Conditions{V: v, TempC: 50, Run: run})
+		return len(got) <= len(d.WeakCells(site))
+	}
+	if err := quickCheck(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickCheck adapts testing/quick with a fixed budget.
+func quickCheck(f any) error {
+	return quick.Check(f, &quick.Config{MaxCount: 60})
+}
+
+func hottestSite(d *Die) int {
+	best, bestN := 0, -1
+	for s := 0; s < d.NumSites(); s++ {
+		if n := len(d.WeakCells(s)); n > bestN {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+func faultSet(fs []Fault) map[Fault]bool {
+	m := make(map[Fault]bool, len(fs))
+	for _, f := range fs {
+		m[f] = true
+	}
+	return m
+}
+
+func sameCells(a, b *Die) bool {
+	for s := 0; s < a.NumSites(); s++ {
+		ca, cb := a.WeakCells(s), b.WeakCells(s)
+		if len(ca) != len(cb) {
+			return false
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

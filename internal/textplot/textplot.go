@@ -1,0 +1,181 @@
+// Package textplot renders figure-shaped output as ASCII art: line charts for
+// the fault-rate and power curves (Figs. 3, 8, 11, 14), heatmaps for the
+// Fault Variation Maps (Figs. 6, 7), and bar charts for the per-layer and
+// clustering statistics (Figs. 5, 9, 10, 13). The charts are deliberately
+// simple — their job is to make the reproduced figures legible in a terminal
+// and in EXPERIMENTS.md, not to be a plotting library.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line in a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart renders one or more series on a shared grid of the given width
+// and height. Each series is drawn with its own glyph; a legend follows.
+func LineChart(title string, width, height int, series ...Series) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			cx := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLabelW := 10
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = trimNum(maxY)
+		case height - 1:
+			label = trimNum(minY)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelW, label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", yLabelW, "", width-len(trimNum(maxX)), trimNum(minX), trimNum(maxX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s  %c = %s\n", yLabelW, "", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	return s
+}
+
+// HeatRamp is the glyph ramp used by Heatmap, from cold to hot.
+const HeatRamp = " .:-=+*#%@"
+
+// Heatmap renders a matrix of intensities (row-major, vals[r][c]) using the
+// glyph ramp; NaN cells render as the skip glyph (used for empty BRAM sites
+// in the floorplan, the paper's "white boxes").
+func Heatmap(title string, vals [][]float64, skip byte) string {
+	maxV := 0.0
+	for _, row := range vals {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, row := range vals {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				b.WriteByte(skip)
+				continue
+			}
+			b.WriteByte(rampGlyph(v, maxV))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "scale: '%c' = 0 .. '%c' = %s\n",
+		HeatRamp[0], HeatRamp[len(HeatRamp)-1], trimNum(maxV))
+	return b.String()
+}
+
+func rampGlyph(v, maxV float64) byte {
+	if maxV <= 0 || v <= 0 {
+		return HeatRamp[0]
+	}
+	idx := int(v / maxV * float64(len(HeatRamp)-1))
+	if idx >= len(HeatRamp) {
+		idx = len(HeatRamp) - 1
+	}
+	return HeatRamp[idx]
+}
+
+// Bar is one labeled bar in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to the given width.
+func BarChart(title string, width int, bars []Bar) string {
+	if width < 4 {
+		width = 4
+	}
+	maxV := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for _, b := range bars {
+		n := 0
+		if maxV > 0 && b.Value > 0 {
+			n = int(math.Round(b.Value / maxV * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %s\n", labelW, b.Label,
+			strings.Repeat("#", n), trimNum(b.Value))
+	}
+	return sb.String()
+}

@@ -1,0 +1,105 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	out := LineChart("fault rate", 40, 10, Series{
+		Name: "VC707",
+		X:    []float64{0.54, 0.56, 0.58, 0.60},
+		Y:    []float64{652, 100, 10, 1},
+	})
+	if !strings.Contains(out, "fault rate") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "* = VC707") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no points plotted:\n%s", out)
+	}
+}
+
+func TestLineChartMultiSeriesGlyphs(t *testing.T) {
+	out := LineChart("", 30, 8,
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Fatalf("legend glyphs wrong:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("empty", 20, 5)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output: %s", out)
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	out := LineChart("", 20, 5, Series{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	vals := [][]float64{
+		{0, 0.5, 1.0},
+		{math.NaN(), 0.25, 0},
+	}
+	out := Heatmap("fvm", vals, '?')
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("short heatmap:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "@") {
+		t.Fatalf("hottest cell should use last ramp glyph:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "?") {
+		t.Fatalf("NaN cell should use skip glyph:\n%s", out)
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	out := Heatmap("z", [][]float64{{0, 0}}, '.')
+	if !strings.Contains(out, "scale:") {
+		t.Fatalf("missing scale line:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("layers", 20, []Bar{
+		{Label: "Layer0", Value: 1},
+		{Label: "Layer4", Value: 6},
+	})
+	if !strings.Contains(out, "Layer0") || !strings.Contains(out, "Layer4") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	l0 := strings.Count(lineWith(out, "Layer0"), "#")
+	l4 := strings.Count(lineWith(out, "Layer4"), "#")
+	if l4 <= l0 {
+		t.Fatalf("bar lengths not proportional: l0=%d l4=%d\n%s", l0, l4, out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("", 10, []Bar{{Label: "none", Value: 0}})
+	if strings.Count(lineWith(out, "none"), "#") != 0 {
+		t.Fatalf("zero bar should be empty:\n%s", out)
+	}
+}
+
+func lineWith(out, substr string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return ""
+}

@@ -1,0 +1,58 @@
+// Package thermal models the temperature side of the experimental setup: the
+// heat chamber the board is placed in for the Fig. 8 study, the board's
+// self-heating, and the on-board sensor read over PMBus.
+//
+// The paper regulates chamber temperature and reports the resulting on-board
+// temperatures (50 °C default, then 60/70/80 °C). The die itself runs the ITD
+// response in internal/silicon; this package only produces the temperature
+// value the die and the leakage model see.
+package thermal
+
+import "math"
+
+// DefaultOnBoardC is the paper's default on-board temperature.
+const DefaultOnBoardC = 50
+
+// Chamber is a controllable heat chamber with a first-order settling model.
+type Chamber struct {
+	ambientC  float64
+	setpointC float64
+}
+
+// NewChamber returns a chamber idling at the given ambient temperature.
+func NewChamber(ambientC float64) *Chamber {
+	return &Chamber{ambientC: ambientC, setpointC: ambientC}
+}
+
+// SetTarget programs the chamber setpoint (clamped to a safe range).
+func (c *Chamber) SetTarget(tempC float64) {
+	c.setpointC = math.Max(0, math.Min(tempC, 120))
+}
+
+// Target returns the programmed setpoint.
+func (c *Chamber) Target() float64 { return c.setpointC }
+
+// AirC returns the settled chamber air temperature (the model settles
+// instantly; the harness's per-step delay stands in for soak time).
+func (c *Chamber) AirC() float64 { return c.setpointC }
+
+// BoardThermals converts chamber air temperature and on-chip power into the
+// on-board temperature the PMBus sensor reports: air plus a junction rise
+// proportional to dissipated power.
+type BoardThermals struct {
+	ThetaJA float64 // °C per watt of junction-to-ambient rise
+}
+
+// OnBoardC returns the on-board temperature for the given air temperature
+// and total on-chip power.
+func (b BoardThermals) OnBoardC(airC, chipPowerW float64) float64 {
+	return airC + b.ThetaJA*chipPowerW
+}
+
+// AirForOnBoard inverts OnBoardC: the chamber setting needed to hold the
+// board at the requested on-board temperature under the given power. The
+// Fig. 8 experiments are stated in on-board temperatures, so the harness
+// uses this to drive the chamber.
+func (b BoardThermals) AirForOnBoard(onBoardC, chipPowerW float64) float64 {
+	return onBoardC - b.ThetaJA*chipPowerW
+}

@@ -1,0 +1,49 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChamberSetpoint(t *testing.T) {
+	c := NewChamber(25)
+	if c.AirC() != 25 {
+		t.Fatalf("initial air = %v", c.AirC())
+	}
+	c.SetTarget(80)
+	if c.Target() != 80 || c.AirC() != 80 {
+		t.Fatalf("after SetTarget: target=%v air=%v", c.Target(), c.AirC())
+	}
+}
+
+func TestChamberClamps(t *testing.T) {
+	c := NewChamber(25)
+	c.SetTarget(-40)
+	if c.Target() != 0 {
+		t.Fatalf("low clamp = %v", c.Target())
+	}
+	c.SetTarget(500)
+	if c.Target() != 120 {
+		t.Fatalf("high clamp = %v", c.Target())
+	}
+}
+
+func TestOnBoardRisesWithPower(t *testing.T) {
+	b := BoardThermals{ThetaJA: 1.0}
+	if got := b.OnBoardC(45, 5); got != 50 {
+		t.Fatalf("on-board = %v, want 50 (default setup)", got)
+	}
+	if b.OnBoardC(45, 10) <= b.OnBoardC(45, 5) {
+		t.Fatal("more power must run hotter")
+	}
+}
+
+func TestAirForOnBoardInverts(t *testing.T) {
+	b := BoardThermals{ThetaJA: 0.8}
+	for _, want := range []float64{50, 60, 70, 80} {
+		air := b.AirForOnBoard(want, 6.2)
+		if got := b.OnBoardC(air, 6.2); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("inversion failed: want %v, got %v", want, got)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package voltage models the on-board voltage regulation of the paper's test
+// platforms: a TI UCD9248-style multi-rail PMBus regulator through which the
+// host underscales VCCBRAM and VCCINT in 10 mV steps (Listing 1).
+//
+// The regulator is a pmbus.Device, so all host interaction flows through the
+// same command sequence a real rig uses: PAGE select, VOUT_COMMAND writes,
+// READ_VOUT / READ_TEMPERATURE_2 / READ_POUT reads. Rail semantics (setpoint
+// clamping, undervoltage status, margining) live here; what the FPGA *does*
+// at a given rail voltage (faults, crash) is the chip model's business.
+package voltage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/pmbus"
+)
+
+// Step is the sweep granularity the paper uses when underscaling (10 mV).
+const Step = 0.010
+
+// Rail is one regulated supply output (one PMBus page).
+type Rail struct {
+	Name    string  // e.g. "VCCBRAM"
+	Nominal float64 // volts, factory setpoint (1.0 V on all studied boards)
+	Min     float64 // lowest programmable setpoint
+	Max     float64 // highest programmable setpoint (OVP limit)
+}
+
+// RailState is the live state of a rail inside the regulator.
+type RailState struct {
+	Rail
+	Setpoint float64 // programmed output voltage
+}
+
+// operation models the PMBus OPERATION register's margining state.
+type operation uint8
+
+const (
+	opOn         operation = iota // normal regulation at VOUT_COMMAND
+	opMarginLow                   // regulate at VOUT_MARGIN_LOW
+	opMarginHigh                  // regulate at VOUT_MARGIN_HIGH
+)
+
+// Regulator is a UCD9248-style PMBus voltage controller with one page per
+// rail. It is safe for concurrent use.
+type Regulator struct {
+	mu       sync.Mutex
+	rails    []RailState
+	margins  []railMargins
+	mode     pmbus.VoutMode
+	serial   string
+	tempC    func() float64 // on-board sensor hook, set by the board model
+	poutW    func(page int) float64
+	voutTrim float64 // regulator DC accuracy offset applied to readbacks
+}
+
+// railMargins holds one page's margin setpoints and operation state.
+type railMargins struct {
+	low, high float64
+	op        operation
+}
+
+// NewRegulator builds a regulator exposing the given rails, each initialized
+// to its nominal setpoint.
+func NewRegulator(serial string, rails ...Rail) *Regulator {
+	r := &Regulator{
+		mode:   pmbus.VoutMode{Exponent: -12},
+		serial: serial,
+	}
+	for _, rail := range rails {
+		r.rails = append(r.rails, RailState{Rail: rail, Setpoint: rail.Nominal})
+		r.margins = append(r.margins, railMargins{
+			low:  rail.Nominal * 0.95,
+			high: rail.Nominal * 1.05,
+		})
+	}
+	r.tempC = func() float64 { return 25 }
+	r.poutW = func(int) float64 { return 0 }
+	return r
+}
+
+// BindSensors installs the board-side callbacks that provide the on-board
+// temperature and per-rail output power the regulator reports over PMBus.
+func (r *Regulator) BindSensors(tempC func() float64, poutW func(page int) float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tempC != nil {
+		r.tempC = tempC
+	}
+	if poutW != nil {
+		r.poutW = poutW
+	}
+}
+
+// Pages implements pmbus.Device.
+func (r *Regulator) Pages() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.rails)
+}
+
+// PageOf returns the page index of the named rail, or -1.
+func (r *Regulator) PageOf(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, rail := range r.rails {
+		if rail.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Setpoint returns the effective output voltage of a page, honoring the
+// OPERATION register's margining state.
+func (r *Regulator) Setpoint(page int) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if page < 0 || page >= len(r.rails) {
+		return 0
+	}
+	switch r.margins[page].op {
+	case opMarginLow:
+		return r.margins[page].low
+	case opMarginHigh:
+		return r.margins[page].high
+	default:
+		return r.rails[page].Setpoint
+	}
+}
+
+// SetSetpoint programs a rail directly (the PMBus path calls this too). The
+// value is clamped to the rail's programmable range and quantized to the
+// regulator's DAC resolution.
+func (r *Regulator) SetSetpoint(page int, volts float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if page < 0 || page >= len(r.rails) {
+		return fmt.Errorf("voltage: page %d out of range", page)
+	}
+	rail := &r.rails[page]
+	if volts < rail.Min {
+		volts = rail.Min
+	}
+	if volts > rail.Max {
+		volts = rail.Max
+	}
+	// Quantize to the LINEAR16 DAC step so setpoint and readback agree.
+	raw, err := r.mode.Encode(volts)
+	if err != nil {
+		return err
+	}
+	rail.Setpoint = r.mode.Decode(raw)
+	return nil
+}
+
+// Write implements pmbus.Device.
+func (r *Regulator) Write(page int, cmd pmbus.Command, data []byte) error {
+	switch cmd {
+	case pmbus.CmdVoutCommand:
+		if len(data) != 2 {
+			return fmt.Errorf("voltage: VOUT_COMMAND needs 2 bytes, got %d", len(data))
+		}
+		raw := uint16(data[0]) | uint16(data[1])<<8
+		return r.SetSetpoint(page, r.mode.Decode(raw))
+	case pmbus.CmdVoutMarginLow, pmbus.CmdVoutMarginHigh:
+		if len(data) != 2 {
+			return fmt.Errorf("voltage: margin write needs 2 bytes, got %d", len(data))
+		}
+		if page < 0 || page >= len(r.rails) {
+			return fmt.Errorf("voltage: page %d out of range", page)
+		}
+		v := r.mode.Decode(uint16(data[0]) | uint16(data[1])<<8)
+		r.mu.Lock()
+		if cmd == pmbus.CmdVoutMarginLow {
+			r.margins[page].low = v
+		} else {
+			r.margins[page].high = v
+		}
+		r.mu.Unlock()
+		return nil
+	case pmbus.CmdOperation:
+		if len(data) != 1 {
+			return fmt.Errorf("voltage: OPERATION needs 1 byte, got %d", len(data))
+		}
+		if page < 0 || page >= len(r.rails) {
+			return fmt.Errorf("voltage: page %d out of range", page)
+		}
+		r.mu.Lock()
+		switch data[0] & 0xF0 {
+		case 0x90:
+			r.margins[page].op = opMarginLow
+		case 0xA0:
+			r.margins[page].op = opMarginHigh
+		default:
+			r.margins[page].op = opOn
+		}
+		r.mu.Unlock()
+		return nil
+	case pmbus.CmdClearFaults:
+		return nil
+	}
+	return fmt.Errorf("%w: %#02x", pmbus.ErrUnsupportedCmd, uint8(cmd))
+}
+
+// Read implements pmbus.Device.
+func (r *Regulator) Read(page int, cmd pmbus.Command) ([]byte, error) {
+	switch cmd {
+	case pmbus.CmdVoutMode:
+		return []byte{r.mode.Byte()}, nil
+	case pmbus.CmdReadVout:
+		r.mu.Lock()
+		v := 0.0
+		if page >= 0 && page < len(r.rails) {
+			v = r.rails[page].Setpoint + r.voutTrim
+		}
+		r.mu.Unlock()
+		raw, err := r.mode.Encode(math.Max(v, 0))
+		if err != nil {
+			return nil, err
+		}
+		return []byte{byte(raw), byte(raw >> 8)}, nil
+	case pmbus.CmdReadTemperature2:
+		raw, err := pmbus.EncodeLinear11(quantizeHalfDegree(r.tempC()))
+		if err != nil {
+			return nil, err
+		}
+		return []byte{byte(raw), byte(raw >> 8)}, nil
+	case pmbus.CmdReadPout:
+		raw, err := pmbus.EncodeLinear11(r.poutW(page))
+		if err != nil {
+			return nil, err
+		}
+		return []byte{byte(raw), byte(raw >> 8)}, nil
+	case pmbus.CmdStatusWord:
+		var status uint16
+		r.mu.Lock()
+		if page >= 0 && page < len(r.rails) {
+			rail := r.rails[page]
+			if rail.Setpoint < rail.Nominal*0.5 {
+				status |= pmbus.StatusVout | pmbus.StatusVoutUV
+			}
+		}
+		r.mu.Unlock()
+		return []byte{byte(status), byte(status >> 8)}, nil
+	case pmbus.CmdVoutMarginLow, pmbus.CmdVoutMarginHigh:
+		r.mu.Lock()
+		v := 0.0
+		if page >= 0 && page < len(r.margins) {
+			if cmd == pmbus.CmdVoutMarginLow {
+				v = r.margins[page].low
+			} else {
+				v = r.margins[page].high
+			}
+		}
+		r.mu.Unlock()
+		raw, err := r.mode.Encode(math.Max(v, 0))
+		if err != nil {
+			return nil, err
+		}
+		return []byte{byte(raw), byte(raw >> 8)}, nil
+	case pmbus.CmdOperation:
+		r.mu.Lock()
+		op := opOn
+		if page >= 0 && page < len(r.margins) {
+			op = r.margins[page].op
+		}
+		r.mu.Unlock()
+		b := byte(0x80)
+		switch op {
+		case opMarginLow:
+			b = 0x98
+		case opMarginHigh:
+			b = 0xA8
+		}
+		return []byte{b}, nil
+	case pmbus.CmdMfrSerial:
+		return []byte(r.serial), nil
+	}
+	return nil, fmt.Errorf("%w: %#02x", pmbus.ErrUnsupportedCmd, uint8(cmd))
+}
+
+// quantizeHalfDegree models the 0.5 °C resolution of the on-board sensor.
+func quantizeHalfDegree(t float64) float64 { return math.Round(t*2) / 2 }
+
+// SweepDown returns the descending voltage schedule from start to stop
+// (inclusive on both ends when they align to the step), mirroring the 10 mV
+// loop of Listing 1. It always contains at least the start point.
+func SweepDown(start, stop, step float64) []float64 {
+	if step <= 0 {
+		step = Step
+	}
+	var vs []float64
+	for v := start; v > stop-step/2; v -= step {
+		vs = append(vs, math.Round(v*1e6)/1e6)
+	}
+	return vs
+}

@@ -1,0 +1,265 @@
+package voltage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pmbus"
+)
+
+func newTestRegulator() *Regulator {
+	return NewRegulator("test-serial",
+		Rail{Name: "VCCINT", Nominal: 1.0, Min: 0.4, Max: 1.1},
+		Rail{Name: "VCCBRAM", Nominal: 1.0, Min: 0.4, Max: 1.1},
+	)
+}
+
+func TestRailsStartAtNominal(t *testing.T) {
+	r := newTestRegulator()
+	if got := r.Setpoint(0); got != 1.0 {
+		t.Fatalf("VCCINT initial = %v", got)
+	}
+	if got := r.Setpoint(1); got != 1.0 {
+		t.Fatalf("VCCBRAM initial = %v", got)
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	r := newTestRegulator()
+	if r.PageOf("VCCBRAM") != 1 || r.PageOf("VCCINT") != 0 {
+		t.Fatal("PageOf wrong")
+	}
+	if r.PageOf("VCCAUX") != -1 {
+		t.Fatal("unknown rail should be -1")
+	}
+}
+
+func TestSetpointClamping(t *testing.T) {
+	r := newTestRegulator()
+	if err := r.SetSetpoint(1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Setpoint(1); math.Abs(got-0.4) > 0.001 {
+		t.Fatalf("below-min clamped to %v, want 0.4", got)
+	}
+	if err := r.SetSetpoint(1, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Setpoint(1); math.Abs(got-1.1) > 0.001 {
+		t.Fatalf("above-max clamped to %v, want 1.1", got)
+	}
+	if err := r.SetSetpoint(7, 1.0); err == nil {
+		t.Fatal("bad page should error")
+	}
+}
+
+func TestPMBusVoutPath(t *testing.T) {
+	r := newTestRegulator()
+	bus := pmbus.NewBus()
+	bus.Attach(0x34, r)
+	ctl := pmbus.NewController(bus, 0x34)
+
+	if err := ctl.SetVout(1, 0.61); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctl.ReadVout(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.61) > 0.001 {
+		t.Fatalf("ReadVout = %v, want ~0.61", got)
+	}
+	// Page 0 untouched.
+	v0, _ := ctl.ReadVout(0)
+	if math.Abs(v0-1.0) > 0.001 {
+		t.Fatalf("other rail disturbed: %v", v0)
+	}
+}
+
+func TestTenMillivoltStepsDistinct(t *testing.T) {
+	// Every 10 mV step of the paper's sweep must survive the DAC round trip
+	// as a distinct setpoint.
+	r := newTestRegulator()
+	prev := -1.0
+	for _, v := range SweepDown(1.0, 0.54, Step) {
+		if err := r.SetSetpoint(1, v); err != nil {
+			t.Fatal(err)
+		}
+		got := r.Setpoint(1)
+		if math.Abs(got-v) > 0.0005 {
+			t.Fatalf("setpoint %v quantized to %v", v, got)
+		}
+		if got == prev {
+			t.Fatalf("steps aliased at %v", v)
+		}
+		prev = got
+	}
+}
+
+func TestStatusWordUndervoltage(t *testing.T) {
+	r := newTestRegulator()
+	bus := pmbus.NewBus()
+	bus.Attach(0x34, r)
+	ctl := pmbus.NewController(bus, 0x34)
+
+	st, err := ctl.StatusWord(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st&pmbus.StatusVout != 0 {
+		t.Fatalf("nominal rail reports fault: %#04x", st)
+	}
+	if err := ctl.SetVout(1, 0.45); err != nil {
+		t.Fatal(err)
+	}
+	st, err = ctl.StatusWord(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st&pmbus.StatusVout == 0 {
+		t.Fatalf("deep undervoltage not flagged: %#04x", st)
+	}
+}
+
+func TestBoundSensors(t *testing.T) {
+	r := newTestRegulator()
+	r.BindSensors(func() float64 { return 63.7 }, func(page int) float64 {
+		return float64(page) + 2.5
+	})
+	bus := pmbus.NewBus()
+	bus.Attach(0x34, r)
+	ctl := pmbus.NewController(bus, 0x34)
+
+	temp, err := ctl.ReadTemperature(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temp != 63.5 { // quantized to 0.5 degC
+		t.Fatalf("temperature = %v, want 63.5 (quantized)", temp)
+	}
+	p, err := ctl.ReadPout(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-3.5) > 0.01 {
+		t.Fatalf("pout = %v, want 3.5", p)
+	}
+}
+
+func TestUnsupportedCommand(t *testing.T) {
+	r := newTestRegulator()
+	if _, err := r.Read(0, pmbus.CmdReadIout); err == nil {
+		t.Fatal("unsupported read should error")
+	}
+	if err := r.Write(0, pmbus.CmdVoutOVFaultLimit, []byte{0, 0}); err == nil {
+		t.Fatal("unsupported write should error")
+	}
+	if err := r.Write(0, pmbus.CmdVoutCommand, []byte{1}); err == nil {
+		t.Fatal("short VOUT_COMMAND should error")
+	}
+}
+
+func TestMarginingViaOperation(t *testing.T) {
+	r := newTestRegulator()
+	mode := pmbus.VoutMode{Exponent: -12}
+	enc := func(v float64) []byte {
+		raw, err := mode.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []byte{byte(raw), byte(raw >> 8)}
+	}
+	// Program the margin setpoints.
+	if err := r.Write(1, pmbus.CmdVoutMarginLow, enc(0.90)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(1, pmbus.CmdVoutMarginHigh, enc(1.05)); err != nil {
+		t.Fatal(err)
+	}
+	// Normal operation regulates at VOUT_COMMAND.
+	if got := r.Setpoint(1); math.Abs(got-1.0) > 0.001 {
+		t.Fatalf("setpoint before margining = %v", got)
+	}
+	// OPERATION margin-low selects the low setpoint.
+	if err := r.Write(1, pmbus.CmdOperation, []byte{0x98}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Setpoint(1); math.Abs(got-0.90) > 0.001 {
+		t.Fatalf("margin-low setpoint = %v", got)
+	}
+	// Margin-high.
+	if err := r.Write(1, pmbus.CmdOperation, []byte{0xA8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Setpoint(1); math.Abs(got-1.05) > 0.001 {
+		t.Fatalf("margin-high setpoint = %v", got)
+	}
+	// Back to normal.
+	if err := r.Write(1, pmbus.CmdOperation, []byte{0x80}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Setpoint(1); math.Abs(got-1.0) > 0.001 {
+		t.Fatalf("restored setpoint = %v", got)
+	}
+	// Readbacks.
+	raw, err := r.Read(1, pmbus.CmdVoutMarginLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mode.Decode(uint16(raw[0]) | uint16(raw[1])<<8); math.Abs(got-0.90) > 0.001 {
+		t.Fatalf("margin-low readback = %v", got)
+	}
+	op, err := r.Read(1, pmbus.CmdOperation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op[0] != 0x80 {
+		t.Fatalf("OPERATION readback = %#x", op[0])
+	}
+}
+
+func TestMarginWriteErrors(t *testing.T) {
+	r := newTestRegulator()
+	if err := r.Write(0, pmbus.CmdVoutMarginLow, []byte{1}); err == nil {
+		t.Fatal("short margin write should error")
+	}
+	if err := r.Write(9, pmbus.CmdVoutMarginLow, []byte{0, 0}); err == nil {
+		t.Fatal("bad page margin write should error")
+	}
+	if err := r.Write(0, pmbus.CmdOperation, []byte{}); err == nil {
+		t.Fatal("empty OPERATION should error")
+	}
+	if err := r.Write(9, pmbus.CmdOperation, []byte{0x80}); err == nil {
+		t.Fatal("bad page OPERATION should error")
+	}
+}
+
+func TestSweepDown(t *testing.T) {
+	vs := SweepDown(0.61, 0.54, 0.01)
+	if len(vs) != 8 {
+		t.Fatalf("sweep has %d points: %v", len(vs), vs)
+	}
+	if vs[0] != 0.61 || vs[len(vs)-1] != 0.54 {
+		t.Fatalf("sweep endpoints wrong: %v", vs)
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i] >= vs[i-1] {
+			t.Fatalf("sweep not strictly descending: %v", vs)
+		}
+	}
+	// Degenerate step falls back to the 10 mV default.
+	if got := SweepDown(1.0, 0.99, 0); len(got) != 2 {
+		t.Fatalf("default-step sweep = %v", got)
+	}
+}
+
+func TestMfrSerial(t *testing.T) {
+	r := newTestRegulator()
+	got, err := r.Read(0, pmbus.CmdMfrSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "test-serial" {
+		t.Fatalf("serial = %q", got)
+	}
+}

@@ -1,0 +1,267 @@
+// Package xdc reproduces the Vivado Pblock ("physical block") constraint
+// facility the paper's ICBP mitigation is built on (Section III-C, Fig. 12):
+// logical cells — here, BRAM instances — are constrained to rectangular
+// physical regions of the FPGA, and the placer must honor those regions.
+//
+// Constraints can be built programmatically and round-tripped through a
+// textual format modeled on the XDC commands a Vivado flow would use
+// (create_pblock / resize_pblock / add_cells_to_pblock), so constraint sets
+// are inspectable artifacts, as they are in the paper's flow.
+package xdc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/silicon"
+)
+
+// Region is an inclusive rectangle of BRAM sites, the RAMB-range of a
+// resize_pblock command.
+type Region struct {
+	X1, Y1, X2, Y2 int
+}
+
+// Normalize returns the region with corners ordered.
+func (r Region) Normalize() Region {
+	if r.X1 > r.X2 {
+		r.X1, r.X2 = r.X2, r.X1
+	}
+	if r.Y1 > r.Y2 {
+		r.Y1, r.Y2 = r.Y2, r.Y1
+	}
+	return r
+}
+
+// Contains reports whether the site lies inside the region.
+func (r Region) Contains(s silicon.Site) bool {
+	r = r.Normalize()
+	return s.X >= r.X1 && s.X <= r.X2 && s.Y >= r.Y1 && s.Y <= r.Y2
+}
+
+// String renders the RAMB-range syntax.
+func (r Region) String() string {
+	r = r.Normalize()
+	return fmt.Sprintf("RAMB18_X%dY%d:RAMB18_X%dY%d", r.X1, r.Y1, r.X2, r.Y2)
+}
+
+// Pblock is a named constraint: the listed cells must be placed on sites
+// covered by at least one of the regions.
+type Pblock struct {
+	Name    string
+	Regions []Region
+	Cells   []string
+}
+
+// Contains reports whether a site is covered by any region of the pblock.
+func (p *Pblock) Contains(s silicon.Site) bool {
+	for _, r := range p.Regions {
+		if r.Contains(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConstraintSet is an ordered collection of pblocks.
+type ConstraintSet struct {
+	Pblocks []Pblock
+}
+
+// NewConstraintSet returns an empty set.
+func NewConstraintSet() *ConstraintSet { return &ConstraintSet{} }
+
+// Create adds (or returns) the pblock with the given name.
+func (cs *ConstraintSet) Create(name string) *Pblock {
+	for i := range cs.Pblocks {
+		if cs.Pblocks[i].Name == name {
+			return &cs.Pblocks[i]
+		}
+	}
+	cs.Pblocks = append(cs.Pblocks, Pblock{Name: name})
+	return &cs.Pblocks[len(cs.Pblocks)-1]
+}
+
+// Resize appends a region to the named pblock, creating it if needed.
+func (cs *ConstraintSet) Resize(name string, r Region) {
+	p := cs.Create(name)
+	p.Regions = append(p.Regions, r.Normalize())
+}
+
+// AddCells constrains cells to the named pblock, creating it if needed.
+func (cs *ConstraintSet) AddCells(name string, cells ...string) {
+	p := cs.Create(name)
+	p.Cells = append(p.Cells, cells...)
+}
+
+// PblockOf returns the pblock constraining the given cell, or nil. The first
+// matching pblock wins, matching tool behavior where a cell belongs to one
+// pblock.
+func (cs *ConstraintSet) PblockOf(cell string) *Pblock {
+	if cs == nil {
+		return nil
+	}
+	for i := range cs.Pblocks {
+		for _, c := range cs.Pblocks[i].Cells {
+			if c == cell {
+				return &cs.Pblocks[i]
+			}
+		}
+	}
+	return nil
+}
+
+// AllowedSites filters sites to those a cell may occupy. A nil constraint
+// set, or an unconstrained cell, allows every site.
+func (cs *ConstraintSet) AllowedSites(cell string, sites []silicon.Site) []silicon.Site {
+	p := cs.PblockOf(cell)
+	if p == nil {
+		return sites
+	}
+	var out []silicon.Site
+	for _, s := range sites {
+		if p.Contains(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity: every pblock has at least one region
+// and no cell is claimed by two pblocks.
+func (cs *ConstraintSet) Validate() error {
+	owner := map[string]string{}
+	for _, p := range cs.Pblocks {
+		if len(p.Regions) == 0 {
+			return fmt.Errorf("xdc: pblock %q has no regions", p.Name)
+		}
+		for _, c := range p.Cells {
+			if prev, ok := owner[c]; ok && prev != p.Name {
+				return fmt.Errorf("xdc: cell %q claimed by pblocks %q and %q", c, prev, p.Name)
+			}
+			owner[c] = p.Name
+		}
+	}
+	return nil
+}
+
+// Render writes the constraint set as XDC-style commands.
+func (cs *ConstraintSet) Render(w io.Writer) error {
+	names := make([]string, 0, len(cs.Pblocks))
+	byName := map[string]Pblock{}
+	for _, p := range cs.Pblocks {
+		names = append(names, p.Name)
+		byName[p.Name] = p
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := byName[name]
+		if _, err := fmt.Fprintf(w, "create_pblock %s\n", p.Name); err != nil {
+			return err
+		}
+		for _, r := range p.Regions {
+			if _, err := fmt.Fprintf(w, "resize_pblock %s -add {%s}\n", p.Name, r); err != nil {
+				return err
+			}
+		}
+		for _, c := range p.Cells {
+			if _, err := fmt.Fprintf(w, "add_cells_to_pblock %s [get_cells {%s}]\n", p.Name, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the set to a string.
+func (cs *ConstraintSet) String() string {
+	var b strings.Builder
+	_ = cs.Render(&b)
+	return b.String()
+}
+
+// Parse reads XDC-style commands produced by Render (and tolerates blank
+// lines and # comments).
+func Parse(r io.Reader) (*ConstraintSet, error) {
+	cs := NewConstraintSet()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "create_pblock":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("xdc: line %d: create_pblock wants a name", lineNo)
+			}
+			cs.Create(fields[1])
+		case "resize_pblock":
+			// resize_pblock NAME -add {RAMB18_XaYb:RAMB18_XcYd}
+			if len(fields) != 4 || fields[2] != "-add" {
+				return nil, fmt.Errorf("xdc: line %d: malformed resize_pblock", lineNo)
+			}
+			rg, err := parseRange(strings.Trim(fields[3], "{}"))
+			if err != nil {
+				return nil, fmt.Errorf("xdc: line %d: %v", lineNo, err)
+			}
+			cs.Resize(fields[1], rg)
+		case "add_cells_to_pblock":
+			// add_cells_to_pblock NAME [get_cells {CELL}]
+			open := strings.Index(line, "{")
+			close := strings.LastIndex(line, "}")
+			if len(fields) < 3 || open < 0 || close <= open {
+				return nil, fmt.Errorf("xdc: line %d: malformed add_cells_to_pblock", lineNo)
+			}
+			cs.AddCells(fields[1], strings.TrimSpace(line[open+1:close]))
+		default:
+			return nil, fmt.Errorf("xdc: line %d: unknown command %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cs, cs.Validate()
+}
+
+// parseRange parses "RAMB18_XaYb:RAMB18_XcYd".
+func parseRange(s string) (Region, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return Region{}, fmt.Errorf("bad range %q", s)
+	}
+	x1, y1, err := parseSite(parts[0])
+	if err != nil {
+		return Region{}, err
+	}
+	x2, y2, err := parseSite(parts[1])
+	if err != nil {
+		return Region{}, err
+	}
+	return Region{X1: x1, Y1: y1, X2: x2, Y2: y2}.Normalize(), nil
+}
+
+// parseSite parses "RAMB18_XaYb".
+func parseSite(s string) (x, y int, err error) {
+	if !strings.HasPrefix(s, "RAMB18_X") {
+		return 0, 0, fmt.Errorf("bad site %q", s)
+	}
+	rest := strings.TrimPrefix(s, "RAMB18_X")
+	yIdx := strings.IndexByte(rest, 'Y')
+	if yIdx < 0 {
+		return 0, 0, fmt.Errorf("bad site %q", s)
+	}
+	if _, err := fmt.Sscanf(rest[:yIdx], "%d", &x); err != nil {
+		return 0, 0, fmt.Errorf("bad X in %q", s)
+	}
+	if _, err := fmt.Sscanf(rest[yIdx+1:], "%d", &y); err != nil {
+		return 0, 0, fmt.Errorf("bad Y in %q", s)
+	}
+	return x, y, nil
+}

@@ -1,0 +1,160 @@
+package xdc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/silicon"
+)
+
+func TestRegionContains(t *testing.T) {
+	r := Region{X1: 2, Y1: 3, X2: 4, Y2: 6}
+	if !r.Contains(silicon.Site{X: 2, Y: 3}) || !r.Contains(silicon.Site{X: 4, Y: 6}) {
+		t.Fatal("inclusive corners must be inside")
+	}
+	if r.Contains(silicon.Site{X: 1, Y: 3}) || r.Contains(silicon.Site{X: 4, Y: 7}) {
+		t.Fatal("outside points reported inside")
+	}
+	// Reversed corners normalize.
+	rev := Region{X1: 4, Y1: 6, X2: 2, Y2: 3}
+	if !rev.Contains(silicon.Site{X: 3, Y: 4}) {
+		t.Fatal("reversed region should normalize")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := Region{X1: 1, Y1: 2, X2: 3, Y2: 4}
+	if r.String() != "RAMB18_X1Y2:RAMB18_X3Y4" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestConstraintSetBuild(t *testing.T) {
+	cs := NewConstraintSet()
+	cs.Resize("icbp_low_vuln", Region{X1: 0, Y1: 0, X2: 1, Y2: 5})
+	cs.AddCells("icbp_low_vuln", "nn/layer4/w0", "nn/layer4/w1")
+	if len(cs.Pblocks) != 1 {
+		t.Fatalf("pblocks = %d", len(cs.Pblocks))
+	}
+	p := cs.PblockOf("nn/layer4/w0")
+	if p == nil || p.Name != "icbp_low_vuln" {
+		t.Fatal("PblockOf wrong")
+	}
+	if cs.PblockOf("nn/layer0/w0") != nil {
+		t.Fatal("unconstrained cell got a pblock")
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllowedSites(t *testing.T) {
+	cs := NewConstraintSet()
+	cs.Resize("pb", Region{X1: 0, Y1: 0, X2: 0, Y2: 1})
+	cs.AddCells("pb", "cellA")
+	sites := []silicon.Site{{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 5, Y: 5}}
+	got := cs.AllowedSites("cellA", sites)
+	if len(got) != 2 {
+		t.Fatalf("allowed = %v", got)
+	}
+	if free := cs.AllowedSites("other", sites); len(free) != 3 {
+		t.Fatal("unconstrained cell should see all sites")
+	}
+	var nilCS *ConstraintSet
+	if free := nilCS.AllowedSites("x", sites); len(free) != 3 {
+		t.Fatal("nil set should allow all")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cs := NewConstraintSet()
+	cs.Create("empty")
+	cs.AddCells("empty", "c")
+	if err := cs.Validate(); err == nil {
+		t.Fatal("region-less pblock should fail validation")
+	}
+	cs2 := NewConstraintSet()
+	cs2.Resize("a", Region{})
+	cs2.Resize("b", Region{})
+	cs2.AddCells("a", "shared")
+	cs2.AddCells("b", "shared")
+	if err := cs2.Validate(); err == nil {
+		t.Fatal("doubly-claimed cell should fail validation")
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	cs := NewConstraintSet()
+	cs.Resize("icbp", Region{X1: 0, Y1: 0, X2: 2, Y2: 9})
+	cs.Resize("icbp", Region{X1: 5, Y1: 0, X2: 5, Y2: 3})
+	cs.AddCells("icbp", "nn/layer4/w0", "nn/layer4/w1")
+	text := cs.String()
+	for _, want := range []string{
+		"create_pblock icbp",
+		"resize_pblock icbp -add {RAMB18_X0Y0:RAMB18_X2Y9}",
+		"add_cells_to_pblock icbp [get_cells {nn/layer4/w0}]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered XDC missing %q:\n%s", want, text)
+		}
+	}
+	back, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != text {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", text, back.String())
+	}
+}
+
+func TestParseTolerations(t *testing.T) {
+	in := `
+# ICBP constraints
+create_pblock pb
+
+resize_pblock pb -add {RAMB18_X1Y1:RAMB18_X2Y2}
+add_cells_to_pblock pb [get_cells {top/mem}]
+`
+	cs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.PblockOf("top/mem") == nil {
+		t.Fatal("parsed constraint lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"create_pblock",
+		"resize_pblock pb {RAMB18_X1Y1:RAMB18_X2Y2}",
+		"resize_pblock pb -add {bogus}",
+		"resize_pblock pb -add {RAMB18_X1Y1}",
+		"add_cells_to_pblock pb cell",
+		"delete_pblock pb",
+		"resize_pblock pb -add {RAMB18_XaY1:RAMB18_X2Y2}",
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Fatalf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestMultiRegionPblock(t *testing.T) {
+	cs := NewConstraintSet()
+	cs.Resize("pb", Region{X1: 0, Y1: 0, X2: 0, Y2: 0})
+	cs.Resize("pb", Region{X1: 9, Y1: 9, X2: 9, Y2: 9})
+	p := cs.PblockOf("c")
+	if p != nil {
+		t.Fatal("no cells yet")
+	}
+	cs.AddCells("pb", "c")
+	p = cs.PblockOf("c")
+	if !p.Contains(silicon.Site{X: 0, Y: 0}) || !p.Contains(silicon.Site{X: 9, Y: 9}) {
+		t.Fatal("multi-region containment broken")
+	}
+	if p.Contains(silicon.Site{X: 5, Y: 5}) {
+		t.Fatal("gap between regions should be outside")
+	}
+}
