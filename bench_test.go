@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -47,7 +48,7 @@ func runExperiment(b *testing.B, id string, metrics map[string]string) {
 	var last *experiments.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := e.Run(benchCfg())
+		r, err := e.Run(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -294,7 +295,7 @@ func BenchmarkAblationJitter(b *testing.B) {
 	var withJitter, withoutJitter float64
 	for i := 0; i < b.N; i++ {
 		brd := board.New(platform.VC707().Scaled(150))
-		s, err := characterize.Run(brd, characterize.Options{
+		s, err := characterize.Run(context.Background(), brd, characterize.Options{
 			Runs: 12, Workers: 8,
 			VStart: brd.Platform.Cal.Vcrash, VStop: brd.Platform.Cal.Vcrash,
 		})
@@ -305,7 +306,7 @@ func BenchmarkAblationJitter(b *testing.B) {
 
 		brd2 := board.New(platform.VC707().Scaled(150))
 		brd2.SetEnvironmentNoise(1e-9) // collapse the jitter band
-		s2, err := characterize.Run(brd2, characterize.Options{
+		s2, err := characterize.Run(context.Background(), brd2, characterize.Options{
 			Runs: 12, Workers: 8,
 			VStart: brd2.Platform.Cal.Vcrash, VStop: brd2.Platform.Cal.Vcrash,
 		})

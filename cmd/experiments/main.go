@@ -10,15 +10,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"repro/fpgavolt"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var (
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		id      = flag.String("id", "", "run only the experiment with this id")
@@ -58,14 +62,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		r, err := e.Run(cfg)
+		r, err := e.Run(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		r.Render(w)
 		return
 	}
-	if _, err := fpgavolt.RunAllExperiments(cfg, w); err != nil {
+	if _, err := fpgavolt.RunAllExperiments(ctx, cfg, w); err != nil {
 		fatal(err)
 	}
 }

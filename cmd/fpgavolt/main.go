@@ -8,23 +8,39 @@
 //	fpgavolt patterns   -platform VC707 [-brams N] [-runs N]
 //	fpgavolt temps      -platform VC707 [-brams N] [-runs N]
 //	fpgavolt fvm        -platform VC707 [-brams N] [-runs N] [-save fvm.json] [-classes]
+//	fpgavolt campaign   [-platforms all] [-boards N] [-brams N] [-runs N] [-repeat N]
+//
+// The campaign subcommand shards a characterization sweep across a whole
+// fleet of boards (any mix of platforms, distinct serials per replica),
+// streams per-board progress, and reports the cross-chip variation spread;
+// with -repeat > 1 the later rounds are served from the FVM cache.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"strings"
+	"time"
 
 	"repro/fpgavolt"
 	"repro/internal/report"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if len(os.Args) < 2 {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "campaign" {
+		runCampaignCmd(ctx, os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
 		platformName = fs.String("platform", "VC707", "VC707, ZC702, KC705-A, or KC705-B")
@@ -58,7 +74,7 @@ func main() {
 			opts.ZeroFill = true
 			opts.PatternName = "16'h0000"
 		}
-		s, err := fpgavolt.Characterize(b, opts)
+		s, err := fpgavolt.Characterize(ctx, b, opts)
 		check(err)
 		t := report.NewTable(
 			fmt.Sprintf("%s undervolting sweep (pattern %s, %.0fC)", p.Name, s.PatternName, s.OnBoardC),
@@ -71,9 +87,9 @@ func main() {
 		t.Render(os.Stdout)
 
 	case "thresholds":
-		thB, err := fpgavolt.DiscoverBRAMThresholds(b, 2)
+		thB, err := fpgavolt.DiscoverBRAMThresholds(ctx, b, 2)
 		check(err)
-		thI, err := fpgavolt.DiscoverIntThresholds(b)
+		thI, err := fpgavolt.DiscoverIntThresholds(ctx, b)
 		check(err)
 		t := report.NewTable(p.Name+" operating thresholds",
 			"rail", "Vnom", "Vmin", "Vcrash", "guardband")
@@ -84,7 +100,7 @@ func main() {
 		t.Render(os.Stdout)
 
 	case "patterns":
-		results, err := fpgavolt.PatternStudy(b, p.Cal.Vcrash, []fpgavolt.SweepOptions{
+		results, err := fpgavolt.PatternStudy(ctx, b, p.Cal.Vcrash, []fpgavolt.SweepOptions{
 			{Pattern: 0xFFFF},
 			{Pattern: 0xAAAA},
 			{Pattern: 0x5555},
@@ -100,7 +116,7 @@ func main() {
 		t.Render(os.Stdout)
 
 	case "temps":
-		sweeps, err := fpgavolt.TemperatureStudy(b, []float64{50, 60, 70, 80},
+		sweeps, err := fpgavolt.TemperatureStudy(ctx, b, []float64{50, 60, 70, 80},
 			fpgavolt.SweepOptions{Runs: *runs, Workers: *workers})
 		check(err)
 		t := report.NewTable(p.Name+" temperature study (faults/Mbit at Vcrash)",
@@ -111,7 +127,7 @@ func main() {
 		t.Render(os.Stdout)
 
 	case "fvm":
-		m, err := fpgavolt.ExtractFVM(b, *runs, *workers)
+		m, err := fpgavolt.ExtractFVM(ctx, b, *runs, *workers)
 		check(err)
 		if *classes {
 			out, err := m.RenderClasses()
@@ -136,8 +152,133 @@ func main() {
 	}
 }
 
+// runCampaignCmd shards a characterization campaign across a fleet and
+// reports the cross-chip spread, repeating the campaign to exercise the FVM
+// cache.
+func runCampaignCmd(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	var (
+		platforms = fs.String("platforms", "all", `comma-separated platform names, or "all"`)
+		boards    = fs.Int("boards", 8, "fleet size; replicas are spread across the platform mix")
+		brams     = fs.Int("brams", 120, "simulated BRAM pool size per board (0 = full chips)")
+		runs      = fs.Int("runs", 10, "read passes per voltage level")
+		workers   = fs.Int("workers", 0, "concurrent boards (0 = all CPUs)")
+		repeat    = fs.Int("repeat", 2, "campaign repetitions (>1 demonstrates the FVM cache)")
+		quiet     = fs.Bool("quiet", false, "suppress per-board progress events")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	var mix []fpgavolt.Platform
+	if *platforms == "all" {
+		mix = fpgavolt.Platforms()
+	} else {
+		for _, name := range strings.Split(*platforms, ",") {
+			p, err := fpgavolt.PlatformByName(strings.TrimSpace(name))
+			check(err)
+			mix = append(mix, p)
+		}
+	}
+	if *boards < 1 {
+		check(fmt.Errorf("campaign needs at least one board"))
+	}
+	var inventory []fpgavolt.Platform
+	for i, p := range mix {
+		if *brams > 0 {
+			p = p.Scaled(*brams)
+		}
+		// Spread the fleet across the mix; the first platforms absorb the
+		// remainder.
+		n := *boards / len(mix)
+		if i < *boards%len(mix) {
+			n++
+		}
+		inventory = append(inventory, p.Replicas(n)...)
+	}
+	fleet := fpgavolt.NewFleet(inventory, fpgavolt.FleetOptions{Workers: *workers})
+	fmt.Printf("fleet: %d boards across %d platform(s), %d BRAMs each\n",
+		fleet.Size(), len(mix), *brams)
+
+	for rep := 1; rep <= *repeat; rep++ {
+		events := make(chan fpgavolt.FleetEvent, 16)
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for ev := range events {
+				if *quiet {
+					continue
+				}
+				switch ev.Kind {
+				case fpgavolt.FleetEventStart:
+					fmt.Printf("  [%2d] %-8s S/N %-22s characterizing...\n", ev.Board, ev.Platform, ev.Serial)
+				case fpgavolt.FleetEventDone:
+					src := "measured"
+					if ev.FromCache {
+						src = "cache hit"
+					}
+					fmt.Printf("  [%2d] %-8s S/N %-22s done (%s, %.1f faults/Mbit)\n",
+						ev.Board, ev.Platform, ev.Serial, src, ev.Faults)
+				case fpgavolt.FleetEventFailed:
+					fmt.Printf("  [%2d] %-8s S/N %-22s FAILED: %v\n", ev.Board, ev.Platform, ev.Serial, ev.Err)
+				}
+			}
+		}()
+		start := time.Now()
+		res, err := fpgavolt.RunCampaign(ctx, fleet, fpgavolt.Campaign{
+			Kind:   fpgavolt.CampaignCharacterization,
+			Sweep:  fpgavolt.SweepOptions{Runs: *runs},
+			Events: events,
+		})
+		close(events)
+		<-drained
+		check(err)
+		fmt.Printf("campaign %d/%d finished in %v (%d/%d boards, %d cache hits)\n",
+			rep, *repeat, time.Since(start).Round(time.Millisecond),
+			res.Agg.Completed, res.Agg.Boards, res.Agg.CacheHits)
+
+		t := report.NewTable(fmt.Sprintf("campaign %d: per-board results", rep),
+			"board", "platform", "S/N", "faults/Mbit", "Vmin", "Vcrash", "zero-fault", "source")
+		for _, br := range res.Boards {
+			if br.Err != nil {
+				t.AddRow(fmt.Sprintf("%d", br.Board), br.Platform, br.Serial, "error: "+br.Err.Error(), "", "", "", "")
+				continue
+			}
+			src := "measured"
+			if br.FromCache {
+				src = "cache"
+			}
+			t.AddRow(fmt.Sprintf("%d", br.Board), br.Platform, br.Serial,
+				report.F(br.Sweep.Final().FaultsPerMbit, 1),
+				report.F(fpgavolt.ObservedVmin(br.Sweep), 2), report.F(br.Sweep.Final().V, 2),
+				report.Pct(br.FVM.ZeroShare(), 1), src)
+		}
+		t.Render(os.Stdout)
+
+		agg := report.NewTable(fmt.Sprintf("campaign %d: cross-chip variation", rep),
+			"metric", "min", "median", "max")
+		agg.AddRow("faults/Mbit @ deepest level",
+			report.F(res.Agg.FaultsPerMbit.Min, 1), report.F(res.Agg.FaultsPerMbit.Median, 1),
+			report.F(res.Agg.FaultsPerMbit.Max, 1))
+		agg.AddRow("observed Vmin (V)",
+			report.F(res.Agg.ObservedVmin.Min, 2), report.F(res.Agg.ObservedVmin.Median, 2),
+			report.F(res.Agg.ObservedVmin.Max, 2))
+		agg.AddRow("observed Vcrash (V)",
+			report.F(res.Agg.ObservedVcrash.Min, 2), report.F(res.Agg.ObservedVcrash.Median, 2),
+			report.F(res.Agg.ObservedVcrash.Max, 2))
+		agg.AddRow("zero-fault BRAM share",
+			report.Pct(res.Agg.ZeroFaultShare.Min, 1), report.Pct(res.Agg.ZeroFaultShare.Median, 1),
+			report.Pct(res.Agg.ZeroFaultShare.Max, 1))
+		agg.AddRow("max/min spread", "", report.F(res.Agg.SpreadRatio, 2)+"x", "")
+		agg.Render(os.Stdout)
+	}
+	cs := fleet.CacheStats()
+	fmt.Printf("FVM cache: %d hits, %d misses (%.0f%% hit rate), %d/%d entries\n",
+		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Len, cs.Cap)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fpgavolt <sweep|thresholds|patterns|temps|fvm> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fpgavolt <sweep|thresholds|patterns|temps|fvm|campaign> [flags]
 run "fpgavolt <cmd> -h" for flags`)
 	os.Exit(2)
 }

@@ -11,15 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/fpgavolt"
 	"repro/internal/report"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var (
 		benchmark = flag.String("benchmark", "mnist", "mnist, forest, or reuters")
 		icbp      = flag.Bool("icbp", false, "protect the last layer with ICBP constraints")
@@ -71,7 +75,7 @@ func main() {
 	var cs *fpgavolt.ConstraintSet
 	if *icbp {
 		fmt.Println("extracting FVM for ICBP constraints...")
-		m, err := fpgavolt.ExtractFVM(b, 10, *workers)
+		m, err := fpgavolt.ExtractFVM(ctx, b, 10, *workers)
 		check(err)
 		cs, err = fpgavolt.ICBPConstraints(m, q, fpgavolt.ICBPOptions{})
 		check(err)
@@ -90,7 +94,7 @@ func main() {
 		t.Render(os.Stdout)
 	}
 
-	rs, err := a.Sweep(ds.TestX, ds.TestY, *workers)
+	rs, err := a.Sweep(ctx, ds.TestX, ds.TestY, *workers)
 	check(err)
 	mode := "default"
 	if *icbp {

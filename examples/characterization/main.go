@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,15 +14,16 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
 	p := board.Platform
 
 	// --- Fig. 1: discover the operating thresholds from scratch.
-	thB, err := fpgavolt.DiscoverBRAMThresholds(board, 2)
+	thB, err := fpgavolt.DiscoverBRAMThresholds(ctx, board, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	thI, err := fpgavolt.DiscoverIntThresholds(board)
+	thI, err := fpgavolt.DiscoverIntThresholds(ctx, board)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +33,7 @@ func main() {
 		thI.Vmin, thI.Vcrash, report.Pct(thI.GuardbandFrac(), 1))
 
 	// --- Fig. 3 / Table II: the main sweep, 100-run statistics per level.
-	sweep, err := fpgavolt.Characterize(board, fpgavolt.SweepOptions{Runs: 30})
+	sweep, err := fpgavolt.Characterize(ctx, board, fpgavolt.SweepOptions{Runs: 30})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func main() {
 	t.Render(log.Writer())
 
 	// --- Fig. 4: pattern dependence at Vcrash.
-	patterns, err := fpgavolt.PatternStudy(board, p.Cal.Vcrash, []fpgavolt.SweepOptions{
+	patterns, err := fpgavolt.PatternStudy(ctx, board, p.Cal.Vcrash, []fpgavolt.SweepOptions{
 		{Pattern: 0xFFFF}, {Pattern: 0xAAAA}, {RandomFill: true},
 		{ZeroFill: true, PatternName: "16'h0000"},
 	}, 15)
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	// --- Figs. 5 & 6: the Fault Variation Map and its classes.
-	m, err := fpgavolt.ExtractFVM(board, 20, 0)
+	m, err := fpgavolt.ExtractFVM(ctx, board, 20, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

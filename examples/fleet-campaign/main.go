@@ -1,0 +1,120 @@
+// Fleet campaign: the paper's chip-to-chip variation story at rack scale.
+//
+// The study measured four boards and found that "identical" chips behave
+// differently under undervolting (its two KC705 samples differ 4.1× in fault
+// rate at Vcrash). A deployment that wants the ~10× BRAM power saving must
+// therefore characterize every board it owns, not one golden sample. This
+// example runs that workflow: a 16-board fleet — four samples of each of the
+// four platforms, each replica a physically distinct die — is characterized
+// concurrently under a deadline, progress streams per board, and the
+// cross-chip spread (min/median/max faults per Mbit, Vmin/Vcrash window) is
+// what an operator would act on. The campaign then runs again: every board
+// is served from the Fault Variation Map cache, which is how a periodic
+// re-audit stays cheap.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/fpgavolt"
+)
+
+func main() {
+	// Mint the fleet: 4 samples per platform. Replica 0 of each keeps the
+	// paper's reference serial (reproducing its published numbers); the rest
+	// draw their own die-to-die variation. 100-BRAM pools keep the demo
+	// quick; drop Scaled() for full chips.
+	var boards []fpgavolt.Platform
+	for _, p := range fpgavolt.Platforms() {
+		boards = append(boards, p.Scaled(100).Replicas(4)...)
+	}
+	fleet := fpgavolt.NewFleet(boards, fpgavolt.FleetOptions{Workers: 8})
+	fmt.Printf("fleet: %d boards (4 samples x 4 platforms), 8 concurrent\n\n", fleet.Size())
+
+	// Campaigns are deadline-aware end to end: the context threads through
+	// every voltage step of every board.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	campaign := fpgavolt.Campaign{
+		Kind:  fpgavolt.CampaignCharacterization,
+		Sweep: fpgavolt.SweepOptions{Runs: 10},
+	}
+
+	start := time.Now()
+	res, err := runWithProgress(ctx, fleet, campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst campaign: %d/%d boards in %v\n",
+		res.Agg.Completed, res.Agg.Boards, time.Since(start).Round(time.Millisecond))
+
+	agg := res.Agg
+	fmt.Printf("cross-chip spread at the deepest level:\n")
+	fmt.Printf("  faults/Mbit   min %7.1f   median %7.1f   max %7.1f   (%.1fx max/min)\n",
+		agg.FaultsPerMbit.Min, agg.FaultsPerMbit.Median, agg.FaultsPerMbit.Max, agg.SpreadRatio)
+	fmt.Printf("  observed Vmin    %0.2f V .. %0.2f V\n", agg.ObservedVmin.Min, agg.ObservedVmin.Max)
+	fmt.Printf("  observed Vcrash  %0.2f V .. %0.2f V\n", agg.ObservedVcrash.Min, agg.ObservedVcrash.Max)
+	fmt.Printf("  zero-fault BRAMs %s .. %s per die\n\n",
+		pct(agg.ZeroFaultShare.Min), pct(agg.ZeroFaultShare.Max))
+
+	// The same campaign again: every board hits the FVM cache, so a periodic
+	// fleet re-audit costs microseconds, not sweeps.
+	start = time.Now()
+	res2, err := runWithProgress(ctx, fleet, campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := fleet.CacheStats()
+	fmt.Printf("\nrepeat campaign: %d/%d boards from cache in %v (cache: %d hits / %d misses)\n",
+		res2.Agg.CacheHits, res2.Agg.Boards, time.Since(start).Round(time.Microsecond),
+		cs.Hits, cs.Misses)
+
+	// The per-board FVMs are the input to placement mitigation: the safest
+	// chip of the fleet is where the vulnerable NN layer should land.
+	var best *fpgavolt.FleetBoardResult
+	for i := range res.Boards {
+		br := &res.Boards[i]
+		if br.Err != nil {
+			continue
+		}
+		if best == nil || br.Sweep.Final().FaultsPerMbit < best.Sweep.Final().FaultsPerMbit {
+			best = br
+		}
+	}
+	if best != nil {
+		fmt.Printf("\nsafest die in the fleet: %s S/N %s (%.1f faults/Mbit, %s fault-free BRAMs)\n",
+			best.Platform, best.Serial, best.Sweep.Final().FaultsPerMbit, pct(best.FVM.ZeroShare()))
+	}
+}
+
+// runWithProgress executes the campaign while printing each board's
+// completion, and returns only after every event has been rendered.
+func runWithProgress(ctx context.Context, fleet *fpgavolt.Fleet, c fpgavolt.Campaign) (*fpgavolt.CampaignResult, error) {
+	events := make(chan fpgavolt.FleetEvent, 16)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range events {
+			if ev.Kind != fpgavolt.FleetEventDone {
+				continue
+			}
+			src := "measured"
+			if ev.FromCache {
+				src = "cache"
+			}
+			fmt.Printf("  board %2d  %-8s S/N %-30s %8.1f faults/Mbit  [%s]\n",
+				ev.Board, ev.Platform, ev.Serial, ev.Faults, src)
+		}
+	}()
+	c.Events = events
+	res, err := fpgavolt.RunCampaign(ctx, fleet, c)
+	close(events)
+	<-drained
+	return res, err
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,11 +15,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
 
 	// Step 1 (pre-process): characterize the chip and build its FVM.
 	fmt.Println("extracting the Fault Variation Map (one-time, chip-specific)...")
-	m, err := fpgavolt.ExtractFVM(board, 20, 0)
+	m, err := fpgavolt.ExtractFVM(ctx, board, 20, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defResults, err := defAcc.Sweep(ds.TestX, ds.TestY, 0)
+	defResults, err := defAcc.Sweep(ctx, ds.TestX, ds.TestY, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	icbpResults, err := icbpAcc.Sweep(ds.TestX, ds.TestY, 0)
+	icbpResults, err := icbpAcc.Sweep(ctx, ds.TestX, ds.TestY, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Train on the MNIST-like benchmark (784->196 pixels at this scale).
 	ds, err := fpgavolt.Benchmark("mnist", fpgavolt.DatasetOptions{
 		TrainSamples: 4000, TestSamples: 800, Features: 196,
@@ -49,14 +51,14 @@ func main() {
 
 	t := report.NewTable("accuracy/power trade-off under BRAM undervolting",
 		"VCCBRAM (V)", "class. error", "faulty weight bits", "BRAM power (W)", "total (W)")
-	results, err := acc.Sweep(ds.TestX, ds.TestY, 0)
+	results, err := acc.Sweep(ctx, ds.TestX, ds.TestY, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cal := board.Platform.Cal
 	for _, v := range []float64{cal.Vnom} {
 		bd := acc.PowerBreakdown(v)
-		r, err := acc.EvaluateAt(v, ds.TestX, ds.TestY, 0)
+		r, err := acc.EvaluateAt(ctx, v, ds.TestX, ds.TestY, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

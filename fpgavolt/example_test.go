@@ -1,6 +1,7 @@
 package fpgavolt_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/fpgavolt"
@@ -11,7 +12,7 @@ import (
 // the published VC707 value.
 func ExampleCharacterize() {
 	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
-	sweep, err := fpgavolt.Characterize(board, fpgavolt.SweepOptions{Runs: 10, Workers: 4})
+	sweep, err := fpgavolt.Characterize(context.Background(), board, fpgavolt.SweepOptions{Runs: 10, Workers: 4})
 	if err != nil {
 		panic(err)
 	}
@@ -29,7 +30,7 @@ func ExampleCharacterize() {
 // Fig. 1 from scratch, without consulting the calibration.
 func ExampleDiscoverBRAMThresholds() {
 	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
-	th, err := fpgavolt.DiscoverBRAMThresholds(board, 2)
+	th, err := fpgavolt.DiscoverBRAMThresholds(context.Background(), board, 2)
 	if err != nil {
 		panic(err)
 	}
@@ -55,7 +56,7 @@ func ExamplePlatforms() {
 // become Pblock constraints for the most vulnerable NN layer.
 func ExampleICBPConstraints() {
 	board := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(100))
-	m, err := fpgavolt.ExtractFVM(board, 6, 4)
+	m, err := fpgavolt.ExtractFVM(context.Background(), board, 6, 4)
 	if err != nil {
 		panic(err)
 	}

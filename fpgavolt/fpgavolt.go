@@ -14,21 +14,42 @@
 //     training, 16-bit per-layer quantization, deployment into BRAMs, and
 //     the ICBP placement mitigation.
 //   - The experiment registry that regenerates every table and figure.
+//   - The fleet campaign engine: the same studies sharded across N boards
+//     (any mix of platforms and serials) with bounded concurrency, per-board
+//     progress events, cross-chip variation aggregation, and an FVM cache
+//     that lets repeated campaigns skip re-characterization.
 //
 // A minimal session:
 //
+//	ctx := context.Background()
 //	b := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(200))
-//	sweep, err := fpgavolt.Characterize(b, fpgavolt.SweepOptions{Runs: 20})
+//	sweep, err := fpgavolt.Characterize(ctx, b, fpgavolt.SweepOptions{Runs: 20})
 //	// sweep.Final().FaultsPerMbit ≈ 652 for VC707, as in the paper
+//
+// A fleet campaign across all four platforms (two samples each):
+//
+//	var boards []fpgavolt.Platform
+//	for _, p := range fpgavolt.Platforms() {
+//		boards = append(boards, p.Scaled(200).Replicas(2)...)
+//	}
+//	fleet := fpgavolt.NewFleet(boards, fpgavolt.FleetOptions{Workers: 4})
+//	res, err := fpgavolt.RunCampaign(ctx, fleet, fpgavolt.Campaign{
+//		Kind: fpgavolt.CampaignCharacterization,
+//		Sweep: fpgavolt.SweepOptions{Runs: 20},
+//	})
+//	// res.Agg.FaultsPerMbit holds the cross-chip min/median/max spread;
+//	// running the same campaign again is served from the FVM cache.
 package fpgavolt
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/accel"
 	"repro/internal/board"
 	"repro/internal/characterize"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fvm"
 	"repro/internal/nn"
@@ -77,6 +98,45 @@ type (
 	ICBPOptions = placement.ICBPOptions
 )
 
+// Fleet campaign types.
+type (
+	// Fleet is a pool of boards campaigns run across.
+	Fleet = engine.Fleet
+	// FleetOptions tunes a fleet's concurrency and cache.
+	FleetOptions = engine.Options
+	// Campaign describes one fleet-wide study.
+	Campaign = engine.Campaign
+	// CampaignKind selects the study a campaign runs.
+	CampaignKind = engine.CampaignKind
+	// CampaignResult is a completed campaign with its cross-chip aggregate.
+	CampaignResult = engine.CampaignResult
+	// FleetBoardResult is one board's outcome within a campaign.
+	FleetBoardResult = engine.BoardResult
+	// FleetAggregate is the cross-chip variation summary.
+	FleetAggregate = engine.Aggregate
+	// FleetEvent is a per-board campaign progress notification.
+	FleetEvent = engine.Event
+	// FleetCacheStats reports FVM cache effectiveness.
+	FleetCacheStats = engine.CacheStats
+)
+
+// The fleet campaign kinds.
+const (
+	// CampaignCharacterization sweeps and FVM-maps every board.
+	CampaignCharacterization = engine.Characterization
+	// CampaignTemperature runs the Fig. 8 ladder on every board.
+	CampaignTemperature = engine.TemperatureStudy
+	// CampaignInference sweeps NN inference accuracy on every board.
+	CampaignInference = engine.NNInference
+)
+
+// The fleet event kinds a campaign streams per board.
+const (
+	FleetEventStart  = engine.EventBoardStart
+	FleetEventDone   = engine.EventBoardDone
+	FleetEventFailed = engine.EventBoardFailed
+)
+
 // Experiment framework types.
 type (
 	// Experiment reproduces one table or figure.
@@ -112,42 +172,39 @@ func OpenBoard(p Platform) *Board { return board.New(p) }
 
 // Characterize runs the Listing 1 methodology: pattern fill, 10 mV downward
 // sweep, ~100 reads per level, host-side fault analysis.
-func Characterize(b *Board, opts SweepOptions) (*Sweep, error) {
-	return characterize.Run(b, opts)
+func Characterize(ctx context.Context, b *Board, opts SweepOptions) (*Sweep, error) {
+	return characterize.Run(ctx, b, opts)
 }
 
 // DiscoverBRAMThresholds locates VCCBRAM's Vmin and Vcrash (Fig. 1a).
-func DiscoverBRAMThresholds(b *Board, probeRuns int) (Thresholds, error) {
-	return characterize.DiscoverBRAMThresholds(b, probeRuns)
+func DiscoverBRAMThresholds(ctx context.Context, b *Board, probeRuns int) (Thresholds, error) {
+	return characterize.DiscoverBRAMThresholds(ctx, b, probeRuns)
 }
 
 // DiscoverIntThresholds locates VCCINT's Vmin and Vcrash (Fig. 1b).
-func DiscoverIntThresholds(b *Board) (Thresholds, error) {
-	return characterize.DiscoverIntThresholds(b)
+func DiscoverIntThresholds(ctx context.Context, b *Board) (Thresholds, error) {
+	return characterize.DiscoverIntThresholds(ctx, b)
 }
 
 // PatternStudy measures fault rates for several data patterns at a fixed
 // voltage (Fig. 4).
-func PatternStudy(b *Board, v float64, patterns []SweepOptions, runs int) ([]PatternResult, error) {
-	return characterize.RunPatternStudy(b, v, patterns, runs)
+func PatternStudy(ctx context.Context, b *Board, v float64, patterns []SweepOptions, runs int) ([]PatternResult, error) {
+	return characterize.RunPatternStudy(ctx, b, v, patterns, runs)
 }
 
 // TemperatureStudy sweeps voltage at several on-board temperatures (Fig. 8).
-func TemperatureStudy(b *Board, temps []float64, opts SweepOptions) ([]*Sweep, error) {
-	return characterize.TemperatureStudy(b, temps, opts)
+func TemperatureStudy(ctx context.Context, b *Board, temps []float64, opts SweepOptions) ([]*Sweep, error) {
+	return characterize.TemperatureStudy(ctx, b, temps, opts)
 }
 
 // ExtractFVM characterizes the board and assembles its Fault Variation Map
 // at the deepest voltage level.
-func ExtractFVM(b *Board, runs, workers int) (*FVM, error) {
-	s, err := characterize.Run(b, characterize.Options{Runs: runs, Workers: workers})
+func ExtractFVM(ctx context.Context, b *Board, runs, workers int) (*FVM, error) {
+	s, err := characterize.Run(ctx, b, characterize.Options{Runs: runs, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	return fvm.New(b.Platform.Name, b.Platform.Serial,
-		b.Platform.Geometry.GridCols, b.Platform.Geometry.GridRows,
-		s.Levels[0].V, s.Final().V, s.OnBoardC,
-		b.Platform.Sites(), s.PerBRAMMedian())
+	return fvm.FromSweep(b.Platform, s)
 }
 
 // LoadFVM reads a map saved with FVM.Save.
@@ -182,6 +239,25 @@ func ICBPConstraints(m *FVM, q *Quantized, opts ICBPOptions) (*ConstraintSet, er
 	return placement.ICBPConstraints(m, d, q, opts)
 }
 
+// NewFleet assembles a fleet over the given board inventory. Use
+// Platform.Replicas or Platform.WithSerial to mint distinct samples of one
+// chip model.
+func NewFleet(platforms []Platform, opts FleetOptions) *Fleet {
+	return engine.NewFleet(platforms, opts)
+}
+
+// RunCampaign executes the campaign across every fleet board concurrently.
+// Per-board failures are recorded in their FleetBoardResult; cancelling the
+// context stops the whole fleet promptly with ctx.Err().
+func RunCampaign(ctx context.Context, f *Fleet, c Campaign) (*CampaignResult, error) {
+	return f.RunCampaign(ctx, c)
+}
+
+// ObservedVmin returns the lowest voltage level of a sweep that stayed
+// fault-free — the board's empirical Vmin, the per-chip quantity whose
+// fleet-wide spread a campaign aggregates.
+func ObservedVmin(s *Sweep) float64 { return engine.ObservedVmin(s) }
+
 // Experiments returns the full registry in the paper's presentation order.
 func Experiments() []Experiment { return experiments.All() }
 
@@ -190,6 +266,6 @@ func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id)
 
 // RunAllExperiments regenerates every table and figure, streaming rendered
 // results to w (which may be nil).
-func RunAllExperiments(cfg ExperimentConfig, w io.Writer) ([]*ExperimentResult, error) {
-	return experiments.RunAll(cfg, w)
+func RunAllExperiments(ctx context.Context, cfg ExperimentConfig, w io.Writer) ([]*ExperimentResult, error) {
+	return experiments.RunAll(ctx, cfg, w)
 }

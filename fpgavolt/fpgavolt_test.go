@@ -2,13 +2,14 @@ package fpgavolt
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
 func TestFacadeEndToEnd(t *testing.T) {
 	// The quickstart path advertised in the package comment must work.
 	b := OpenBoard(VC707().Scaled(120))
-	sweep, err := Characterize(b, SweepOptions{Runs: 8, Workers: 4})
+	sweep, err := Characterize(context.Background(), b, SweepOptions{Runs: 8, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestFacadePlatforms(t *testing.T) {
 
 func TestFacadeThresholds(t *testing.T) {
 	b := OpenBoard(KC705B().Scaled(60))
-	th, err := DiscoverBRAMThresholds(b, 1)
+	th, err := DiscoverBRAMThresholds(context.Background(), b, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestFacadeThresholds(t *testing.T) {
 
 func TestFacadeFVMRoundTrip(t *testing.T) {
 	b := OpenBoard(VC707().Scaled(80))
-	m, err := ExtractFVM(b, 5, 4)
+	m, err := ExtractFVM(context.Background(), b, 5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFacadeNNPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := a.EvaluateAt(1.0, ds.TestX, ds.TestY, 4)
+	r, err := a.EvaluateAt(context.Background(), 1.0, ds.TestX, ds.TestY, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFacadeNNPipeline(t *testing.T) {
 		t.Fatal("faults at nominal voltage")
 	}
 	// ICBP path compiles too.
-	m, err := ExtractFVM(b, 4, 4)
+	m, err := ExtractFVM(context.Background(), b, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := e.Run(ExperimentConfig{BRAMs: 40, Runs: 3})
+	r, err := e.Run(context.Background(), ExperimentConfig{BRAMs: 40, Runs: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/fpgavolt"
@@ -94,7 +95,7 @@ func TestEndToEndPaperFlow(t *testing.T) {
 	brd := fpgavolt.OpenBoard(fpgavolt.VC707().Scaled(150))
 
 	// Stage 1: characterization.
-	sweep, err := fpgavolt.Characterize(brd, fpgavolt.SweepOptions{Runs: 10, Workers: 8})
+	sweep, err := fpgavolt.Characterize(context.Background(), brd, fpgavolt.SweepOptions{Runs: 10, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestEndToEndPaperFlow(t *testing.T) {
 	}
 
 	// Stage 2: FVM with persistence round trip.
-	m, err := fpgavolt.ExtractFVM(brd, 10, 8)
+	m, err := fpgavolt.ExtractFVM(context.Background(), brd, 10, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestEndToEndPaperFlow(t *testing.T) {
 
 	// Stage 5: sweep; the protected accelerator must hold its baseline at
 	// Vmin and stay operational at Vcrash.
-	rs, err := a.Sweep(ds.TestX, ds.TestY, 8)
+	rs, err := a.Sweep(context.Background(), ds.TestX, ds.TestY, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestEndToEndPaperFlow(t *testing.T) {
 		t.Fatal("faults at Vmin")
 	}
 	last := len(q.Words) - 1
-	counts, err := a.LayerFaultCounts(brd.Platform.Cal.Vcrash)
+	counts, err := a.LayerFaultCounts(context.Background(), brd.Platform.Cal.Vcrash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestEndToEndPaperFlow(t *testing.T) {
 func TestDeterministicReproduction(t *testing.T) {
 	run := func() (float64, int) {
 		brd := fpgavolt.OpenBoard(fpgavolt.KC705A().Scaled(100))
-		s, err := fpgavolt.Characterize(brd, fpgavolt.SweepOptions{Runs: 6, Workers: 4})
+		s, err := fpgavolt.Characterize(context.Background(), brd, fpgavolt.SweepOptions{Runs: 6, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestAccelMatchesDirectEvaluation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := a.EvaluateAt(brd.Platform.Cal.Vnom, ds.TestX, ds.TestY, 4)
+	r, err := a.EvaluateAt(context.Background(), brd.Platform.Cal.Vnom, ds.TestX, ds.TestY, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package accel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitstream"
@@ -148,9 +149,13 @@ type InferenceResult struct {
 // accelerator (reading parameters through the faulty path once — fault
 // locations are deterministic, so one read pass defines the epoch's
 // effective weights), and returns the classification error. The rail is
-// restored to nominal afterwards.
-func (a *Accelerator) EvaluateAt(v float64, xs [][]float64, ys []int, workers int) (InferenceResult, error) {
+// restored to nominal afterwards. The context is checked before the voltage
+// moves, so a cancelled campaign never leaves the rail underscaled.
+func (a *Accelerator) EvaluateAt(ctx context.Context, v float64, xs [][]float64, ys []int, workers int) (InferenceResult, error) {
 	cal := a.Board.Platform.Cal
+	if err := ctx.Err(); err != nil {
+		return InferenceResult{}, err
+	}
 	if err := a.Board.SetVCCBRAM(v); err != nil {
 		return InferenceResult{}, err
 	}
@@ -178,11 +183,11 @@ func (a *Accelerator) EvaluateAt(v float64, xs [][]float64, ys []int, workers in
 
 // Sweep evaluates the accelerator at every voltage level from the
 // platform's Vmin to Vcrash in 10 mV steps (Fig. 11 / Fig. 14 curves).
-func (a *Accelerator) Sweep(xs [][]float64, ys []int, workers int) ([]InferenceResult, error) {
+func (a *Accelerator) Sweep(ctx context.Context, xs [][]float64, ys []int, workers int) ([]InferenceResult, error) {
 	cal := a.Board.Platform.Cal
 	var out []InferenceResult
 	for v := cal.Vmin; v > cal.Vcrash-0.005; v -= 0.01 {
-		r, err := a.EvaluateAt(v, xs, ys, workers)
+		r, err := a.EvaluateAt(ctx, v, xs, ys, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -224,8 +229,11 @@ func (a *Accelerator) PowerBreakdown(v float64) power.Breakdown {
 
 // LayerFaultCounts reads parameters at voltage v and attributes faulty bits
 // to layers — the #faults bars of Fig. 13.
-func (a *Accelerator) LayerFaultCounts(v float64) ([]int, error) {
+func (a *Accelerator) LayerFaultCounts(ctx context.Context, v float64) ([]int, error) {
 	cal := a.Board.Platform.Cal
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := a.Board.SetVCCBRAM(v); err != nil {
 		return nil, err
 	}

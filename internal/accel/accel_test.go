@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -56,7 +57,7 @@ func newFixture(t *testing.T, hotFaults float64) *fixture {
 
 func (f *fixture) fvm(t *testing.T) *fvm.Map {
 	t.Helper()
-	s, err := characterize.Run(f.board, characterize.Options{Runs: 6, Workers: 4})
+	s, err := characterize.Run(context.Background(), f.board, characterize.Options{Runs: 6, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestEvaluateAtNominalMatchesBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := a.EvaluateAt(f.board.Platform.Cal.Vnom, f.data.TestX, f.data.TestY, 8)
+	r, err := a.EvaluateAt(context.Background(), f.board.Platform.Cal.Vnom, f.data.TestX, f.data.TestY, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFaultsAppearAtVcrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := a.EvaluateAt(f.board.Platform.Cal.Vcrash, f.data.TestX, f.data.TestY, 8)
+	r, err := a.EvaluateAt(context.Background(), f.board.Platform.Cal.Vcrash, f.data.TestX, f.data.TestY, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestWeightSparsityReducesObservedFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := a.EvaluateAt(f.board.Platform.Cal.Vcrash, f.data.TestX, f.data.TestY, 8)
+	r, err := a.EvaluateAt(context.Background(), f.board.Platform.Cal.Vcrash, f.data.TestX, f.data.TestY, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestSweepShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := a.Sweep(f.data.TestX, f.data.TestY, 8)
+	rs, err := a.Sweep(context.Background(), f.data.TestX, f.data.TestY, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,12 +225,12 @@ func TestICBPProtectsLastLayer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		counts, err := def.LayerFaultCounts(vcrash)
+		counts, err := def.LayerFaultCounts(context.Background(), vcrash)
 		if err != nil {
 			t.Fatal(err)
 		}
 		defLastFaults += counts[last]
-		r, err := def.EvaluateAt(vcrash, f.data.TestX, f.data.TestY, 8)
+		r, err := def.EvaluateAt(context.Background(), vcrash, f.data.TestX, f.data.TestY, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,14 +240,14 @@ func TestICBPProtectsLastLayer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		icbpCounts, err := icbp.LayerFaultCounts(vcrash)
+		icbpCounts, err := icbp.LayerFaultCounts(context.Background(), vcrash)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if icbpCounts[last] != 0 {
 			t.Fatalf("seed %d: ICBP-protected layer saw %d faults", seed, icbpCounts[last])
 		}
-		ri, err := icbp.EvaluateAt(vcrash, f.data.TestX, f.data.TestY, 8)
+		ri, err := icbp.EvaluateAt(context.Background(), vcrash, f.data.TestX, f.data.TestY, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +318,7 @@ func TestLayerFaultCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := a.LayerFaultCounts(f.board.Platform.Cal.Vcrash)
+	counts, err := a.LayerFaultCounts(context.Background(), f.board.Platform.Cal.Vcrash)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,8 @@
 package characterize
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/bram"
 	"repro/internal/prng"
+	"repro/internal/silicon"
 	"repro/internal/stats"
 	"repro/internal/voltage"
 )
@@ -40,7 +43,12 @@ type Options struct {
 	Workers     int     // concurrent readers (0 → GOMAXPROCS)
 }
 
-func (o Options) withDefaults(b *board.Board) Options {
+// Normalized resolves every zero field to its paper default under the given
+// silicon calibration (the sweep window tops out at the platform's Vmin and
+// bottoms out at its Vcrash). It is the single source of truth for option
+// defaulting: the sweep itself and any cache keyed on options both resolve
+// through here, so they cannot drift apart.
+func (o Options) Normalized(cal silicon.Calibration) Options {
 	if o.Runs <= 0 {
 		o.Runs = 100
 	}
@@ -57,10 +65,10 @@ func (o Options) withDefaults(b *board.Board) Options {
 		}
 	}
 	if o.VStart == 0 {
-		o.VStart = b.Platform.Cal.Vmin
+		o.VStart = cal.Vmin
 	}
 	if o.VStop == 0 {
-		o.VStop = b.Platform.Cal.Vcrash
+		o.VStop = cal.Vcrash
 	}
 	if o.StepV == 0 {
 		o.StepV = voltage.Step
@@ -72,6 +80,21 @@ func (o Options) withDefaults(b *board.Board) Options {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
+}
+
+// Fingerprint returns a stable identity for the measurement-relevant knobs:
+// effective data fill, sweep window, and step. Worker count and PatternName
+// are excluded — the first only changes scheduling, the second is a display
+// label; what fill() actually writes is what identifies the measurement.
+// Call it on Normalized options, so defaulted and explicit paper options
+// collide, which is what a memoization key wants.
+func (o Options) Fingerprint() string {
+	fill := fmt.Sprintf("%04X", o.Pattern)
+	if o.RandomFill {
+		fill = "random" // seeded per serial, which the cache keys separately
+	}
+	return fmt.Sprintf("fill=%s|win=%.3f..%.3f|step=%.3f",
+		fill, o.VStart, o.VStop, o.StepV)
 }
 
 // Level is the analysis of one voltage step.
@@ -129,9 +152,11 @@ func (s *Sweep) Final() Level {
 func (s *Sweep) PerBRAMMedian() []float64 { return s.Final().PerBRAM }
 
 // Run executes the sweep of Listing 1 on the board and restores nominal
-// voltage afterwards.
-func Run(b *board.Board, opts Options) (*Sweep, error) {
-	o := opts.withDefaults(b)
+// voltage afterwards. The context is checked between voltage levels and
+// between read passes, so a cancelled sweep stops promptly; the rail is
+// restored to nominal before the cancellation error is returned.
+func Run(ctx context.Context, b *board.Board, opts Options) (*Sweep, error) {
+	o := opts.Normalized(b.Platform.Cal)
 	b.SetOnBoardTemp(o.OnBoardC)
 	fill(b, o)
 
@@ -142,16 +167,19 @@ func Run(b *board.Board, opts Options) (*Sweep, error) {
 		OnBoardC:    o.OnBoardC,
 	}
 	for _, v := range voltage.SweepDown(o.VStart, o.VStop, o.StepV) {
+		if err := ctx.Err(); err != nil {
+			return nil, restoreNominal(b, err)
+		}
 		if err := b.SetVCCBRAM(v); err != nil {
-			return nil, err
+			return nil, restoreNominal(b, err)
 		}
 		if !b.Operating() {
 			break // crash region reached; DONE dropped
 		}
 		b.SoftReset()
-		level, err := measureLevel(b, o, v)
+		level, err := measureLevel(ctx, b, o, v)
 		if err != nil {
-			return nil, err
+			return nil, restoreNominal(b, err)
 		}
 		sweep.Levels = append(sweep.Levels, level)
 	}
@@ -159,6 +187,17 @@ func Run(b *board.Board, opts Options) (*Sweep, error) {
 		return nil, err
 	}
 	return sweep, nil
+}
+
+// restoreNominal raises the BRAM rail back to nominal on an abnormal exit.
+// The cause always stays visible (errors.Is keeps matching it); a failed
+// restore — the board left undervolted — is joined onto it rather than
+// swallowed.
+func restoreNominal(b *board.Board, cause error) error {
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vnom); err != nil {
+		return errors.Join(cause, err)
+	}
+	return cause
 }
 
 // fill initializes the pool with the requested pattern.
@@ -172,8 +211,9 @@ func fill(b *board.Board, o Options) {
 }
 
 // measureLevel performs o.Runs full-pool read passes at the current voltage
-// and aggregates host-side analysis.
-func measureLevel(b *board.Board, o Options, v float64) (Level, error) {
+// and aggregates host-side analysis. The context is checked before every
+// read pass.
+func measureLevel(ctx context.Context, b *board.Board, o Options, v float64) (Level, error) {
 	nSites := b.Pool.Len()
 	level := Level{V: v}
 	perBRAMRuns := make([][]int, nSites) // [site][run]
@@ -188,6 +228,9 @@ func measureLevel(b *board.Board, o Options, v float64) (Level, error) {
 	}
 
 	for run := 0; run < o.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return Level{}, err
+		}
 		runIdx := b.BeginRun()
 		total, f10, f01, err := scanPool(b, o, perBRAMRuns, run, runIdx)
 		if err != nil {
@@ -296,7 +339,7 @@ func (t Thresholds) GuardbandFrac() float64 {
 // operating level (Vcrash). A short probe (probeRuns read passes over the
 // pool) detects faults at each level. The board is reconfigured and restored
 // to nominal before returning.
-func DiscoverBRAMThresholds(b *board.Board, probeRuns int) (Thresholds, error) {
+func DiscoverBRAMThresholds(ctx context.Context, b *board.Board, probeRuns int) (Thresholds, error) {
 	if probeRuns <= 0 {
 		probeRuns = 3
 	}
@@ -306,8 +349,11 @@ func DiscoverBRAMThresholds(b *board.Board, probeRuns int) (Thresholds, error) {
 	buf := make([]uint16, bram.Rows)
 	sawFault := false
 	for _, v := range voltage.SweepDown(cal.Vnom, 0.40, voltage.Step) {
+		if err := ctx.Err(); err != nil {
+			return th, restoreNominal(b, err)
+		}
 		if err := b.SetVCCBRAM(v); err != nil {
-			return th, err
+			return th, restoreNominal(b, err)
 		}
 		if !b.Operating() {
 			break
@@ -342,11 +388,19 @@ func DiscoverBRAMThresholds(b *board.Board, probeRuns int) (Thresholds, error) {
 
 // DiscoverIntThresholds locates the VCCINT boundaries (Fig. 1b) using the
 // design's logic self-test as the fault signal.
-func DiscoverIntThresholds(b *board.Board) (Thresholds, error) {
+func DiscoverIntThresholds(ctx context.Context, b *board.Board) (Thresholds, error) {
 	cal := b.Platform.Cal
 	th := Thresholds{Vnom: cal.Vnom, Vmin: cal.Vnom, Vcrash: cal.Vnom}
 	sawFault := false
 	for _, v := range voltage.SweepDown(cal.Vnom, 0.40, voltage.Step) {
+		if err := ctx.Err(); err != nil {
+			// The cancellation cause stays visible (errors.Is keeps
+			// matching); a failed restore rides along joined.
+			if rerr := b.SetVCCINT(cal.Vnom); rerr != nil {
+				return th, errors.Join(err, rerr)
+			}
+			return th, err
+		}
 		if err := b.SetVCCINT(v); err != nil {
 			return th, err
 		}
@@ -382,25 +436,28 @@ type PatternResult struct {
 
 // RunPatternStudy sweeps nothing: it fixes the voltage and measures each
 // pattern with opts.Runs passes.
-func RunPatternStudy(b *board.Board, v float64, patterns []Options, runs int) ([]PatternResult, error) {
+func RunPatternStudy(ctx context.Context, b *board.Board, v float64, patterns []Options, runs int) ([]PatternResult, error) {
 	var out []PatternResult
 	for _, p := range patterns {
+		if err := ctx.Err(); err != nil {
+			return nil, restoreNominal(b, err)
+		}
 		p.Runs = runs
 		p.VStart = v
 		p.VStop = v
-		o := p.withDefaults(b)
+		o := p.Normalized(b.Platform.Cal)
 		b.SetOnBoardTemp(o.OnBoardC)
 		fill(b, o)
 		if err := b.SetVCCBRAM(v); err != nil {
-			return nil, err
+			return nil, restoreNominal(b, err)
 		}
 		if !b.Operating() {
 			return nil, board.ErrNotOperating
 		}
 		b.SoftReset()
-		level, err := measureLevel(b, o, v)
+		level, err := measureLevel(ctx, b, o, v)
 		if err != nil {
-			return nil, err
+			return nil, restoreNominal(b, err)
 		}
 		out = append(out, PatternResult{
 			Name:          o.PatternName,
@@ -416,12 +473,12 @@ func RunPatternStudy(b *board.Board, v float64, patterns []Options, runs int) ([
 
 // TemperatureStudy runs the Fig. 8 experiment: a full voltage sweep at each
 // on-board temperature, returning one Sweep per temperature in input order.
-func TemperatureStudy(b *board.Board, temps []float64, opts Options) ([]*Sweep, error) {
+func TemperatureStudy(ctx context.Context, b *board.Board, temps []float64, opts Options) ([]*Sweep, error) {
 	var out []*Sweep
 	for _, tC := range temps {
 		o := opts
 		o.OnBoardC = tC
-		s, err := Run(b, o)
+		s, err := Run(ctx, b, o)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package characterize
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func newBoard(t *testing.T, n int) *board.Board {
 
 func TestSweepBasicShape(t *testing.T) {
 	b := newBoard(t, 150)
-	s, err := Run(b, fastOpts())
+	s, err := Run(context.Background(), b, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestSweepBasicShape(t *testing.T) {
 
 func TestFaultRateGrowsTowardsVcrash(t *testing.T) {
 	b := newBoard(t, 150)
-	s, err := Run(b, fastOpts())
+	s, err := Run(context.Background(), b, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestFaultsPerMbitCalibrated(t *testing.T) {
 	// Even at 150/2060 scale, the per-Mbit rate at Vcrash should land near
 	// the platform's published 652 (sampling noise allowed).
 	b := newBoard(t, 150)
-	s, err := Run(b, fastOpts())
+	s, err := Run(context.Background(), b, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFaultsPerMbitCalibrated(t *testing.T) {
 
 func TestPowerDecreasesThroughSweep(t *testing.T) {
 	b := newBoard(t, 120)
-	s, err := Run(b, fastOpts())
+	s, err := Run(context.Background(), b, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestPowerDecreasesThroughSweep(t *testing.T) {
 
 func TestVastMajorityFlips10(t *testing.T) {
 	b := newBoard(t, 150)
-	s, err := Run(b, fastOpts())
+	s, err := Run(context.Background(), b, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestVastMajorityFlips10(t *testing.T) {
 
 func TestRunStabilityTableII(t *testing.T) {
 	b := newBoard(t, 150)
-	s, err := Run(b, Options{Runs: 40, Workers: 4})
+	s, err := Run(context.Background(), b, Options{Runs: 40, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestRunStabilityTableII(t *testing.T) {
 }
 
 func TestDeterministicAcrossHarnessInvocations(t *testing.T) {
-	a, err := Run(newBoard(t, 100), fastOpts())
+	a, err := Run(context.Background(), newBoard(t, 100), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(newBoard(t, 100), fastOpts())
+	b, err := Run(context.Background(), newBoard(t, 100), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestDeterministicAcrossHarnessInvocations(t *testing.T) {
 
 func TestPerBRAMDistributionNonUniform(t *testing.T) {
 	b := newBoard(t, 200)
-	s, err := Run(b, fastOpts())
+	s, err := Run(context.Background(), b, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestPerBRAMDistributionNonUniform(t *testing.T) {
 
 func TestLevelAt(t *testing.T) {
 	b := newBoard(t, 100)
-	s, err := Run(b, fastOpts())
+	s, err := Run(context.Background(), b, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestLevelAt(t *testing.T) {
 
 func TestDiscoverBRAMThresholds(t *testing.T) {
 	b := newBoard(t, 150)
-	th, err := DiscoverBRAMThresholds(b, 2)
+	th, err := DiscoverBRAMThresholds(context.Background(), b, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestDiscoverBRAMThresholds(t *testing.T) {
 
 func TestDiscoverIntThresholds(t *testing.T) {
 	b := newBoard(t, 60)
-	th, err := DiscoverIntThresholds(b)
+	th, err := DiscoverIntThresholds(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestDiscoverIntThresholds(t *testing.T) {
 func TestPatternStudy(t *testing.T) {
 	b := newBoard(t, 150)
 	v := b.Platform.Cal.Vcrash
-	results, err := RunPatternStudy(b, v, []Options{
+	results, err := RunPatternStudy(context.Background(), b, v, []Options{
 		{Pattern: 0xFFFF},
 		{Pattern: 0xAAAA},
 		{Pattern: 0x5555},
@@ -261,7 +262,7 @@ func TestPatternStudy(t *testing.T) {
 
 func TestTemperatureStudyITD(t *testing.T) {
 	b := newBoard(t, 150)
-	sweeps, err := TemperatureStudy(b, []float64{50, 80}, Options{Runs: 8, Workers: 4})
+	sweeps, err := TemperatureStudy(context.Background(), b, []float64{50, 80}, Options{Runs: 8, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,15 +282,15 @@ func TestTemperatureStudyITD(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	b := newBoard(t, 50)
-	o := Options{}.withDefaults(b)
+	o := Options{}.Normalized(b.Platform.Cal)
 	if o.Runs != 100 || o.Pattern != 0xFFFF || o.StepV != 0.01 || o.OnBoardC != 50 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
-	z := Options{ZeroFill: true, PatternName: "16'h0000"}.withDefaults(b)
+	z := Options{ZeroFill: true, PatternName: "16'h0000"}.Normalized(b.Platform.Cal)
 	if z.Pattern != 0 {
 		t.Fatal("ZeroFill must force all-zeros")
 	}
-	r := Options{RandomFill: true}.withDefaults(b)
+	r := Options{RandomFill: true}.Normalized(b.Platform.Cal)
 	if r.PatternName != "random-50%" {
 		t.Fatalf("random name = %q", r.PatternName)
 	}

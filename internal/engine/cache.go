@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/characterize"
+	"repro/internal/fvm"
+)
+
+// CacheKey identifies one characterization product: a board (platform +
+// serial) swept under a specific temperature, run count, and sweep window.
+// Fault locations are deterministic per chip (Section II-C), so two sweeps
+// with the same key produce the same FVM — the whole point of memoizing.
+type CacheKey struct {
+	Platform string
+	Serial   string
+	TempC    float64
+	Runs     int
+	Options  string // characterize.Options fingerprint (pattern + window)
+}
+
+// CacheStats reports cache effectiveness over the fleet's lifetime.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+	Len    int // entries currently held
+	Cap    int
+}
+
+// HitRate returns the fraction of lookups served from cache.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheEntry struct {
+	sweep *characterize.Sweep
+	fvm   *fvm.Map
+	used  uint64 // logical clock of the last touch, for LRU eviction
+}
+
+// FVMCache memoizes characterization sweeps and their Fault Variation Maps
+// with least-recently-used eviction. It is safe for concurrent use by the
+// campaign workers.
+type FVMCache struct {
+	mu      sync.Mutex
+	cap     int
+	tick    uint64
+	entries map[CacheKey]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+// DefaultCacheCapacity bounds the cache when Options.CacheCapacity is zero.
+const DefaultCacheCapacity = 64
+
+// NewFVMCache returns an empty cache holding at most capacity entries
+// (DefaultCacheCapacity when capacity <= 0).
+func NewFVMCache(capacity int) *FVMCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &FVMCache{cap: capacity, entries: make(map[CacheKey]*cacheEntry)}
+}
+
+// Get returns the memoized sweep and map for k, if present.
+func (c *FVMCache) Get(k CacheKey) (*characterize.Sweep, *fvm.Map, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	c.hits++
+	c.tick++
+	e.used = c.tick
+	return e.sweep, e.fvm, true
+}
+
+// Put stores the sweep and map under k, evicting the least recently used
+// entry when the cache is full.
+func (c *FVMCache) Put(k CacheKey, s *characterize.Sweep, m *fvm.Map) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	if e, ok := c.entries[k]; ok {
+		e.sweep, e.fvm, e.used = s, m, c.tick
+		return
+	}
+	if len(c.entries) >= c.cap {
+		var lruKey CacheKey
+		lruUsed := c.tick + 1
+		for key, e := range c.entries {
+			if e.used < lruUsed {
+				lruKey, lruUsed = key, e.used
+			}
+		}
+		delete(c.entries, lruKey)
+	}
+	c.entries[k] = &cacheEntry{sweep: s, fvm: m, used: c.tick}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *FVMCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Len: len(c.entries), Cap: c.cap}
+}

@@ -1,0 +1,495 @@
+// Package engine is the fleet campaign orchestrator: it runs
+// characterization sweeps, temperature studies, and NN-inference sweeps
+// across N simulated boards concurrently, streams per-board progress events,
+// aggregates cross-chip variation statistics, and memoizes Fault Variation
+// Maps so repeated campaigns skip re-characterization.
+//
+// The paper's central observation — undervolting behavior varies
+// chip-to-chip (its two "identical" KC705 samples differ 4.1× in fault
+// rate) and platform-to-platform — only becomes operational at fleet scale:
+// a deployment that wants to undervolt safely must characterize every board
+// it owns and steer by the spread, not by one golden sample. The engine is
+// that layer. A Fleet is an inventory of platforms (any mix of models and
+// serials); a Campaign is one study executed across the whole inventory by
+// a bounded worker pool; the Aggregate is the paper's Table II / Fig. 7
+// story told across the fleet: min/median/max faults per Mbit, Vmin and
+// Vcrash spread, and the max/min spread ratio.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/accel"
+	"repro/internal/board"
+	"repro/internal/characterize"
+	"repro/internal/fvm"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// CampaignKind selects the study a campaign runs on every board.
+type CampaignKind int
+
+// The three fleet studies.
+const (
+	// Characterization runs the Listing 1 sweep and extracts each board's
+	// FVM. Results are memoized in the fleet's FVM cache.
+	Characterization CampaignKind = iota
+	// TemperatureStudy runs a full sweep at each requested on-board
+	// temperature (the Fig. 8 procedure, fleet-wide).
+	TemperatureStudy
+	// NNInference deploys a quantized network on every board and sweeps
+	// inference accuracy from Vmin to Vcrash (the Fig. 11 curve, per chip).
+	NNInference
+)
+
+// String names the campaign kind.
+func (k CampaignKind) String() string {
+	switch k {
+	case Characterization:
+		return "characterization"
+	case TemperatureStudy:
+		return "temperature-study"
+	case NNInference:
+		return "nn-inference"
+	}
+	return "unknown"
+}
+
+// EventKind tags a progress event.
+type EventKind int
+
+// The per-board lifecycle events a campaign streams.
+const (
+	EventBoardStart EventKind = iota
+	EventBoardDone
+	EventBoardFailed
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventBoardStart:
+		return "start"
+	case EventBoardDone:
+		return "done"
+	case EventBoardFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Event is one per-board progress notification. Events are streamed to
+// Campaign.Events while the campaign runs; the channel receives no further
+// sends once RunCampaign returns (the engine never closes it — the caller
+// owns it).
+type Event struct {
+	Kind      EventKind
+	Board     int // fleet index
+	Platform  string
+	Serial    string
+	FromCache bool    // done: the result was served from the FVM cache
+	Faults    float64 // done: faults/Mbit at the deepest level (when known)
+	Err       error   // failed: what went wrong
+}
+
+// BoardResult is one board's outcome within a campaign. Exactly one of the
+// payload fields is populated, matching the campaign kind; Err is set when
+// the board failed (the rest of the fleet still completes).
+type BoardResult struct {
+	Board     int
+	Platform  string
+	Serial    string
+	FromCache bool
+
+	Sweep      *characterize.Sweep     // Characterization
+	FVM        *fvm.Map                // Characterization
+	TempSweeps []*characterize.Sweep   // TemperatureStudy, aligned with Campaign.Temps
+	Inference  []accel.InferenceResult // NNInference, Vmin..Vcrash order
+
+	Err error
+}
+
+// finalSweep returns the sweep whose deepest level feeds the cross-chip
+// aggregation: the characterization sweep, or the last (hottest) temperature
+// sweep.
+func (r *BoardResult) finalSweep() *characterize.Sweep {
+	if r.Sweep != nil {
+		return r.Sweep
+	}
+	if n := len(r.TempSweeps); n > 0 {
+		return r.TempSweeps[n-1]
+	}
+	return nil
+}
+
+// Aggregate is the fleet-wide cross-chip variation summary.
+type Aggregate struct {
+	Boards    int // fleet size
+	Completed int
+	Failed    int
+	CacheHits int
+
+	// Spread of the per-board faults/Mbit at the deepest measured level —
+	// the fleet-scale version of Table II's chip column and Fig. 7's 4.1×
+	// die-to-die gap.
+	FaultsPerMbit stats.Summary
+	// SpreadRatio is max/min of the per-board faults/Mbit (minimum clamped
+	// to 1 fault/Mbit so a lucky zero-fault chip doesn't blow it up).
+	SpreadRatio float64
+	// ObservedVmin / ObservedVcrash summarize where each board's fault-free
+	// window ends and where its sweep bottomed out.
+	ObservedVmin   stats.Summary
+	ObservedVcrash stats.Summary
+	// ZeroFaultShare summarizes the per-board fraction of never-faulting
+	// BRAMs (38.9% on the paper's VC707).
+	ZeroFaultShare stats.Summary
+	// InferenceError summarizes the per-board classification error at the
+	// deepest inference level (NNInference campaigns only).
+	InferenceError stats.Summary
+}
+
+// Campaign describes one fleet-wide study.
+type Campaign struct {
+	Kind CampaignKind
+
+	// Sweep tunes the per-board characterization (all kinds; zero value
+	// means paper defaults).
+	Sweep characterize.Options
+
+	// Temps lists the on-board temperatures of a TemperatureStudy
+	// (default: the paper's 50..80 °C ladder).
+	Temps []float64
+
+	// Net, TestX, TestY drive an NNInference campaign: the quantized
+	// network deployed on every board and the test set it classifies.
+	Net   *nn.Quantized
+	TestX [][]float64
+	TestY []int
+	// Seed is the placement seed for the inference build (default 1).
+	Seed uint64
+
+	// Events optionally receives per-board progress. The engine stops
+	// sending when RunCampaign returns and never closes the channel; an
+	// unread channel stalls only the sending worker, and campaign
+	// cancellation unblocks it.
+	Events chan<- Event
+
+	// SkipCache forces re-characterization even on a warm cache.
+	SkipCache bool
+}
+
+// CampaignResult is a completed campaign: per-board outcomes (fleet order)
+// plus the cross-chip aggregate.
+type CampaignResult struct {
+	Kind   CampaignKind
+	Boards []BoardResult
+	Agg    Aggregate
+}
+
+// Options tunes a fleet.
+type Options struct {
+	// Workers bounds how many boards run concurrently
+	// (0 → min(GOMAXPROCS, fleet size)).
+	Workers int
+	// CacheCapacity bounds the FVM cache (0 → DefaultCacheCapacity).
+	CacheCapacity int
+}
+
+// Fleet is a pool of simulated boards campaigns run across. Boards are
+// assembled on demand (a *board.Board is stateful and single-campaign), but
+// their characterization products are memoized in the FVM cache, so a fleet
+// behaves like a rack of once-characterized physical boards.
+type Fleet struct {
+	platforms []platform.Platform
+	workers   int
+	cache     *FVMCache
+
+	characterizations atomic.Uint64 // real sweeps executed (cache misses)
+}
+
+// NewFleet assembles a fleet over the given board inventory. The slice is
+// copied; an empty inventory yields an empty fleet whose campaigns complete
+// trivially.
+func NewFleet(platforms []platform.Platform, opts Options) *Fleet {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(platforms) && len(platforms) > 0 {
+		w = len(platforms)
+	}
+	return &Fleet{
+		platforms: append([]platform.Platform(nil), platforms...),
+		workers:   w,
+		cache:     NewFVMCache(opts.CacheCapacity),
+	}
+}
+
+// Size returns the number of boards in the fleet.
+func (f *Fleet) Size() int { return len(f.platforms) }
+
+// Platforms returns a copy of the fleet inventory in campaign order.
+func (f *Fleet) Platforms() []platform.Platform {
+	return append([]platform.Platform(nil), f.platforms...)
+}
+
+// CacheStats snapshots the FVM cache counters.
+func (f *Fleet) CacheStats() CacheStats { return f.cache.Stats() }
+
+// Characterizations returns how many real (non-cached) characterization
+// sweeps the fleet has executed since construction.
+func (f *Fleet) Characterizations() uint64 { return f.characterizations.Load() }
+
+// RunCampaign executes the campaign across every board with the fleet's
+// bounded worker pool. Per-board failures are recorded in their BoardResult
+// and do not stop the rest of the fleet; cancelling the context stops all
+// workers promptly and returns ctx.Err().
+func (f *Fleet) RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	// Split the CPU budget between fleet- and board-level parallelism: each
+	// sweep otherwise defaults to GOMAXPROCS readers on top of f.workers
+	// concurrent boards, oversubscribing the machine workers²-fold.
+	if c.Sweep.Workers == 0 && f.workers > 0 {
+		c.Sweep.Workers = max(1, runtime.GOMAXPROCS(0)/f.workers)
+	}
+	results := make([]BoardResult, len(f.platforms))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < f.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = f.runBoard(ctx, c, i, f.platforms[i])
+			}
+		}()
+	}
+feed:
+	for i := range f.platforms {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Unfed boards record the cancellation so the slice stays
+			// index-aligned with the fleet.
+			for j := i; j < len(f.platforms); j++ {
+				if results[j].Platform == "" {
+					results[j] = BoardResult{
+						Board: j, Platform: f.platforms[j].Name,
+						Serial: f.platforms[j].Serial, Err: ctx.Err(),
+					}
+				}
+			}
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &CampaignResult{Kind: c.Kind, Boards: results, Agg: aggregate(results)}, nil
+}
+
+// validate rejects campaigns whose required inputs are missing before any
+// board spins up.
+func (c Campaign) validate() error {
+	if c.Kind == NNInference {
+		if c.Net == nil {
+			return fmt.Errorf("engine: NNInference campaign needs a quantized network")
+		}
+		if len(c.TestX) == 0 || len(c.TestX) != len(c.TestY) {
+			return fmt.Errorf("engine: NNInference campaign needs an aligned test set (%d inputs, %d labels)",
+				len(c.TestX), len(c.TestY))
+		}
+	}
+	return nil
+}
+
+// emit streams a progress event without ever outliving the campaign: a full
+// channel blocks only until the consumer reads or the context dies.
+func (c Campaign) emit(ctx context.Context, ev Event) {
+	if c.Events == nil {
+		return
+	}
+	select {
+	case c.Events <- ev:
+	case <-ctx.Done():
+	}
+}
+
+// runBoard executes the campaign's study on one fleet member.
+func (f *Fleet) runBoard(ctx context.Context, c Campaign, idx int, p platform.Platform) BoardResult {
+	res := BoardResult{Board: idx, Platform: p.Name, Serial: p.Serial}
+	// The feeder's select can hand out work in the same instant the context
+	// dies; re-check here so no sweep starts post-cancellation.
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	c.emit(ctx, Event{Kind: EventBoardStart, Board: idx, Platform: p.Name, Serial: p.Serial})
+
+	var err error
+	switch c.Kind {
+	case Characterization:
+		err = f.characterizeBoard(ctx, c, p, &res)
+	case TemperatureStudy:
+		err = f.temperatureBoard(ctx, c, p, &res)
+	case NNInference:
+		err = f.inferenceBoard(ctx, c, p, &res)
+	default:
+		err = fmt.Errorf("engine: unknown campaign kind %d", c.Kind)
+	}
+	if err != nil {
+		res.Err = err
+		c.emit(ctx, Event{Kind: EventBoardFailed, Board: idx, Platform: p.Name, Serial: p.Serial, Err: err})
+		return res
+	}
+	done := Event{Kind: EventBoardDone, Board: idx, Platform: p.Name, Serial: p.Serial, FromCache: res.FromCache}
+	if s := res.finalSweep(); s != nil && len(s.Levels) > 0 {
+		done.Faults = s.Final().FaultsPerMbit
+	}
+	c.emit(ctx, done)
+	return res
+}
+
+// cacheKey derives the board's memoization key for the campaign's sweep.
+// Options resolve through characterize's own default normalization first, so
+// an explicit paper-default sweep and a zero-valued one share an entry and
+// the key can never drift from what the sweep actually measures.
+func cacheKey(p platform.Platform, o characterize.Options) CacheKey {
+	o = o.Normalized(p.Cal)
+	return CacheKey{
+		Platform: p.Name,
+		Serial:   p.Serial,
+		TempC:    o.OnBoardC,
+		Runs:     o.Runs,
+		Options:  o.Fingerprint(),
+	}
+}
+
+// characterizeBoard runs (or recalls) the board's characterization sweep and
+// FVM.
+func (f *Fleet) characterizeBoard(ctx context.Context, c Campaign, p platform.Platform, res *BoardResult) error {
+	key := cacheKey(p, c.Sweep)
+	if !c.SkipCache {
+		if s, m, ok := f.cache.Get(key); ok {
+			res.Sweep, res.FVM, res.FromCache = s, m, true
+			return nil
+		}
+	}
+	b := board.New(p)
+	f.characterizations.Add(1)
+	s, err := characterize.Run(ctx, b, c.Sweep)
+	if err != nil {
+		return err
+	}
+	m, err := fvm.FromSweep(b.Platform, s)
+	if err != nil {
+		return err
+	}
+	res.Sweep, res.FVM = s, m
+	f.cache.Put(key, s, m)
+	return nil
+}
+
+// temperatureBoard runs the Fig. 8 ladder on one board.
+func (f *Fleet) temperatureBoard(ctx context.Context, c Campaign, p platform.Platform, res *BoardResult) error {
+	temps := c.Temps
+	if len(temps) == 0 {
+		temps = []float64{50, 60, 70, 80}
+	}
+	b := board.New(p)
+	f.characterizations.Add(uint64(len(temps)))
+	sweeps, err := characterize.TemperatureStudy(ctx, b, temps, c.Sweep)
+	if err != nil {
+		return err
+	}
+	res.TempSweeps = sweeps
+	return nil
+}
+
+// inferenceBoard deploys the campaign's network and sweeps inference
+// accuracy on one board.
+func (f *Fleet) inferenceBoard(ctx context.Context, c Campaign, p platform.Platform, res *BoardResult) error {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	b := board.New(p)
+	a, err := accel.Build(b, c.Net, nil, seed)
+	if err != nil {
+		return err
+	}
+	rs, err := a.Sweep(ctx, c.TestX, c.TestY, 0)
+	if err != nil {
+		return err
+	}
+	res.Inference = rs
+	return nil
+}
+
+// ObservedVmin returns the lowest voltage level of the sweep that stayed
+// fault-free — the board's empirical Vmin. When even the first level faults,
+// the top of the window is returned.
+func ObservedVmin(s *characterize.Sweep) float64 {
+	if len(s.Levels) == 0 {
+		return 0
+	}
+	vmin := s.Levels[0].V
+	for _, l := range s.Levels {
+		if l.MedianFaults > 0 {
+			break
+		}
+		vmin = l.V
+	}
+	return vmin
+}
+
+// aggregate folds per-board outcomes into the fleet summary.
+func aggregate(results []BoardResult) Aggregate {
+	agg := Aggregate{Boards: len(results)}
+	var faults, vmins, vcrashes, zeros, inferr []float64
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			agg.Failed++
+			continue
+		}
+		agg.Completed++
+		if r.FromCache {
+			agg.CacheHits++
+		}
+		if s := r.finalSweep(); s != nil && len(s.Levels) > 0 {
+			faults = append(faults, s.Final().FaultsPerMbit)
+			vmins = append(vmins, ObservedVmin(s))
+			vcrashes = append(vcrashes, s.Final().V)
+		}
+		if r.FVM != nil {
+			zeros = append(zeros, r.FVM.ZeroShare())
+		}
+		if n := len(r.Inference); n > 0 {
+			inferr = append(inferr, r.Inference[n-1].Error)
+		}
+	}
+	agg.FaultsPerMbit = stats.Summarize(faults)
+	agg.ObservedVmin = stats.Summarize(vmins)
+	agg.ObservedVcrash = stats.Summarize(vcrashes)
+	agg.ZeroFaultShare = stats.Summarize(zeros)
+	agg.InferenceError = stats.Summarize(inferr)
+	if len(faults) > 0 {
+		minF := agg.FaultsPerMbit.Min
+		if minF < 1 {
+			minF = 1
+		}
+		agg.SpreadRatio = agg.FaultsPerMbit.Max / minF
+	}
+	return agg
+}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -111,11 +112,13 @@ func (r *Result) Render(w io.Writer) {
 	}
 }
 
-// Experiment is a registered table/figure reproduction.
+// Experiment is a registered table/figure reproduction. Run honors the
+// context: a cancelled experiment returns ctx.Err() without finishing its
+// sweeps.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) (*Result, error)
+	Run   func(ctx context.Context, cfg Config) (*Result, error)
 }
 
 var registry []Experiment
@@ -158,11 +161,15 @@ func ByID(id string) (Experiment, error) {
 
 // RunAll executes every experiment, rendering into w as results arrive, and
 // returns all results (or the first error). A consolidated paper-vs-measured
-// table across all experiments closes the report.
-func RunAll(cfg Config, w io.Writer) ([]*Result, error) {
+// table across all experiments closes the report. Cancelling the context
+// stops between (and inside) experiments with ctx.Err().
+func RunAll(ctx context.Context, cfg Config, w io.Writer) ([]*Result, error) {
 	var out []*Result
 	for _, e := range All() {
-		r, err := e.Run(cfg)
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		r, err := e.Run(ctx, cfg)
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -192,15 +199,12 @@ func Summary(results []*Result) *report.Table {
 
 // extractFVM characterizes a board and assembles its Fault Variation Map at
 // the deepest level of the sweep.
-func extractFVM(b *board.Board, runs, workers int) (*fvm.Map, *characterize.Sweep, error) {
-	s, err := characterize.Run(b, characterize.Options{Runs: runs, Workers: workers})
+func extractFVM(ctx context.Context, b *board.Board, runs, workers int) (*fvm.Map, *characterize.Sweep, error) {
+	s, err := characterize.Run(ctx, b, characterize.Options{Runs: runs, Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := fvm.New(b.Platform.Name, b.Platform.Serial,
-		b.Platform.Geometry.GridCols, b.Platform.Geometry.GridRows,
-		s.Levels[0].V, s.Final().V, s.OnBoardC,
-		b.Platform.Sites(), s.PerBRAMMedian())
+	m, err := fvm.FromSweep(b.Platform, s)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -68,7 +69,7 @@ func runOne(t *testing.T, id string) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := e.Run(tinyCfg())
+	r, err := e.Run(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,7 +27,7 @@ func init() {
 	register(Experiment{ID: "fig8-temperature", Title: "Fig. 8: temperature vs fault rate (ITD)", Run: runFig8})
 }
 
-func runTable1(cfg Config) (*Result, error) {
+func runTable1(ctx context.Context, cfg Config) (*Result, error) {
 	t := report.NewTable("Table I: specifications of tested FPGA platforms",
 		"board", "family", "chip", "speed", "S/N", "#BRAMs", "BRAM size", "process", "Vnom")
 	for _, p := range platform.All() {
@@ -45,7 +46,7 @@ func runTable1(cfg Config) (*Result, error) {
 		Tables: []*report.Table{t}, Comparisons: comps}, nil
 }
 
-func runFig1(cfg Config) (*Result, error) {
+func runFig1(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	t := report.NewTable("Fig. 1: discovered thresholds (10 mV sweep from nominal)",
 		"board", "rail", "Vnom", "Vmin", "Vcrash", "guardband")
@@ -53,11 +54,11 @@ func runFig1(cfg Config) (*Result, error) {
 	var gbBRAM, gbInt float64
 	for _, p := range platform.All() {
 		b := c.boardFor(p)
-		thB, err := characterize.DiscoverBRAMThresholds(b, 2)
+		thB, err := characterize.DiscoverBRAMThresholds(ctx, b, 2)
 		if err != nil {
 			return nil, err
 		}
-		thI, err := characterize.DiscoverIntThresholds(b)
+		thI, err := characterize.DiscoverIntThresholds(ctx, b)
 		if err != nil {
 			return nil, err
 		}
@@ -86,12 +87,12 @@ var paperVcrashRates = map[string]float64{
 	"VC707": 652, "ZC702": 153, "KC705-A": 254, "KC705-B": 60,
 }
 
-func runFig3(cfg Config) (*Result, error) {
+func runFig3(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	res := &Result{ID: "fig3-fault-power", Title: "fault rate and power vs voltage"}
 	for _, p := range platform.All() {
 		b := c.boardFor(p)
-		s, err := characterize.Run(b, characterize.Options{Runs: c.Runs, Workers: c.Workers})
+		s, err := characterize.Run(ctx, b, characterize.Options{Runs: c.Runs, Workers: c.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -136,11 +137,11 @@ func runFig3(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func runFig4(cfg Config) (*Result, error) {
+func runFig4(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	b := c.boardFor(platform.VC707())
 	v := b.Platform.Cal.Vcrash
-	results, err := characterize.RunPatternStudy(b, v, []characterize.Options{
+	results, err := characterize.RunPatternStudy(ctx, b, v, []characterize.Options{
 		{Pattern: 0xFFFF},
 		{Pattern: 0xAAAA},
 		{Pattern: 0x5555},
@@ -177,14 +178,14 @@ var paperTable2 = map[string][4]float64{
 	"KC705-B": {60, 51, 69, 1.8},
 }
 
-func runTable2(cfg Config) (*Result, error) {
+func runTable2(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	t := report.NewTable("Table II: fault stability over consecutive runs at Vcrash (faults/Mbit)",
 		"metric", "VC707", "ZC702", "KC705-A", "KC705-B")
 	cells := map[string]stats.Summary{}
 	for _, p := range platform.All() {
 		b := c.boardFor(p)
-		s, err := characterize.Run(b, characterize.Options{
+		s, err := characterize.Run(ctx, b, characterize.Options{
 			Runs: c.Runs, Workers: c.Workers,
 			VStart: p.Cal.Vcrash, VStop: p.Cal.Vcrash,
 		})
@@ -223,10 +224,10 @@ func runTable2(cfg Config) (*Result, error) {
 		Tables: []*report.Table{t}, Comparisons: comps}, nil
 }
 
-func runFig5(cfg Config) (*Result, error) {
+func runFig5(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	b := c.boardFor(platform.VC707())
-	m, _, err := extractFVM(b, c.Runs, c.Workers)
+	m, _, err := extractFVM(ctx, b, c.Runs, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -254,10 +255,10 @@ func runFig5(cfg Config) (*Result, error) {
 		Tables: []*report.Table{t}, Comparisons: comps}, nil
 }
 
-func runFig6(cfg Config) (*Result, error) {
+func runFig6(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	b := c.boardFor(platform.VC707())
-	m, _, err := extractFVM(b, c.Runs, c.Workers)
+	m, _, err := extractFVM(ctx, b, c.Runs, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -280,15 +281,15 @@ func runFig6(cfg Config) (*Result, error) {
 		}}, nil
 }
 
-func runFig7(cfg Config) (*Result, error) {
+func runFig7(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	ba := c.boardFor(platform.KC705A())
 	bb := c.boardFor(platform.KC705B())
-	ma, _, err := extractFVM(ba, c.Runs, c.Workers)
+	ma, _, err := extractFVM(ctx, ba, c.Runs, c.Workers)
 	if err != nil {
 		return nil, err
 	}
-	mb, _, err := extractFVM(bb, c.Runs, c.Workers)
+	mb, _, err := extractFVM(ctx, bb, c.Runs, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -309,14 +310,14 @@ func runFig7(cfg Config) (*Result, error) {
 		}}, nil
 }
 
-func runFig8(cfg Config) (*Result, error) {
+func runFig8(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	temps := []float64{50, 60, 70, 80}
 	res := &Result{ID: "fig8-temperature", Title: "temperature dependence (ITD)"}
 	finals := map[string]map[float64]float64{} // platform -> temp -> faults/Mbit
 	for _, p := range []platform.Platform{platform.VC707(), platform.KC705A()} {
 		b := c.boardFor(p)
-		sweeps, err := characterize.TemperatureStudy(b, temps, characterize.Options{
+		sweeps, err := characterize.TemperatureStudy(ctx, b, temps, characterize.Options{
 			Runs: c.Runs, Workers: c.Workers,
 		})
 		if err != nil {

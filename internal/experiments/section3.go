@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -109,7 +110,7 @@ func trainBenchmark(c Config, name string) (*benchSetup, error) {
 	}, nil
 }
 
-func runFig9(cfg Config) (*Result, error) {
+func runFig9(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	bs, err := prepareBenchmark(c, "mnist")
 	if err != nil {
@@ -142,7 +143,7 @@ func runFig9(cfg Config) (*Result, error) {
 		Comparisons: comps}, nil
 }
 
-func runTable3(cfg Config) (*Result, error) {
+func runTable3(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	// The specification rows come from the paper topology regardless of the
 	// run scale; trained-model statistics come from the configured scale.
@@ -181,7 +182,7 @@ func runTable3(cfg Config) (*Result, error) {
 		Tables: []*report.Table{t}, Comparisons: comps}, nil
 }
 
-func runFig10(cfg Config) (*Result, error) {
+func runFig10(ctx context.Context, cfg Config) (*Result, error) {
 	// Power math needs no training: the paper topology fixes utilization.
 	p := platform.VC707()
 	paperNet, err := nn.New(nn.PaperTopology(), "fig10")
@@ -233,7 +234,7 @@ func runFig10(cfg Config) (*Result, error) {
 // exactly this exposure (its 6.15% error at Vcrash is recovered by moving
 // two last-layer BRAMs), so the reproduction reports the same scenario; the
 // chosen seed is recorded in the result tables.
-func defaultPlacementWithExposure(b *board.Board, q *nn.Quantized) (*accel.Accelerator, uint64, error) {
+func defaultPlacementWithExposure(ctx context.Context, b *board.Board, q *nn.Quantized) (*accel.Accelerator, uint64, error) {
 	var last *accel.Accelerator
 	var lastSeed uint64
 	for seed := uint64(1); seed <= 8; seed++ {
@@ -241,7 +242,7 @@ func defaultPlacementWithExposure(b *board.Board, q *nn.Quantized) (*accel.Accel
 		if err != nil {
 			return nil, 0, err
 		}
-		counts, err := a.LayerFaultCounts(b.Platform.Cal.Vcrash)
+		counts, err := a.LayerFaultCounts(ctx, b.Platform.Cal.Vcrash)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -253,19 +254,19 @@ func defaultPlacementWithExposure(b *board.Board, q *nn.Quantized) (*accel.Accel
 	return last, lastSeed, nil
 }
 
-func runFig11(cfg Config) (*Result, error) {
+func runFig11(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	bs, err := prepareBenchmark(c, "mnist")
 	if err != nil {
 		return nil, err
 	}
 	b := c.boardFor(platform.VC707())
-	a, seed, err := defaultPlacementWithExposure(b, bs.q)
+	a, seed, err := defaultPlacementWithExposure(ctx, b, bs.q)
 	if err != nil {
 		return nil, err
 	}
 	_ = seed
-	rs, err := a.Sweep(bs.ds.TestX, bs.ds.TestY, c.Workers)
+	rs, err := a.Sweep(ctx, bs.ds.TestX, bs.ds.TestY, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -292,14 +293,14 @@ func runFig11(cfg Config) (*Result, error) {
 		Tables: []*report.Table{t}, Figures: []string{fig}, Comparisons: comps}, nil
 }
 
-func runFig12(cfg Config) (*Result, error) {
+func runFig12(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	bs, err := prepareBenchmark(c, "mnist")
 	if err != nil {
 		return nil, err
 	}
 	b := c.boardFor(platform.VC707())
-	m, _, err := extractFVM(b, c.Runs, c.Workers)
+	m, _, err := extractFVM(ctx, b, c.Runs, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +337,7 @@ func runFig12(cfg Config) (*Result, error) {
 		Comparisons: comps}, nil
 }
 
-func runFig13(cfg Config) (*Result, error) {
+func runFig13(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	bs, err := prepareBenchmark(c, "mnist")
 	if err != nil {
@@ -347,7 +348,7 @@ func runFig13(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	faults, err := a.LayerFaultCounts(b.Platform.Cal.Vcrash)
+	faults, err := a.LayerFaultCounts(ctx, b.Platform.Cal.Vcrash)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +401,7 @@ func boolTo01(b bool) float64 {
 	return 0
 }
 
-func runFig14(cfg Config) (*Result, error) {
+func runFig14(ctx context.Context, cfg Config) (*Result, error) {
 	c := cfg.effective()
 	res := &Result{ID: "fig14-icbp", Title: "ICBP vs default placement"}
 	for _, name := range []string{"mnist", "forest", "reuters"} {
@@ -409,17 +410,17 @@ func runFig14(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		b := c.boardFor(platform.VC707())
-		m, _, err := extractFVM(b, c.Runs, c.Workers)
+		m, _, err := extractFVM(ctx, b, c.Runs, c.Workers)
 		if err != nil {
 			return nil, err
 		}
 		// Default placement (seed chosen to expose the last layer, as on the
 		// paper's board; see defaultPlacementWithExposure).
-		def, _, err := defaultPlacementWithExposure(b, bs.q)
+		def, _, err := defaultPlacementWithExposure(ctx, b, bs.q)
 		if err != nil {
 			return nil, err
 		}
-		defRs, err := def.Sweep(bs.ds.TestX, bs.ds.TestY, c.Workers)
+		defRs, err := def.Sweep(ctx, bs.ds.TestX, bs.ds.TestY, c.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -433,7 +434,7 @@ func runFig14(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		icbpRs, err := icbp.Sweep(bs.ds.TestX, bs.ds.TestY, c.Workers)
+		icbpRs, err := icbp.Sweep(ctx, bs.ds.TestX, bs.ds.TestY, c.Workers)
 		if err != nil {
 			return nil, err
 		}

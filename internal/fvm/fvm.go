@@ -17,7 +17,9 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/characterize"
 	"repro/internal/cluster"
+	"repro/internal/platform"
 	"repro/internal/silicon"
 	"repro/internal/stats"
 	"repro/internal/textplot"
@@ -71,6 +73,19 @@ func New(platformName, serial string, gridCols, gridRows int, vFrom, vTo, tempC 
 		VFrom: vFrom, VTo: vTo, TempC: tempC,
 		Sites: sites, Counts: counts,
 	}, nil
+}
+
+// FromSweep assembles the Fault Variation Map a finished characterization
+// defines: the platform's floorplan annotated with the per-BRAM median fault
+// counts at the sweep's deepest level. It fails when the sweep recorded no
+// operating levels (the board crashed at the first step).
+func FromSweep(p platform.Platform, s *characterize.Sweep) (*Map, error) {
+	if len(s.Levels) == 0 {
+		return nil, fmt.Errorf("fvm: %s (S/N %s): sweep has no operating levels", s.Platform, s.Serial)
+	}
+	return New(p.Name, p.Serial, p.Geometry.GridCols, p.Geometry.GridRows,
+		s.Levels[0].V, s.Final().V, s.OnBoardC,
+		p.Sites(), s.PerBRAMMedian())
 }
 
 // NumSites returns the number of populated BRAM sites.

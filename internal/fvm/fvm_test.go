@@ -2,6 +2,7 @@ package fvm
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -192,7 +193,7 @@ func TestDiffDieToDie(t *testing.T) {
 	// Build FVMs for the two KC705 samples from real sweeps at reduced scale.
 	sweep := func(p platform.Platform) *Map {
 		b := board.New(p.Scaled(120))
-		s, err := characterize.Run(b, characterize.Options{Runs: 8, Workers: 4})
+		s, err := characterize.Run(context.Background(), b, characterize.Options{Runs: 8, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}

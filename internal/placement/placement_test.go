@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func quantNet(t *testing.T) *nn.Quantized {
 // boardFVM characterizes a small board and returns its map.
 func boardFVM(t *testing.T, b *board.Board) *fvm.Map {
 	t.Helper()
-	s, err := characterize.Run(b, characterize.Options{Runs: 6, Workers: 4})
+	s, err := characterize.Run(context.Background(), b, characterize.Options{Runs: 6, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

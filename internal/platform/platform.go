@@ -262,6 +262,34 @@ func kc705Base() Platform {
 	}
 }
 
+// WithSerial returns a copy of p carrying the given board serial. A board's
+// die fault population is a deterministic function of its serial, so every
+// new serial mints a physically distinct sample of the same chip model —
+// exactly how the paper's two "identical" KC705 boards differ. The
+// calibration's reference serial is left untouched: a non-reference serial
+// draws its own die-to-die factor.
+func (p Platform) WithSerial(serial string) Platform {
+	q := p
+	q.Serial = serial
+	return q
+}
+
+// Replicas mints n board samples of this platform for fleet studies. The
+// first replica keeps the reference serial and therefore reproduces the
+// paper's published numbers; the others get derived serials and distinct die
+// fault populations.
+func (p Platform) Replicas(n int) []Platform {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Platform, n)
+	out[0] = p
+	for i := 1; i < n; i++ {
+		out[i] = p.WithSerial(fmt.Sprintf("%s/fleet-%02d", p.Serial, i))
+	}
+	return out
+}
+
 // All returns the four studied platforms in the paper's order.
 func All() []Platform {
 	return []Platform{VC707(), ZC702(), KC705A(), KC705B()}
