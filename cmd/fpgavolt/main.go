@@ -8,7 +8,7 @@
 //	fpgavolt patterns   -platform VC707 [-brams N] [-runs N]
 //	fpgavolt temps      -platform VC707 [-brams N] [-runs N]
 //	fpgavolt fvm        -platform VC707 [-brams N] [-runs N] [-save fvm.json] [-classes]
-//	fpgavolt campaign   [-platforms all] [-boards N] [-brams N] [-runs N] [-repeat N]
+//	fpgavolt campaign   [-platforms all] [-boards N] [-brams N] [-runs N] [-repeat N] [-store DIR]
 //
 // The campaign subcommand shards a characterization sweep across a whole
 // fleet of boards (any mix of platforms, distinct serials per replica),
@@ -165,9 +165,20 @@ func runCampaignCmd(ctx context.Context, args []string) {
 		workers   = fs.Int("workers", 0, "concurrent boards (0 = all CPUs)")
 		repeat    = fs.Int("repeat", 2, "campaign repetitions (>1 demonstrates the FVM cache)")
 		quiet     = fs.Bool("quiet", false, "suppress per-board progress events")
+		storeDir  = fs.String("store", "", "durable FVM store directory (empty = in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	fleetOpts := fpgavolt.FleetOptions{Workers: *workers}
+	if *storeDir != "" {
+		st, err := fpgavolt.OpenDiskStore(*storeDir)
+		check(err)
+		// Close flushes the store index; without it every later open
+		// would pay a full object-tree rescan to heal the staleness.
+		defer st.Close()
+		fleetOpts.Store = st
+		fmt.Printf("FVM store: %s (characterizations persist across runs)\n", *storeDir)
 	}
 
 	var mix []fpgavolt.Platform
@@ -196,7 +207,7 @@ func runCampaignCmd(ctx context.Context, args []string) {
 		}
 		inventory = append(inventory, p.Replicas(n)...)
 	}
-	fleet := fpgavolt.NewFleet(inventory, fpgavolt.FleetOptions{Workers: *workers})
+	fleet := fpgavolt.NewFleet(inventory, fleetOpts)
 	fmt.Printf("fleet: %d boards across %d platform(s), %d BRAMs each\n",
 		fleet.Size(), len(mix), *brams)
 
@@ -275,6 +286,9 @@ func runCampaignCmd(ctx context.Context, args []string) {
 	cs := fleet.CacheStats()
 	fmt.Printf("FVM cache: %d hits, %d misses (%.0f%% hit rate), %d/%d entries\n",
 		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Len, cs.Cap)
+	if *storeDir != "" {
+		fmt.Printf("FVM store: %d hits served from disk, %d errors\n", cs.StoreHits, cs.StoreErrors)
+	}
 }
 
 func usage() {

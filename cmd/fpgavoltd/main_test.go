@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/fpgavolt"
+)
+
+// TestDaemonEndToEnd boots the real daemon (flag parsing, disk store, HTTP
+// listener, signal-equivalent shutdown) on an ephemeral port and drives the
+// full client journey: submit → SSE progress → FVM query → graceful exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ctx, stop := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-store", dir, "-workers", "1",
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	client := fpgavolt.NewServiceClient("http://"+addr, nil)
+	job, err := client.Submit(ctx, fpgavolt.CampaignRequest{
+		Kind: "characterization",
+		Boards: []fpgavolt.BoardSpec{
+			{Platform: "VC707", Replicas: 2, BRAMs: 24},
+		},
+		Runs: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Progress arrives over SSE and climbs to 100.
+	var progress []float64
+	final, err := client.Wait(ctx, job.ID, func(ev fpgavolt.JobEvent) error {
+		progress = append(progress, ev.Progress)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != fpgavolt.JobDone {
+		t.Fatalf("job finished %q (%s)", final.State, final.Error)
+	}
+	if len(progress) == 0 || progress[len(progress)-1] != 100 {
+		t.Fatalf("SSE progress trail %v, want a climb to 100", progress)
+	}
+
+	// The characterizations are queryable...
+	fvms, err := client.FVMs(ctx, "VC707", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fvms) != 2 {
+		t.Fatalf("daemon stored %d VC707 FVMs, want 2", len(fvms))
+	}
+	vmins, err := client.Vmin(ctx, "VC707", "")
+	if err != nil || len(vmins) != 2 {
+		t.Fatalf("vmin query: %d rows, %v", len(vmins), err)
+	}
+
+	// ...and durable: a second daemon over the same store serves the same
+	// campaign from disk, without re-characterizing.
+	stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+
+	ctx2, stop2 := context.WithCancel(context.Background())
+	defer stop2()
+	ready2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run(ctx2, []string{
+			"-listen", "127.0.0.1:0", "-store", dir, "-workers", "1",
+		}, ready2)
+	}()
+	select {
+	case addr = <-ready2:
+	case err := <-done2:
+		t.Fatalf("restarted daemon exited: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("restarted daemon never came up")
+	}
+	client2 := fpgavolt.NewServiceClient("http://"+addr, nil)
+	job2, err := client2.Submit(ctx2, fpgavolt.CampaignRequest{
+		Kind: "characterization",
+		Boards: []fpgavolt.BoardSpec{
+			{Platform: "VC707", Replicas: 2, BRAMs: 24},
+		},
+		Runs: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCache := 0
+	final2, err := client2.Wait(ctx2, job2.ID, func(ev fpgavolt.JobEvent) error {
+		if ev.Type == "done" && ev.FromCache {
+			fromCache++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.State != fpgavolt.JobDone || final2.Aggregate.CacheHits != 2 || fromCache != 2 {
+		t.Fatalf("restarted daemon re-characterized: state=%s hits=%d cached-events=%d",
+			final2.State, final2.Aggregate.CacheHits, fromCache)
+	}
+	stop2()
+	if err := <-done2; err != nil {
+		t.Fatalf("restarted daemon shutdown: %v", err)
+	}
+}

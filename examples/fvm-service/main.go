@@ -1,0 +1,134 @@
+// The fvm-service example runs the whole campaign-service story in one
+// process: it boots the service over a disk store, submits a mixed-fleet
+// characterization through the typed client, follows the SSE progress
+// stream, queries the resulting FVMs and operating windows, then simulates
+// a restart — a second service over the same store directory — and shows
+// the identical campaign answered entirely from disk.
+//
+// Run with:
+//
+//	go run ./examples/fvm-service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/fpgavolt"
+)
+
+func main() {
+	storeDir, err := os.MkdirTemp("", "fvm-service-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+	ctx := context.Background()
+
+	// --- Boot #1: a cold store. -----------------------------------------
+	fmt.Printf("=== service boot 1 (store %s) ===\n", storeDir)
+	client, shutdown := boot(storeDir)
+	campaign := fpgavolt.CampaignRequest{
+		Kind: "characterization",
+		Boards: []fpgavolt.BoardSpec{
+			{Platform: "VC707", Replicas: 2, BRAMs: 120},
+			{Platform: "ZC702", Replicas: 2, BRAMs: 120},
+			{Platform: "KC705-A", Replicas: 1, BRAMs: 120},
+			{Platform: "KC705-B", Replicas: 1, BRAMs: 120},
+		},
+		Runs: 10,
+	}
+	final := submitAndStream(ctx, client, campaign)
+	fmt.Printf("campaign %s: %d/%d boards, %d cache hits, spread %.1fx\n\n",
+		final.State, final.Aggregate.Completed, final.Boards,
+		final.Aggregate.CacheHits, final.Aggregate.SpreadRatio)
+
+	// The store now answers fleet-wide queries.
+	fvms, err := client.FVMs(ctx, "", "")
+	check(err)
+	fmt.Printf("stored FVMs: %d\n", len(fvms))
+	for _, m := range fvms {
+		fmt.Printf("  %-8s S/N %-28s %3d sites, %4.1f%% zero-fault, max rate %.2f%%\n",
+			m.Platform, m.Serial, m.Sites, 100*m.ZeroShare, 100*m.MaxRate)
+	}
+	vmins, err := client.Vmin(ctx, "", "")
+	check(err)
+	fmt.Println("operating windows:")
+	for _, v := range vmins {
+		fmt.Printf("  %-8s S/N %-28s Vmin %.2fV  Vcrash %.2fV  %6.1f faults/Mbit\n",
+			v.Platform, v.Serial, v.VminV, v.VcrashV, v.FaultsPerMbit)
+	}
+	shutdown()
+
+	// --- Boot #2: same store, new process. ------------------------------
+	fmt.Println("\n=== service boot 2 (same store — simulated restart) ===")
+	client, shutdown = boot(storeDir)
+	defer shutdown()
+	start := time.Now()
+	final = submitAndStream(ctx, client, campaign)
+	fmt.Printf("identical campaign after restart: %s in %v, %d/%d boards from the store\n",
+		final.State, time.Since(start).Round(time.Millisecond),
+		final.Aggregate.CacheHits, final.Boards)
+	if final.Aggregate.CacheHits != final.Boards {
+		log.Fatalf("expected every board served from disk, got %d/%d",
+			final.Aggregate.CacheHits, final.Boards)
+	}
+	fmt.Println("no board was re-characterized: the FVM store is the fleet's memory.")
+}
+
+// boot starts a service over the store directory on an ephemeral port and
+// returns a client plus a graceful-shutdown func.
+func boot(storeDir string) (*fpgavolt.Client, func()) {
+	st, err := fpgavolt.OpenDiskStore(storeDir)
+	check(err)
+	svc, err := fpgavolt.NewService(fpgavolt.ServiceConfig{Store: st, Workers: 2})
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	client := fpgavolt.NewServiceClient("http://"+ln.Addr().String(), nil)
+	return client, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+		hs.Shutdown(ctx)
+		st.Close() // flush the store index so the next open skips the rescan
+	}
+}
+
+// submitAndStream submits the campaign and renders its SSE feed until the
+// terminal event, returning the final job status.
+func submitAndStream(ctx context.Context, client *fpgavolt.Client, req fpgavolt.CampaignRequest) fpgavolt.JobStatus {
+	job, err := client.Submit(ctx, req)
+	check(err)
+	fmt.Printf("submitted %s (%s, %d boards)\n", job.ID, job.Kind, job.Boards)
+	final, err := client.Wait(ctx, job.ID, func(ev fpgavolt.JobEvent) error {
+		switch ev.Type {
+		case "done":
+			src := "measured"
+			if ev.FromCache {
+				src = "store hit"
+			}
+			fmt.Printf("  [%5.1f%%] board %2d %-8s %-9s %7.1f faults/Mbit\n",
+				ev.Progress, ev.Board, ev.Platform, src, ev.Faults)
+		case "failed":
+			fmt.Printf("  [%5.1f%%] board %2d %-8s FAILED: %s\n",
+				ev.Progress, ev.Board, ev.Platform, ev.Error)
+		}
+		return nil
+	})
+	check(err)
+	return final
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

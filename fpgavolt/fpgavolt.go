@@ -18,6 +18,12 @@
 //     (any mix of platforms and serials) with bounded concurrency, per-board
 //     progress events, cross-chip variation aggregation, and an FVM cache
 //     that lets repeated campaigns skip re-characterization.
+//   - A durable FVM store (content-addressed JSON blobs on disk) that backs
+//     the cache as a write-through second level, so characterization work
+//     survives process restarts.
+//   - The campaign service: an HTTP JSON daemon (cmd/fpgavoltd) with an
+//     async job queue, an SSE progress stream, store-backed FVM/Vmin query
+//     endpoints, and a typed Client.
 //
 // A minimal session:
 //
@@ -44,6 +50,7 @@ package fpgavolt
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/accel"
 	"repro/internal/board"
@@ -55,6 +62,8 @@ import (
 	"repro/internal/nn"
 	"repro/internal/placement"
 	"repro/internal/platform"
+	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/xdc"
 )
 
@@ -118,6 +127,53 @@ type (
 	FleetEvent = engine.Event
 	// FleetCacheStats reports FVM cache effectiveness.
 	FleetCacheStats = engine.CacheStats
+	// FleetCache is the two-level FVM cache; share one across fleets (via
+	// FleetOptions.Cache) to collapse concurrent duplicate
+	// characterizations into single sweeps.
+	FleetCache = engine.FVMCache
+	// PlacementStats reports placement-cache effectiveness.
+	PlacementStats = engine.PlacementStats
+)
+
+// Store and service types.
+type (
+	// FVMStore is a durable, concurrency-safe characterization repository;
+	// set FleetOptions.Store (or ServiceConfig.Store) to make campaigns
+	// survive restarts.
+	FVMStore = store.Store
+	// FVMRecord is one stored characterization product (sweep + FVM).
+	FVMRecord = store.Record
+	// FVMStoreKey identifies one stored measurement.
+	FVMStoreKey = store.Key
+	// Service is the campaign daemon: job queue, workers, HTTP handlers.
+	Service = server.Server
+	// ServiceConfig tunes a Service.
+	ServiceConfig = server.Config
+	// Client is the typed HTTP client for a running Service.
+	Client = server.Client
+	// CampaignRequest is the wire form of a campaign submission.
+	CampaignRequest = server.CampaignRequest
+	// BoardSpec requests boards of one platform model.
+	BoardSpec = server.BoardSpec
+	// JobStatus is a job's wire status.
+	JobStatus = server.JobStatus
+	// JobState is a job's lifecycle phase.
+	JobState = server.JobState
+	// JobEvent is one SSE-streamed campaign event.
+	JobEvent = server.JobEvent
+	// FVMInfo summarizes one stored FVM for listings.
+	FVMInfo = server.FVMInfo
+	// VminInfo is one board's stored operating window.
+	VminInfo = server.VminInfo
+)
+
+// The job lifecycle states a Service reports.
+const (
+	JobQueued    = server.JobQueued
+	JobRunning   = server.JobRunning
+	JobDone      = server.JobDone
+	JobFailed    = server.JobFailed
+	JobCancelled = server.JobCancelled
 )
 
 // The fleet campaign kinds.
@@ -128,6 +184,10 @@ const (
 	CampaignTemperature = engine.TemperatureStudy
 	// CampaignInference sweeps NN inference accuracy on every board.
 	CampaignInference = engine.NNInference
+	// CampaignPatterns runs the Fig. 4 data-pattern study on every board.
+	CampaignPatterns = engine.KindPattern
+	// CampaignThresholds discovers both rails' Vmin/Vcrash on every board.
+	CampaignThresholds = engine.KindThresholds
 )
 
 // The fleet event kinds a campaign streams per board.
@@ -257,6 +317,34 @@ func RunCampaign(ctx context.Context, f *Fleet, c Campaign) (*CampaignResult, er
 // fault-free — the board's empirical Vmin, the per-chip quantity whose
 // fleet-wide spread a campaign aggregates.
 func ObservedVmin(s *Sweep) float64 { return engine.ObservedVmin(s) }
+
+// OpenDiskStore opens (or initializes) a durable FVM store rooted at dir.
+// Pass it in FleetOptions.Store to let campaigns survive restarts, or in
+// ServiceConfig.Store to back a Service.
+func OpenDiskStore(dir string) (FVMStore, error) { return store.OpenDisk(dir) }
+
+// NewMemStore returns a hermetic in-memory FVM store (tests, or a service
+// without durability).
+func NewMemStore() FVMStore { return store.NewMem() }
+
+// NewFleetCache builds a standalone FVM cache, optionally store-backed, for
+// sharing across fleets via FleetOptions.Cache (st may be nil).
+func NewFleetCache(capacity int, st FVMStore) *FleetCache {
+	c := engine.NewFVMCache(capacity)
+	if st != nil {
+		c.SetBacking(st)
+	}
+	return c
+}
+
+// NewService assembles a campaign service over cfg.Store and starts its
+// worker pool. Serve its Handler with net/http; stop it with Shutdown.
+func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
+
+// NewServiceClient returns a typed client for the service at base (e.g.
+// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient; streaming
+// requires a client without a global timeout.
+func NewServiceClient(base string, hc *http.Client) *Client { return server.NewClient(base, hc) }
 
 // Experiments returns the full registry in the paper's presentation order.
 func Experiments() []Experiment { return experiments.All() }

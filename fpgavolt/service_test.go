@@ -1,0 +1,68 @@
+package fpgavolt_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/fpgavolt"
+)
+
+// TestServicePublicAPI drives the campaign service purely through the
+// public package: NewService + NewServiceClient over an in-memory store,
+// submit → stream → query, then a fleet built directly on the same store
+// confirming the service's characterizations are reusable library-side.
+func TestServicePublicAPI(t *testing.T) {
+	st := fpgavolt.NewMemStore()
+	svc, err := fpgavolt.NewService(fpgavolt.ServiceConfig{Store: st, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	}()
+
+	ctx := context.Background()
+	client := fpgavolt.NewServiceClient(ts.URL, ts.Client())
+	job, err := client.Submit(ctx, fpgavolt.CampaignRequest{
+		Kind:   "characterization",
+		Boards: []fpgavolt.BoardSpec{{Platform: "KC705-A", Replicas: 2, BRAMs: 24}},
+		Runs:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Wait(ctx, job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != fpgavolt.JobDone || final.Aggregate.Completed != 2 {
+		t.Fatalf("service job %+v", final)
+	}
+	fvms, err := client.FVMs(ctx, "KC705-A", "")
+	if err != nil || len(fvms) != 2 {
+		t.Fatalf("FVM query: %d rows, %v", len(fvms), err)
+	}
+
+	// A library-side fleet over the same store reuses the service's work.
+	fleet := fpgavolt.NewFleet(
+		fpgavolt.KC705A().Scaled(24).Replicas(2),
+		fpgavolt.FleetOptions{Store: st},
+	)
+	res, err := fpgavolt.RunCampaign(ctx, fleet, fpgavolt.Campaign{
+		Kind:  fpgavolt.CampaignCharacterization,
+		Sweep: fpgavolt.SweepOptions{Runs: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Characterizations() != 0 || res.Agg.CacheHits != 2 {
+		t.Fatalf("library fleet re-characterized: %d sweeps, %d hits",
+			fleet.Characterizations(), res.Agg.CacheHits)
+	}
+}

@@ -46,6 +46,16 @@ func Build(b *board.Board, q *nn.Quantized, cs *xdc.ConstraintSet, seed uint64) 
 	if err := bs.Validate(b.Platform.Sites(), cs); err != nil {
 		return nil, err
 	}
+	return Assemble(b, q, d, bs)
+}
+
+// Assemble loads an already-compiled design onto a board: it resolves every
+// placed cell to the board's physical BRAM pool and writes the parameters.
+// Placement is a function of the floorplan, not the die, so one compiled
+// (design, bitstream) pair can be assembled onto any board whose platform
+// shares the geometry the bitstream was placed for — the fleet engine's
+// placement cache relies on this to deploy one compile across N boards.
+func Assemble(b *board.Board, q *nn.Quantized, d *bitstream.Design, bs *bitstream.Bitstream) (*Accelerator, error) {
 	a := &Accelerator{Board: b, Net: q, Design: d, BS: bs}
 	for j := range q.Words {
 		cells := d.CellsInGroup(placement.LayerGroup(j))

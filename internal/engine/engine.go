@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -30,12 +31,14 @@ import (
 	"repro/internal/nn"
 	"repro/internal/platform"
 	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/voltage"
 )
 
 // CampaignKind selects the study a campaign runs on every board.
 type CampaignKind int
 
-// The three fleet studies.
+// The fleet studies.
 const (
 	// Characterization runs the Listing 1 sweep and extracts each board's
 	// FVM. Results are memoized in the fleet's FVM cache.
@@ -46,6 +49,12 @@ const (
 	// NNInference deploys a quantized network on every board and sweeps
 	// inference accuracy from Vmin to Vcrash (the Fig. 11 curve, per chip).
 	NNInference
+	// KindPattern runs the Fig. 4 data-pattern study on every board: each
+	// requested fill is measured at a fixed voltage (default Vcrash).
+	KindPattern
+	// KindThresholds runs Fig. 1 threshold discovery on every board,
+	// locating both rails' Vmin and Vcrash boundaries.
+	KindThresholds
 )
 
 // String names the campaign kind.
@@ -57,8 +66,28 @@ func (k CampaignKind) String() string {
 		return "temperature-study"
 	case NNInference:
 		return "nn-inference"
+	case KindPattern:
+		return "pattern-study"
+	case KindThresholds:
+		return "threshold-discovery"
 	}
 	return "unknown"
+}
+
+// Kinds returns every campaign kind, in declaration order — the one list
+// KindByName and campaign validation both derive from.
+func Kinds() []CampaignKind {
+	return []CampaignKind{Characterization, TemperatureStudy, NNInference, KindPattern, KindThresholds}
+}
+
+// KindByName resolves a campaign kind from its String form.
+func KindByName(name string) (CampaignKind, error) {
+	for _, k := range Kinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown campaign kind %q", name)
 }
 
 // EventKind tags a progress event.
@@ -96,6 +125,12 @@ type Event struct {
 	FromCache bool    // done: the result was served from the FVM cache
 	Faults    float64 // done: faults/Mbit at the deepest level (when known)
 	Err       error   // failed: what went wrong
+	// Progress is the campaign-level completion percentage (0..100) at the
+	// moment the event was emitted: finished boards over the fleet, each
+	// board weighted by how many sweep steps its study costs, so a
+	// temperature ladder counts for more than a single sweep and platforms
+	// with wider voltage windows count for more than narrow ones.
+	Progress float64
 }
 
 // BoardResult is one board's outcome within a campaign. Exactly one of the
@@ -107,10 +142,13 @@ type BoardResult struct {
 	Serial    string
 	FromCache bool
 
-	Sweep      *characterize.Sweep     // Characterization
-	FVM        *fvm.Map                // Characterization
-	TempSweeps []*characterize.Sweep   // TemperatureStudy, aligned with Campaign.Temps
-	Inference  []accel.InferenceResult // NNInference, Vmin..Vcrash order
+	Sweep          *characterize.Sweep          // Characterization
+	FVM            *fvm.Map                     // Characterization
+	TempSweeps     []*characterize.Sweep        // TemperatureStudy, aligned with Campaign.Temps
+	Inference      []accel.InferenceResult      // NNInference, Vmin..Vcrash order
+	Patterns       []characterize.PatternResult // KindPattern, in Campaign.Patterns order
+	BRAMThresholds *characterize.Thresholds     // KindThresholds: VCCBRAM boundaries
+	IntThresholds  *characterize.Thresholds     // KindThresholds: VCCINT boundaries
 
 	Err error
 }
@@ -174,6 +212,16 @@ type Campaign struct {
 	// Seed is the placement seed for the inference build (default 1).
 	Seed uint64
 
+	// Patterns lists the fills a KindPattern campaign measures (default:
+	// the paper's five — 0xFFFF, 0xAAAA, 0x5555, random, all-zeros).
+	Patterns []characterize.Options
+	// PatternV fixes the voltage of a KindPattern campaign (0 → each
+	// platform's Vcrash, the paper's Fig. 4 operating point).
+	PatternV float64
+
+	// ProbeRuns tunes KindThresholds' per-level fault probe (0 → 3).
+	ProbeRuns int
+
 	// Events optionally receives per-board progress. The engine stops
 	// sending when RunCampaign returns and never closes the channel; an
 	// unread channel stalls only the sending worker, and campaign
@@ -199,6 +247,17 @@ type Options struct {
 	Workers int
 	// CacheCapacity bounds the FVM cache (0 → DefaultCacheCapacity).
 	CacheCapacity int
+	// Store, when set, backs the FVM cache with a durable second level:
+	// characterizations write through as they complete and cache misses
+	// fall back to it, so a fleet built over a warm store never re-runs a
+	// sweep the process — or any earlier process — already paid for.
+	Store store.Store
+	// Cache, when set, is shared with other fleets instead of building a
+	// private one — the shape a service wants, so concurrent jobs
+	// characterizing the same board collapse into one sweep. CacheCapacity
+	// and Store are then ignored; the shared cache's own capacity and
+	// backing govern.
+	Cache *FVMCache
 }
 
 // Fleet is a pool of simulated boards campaigns run across. Boards are
@@ -206,9 +265,10 @@ type Options struct {
 // their characterization products are memoized in the FVM cache, so a fleet
 // behaves like a rack of once-characterized physical boards.
 type Fleet struct {
-	platforms []platform.Platform
-	workers   int
-	cache     *FVMCache
+	platforms  []platform.Platform
+	workers    int
+	cache      *FVMCache
+	placements *PlacementCache
 
 	characterizations atomic.Uint64 // real sweeps executed (cache misses)
 }
@@ -224,10 +284,18 @@ func NewFleet(platforms []platform.Platform, opts Options) *Fleet {
 	if w > len(platforms) && len(platforms) > 0 {
 		w = len(platforms)
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewFVMCache(opts.CacheCapacity)
+		if opts.Store != nil {
+			cache.SetBacking(opts.Store)
+		}
+	}
 	return &Fleet{
-		platforms: append([]platform.Platform(nil), platforms...),
-		workers:   w,
-		cache:     NewFVMCache(opts.CacheCapacity),
+		platforms:  append([]platform.Platform(nil), platforms...),
+		workers:    w,
+		cache:      cache,
+		placements: NewPlacementCache(),
 	}
 }
 
@@ -241,6 +309,9 @@ func (f *Fleet) Platforms() []platform.Platform {
 
 // CacheStats snapshots the FVM cache counters.
 func (f *Fleet) CacheStats() CacheStats { return f.cache.Stats() }
+
+// PlacementStats snapshots the placement cache counters.
+func (f *Fleet) PlacementStats() PlacementStats { return f.placements.Stats() }
 
 // Characterizations returns how many real (non-cached) characterization
 // sweeps the fleet has executed since construction.
@@ -260,6 +331,10 @@ func (f *Fleet) RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, e
 	if c.Sweep.Workers == 0 && f.workers > 0 {
 		c.Sweep.Workers = max(1, runtime.GOMAXPROCS(0)/f.workers)
 	}
+	pm := newProgressMeter()
+	for _, p := range f.platforms {
+		pm.grow(c.boardWeight(p))
+	}
 	results := make([]BoardResult, len(f.platforms))
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -268,7 +343,7 @@ func (f *Fleet) RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, e
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = f.runBoard(ctx, c, i, f.platforms[i])
+				results[i] = f.runBoard(ctx, c, pm, i, f.platforms[i])
 			}
 		}()
 	}
@@ -301,6 +376,9 @@ feed:
 // validate rejects campaigns whose required inputs are missing before any
 // board spins up.
 func (c Campaign) validate() error {
+	if !slices.Contains(Kinds(), c.Kind) {
+		return fmt.Errorf("engine: unknown campaign kind %d", c.Kind)
+	}
 	if c.Kind == NNInference {
 		if c.Net == nil {
 			return fmt.Errorf("engine: NNInference campaign needs a quantized network")
@@ -311,6 +389,94 @@ func (c Campaign) validate() error {
 		}
 	}
 	return nil
+}
+
+// defaultPatterns returns the Fig. 4 fill set a KindPattern campaign runs
+// when none is given.
+func defaultPatterns() []characterize.Options {
+	return []characterize.Options{
+		{Pattern: 0xFFFF},
+		{Pattern: 0xAAAA},
+		{Pattern: 0x5555},
+		{RandomFill: true},
+		{ZeroFill: true, PatternName: "16'h0000"},
+	}
+}
+
+// progressMeter tracks weighted campaign completion. It is shared by the
+// board workers; total is fixed before the first board starts.
+type progressMeter struct {
+	mu    sync.Mutex
+	total float64
+	done  float64
+}
+
+func newProgressMeter() *progressMeter { return &progressMeter{} }
+
+// grow enlarges the campaign's total weight (called once per board, before
+// the workers start).
+func (pm *progressMeter) grow(w float64) {
+	pm.mu.Lock()
+	pm.total += w
+	pm.mu.Unlock()
+}
+
+// percent returns current completion in [0, 100].
+func (pm *progressMeter) percent() float64 {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.percentLocked()
+}
+
+func (pm *progressMeter) percentLocked() float64 {
+	if pm.total <= 0 {
+		return 100
+	}
+	p := 100 * pm.done / pm.total
+	if p > 100 {
+		p = 100
+	}
+	return p
+}
+
+// add credits w units of finished work and returns the updated percentage.
+func (pm *progressMeter) add(w float64) float64 {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.done += w
+	return pm.percentLocked()
+}
+
+// boardWeight estimates how many sweep steps the campaign costs on one
+// board, so progress weights a temperature ladder heavier than one sweep and
+// a wide voltage window heavier than a narrow one. Only relative magnitudes
+// matter; the estimate intentionally ignores per-level run counts, which are
+// uniform across the fleet.
+func (c Campaign) boardWeight(p platform.Platform) float64 {
+	o := c.Sweep.Normalized(p.Cal)
+	levels := float64(len(voltage.SweepDown(o.VStart, o.VStop, o.StepV)))
+	switch c.Kind {
+	case Characterization:
+		return levels
+	case TemperatureStudy:
+		n := len(c.Temps)
+		if n == 0 {
+			n = 4 // the default 50..80 °C ladder
+		}
+		return levels * float64(n)
+	case NNInference:
+		return float64(len(voltage.SweepDown(p.Cal.Vmin, p.Cal.Vcrash, voltage.Step)))
+	case KindPattern:
+		n := len(c.Patterns)
+		if n == 0 {
+			n = len(defaultPatterns())
+		}
+		return float64(n)
+	case KindThresholds:
+		// Both rails sweep from nominal toward the discovery floor.
+		return 2 * float64(len(voltage.SweepDown(p.Cal.Vnom, 0.40, voltage.Step)))
+	}
+	return 1
 }
 
 // emit streams a progress event without ever outliving the campaign: a full
@@ -326,7 +492,7 @@ func (c Campaign) emit(ctx context.Context, ev Event) {
 }
 
 // runBoard executes the campaign's study on one fleet member.
-func (f *Fleet) runBoard(ctx context.Context, c Campaign, idx int, p platform.Platform) BoardResult {
+func (f *Fleet) runBoard(ctx context.Context, c Campaign, pm *progressMeter, idx int, p platform.Platform) BoardResult {
 	res := BoardResult{Board: idx, Platform: p.Name, Serial: p.Serial}
 	// The feeder's select can hand out work in the same instant the context
 	// dies; re-check here so no sweep starts post-cancellation.
@@ -334,7 +500,8 @@ func (f *Fleet) runBoard(ctx context.Context, c Campaign, idx int, p platform.Pl
 		res.Err = err
 		return res
 	}
-	c.emit(ctx, Event{Kind: EventBoardStart, Board: idx, Platform: p.Name, Serial: p.Serial})
+	c.emit(ctx, Event{Kind: EventBoardStart, Board: idx, Platform: p.Name, Serial: p.Serial,
+		Progress: pm.percent()})
 
 	var err error
 	switch c.Kind {
@@ -344,15 +511,24 @@ func (f *Fleet) runBoard(ctx context.Context, c Campaign, idx int, p platform.Pl
 		err = f.temperatureBoard(ctx, c, p, &res)
 	case NNInference:
 		err = f.inferenceBoard(ctx, c, p, &res)
+	case KindPattern:
+		err = f.patternBoard(ctx, c, p, &res)
+	case KindThresholds:
+		err = f.thresholdsBoard(ctx, c, p, &res)
 	default:
 		err = fmt.Errorf("engine: unknown campaign kind %d", c.Kind)
 	}
+	// The board's weight is credited whether it succeeded or failed —
+	// either way that share of the campaign is no longer outstanding.
+	progress := pm.add(c.boardWeight(p))
 	if err != nil {
 		res.Err = err
-		c.emit(ctx, Event{Kind: EventBoardFailed, Board: idx, Platform: p.Name, Serial: p.Serial, Err: err})
+		c.emit(ctx, Event{Kind: EventBoardFailed, Board: idx, Platform: p.Name, Serial: p.Serial,
+			Err: err, Progress: progress})
 		return res
 	}
-	done := Event{Kind: EventBoardDone, Board: idx, Platform: p.Name, Serial: p.Serial, FromCache: res.FromCache}
+	done := Event{Kind: EventBoardDone, Board: idx, Platform: p.Name, Serial: p.Serial,
+		FromCache: res.FromCache, Progress: progress}
 	if s := res.finalSweep(); s != nil && len(s.Levels) > 0 {
 		done.Faults = s.Final().FaultsPerMbit
 	}
@@ -369,35 +545,53 @@ func cacheKey(p platform.Platform, o characterize.Options) CacheKey {
 	return CacheKey{
 		Platform: p.Name,
 		Serial:   p.Serial,
+		BRAMs:    p.NumBRAMs,
+		GridCols: p.Geometry.GridCols,
+		GridRows: p.Geometry.GridRows,
 		TempC:    o.OnBoardC,
 		Runs:     o.Runs,
 		Options:  o.Fingerprint(),
 	}
 }
 
-// characterizeBoard runs (or recalls) the board's characterization sweep and
-// FVM.
+// characterizeBoard runs (or recalls) the board's characterization sweep
+// and FVM. Concurrent campaigns (same fleet or fleets sharing the cache)
+// that race on one key collapse into a single measurement.
 func (f *Fleet) characterizeBoard(ctx context.Context, c Campaign, p platform.Platform, res *BoardResult) error {
 	key := cacheKey(p, c.Sweep)
-	if !c.SkipCache {
-		if s, m, ok := f.cache.Get(key); ok {
-			res.Sweep, res.FVM, res.FromCache = s, m, true
-			return nil
+	if c.SkipCache {
+		s, m, err := f.measureBoard(ctx, c, p)
+		if err != nil {
+			return err
 		}
+		res.Sweep, res.FVM = s, m
+		f.cache.Put(key, s, m)
+		return nil
 	}
+	s, m, fromCache, err := f.cache.GetOrCompute(ctx, key, func() (*characterize.Sweep, *fvm.Map, error) {
+		return f.measureBoard(ctx, c, p)
+	})
+	if err != nil {
+		return err
+	}
+	res.Sweep, res.FVM, res.FromCache = s, m, fromCache
+	return nil
+}
+
+// measureBoard executes one real characterization sweep and extracts its
+// FVM.
+func (f *Fleet) measureBoard(ctx context.Context, c Campaign, p platform.Platform) (*characterize.Sweep, *fvm.Map, error) {
 	b := board.New(p)
 	f.characterizations.Add(1)
 	s, err := characterize.Run(ctx, b, c.Sweep)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	m, err := fvm.FromSweep(b.Platform, s)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	res.Sweep, res.FVM = s, m
-	f.cache.Put(key, s, m)
-	return nil
+	return s, m, nil
 }
 
 // temperatureBoard runs the Fig. 8 ladder on one board.
@@ -417,14 +611,20 @@ func (f *Fleet) temperatureBoard(ctx context.Context, c Campaign, p platform.Pla
 }
 
 // inferenceBoard deploys the campaign's network and sweeps inference
-// accuracy on one board.
+// accuracy on one board. The compiled placement is memoized fleet-wide:
+// boards sharing a floorplan assemble the same bitstream instead of each
+// re-running place and route.
 func (f *Fleet) inferenceBoard(ctx context.Context, c Campaign, p platform.Platform, res *BoardResult) error {
 	seed := c.Seed
 	if seed == 0 {
 		seed = 1
 	}
+	d, bs, _, err := f.placements.getOrBuild(p, c.Net, seed)
+	if err != nil {
+		return err
+	}
 	b := board.New(p)
-	a, err := accel.Build(b, c.Net, nil, seed)
+	a, err := accel.Assemble(b, c.Net, d, bs)
 	if err != nil {
 		return err
 	}
@@ -433,6 +633,56 @@ func (f *Fleet) inferenceBoard(ctx context.Context, c Campaign, p platform.Platf
 		return err
 	}
 	res.Inference = rs
+	return nil
+}
+
+// patternBoard measures each requested fill at the campaign's fixed voltage
+// on one board (Fig. 4, fleet-wide). The campaign's on-board temperature is
+// threaded into every fill that does not set its own — otherwise a
+// temp_c=80 pattern study would silently measure at each pattern's 50 °C
+// default.
+func (f *Fleet) patternBoard(ctx context.Context, c Campaign, p platform.Platform, res *BoardResult) error {
+	// Clone before patching temperatures: every board worker sees the same
+	// backing array, and the caller's Campaign must not be mutated.
+	pats := slices.Clone(c.Patterns)
+	if len(pats) == 0 {
+		pats = defaultPatterns()
+	}
+	o := c.Sweep.Normalized(p.Cal)
+	for i := range pats {
+		if pats[i].OnBoardC == 0 {
+			pats[i].OnBoardC = o.OnBoardC
+		}
+	}
+	v := c.PatternV
+	if v == 0 {
+		v = p.Cal.Vcrash
+	}
+	b := board.New(p)
+	f.characterizations.Add(uint64(len(pats)))
+	rs, err := characterize.RunPatternStudy(ctx, b, v, pats, o.Runs)
+	if err != nil {
+		return err
+	}
+	res.Patterns = rs
+	return nil
+}
+
+// thresholdsBoard discovers both rails' operating boundaries on one board
+// (Fig. 1, fleet-wide) at the campaign's on-board temperature.
+func (f *Fleet) thresholdsBoard(ctx context.Context, c Campaign, p platform.Platform, res *BoardResult) error {
+	b := board.New(p)
+	b.SetOnBoardTemp(c.Sweep.Normalized(p.Cal).OnBoardC)
+	f.characterizations.Add(2)
+	thB, err := characterize.DiscoverBRAMThresholds(ctx, b, c.ProbeRuns)
+	if err != nil {
+		return err
+	}
+	thI, err := characterize.DiscoverIntThresholds(ctx, b)
+	if err != nil {
+		return err
+	}
+	res.BRAMThresholds, res.IntThresholds = &thB, &thI
 	return nil
 }
 
@@ -471,6 +721,23 @@ func aggregate(results []BoardResult) Aggregate {
 			faults = append(faults, s.Final().FaultsPerMbit)
 			vmins = append(vmins, ObservedVmin(s))
 			vcrashes = append(vcrashes, s.Final().V)
+		}
+		// Pattern studies contribute their worst-case fill, so the fleet
+		// spread reflects the most pessimistic data pattern per chip.
+		if len(r.Patterns) > 0 {
+			worst := r.Patterns[0].FaultsPerMbit
+			for _, pr := range r.Patterns[1:] {
+				if pr.FaultsPerMbit > worst {
+					worst = pr.FaultsPerMbit
+				}
+			}
+			faults = append(faults, worst)
+		}
+		// Threshold discovery contributes the BRAM rail's boundaries to the
+		// fleet's Vmin/Vcrash spread.
+		if r.BRAMThresholds != nil {
+			vmins = append(vmins, r.BRAMThresholds.Vmin)
+			vcrashes = append(vcrashes, r.BRAMThresholds.Vcrash)
 		}
 		if r.FVM != nil {
 			zeros = append(zeros, r.FVM.ZeroShare())

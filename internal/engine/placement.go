@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/bitstream"
+	"repro/internal/nn"
+	"repro/internal/placement"
+	"repro/internal/platform"
+)
+
+// PlacementKey identifies one compiled accelerator placement. Placement is a
+// pure function of the floorplan (grid shape and populated site count), the
+// network topology (which fixes the design's cell list), and the compile
+// seed — not of the die: two boards of the same model place identically even
+// though their fault populations differ. That is exactly why inference
+// campaigns can share one bitstream across every replica of a platform.
+//
+// ICBP-constrained builds are deliberately NOT memoized here: their
+// constraints derive from a specific chip's FVM, so they are per-die by
+// construction. The engine only builds unconstrained (default-flow)
+// accelerators, which is the memoizable case.
+type PlacementKey struct {
+	GridCols int
+	GridRows int
+	NumBRAMs int
+	Topology string // dash-joined layer widths, e.g. "196-32-10"
+	Seed     uint64
+}
+
+// topologyString renders a network shape as a stable key component.
+func topologyString(topology []int) string {
+	parts := make([]string, len(topology))
+	for i, n := range topology {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, "-")
+}
+
+// placementKey derives the memoization key for deploying q on p with seed.
+func placementKey(p platform.Platform, q *nn.Quantized, seed uint64) PlacementKey {
+	return PlacementKey{
+		GridCols: p.Geometry.GridCols,
+		GridRows: p.Geometry.GridRows,
+		NumBRAMs: p.NumBRAMs,
+		Topology: topologyString(q.Topology),
+		Seed:     seed,
+	}
+}
+
+// PlacementStats reports placement-cache effectiveness.
+type PlacementStats struct {
+	Hits   uint64 // lookups served without re-placing
+	Builds uint64 // real place-and-validate compilations executed
+	Len    int    // distinct placements held
+}
+
+// placementEntry is one compiled design. The once gate makes concurrent
+// same-key callers block on a single build instead of compiling in parallel
+// and discarding all but one result.
+type placementEntry struct {
+	once   sync.Once
+	design *bitstream.Design
+	bs     *bitstream.Bitstream
+	err    error
+}
+
+// PlacementCache memoizes compiled (design, bitstream) pairs. It is safe for
+// concurrent use; distinct keys build in parallel, identical keys build once.
+type PlacementCache struct {
+	mu      sync.Mutex
+	entries map[PlacementKey]*placementEntry
+	hits    uint64
+	builds  uint64
+}
+
+// NewPlacementCache returns an empty placement cache.
+func NewPlacementCache() *PlacementCache {
+	return &PlacementCache{entries: make(map[PlacementKey]*placementEntry)}
+}
+
+// getOrBuild returns the compiled placement for (p, q, seed), compiling it at
+// most once per key. fromCache reports whether this caller skipped the build.
+func (pc *PlacementCache) getOrBuild(p platform.Platform, q *nn.Quantized, seed uint64) (*bitstream.Design, *bitstream.Bitstream, bool, error) {
+	key := placementKey(p, q, seed)
+	pc.mu.Lock()
+	e, existed := pc.entries[key]
+	if !existed {
+		e = &placementEntry{}
+		pc.entries[key] = e
+	}
+	pc.mu.Unlock()
+
+	built := false
+	e.once.Do(func() {
+		built = true
+		e.design = placement.BuildDesign("nn", q)
+		bs, err := bitstream.Place(e.design, p.Sites(), nil, seed)
+		if err != nil {
+			e.err = fmt.Errorf("engine: place %s seed %d: %w", key.Topology, seed, err)
+			return
+		}
+		if err := bs.Validate(p.Sites(), nil); err != nil {
+			e.err = fmt.Errorf("engine: validate placement %s seed %d: %w", key.Topology, seed, err)
+			return
+		}
+		e.bs = bs
+	})
+	pc.mu.Lock()
+	if built {
+		pc.builds++
+		if e.err != nil {
+			// Failed builds are not pinned: a later campaign retries.
+			delete(pc.entries, key)
+		}
+	} else if e.err == nil {
+		// Receiving another caller's failure is not a cache hit.
+		pc.hits++
+	}
+	pc.mu.Unlock()
+	return e.design, e.bs, !built, e.err
+}
+
+// Stats returns a snapshot of the placement cache counters.
+func (pc *PlacementCache) Stats() PlacementStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlacementStats{Hits: pc.hits, Builds: pc.builds, Len: len(pc.entries)}
+}

@@ -1,0 +1,284 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/characterize"
+	"repro/internal/engine"
+	"repro/internal/platform"
+)
+
+// BoardSpec requests boards of one platform model for a campaign's fleet.
+type BoardSpec struct {
+	// Platform names the board model: VC707, ZC702, KC705-A, or KC705-B.
+	Platform string `json:"platform"`
+	// Serial optionally pins the exact die. Empty means the model's
+	// reference serial; replicas beyond the first always mint derived
+	// serials (distinct dies), as Platform.Replicas does.
+	Serial string `json:"serial,omitempty"`
+	// Replicas is how many samples of this model to enroll (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// BRAMs scales the simulated pool (0 = the full chip).
+	BRAMs int `json:"brams,omitempty"`
+}
+
+// CampaignRequest is the body of POST /v1/campaigns. Kind names an engine
+// campaign kind; the inference kind is rejected — deploying a network
+// requires in-process data the JSON API does not carry.
+type CampaignRequest struct {
+	// Kind is the engine kind name: "characterization", "temperature-study",
+	// "pattern-study", or "threshold-discovery".
+	Kind string `json:"kind"`
+	// Boards lists the fleet inventory.
+	Boards []BoardSpec `json:"boards"`
+	// Runs is the per-level read-pass count (0 = the paper's 100).
+	Runs int `json:"runs,omitempty"`
+	// TempC sets the on-board temperature of a single-temperature study;
+	// 0 means the paper's 50 °C default (exact-zero and sub-zero
+	// temperatures are outside the simulated rig's envelope).
+	TempC float64 `json:"temp_c,omitempty"`
+	// Temps lists the ladder of a temperature study (empty = 50..80 °C);
+	// each entry must be in (0, 125].
+	Temps []float64 `json:"temps,omitempty"`
+	// Patterns lists hex fill words for a pattern study; the words "random"
+	// and "zero" select those fills. Empty = the paper's five.
+	Patterns []string `json:"patterns,omitempty"`
+	// ProbeRuns tunes threshold discovery's per-level probe (0 = 3).
+	ProbeRuns int `json:"probe_runs,omitempty"`
+	// SkipCache forces re-characterization even when the store is warm.
+	SkipCache bool `json:"skip_cache,omitempty"`
+}
+
+// campaign compiles the request into an engine campaign. Validation errors
+// are returned as *apiError with a 400 status.
+func (req *CampaignRequest) campaign() (engine.Campaign, error) {
+	kind, err := engine.KindByName(req.Kind)
+	if err != nil {
+		return engine.Campaign{}, badRequestf("unknown campaign kind %q", req.Kind)
+	}
+	if kind == engine.NNInference {
+		return engine.Campaign{}, badRequestf("inference campaigns need an in-process network; use the fpgavolt library API")
+	}
+	c := engine.Campaign{
+		Kind:      kind,
+		Sweep:     characterize.Options{Runs: req.Runs, OnBoardC: req.TempC},
+		Temps:     req.Temps,
+		ProbeRuns: req.ProbeRuns,
+		SkipCache: req.SkipCache,
+	}
+	// Every work-multiplying field is bounded: an unauthenticated POST must
+	// not be able to schedule an effectively unbounded campaign.
+	if req.Runs < 0 || req.Runs > 10000 {
+		return engine.Campaign{}, badRequestf("runs %d out of range [0, 10000]", req.Runs)
+	}
+	if req.ProbeRuns < 0 || req.ProbeRuns > 1000 {
+		return engine.Campaign{}, badRequestf("probe_runs %d out of range [0, 1000]", req.ProbeRuns)
+	}
+	if req.TempC < 0 || req.TempC > 125 {
+		return engine.Campaign{}, badRequestf("temp_c %g out of range [0, 125]", req.TempC)
+	}
+	if len(req.Temps) > 16 {
+		return engine.Campaign{}, badRequestf("%d temperatures exceed the 16-step ladder limit", len(req.Temps))
+	}
+	for _, tc := range req.Temps {
+		// Explicit ladder entries exclude 0: OnBoardC==0 means "default
+		// 50 °C" to the sweep's option normalization, so accepting it
+		// would silently measure the wrong temperature.
+		if tc <= 0 || tc > 125 {
+			return engine.Campaign{}, badRequestf("temperature %g out of range (0, 125]", tc)
+		}
+	}
+	if len(req.Patterns) > 16 {
+		return engine.Campaign{}, badRequestf("%d patterns exceed the 16-fill limit", len(req.Patterns))
+	}
+	for _, pat := range req.Patterns {
+		switch pat {
+		case "random":
+			c.Patterns = append(c.Patterns, characterize.Options{RandomFill: true})
+		case "zero":
+			c.Patterns = append(c.Patterns, characterize.Options{ZeroFill: true, PatternName: "16'h0000"})
+		default:
+			w, err := strconv.ParseUint(pat, 16, 16)
+			if err != nil {
+				return engine.Campaign{}, badRequestf("pattern %q is not a hex word, \"random\", or \"zero\"", pat)
+			}
+			if w == 0 {
+				// Pattern 0 alone means "default" (0xFFFF) to the sweep's
+				// option normalization; an explicit "0000" must measure the
+				// all-zeros fill the client actually asked for.
+				c.Patterns = append(c.Patterns, characterize.Options{ZeroFill: true, PatternName: "16'h0000"})
+			} else {
+				c.Patterns = append(c.Patterns, characterize.Options{Pattern: uint16(w)})
+			}
+		}
+	}
+	return c, nil
+}
+
+// inventory expands the board specs into the fleet inventory.
+func (req *CampaignRequest) inventory(maxBoards int) ([]platform.Platform, error) {
+	if len(req.Boards) == 0 {
+		return nil, badRequestf("campaign needs at least one board spec")
+	}
+	var out []platform.Platform
+	seen := make(map[string]bool) // platform|serial → enrolled
+	for i, spec := range req.Boards {
+		p, err := platform.ByName(spec.Platform)
+		if err != nil {
+			return nil, badRequestf("boards[%d]: %v", i, err)
+		}
+		if spec.BRAMs < 0 {
+			return nil, badRequestf("boards[%d]: negative brams", i)
+		}
+		if spec.BRAMs > 0 {
+			p = p.Scaled(spec.BRAMs)
+		}
+		if spec.Serial != "" {
+			p = p.WithSerial(spec.Serial)
+		}
+		n := spec.Replicas
+		if n == 0 {
+			n = 1
+		}
+		if n < 0 {
+			return nil, badRequestf("boards[%d]: negative replicas", i)
+		}
+		// Enforce the cap before Replicas materializes anything: a huge
+		// replica count must be a 400, not a giant allocation.
+		if n > maxBoards || len(out)+n > maxBoards {
+			return nil, badRequestf("fleet exceeds the %d-board limit", maxBoards)
+		}
+		for _, rep := range p.Replicas(n) {
+			// The same die enrolled twice would be double-weighted in the
+			// cross-chip spread the campaign exists to measure.
+			id := rep.Name + "|" + rep.Serial
+			if seen[id] {
+				return nil, badRequestf("boards[%d]: %s S/N %s enrolled more than once", i, rep.Name, rep.Serial)
+			}
+			seen[id] = true
+			out = append(out, rep)
+		}
+	}
+	return out, nil
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// The job states, in lifecycle order.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// PatternStatus is one fill's outcome in a pattern-study job.
+type PatternStatus struct {
+	Name          string  `json:"name"`
+	FaultsPerMbit float64 `json:"faults_per_mbit"`
+	Flip10Share   float64 `json:"flip10_share"`
+}
+
+// BoardStatus is one board's outcome in a finished job, summarized for the
+// wire (full sweeps stay in the store; this is the dashboard row).
+type BoardStatus struct {
+	Board         int     `json:"board"`
+	Platform      string  `json:"platform"`
+	Serial        string  `json:"serial"`
+	FromCache     bool    `json:"from_cache,omitempty"`
+	FaultsPerMbit float64 `json:"faults_per_mbit,omitempty"`
+	VminV         float64 `json:"vmin_v,omitempty"`
+	VcrashV       float64 `json:"vcrash_v,omitempty"`
+	// IntVminV/IntVcrashV carry the VCCINT rail of a threshold-discovery
+	// job (VminV/VcrashV then hold the VCCBRAM rail).
+	IntVminV   float64         `json:"int_vmin_v,omitempty"`
+	IntVcrashV float64         `json:"int_vcrash_v,omitempty"`
+	Patterns   []PatternStatus `json:"patterns,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// JobStatus is the wire form of a job, returned by submit and job queries.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	State    JobState `json:"state"`
+	Boards   int      `json:"boards"`
+	Progress float64  `json:"progress"` // 0..100
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	Error string `json:"error,omitempty"`
+
+	Aggregate    *engine.Aggregate `json:"aggregate,omitempty"`
+	BoardResults []BoardStatus     `json:"board_results,omitempty"`
+}
+
+// JobEvent is one server-sequenced campaign event, streamed over SSE and
+// kept in the job's replayable log. Board events mirror engine.Event; the
+// terminal "campaign" event closes every stream.
+type JobEvent struct {
+	Seq       int      `json:"seq"`
+	Type      string   `json:"type"` // start | done | failed | campaign
+	Board     int      `json:"board,omitempty"`
+	Platform  string   `json:"platform,omitempty"`
+	Serial    string   `json:"serial,omitempty"`
+	FromCache bool     `json:"from_cache,omitempty"`
+	Faults    float64  `json:"faults_per_mbit,omitempty"`
+	Progress  float64  `json:"progress"`
+	State     JobState `json:"state,omitempty"` // campaign event only
+	Error     string   `json:"error,omitempty"`
+}
+
+// FVMInfo is one stored characterization, as listed by GET /v1/fvms.
+type FVMInfo struct {
+	ID        string  `json:"id"`
+	Platform  string  `json:"platform"`
+	Serial    string  `json:"serial"`
+	TempC     float64 `json:"temp_c"`
+	Runs      int     `json:"runs"`
+	Options   string  `json:"options"`
+	Sites     int     `json:"sites"`
+	ZeroShare float64 `json:"zero_share"`
+	MaxRate   float64 `json:"max_rate"`
+	VFromV    float64 `json:"v_from_v"`
+	VToV      float64 `json:"v_to_v"`
+}
+
+// VminInfo is one board's operating window, as computed by GET /v1/vmin from
+// its stored sweep.
+type VminInfo struct {
+	Platform      string  `json:"platform"`
+	Serial        string  `json:"serial"`
+	TempC         float64 `json:"temp_c"`
+	VminV         float64 `json:"vmin_v"`
+	VcrashV       float64 `json:"vcrash_v"`
+	FaultsPerMbit float64 `json:"faults_per_mbit"` // at the deepest level
+}
+
+// apiError carries an HTTP status with a message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) *apiError {
+	return &apiError{status: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/fvm"
+)
+
+// Client is the typed HTTP client for the campaign service. It speaks the
+// exact wire types the server emits, including the SSE event stream, so a
+// Go consumer never touches raw JSON.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the service at base (e.g.
+// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient; streaming
+// requires a client without a global timeout.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// BaseURL returns the service root this client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// do issues one request and decodes the JSON response into out (which may be
+// nil). Non-2xx responses come back as *APIStatusError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// APIStatusError is a non-2xx service response.
+type APIStatusError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIStatusError) Error() string {
+	return fmt.Sprintf("service returned %d: %s", e.StatusCode, e.Message)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	var body errorBody
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &APIStatusError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// Submit enqueues a campaign and returns the queued job.
+func (c *Client) Submit(ctx context.Context, req CampaignRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns", req, &st)
+	return st, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel cancels a queued or running job and returns its status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Events subscribes to the job's SSE stream and invokes fn for every event,
+// history first, until the terminal "campaign" event (nil return), the
+// context ends, or fn returns an error (which stops the stream and is
+// returned).
+func (c *Client) Events(ctx context.Context, id string, fn func(JobEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data strings.Builder
+	flush := func() (bool, error) {
+		if data.Len() == 0 {
+			return false, nil
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+			return false, fmt.Errorf("client: decode event: %w", err)
+		}
+		data.Reset()
+		if err := fn(ev); err != nil {
+			return false, err
+		}
+		return ev.Type == "campaign", nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			terminal, err := flush()
+			if err != nil || terminal {
+				return err
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id:/event:/comment lines carry no payload we need; the JSON
+			// body repeats the type and sequence.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	// Stream ended without a terminal event: surface the interruption.
+	if _, err := flush(); err != nil {
+		return err
+	}
+	return io.ErrUnexpectedEOF
+}
+
+// Wait streams events (fn may be nil) until the job reaches a terminal
+// state, then returns the final status.
+func (c *Client) Wait(ctx context.Context, id string, fn func(JobEvent) error) (JobStatus, error) {
+	cb := fn
+	if cb == nil {
+		cb = func(JobEvent) error { return nil }
+	}
+	if err := c.Events(ctx, id, cb); err != nil {
+		return JobStatus{}, err
+	}
+	return c.Job(ctx, id)
+}
+
+// FVMs lists stored characterizations, optionally filtered by platform
+// and/or serial (empty strings match everything).
+func (c *Client) FVMs(ctx context.Context, platformName, serial string) ([]FVMInfo, error) {
+	var out []FVMInfo
+	err := c.do(ctx, http.MethodGet, "/v1/fvms"+listQuery(platformName, serial), nil, &out)
+	return out, err
+}
+
+// FVM fetches one stored record's full Fault Variation Map.
+func (c *Client) FVM(ctx context.Context, id string) (*fvm.Map, error) {
+	var m fvm.Map
+	if err := c.do(ctx, http.MethodGet, "/v1/fvms/"+url.PathEscape(id), nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Vmin lists the observed operating window of every stored sweep matching
+// the optional platform/serial filter.
+func (c *Client) Vmin(ctx context.Context, platformName, serial string) ([]VminInfo, error) {
+	var out []VminInfo
+	err := c.do(ctx, http.MethodGet, "/v1/vmin"+listQuery(platformName, serial), nil, &out)
+	return out, err
+}
+
+func listQuery(platformName, serial string) string {
+	q := url.Values{}
+	if platformName != "" {
+		q.Set("platform", platformName)
+	}
+	if serial != "" {
+		q.Set("serial", serial)
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}

@@ -1,0 +1,317 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+)
+
+// Job is one queued or running campaign. All mutable state is guarded by mu;
+// notify is closed and replaced on every change, which is what lets any
+// number of SSE streams wait for "something new" without polling.
+type Job struct {
+	id        string
+	seq       int // table-assigned creation order; ids are for the wire
+	kind      engine.CampaignKind
+	campaign  engine.Campaign
+	inventory []platform.Platform
+	// ctx/cancel exist from submission: a DELETE can always cancel, whether
+	// the job is still queued, mid-handoff, or running.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress float64
+	events   []JobEvent
+	result   *engine.CampaignResult
+	err      error
+	notify   chan struct{}
+}
+
+func newJob(id string, c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc) *Job {
+	return &Job{
+		id: id, kind: c.Kind, campaign: c, inventory: inv, ctx: ctx, cancel: cancel,
+		state: JobQueued, created: time.Now(), notify: make(chan struct{}),
+	}
+}
+
+// signalLocked wakes every waiter; callers hold j.mu.
+func (j *Job) signalLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// setRunning transitions queued → running. It reports false when the job was
+// cancelled while queued, in which case the worker must skip it.
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.signalLocked()
+	return true
+}
+
+// appendEngineEvent records one engine event under the server's sequence
+// numbering and wakes the streams.
+func (j *Job) appendEngineEvent(ev engine.Event) {
+	je := JobEvent{
+		Type:      ev.Kind.String(),
+		Board:     ev.Board,
+		Platform:  ev.Platform,
+		Serial:    ev.Serial,
+		FromCache: ev.FromCache,
+		Faults:    ev.Faults,
+		Progress:  ev.Progress,
+	}
+	if ev.Err != nil {
+		je.Error = ev.Err.Error()
+	}
+	j.mu.Lock()
+	// Concurrent boards race to emit; monotonicize so dashboards never see
+	// the bar move backwards.
+	if je.Progress < j.progress {
+		je.Progress = j.progress
+	}
+	j.progress = je.Progress
+	je.Seq = len(j.events)
+	j.events = append(j.events, je)
+	j.signalLocked()
+	j.mu.Unlock()
+}
+
+// finish records the campaign outcome, appends the terminal event, and wakes
+// the streams one last time.
+func (j *Job) finish(res *engine.CampaignResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.result = res
+	j.err = err
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.progress = 100
+	case errors.Is(err, context.Canceled):
+		j.state = JobCancelled
+	default:
+		j.state = JobFailed
+	}
+	te := JobEvent{
+		Seq: len(j.events), Type: "campaign", Progress: j.progress, State: j.state,
+	}
+	if err != nil {
+		te.Error = err.Error()
+	}
+	j.events = append(j.events, te)
+	j.signalLocked()
+}
+
+// markCancelled flips a still-queued job straight to cancelled (running jobs
+// go through finish when RunCampaign returns ctx.Err()).
+func (j *Job) markCancelled() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return
+	}
+	j.state = JobCancelled
+	j.finished = time.Now()
+	j.events = append(j.events, JobEvent{
+		Seq: len(j.events), Type: "campaign", Progress: j.progress,
+		State: JobCancelled, Error: context.Canceled.Error(),
+	})
+	j.signalLocked()
+}
+
+// status snapshots the job for the wire. includeResults controls whether
+// the aggregate and per-board rows ride along: detail endpoints want them,
+// but the jobs listing would otherwise ship O(jobs × boards) payload on
+// every dashboard poll.
+func (j *Job) status(includeResults bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.id,
+		Kind:     j.kind.String(),
+		State:    j.state,
+		Boards:   len(j.inventory),
+		Progress: j.progress,
+		Created:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.result != nil && includeResults {
+		agg := j.result.Agg
+		st.Aggregate = &agg
+		for i := range j.result.Boards {
+			r := &j.result.Boards[i]
+			bs := BoardStatus{
+				Board: r.Board, Platform: r.Platform, Serial: r.Serial, FromCache: r.FromCache,
+			}
+			if r.Err != nil {
+				bs.Error = r.Err.Error()
+			}
+			// Temperature studies leave Sweep nil and fill TempSweeps; the
+			// last (hottest) sweep is the one the aggregate reports too.
+			s := r.Sweep
+			if s == nil && len(r.TempSweeps) > 0 {
+				s = r.TempSweeps[len(r.TempSweeps)-1]
+			}
+			if s != nil && len(s.Levels) > 0 {
+				bs.FaultsPerMbit = s.Final().FaultsPerMbit
+				bs.VminV = engine.ObservedVmin(s)
+				bs.VcrashV = s.Final().V
+			}
+			if th := r.BRAMThresholds; th != nil {
+				bs.VminV, bs.VcrashV = th.Vmin, th.Vcrash
+			}
+			if th := r.IntThresholds; th != nil {
+				bs.IntVminV, bs.IntVcrashV = th.Vmin, th.Vcrash
+			}
+			for _, pr := range r.Patterns {
+				bs.Patterns = append(bs.Patterns, PatternStatus{
+					Name: pr.Name, FaultsPerMbit: pr.FaultsPerMbit, Flip10Share: pr.Flip10Share,
+				})
+			}
+			st.BoardResults = append(st.BoardResults, bs)
+		}
+	}
+	return st
+}
+
+// eventsSince returns the events at sequence ≥ from, whether the job is
+// terminal, and a channel that is closed on the next change. The triple lets
+// an SSE stream drain history, then block until there is more.
+func (j *Job) eventsSince(from int) ([]JobEvent, bool, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// from == len is a legitimate tail-wait; anything outside [0, len] is a
+	// bogus cursor and replays from the start — otherwise a beyond-the-log
+	// cursor would wait forever and never see the terminal event.
+	if from < 0 || from > len(j.events) {
+		from = 0
+	}
+	var evs []JobEvent
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.state.Terminal(), j.notify
+}
+
+// jobTable is the server's job registry. Retention is bounded: beyond max
+// entries, the oldest terminal jobs are evicted (their FVMs live on in the
+// store; only the job row and its event log go). Live jobs are never
+// evicted, so the table can exceed max only while that many campaigns are
+// actually queued or running.
+type jobTable struct {
+	mu    sync.Mutex
+	seq   int
+	max   int
+	jobs  map[string]*Job
+	order []string // creation order, for oldest-first eviction
+}
+
+func newJobTable(max int) *jobTable {
+	if max <= 0 {
+		max = 256
+	}
+	return &jobTable{max: max, jobs: make(map[string]*Job)}
+}
+
+// terminal reports the job's state under its own lock.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// create registers a new job for the campaign and returns it.
+func (t *jobTable) create(c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc) *Job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := fmt.Sprintf("job-%04d", t.seq)
+	j := newJob(id, c, inv, ctx, cancel)
+	j.seq = t.seq
+	t.jobs[id] = j
+	t.order = append(t.order, id)
+	t.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs until the table fits max.
+func (t *jobTable) evictLocked() {
+	for i := 0; len(t.jobs) > t.max && i < len(t.order); {
+		id := t.order[i]
+		j, ok := t.jobs[id]
+		if ok && !j.terminal() {
+			i++ // live: skip, never evict
+			continue
+		}
+		delete(t.jobs, id)
+		t.order = append(t.order[:i], t.order[i+1:]...)
+	}
+}
+
+// remove deregisters a job that was never admitted to the queue, so a
+// rejected submission leaves no phantom entry in the listing.
+func (t *jobTable) remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.jobs, id)
+	for i, o := range t.order {
+		if o == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// get resolves a job by id.
+func (t *jobTable) get(id string) (*Job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+// list snapshots every job's status, oldest first. Ordering follows the
+// creation sequence, not the id string — "job-10000" must list after
+// "job-9999", which lexicographic id order would get wrong.
+func (t *jobTable) list() []JobStatus {
+	t.mu.Lock()
+	jobs := make([]*Job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	t.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status(false))
+	}
+	return out
+}

@@ -1,0 +1,471 @@
+// Package server exposes the fleet campaign engine and the durable FVM
+// store as an HTTP JSON service — the daemon side of fpgavoltd.
+//
+// The API surface:
+//
+//	POST   /v1/campaigns        submit a campaign; returns the queued job
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        one job's status, aggregate, per-board rows
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events stream the job's event log over SSE
+//	GET    /v1/fvms             list stored characterizations (?platform=&serial=)
+//	GET    /v1/fvms/{id}        one stored record's full FVM as JSON
+//	GET    /v1/vmin             per-board operating windows from stored sweeps
+//	GET    /healthz             liveness + queue depth
+//
+// Campaigns run on a bounded worker pool fed by a bounded queue: a full
+// queue answers 503 instead of buffering without limit. Every campaign's
+// fleet shares the server's FVM cache and store, so characterization
+// results persist across jobs and process restarts, and a re-submitted
+// characterization campaign is served from disk instead of re-measuring
+// (temperature, pattern, and threshold studies always measure — their
+// products are not cached). Shutdown stops intake, then drains: queued and
+// running jobs finish unless the shutdown context expires first, at which
+// point the engine's context plumbing cancels them promptly.
+package server
+
+import (
+	"cmp"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// Config tunes a server.
+type Config struct {
+	// Store backs every campaign's FVM cache and the query endpoints.
+	// Required; use store.NewMem() for a non-durable service.
+	Store store.Store
+	// Workers bounds how many campaigns run concurrently (default 2).
+	Workers int
+	// QueueDepth bounds how many submitted campaigns may wait (default 16).
+	QueueDepth int
+	// FleetWorkers bounds per-campaign board concurrency (0 = engine auto).
+	FleetWorkers int
+	// CacheCapacity bounds the server's shared in-memory FVM cache.
+	CacheCapacity int
+	// MaxBoards caps a single campaign's fleet size (default 64).
+	MaxBoards int
+	// MaxJobHistory caps how many jobs the in-memory table retains;
+	// beyond it the oldest terminal jobs (and their event logs) are
+	// evicted so a long-lived daemon does not grow without bound
+	// (default 256). Live jobs are never evicted.
+	MaxJobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxBoards <= 0 {
+		c.MaxBoards = 64
+	}
+	if c.MaxJobHistory <= 0 {
+		c.MaxJobHistory = 256
+	}
+	return c
+}
+
+// Server is the campaign service: a job queue, its worker pool, and the
+// HTTP handlers over both. Create with New, serve via Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	jobs *jobTable
+	// cache is shared by every job's fleet, so concurrent campaigns
+	// characterizing the same board collapse into one sweep (the engine's
+	// per-key flights) and memory hits survive across jobs, not just
+	// within one.
+	cache *engine.FVMCache
+
+	baseCtx context.Context    // parent of every job context
+	abort   context.CancelFunc // forced-shutdown switch
+
+	intakeMu sync.Mutex // guards queue sends vs. close
+	queue    chan *Job
+	draining bool
+
+	workers sync.WaitGroup
+}
+
+// New assembles a server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	cache := engine.NewFVMCache(cfg.CacheCapacity)
+	cache.SetBacking(cfg.Store)
+	ctx, abort := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		jobs:    newJobTable(cfg.MaxJobHistory),
+		cache:   cache,
+		baseCtx: ctx,
+		abort:   abort,
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	s.routes()
+	for w := 0; w < cfg.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/fvms", s.handleFVMs)
+	s.mux.HandleFunc("GET /v1/fvms/{id}", s.handleFVM)
+	s.mux.HandleFunc("GET /v1/vmin", s.handleVmin)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for job := range s.queue {
+		if !job.setRunning() {
+			continue // cancelled while queued
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob executes one campaign. The fleet is constructed per job (each job
+// may enroll a different inventory) but backed by the shared store, so
+// characterization work is reused across jobs and restarts.
+func (s *Server) runJob(job *Job) {
+	defer job.cancel()
+	fleet := engine.NewFleet(job.inventory, engine.Options{
+		Workers: s.cfg.FleetWorkers,
+		Cache:   s.cache,
+	})
+	events := make(chan engine.Event, 64)
+	c := job.campaign
+	c.Events = events
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range events {
+			job.appendEngineEvent(ev)
+		}
+	}()
+	res, err := fleet.RunCampaign(job.ctx, c)
+	close(events)
+	<-drained
+	job.finish(res, err)
+}
+
+// Shutdown stops intake and waits for queued and running jobs to drain.
+// When ctx expires first, every remaining job is cancelled through its
+// context and Shutdown returns ctx.Err() once the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.intakeMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.intakeMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	// No queued-job sweep is needed here: once the queue is closed, the
+	// workers drain every remaining queued job (running it, or skipping it
+	// if already cancelled) before workers.Wait() returns, so every job
+	// holds a terminal state by now.
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abort() // cancels s.baseCtx, and with it every running campaign
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handleSubmit enqueues a campaign and answers 202 with the queued job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// A campaign submission is a small document; anything bigger is not a
+	// campaign.
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req CampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequestf("decode request: %v", err))
+		return
+	}
+	c, err := req.campaign()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	inv, err := req.inventory(s.cfg.MaxBoards)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	s.intakeMu.Lock()
+	defer s.intakeMu.Unlock()
+	if s.draining {
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "server is shutting down"})
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := s.jobs.create(c, inv, ctx, cancel)
+	select {
+	case s.queue <- job:
+	default:
+		// The submission was refused: it must not linger in the listing as
+		// a phantom cancelled job the client was told never existed.
+		s.jobs.remove(job.id)
+		cancel()
+		writeError(w, &apiError{status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("job queue full (%d pending)", s.cfg.QueueDepth)})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.status(true))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.list())
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, &apiError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+	}
+	return job, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.lookupJob(w, r); ok {
+		writeJSON(w, http.StatusOK, job.status(true))
+	}
+}
+
+// handleCancel cancels a queued or running job. Cancelling a terminal job is
+// a no-op that reports the final state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	job.markCancelled() // queued → cancelled immediately
+	job.cancel()        // running → engine unwinds via ctx, worker calls finish
+	writeJSON(w, http.StatusOK, job.status(true))
+}
+
+// handleEvents streams the job's event log as Server-Sent Events: history
+// first, then live events, closing after the terminal "campaign" event. The
+// Last-Event-ID header (or ?after=) resumes a dropped stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &apiError{status: http.StatusInternalServerError, msg: "response writer cannot stream"})
+		return
+	}
+	// A malformed or negative resume cursor replays from the start rather
+	// than reaching eventsSince with an index that would slice negatively.
+	next := 0
+	if after := cmp.Or(r.Header.Get("Last-Event-ID"), r.URL.Query().Get("after")); after != "" {
+		if n, err := strconv.Atoi(after); err == nil && n >= 0 {
+			next = n + 1
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		evs, terminal, changed := job.eventsSince(next)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			next = ev.Seq + 1
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			// Everything up to and including the terminal event is out.
+			if evs, _, _ := job.eventsSince(next); len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// matchKey filters store listings by the optional platform/serial query.
+func matchKey(k store.Key, platformQ, serialQ string) bool {
+	if platformQ != "" && !strings.EqualFold(k.Platform, platformQ) {
+		return false
+	}
+	if serialQ != "" && k.Serial != serialQ {
+		return false
+	}
+	return true
+}
+
+// forEachStoredRecord iterates the store's records matching the request's
+// platform/serial filter, fetching each blob. Torn or raced-away blobs are
+// skipped — a listing should degrade, not 500, when one record is bad. A
+// store-level List failure is reported and ends the iteration.
+func (s *Server) forEachStoredRecord(w http.ResponseWriter, r *http.Request, fn func(store.Meta, *store.Record)) bool {
+	metas, err := s.cfg.Store.List()
+	if err != nil {
+		writeError(w, fmt.Errorf("list store: %w", err))
+		return false
+	}
+	q := r.URL.Query()
+	for _, m := range metas {
+		if !matchKey(m.Key, q.Get("platform"), q.Get("serial")) {
+			continue
+		}
+		rec, ok, err := s.cfg.Store.GetID(m.ID)
+		if err != nil || !ok {
+			continue
+		}
+		fn(m, rec)
+	}
+	return true
+}
+
+// handleFVMs lists stored characterizations, optionally filtered.
+func (s *Server) handleFVMs(w http.ResponseWriter, r *http.Request) {
+	out := []FVMInfo{}
+	if !s.forEachStoredRecord(w, r, func(m store.Meta, rec *store.Record) {
+		info := FVMInfo{
+			ID: m.ID, Platform: m.Key.Platform, Serial: m.Key.Serial,
+			TempC: m.Key.TempC, Runs: m.Key.Runs, Options: m.Key.Options,
+		}
+		if rec.FVM != nil {
+			info.Sites = rec.FVM.NumSites()
+			info.ZeroShare = rec.FVM.ZeroShare()
+			info.MaxRate = rec.FVM.Summary().Max
+			info.VFromV = rec.FVM.VFrom
+			info.VToV = rec.FVM.VTo
+		}
+		out = append(out, info)
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleFVM returns one stored record's full Fault Variation Map.
+func (s *Server) handleFVM(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !store.ValidID(id) {
+		// Not an address at all (including traversal attempts): 404, and
+		// the store layer independently refuses to touch the filesystem.
+		writeError(w, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("no FVM %q", id)})
+		return
+	}
+	rec, ok, err := s.cfg.Store.GetID(id)
+	if err != nil {
+		writeError(w, fmt.Errorf("read record %s: %w", id, err))
+		return
+	}
+	if !ok || rec.FVM == nil {
+		writeError(w, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("no FVM %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.FVM)
+}
+
+// handleVmin computes each stored sweep's observed operating window — the
+// per-chip quantity an undervolting deployment actually steers by.
+func (s *Server) handleVmin(w http.ResponseWriter, r *http.Request) {
+	out := []VminInfo{}
+	if !s.forEachStoredRecord(w, r, func(m store.Meta, rec *store.Record) {
+		if rec.Sweep == nil || len(rec.Sweep.Levels) == 0 {
+			return
+		}
+		out = append(out, VminInfo{
+			Platform: m.Key.Platform, Serial: m.Key.Serial, TempC: m.Key.TempC,
+			VminV:         engine.ObservedVmin(rec.Sweep),
+			VcrashV:       rec.Sweep.Final().V,
+			FaultsPerMbit: rec.Sweep.Final().FaultsPerMbit,
+		})
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealth reports liveness and queue pressure.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.intakeMu.Lock()
+	draining := s.draining
+	pending := len(s.queue)
+	s.intakeMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       !draining,
+		"draining": draining,
+		"pending":  pending,
+		"workers":  s.cfg.Workers,
+	})
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps an error to its HTTP form (500 unless it is an apiError).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		status = ae.status
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

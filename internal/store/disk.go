@@ -1,0 +1,346 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// numStripes is the size of the per-blob lock table. Power of two so the
+// stripe index is a cheap mask.
+const numStripes = 64
+
+// Disk is the durable Store: content-addressed JSON blobs under a root
+// directory, with an index file for listings. See the package documentation
+// for the layout and the atomicity/locking discipline.
+type Disk struct {
+	root string
+
+	stripes [numStripes]sync.RWMutex // per-blob access, keyed by id hash
+
+	indexMu sync.Mutex
+	index   map[string]Key // id → key
+	dirty   bool           // index has entries not yet flushed to disk
+}
+
+// OpenDisk opens (or initializes) a store rooted at dir. A missing directory
+// is created; a missing or corrupt index is rebuilt from the object tree.
+func OpenDisk(dir string) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty root directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: init root: %w", err)
+	}
+	d := &Disk{root: dir, index: make(map[string]Key)}
+	if err := d.loadIndex(); err != nil {
+		// Recovery path: the index is a cache of blob metadata, never the
+		// source of truth. Rebuild it by scanning the objects.
+		if err := d.reindex(); err != nil {
+			return nil, err
+		}
+	} else if err := d.healIndex(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// healIndex reconciles a loaded index against the object tree — e.g. after
+// a process died between a blob write and the next index flush. The scan is
+// names-only; only blobs actually missing from the index are read, so
+// recovery costs O(missing), not O(store).
+func (d *Disk) healIndex() error {
+	onDisk := make(map[string]bool)
+	err := filepath.WalkDir(filepath.Join(d.root, "objects"), func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			return err
+		}
+		onDisk[strings.TrimSuffix(de.Name(), ".json")] = true
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: scan objects: %w", err)
+	}
+	d.indexMu.Lock()
+	defer d.indexMu.Unlock()
+	for id := range d.index {
+		if !onDisk[id] {
+			delete(d.index, id)
+			d.dirty = true
+		}
+	}
+	for id := range onDisk {
+		if _, ok := d.index[id]; ok {
+			continue
+		}
+		rec, ok, err := d.GetID(id)
+		if err != nil || !ok || rec.Key.ID() != id {
+			continue // corrupt or mis-addressed blob: leave it unindexed
+		}
+		d.index[id] = rec.Key
+		d.dirty = true
+	}
+	// Best-effort flush, like List: the in-memory index is already correct,
+	// and a full or read-only disk must not make a readable store
+	// unopenable. dirty stays set, so the flush retries later.
+	_ = d.flushIndexLocked()
+	return nil
+}
+
+// Root returns the store's root directory.
+func (d *Disk) Root() string { return d.root }
+
+func (d *Disk) indexPath() string { return filepath.Join(d.root, "index.json") }
+
+func (d *Disk) blobPath(id string) string {
+	return filepath.Join(d.root, "objects", id[:2], id+".json")
+}
+
+func (d *Disk) stripe(id string) *sync.RWMutex {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &d.stripes[h.Sum32()&(numStripes-1)]
+}
+
+// indexFile is the serialized form of the index.
+type indexFile struct {
+	Version int            `json:"version"`
+	Entries map[string]Key `json:"entries"`
+}
+
+// loadIndex reads index.json into memory. Any read or decode failure is
+// returned so the caller can fall back to a rebuild.
+func (d *Disk) loadIndex() error {
+	raw, err := os.ReadFile(d.indexPath())
+	if err != nil {
+		return err
+	}
+	var f indexFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("store: corrupt index: %w", err)
+	}
+	if f.Entries == nil {
+		f.Entries = make(map[string]Key)
+	}
+	d.indexMu.Lock()
+	d.index = f.Entries
+	d.indexMu.Unlock()
+	return nil
+}
+
+// reindex rebuilds the index by scanning every blob and re-deriving its key
+// from the embedded record metadata. Blobs that fail to decode or whose
+// content disagrees with their filename are skipped, not fatal: one torn
+// write must not take the rest of the store down with it.
+func (d *Disk) reindex() error {
+	entries := make(map[string]Key)
+	objRoot := filepath.Join(d.root, "objects")
+	err := filepath.WalkDir(objRoot, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil // unreadable blob: skip
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.Validate() != nil {
+			return nil // corrupt blob: skip
+		}
+		key := rec.Key
+		if key.ID() != strings.TrimSuffix(de.Name(), ".json") {
+			return nil // blob content does not match its address: skip
+		}
+		entries[key.ID()] = key
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: reindex: %w", err)
+	}
+	d.indexMu.Lock()
+	defer d.indexMu.Unlock()
+	d.index = entries
+	d.dirty = true
+	// Best-effort, as in healIndex: a failed flush keeps dirty set and must
+	// not fail the open — blob reads never need the index file.
+	_ = d.flushIndexLocked()
+	return nil
+}
+
+// flushIndexLocked persists the index when it has unflushed entries;
+// callers hold indexMu. Keeping the whole marshal+rename under the lock
+// means two racing flushes can never land their renames in the opposite
+// order of their marshals and persist a stale index.
+func (d *Disk) flushIndexLocked() error {
+	if !d.dirty {
+		return nil
+	}
+	f := indexFile{Version: 1, Entries: d.index}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("store: encode index: %w", err)
+	}
+	if err := atomicWrite(d.indexPath(), raw); err != nil {
+		return err
+	}
+	d.dirty = false
+	return nil
+}
+
+// Put stores the record, replacing any previous version of the same key.
+// The blob write is atomic (tmp + fsync + rename) and serialized per id, so
+// racing writers on one key cannot tear each other. The index update is
+// in-memory only — Gets are content-addressed and never need it — and is
+// flushed on List and Close, which keeps Put O(blob) instead of rewriting
+// the whole index per record; a crash between flushes is healed by the
+// staleness check at the next open.
+func (d *Disk) Put(rec *Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	key := rec.Key
+	id := key.ID()
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	path := d.blobPath(id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: blob dir: %w", err)
+	}
+	mu := d.stripe(id)
+	mu.Lock()
+	err = atomicWrite(path, raw)
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	d.indexMu.Lock()
+	d.index[id] = key
+	d.dirty = true
+	d.indexMu.Unlock()
+	return nil
+}
+
+// Get returns the record stored under k, or ok=false when no blob exists.
+func (d *Disk) Get(k Key) (*Record, bool, error) {
+	return d.GetID(k.ID())
+}
+
+// ValidID reports whether id has the shape of a content address (64 hex
+// digits). Anything else must never reach the filesystem: ids arrive from
+// the HTTP layer, and a crafted "aa/../../…" id would otherwise escape the
+// store root via blobPath.
+func ValidID(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// GetID returns the record with the given content address.
+func (d *Disk) GetID(id string) (*Record, bool, error) {
+	if !ValidID(id) {
+		return nil, false, fmt.Errorf("store: malformed id %q", id)
+	}
+	mu := d.stripe(id)
+	mu.RLock()
+	raw, err := os.ReadFile(d.blobPath(id))
+	mu.RUnlock()
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: read blob %s: %w", id, err)
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, false, fmt.Errorf("store: corrupt blob %s: %w", id, err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, false, err
+	}
+	return &rec, true, nil
+}
+
+// List returns the indexed records in stable order, opportunistically
+// flushing pending index entries so the on-disk index tracks what callers
+// were shown. A flush failure (full or read-only disk) does not fail the
+// read — the in-memory listing is already complete and correct, and the
+// flush retries on the next List/Close; a persistently unflushed index is
+// healed by the staleness check at the next open.
+func (d *Disk) List() ([]Meta, error) {
+	d.indexMu.Lock()
+	_ = d.flushIndexLocked()
+	out := make([]Meta, 0, len(d.index))
+	for id, key := range d.index {
+		out = append(out, Meta{ID: id, Key: key})
+	}
+	d.indexMu.Unlock()
+	sortMetas(out)
+	return out, nil
+}
+
+// Close flushes the index. Blobs themselves are durable at Put time.
+func (d *Disk) Close() error {
+	d.indexMu.Lock()
+	defer d.indexMu.Unlock()
+	return d.flushIndexLocked()
+}
+
+// atomicWrite lands data at path via a temp file in the same directory, an
+// fsync, and a rename, so concurrent readers see either the previous
+// content or the new content in full — and a power cut after Put returns
+// cannot leave a journaled rename pointing at unflushed data blocks.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer df.Close()
+	if err := df.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Mem is the hermetic Store used by tests and by deployments that want the
+// service API without durability. Records round-trip through the same JSON
+// encoding the Disk store uses, so the serialization path is exercised and
+// callers can never alias a stored record's internals.
+type Mem struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte // id → encoded record
+	keys  map[string]Key    // id → key
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{blobs: make(map[string][]byte), keys: make(map[string]Key)}
+}
+
+// Put stores the record, replacing any previous version of the same key.
+func (m *Mem) Put(rec *Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	key := rec.Key
+	id := key.ID()
+	m.mu.Lock()
+	m.blobs[id] = raw
+	m.keys[id] = key
+	m.mu.Unlock()
+	return nil
+}
+
+// Get returns the record stored under k, or ok=false when absent.
+func (m *Mem) Get(k Key) (*Record, bool, error) { return m.GetID(k.ID()) }
+
+// GetID returns the record with the given content address.
+func (m *Mem) GetID(id string) (*Record, bool, error) {
+	m.mu.RLock()
+	raw, ok := m.blobs[id]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, false, fmt.Errorf("store: corrupt blob %s: %w", id, err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, false, err
+	}
+	return &rec, true, nil
+}
+
+// List returns the stored records' index in stable order.
+func (m *Mem) List() ([]Meta, error) {
+	m.mu.RLock()
+	out := make([]Meta, 0, len(m.keys))
+	for id, key := range m.keys {
+		out = append(out, Meta{ID: id, Key: key})
+	}
+	m.mu.RUnlock()
+	sortMetas(out)
+	return out, nil
+}
+
+// Close is a no-op.
+func (m *Mem) Close() error { return nil }
+
+// Len returns the number of stored records.
+func (m *Mem) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.blobs)
+}

@@ -1,0 +1,139 @@
+// Package store persists characterization products — sweeps and their Fault
+// Variation Maps — beyond the life of one process. The paper's FVM is a
+// one-time-per-chip artifact: fault locations are deterministic per die
+// (Section II-C), so the expensive Listing 1 sweep never has to be repeated
+// once its result is on disk. The engine's in-memory LRU cache uses a Store
+// as its write-through second level, which is what lets a fleet survive a
+// restart without re-characterizing a single board.
+//
+// # On-disk layout (Disk implementation)
+//
+//	root/
+//	  index.json              rebuildable map of blob id → record key
+//	  objects/<aa>/<id>.json  one Record per blob, sharded by id prefix
+//
+// Blobs are content-addressed: a record's id is the SHA-256 of its
+// measurement identity (platform, serial, temperature, runs, sweep-option
+// fingerprint), so a Get never needs the index — the index only accelerates
+// List. Every write lands in a temp file first and is renamed into place, so
+// readers observe either the old blob or the new one, never a torn write.
+// Per-blob access is serialized by a striped RWMutex keyed on the id, so
+// concurrent writers racing on one key cannot interleave, while traffic on
+// distinct keys proceeds in parallel.
+//
+// A corrupt or missing index.json is not fatal: opening the store rebuilds
+// it by scanning the object tree and re-deriving each blob's key from its
+// embedded metadata (corrupt blobs are skipped). The Mem implementation
+// round-trips records through the same JSON encoding, so tests exercise the
+// serialization path hermetically.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/characterize"
+	"repro/internal/fvm"
+)
+
+// Key identifies one measurement: a board (platform + serial + pool
+// geometry — a scaled pool is a different simulated die) characterized
+// under a specific temperature, run count, and sweep-option fingerprint.
+// It mirrors the engine's cache key, so the disk store and the in-memory
+// cache always agree on what "the same characterization" means.
+type Key struct {
+	Platform string  `json:"platform"`
+	Serial   string  `json:"serial"`
+	BRAMs    int     `json:"brams,omitempty"`
+	GridCols int     `json:"grid_cols,omitempty"`
+	GridRows int     `json:"grid_rows,omitempty"`
+	TempC    float64 `json:"temp_c"`
+	Runs     int     `json:"runs"`
+	Options  string  `json:"options"`
+}
+
+// ID returns the key's content address: the SHA-256 of its canonical string
+// form, in hex. Deterministic, so a record can be located without the index.
+func (k Key) ID() string {
+	s := k.Platform + "\x00" + k.Serial + "\x00" +
+		strconv.Itoa(k.BRAMs) + "\x00" +
+		strconv.Itoa(k.GridCols) + "x" + strconv.Itoa(k.GridRows) + "\x00" +
+		strconv.FormatFloat(k.TempC, 'g', -1, 64) + "\x00" +
+		strconv.Itoa(k.Runs) + "\x00" + k.Options
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// Record is one stored characterization product: its identity plus the
+// sweep and the FVM it defined. The key is embedded in the blob itself,
+// which is what makes a lost index rebuildable, and it is the same Key type
+// the cache layers address by, so the two can never drift apart.
+type Record struct {
+	Key   Key                 `json:"key"`
+	Sweep *characterize.Sweep `json:"sweep,omitempty"`
+	FVM   *fvm.Map            `json:"fvm,omitempty"`
+}
+
+// Validate rejects records whose payload is missing or internally
+// inconsistent, so a torn or hand-edited blob never enters the cache.
+func (r *Record) Validate() error {
+	if r.Key.Platform == "" || r.Key.Serial == "" {
+		return fmt.Errorf("store: record missing platform/serial identity")
+	}
+	if r.Sweep == nil {
+		return fmt.Errorf("store: record %s/%s has no sweep", r.Key.Platform, r.Key.Serial)
+	}
+	if r.FVM != nil && len(r.FVM.Sites) != len(r.FVM.Counts) {
+		return fmt.Errorf("store: record %s/%s has a corrupt FVM (%d sites, %d counts)",
+			r.Key.Platform, r.Key.Serial, len(r.FVM.Sites), len(r.FVM.Counts))
+	}
+	return nil
+}
+
+// Meta is one index entry: a record's id and key, without its payload.
+type Meta struct {
+	ID  string `json:"id"`
+	Key Key    `json:"key"`
+}
+
+// Store is a durable, concurrency-safe record repository. Implementations
+// must tolerate concurrent Put/Get on the same key (last write wins; reads
+// never observe a torn record). Records handed to Put and returned by Get
+// must be treated as immutable by callers.
+type Store interface {
+	// Put stores the record under its derived key, replacing any previous
+	// version.
+	Put(rec *Record) error
+	// Get returns the record stored under k, or ok=false when absent.
+	Get(k Key) (rec *Record, ok bool, err error)
+	// GetID returns the record with the given content address.
+	GetID(id string) (rec *Record, ok bool, err error)
+	// List returns the index of stored records in a stable order.
+	List() ([]Meta, error)
+	// Close releases any resources. The store must not be used afterwards.
+	Close() error
+}
+
+// sortMetas orders index entries by platform, serial, temperature, runs,
+// options — a stable, human-meaningful listing order.
+func sortMetas(ms []Meta) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i].Key, ms[j].Key
+		if a.Platform != b.Platform {
+			return a.Platform < b.Platform
+		}
+		if a.Serial != b.Serial {
+			return a.Serial < b.Serial
+		}
+		if a.TempC != b.TempC {
+			return a.TempC < b.TempC
+		}
+		if a.Runs != b.Runs {
+			return a.Runs < b.Runs
+		}
+		return a.Options < b.Options
+	})
+}
