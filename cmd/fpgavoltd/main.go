@@ -1,20 +1,26 @@
 // Command fpgavoltd is the campaign service daemon: it serves the fleet
 // engine over an HTTP JSON API, backed by a durable on-disk FVM store, so
 // every board in an organization is characterized exactly once — across
-// jobs, clients, and process restarts.
+// jobs, clients, and process restarts. Jobs are durable too: the store's
+// journal replays the job table (listings, event logs, firehose cursors)
+// after a restart, with jobs caught mid-run coming back as failed with a
+// restart marker.
 //
 // Usage:
 //
 //	fpgavoltd [-listen :8080] [-store fvm-store] [-workers 2]
 //	          [-queue 16] [-fleet-workers 0] [-max-boards 64]
+//	          [-journal=true] [-gc-keep 0]
 //
 // Endpoints (see internal/server for the full contract):
 //
 //	POST   /v1/campaigns        submit a campaign → queued job
 //	GET    /v1/jobs/{id}        poll a job
 //	GET    /v1/jobs/{id}/events stream progress over SSE
+//	GET    /v1/events           firehose: all jobs' events, multiplexed
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/fvms             query stored FVMs (?platform=&serial=)
+//	DELETE /v1/fvms/{id}        admin: drop one stored record
 //	GET    /v1/vmin             per-board operating windows
 //	GET    /healthz             liveness
 //
@@ -60,6 +66,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		fleetWorkers = fs.Int("fleet-workers", 0, "concurrent boards per campaign (0 = auto)")
 		maxBoards    = fs.Int("max-boards", 64, "largest fleet one campaign may enroll")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		journal      = fs.Bool("journal", true, "journal jobs into the store so listings survive restarts")
+		gcKeep       = fs.Int("gc-keep", 0, "keep only the newest N store records per (platform, serial); 0 = unbounded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,11 +78,13 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 	svc, err := fpgavolt.NewService(fpgavolt.ServiceConfig{
-		Store:        st,
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		FleetWorkers: *fleetWorkers,
-		MaxBoards:    *maxBoards,
+		Store:          st,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		FleetWorkers:   *fleetWorkers,
+		MaxBoards:      *maxBoards,
+		DisableJournal: !*journal,
+		GCKeep:         *gcKeep,
 	})
 	if err != nil {
 		return err

@@ -100,6 +100,22 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal("restarted daemon never came up")
 	}
 	client2 := fpgavolt.NewServiceClient("http://"+addr, nil)
+	// The journal replayed the first daemon's job: listed, terminal, and
+	// with its event log still streamable.
+	jobs, err := client2.Jobs(ctx2)
+	if err != nil || len(jobs) != 1 || jobs[0].ID != job.ID || jobs[0].State != fpgavolt.JobDone {
+		t.Fatalf("restarted daemon lists %+v (%v), want the journaled %s done", jobs, err, job.ID)
+	}
+	replayed := 0
+	if err := client2.Events(ctx2, job.ID, func(fpgavolt.JobEvent) error {
+		replayed++
+		return nil
+	}); err != nil {
+		t.Fatalf("replaying the journaled job's events: %v", err)
+	}
+	if replayed == 0 {
+		t.Fatal("journaled job replayed no events")
+	}
 	job2, err := client2.Submit(ctx2, fpgavolt.CampaignRequest{
 		Kind: "characterization",
 		Boards: []fpgavolt.BoardSpec{

@@ -1,9 +1,12 @@
 // The fvm-service example runs the whole campaign-service story in one
 // process: it boots the service over a disk store, submits a mixed-fleet
-// characterization through the typed client, follows the SSE progress
-// stream, queries the resulting FVMs and operating windows, then simulates
-// a restart — a second service over the same store directory — and shows
-// the identical campaign answered entirely from disk.
+// characterization through the typed client, follows the per-job SSE
+// stream while a fleet-wide /v1/events firehose subscription watches the
+// same campaign, queries the resulting FVMs and operating windows, then
+// simulates a restart — a second service over the same store directory —
+// and shows both halves of durability: the job journal brings the
+// finished job back into the listing, and the identical campaign is
+// answered entirely from disk.
 //
 // Run with:
 //
@@ -43,10 +46,36 @@ func main() {
 		},
 		Runs: 10,
 	}
+
+	// A fleet dashboard would watch every job at once through the
+	// /v1/events firehose; here it runs beside the per-job stream and
+	// tallies what it saw.
+	fhCtx, fhCancel := context.WithCancel(ctx)
+	fhDone := make(chan map[string]int, 1)
+	go func() {
+		counts := map[string]int{}
+		var lastGSeq int64
+		client.Firehose(fhCtx, 0, func(ev fpgavolt.JobEvent) error {
+			counts[ev.Job]++
+			lastGSeq = ev.GSeq
+			return nil
+		})
+		counts["_gseq"] = int(lastGSeq)
+		fhDone <- counts
+	}()
+
 	final := submitAndStream(ctx, client, campaign)
-	fmt.Printf("campaign %s: %d/%d boards, %d cache hits, spread %.1fx\n\n",
+	fmt.Printf("campaign %s: %d/%d boards, %d cache hits, spread %.1fx\n",
 		final.State, final.Aggregate.Completed, final.Boards,
 		final.Aggregate.CacheHits, final.Aggregate.SpreadRatio)
+	fhCancel()
+	counts := <-fhDone
+	for job, n := range counts {
+		if job != "_gseq" && job != "" {
+			fmt.Printf("firehose: %d multiplexed events for %s (global cursor %d)\n\n",
+				n, job, counts["_gseq"])
+		}
+	}
 
 	// The store now answers fleet-wide queries.
 	fvms, err := client.FVMs(ctx, "", "")
@@ -69,6 +98,17 @@ func main() {
 	fmt.Println("\n=== service boot 2 (same store — simulated restart) ===")
 	client, shutdown = boot(storeDir)
 	defer shutdown()
+
+	// The job journal replayed the first process's campaign into the
+	// table: listings and event replay survive the restart.
+	jobs, err := client.Jobs(ctx)
+	check(err)
+	fmt.Printf("journal replayed %d job(s):\n", len(jobs))
+	for _, j := range jobs {
+		fmt.Printf("  %s  %-20s %-9s %3.0f%%  (%d boards)\n",
+			j.ID, j.Kind, j.State, j.Progress, j.Boards)
+	}
+
 	start := time.Now()
 	final = submitAndStream(ctx, client, campaign)
 	fmt.Printf("identical campaign after restart: %s in %v, %d/%d boards from the store\n",

@@ -20,10 +20,13 @@
 //     that lets repeated campaigns skip re-characterization.
 //   - A durable FVM store (content-addressed JSON blobs on disk) that backs
 //     the cache as a write-through second level, so characterization work
-//     survives process restarts.
+//     survives process restarts — with summary-carrying index listings,
+//     per-board GC, and a job journal riding alongside.
 //   - The campaign service: an HTTP JSON daemon (cmd/fpgavoltd) with an
-//     async job queue, an SSE progress stream, store-backed FVM/Vmin query
-//     endpoints, and a typed Client.
+//     async job queue, SSE progress streams (per-job and a fleet-wide
+//     /v1/events firehose), a journal-backed job table that survives
+//     restarts, store-backed FVM/Vmin query endpoints with admin delete,
+//     and a typed Client.
 //
 // A minimal session:
 //
@@ -145,6 +148,11 @@ type (
 	FVMRecord = store.Record
 	// FVMStoreKey identifies one stored measurement.
 	FVMStoreKey = store.Key
+	// FVMStoreMeta is one store index entry: id, key, and cached summary.
+	FVMStoreMeta = store.Meta
+	// FVMSummary is the index-cached shape of a stored record, which lets
+	// listings answer without reading blobs.
+	FVMSummary = store.Summary
 	// Service is the campaign daemon: job queue, workers, HTTP handlers.
 	Service = server.Server
 	// ServiceConfig tunes a Service.

@@ -123,6 +123,29 @@ func storeKey(k CacheKey) store.Key {
 	}
 }
 
+// CacheKeyFromStore is storeKey's inverse: it translates a store key back
+// to the cache's schema, so a record deleted from the backing store can be
+// evicted from the memory level too.
+func CacheKeyFromStore(k store.Key) CacheKey {
+	return CacheKey{
+		Platform: k.Platform, Serial: k.Serial,
+		BRAMs: k.BRAMs, GridCols: k.GridCols, GridRows: k.GridRows,
+		TempC: k.TempC, Runs: k.Runs, Options: k.Options,
+	}
+}
+
+// Invalidate drops k's entry from the memory level. Callers use it after
+// deleting the backing record, so a GC'd or admin-deleted characterization
+// is not resurrected from RAM on the next lookup. An in-flight
+// characterization of the same key is unaffected — it will re-populate
+// both levels when it lands, which is the correct outcome for a
+// measurement that was still wanted.
+func (c *FVMCache) Invalidate(k CacheKey) {
+	c.mu.Lock()
+	delete(c.entries, k)
+	c.mu.Unlock()
+}
+
 // memGetLocked is the memory-level lookup with its hit bookkeeping and LRU
 // touch; callers hold c.mu. Get and GetOrCompute share it so the two entry
 // points cannot drift in cache discipline.

@@ -688,20 +688,9 @@ func (f *Fleet) thresholdsBoard(ctx context.Context, c Campaign, p platform.Plat
 
 // ObservedVmin returns the lowest voltage level of the sweep that stayed
 // fault-free — the board's empirical Vmin. When even the first level faults,
-// the top of the window is returned.
-func ObservedVmin(s *characterize.Sweep) float64 {
-	if len(s.Levels) == 0 {
-		return 0
-	}
-	vmin := s.Levels[0].V
-	for _, l := range s.Levels {
-		if l.MedianFaults > 0 {
-			break
-		}
-		vmin = l.V
-	}
-	return vmin
-}
+// the top of the window is returned. The definition lives in the store
+// layer so index summaries and fleet aggregates can never disagree.
+func ObservedVmin(s *characterize.Sweep) float64 { return store.SweepVmin(s) }
 
 // aggregate folds per-board outcomes into the fleet summary.
 func aggregate(results []BoardResult) Aggregate {

@@ -226,9 +226,14 @@ type JobStatus struct {
 
 // JobEvent is one server-sequenced campaign event, streamed over SSE and
 // kept in the job's replayable log. Board events mirror engine.Event; the
-// terminal "campaign" event closes every stream.
+// terminal "campaign" event closes every per-job stream. Seq orders events
+// within one job; GSeq is the server-wide total order the /v1/events
+// firehose streams and resumes by, and Job names the job the event belongs
+// to — both persist in the journal, so cursors survive restarts.
 type JobEvent struct {
 	Seq       int      `json:"seq"`
+	GSeq      int64    `json:"gseq,omitempty"`
+	Job       string   `json:"job,omitempty"`
 	Type      string   `json:"type"` // start | done | failed | campaign
 	Board     int      `json:"board,omitempty"`
 	Platform  string   `json:"platform,omitempty"`

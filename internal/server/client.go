@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/internal/fvm"
@@ -122,19 +123,60 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 // context ends, or fn returns an error (which stops the stream and is
 // returned).
 func (c *Client) Events(ctx context.Context, id string, fn func(JobEvent) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	ended, err := c.streamSSE(ctx, "/v1/jobs/"+url.PathEscape(id)+"/events", "",
+		func(ev JobEvent) (bool, error) {
+			if err := fn(ev); err != nil {
+				return false, err
+			}
+			return ev.Type == "campaign", nil
+		})
 	if err != nil {
 		return err
 	}
+	if !ended {
+		// Stream ended without a terminal event: surface the interruption.
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+// Firehose subscribes to the server-wide /v1/events stream and invokes fn
+// for every event from every job (each tagged with its job id and global
+// sequence). after > 0 resumes from that global sequence — pass the last
+// GSeq a previous subscription delivered, even across a server restart.
+// The stream has no terminal event: Firehose runs until the context ends
+// (returning ctx.Err()), fn returns an error (returned), or the server
+// shuts down and closes the stream (nil).
+func (c *Client) Firehose(ctx context.Context, after int64, fn func(JobEvent) error) error {
+	cursor := ""
+	if after > 0 {
+		cursor = strconv.FormatInt(after, 10)
+	}
+	_, err := c.streamSSE(ctx, "/v1/events", cursor,
+		func(ev JobEvent) (bool, error) { return false, fn(ev) })
+	return err
+}
+
+// streamSSE runs one SSE subscription, invoking fn per decoded event until
+// fn stops the stream (ended=true), the stream closes (ended=false), fn
+// errors, or the context ends. lastEventID, when non-empty, rides the
+// Last-Event-ID header to resume server-side.
+func (c *Client) streamSSE(ctx context.Context, path, lastEventID string, fn func(JobEvent) (stop bool, err error)) (ended bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return false, err
+	}
 	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeAPIError(resp)
+		return false, decodeAPIError(resp)
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -149,37 +191,33 @@ func (c *Client) Events(ctx context.Context, id string, fn func(JobEvent) error)
 			return false, fmt.Errorf("client: decode event: %w", err)
 		}
 		data.Reset()
-		if err := fn(ev); err != nil {
-			return false, err
-		}
-		return ev.Type == "campaign", nil
+		return fn(ev)
 	}
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case line == "":
-			terminal, err := flush()
-			if err != nil || terminal {
-				return err
+			stop, err := flush()
+			if err != nil || stop {
+				return stop, err
 			}
 		case strings.HasPrefix(line, "data:"):
 			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
 		default:
-			// id:/event:/comment lines carry no payload we need; the JSON
-			// body repeats the type and sequence.
+			// id:/event:/retry:/comment lines carry no payload we need; the
+			// JSON body repeats the type and sequences.
 		}
 	}
 	if err := sc.Err(); err != nil {
 		if ctx.Err() != nil {
-			return ctx.Err()
+			return false, ctx.Err()
 		}
-		return err
+		return false, err
 	}
-	// Stream ended without a terminal event: surface the interruption.
-	if _, err := flush(); err != nil {
-		return err
-	}
-	return io.ErrUnexpectedEOF
+	// Clean end of stream; flush a final event the server may have sent
+	// without a trailing blank line.
+	stop, err := flush()
+	return stop, err
 }
 
 // Wait streams events (fn may be nil) until the job reaches a terminal
@@ -210,6 +248,11 @@ func (c *Client) FVM(ctx context.Context, id string) (*fvm.Map, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// DeleteFVM removes one stored record — the admin counterpart of FVMs.
+func (c *Client) DeleteFVM(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/fvms/"+url.PathEscape(id), nil, nil)
 }
 
 // Vmin lists the observed operating window of every stored sweep matching

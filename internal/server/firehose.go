@@ -1,0 +1,89 @@
+package server
+
+import (
+	"sort"
+	"sync"
+)
+
+// defaultFirehoseBuffer bounds the firehose's in-memory replay log when
+// Config.FirehoseBuffer is zero.
+const defaultFirehoseBuffer = 8192
+
+// firehose is the server-wide event multiplexer behind GET /v1/events:
+// every job event, tagged with its job id and stamped with a global
+// sequence number, in one totally ordered stream. The global sequence is
+// what makes the stream resumable — it rides each event into the job
+// journal, so after a restart the firehose replays exactly where the
+// previous process left off.
+//
+// The replay log is a bounded in-memory window (journaled events re-seed
+// it on boot). A subscriber whose cursor has fallen off the window resumes
+// from the oldest retained event; live events are never dropped for a
+// connected subscriber, because delivery is pull-based off this log.
+type firehose struct {
+	mu     sync.Mutex
+	next   int64      // next global sequence to assign (starts at 1)
+	buf    []JobEvent // recent events in GSeq order
+	max    int
+	notify chan struct{}
+}
+
+func newFirehose(max int) *firehose {
+	if max <= 0 {
+		max = defaultFirehoseBuffer
+	}
+	return &firehose{next: 1, max: max, notify: make(chan struct{})}
+}
+
+// append stamps ev with the next global sequence, admits it to the replay
+// log, and wakes subscribers. The stamp is written through the pointer so
+// the per-job event log keeps it too — that is how the global cursor
+// survives in the journal.
+func (f *firehose) append(ev *JobEvent) {
+	f.mu.Lock()
+	ev.GSeq = f.next
+	f.next++
+	f.admitLocked(*ev)
+	close(f.notify)
+	f.notify = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// admitLocked appends one event and trims the log to its window; callers
+// hold f.mu. Trimming reallocates so the dropped prefix is actually freed.
+func (f *firehose) admitLocked(ev JobEvent) {
+	f.buf = append(f.buf, ev)
+	if len(f.buf) > f.max {
+		f.buf = append([]JobEvent(nil), f.buf[len(f.buf)-f.max:]...)
+	}
+}
+
+// seed replays journaled events into the log at boot. evs must be sorted
+// by GSeq; the assignment counter resumes after the highest sequence ever
+// issued, so post-restart events never reuse a journaled cursor.
+func (f *firehose) seed(evs []JobEvent, maxGSeq int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ev := range evs {
+		if ev.GSeq > 0 {
+			f.admitLocked(ev)
+		}
+	}
+	if maxGSeq >= f.next {
+		f.next = maxGSeq + 1
+	}
+}
+
+// since returns the retained events with GSeq > after and a channel closed
+// on the next append — the same drain-then-wait triple the per-job streams
+// use, minus the terminal flag (the firehose never ends).
+func (f *firehose) since(after int64) ([]JobEvent, <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := sort.Search(len(f.buf), func(i int) bool { return f.buf[i].GSeq > after })
+	var evs []JobEvent
+	if i < len(f.buf) {
+		evs = append(evs, f.buf[i:]...)
+	}
+	return evs, f.notify
+}

@@ -14,7 +14,10 @@ import (
 
 // Job is one queued or running campaign. All mutable state is guarded by mu;
 // notify is closed and replaced on every change, which is what lets any
-// number of SSE streams wait for "something new" without polling.
+// number of SSE streams wait for "something new" without polling. Every
+// event additionally flows through the server's firehose (which stamps it
+// with a global sequence) and, when journaling is on, write-throughs the
+// job's document into the store.
 type Job struct {
 	id        string
 	seq       int // table-assigned creation order; ids are for the wire
@@ -26,6 +29,18 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	fh *firehose // stamps global sequences; never nil on a served job
+	jn *journal  // nil when journaling is disabled
+	// jnMu serializes this job's journal writes with their snapshots (and
+	// with eviction's record delete); it nests OUTSIDE mu and must never
+	// be taken while holding it. jnDropped is guarded by jnMu.
+	jnMu      sync.Mutex
+	jnDropped bool
+	// onTerminal runs once, after the terminal transition is visible, so
+	// the table can evict finished history and the server can GC the store
+	// without either layer reaching into the other's locks.
+	onTerminal func()
+
 	mu       sync.Mutex
 	state    JobState
 	created  time.Time
@@ -36,11 +51,16 @@ type Job struct {
 	result   *engine.CampaignResult
 	err      error
 	notify   chan struct{}
+	// restored holds the journaled status snapshot of a job replayed from
+	// a previous process. Such jobs never run again; their status is
+	// served from this snapshot instead of recomputed from engine results.
+	restored *JobStatus
 }
 
-func newJob(id string, c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc) *Job {
+func newJob(id string, c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc, fh *firehose, jn *journal) *Job {
 	return &Job{
 		id: id, kind: c.Kind, campaign: c, inventory: inv, ctx: ctx, cancel: cancel,
+		fh: fh, jn: jn,
 		state: JobQueued, created: time.Now(), notify: make(chan struct{}),
 	}
 }
@@ -55,21 +75,25 @@ func (j *Job) signalLocked() {
 // cancelled while queued, in which case the worker must skip it.
 func (j *Job) setRunning() bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != JobQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = JobRunning
 	j.started = time.Now()
 	j.signalLocked()
+	j.mu.Unlock()
+	j.jn.put(j)
 	return true
 }
 
 // appendEngineEvent records one engine event under the server's sequence
-// numbering and wakes the streams.
+// numbering, pushes it through the firehose, journals the job, and wakes
+// the streams.
 func (j *Job) appendEngineEvent(ev engine.Event) {
 	je := JobEvent{
 		Type:      ev.Kind.String(),
+		Job:       j.id,
 		Board:     ev.Board,
 		Platform:  ev.Platform,
 		Serial:    ev.Serial,
@@ -88,16 +112,25 @@ func (j *Job) appendEngineEvent(ev engine.Event) {
 	}
 	j.progress = je.Progress
 	je.Seq = len(j.events)
+	j.fh.append(&je) // stamps je.GSeq; fh.mu nests inside j.mu everywhere
 	j.events = append(j.events, je)
 	j.signalLocked()
 	j.mu.Unlock()
+	j.jn.put(j)
 }
 
-// finish records the campaign outcome, appends the terminal event, and wakes
-// the streams one last time.
+// finish records the campaign outcome, appends the terminal event, wakes
+// the streams one last time, journals the terminal document, and fires the
+// completion hook.
+//
+// Cancellation is classified by intent, not by error identity: an engine
+// error that wraps context.DeadlineExceeded, or a board-level error that
+// does not wrap either sentinel at all, still means "the job's context was
+// ended on purpose" whenever j.ctx is done — reporting such a job as
+// failed would send an operator hunting for a fault that was actually
+// their own DELETE.
 func (j *Job) finish(res *engine.CampaignResult, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	j.result = res
 	j.err = err
@@ -105,36 +138,52 @@ func (j *Job) finish(res *engine.CampaignResult, err error) {
 	case err == nil:
 		j.state = JobDone
 		j.progress = 100
-	case errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		j.ctx.Err() != nil:
 		j.state = JobCancelled
 	default:
 		j.state = JobFailed
 	}
 	te := JobEvent{
-		Seq: len(j.events), Type: "campaign", Progress: j.progress, State: j.state,
+		Seq: len(j.events), Type: "campaign", Job: j.id,
+		Progress: j.progress, State: j.state,
 	}
 	if err != nil {
 		te.Error = err.Error()
 	}
+	j.fh.append(&te)
 	j.events = append(j.events, te)
 	j.signalLocked()
+	j.mu.Unlock()
+	j.jn.put(j)
+	if j.onTerminal != nil {
+		j.onTerminal()
+	}
 }
 
 // markCancelled flips a still-queued job straight to cancelled (running jobs
 // go through finish when RunCampaign returns ctx.Err()).
 func (j *Job) markCancelled() {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != JobQueued {
+		j.mu.Unlock()
 		return
 	}
 	j.state = JobCancelled
 	j.finished = time.Now()
-	j.events = append(j.events, JobEvent{
-		Seq: len(j.events), Type: "campaign", Progress: j.progress,
+	te := JobEvent{
+		Seq: len(j.events), Type: "campaign", Job: j.id, Progress: j.progress,
 		State: JobCancelled, Error: context.Canceled.Error(),
-	})
+	}
+	j.fh.append(&te)
+	j.events = append(j.events, te)
 	j.signalLocked()
+	j.mu.Unlock()
+	j.jn.put(j)
+	if j.onTerminal != nil {
+		j.onTerminal()
+	}
 }
 
 // status snapshots the job for the wire. includeResults controls whether
@@ -144,6 +193,31 @@ func (j *Job) markCancelled() {
 func (j *Job) status(includeResults bool) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked(includeResults)
+}
+
+// document snapshots the job's journal form under one lock acquisition, so
+// the status and the event log it carries can never disagree.
+func (j *Job) document() jobDocument {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobDocument{
+		Status: j.statusLocked(true),
+		Events: append([]JobEvent(nil), j.events...),
+	}
+}
+
+func (j *Job) statusLocked(includeResults bool) JobStatus {
+	if j.restored != nil {
+		// Replayed from the journal: the snapshot is the truth — the
+		// engine results that produced it belong to a dead process.
+		st := *j.restored
+		if !includeResults {
+			st.Aggregate = nil
+			st.BoardResults = nil
+		}
+		return st
+	}
 	st := JobStatus{
 		ID:       j.id,
 		Kind:     j.kind.String(),
@@ -232,13 +306,20 @@ type jobTable struct {
 	max   int
 	jobs  map[string]*Job
 	order []string // creation order, for oldest-first eviction
+	// onEvict is told which jobs were dropped (outside the table lock), so
+	// the server can unjournal them and keep the store's journal in step
+	// with the table's retention.
+	onEvict func(jobs []*Job)
 }
 
-func newJobTable(max int) *jobTable {
+func newJobTable(max int, onEvict func(jobs []*Job)) *jobTable {
 	if max <= 0 {
 		max = 256
 	}
-	return &jobTable{max: max, jobs: make(map[string]*Job)}
+	if onEvict == nil {
+		onEvict = func([]*Job) {}
+	}
+	return &jobTable{max: max, jobs: make(map[string]*Job), onEvict: onEvict}
 }
 
 // terminal reports the job's state under its own lock.
@@ -249,31 +330,85 @@ func (j *Job) terminal() bool {
 }
 
 // create registers a new job for the campaign and returns it.
-func (t *jobTable) create(c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc) *Job {
+func (t *jobTable) create(c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc, fh *firehose, jn *journal, onTerminal func()) *Job {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.seq++
 	id := fmt.Sprintf("job-%04d", t.seq)
-	j := newJob(id, c, inv, ctx, cancel)
+	j := newJob(id, c, inv, ctx, cancel, fh, jn)
 	j.seq = t.seq
+	j.onTerminal = onTerminal
 	t.jobs[id] = j
 	t.order = append(t.order, id)
-	t.evictLocked()
+	evicted := t.evictLocked()
+	t.mu.Unlock()
+	if len(evicted) > 0 {
+		t.onEvict(evicted)
+	}
 	return j
 }
 
-// evictLocked drops the oldest terminal jobs until the table fits max.
-func (t *jobTable) evictLocked() {
-	for i := 0; len(t.jobs) > t.max && i < len(t.order); {
-		id := t.order[i]
+// adopt registers a job replayed from the journal under its original id and
+// sequence, so post-restart submissions continue the numbering.
+func (t *jobTable) adopt(j *Job) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j.seq > t.seq {
+		t.seq = j.seq
+	}
+	t.jobs[j.id] = j
+	t.order = append(t.order, j.id)
+}
+
+// bumpSeq raises the id sequence to at least seq — covering journaled jobs
+// that were themselves evicted during replay but whose ids must not be
+// reissued.
+func (t *jobTable) bumpSeq(seq int) {
+	t.mu.Lock()
+	if seq > t.seq {
+		t.seq = seq
+	}
+	t.mu.Unlock()
+}
+
+// sweep evicts excess terminal jobs. The server calls it from each job's
+// completion hook, so a table that filled up with live jobs shrinks as
+// soon as they finish rather than on the next submission.
+func (t *jobTable) sweep() {
+	t.mu.Lock()
+	evicted := t.evictLocked()
+	t.mu.Unlock()
+	if len(evicted) > 0 {
+		t.onEvict(evicted)
+	}
+}
+
+// evictLocked drops the oldest terminal jobs until the table fits max,
+// compacting the order slice in a single pass (the old per-entry
+// slice-delete made a full table turn quadratic). Live jobs are never
+// evicted, so the table exceeds max only while that many campaigns are
+// actually queued or running.
+func (t *jobTable) evictLocked() []*Job {
+	excess := len(t.jobs) - t.max
+	if excess <= 0 {
+		return nil
+	}
+	var evicted []*Job
+	kept := t.order[:0]
+	for _, id := range t.order {
 		j, ok := t.jobs[id]
-		if ok && !j.terminal() {
-			i++ // live: skip, never evict
+		if !ok {
 			continue
 		}
-		delete(t.jobs, id)
-		t.order = append(t.order[:i], t.order[i+1:]...)
+		if excess > 0 && j.terminal() {
+			delete(t.jobs, id)
+			evicted = append(evicted, j)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
 	}
+	t.order = kept
+	return evicted
 }
 
 // remove deregisters a job that was never admitted to the queue, so a

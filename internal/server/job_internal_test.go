@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestFinishClassifiesCancellation drives Job.finish the way the worker
+// does after RunCampaign returns, across the error shapes the engine can
+// produce. The regression cases: an error wrapping DeadlineExceeded, and a
+// board-level error that stringifies the sentinel without wrapping it —
+// both previously landed a deliberately-cancelled job in "failed".
+func TestFinishClassifiesCancellation(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		cancelCtx bool
+		want      JobState
+	}{
+		{"success", nil, false, JobDone},
+		{"plain sentinel", context.Canceled, true, JobCancelled},
+		{"wrapped sentinel", fmt.Errorf("campaign: %w", context.Canceled), true, JobCancelled},
+		{"wrapped deadline, live ctx", fmt.Errorf("engine: %w", context.DeadlineExceeded), false, JobCancelled},
+		{"non-wrapping board error after cancel",
+			fmt.Errorf("board 3: sweep aborted: %v", context.Canceled), true, JobCancelled},
+		{"real failure", errors.New("bram row decoder latch-up"), false, JobFailed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			j := newJob("job-0001", engine.Campaign{}, nil, ctx, cancel, newFirehose(0), nil)
+			if !j.setRunning() {
+				t.Fatal("setRunning refused a queued job")
+			}
+			if tc.cancelCtx {
+				cancel()
+			}
+			j.finish(nil, tc.err)
+			if got := j.status(false).State; got != tc.want {
+				t.Fatalf("finish(%v) with ctx.Err()=%v classified %q, want %q",
+					tc.err, j.ctx.Err(), got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEvictOnCompletion pins the other half of the retention bugfix: a
+// table that filled past max with live jobs must shrink as soon as they
+// finish, not wait for the next submission, and eviction reports the
+// dropped ids (oldest first) in one pass.
+func TestEvictOnCompletion(t *testing.T) {
+	var evicted []string
+	tbl := newJobTable(2, func(jobs []*Job) {
+		for _, j := range jobs {
+			evicted = append(evicted, j.id)
+		}
+	})
+	fh := newFirehose(0)
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		j := tbl.create(engine.Campaign{}, nil, ctx, cancel, fh, nil, tbl.sweep)
+		jobs = append(jobs, j)
+	}
+	// All four are live: over max, but nothing may be evicted.
+	if got := len(tbl.list()); got != 4 {
+		t.Fatalf("table holds %d live jobs, want 4", got)
+	}
+	for _, j := range jobs {
+		j.setRunning()
+		j.finish(nil, nil)
+	}
+	if got := tbl.list(); len(got) != 2 ||
+		got[0].ID != jobs[2].id || got[1].ID != jobs[3].id {
+		t.Fatalf("after completions table lists %+v, want the newest two", got)
+	}
+	if len(evicted) != 2 || evicted[0] != jobs[0].id || evicted[1] != jobs[1].id {
+		t.Fatalf("evictions reported %v, want oldest-first %v", evicted,
+			[]string{jobs[0].id, jobs[1].id})
+	}
+}
+
+// TestFirehoseSequencingAndWindow covers the multiplexer in isolation:
+// global sequences are dense and monotonic, since() resumes mid-stream, a
+// stale cursor degrades to the retained window, and seed() continues the
+// numbering after a (simulated) restart.
+func TestFirehoseSequencingAndWindow(t *testing.T) {
+	fh := newFirehose(4)
+	for i := 0; i < 6; i++ {
+		ev := JobEvent{Seq: i, Job: "job-0001", Type: "start"}
+		fh.append(&ev)
+		if ev.GSeq != int64(i+1) {
+			t.Fatalf("event %d stamped gseq %d, want %d", i, ev.GSeq, i+1)
+		}
+	}
+	// The window holds the newest 4 (gseq 3..6); a cursor inside it
+	// resumes exactly, one before it degrades to the oldest retained.
+	evs, _ := fh.since(4)
+	if len(evs) != 2 || evs[0].GSeq != 5 || evs[1].GSeq != 6 {
+		t.Fatalf("since(4) = %+v", evs)
+	}
+	evs, _ = fh.since(0)
+	if len(evs) != 4 || evs[0].GSeq != 3 {
+		t.Fatalf("stale cursor replayed %+v, want gseq 3..6", evs)
+	}
+	if evs, _ := fh.since(99); len(evs) != 0 {
+		t.Fatalf("future cursor replayed %+v", evs)
+	}
+
+	// A fresh firehose seeded from journaled events resumes the counter.
+	fh2 := newFirehose(16)
+	fh2.seed([]JobEvent{{GSeq: 2}, {GSeq: 7}}, 7)
+	ev := JobEvent{Job: "job-0002", Type: "start"}
+	fh2.append(&ev)
+	if ev.GSeq != 8 {
+		t.Fatalf("post-seed append stamped gseq %d, want 8", ev.GSeq)
+	}
+	evs, _ = fh2.since(2)
+	if len(evs) != 2 || evs[0].GSeq != 7 || evs[1].GSeq != 8 {
+		t.Fatalf("seeded replay since(2) = %+v", evs)
+	}
+}

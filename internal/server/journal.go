@@ -1,0 +1,215 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// jobDocument is the journaled form of one job: its full wire status
+// (terminal results included) plus the complete event log. The store treats
+// it as an opaque payload; the server is the only writer and reader, so the
+// wire types double as the schema.
+type jobDocument struct {
+	Status JobStatus  `json:"status"`
+	Events []JobEvent `json:"events"`
+}
+
+// journal write-throughs job state into the store, so the job table — not
+// just the FVMs it produced — survives a restart. Every mutation
+// re-journals the job's whole document: event logs are small (one entry
+// per board transition), and a single atomic record per job keeps replay
+// trivial. A nil *journal is valid and inert, which is how the
+// DisableJournal configuration is expressed.
+//
+// Journal writes are deliberately best-effort: a full disk must degrade
+// the service to PR-2 semantics (jobs forgotten on restart), not fail live
+// campaigns. Failures are counted and surfaced through /healthz.
+type journal struct {
+	st   store.Store
+	errs atomic.Uint64
+}
+
+func newJournal(st store.Store) *journal { return &journal{st: st} }
+
+// put persists j's current document. The job's journal mutex is held
+// across snapshot AND write: two racing puts (say, the submit handler's
+// queued-state write and the worker's first event) would otherwise be free
+// to land on disk in the opposite order of their snapshots, leaving a
+// stale document as the job's final journaled truth — which a later
+// restart would replay as an interrupted job.
+func (jn *journal) put(j *Job) {
+	if jn == nil {
+		return
+	}
+	j.jnMu.Lock()
+	defer j.jnMu.Unlock()
+	if j.jnDropped {
+		// The table evicted this job and its record was deleted; writing
+		// now would resurrect it on the next restart.
+		return
+	}
+	doc := j.document()
+	payload, err := json.Marshal(doc)
+	if err == nil {
+		err = jn.st.PutJob(&store.JobRecord{ID: j.id, Seq: j.seq, Payload: payload})
+	}
+	if err != nil {
+		jn.errs.Add(1)
+	}
+}
+
+// drop deletes an evicted job's record and tombstones the job, so an
+// in-flight put racing with the eviction cannot write the record back.
+func (jn *journal) drop(jobs ...*Job) {
+	if jn == nil {
+		return
+	}
+	for _, j := range jobs {
+		j.jnMu.Lock()
+		j.jnDropped = true
+		if err := jn.st.DeleteJob(j.id); err != nil {
+			jn.errs.Add(1)
+		}
+		j.jnMu.Unlock()
+	}
+}
+
+// remove drops journal records by id alone — only for records that never
+// became live Jobs in this process (e.g. replay overflow), where no racing
+// writer exists.
+func (jn *journal) remove(ids ...string) {
+	if jn == nil {
+		return
+	}
+	for _, id := range ids {
+		if err := jn.st.DeleteJob(id); err != nil {
+			jn.errs.Add(1)
+		}
+	}
+}
+
+// errors reports how many journal writes have been dropped.
+func (jn *journal) errors() uint64 {
+	if jn == nil {
+		return 0
+	}
+	return jn.errs.Load()
+}
+
+// replayJournal rebuilds the job table and the firehose replay log from
+// the journal at boot. Jobs journaled in a non-terminal state were running
+// or queued when the previous process died; they are marked failed with a
+// restart marker (their boards may be half-measured, and the engine that
+// was driving them is gone). Torn journal records are skipped — replay
+// must degrade, not refuse to boot.
+func (s *Server) replayJournal() error {
+	recs, err := s.cfg.Store.ListJobs()
+	if err != nil {
+		return fmt.Errorf("replay journal: %w", err)
+	}
+	type loaded struct {
+		rec *store.JobRecord
+		doc jobDocument
+	}
+	var docs []loaded
+	var maxSeq int
+	var maxGSeq int64
+	for _, rec := range recs {
+		var doc jobDocument
+		if err := json.Unmarshal(rec.Payload, &doc); err != nil || doc.Status.ID != rec.ID {
+			continue
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		for _, ev := range doc.Events {
+			if ev.GSeq > maxGSeq {
+				maxGSeq = ev.GSeq
+			}
+		}
+		docs = append(docs, loaded{rec, doc})
+	}
+	// The table's retention bound applies to replayed jobs too: keep the
+	// newest MaxJobHistory, unjournal the rest. recs (and so docs) are
+	// already in submission order.
+	if drop := len(docs) - s.cfg.MaxJobHistory; drop > 0 {
+		for _, d := range docs[:drop] {
+			s.jn.remove(d.rec.ID)
+		}
+		docs = docs[drop:]
+	}
+	// Seed the firehose before appending any restart markers, so marker
+	// events draw global sequences greater than every replayed one.
+	var all []JobEvent
+	for _, d := range docs {
+		all = append(all, d.doc.Events...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].GSeq < all[j].GSeq })
+	s.fh.seed(all, maxGSeq)
+
+	var interrupted []*Job
+	for _, d := range docs {
+		j := restoreJob(d.rec, d.doc, s.fh, s.jn)
+		s.jobs.adopt(j)
+		if !j.terminal() {
+			interrupted = append(interrupted, j)
+		}
+	}
+	s.jobs.bumpSeq(maxSeq)
+	for _, j := range interrupted {
+		j.failRestored("daemon restarted mid-campaign")
+	}
+	return nil
+}
+
+// restoreJob rebuilds a Job from its journal document. Restored jobs never
+// run again: their context is born cancelled, and their status is served
+// from the journaled snapshot rather than recomputed.
+func restoreJob(rec *store.JobRecord, doc jobDocument, fh *firehose, jn *journal) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := doc.Status
+	return &Job{
+		id: rec.ID, seq: rec.Seq,
+		ctx: ctx, cancel: cancel,
+		state:    st.State,
+		created:  st.Created,
+		progress: st.Progress,
+		events:   doc.Events,
+		notify:   make(chan struct{}),
+		fh:       fh, jn: jn,
+		restored: &st,
+	}
+}
+
+// failRestored finishes a replayed job that was queued or running when the
+// previous daemon died: state failed, a terminal event (with a fresh global
+// sequence) appended, and the updated document journaled back.
+func (j *Job) failRestored(msg string) {
+	j.mu.Lock()
+	if j.restored == nil || j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	j.state = JobFailed
+	j.finished = now
+	j.restored.State = JobFailed
+	j.restored.Error = msg
+	j.restored.Finished = &now
+	te := JobEvent{
+		Seq: len(j.events), Type: "campaign", Job: j.id,
+		Progress: j.progress, State: JobFailed, Error: msg,
+	}
+	j.fh.append(&te)
+	j.events = append(j.events, te)
+	j.signalLocked()
+	j.mu.Unlock()
+	j.jn.put(j)
+}

@@ -4,14 +4,16 @@
 // The API surface:
 //
 //	POST   /v1/campaigns        submit a campaign; returns the queued job
-//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs             list jobs (journal-backed: survives restarts)
 //	GET    /v1/jobs/{id}        one job's status, aggregate, per-board rows
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events stream the job's event log over SSE
+//	GET    /v1/events           firehose: every job's events, multiplexed
 //	GET    /v1/fvms             list stored characterizations (?platform=&serial=)
 //	GET    /v1/fvms/{id}        one stored record's full FVM as JSON
+//	DELETE /v1/fvms/{id}        admin: drop one stored record
 //	GET    /v1/vmin             per-board operating windows from stored sweeps
-//	GET    /healthz             liveness + queue depth
+//	GET    /healthz             liveness + queue depth + journal health
 //
 // Campaigns run on a bounded worker pool fed by a bounded queue: a full
 // queue answers 503 instead of buffering without limit. Every campaign's
@@ -19,9 +21,14 @@
 // results persist across jobs and process restarts, and a re-submitted
 // characterization campaign is served from disk instead of re-measuring
 // (temperature, pattern, and threshold studies always measure — their
-// products are not cached). Shutdown stops intake, then drains: queued and
-// running jobs finish unless the shutdown context expires first, at which
-// point the engine's context plumbing cancels them promptly.
+// products are not cached). Jobs themselves are durable too: every
+// submission, event, and terminal result write-throughs into the store's
+// job journal, which New replays into the table — so listings, event
+// replay, and firehose cursors all survive restarts (jobs caught mid-run
+// by a crash come back as failed with a restart marker). Shutdown stops
+// intake, then drains: queued and running jobs finish unless the shutdown
+// context expires first, at which point the engine's context plumbing
+// cancels them promptly.
 package server
 
 import (
@@ -34,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/store"
@@ -57,8 +65,24 @@ type Config struct {
 	// MaxJobHistory caps how many jobs the in-memory table retains;
 	// beyond it the oldest terminal jobs (and their event logs) are
 	// evicted so a long-lived daemon does not grow without bound
-	// (default 256). Live jobs are never evicted.
+	// (default 256). Live jobs are never evicted. The same bound applies
+	// to journal replay at boot.
 	MaxJobHistory int
+	// DisableJournal turns off the store-backed job journal. Jobs then
+	// live only in memory (PR-2 semantics): a restart forgets them even
+	// though their FVMs persist.
+	DisableJournal bool
+	// GCKeep, when > 0, bounds the FVM store to the newest GCKeep records
+	// per (platform, serial). GC runs at startup and after every job
+	// reaches a terminal state.
+	GCKeep int
+	// SSEKeepAlive is the idle interval between comment frames on SSE
+	// streams (default 15s), so a stream waiting on a queued job is not
+	// severed by proxies or idle timeouts.
+	SSEKeepAlive time.Duration
+	// FirehoseBuffer bounds the /v1/events in-memory replay window
+	// (default 8192 events).
+	FirehoseBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobHistory <= 0 {
 		c.MaxJobHistory = 256
+	}
+	if c.SSEKeepAlive <= 0 {
+		c.SSEKeepAlive = 15 * time.Second
 	}
 	return c
 }
@@ -89,6 +116,10 @@ type Server struct {
 	// per-key flights) and memory hits survive across jobs, not just
 	// within one.
 	cache *engine.FVMCache
+	// fh is the /v1/events multiplexer; jn is the job journal (nil when
+	// disabled).
+	fh *firehose
+	jn *journal
 
 	baseCtx context.Context    // parent of every job context
 	abort   context.CancelFunc // forced-shutdown switch
@@ -100,7 +131,8 @@ type Server struct {
 	workers sync.WaitGroup
 }
 
-// New assembles a server and starts its worker pool.
+// New assembles a server, replays the job journal into its table, and
+// starts its worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Store == nil {
@@ -112,18 +144,49 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		jobs:    newJobTable(cfg.MaxJobHistory),
 		cache:   cache,
+		fh:      newFirehose(cfg.FirehoseBuffer),
 		baseCtx: ctx,
 		abort:   abort,
 		queue:   make(chan *Job, cfg.QueueDepth),
 	}
+	if !cfg.DisableJournal {
+		s.jn = newJournal(cfg.Store)
+	}
+	s.jobs = newJobTable(cfg.MaxJobHistory, func(jobs []*Job) { s.jn.drop(jobs...) })
+	if s.jn != nil {
+		if err := s.replayJournal(); err != nil {
+			return nil, err
+		}
+	}
+	s.runGC()
 	s.routes()
 	for w := 0; w < cfg.Workers; w++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// jobCompleted is every job's terminal hook: shrink the history table and
+// re-bound the store.
+func (s *Server) jobCompleted() {
+	s.jobs.sweep()
+	s.runGC()
+}
+
+// runGC bounds the store per Config.GCKeep and evicts what it removed from
+// the in-memory cache level, so a collected record cannot be resurrected
+// from RAM. GC failures are non-fatal — the store stays bigger than asked,
+// which the next run retries.
+func (s *Server) runGC() {
+	if s.cfg.GCKeep <= 0 {
+		return
+	}
+	removed, _ := s.cfg.Store.GC(s.cfg.GCKeep)
+	for _, m := range removed {
+		s.cache.Invalidate(engine.CacheKeyFromStore(m.Key))
+	}
 }
 
 // Handler returns the HTTP handler tree.
@@ -135,8 +198,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handleFirehose)
 	s.mux.HandleFunc("GET /v1/fvms", s.handleFVMs)
 	s.mux.HandleFunc("GET /v1/fvms/{id}", s.handleFVM)
+	s.mux.HandleFunc("DELETE /v1/fvms/{id}", s.handleDeleteFVM)
 	s.mux.HandleFunc("GET /v1/vmin", s.handleVmin)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
@@ -199,6 +264,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// holds a terminal state by now.
 	select {
 	case <-done:
+		// Drained clean. Cancel baseCtx anyway: every job is terminal, so
+		// nothing is interrupted, and open SSE streams (the firehose has
+		// no terminal event) are released instead of idling until their
+		// clients hang up.
+		s.abort()
 		return nil
 	case <-ctx.Done():
 		s.abort() // cancels s.baseCtx, and with it every running campaign
@@ -228,25 +298,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.intakeMu.Lock()
-	defer s.intakeMu.Unlock()
-	if s.draining {
-		writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "server is shutting down"})
-		return
-	}
+	// The job is built outside intakeMu: creation can evict old history,
+	// and eviction touches the journal on disk — I/O no submission (or
+	// /healthz poll) should ever queue behind. intakeMu guards only what
+	// it must: the draining check and the queue send racing close().
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	job := s.jobs.create(c, inv, ctx, cancel)
-	select {
-	case s.queue <- job:
-	default:
+	job := s.jobs.create(c, inv, ctx, cancel, s.fh, s.jn, s.jobCompleted)
+	reject := func(msg string) {
 		// The submission was refused: it must not linger in the listing as
 		// a phantom cancelled job the client was told never existed.
 		s.jobs.remove(job.id)
 		cancel()
-		writeError(w, &apiError{status: http.StatusServiceUnavailable,
-			msg: fmt.Sprintf("job queue full (%d pending)", s.cfg.QueueDepth)})
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: msg})
+	}
+	s.intakeMu.Lock()
+	if s.draining {
+		s.intakeMu.Unlock()
+		reject("server is shutting down")
 		return
 	}
+	select {
+	case s.queue <- job:
+		s.intakeMu.Unlock()
+	default:
+		s.intakeMu.Unlock()
+		reject(fmt.Sprintf("job queue full (%d pending)", s.cfg.QueueDepth))
+		return
+	}
+	// Journaled from the moment it is queued: a crash before the first
+	// event still replays this job (as failed-with-restart-marker).
+	s.jn.put(job)
 	writeJSON(w, http.StatusAccepted, job.status(true))
 }
 
@@ -281,17 +362,46 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.status(true))
 }
 
-// handleEvents streams the job's event log as Server-Sent Events: history
-// first, then live events, closing after the terminal "campaign" event. The
-// Last-Event-ID header (or ?after=) resumes a dropped stream.
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.lookupJob(w, r)
-	if !ok {
-		return
-	}
+// sseRetryHint is the reconnect delay SSE streams advertise to clients.
+const sseRetryHint = 2 * time.Second
+
+// startSSE emits the stream headers, a retry hint, and an immediate flush,
+// returning the flusher (or false when the writer cannot stream). The
+// retry hint and the keepalive ticker the handlers run afterwards are what
+// keep an idle stream alive across proxies: without them a stream attached
+// to a job stuck behind a full queue writes nothing after the headers
+// until the job starts, and an intermediary severs it long before that.
+func startSSE(w http.ResponseWriter) (http.Flusher, bool) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, &apiError{status: http.StatusInternalServerError, msg: "response writer cannot stream"})
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "retry: %d\n\n", sseRetryHint.Milliseconds())
+	flusher.Flush()
+	return flusher, true
+}
+
+// sseKeepAlive writes one comment frame; proxies pass it through, clients
+// ignore it, and both learn the connection is still alive.
+func sseKeepAlive(w http.ResponseWriter, flusher http.Flusher) {
+	fmt.Fprint(w, ": keepalive\n\n")
+	flusher.Flush()
+}
+
+// handleEvents streams the job's event log as Server-Sent Events: history
+// first, then live events, closing after the terminal "campaign" event. The
+// Last-Event-ID header (or ?after=) resumes a dropped stream; comment
+// keepalives flow while the job is idle (e.g. queued behind a full worker
+// pool).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
 		return
 	}
 	// A malformed or negative resume cursor replays from the start rather
@@ -302,12 +412,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			next = n + 1
 		}
 	}
-	h := w.Header()
-	h.Set("Content-Type", "text/event-stream")
-	h.Set("Cache-Control", "no-cache")
-	h.Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
+	flusher, ok := startSSE(w)
+	if !ok {
+		return
+	}
+	keepalive := time.NewTicker(s.cfg.SSEKeepAlive)
+	defer keepalive.Stop()
 
 	for {
 		evs, terminal, changed := job.eventsSince(next)
@@ -331,6 +441,53 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-changed:
+		case <-keepalive.C:
+			sseKeepAlive(w, flusher)
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// handleFirehose streams every job's events, multiplexed in global-sequence
+// order and tagged with job ids — the fleet dashboard feed. The stream has
+// no terminal event; it runs until the client disconnects or the server
+// shuts down. Last-Event-ID (or ?after=) carries a global sequence, which
+// survives restarts via the journal; a cursor older than the in-memory
+// replay window resumes from the oldest retained event.
+func (s *Server) handleFirehose(w http.ResponseWriter, r *http.Request) {
+	var after int64
+	if c := cmp.Or(r.Header.Get("Last-Event-ID"), r.URL.Query().Get("after")); c != "" {
+		if n, err := strconv.ParseInt(c, 10, 64); err == nil && n > 0 {
+			after = n
+		}
+	}
+	flusher, ok := startSSE(w)
+	if !ok {
+		return
+	}
+	keepalive := time.NewTicker(s.cfg.SSEKeepAlive)
+	defer keepalive.Stop()
+
+	for {
+		evs, changed := s.fh.since(after)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.GSeq, ev.Type, data)
+			after = ev.GSeq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		select {
+		case <-changed:
+		case <-keepalive.C:
+			sseKeepAlive(w, flusher)
 		case <-r.Context().Done():
 			return
 		case <-s.baseCtx.Done():
@@ -350,11 +507,14 @@ func matchKey(k store.Key, platformQ, serialQ string) bool {
 	return true
 }
 
-// forEachStoredRecord iterates the store's records matching the request's
-// platform/serial filter, fetching each blob. Torn or raced-away blobs are
-// skipped — a listing should degrade, not 500, when one record is bad. A
-// store-level List failure is reported and ends the iteration.
-func (s *Server) forEachStoredRecord(w http.ResponseWriter, r *http.Request, fn func(store.Meta, *store.Record)) bool {
+// forEachListedRecord iterates the store's index entries matching the
+// request's platform/serial filter, handing each meta and its cached
+// summary to fn. Listings are O(index): summaries were computed at Put
+// time, so no blob is read. The rare entry without a summary (a
+// hand-edited index) falls back to one blob read rather than vanishing
+// from the listing. A store-level List failure is reported and ends the
+// iteration.
+func (s *Server) forEachListedRecord(w http.ResponseWriter, r *http.Request, fn func(store.Meta, *store.Summary)) bool {
 	metas, err := s.cfg.Store.List()
 	if err != nil {
 		writeError(w, fmt.Errorf("list store: %w", err))
@@ -365,35 +525,57 @@ func (s *Server) forEachStoredRecord(w http.ResponseWriter, r *http.Request, fn 
 		if !matchKey(m.Key, q.Get("platform"), q.Get("serial")) {
 			continue
 		}
-		rec, ok, err := s.cfg.Store.GetID(m.ID)
-		if err != nil || !ok {
-			continue
+		sum := m.Summary
+		if sum == nil {
+			rec, ok, err := s.cfg.Store.GetID(m.ID)
+			if err != nil || !ok {
+				continue
+			}
+			sum = store.Summarize(rec)
 		}
-		fn(m, rec)
+		fn(m, sum)
 	}
 	return true
 }
 
-// handleFVMs lists stored characterizations, optionally filtered.
+// handleFVMs lists stored characterizations, optionally filtered, straight
+// from the index summaries.
 func (s *Server) handleFVMs(w http.ResponseWriter, r *http.Request) {
 	out := []FVMInfo{}
-	if !s.forEachStoredRecord(w, r, func(m store.Meta, rec *store.Record) {
-		info := FVMInfo{
+	if !s.forEachListedRecord(w, r, func(m store.Meta, sum *store.Summary) {
+		out = append(out, FVMInfo{
 			ID: m.ID, Platform: m.Key.Platform, Serial: m.Key.Serial,
 			TempC: m.Key.TempC, Runs: m.Key.Runs, Options: m.Key.Options,
-		}
-		if rec.FVM != nil {
-			info.Sites = rec.FVM.NumSites()
-			info.ZeroShare = rec.FVM.ZeroShare()
-			info.MaxRate = rec.FVM.Summary().Max
-			info.VFromV = rec.FVM.VFrom
-			info.VToV = rec.FVM.VTo
-		}
-		out = append(out, info)
+			Sites: sum.Sites, ZeroShare: sum.ZeroShare, MaxRate: sum.MaxRate,
+			VFromV: sum.VFromV, VToV: sum.VToV,
+		})
 	}) {
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDeleteFVM removes one stored record — the admin lever behind GC:
+// a record known to be stale (a re-soldered board, a mis-keyed run) goes
+// now instead of waiting to age out. The in-memory cache level is evicted
+// too, so the record cannot be resurrected from RAM.
+func (s *Server) handleDeleteFVM(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !store.ValidID(id) {
+		writeError(w, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("no FVM %q", id)})
+		return
+	}
+	m, ok, err := s.cfg.Store.Delete(id)
+	if err != nil {
+		writeError(w, fmt.Errorf("delete record %s: %w", id, err))
+		return
+	}
+	if !ok {
+		writeError(w, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("no FVM %q", id)})
+		return
+	}
+	s.cache.Invalidate(engine.CacheKeyFromStore(m.Key))
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
 // handleFVM returns one stored record's full Fault Variation Map.
@@ -417,19 +599,20 @@ func (s *Server) handleFVM(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec.FVM)
 }
 
-// handleVmin computes each stored sweep's observed operating window — the
-// per-chip quantity an undervolting deployment actually steers by.
+// handleVmin reports each stored sweep's observed operating window — the
+// per-chip quantity an undervolting deployment actually steers by — from
+// the index summaries, where the window was computed at Put time.
 func (s *Server) handleVmin(w http.ResponseWriter, r *http.Request) {
 	out := []VminInfo{}
-	if !s.forEachStoredRecord(w, r, func(m store.Meta, rec *store.Record) {
-		if rec.Sweep == nil || len(rec.Sweep.Levels) == 0 {
-			return
+	if !s.forEachListedRecord(w, r, func(m store.Meta, sum *store.Summary) {
+		if sum.Levels == 0 {
+			return // no sweep: nothing to steer by
 		}
 		out = append(out, VminInfo{
 			Platform: m.Key.Platform, Serial: m.Key.Serial, TempC: m.Key.TempC,
-			VminV:         engine.ObservedVmin(rec.Sweep),
-			VcrashV:       rec.Sweep.Final().V,
-			FaultsPerMbit: rec.Sweep.Final().FaultsPerMbit,
+			VminV:         sum.VminV,
+			VcrashV:       sum.VcrashV,
+			FaultsPerMbit: sum.FaultsPerMbit,
 		})
 	}) {
 		return
@@ -437,17 +620,19 @@ func (s *Server) handleVmin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleHealth reports liveness and queue pressure.
+// handleHealth reports liveness, queue pressure, and journal health.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.intakeMu.Lock()
 	draining := s.draining
 	pending := len(s.queue)
 	s.intakeMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":       !draining,
-		"draining": draining,
-		"pending":  pending,
-		"workers":  s.cfg.Workers,
+		"ok":             !draining,
+		"draining":       draining,
+		"pending":        pending,
+		"workers":        s.cfg.Workers,
+		"journal":        s.jn != nil,
+		"journal_errors": s.jn.errors(),
 	})
 }
 

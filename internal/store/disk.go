@@ -8,8 +8,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // numStripes is the size of the per-blob lock table. Power of two so the
@@ -17,16 +19,18 @@ import (
 const numStripes = 64
 
 // Disk is the durable Store: content-addressed JSON blobs under a root
-// directory, with an index file for listings. See the package documentation
-// for the layout and the atomicity/locking discipline.
+// directory, with an index file for listings and a jobs directory for the
+// campaign journal. See the package documentation for the layout and the
+// atomicity/locking discipline.
 type Disk struct {
 	root string
 
 	stripes [numStripes]sync.RWMutex // per-blob access, keyed by id hash
 
 	indexMu sync.Mutex
-	index   map[string]Key // id → key
-	dirty   bool           // index has entries not yet flushed to disk
+	index   map[string]idxEntry // id → key + summary + put order
+	seq     int64               // last put sequence handed out
+	dirty   bool                // index has entries not yet flushed to disk
 }
 
 // OpenDisk opens (or initializes) a store rooted at dir. A missing directory
@@ -38,10 +42,14 @@ func OpenDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: init root: %w", err)
 	}
-	d := &Disk{root: dir, index: make(map[string]Key)}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: init jobs dir: %w", err)
+	}
+	d := &Disk{root: dir, index: make(map[string]idxEntry)}
 	if err := d.loadIndex(); err != nil {
 		// Recovery path: the index is a cache of blob metadata, never the
-		// source of truth. Rebuild it by scanning the objects.
+		// source of truth. Rebuild it by scanning the objects. A version-1
+		// index (pre-summary schema) lands here too and upgrades itself.
 		if err := d.reindex(); err != nil {
 			return nil, err
 		}
@@ -53,37 +61,66 @@ func OpenDisk(dir string) (*Disk, error) {
 
 // healIndex reconciles a loaded index against the object tree — e.g. after
 // a process died between a blob write and the next index flush. The scan is
-// names-only; only blobs actually missing from the index are read, so
-// recovery costs O(missing), not O(store).
+// names-only; only blobs actually missing from the index (or indexed
+// without a summary) are read, so recovery costs O(missing), not O(store).
 func (d *Disk) healIndex() error {
-	onDisk := make(map[string]bool)
+	type found struct {
+		id    string
+		mtime int64
+	}
+	var onDisk []found
+	present := make(map[string]bool)
 	err := filepath.WalkDir(filepath.Join(d.root, "objects"), func(path string, de fs.DirEntry, err error) error {
 		if err != nil || de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
 			return err
 		}
-		onDisk[strings.TrimSuffix(de.Name(), ".json")] = true
+		id := strings.TrimSuffix(de.Name(), ".json")
+		var mtime int64
+		if info, err := de.Info(); err == nil {
+			mtime = info.ModTime().UnixNano()
+		}
+		onDisk = append(onDisk, found{id, mtime})
+		present[id] = true
 		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("store: scan objects: %w", err)
 	}
+	// Oldest first, so the put sequences assigned to healed entries agree
+	// with the write order GC will later judge "newest" by.
+	sort.Slice(onDisk, func(i, j int) bool {
+		if onDisk[i].mtime != onDisk[j].mtime {
+			return onDisk[i].mtime < onDisk[j].mtime
+		}
+		return onDisk[i].id < onDisk[j].id
+	})
 	d.indexMu.Lock()
 	defer d.indexMu.Unlock()
 	for id := range d.index {
-		if !onDisk[id] {
+		if !present[id] {
 			delete(d.index, id)
 			d.dirty = true
 		}
 	}
-	for id := range onDisk {
-		if _, ok := d.index[id]; ok {
+	for _, f := range onDisk {
+		if e, ok := d.index[f.id]; ok && e.Summary != nil {
 			continue
 		}
-		rec, ok, err := d.GetID(id)
-		if err != nil || !ok || rec.Key.ID() != id {
+		rec, ok, err := d.GetID(f.id)
+		if err != nil || !ok || rec.Key.ID() != f.id {
 			continue // corrupt or mis-addressed blob: leave it unindexed
 		}
-		d.index[id] = rec.Key
+		e := d.index[f.id] // keeps an existing entry's put order
+		if e.Seq == 0 {
+			d.seq++
+			e.Seq = d.seq
+		}
+		if e.StoredAt == 0 {
+			e.StoredAt = f.mtime
+		}
+		e.Key = rec.Key
+		e.Summary = Summarize(rec)
+		d.index[f.id] = e
 		d.dirty = true
 	}
 	// Best-effort flush, like List: the in-memory index is already correct,
@@ -108,14 +145,20 @@ func (d *Disk) stripe(id string) *sync.RWMutex {
 	return &d.stripes[h.Sum32()&(numStripes-1)]
 }
 
+// indexVersion is the current index schema: version 2 added cached
+// summaries and put sequences. Older versions are rebuilt wholesale — the
+// blobs are the source of truth, so an upgrade is just a reindex.
+const indexVersion = 2
+
 // indexFile is the serialized form of the index.
 type indexFile struct {
-	Version int            `json:"version"`
-	Entries map[string]Key `json:"entries"`
+	Version int                 `json:"version"`
+	Entries map[string]idxEntry `json:"entries"`
 }
 
-// loadIndex reads index.json into memory. Any read or decode failure is
-// returned so the caller can fall back to a rebuild.
+// loadIndex reads index.json into memory. Any read or decode failure (or a
+// pre-summary schema version) is returned so the caller can fall back to a
+// rebuild.
 func (d *Disk) loadIndex() error {
 	raw, err := os.ReadFile(d.indexPath())
 	if err != nil {
@@ -125,21 +168,38 @@ func (d *Disk) loadIndex() error {
 	if err := json.Unmarshal(raw, &f); err != nil {
 		return fmt.Errorf("store: corrupt index: %w", err)
 	}
+	if f.Version != indexVersion {
+		return fmt.Errorf("store: index schema v%d, want v%d", f.Version, indexVersion)
+	}
 	if f.Entries == nil {
-		f.Entries = make(map[string]Key)
+		f.Entries = make(map[string]idxEntry)
+	}
+	var maxSeq int64
+	for _, e := range f.Entries {
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
 	}
 	d.indexMu.Lock()
 	d.index = f.Entries
+	d.seq = maxSeq
 	d.indexMu.Unlock()
 	return nil
 }
 
 // reindex rebuilds the index by scanning every blob and re-deriving its key
-// from the embedded record metadata. Blobs that fail to decode or whose
-// content disagrees with their filename are skipped, not fatal: one torn
-// write must not take the rest of the store down with it.
+// and summary from the embedded record metadata. Blobs that fail to decode
+// or whose content disagrees with their filename are skipped, not fatal:
+// one torn write must not take the rest of the store down with it. Put
+// order is reconstructed from file mtimes so GC's notion of "newest"
+// survives the rebuild.
 func (d *Disk) reindex() error {
-	entries := make(map[string]Key)
+	type scanned struct {
+		id    string
+		mtime int64
+		rec   *Record
+	}
+	var blobs []scanned
 	objRoot := filepath.Join(d.root, "objects")
 	err := filepath.WalkDir(objRoot, func(path string, de fs.DirEntry, err error) error {
 		if err != nil || de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
@@ -153,19 +213,37 @@ func (d *Disk) reindex() error {
 		if err := json.Unmarshal(raw, &rec); err != nil || rec.Validate() != nil {
 			return nil // corrupt blob: skip
 		}
-		key := rec.Key
-		if key.ID() != strings.TrimSuffix(de.Name(), ".json") {
+		id := strings.TrimSuffix(de.Name(), ".json")
+		if rec.Key.ID() != id {
 			return nil // blob content does not match its address: skip
 		}
-		entries[key.ID()] = key
+		var mtime int64
+		if info, err := de.Info(); err == nil {
+			mtime = info.ModTime().UnixNano()
+		}
+		blobs = append(blobs, scanned{id, mtime, &rec})
 		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("store: reindex: %w", err)
 	}
+	sort.Slice(blobs, func(i, j int) bool {
+		if blobs[i].mtime != blobs[j].mtime {
+			return blobs[i].mtime < blobs[j].mtime
+		}
+		return blobs[i].id < blobs[j].id
+	})
+	entries := make(map[string]idxEntry, len(blobs))
+	for i, b := range blobs {
+		entries[b.id] = idxEntry{
+			Key: b.rec.Key, StoredAt: b.mtime, Seq: int64(i + 1),
+			Summary: Summarize(b.rec),
+		}
+	}
 	d.indexMu.Lock()
 	defer d.indexMu.Unlock()
 	d.index = entries
+	d.seq = int64(len(blobs))
 	d.dirty = true
 	// Best-effort, as in healIndex: a failed flush keeps dirty set and must
 	// not fail the open — blob reads never need the index file.
@@ -181,7 +259,7 @@ func (d *Disk) flushIndexLocked() error {
 	if !d.dirty {
 		return nil
 	}
-	f := indexFile{Version: 1, Entries: d.index}
+	f := indexFile{Version: indexVersion, Entries: d.index}
 	raw, err := json.Marshal(f)
 	if err != nil {
 		return fmt.Errorf("store: encode index: %w", err)
@@ -222,7 +300,11 @@ func (d *Disk) Put(rec *Record) error {
 		return err
 	}
 	d.indexMu.Lock()
-	d.index[id] = key
+	d.seq++
+	d.index[id] = idxEntry{
+		Key: key, StoredAt: time.Now().UnixNano(), Seq: d.seq,
+		Summary: Summarize(rec),
+	}
 	d.dirty = true
 	d.indexMu.Unlock()
 	return nil
@@ -285,12 +367,141 @@ func (d *Disk) List() ([]Meta, error) {
 	d.indexMu.Lock()
 	_ = d.flushIndexLocked()
 	out := make([]Meta, 0, len(d.index))
-	for id, key := range d.index {
-		out = append(out, Meta{ID: id, Key: key})
+	for id, e := range d.index {
+		out = append(out, e.meta(id))
 	}
 	d.indexMu.Unlock()
 	sortMetas(out)
 	return out, nil
+}
+
+// Delete removes one blob and its index entry. Lock order matches
+// healIndex: indexMu outside, the blob's stripe inside.
+func (d *Disk) Delete(id string) (Meta, bool, error) {
+	if !ValidID(id) {
+		return Meta{}, false, fmt.Errorf("store: malformed id %q", id)
+	}
+	d.indexMu.Lock()
+	defer d.indexMu.Unlock()
+	e, ok := d.index[id]
+	if err := d.removeBlobLocked(id); err != nil {
+		return Meta{}, false, err
+	}
+	if !ok {
+		return Meta{}, false, nil
+	}
+	delete(d.index, id)
+	d.dirty = true
+	_ = d.flushIndexLocked()
+	return e.meta(id), true, nil
+}
+
+// removeBlobLocked unlinks one blob file; a blob already gone is fine.
+// Callers hold indexMu.
+func (d *Disk) removeBlobLocked(id string) error {
+	mu := d.stripe(id)
+	mu.Lock()
+	err := os.Remove(d.blobPath(id))
+	mu.Unlock()
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete blob %s: %w", id, err)
+	}
+	return nil
+}
+
+// GC bounds the store to the newest keep records per (platform, serial).
+func (d *Disk) GC(keep int) ([]Meta, error) {
+	d.indexMu.Lock()
+	defer d.indexMu.Unlock()
+	var removed []Meta
+	for _, id := range gcVictims(d.index, keep) {
+		if err := d.removeBlobLocked(id); err != nil {
+			// Keep the entry for what we could not unlink: a listing must
+			// not claim a still-present blob is gone.
+			_ = d.flushIndexLocked()
+			return removed, err
+		}
+		removed = append(removed, d.index[id].meta(id))
+		delete(d.index, id)
+		d.dirty = true
+	}
+	_ = d.flushIndexLocked()
+	return removed, nil
+}
+
+func (d *Disk) jobPath(id string) string {
+	return filepath.Join(d.root, "jobs", id+".json")
+}
+
+// jobStripe serializes journal writes per job id, in a namespace distinct
+// from blob ids so a job named like a content address cannot contend.
+func (d *Disk) jobStripe(id string) *sync.RWMutex {
+	return d.stripe("job\x00" + id)
+}
+
+// PutJob journals one campaign job, replacing any previous version.
+func (d *Disk) PutJob(rec *JobRecord) error {
+	if !ValidJobID(rec.ID) {
+		return fmt.Errorf("store: malformed job id %q", rec.ID)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode job %s: %w", rec.ID, err)
+	}
+	mu := d.jobStripe(rec.ID)
+	mu.Lock()
+	defer mu.Unlock()
+	return atomicWrite(d.jobPath(rec.ID), raw)
+}
+
+// ListJobs returns every journaled job in submission order. Corrupt or
+// misnamed journal files are skipped — a replay should degrade, not fail,
+// when one record is torn.
+func (d *Disk) ListJobs() ([]*JobRecord, error) {
+	des, err := os.ReadDir(filepath.Join(d.root, "jobs"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: scan jobs: %w", err)
+	}
+	var out []*JobRecord
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		mu := d.jobStripe(id)
+		mu.RLock()
+		raw, err := os.ReadFile(d.jobPath(id))
+		mu.RUnlock()
+		if err != nil {
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.ID != id {
+			continue
+		}
+		out = append(out, &rec)
+	}
+	sortJobs(out)
+	return out, nil
+}
+
+// DeleteJob removes one journaled job; an absent id is not an error.
+func (d *Disk) DeleteJob(id string) error {
+	if !ValidJobID(id) {
+		return fmt.Errorf("store: malformed job id %q", id)
+	}
+	mu := d.jobStripe(id)
+	mu.Lock()
+	err := os.Remove(d.jobPath(id))
+	mu.Unlock()
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete job %s: %w", id, err)
+	}
+	return nil
 }
 
 // Close flushes the index. Blobs themselves are durable at Put time.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Mem is the hermetic Store used by tests and by deployments that want the
@@ -12,13 +13,19 @@ import (
 // callers can never alias a stored record's internals.
 type Mem struct {
 	mu    sync.RWMutex
-	blobs map[string][]byte // id → encoded record
-	keys  map[string]Key    // id → key
+	blobs map[string][]byte   // id → encoded record
+	keys  map[string]idxEntry // id → key + summary + put order
+	jobs  map[string][]byte   // job id → encoded journal record
+	seq   int64
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem {
-	return &Mem{blobs: make(map[string][]byte), keys: make(map[string]Key)}
+	return &Mem{
+		blobs: make(map[string][]byte),
+		keys:  make(map[string]idxEntry),
+		jobs:  make(map[string][]byte),
+	}
 }
 
 // Put stores the record, replacing any previous version of the same key.
@@ -33,8 +40,12 @@ func (m *Mem) Put(rec *Record) error {
 	key := rec.Key
 	id := key.ID()
 	m.mu.Lock()
+	m.seq++
 	m.blobs[id] = raw
-	m.keys[id] = key
+	m.keys[id] = idxEntry{
+		Key: key, StoredAt: time.Now().UnixNano(), Seq: m.seq,
+		Summary: Summarize(rec),
+	}
 	m.mu.Unlock()
 	return nil
 }
@@ -64,12 +75,81 @@ func (m *Mem) GetID(id string) (*Record, bool, error) {
 func (m *Mem) List() ([]Meta, error) {
 	m.mu.RLock()
 	out := make([]Meta, 0, len(m.keys))
-	for id, key := range m.keys {
-		out = append(out, Meta{ID: id, Key: key})
+	for id, e := range m.keys {
+		out = append(out, e.meta(id))
 	}
 	m.mu.RUnlock()
 	sortMetas(out)
 	return out, nil
+}
+
+// Delete removes the record with the given content address.
+func (m *Mem) Delete(id string) (Meta, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.keys[id]
+	if !ok {
+		return Meta{}, false, nil
+	}
+	delete(m.blobs, id)
+	delete(m.keys, id)
+	return e.meta(id), true, nil
+}
+
+// GC bounds the store to the newest keep records per (platform, serial).
+func (m *Mem) GC(keep int) ([]Meta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var removed []Meta
+	for _, id := range gcVictims(m.keys, keep) {
+		removed = append(removed, m.keys[id].meta(id))
+		delete(m.blobs, id)
+		delete(m.keys, id)
+	}
+	return removed, nil
+}
+
+// PutJob journals one campaign job, replacing any previous version.
+func (m *Mem) PutJob(rec *JobRecord) error {
+	if !ValidJobID(rec.ID) {
+		return fmt.Errorf("store: malformed job id %q", rec.ID)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode job %s: %w", rec.ID, err)
+	}
+	m.mu.Lock()
+	m.jobs[rec.ID] = raw
+	m.mu.Unlock()
+	return nil
+}
+
+// ListJobs returns every journaled job in submission order.
+func (m *Mem) ListJobs() ([]*JobRecord, error) {
+	m.mu.RLock()
+	raws := make([][]byte, 0, len(m.jobs))
+	for _, raw := range m.jobs {
+		raws = append(raws, raw)
+	}
+	m.mu.RUnlock()
+	out := make([]*JobRecord, 0, len(raws))
+	for _, raw := range raws {
+		var rec JobRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			continue
+		}
+		out = append(out, &rec)
+	}
+	sortJobs(out)
+	return out, nil
+}
+
+// DeleteJob removes one journaled job; an absent id is not an error.
+func (m *Mem) DeleteJob(id string) error {
+	m.mu.Lock()
+	delete(m.jobs, id)
+	m.mu.Unlock()
+	return nil
 }
 
 // Close is a no-op.

@@ -1,5 +1,6 @@
 // Package store persists characterization products — sweeps and their Fault
-// Variation Maps — beyond the life of one process. The paper's FVM is a
+// Variation Maps — beyond the life of one process, plus the campaign job
+// journal the service layer replays after a restart. The paper's FVM is a
 // one-time-per-chip artifact: fault locations are deterministic per die
 // (Section II-C), so the expensive Listing 1 sweep never has to be repeated
 // once its result is on disk. The engine's in-memory LRU cache uses a Store
@@ -9,31 +10,37 @@
 // # On-disk layout (Disk implementation)
 //
 //	root/
-//	  index.json              rebuildable map of blob id → record key
+//	  index.json              rebuildable map of blob id → key + summary
 //	  objects/<aa>/<id>.json  one Record per blob, sharded by id prefix
+//	  jobs/<id>.json          one journaled campaign job per file
 //
 // Blobs are content-addressed: a record's id is the SHA-256 of its
 // measurement identity (platform, serial, temperature, runs, sweep-option
 // fingerprint), so a Get never needs the index — the index only accelerates
-// List. Every write lands in a temp file first and is renamed into place, so
-// readers observe either the old blob or the new one, never a torn write.
-// Per-blob access is serialized by a striped RWMutex keyed on the id, so
-// concurrent writers racing on one key cannot interleave, while traffic on
-// distinct keys proceeds in parallel.
+// List. Each index entry also carries a Summary of the blob's
+// listing-relevant shape (site count, fault window, Vmin), so a listing of
+// a million-record store never has to open a single blob. Every write lands
+// in a temp file first and is renamed into place, so readers observe either
+// the old blob or the new one, never a torn write. Per-blob access is
+// serialized by a striped RWMutex keyed on the id, so concurrent writers
+// racing on one key cannot interleave, while traffic on distinct keys
+// proceeds in parallel.
 //
 // A corrupt or missing index.json is not fatal: opening the store rebuilds
-// it by scanning the object tree and re-deriving each blob's key from its
-// embedded metadata (corrupt blobs are skipped). The Mem implementation
-// round-trips records through the same JSON encoding, so tests exercise the
-// serialization path hermetically.
+// it by scanning the object tree and re-deriving each blob's key and summary
+// from its embedded metadata (corrupt blobs are skipped). The Mem
+// implementation round-trips records through the same JSON encoding, so
+// tests exercise the serialization path hermetically.
 package store
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/characterize"
 	"repro/internal/fvm"
@@ -93,16 +100,105 @@ func (r *Record) Validate() error {
 	return nil
 }
 
-// Meta is one index entry: a record's id and key, without its payload.
-type Meta struct {
-	ID  string `json:"id"`
-	Key Key    `json:"key"`
+// Summary caches a record's listing-relevant shape in the index, so List
+// answers dashboard queries without reading a single blob. It is derived
+// from the record at Put time (and again on reindex), never hand-edited.
+type Summary struct {
+	Sites         int     `json:"sites,omitempty"`
+	ZeroShare     float64 `json:"zero_share,omitempty"`
+	MaxRate       float64 `json:"max_rate,omitempty"`
+	VFromV        float64 `json:"v_from_v,omitempty"`
+	VToV          float64 `json:"v_to_v,omitempty"`
+	HasFVM        bool    `json:"has_fvm,omitempty"`
+	Levels        int     `json:"levels,omitempty"` // sweep levels (0 = no sweep)
+	VminV         float64 `json:"vmin_v,omitempty"`
+	VcrashV       float64 `json:"vcrash_v,omitempty"`
+	FaultsPerMbit float64 `json:"faults_per_mbit,omitempty"` // at the deepest level
 }
 
-// Store is a durable, concurrency-safe record repository. Implementations
-// must tolerate concurrent Put/Get on the same key (last write wins; reads
-// never observe a torn record). Records handed to Put and returned by Get
-// must be treated as immutable by callers.
+// Summarize derives a record's index summary.
+func Summarize(rec *Record) *Summary {
+	s := &Summary{}
+	if rec.FVM != nil {
+		s.HasFVM = true
+		s.Sites = rec.FVM.NumSites()
+		s.ZeroShare = rec.FVM.ZeroShare()
+		s.MaxRate = rec.FVM.Summary().Max
+		s.VFromV = rec.FVM.VFrom
+		s.VToV = rec.FVM.VTo
+	}
+	if sw := rec.Sweep; sw != nil && len(sw.Levels) > 0 {
+		s.Levels = len(sw.Levels)
+		s.VminV = SweepVmin(sw)
+		s.VcrashV = sw.Final().V
+		s.FaultsPerMbit = sw.Final().FaultsPerMbit
+	}
+	return s
+}
+
+// SweepVmin returns the lowest voltage level of a sweep that stayed
+// fault-free — the board's empirical Vmin. It lives here (not in the
+// engine) so index summaries and the engine's aggregates share one
+// definition.
+func SweepVmin(s *characterize.Sweep) float64 {
+	if len(s.Levels) == 0 {
+		return 0
+	}
+	vmin := s.Levels[0].V
+	for _, l := range s.Levels {
+		if l.MedianFaults > 0 {
+			break
+		}
+		vmin = l.V
+	}
+	return vmin
+}
+
+// Meta is one index entry: a record's id, key, and cached summary, without
+// its payload. StoredAt is when the record was last written.
+type Meta struct {
+	ID       string    `json:"id"`
+	Key      Key       `json:"key"`
+	StoredAt time.Time `json:"stored_at,omitempty"`
+	Summary  *Summary  `json:"summary,omitempty"`
+}
+
+// JobRecord is one journaled campaign job: the service layer's document
+// (an opaque payload to the store) plus the identity the store files it
+// under. Seq preserves submission order across restarts, so a replayed job
+// table lists jobs in the order they were created and new ids never collide
+// with journaled ones.
+type JobRecord struct {
+	ID      string          `json:"id"`
+	Seq     int             `json:"seq"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// ValidJobID reports whether id is safe to use as a journal filename:
+// non-empty, bounded, and built only from [a-zA-Z0-9._-] without a leading
+// dot. Ids arrive from the HTTP layer; anything else must never reach the
+// filesystem.
+func ValidJobID(id string) bool {
+	if id == "" || len(id) > 128 || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Store is a durable, concurrency-safe record repository with a campaign
+// job journal riding alongside. Implementations must tolerate concurrent
+// Put/Get on the same key (last write wins; reads never observe a torn
+// record). Records handed to Put and returned by Get must be treated as
+// immutable by callers.
 type Store interface {
 	// Put stores the record under its derived key, replacing any previous
 	// version.
@@ -111,10 +207,87 @@ type Store interface {
 	Get(k Key) (rec *Record, ok bool, err error)
 	// GetID returns the record with the given content address.
 	GetID(id string) (rec *Record, ok bool, err error)
-	// List returns the index of stored records in a stable order.
+	// List returns the index of stored records in a stable order. Entries
+	// carry cached summaries, so listing never reads blobs.
 	List() ([]Meta, error)
+	// Delete removes the record with the given content address, returning
+	// its index entry and whether it existed.
+	Delete(id string) (Meta, bool, error)
+	// GC bounds the store to the newest keep records per (platform,
+	// serial), returning what it removed. keep <= 0 is a no-op.
+	GC(keep int) ([]Meta, error)
+	// PutJob journals one campaign job, replacing any previous version.
+	PutJob(rec *JobRecord) error
+	// ListJobs returns every journaled job in submission (Seq) order.
+	ListJobs() ([]*JobRecord, error)
+	// DeleteJob removes one journaled job; absent ids are not an error.
+	DeleteJob(id string) error
 	// Close releases any resources. The store must not be used afterwards.
 	Close() error
+}
+
+// idxEntry is the indexed form of one record both implementations share:
+// its key, its cached summary, and the bookkeeping GC orders by. Seq is a
+// monotonic per-store put counter — wall clocks are too coarse to order two
+// back-to-back Puts, and GC's "newest" must be deterministic.
+type idxEntry struct {
+	Key      Key      `json:"key"`
+	StoredAt int64    `json:"stored_at"` // unix nanos, informational
+	Seq      int64    `json:"seq"`       // put order, what GC sorts by
+	Summary  *Summary `json:"summary,omitempty"`
+}
+
+func (e idxEntry) meta(id string) Meta {
+	m := Meta{ID: id, Key: e.Key, Summary: e.Summary}
+	if e.StoredAt != 0 {
+		m.StoredAt = time.Unix(0, e.StoredAt)
+	}
+	return m
+}
+
+// gcVictims picks the ids to drop so every (platform, serial) keeps only
+// its newest keep entries. Newest is put order (Seq), tie-broken by id so
+// the choice is total.
+func gcVictims(entries map[string]idxEntry, keep int) []string {
+	if keep <= 0 {
+		return nil
+	}
+	type aged struct {
+		id  string
+		seq int64
+	}
+	groups := make(map[string][]aged)
+	for id, e := range entries {
+		g := e.Key.Platform + "\x00" + e.Key.Serial
+		groups[g] = append(groups[g], aged{id, e.Seq})
+	}
+	var victims []string
+	for _, g := range groups {
+		if len(g) <= keep {
+			continue
+		}
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].seq != g[j].seq {
+				return g[i].seq > g[j].seq // newest first
+			}
+			return g[i].id < g[j].id
+		})
+		for _, v := range g[keep:] {
+			victims = append(victims, v.id)
+		}
+	}
+	sort.Strings(victims)
+	return victims
+}
+
+// sortJobs orders journal records by submission sequence (ties by id).
+func sortJobs(js []*JobRecord) {
+	sort.Slice(js, func(i, j int) bool {
+		if js[i].Seq != js[j].Seq {
+			return js[i].Seq < js[j].Seq
+		}
+		return js[i].ID < js[j].ID
+	})
 }
 
 // sortMetas orders index entries by platform, serial, temperature, runs,
