@@ -1,0 +1,29 @@
+GO ?= go
+LABEL ?= local
+BENCH ?= .
+BENCHTIME ?= 1x
+
+.PHONY: build test race bench bench-smoke bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite with real timings.
+bench:
+	$(GO) test -run '^$$' -bench $(BENCH) -benchmem .
+
+# One iteration of every benchmark in every package: proves they compile
+# and run (CI job).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable baseline: writes BENCH_$(LABEL).json so perf can be
+# tracked PR over PR (see README "Performance").
+bench-json:
+	$(GO) run ./cmd/benchjson -label $(LABEL) -bench '$(BENCH)' -benchtime $(BENCHTIME)

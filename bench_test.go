@@ -30,6 +30,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/prng"
 	"repro/internal/report"
+	"repro/internal/silicon"
 )
 
 // benchCfg is the reduced scale every figure benchmark runs at.
@@ -405,14 +406,73 @@ func BenchmarkBaselineDVFS(b *testing.B) {
 
 // --- Core machinery micro-benchmarks -------------------------------------
 
-// BenchmarkFullPoolReadPass measures one full-chip read pass (the inner loop
-// of Listing 1) at Vcrash on a 200-BRAM pool.
-func BenchmarkFullPoolReadPass(b *testing.B) {
+// benchReadPassBoard assembles the 200-BRAM pool every read-pass benchmark
+// surveys, filled 0xFFFF and held at the given VCCBRAM level.
+func benchReadPassBoard(b *testing.B, v float64) *board.Board {
+	b.Helper()
 	brd := board.New(platform.VC707().Scaled(200))
 	brd.FillAll(0xFFFF)
-	if err := brd.SetVCCBRAM(brd.Platform.Cal.Vcrash); err != nil {
+	if err := brd.SetVCCBRAM(v); err != nil {
 		b.Fatal(err)
 	}
+	return brd
+}
+
+// BenchmarkFullPoolReadPass measures one full-chip read pass (the inner loop
+// of Listing 1, as the characterization sweep now runs it: the count-only
+// path over the voltage-indexed fault evaluator) at Vcrash on a 200-BRAM
+// pool. SetBytes reports the BRAM capacity surveyed per pass, not bytes
+// copied — the count path copies none.
+func BenchmarkFullPoolReadPass(b *testing.B) {
+	brd := benchReadPassBoard(b, platform.VC707().Cal.Vcrash)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := brd.BeginRun()
+		if _, _, _, err := brd.CountFaultsInto(nil, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(brd.Pool.Len() * bram.Rows * 2))
+}
+
+// BenchmarkFullPoolReadPassSafe is the same pass at Vmin: the marginal band
+// is empty at every site, so the indexed evaluator's near-no-op case — the
+// one most sweep steps hit — is what's measured.
+func BenchmarkFullPoolReadPassSafe(b *testing.B) {
+	brd := benchReadPassBoard(b, platform.VC707().Cal.Vmin)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := brd.BeginRun()
+		if _, _, _, err := brd.CountFaultsInto(nil, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(brd.Pool.Len() * bram.Rows * 2))
+}
+
+// BenchmarkFullPoolReadPassNaive is the retained reference evaluator driven
+// through the same count-only survey — the cost of re-scanning every weak
+// cell per site, isolated from the old snapshot-and-compare overhead.
+func BenchmarkFullPoolReadPassNaive(b *testing.B) {
+	brd := benchReadPassBoard(b, platform.VC707().Cal.Vcrash)
+	var scratch []silicon.Fault
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := brd.BeginRun()
+		cond := silicon.Conditions{V: brd.VCCBRAM(), TempC: brd.OnBoardTempC(), Run: run}
+		for site := 0; site < brd.Pool.Len(); site++ {
+			scratch = brd.Die.ActiveFaultsNaive(scratch[:0], site, cond)
+			brd.Pool.Block(site).CountFaults(scratch)
+		}
+	}
+	b.SetBytes(int64(brd.Pool.Len() * bram.Rows * 2))
+}
+
+// BenchmarkFullPoolReadout measures the full-content read path (snapshot +
+// fault overlay) that pattern studies, accel.ReadParameters, and the link
+// layer still use — the pre-PR-4 shape of BenchmarkFullPoolReadPass.
+func BenchmarkFullPoolReadout(b *testing.B) {
+	brd := benchReadPassBoard(b, platform.VC707().Cal.Vcrash)
 	buf := make([]uint16, bram.Rows)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

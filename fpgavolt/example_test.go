@@ -37,7 +37,7 @@ func ExampleDiscoverBRAMThresholds() {
 	fmt.Printf("Vmin=%.2fV Vcrash=%.2fV guardband=%.0f%%\n",
 		th.Vmin, th.Vcrash, th.GuardbandFrac()*100)
 	// Output:
-	// Vmin=0.61V Vcrash=0.54V guardband=39%
+	// Vmin=0.60V Vcrash=0.54V guardband=40%
 }
 
 // ExamplePlatforms lists the four studied boards of Table I.

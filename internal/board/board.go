@@ -31,6 +31,11 @@ const (
 // RegulatorAddr is the PMBus address of the UCD9248 on the studied boards.
 const RegulatorAddr = 0x34
 
+// LinkProbeRun is the reserved run index link-fidelity probes read under.
+// BeginRun hands out 1, 2, 3, …, so a probe on this index can never alias
+// the jitter and ripple draws of a numbered measurement pass.
+const LinkProbeRun = ^uint64(0)
+
 // ErrNotOperating is returned when the design is not running: the board is
 // unconfigured, crashed (DONE unset), or a rail sits below its crash level.
 var ErrNotOperating = errors.New("board: design not operating (DONE unset)")
@@ -55,6 +60,8 @@ type Board struct {
 	runCounter    uint64
 	jitterScale   float64
 	scratch       []silicon.Fault
+	counts        []siteCounts // per-site observable-fault prefix sums
+	eval          evalMemo     // Board read methods' pass-evaluation memo
 
 	// env caches the electrical snapshot reads run under; it is refreshed on
 	// every rail/chamber change so the hot read path stays allocation-free
@@ -83,6 +90,7 @@ func New(p platform.Platform) *Board {
 		thermals:    thermal.BoardThermals{ThetaJA: p.ThetaJA},
 		jitterScale: 1.0,
 	}
+	b.counts = make([]siteCounts, len(sites))
 	b.Bus.Attach(RegulatorAddr, b.Reg)
 	b.Ctl = pmbus.NewController(b.Bus, RegulatorAddr)
 	b.Reg.BindSensors(b.OnBoardTempC, func(page int) float64 {
@@ -232,15 +240,37 @@ func (b *Board) ReadBRAMInto(dst []uint16, site int, run uint64) error {
 		return fmt.Errorf("board: dst holds %d rows, need %d", len(dst), bram.Rows)
 	}
 	var err error
-	b.scratch, err = readFaulty(b, dst, site, run, b.scratch)
+	b.scratch, err = readFaulty(b, b.eval.evaluator(b, run), dst, site, b.scratch)
 	return err
+}
+
+// evalMemo caches a pass evaluation environment (ripple draw, jitter sigma):
+// all reads of one run share them, so a read path resolves them once per
+// (conditions, run) instead of once per site. Each single-goroutine read
+// path owns its memo — the Board's methods share one, every Reader carries
+// its own.
+type evalMemo struct {
+	eval silicon.Eval
+	cond silicon.Conditions
+	ok   bool
+}
+
+// evaluator returns the memoized pass evaluation for the given run.
+func (m *evalMemo) evaluator(b *Board, run uint64) silicon.Eval {
+	cond := b.conditions(run)
+	if !m.ok || cond != m.cond {
+		m.eval = b.Die.Evaluator(cond)
+		m.cond = cond
+		m.ok = true
+	}
+	return m.eval
 }
 
 // readFaulty snapshots a block and applies the active fault overlay, reusing
 // the provided scratch slice. The caller has already verified Done().
-func readFaulty(b *Board, dst []uint16, site int, run uint64, scratch []silicon.Fault) ([]silicon.Fault, error) {
+func readFaulty(b *Board, eval silicon.Eval, dst []uint16, site int, scratch []silicon.Fault) ([]silicon.Fault, error) {
 	b.Pool.Block(site).Snapshot(dst)
-	scratch = b.Die.ActiveFaults(scratch[:0], site, b.conditions(run))
+	scratch = eval.AppendActive(scratch[:0], site)
 	for _, f := range scratch {
 		bit := uint16(1) << f.Col
 		if f.Flip01 {
@@ -252,12 +282,104 @@ func readFaulty(b *Board, dst []uint16, site int, run uint64, scratch []silicon.
 	return scratch, nil
 }
 
+// siteCounts caches one site's prefix sums of observable-fault polarity over
+// the die's descending-Vc weak-cell order: p10[i]/p01[i] count how many of
+// the first i cells would, when active, manifest as a 1→0 / 0→1 flip against
+// the block's *current* contents. The cache is keyed to the block's content
+// generation and rebuilt lazily after any write, so the count-only read path
+// resolves the whole definitely-faulty prefix with two array lookups and
+// consults stored words only inside the marginal band.
+//
+// Entries are written without synchronization: concurrent Readers never
+// share a site within one pass (the scan hands each site to one worker), and
+// passes are serialized by the caller, matching the Reader contract that the
+// board's state does not change while readers are active.
+type siteCounts struct {
+	gen      uint64
+	p10, p01 []int32
+}
+
+// countsFor returns the site's up-to-date prefix sums, rebuilding them if the
+// block's contents changed since the last pass.
+func (b *Board) countsFor(site int) *siteCounts {
+	sc := &b.counts[site]
+	blk := b.Pool.Block(site)
+	if gen := blk.Gen(); sc.gen != gen || sc.p10 == nil {
+		cells := b.Die.WeakCells(site)
+		if cap(sc.p10) < len(cells)+1 {
+			sc.p10 = make([]int32, len(cells)+1)
+			sc.p01 = make([]int32, len(cells)+1)
+		}
+		sc.p10, sc.p01 = sc.p10[:len(cells)+1], sc.p01[:len(cells)+1]
+		sc.p10[0], sc.p01[0] = 0, 0
+		var c10, c01 int32
+		for i, c := range cells {
+			bit := blk.ReadRaw(int(c.Row)) >> c.Col & 1
+			if c.Flip01 {
+				if bit == 0 {
+					c01++
+				}
+			} else if bit == 1 {
+				c10++
+			}
+			sc.p10[i+1], sc.p01[i+1] = c10, c01
+		}
+		sc.gen = gen
+	}
+	return sc
+}
+
+// countSite counts one site's observable mismatches under the pass
+// evaluation: the definitely-active prefix comes from the cached prefix
+// sums, and only the marginal band (materialized into scratch) consults the
+// stored words.
+func countSite(b *Board, eval silicon.Eval, scratch []silicon.Fault, site int) (out []silicon.Fault, total, f10, f01 int) {
+	band, def := eval.ActiveBand(scratch[:0], site)
+	sc := b.countsFor(site)
+	f10, f01 = int(sc.p10[def]), int(sc.p01[def])
+	if len(band) > 0 {
+		_, b10, b01 := b.Pool.Block(site).CountFaults(band)
+		f10 += b10
+		f01 += b01
+	}
+	return band, f10 + f01, f10, f01
+}
+
+// CountFaultsInto counts the observable mismatches a read pass over the whole
+// pool would see, without materializing any contents: the fault overlay is
+// evaluated per site (O(marginal band) on the indexed silicon path) and the
+// stored words are consulted only at marginal fault rows, so SAFE-region and
+// near-Vmin passes are near-no-ops. When perSite is non-nil it must hold
+// Pool.Len() entries and receives each site's count. The returned totals are
+// exactly what ReadBRAMInto plus a row-by-row compare would report.
+func (b *Board) CountFaultsInto(perSite []int, run uint64) (total int, flip10, flip01 int64, err error) {
+	if !b.Done() {
+		return 0, 0, 0, ErrNotOperating
+	}
+	if perSite != nil && len(perSite) < b.Pool.Len() {
+		return 0, 0, 0, fmt.Errorf("board: perSite holds %d sites, need %d", len(perSite), b.Pool.Len())
+	}
+	eval := b.Die.Evaluator(b.conditions(run))
+	for site := 0; site < b.Pool.Len(); site++ {
+		var n, f10, f01 int
+		b.scratch, n, f10, f01 = countSite(b, eval, b.scratch, site)
+		if perSite != nil {
+			perSite[site] = n
+		}
+		total += n
+		flip10 += int64(f10)
+		flip01 += int64(f01)
+	}
+	return total, flip10, flip01, nil
+}
+
 // Reader is an independent host read channel with private buffers, so
 // full-chip scans can fan out across goroutines. The board's electrical
 // state (rails, temperature) must not change while readers are active.
 type Reader struct {
 	b       *Board
 	scratch []silicon.Fault
+	eval    evalMemo // this reader's pass-evaluation memo
 }
 
 // NewReader returns a reader bound to the board.
@@ -281,8 +403,21 @@ func (r *Reader) ReadInto(dst []uint16, site int, run uint64) error {
 		return fmt.Errorf("board: dst holds %d rows, need %d", len(dst), bram.Rows)
 	}
 	var err error
-	r.scratch, err = readFaulty(r.b, dst, site, run, r.scratch)
+	r.scratch, err = readFaulty(r.b, r.eval.evaluator(r.b, run), dst, site, r.scratch)
 	return err
+}
+
+// CountInto behaves like one site's share of Board.CountFaultsInto — count
+// the observable mismatches without materializing contents — and is safe to
+// call from multiple Readers concurrently (on distinct sites, per the Reader
+// contract above).
+func (r *Reader) CountInto(site int, run uint64) (total, flip10, flip01 int, err error) {
+	if !r.b.operatingNow() {
+		return 0, 0, 0, ErrNotOperating
+	}
+	eval := r.eval.evaluator(r.b, run)
+	r.scratch, total, flip10, flip01 = countSite(r.b, eval, r.scratch, site)
+	return total, flip10, flip01, nil
 }
 
 // StreamBRAM reads one BRAM and ships it through the full serial-link wire

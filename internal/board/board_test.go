@@ -2,10 +2,12 @@ package board
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 
 	"repro/internal/bram"
 	"repro/internal/platform"
+	"repro/internal/prng"
 	"repro/internal/thermal"
 )
 
@@ -365,5 +367,139 @@ func TestTransferSeconds(t *testing.T) {
 	sec := l.TransferSeconds(921600)
 	if math.Abs(sec-10) > 1e-9 {
 		t.Fatalf("transfer time = %v, want 10s (10 bits/byte)", sec)
+	}
+}
+
+// countViaReadout is the reference for the count-only path: a full readout
+// plus row-by-row compare, exactly what scanPool did before the count path.
+func countViaReadout(t *testing.T, b *Board, site int, run uint64) (total, f10, f01 int) {
+	t.Helper()
+	buf := make([]uint16, bram.Rows)
+	if err := b.ReadBRAMInto(buf, site, run); err != nil {
+		t.Fatal(err)
+	}
+	blk := b.Pool.Block(site)
+	for row := 0; row < bram.Rows; row++ {
+		stored := blk.ReadRaw(row)
+		got := buf[row]
+		f10 += bits.OnesCount16(stored &^ got)
+		f01 += bits.OnesCount16(got &^ stored)
+	}
+	return f10 + f01, f10, f01
+}
+
+// fillBoard applies one of the equivalence-test fill patterns.
+func fillBoard(b *Board, name string) {
+	switch name {
+	case "uniform-ffff":
+		b.FillAll(0xFFFF)
+	case "uniform-0000":
+		// Adversarial for 1→0 faults: none can manifest on stored zeros.
+		b.FillAll(0x0000)
+	case "random":
+		src := prng.NewKeyed("count-equivalence-fill")
+		b.FillAllFunc(func(site, row int) uint16 { return uint16(src.Uint64()) })
+	case "mask-all":
+		// Fully adversarial: store the non-vulnerable polarity at every weak
+		// cell, so every active fault is invisible to a readout compare.
+		b.FillAll(0xAAAA)
+		for site := 0; site < b.Pool.Len(); site++ {
+			blk := b.Pool.Block(site)
+			for _, c := range b.Die.WeakCells(site) {
+				w := blk.ReadRaw(int(c.Row))
+				if c.Flip01 {
+					w |= 1 << c.Col // stored 1 hides a 0→1 flip
+				} else {
+					w &^= 1 << c.Col // stored 0 hides a 1→0 flip
+				}
+				blk.Write(int(c.Row), w)
+			}
+		}
+	case "expose-all":
+		// The inverse: every weak cell stores its vulnerable polarity, so
+		// every active fault is observable.
+		b.FillAll(0x5555)
+		for site := 0; site < b.Pool.Len(); site++ {
+			blk := b.Pool.Block(site)
+			for _, c := range b.Die.WeakCells(site) {
+				w := blk.ReadRaw(int(c.Row))
+				if c.Flip01 {
+					w &^= 1 << c.Col
+				} else {
+					w |= 1 << c.Col
+				}
+				blk.Write(int(c.Row), w)
+			}
+		}
+	}
+}
+
+// TestCountPathMatchesReadoutPath proves the count-only read path reports
+// exactly the totals a full readout-and-compare observes, for uniform,
+// random, and adversarial fills across the whole voltage window.
+func TestCountPathMatchesReadoutPath(t *testing.T) {
+	fills := []string{"uniform-ffff", "uniform-0000", "random", "mask-all", "expose-all"}
+	for _, fill := range fills {
+		b := testBoard()
+		fillBoard(b, fill)
+		cal := b.Platform.Cal
+		for _, v := range []float64{cal.Vnom, cal.Vmin, cal.Vmin - 0.02, cal.Vcrash + 0.02, cal.Vcrash} {
+			if err := b.SetVCCBRAM(v); err != nil {
+				t.Fatal(err)
+			}
+			run := b.BeginRun()
+			perSite := make([]int, b.Pool.Len())
+			gotTotal, got10, got01, err := b.CountFaultsInto(perSite, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reader := b.NewReader()
+			wantTotal, want10, want01 := 0, 0, 0
+			for site := 0; site < b.Pool.Len(); site++ {
+				n, f10, f01 := countViaReadout(t, b, site, run)
+				wantTotal += n
+				want10 += f10
+				want01 += f01
+				cn, c10, c01, err := reader.CountInto(site, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cn != n || c10 != f10 || c01 != f01 {
+					t.Fatalf("fill %s v=%v site %d: CountInto (%d,%d,%d) != readout (%d,%d,%d)",
+						fill, v, site, cn, c10, c01, n, f10, f01)
+				}
+				if perSite[site] != n {
+					t.Fatalf("fill %s v=%v site %d: perSite %d != readout %d", fill, v, site, perSite[site], n)
+				}
+			}
+			if gotTotal != wantTotal || got10 != int64(want10) || got01 != int64(want01) {
+				t.Fatalf("fill %s v=%v: CountFaultsInto (%d,%d,%d) != readout (%d,%d,%d)",
+					fill, v, gotTotal, got10, got01, wantTotal, want10, want01)
+			}
+			if fill == "mask-all" && gotTotal != 0 {
+				t.Fatalf("mask-all fill observed %d faults, want 0", gotTotal)
+			}
+		}
+		if err := b.SetVCCBRAM(b.Platform.Cal.Vnom); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCountFaultsIntoErrors covers the not-operating and short-slice paths.
+func TestCountFaultsIntoErrors(t *testing.T) {
+	b := testBoard()
+	if _, _, _, err := b.CountFaultsInto(make([]int, 1), b.BeginRun()); err == nil {
+		t.Fatal("short perSite accepted")
+	}
+	if err := b.SetVCCBRAM(b.Platform.Cal.Vcrash - 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := b.CountFaultsInto(nil, b.BeginRun()); err != ErrNotOperating {
+		t.Fatalf("crashed board CountFaultsInto err = %v", err)
+	}
+	r := b.NewReader()
+	if _, _, _, err := r.CountInto(0, 1); err != ErrNotOperating {
+		t.Fatalf("crashed board CountInto err = %v", err)
 	}
 }

@@ -32,6 +32,7 @@ type Block struct {
 	index  int
 	words  []uint16
 	parity []uint8 // 2 parity bits per row, even parity over each byte
+	gen    uint64  // content generation, bumped by every write path
 }
 
 // NewBlock allocates a zeroed block at the given floorplan site.
@@ -54,7 +55,14 @@ func (b *Block) Site() silicon.Site { return b.site }
 func (b *Block) Write(row int, w uint16) {
 	b.words[row] = w
 	b.parity[row] = evenParity(w)
+	b.gen++
 }
+
+// Gen returns the block's content generation: it changes whenever any write
+// path (Write, Fill, FillFunc) touches the block, so derived per-content
+// caches — like the board's observable-fault prefix sums — know when to
+// rebuild. Reads never change it; the fault overlay is read-path-only.
+func (b *Block) Gen() uint64 { return b.gen }
 
 // ReadRaw returns the stored word without any fault overlay (the nominal-
 // voltage read path).
@@ -63,6 +71,26 @@ func (b *Block) ReadRaw(row int) uint16 { return b.words[row] }
 // Snapshot copies the whole block's data rows into dst and returns the number
 // of rows copied. It is the bulk path used by full-chip read sweeps.
 func (b *Block) Snapshot(dst []uint16) int { return copy(dst, b.words) }
+
+// CountFaults counts the mismatches the given active-fault overlay would
+// produce against the block's stored contents, consulting stored words only
+// at the fault rows: a 1→0 fault is observable only where the stored bit is
+// 1, a 0→1 fault only where it is 0. It is the count-only twin of
+// Snapshot-and-compare — O(len(faults)) instead of O(Rows) — and returns the
+// same totals a full readout diff would.
+func (b *Block) CountFaults(faults []silicon.Fault) (total, flip10, flip01 int) {
+	for _, f := range faults {
+		bit := b.words[f.Row] >> f.Col & 1
+		if f.Flip01 {
+			if bit == 0 {
+				flip01++
+			}
+		} else if bit == 1 {
+			flip10++
+		}
+	}
+	return flip10 + flip01, flip10, flip01
+}
 
 // ReadParity returns the stored parity bits of a row (bit0: low byte, bit1:
 // high byte).
@@ -79,6 +107,7 @@ func (b *Block) Fill(pattern uint16) {
 		b.words[r] = pattern
 		b.parity[r] = p
 	}
+	b.gen++
 }
 
 // FillFunc writes pattern(row) to every row; used for random and per-row
@@ -89,6 +118,7 @@ func (b *Block) FillFunc(pattern func(row int) uint16) {
 		b.words[r] = w
 		b.parity[r] = evenParity(w)
 	}
+	b.gen++
 }
 
 // evenParity returns one even-parity bit per byte of w (the 7-series BRAM

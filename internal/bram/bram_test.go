@@ -243,3 +243,64 @@ func TestQuickMasksEquivalentToApplyFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCountFaults(t *testing.T) {
+	b := NewBlock(0, silicon.Site{})
+	b.Write(3, 0b0000_0000_0000_1010)
+	faults := []silicon.Fault{
+		{Row: 3, Col: 1},               // stored 1 → observable 1→0
+		{Row: 3, Col: 0},               // stored 0 → invisible 1→0
+		{Row: 3, Col: 2, Flip01: true}, // stored 0 → observable 0→1
+		{Row: 3, Col: 3, Flip01: true}, // stored 1 → invisible 0→1
+		{Row: 7, Col: 5},               // other row, stored 0 → invisible
+	}
+	total, f10, f01 := b.CountFaults(faults)
+	if total != 2 || f10 != 1 || f01 != 1 {
+		t.Fatalf("CountFaults = (%d, %d, %d), want (2, 1, 1)", total, f10, f01)
+	}
+}
+
+func TestQuickCountFaultsEquivalentToOverlayDiff(t *testing.T) {
+	// Property: the count-only path must agree with applying the overlay to
+	// a snapshot and diffing it row by row, for any contents and fault list.
+	f := func(words []uint16, rows []uint8, cols []uint8, flips []bool) bool {
+		b := NewBlock(0, silicon.Site{})
+		for r, w := range words {
+			if r >= Rows {
+				break
+			}
+			b.Write(r, w)
+		}
+		n := min(len(rows), len(cols), len(flips))
+		seen := map[[2]int]bool{}
+		var faults []silicon.Fault
+		for i := 0; i < n; i++ {
+			fa := silicon.Fault{Row: uint16(rows[i] % 8), Col: cols[i] % 16, Flip01: flips[i]}
+			k := [2]int{int(fa.Row), int(fa.Col)}
+			if seen[k] {
+				continue // one weak mechanism per bitcell
+			}
+			seen[k] = true
+			faults = append(faults, fa)
+		}
+		total, f10, f01 := b.CountFaults(faults)
+		want10, want01 := 0, 0
+		for row := 0; row < Rows; row++ {
+			stored := b.ReadRaw(row)
+			got := ApplyFaults(stored, row, faults)
+			for bit := 0; bit < 16; bit++ {
+				s, g := stored>>bit&1, got>>bit&1
+				if s == 1 && g == 0 {
+					want10++
+				}
+				if s == 0 && g == 1 {
+					want01++
+				}
+			}
+		}
+		return total == want10+want01 && f10 == want10 && f01 == want01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

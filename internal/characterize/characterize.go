@@ -15,13 +15,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/bits"
 	"runtime"
 	"sync"
 
 	"repro/internal/board"
-	"repro/internal/bram"
 	"repro/internal/prng"
+	"repro/internal/sem"
 	"repro/internal/silicon"
 	"repro/internal/stats"
 	"repro/internal/voltage"
@@ -41,6 +40,13 @@ type Options struct {
 	StepV       float64 // sweep step (0 → 10 mV)
 	OnBoardC    float64 // on-board temperature (0 → 50 °C)
 	Workers     int     // concurrent readers (0 → GOMAXPROCS)
+
+	// Gate, when set, is a shared budget on concurrently *running* read
+	// workers: every scanPool worker holds one unit for the duration of a
+	// read pass. The fleet engine hands all boards one gate so total read
+	// CPU stays flat as board count grows. Scheduling only — never part of
+	// the measurement identity (excluded from Fingerprint).
+	Gate *sem.Gate `json:"-"`
 }
 
 // Normalized resolves every zero field to its paper default under the given
@@ -83,18 +89,21 @@ func (o Options) Normalized(cal silicon.Calibration) Options {
 }
 
 // Fingerprint returns a stable identity for the measurement-relevant knobs:
-// effective data fill, sweep window, and step. Worker count and PatternName
-// are excluded — the first only changes scheduling, the second is a display
-// label; what fill() actually writes is what identifies the measurement.
-// Call it on Normalized options, so defaulted and explicit paper options
-// collide, which is what a memoization key wants.
+// the silicon model version, effective data fill, sweep window, and step.
+// Worker count, Gate, and PatternName are excluded — the first two only
+// change scheduling, the third is a display label; what fill() actually
+// writes is what identifies the measurement. The model version rides along
+// so FVMs persisted under an older weak-cell model miss the cache and are
+// re-measured rather than silently mixed with current-model results. Call it
+// on Normalized options, so defaulted and explicit paper options collide,
+// which is what a memoization key wants.
 func (o Options) Fingerprint() string {
 	fill := fmt.Sprintf("%04X", o.Pattern)
 	if o.RandomFill {
 		fill = "random" // seeded per serial, which the cache keys separately
 	}
-	return fmt.Sprintf("fill=%s|win=%.3f..%.3f|step=%.3f",
-		fill, o.VStart, o.VStop, o.StepV)
+	return fmt.Sprintf("model=%d|fill=%s|win=%.3f..%.3f|step=%.3f",
+		silicon.ModelVersion, fill, o.VStart, o.VStop, o.StepV)
 }
 
 // Level is the analysis of one voltage step.
@@ -222,8 +231,10 @@ func measureLevel(ctx context.Context, b *board.Board, o Options, v float64) (Le
 	}
 
 	// The paper validates link fidelity at each level with a full wire-path
-	// transfer before the measurement runs.
-	if _, err := b.StreamBRAM(0, 0); err != nil {
+	// transfer before the measurement runs. The probe reads under the
+	// reserved LinkProbeRun index so it can never alias the jitter draw of a
+	// numbered BeginRun() measurement pass.
+	if _, err := b.StreamBRAM(0, board.LinkProbeRun); err != nil {
 		return Level{}, err
 	}
 
@@ -232,7 +243,7 @@ func measureLevel(ctx context.Context, b *board.Board, o Options, v float64) (Le
 			return Level{}, err
 		}
 		runIdx := b.BeginRun()
-		total, f10, f01, err := scanPool(b, o, perBRAMRuns, run, runIdx)
+		total, f10, f01, err := scanPool(ctx, b, o, perBRAMRuns, run, runIdx)
 		if err != nil {
 			return Level{}, err
 		}
@@ -253,9 +264,14 @@ func measureLevel(ctx context.Context, b *board.Board, o Options, v float64) (Le
 	return level, nil
 }
 
-// scanPool reads every BRAM once (one "run") and counts mismatches against
-// the stored content, fanned out over o.Workers readers.
-func scanPool(b *board.Board, o Options, perBRAM [][]int, run int, runIdx uint64) (total int, f10, f01 int64, err error) {
+// scanPool surveys every BRAM once (one "run"), fanned out over o.Workers
+// readers. It rides the count-only read path — the fault overlay is evaluated
+// per site and stored words are consulted only at fault rows — so no 2 KB
+// snapshot is copied and no 1024-row compare runs per BRAM; the full-readout
+// path remains where contents are actually needed (pattern-of-content
+// studies, accel.ReadParameters, link-fidelity frames). When o.Gate is set,
+// each worker holds one budget unit while it scans.
+func scanPool(ctx context.Context, b *board.Board, o Options, perBRAM [][]int, run int, runIdx uint64) (total int, f10, f01 int64, err error) {
 	nSites := b.Pool.Len()
 	workers := o.Workers
 	if workers > nSites {
@@ -274,12 +290,8 @@ func scanPool(b *board.Board, o Options, perBRAM [][]int, run int, runIdx uint64
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reader := b.NewReader()
-			buf := make([]uint16, bram.Rows)
-			var localTotal int
-			var local10, local01 int64
-			for site := range next {
-				if err := reader.ReadInto(buf, site, runIdx); err != nil {
+			if o.Gate != nil {
+				if err := o.Gate.Acquire(ctx, 1); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -287,23 +299,25 @@ func scanPool(b *board.Board, o Options, perBRAM [][]int, run int, runIdx uint64
 					mu.Unlock()
 					return
 				}
-				blk := b.Pool.Block(site)
-				n := 0
-				for row := 0; row < bram.Rows; row++ {
-					stored := blk.ReadRaw(row)
-					got := buf[row]
-					if got == stored {
-						continue
+				defer o.Gate.Release(1)
+			}
+			reader := b.NewReader()
+			var localTotal int
+			var local10, local01 int64
+			for site := range next {
+				n, n10, n01, err := reader.CountInto(site, runIdx)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
 					}
-					dropped := stored &^ got // 1->0
-					raised := got &^ stored  // 0->1
-					d, r := bits.OnesCount16(dropped), bits.OnesCount16(raised)
-					n += d + r
-					local10 += int64(d)
-					local01 += int64(r)
+					mu.Unlock()
+					return
 				}
 				perBRAM[site][run] = n
 				localTotal += n
+				local10 += int64(n10)
+				local01 += int64(n01)
 			}
 			mu.Lock()
 			total += localTotal
@@ -346,7 +360,6 @@ func DiscoverBRAMThresholds(ctx context.Context, b *board.Board, probeRuns int) 
 	cal := b.Platform.Cal
 	th := Thresholds{Vnom: cal.Vnom, Vmin: cal.Vnom, Vcrash: cal.Vnom}
 	b.FillAll(0xFFFF)
-	buf := make([]uint16, bram.Rows)
 	sawFault := false
 	for _, v := range voltage.SweepDown(cal.Vnom, 0.40, voltage.Step) {
 		if err := ctx.Err(); err != nil {
@@ -359,19 +372,16 @@ func DiscoverBRAMThresholds(ctx context.Context, b *board.Board, probeRuns int) 
 			break
 		}
 		th.Vcrash = v
+		// The probe only asks "any faults at this level?", so it rides the
+		// count-only path (bit granularity instead of the old word
+		// granularity — zero iff zero either way).
 		faults := 0
 		for r := 0; r < probeRuns; r++ {
-			run := b.BeginRun()
-			for site := 0; site < b.Pool.Len(); site++ {
-				if err := b.ReadBRAMInto(buf, site, run); err != nil {
-					return th, err
-				}
-				for _, w := range buf {
-					if w != 0xFFFF {
-						faults++
-					}
-				}
+			n, _, _, err := b.CountFaultsInto(nil, b.BeginRun())
+			if err != nil {
+				return th, err
 			}
+			faults += n
 		}
 		if faults == 0 && !sawFault {
 			th.Vmin = v

@@ -30,6 +30,7 @@ import (
 	"repro/internal/fvm"
 	"repro/internal/nn"
 	"repro/internal/platform"
+	"repro/internal/sem"
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/voltage"
@@ -258,6 +259,12 @@ type Options struct {
 	// and Store are then ignored; the shared cache's own capacity and
 	// backing govern.
 	Cache *FVMCache
+	// ReadBudget bounds how many BRAM read workers may *run* concurrently
+	// across the whole fleet: one weighted semaphore is shared by every
+	// board's scan, so total read CPU stays flat as board count grows
+	// (Workers only bounds boards; each board's sweep spins its own
+	// readers). 0 → GOMAXPROCS; negative → unlimited (no gate).
+	ReadBudget int
 }
 
 // Fleet is a pool of simulated boards campaigns run across. Boards are
@@ -269,6 +276,7 @@ type Fleet struct {
 	workers    int
 	cache      *FVMCache
 	placements *PlacementCache
+	readGate   *sem.Gate // fleet-wide read-worker budget (nil: unlimited)
 
 	characterizations atomic.Uint64 // real sweeps executed (cache misses)
 }
@@ -291,11 +299,19 @@ func NewFleet(platforms []platform.Platform, opts Options) *Fleet {
 			cache.SetBacking(opts.Store)
 		}
 	}
+	var gate *sem.Gate
+	switch {
+	case opts.ReadBudget > 0:
+		gate = sem.New(int64(opts.ReadBudget))
+	case opts.ReadBudget == 0:
+		gate = sem.New(int64(runtime.GOMAXPROCS(0)))
+	}
 	return &Fleet{
 		platforms:  append([]platform.Platform(nil), platforms...),
 		workers:    w,
 		cache:      cache,
 		placements: NewPlacementCache(),
+		readGate:   gate,
 	}
 }
 
@@ -317,6 +333,16 @@ func (f *Fleet) PlacementStats() PlacementStats { return f.placements.Stats() }
 // sweeps the fleet has executed since construction.
 func (f *Fleet) Characterizations() uint64 { return f.characterizations.Load() }
 
+// ReadGateStats snapshots the fleet-wide read-worker budget: capacity, units
+// in use, queued waiters, and the peak concurrency ever observed. A fleet
+// built with a negative ReadBudget has no gate and reports the zero Stats.
+func (f *Fleet) ReadGateStats() sem.Stats {
+	if f.readGate == nil {
+		return sem.Stats{}
+	}
+	return f.readGate.Stats()
+}
+
 // RunCampaign executes the campaign across every board with the fleet's
 // bounded worker pool. Per-board failures are recorded in their BoardResult
 // and do not stop the rest of the fleet; cancelling the context stops all
@@ -330,6 +356,12 @@ func (f *Fleet) RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, e
 	// concurrent boards, oversubscribing the machine workers²-fold.
 	if c.Sweep.Workers == 0 && f.workers > 0 {
 		c.Sweep.Workers = max(1, runtime.GOMAXPROCS(0)/f.workers)
+	}
+	// All boards share the fleet's read-worker budget: worker *goroutines*
+	// may exceed it, but only ReadBudget of them scan at any instant, so
+	// fleet CPU stays flat no matter how many boards are in flight.
+	if c.Sweep.Gate == nil {
+		c.Sweep.Gate = f.readGate
 	}
 	pm := newProgressMeter()
 	for _, p := range f.platforms {
@@ -652,6 +684,10 @@ func (f *Fleet) patternBoard(ctx context.Context, c Campaign, p platform.Platfor
 	for i := range pats {
 		if pats[i].OnBoardC == 0 {
 			pats[i].OnBoardC = o.OnBoardC
+		}
+		// Pattern scans ride the same fleet-wide read budget.
+		if pats[i].Gate == nil {
+			pats[i].Gate = o.Gate
 		}
 	}
 	v := c.PatternV

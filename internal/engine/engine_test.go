@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/platform"
+	"repro/internal/sem"
 )
 
 // testFleet mints 8 small boards spanning all four platforms: the reference
@@ -405,5 +407,55 @@ func TestReplicasMintDistinctDies(t *testing.T) {
 	}
 	if a.Final().MedianFaults == b.Final().MedianFaults {
 		t.Fatal("derived-serial replica has the reference die's fault count")
+	}
+}
+
+// TestReadBudgetBoundsFleetConcurrency proves the global read-worker budget
+// holds: with 4 boards in flight each asking for 4 readers, a budget of 2
+// never lets more than 2 read workers run at once, and the campaign still
+// completes with results identical to an unbudgeted fleet.
+func TestReadBudgetBoundsFleetConcurrency(t *testing.T) {
+	budgeted := testFleet(t, Options{Workers: 4, ReadBudget: 2})
+	sweep := characterize.Options{Runs: 4, Workers: 4}
+	res, err := budgeted.RunCampaign(context.Background(), Campaign{Kind: Characterization, Sweep: sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.Completed != 8 || res.Agg.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 8/0", res.Agg.Completed, res.Agg.Failed)
+	}
+	st := budgeted.ReadGateStats()
+	if st.Capacity != 2 {
+		t.Fatalf("gate capacity = %d, want 2", st.Capacity)
+	}
+	if st.Peak < 1 || st.Peak > 2 {
+		t.Fatalf("peak read workers = %d, want within (0, 2]", st.Peak)
+	}
+	if st.InUse != 0 || st.Waiting != 0 {
+		t.Fatalf("gate not drained after campaign: %+v", st)
+	}
+
+	// The budget is scheduling only: measured results must be identical.
+	free := testFleet(t, Options{Workers: 4, ReadBudget: -1})
+	if got := free.ReadGateStats(); got != (sem.Stats{}) {
+		t.Fatalf("unlimited fleet reports gate stats %+v", got)
+	}
+	res2, err := free.RunCampaign(context.Background(), Campaign{Kind: Characterization, Sweep: sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Boards {
+		a, b := res.Boards[i].Sweep, res2.Boards[i].Sweep
+		if a.Final().MedianFaults != b.Final().MedianFaults || len(a.Levels) != len(b.Levels) {
+			t.Fatalf("board %d: budgeted and unbudgeted sweeps differ", i)
+		}
+	}
+}
+
+// TestReadBudgetDefaultsToGOMAXPROCS pins the 0 → GOMAXPROCS default.
+func TestReadBudgetDefaultsToGOMAXPROCS(t *testing.T) {
+	f := testFleet(t, Options{Workers: 2})
+	if st := f.ReadGateStats(); st.Capacity != int64(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("default gate capacity = %d, want GOMAXPROCS %d", st.Capacity, runtime.GOMAXPROCS(0))
 	}
 }

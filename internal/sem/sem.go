@@ -1,0 +1,156 @@
+// Package sem provides a small context-aware weighted semaphore, the
+// fleet-wide read-worker budget of the campaign engine: every BRAM read
+// worker holds units while it scans, so total read CPU stays flat no matter
+// how many boards a fleet runs concurrently.
+//
+// Waiters are served strictly FIFO — a large acquisition at the head of the
+// queue blocks later small ones, so wide requests cannot starve. Only the
+// standard library is used; the algorithm follows the well-known
+// semaphore-with-waiter-list design.
+package sem
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Gate is a weighted semaphore. The zero value is unusable; construct with
+// New. All methods are safe for concurrent use.
+type Gate struct {
+	capacity int64
+
+	mu      sync.Mutex
+	cur     int64
+	peak    int64
+	waiters list.List // of waiter
+}
+
+type waiter struct {
+	n     int64
+	ready chan struct{} // closed when the units are granted
+}
+
+// Stats is a snapshot of a Gate's occupancy counters.
+type Stats struct {
+	Capacity int64 // total units
+	InUse    int64 // units currently held
+	Waiting  int   // acquisitions queued
+	Peak     int64 // highest InUse ever observed
+}
+
+// New returns a gate with the given capacity; capacities below 1 are clamped
+// to 1 so a misconfigured budget degrades to serial, not to deadlock.
+func New(capacity int64) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Gate{capacity: capacity}
+}
+
+// Acquire blocks until n units are available (or the context is done) and
+// takes them. n below 1 is treated as 1; n above the capacity fails
+// immediately, since it could never be granted.
+func (g *Gate) Acquire(ctx context.Context, n int64) error {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	if n > g.capacity {
+		g.mu.Unlock()
+		return fmt.Errorf("sem: acquire %d exceeds capacity %d", n, g.capacity)
+	}
+	if g.cur+n <= g.capacity && g.waiters.Len() == 0 {
+		g.grantLocked(n)
+		g.mu.Unlock()
+		return nil
+	}
+	w := waiter{n: n, ready: make(chan struct{})}
+	elem := g.waiters.PushBack(w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted in the race window between cancellation and the lock:
+			// hand the units straight back before reporting the cancellation.
+			g.releaseLocked(n)
+		default:
+			g.waiters.Remove(elem)
+			// Removing a wide waiter from the head can unblock the queue.
+			g.notifyLocked()
+		}
+		g.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes n units without blocking and reports whether it did.
+// Queued waiters keep priority: TryAcquire fails while anyone waits.
+func (g *Gate) TryAcquire(n int64) bool {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cur+n > g.capacity || g.waiters.Len() > 0 {
+		return false
+	}
+	g.grantLocked(n)
+	return true
+}
+
+// Release returns n units and wakes any waiters the freed capacity now fits.
+// Releasing more than is held panics: that is always a bug at the call site.
+func (g *Gate) Release(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.releaseLocked(n)
+}
+
+// Stats snapshots the occupancy counters.
+func (g *Gate) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{Capacity: g.capacity, InUse: g.cur, Waiting: g.waiters.Len(), Peak: g.peak}
+}
+
+func (g *Gate) grantLocked(n int64) {
+	g.cur += n
+	if g.cur > g.peak {
+		g.peak = g.cur
+	}
+}
+
+func (g *Gate) releaseLocked(n int64) {
+	g.cur -= n
+	if g.cur < 0 {
+		panic("sem: released more capacity than held")
+	}
+	g.notifyLocked()
+}
+
+// notifyLocked grants queued waiters in FIFO order while capacity allows.
+func (g *Gate) notifyLocked() {
+	for {
+		front := g.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(waiter)
+		if g.cur+w.n > g.capacity {
+			return // FIFO: later, smaller waiters must not overtake
+		}
+		g.waiters.Remove(front)
+		g.grantLocked(w.n)
+		close(w.ready)
+	}
+}

@@ -1,0 +1,134 @@
+package sem
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	g := New(2)
+	ctx := context.Background()
+	if err := g.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.TryAcquire(1) {
+		t.Fatal("TryAcquire succeeded at capacity")
+	}
+	g.Release(1)
+	if !g.TryAcquire(1) {
+		t.Fatal("TryAcquire failed with free capacity")
+	}
+	g.Release(2)
+	if s := g.Stats(); s.InUse != 0 || s.Peak != 2 || s.Capacity != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPeakNeverExceedsCapacity(t *testing.T) {
+	const cap = 3
+	g := New(cap)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background(), 1); err != nil {
+				t.Error(err)
+				return
+			}
+			n := inUse.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			inUse.Add(-1)
+			g.Release(1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Fatalf("observed %d concurrent holders, capacity %d", p, cap)
+	}
+	if s := g.Stats(); s.InUse != 0 || s.Peak > cap {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAcquireRespectsContext(t *testing.T) {
+	g := New(1)
+	if err := g.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx, 1) }()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled Acquire returned %v", err)
+	}
+	// The cancelled waiter must not leave the gate wedged.
+	g.Release(1)
+	if err := g.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedFIFO(t *testing.T) {
+	g := New(2)
+	ctx := context.Background()
+	if err := g.Acquire(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	wideReady := make(chan struct{})
+	go func() {
+		if err := g.Acquire(ctx, 2); err == nil {
+			close(wideReady)
+		}
+	}()
+	// Give the wide waiter time to queue, then verify a narrow TryAcquire
+	// cannot overtake it.
+	time.Sleep(10 * time.Millisecond)
+	if g.TryAcquire(1) {
+		t.Fatal("narrow TryAcquire overtook a queued wide waiter")
+	}
+	g.Release(2)
+	select {
+	case <-wideReady:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wide waiter never granted")
+	}
+	g.Release(2)
+}
+
+func TestAcquireOverCapacityFails(t *testing.T) {
+	g := New(2)
+	if err := g.Acquire(context.Background(), 3); err == nil {
+		t.Fatal("acquire beyond capacity succeeded")
+	}
+}
+
+func TestClampedConstruction(t *testing.T) {
+	g := New(0)
+	if s := g.Stats(); s.Capacity != 1 {
+		t.Fatalf("capacity = %d, want clamp to 1", s.Capacity)
+	}
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on over-release")
+		}
+	}()
+	New(1).Release(1)
+}

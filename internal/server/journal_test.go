@@ -353,11 +353,13 @@ func TestSSEKeepaliveWhileQueued(t *testing.T) {
 		Workers: 1, SSEKeepAlive: 20 * time.Millisecond,
 	})
 	ctx := context.Background()
-	// Occupy the single worker...
+	// Occupy the single worker. Sized to stay busy for seconds even on the
+	// indexed count-only read path (it is cancelled at the end of the test,
+	// so the size costs nothing).
 	blocker, err := client.Submit(ctx, server.CampaignRequest{
 		Kind:   "characterization",
-		Boards: []server.BoardSpec{{Platform: "VC707", Replicas: 2, BRAMs: 300}},
-		Runs:   200,
+		Boards: []server.BoardSpec{{Platform: "VC707", Replicas: 2, BRAMs: 2060}},
+		Runs:   10000,
 	})
 	if err != nil {
 		t.Fatal(err)

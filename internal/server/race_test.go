@@ -31,10 +31,12 @@ func TestConcurrentStreamsCancelAndShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Sized to still be running when the cancel lands, even on the indexed
+	// count-only read path.
 	big, err := client.Submit(ctx, server.CampaignRequest{
 		Kind:   "characterization",
-		Boards: []server.BoardSpec{{Platform: "KC705-A", Replicas: 4, BRAMs: 400}},
-		Runs:   300,
+		Boards: []server.BoardSpec{{Platform: "KC705-A", Replicas: 4, BRAMs: 890}},
+		Runs:   10000,
 	})
 	if err != nil {
 		t.Fatal(err)

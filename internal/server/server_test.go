@@ -488,10 +488,12 @@ func TestSSEMalformedResumeCursor(t *testing.T) {
 func TestQueueFullLeavesNoPhantomJob(t *testing.T) {
 	_, client := newService(t, store.NewMem(), server.Config{Workers: 1, QueueDepth: 1})
 	ctx := context.Background()
+	// Sized to hold the worker busy for seconds even on the indexed
+	// count-only read path; cancelled at the end of the test.
 	long := server.CampaignRequest{
 		Kind:   "characterization",
-		Boards: []server.BoardSpec{{Platform: "VC707", Replicas: 2, BRAMs: 300}},
-		Runs:   200,
+		Boards: []server.BoardSpec{{Platform: "VC707", Replicas: 2, BRAMs: 2060}},
+		Runs:   10000,
 	}
 	running, err := client.Submit(ctx, long)
 	if err != nil {
@@ -517,10 +519,12 @@ func TestQueueFullLeavesNoPhantomJob(t *testing.T) {
 func TestQueueFull(t *testing.T) {
 	_, client := newService(t, store.NewMem(), server.Config{Workers: 1, QueueDepth: 1})
 	ctx := context.Background()
+	// Sized to hold the worker busy for seconds even on the indexed
+	// count-only read path; cancelled at the end of the test.
 	long := server.CampaignRequest{
 		Kind:   "characterization",
-		Boards: []server.BoardSpec{{Platform: "VC707", Replicas: 2, BRAMs: 300}},
-		Runs:   200,
+		Boards: []server.BoardSpec{{Platform: "VC707", Replicas: 2, BRAMs: 2060}},
+		Runs:   10000,
 	}
 	running, err := client.Submit(ctx, long)
 	if err != nil {

@@ -1,0 +1,183 @@
+package silicon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// diffGrid is the condition grid the differential tests sweep: it straddles
+// the crash boundary, the whole critical window, the SAFE region, and a
+// stretch above Vmin where only scaled jitter can reach, at the Fig. 8
+// temperature range and several jitter scales and run indices.
+func diffGrid(cal Calibration) (volts, temps, scales []float64, runs []uint64) {
+	for v := cal.Vcrash - 0.02; v <= cal.Vmin+0.025; v += 0.01 {
+		volts = append(volts, v)
+	}
+	temps = []float64{40, 50, 65, 80}
+	scales = []float64{0, 1, 10, 40} // 0 exercises the defaulting-to-1 path
+	runs = []uint64{0, 1, 7, 9999}
+	return
+}
+
+// TestDifferentialActiveFaults proves the indexed evaluator returns exactly
+// the fault set of the retained naive reference at every grid point of
+// (voltage, temperature, jitter scale, run index), on several serials — the
+// acceptance property of the voltage-indexed read path.
+func TestDifferentialActiveFaults(t *testing.T) {
+	cal := testCal()
+	for _, serial := range []string{"TEST-0001", "TEST-0002", "TEST-4242"} {
+		d := NewDie(cal, serial, grid(8, 12))
+		volts, temps, scales, runs := diffGrid(cal)
+		for _, v := range volts {
+			for _, tempC := range temps {
+				for _, js := range scales {
+					for _, run := range runs {
+						cond := Conditions{V: v, TempC: tempC, Run: run, JitterScale: js}
+						for s := 0; s < d.NumSites(); s++ {
+							idx := d.ActiveFaults(nil, s, cond)
+							ref := d.ActiveFaultsNaive(nil, s, cond)
+							if !sameFaultSet(idx, ref) {
+								t.Fatalf("serial %s site %d cond %+v: indexed %d faults, naive %d — sets differ",
+									serial, s, cond, len(idx), len(ref))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickDifferentialActiveFaults fuzzes the same property over arbitrary
+// conditions, including voltages far outside the physical window.
+func TestQuickDifferentialActiveFaults(t *testing.T) {
+	d := testDie()
+	f := func(siteRaw uint16, vRaw, tRaw, jRaw float64, run uint64) bool {
+		site := int(siteRaw) % d.NumSites()
+		cond := Conditions{
+			V:           0.3 + math.Mod(math.Abs(vRaw), 0.8),
+			TempC:       20 + math.Mod(math.Abs(tRaw), 80),
+			JitterScale: math.Mod(math.Abs(jRaw), 60),
+			Run:         run,
+		}
+		return sameFaultSet(d.ActiveFaults(nil, site, cond), d.ActiveFaultsNaive(nil, site, cond))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialExpectedFaultsAt pins the banded ExpectedFaultsAt to the
+// full-scan reference across the voltage/temperature grid.
+func TestDifferentialExpectedFaultsAt(t *testing.T) {
+	cal := testCal()
+	for _, serial := range []string{"TEST-0001", "TEST-0002"} {
+		d := NewDie(cal, serial, grid(8, 12))
+		volts, temps, _, _ := diffGrid(cal)
+		for _, v := range volts {
+			for _, tempC := range temps {
+				if got, want := d.ExpectedFaultsAt(v, tempC), d.expectedFaultsAtNaive(v, tempC); got != want {
+					t.Fatalf("serial %s ExpectedFaultsAt(%v, %v) = %d, naive %d", serial, v, tempC, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialVminAt pins the early-exit VminAt to the full-scan
+// reference, bit for bit.
+func TestDifferentialVminAt(t *testing.T) {
+	cal := testCal()
+	for _, serial := range []string{"TEST-0001", "TEST-0002"} {
+		d := NewDie(cal, serial, grid(8, 12))
+		for _, tempC := range []float64{20, 40, 50, 65, 80, 95} {
+			if got, want := d.VminAt(tempC), d.vminAtNaive(tempC); got != want {
+				t.Fatalf("serial %s VminAt(%v) = %v, naive %v", serial, tempC, got, want)
+			}
+		}
+	}
+}
+
+// TestWeakCellsSortedByVc asserts the storage invariant the binary searches
+// rely on.
+func TestWeakCellsSortedByVc(t *testing.T) {
+	d := testDie()
+	for s := 0; s < d.NumSites(); s++ {
+		cs := d.WeakCells(s)
+		for i := 1; i < len(cs); i++ {
+			if cs[i].Vc > cs[i-1].Vc {
+				t.Fatalf("site %d cells not sorted by descending Vc at %d: %v > %v",
+					s, i, cs[i].Vc, cs[i-1].Vc)
+			}
+		}
+	}
+}
+
+// TestGrowWeakCellsDegenerateWindowTerminates covers the former unbounded
+// rejection loop: when Vmin - margin <= Vcrash there is no room for the
+// truncated exponential, and construction must still terminate (with every
+// cell pinned at Vcrash).
+func TestGrowWeakCellsDegenerateWindowTerminates(t *testing.T) {
+	cal := testCal()
+	cal.Vmin = cal.Vcrash + 1e-4 // margin (>= 2 mV) swallows the whole window
+	d := NewDie(cal, "TEST-DEGEN", grid(4, 4))
+	for s := 0; s < d.NumSites(); s++ {
+		for _, c := range d.WeakCells(s) {
+			if c.Vc != cal.Vcrash {
+				t.Fatalf("degenerate window produced Vc %v, want Vcrash %v", c.Vc, cal.Vcrash)
+			}
+		}
+	}
+	// Large jitter scales widen the margin the same way; a huge JitterSigma
+	// must not hang construction either.
+	cal = testCal()
+	cal.JitterSigma = 1.0
+	_ = NewDie(cal, "TEST-JITTER", grid(2, 2))
+}
+
+// TestTruncatedExponentialShape checks the inverse-CDF sampler still produces
+// the calibrated exponential profile: cells bounded inside the window and an
+// exponentially decaying count-vs-voltage curve (the Fig. 3 mechanism).
+func TestTruncatedExponentialShape(t *testing.T) {
+	d := testDie()
+	cal := testCal()
+	below := 0
+	total := 0
+	for s := 0; s < d.NumSites(); s++ {
+		for _, c := range d.WeakCells(s) {
+			total++
+			if c.Vc < cal.Vcrash || c.Vc >= cal.Vmin {
+				t.Fatalf("Vc %v escaped [Vcrash, Vmin)", c.Vc)
+			}
+			if c.Vc < cal.Vcrash+(cal.Vmin-cal.Vcrash)/4 {
+				below++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no weak cells")
+	}
+	// The exponential packs most of the mass into the bottom quarter of the
+	// window (1 - e^{-k·span/4} with k·span = ln(totalCells) ≈ 8 gives ~86%).
+	if frac := float64(below) / float64(total); frac < 0.6 {
+		t.Fatalf("only %.0f%% of cells in the bottom quarter of the window; distribution not exponential", frac*100)
+	}
+}
+
+func sameFaultSet(a, b []Fault) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[Fault]int, len(a))
+	for _, f := range a {
+		m[f]++
+	}
+	for _, f := range b {
+		m[f]--
+		if m[f] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+// Voltage-indexed fault evaluation.
+//
+// The naive read-path evaluator (ActiveFaultsNaive) re-scans every weak cell
+// of a site on every read, so a full-chip read pass costs O(weak cells) even
+// in the SAFE region where nothing can fault — and the fleet engine multiplies
+// that by boards × temperatures × runs × voltage steps. This file makes the
+// read path O(marginal band) instead.
+//
+// The key observation: at fixed conditions (V, T, jitter sigma) a cell's
+// decision is a pure threshold test on its effective critical voltage
+// vcAt = Vc - TempCoeff·(T - TempRef). With cells sorted by descending Vc and
+// the per-site ITD slopes bounded (TempCoeff is drawn from
+// [0.8, 1.2]·cal.TempCoeff; the index stores each site's actual min/max), two
+// binary searches split the site into three ranges:
+//
+//   - a definitely-faulty prefix (vcAt - v > 6σ for every possible slope),
+//     appended via one bulk copy from a precomputed []Fault,
+//   - a definitely-safe suffix (vcAt - v < -6σ), skipped entirely,
+//   - a marginal band in between, the only cells paying the exact per-cell
+//     evaluation (and the jitter draw).
+//
+// The band thresholds are padded by bandEps so any cell a few floating-point
+// ulps from a boundary falls *into* the band and takes the exact naive
+// decision; the prefix/suffix classification is conservative by construction
+// (monotonicity of multiplication and subtraction under rounding). The result
+// is therefore bit-identical to the naive evaluator — enforced by the
+// differential tests in diff_test.go.
+//
+// At SAFE-region and near-Vmin voltage steps (most of every sweep) the band
+// is empty and a site evaluation is two binary searches that immediately
+// return; at Vcrash the prefix covers nearly every cell and the evaluation is
+// one bulk copy. The jitter band itself is exact, not an approximation:
+// normFromBits is an Irwin–Hall sum of four uniforms, bounded at ±3.47σ, so
+// no draw can escape the ±6σ band.
+package silicon
+
+import (
+	"sort"
+
+	"repro/internal/prng"
+)
+
+// bandEps pads the marginal band's voltage boundaries. It needs only to
+// exceed the few-ulp rounding error of the threshold arithmetic (volts are
+// O(1), so ulps are O(1e-16)); 1e-9 V is far below any physical scale in the
+// model and merely drags a handful of extra cells into the exact evaluation.
+const bandEps = 1e-9
+
+// siteIndex is the per-site acceleration structure, built once at die
+// construction and immutable afterwards.
+type siteIndex struct {
+	// faults[i] is the Fault record cell i (in descending-Vc order) produces
+	// when active, so the definitely-faulty prefix is appended with one copy.
+	faults []Fault
+	// tcMin/tcMax bound the site's per-cell ITD slopes, making the effective
+	// critical voltage of every cell boundable at any temperature.
+	tcMin, tcMax float64
+}
+
+// buildIndex precomputes each site's fault records and ITD slope bounds.
+// cells must already be sorted by descending Vc (growWeakCells' order).
+func (d *Die) buildIndex() {
+	d.index = make([]siteIndex, len(d.cells))
+	for s, cs := range d.cells {
+		if len(cs) == 0 {
+			continue
+		}
+		si := &d.index[s]
+		si.faults = make([]Fault, len(cs))
+		si.tcMin, si.tcMax = cs[0].TempCoeff, cs[0].TempCoeff
+		for i, c := range cs {
+			si.faults[i] = Fault{Site: s, Row: c.Row, Col: c.Col, Flip01: c.Flip01}
+			si.tcMin = min(si.tcMin, c.TempCoeff)
+			si.tcMax = max(si.tcMax, c.TempCoeff)
+		}
+	}
+}
+
+// shiftBounds returns the smallest and largest possible ITD shift
+// TempCoeff·delta across the site's cells, for delta = tempC - TempRef of
+// either sign. Multiplication is monotone under rounding, so every cell's
+// actual shift lies within the returned bounds in float64 arithmetic too.
+func (si *siteIndex) shiftBounds(delta float64) (lo, hi float64) {
+	a, b := si.tcMin*delta, si.tcMax*delta
+	if a > b {
+		a, b = b, a
+	}
+	return a, b
+}
+
+// band returns [lo, hi) such that, for cells sorted by descending Vc,
+// cells[:lo] satisfy vcAt > vHi - shift for every admissible slope (the
+// definitely-above range) and cells[hi:] satisfy vcAt < vLo - shift (the
+// definitely-below range). vLo/vHi are the already-shifted, already-padded
+// stored-Vc thresholds.
+func band(cells []WeakCell, vLo, vHi float64) (lo, hi int) {
+	lo = sort.Search(len(cells), func(i int) bool { return cells[i].Vc <= vHi })
+	hi = sort.Search(len(cells), func(i int) bool { return cells[i].Vc < vLo })
+	return lo, hi
+}
+
+// Eval is a resolved per-pass read environment: the run's common-mode rail
+// ripple and the jitter sigma are drawn once per pass and shared across every
+// site, instead of being re-derived on each site evaluation. Evals are values
+// and safe for concurrent use.
+type Eval struct {
+	d     *Die
+	v     float64 // rail voltage plus this run's common-mode ripple
+	sigma float64 // jitter band width (JitterSigma · scale)
+	tempC float64
+	run   uint64
+}
+
+// Evaluator resolves the conditions of one read pass.
+func (d *Die) Evaluator(cond Conditions) Eval {
+	scale := cond.JitterScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return Eval{
+		d:     d,
+		v:     cond.V + d.RippleAt(cond.Run, scale),
+		sigma: d.Cal.JitterSigma * scale,
+		tempC: cond.TempC,
+		run:   cond.Run,
+	}
+}
+
+// bandFor computes the site's marginal band [lo, hi) under this evaluation.
+func (e Eval) bandFor(site int) (lo, hi int, cs []WeakCell, si *siteIndex) {
+	cs = e.d.cells[site]
+	if len(cs) == 0 {
+		return 0, 0, nil, nil
+	}
+	si = &e.d.index[site]
+	shiftLo, shiftHi := si.shiftBounds(e.tempC - e.d.Cal.TempRef)
+	// Stored-Vc thresholds: a cell with Vc above vHi faults at every
+	// admissible slope and jitter draw; one below vLo can never fault.
+	vHi := e.v + 6*e.sigma + shiftHi + bandEps
+	vLo := e.v - 6*e.sigma + shiftLo - bandEps
+	lo, hi = band(cs, vLo, vHi)
+	return lo, hi, cs, si
+}
+
+// appendMarginal evaluates the band cells exactly — the same per-cell
+// decision the naive evaluator takes — appending the active ones to dst.
+func (e Eval) appendMarginal(dst []Fault, cs []WeakCell, si *siteIndex, lo, hi int) []Fault {
+	for i := lo; i < hi; i++ {
+		c := &cs[i]
+		vc := c.VcAt(e.tempC, e.d.Cal.TempRef)
+		gap := vc - e.v // fault when positive (V below effective Vc)
+		if gap > 6*e.sigma {
+			dst = append(dst, si.faults[i])
+			continue
+		}
+		if gap < -6*e.sigma {
+			continue
+		}
+		// Marginal cell: jittered decision, deterministic per (cell, run).
+		u := prng.Mix64(c.jitterSeed ^ (e.run * 0x9e3779b97f4a7c15))
+		jitter := normFromBits(u) * e.sigma
+		if e.v < vc+jitter {
+			dst = append(dst, si.faults[i])
+		}
+	}
+	return dst
+}
+
+// AppendActive appends every active fault of the site: the definitely-faulty
+// prefix via one bulk copy from the precomputed fault records, then the
+// active marginal-band cells.
+func (e Eval) AppendActive(dst []Fault, site int) []Fault {
+	lo, hi, cs, si := e.bandFor(site)
+	if cs == nil {
+		return dst
+	}
+	dst = append(dst, si.faults[:lo]...)
+	return e.appendMarginal(dst, cs, si, lo, hi)
+}
+
+// ActiveBand appends only the active *marginal-band* faults of the site to
+// dst and returns the extended slice plus the number of definitely-active
+// faults preceding them — the length of the prefix of WeakCells(site) (the
+// descending-Vc order) that faults at every admissible jitter draw.
+// Count-only read paths use it to resolve the definite prefix from
+// precomputed per-site sums without materializing (or even touching) those
+// fault records.
+func (e Eval) ActiveBand(dst []Fault, site int) (band []Fault, definite int) {
+	lo, hi, cs, si := e.bandFor(site)
+	if cs == nil {
+		return dst, 0
+	}
+	return e.appendMarginal(dst, cs, si, lo, hi), lo
+}
+
+// ActiveFaults appends to dst the faults a read of the whole site would
+// observe under the given conditions, and returns the extended slice. The
+// result is deterministic in (die, site, conditions) and bit-identical to
+// ActiveFaultsNaive (as a set; faults are appended in descending-Vc order).
+// Callers evaluating many sites under one set of conditions should hoist the
+// Evaluator and use AppendActive directly.
+func (d *Die) ActiveFaults(dst []Fault, site int, cond Conditions) []Fault {
+	return d.Evaluator(cond).AppendActive(dst, site)
+}
+
+// ExpectedFaultsAt returns the deterministic (jitter-free) chip-level fault
+// count at the given voltage and temperature — the model's median behavior.
+// Identical to the naive full scan, at O(marginal band) per site.
+func (d *Die) ExpectedFaultsAt(v, tempC float64) int {
+	delta := tempC - d.Cal.TempRef
+	n := 0
+	for s, cs := range d.cells {
+		if len(cs) == 0 {
+			continue
+		}
+		shiftLo, shiftHi := d.index[s].shiftBounds(delta)
+		lo, hi := band(cs, v+shiftLo-bandEps, v+shiftHi+bandEps)
+		n += lo // definitely above v at every admissible slope
+		for i := lo; i < hi; i++ {
+			if v < cs[i].VcAt(tempC, d.Cal.TempRef) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// VminAt returns the die's effective minimum safe voltage at the given
+// temperature: the highest critical voltage of any weak cell. The paper's
+// ITD finding implies Vmin falls as temperature rises ("lower Vmin at higher
+// temperatures"); this exposes that derived quantity directly. Cells are
+// visited in descending-Vc order with an upper-bound early exit, so only the
+// top few cells of each site are touched.
+func (d *Die) VminAt(tempC float64) float64 {
+	delta := tempC - d.Cal.TempRef
+	maxVc := 0.0
+	for s, cs := range d.cells {
+		if len(cs) == 0 {
+			continue
+		}
+		shiftLo, _ := d.index[s].shiftBounds(delta)
+		for i := range cs {
+			// Vc - shiftLo bounds every remaining vcAt from above.
+			if cs[i].Vc-shiftLo <= maxVc {
+				break
+			}
+			if vc := cs[i].VcAt(tempC, d.Cal.TempRef); vc > maxVc {
+				maxVc = vc
+			}
+		}
+	}
+	return maxVc
+}

@@ -28,8 +28,9 @@
 package silicon
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/prng"
 )
@@ -44,6 +45,17 @@ const (
 
 // BitsPerMbit is the divisor used when the paper reports "faults per 1 Mbit".
 const BitsPerMbit = 1 << 20
+
+// ModelVersion identifies the weak-cell population model. It participates in
+// every FVM cache and store key (via characterize's option fingerprint), so
+// measurements persisted under an older model are re-measured instead of
+// being silently served as current.
+//
+// History: 1 — rejection-sampled exponential critical voltages;
+// 2 — inverse-CDF truncated exponential with Vc-sorted storage (the
+// voltage-indexed evaluator), which draws different (identically
+// distributed) populations for every serial.
+const ModelVersion = 2
 
 // Site is the physical location of one BRAM on the die floorplan.
 type Site struct {
@@ -177,7 +189,8 @@ type Die struct {
 	DieFactor float64 // 1.0 for the reference serial
 	Sites     []Site
 
-	cells     [][]WeakCell // indexed by site
+	cells     [][]WeakCell // indexed by site, sorted by descending Vc
+	index     []siteIndex  // per-site evaluation index aligned with cells
 	intensity []float64    // expected faults per site at Vcrash/TempRef
 	total     float64      // sum of intensity
 	rippleKey uint64       // per-die base for run-indexed rail ripple
@@ -218,6 +231,7 @@ func NewDie(cal Calibration, serial string, sites []Site) *Die {
 		src := root.DeriveN(uint64(site.X), uint64(site.Y))
 		d.cells[i] = growWeakCells(src, cal, lambda, k, margin)
 	}
+	d.buildIndex()
 	d.total = 0
 	for _, v := range d.intensity {
 		d.total += v
@@ -275,7 +289,7 @@ func (d *Die) buildVulnerabilityField(root *prng.Source) []float64 {
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.Slice(idx, func(a, b int) bool { return field[idx[a]] < field[idx[b]] })
+		slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(field[a], field[b]) })
 		for _, i := range idx[:zeroN] {
 			field[i] = 0
 		}
@@ -283,26 +297,43 @@ func (d *Die) buildVulnerabilityField(root *prng.Source) []float64 {
 	return field
 }
 
-// growWeakCells samples one BRAM's weak-cell population.
+// growWeakCells samples one BRAM's weak-cell population. The returned slice
+// is sorted by descending critical voltage — the order the indexed read-path
+// evaluator binary-searches (see index.go).
 func growWeakCells(src *prng.Source, cal Calibration, lambda, k, margin float64) []WeakCell {
 	n := src.Poisson(lambda)
 	if n == 0 {
 		return nil
 	}
+	if n > BRAMBits {
+		n = BRAMBits // a block cannot hold more weak mechanisms than bitcells
+	}
 	cells := make([]WeakCell, 0, n)
-	occupied := make(map[uint32]bool, n)
-	vmax := cal.Vmin - margin
+	// One weak mechanism per bitcell; a 16 Kbit occupancy bitset replaces the
+	// old map, which dominated die-construction allocations.
+	var occupied [BRAMBits / 64]uint64
+	// Critical voltages follow the truncated exponential the rate profile
+	// implies: vc = Vcrash + X with X ~ Exp(k) conditioned on X <= span,
+	// which keeps every cell at least `margin` below Vmin so neither jitter
+	// nor ripple can surface a fault in the SAFE region. Inverse-CDF sampling
+	// draws exactly one uniform per cell; the old rejection loop spun forever
+	// when span <= 0 (extreme calibrations or large jitter scales).
+	span := cal.Vmin - margin - cal.Vcrash
+	var truncMass float64
+	if span > 0 {
+		truncMass = -math.Expm1(-k * span) // P[X <= span] under Exp(k)
+	}
 	for len(cells) < n {
 		row := uint16(src.Intn(BRAMRows))
 		col := uint8(src.Intn(BRAMCols))
-		key := uint32(row)<<8 | uint32(col)
-		if occupied[key] {
-			continue // one weak mechanism per bitcell
+		bit := uint32(row)<<4 | uint32(col)
+		if occupied[bit>>6]&(1<<(bit&63)) != 0 {
+			continue
 		}
-		occupied[key] = true
-		vc := cal.Vcrash + src.Exp(k)
-		for vc > vmax {
-			vc = cal.Vcrash + src.Exp(k)
+		occupied[bit>>6] |= 1 << (bit & 63)
+		vc := cal.Vcrash
+		if span > 0 {
+			vc -= math.Log1p(-truncMass*src.Float64()) / k
 		}
 		cells = append(cells, WeakCell{
 			Row:        row,
@@ -313,11 +344,14 @@ func growWeakCells(src *prng.Source, cal Calibration, lambda, k, margin float64)
 			jitterSeed: src.Uint64(),
 		})
 	}
-	sort.Slice(cells, func(a, b int) bool {
-		if cells[a].Row != cells[b].Row {
-			return cells[a].Row < cells[b].Row
+	slices.SortFunc(cells, func(a, b WeakCell) int {
+		if c := cmp.Compare(b.Vc, a.Vc); c != 0 {
+			return c
 		}
-		return cells[a].Col < cells[b].Col
+		if c := cmp.Compare(a.Row, b.Row); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Col, b.Col)
 	})
 	return cells
 }
@@ -325,8 +359,8 @@ func growWeakCells(src *prng.Source, cal Calibration, lambda, k, margin float64)
 // NumSites returns the number of BRAM sites on the die.
 func (d *Die) NumSites() int { return len(d.Sites) }
 
-// WeakCells returns the weak-cell population of a site (shared slice; do not
-// modify).
+// WeakCells returns the weak-cell population of a site, sorted by descending
+// critical voltage (shared slice; do not modify).
 func (d *Die) WeakCells(site int) []WeakCell { return d.cells[site] }
 
 // Intensity returns the expected fault count of a site at Vcrash/TempRef.
@@ -354,10 +388,12 @@ func (d *Die) RippleAt(run uint64, scale float64) float64 {
 	return normFromBits(u) * d.Cal.RippleSigma * scale
 }
 
-// ActiveFaults appends to dst the faults a read of the whole site would
-// observe under the given conditions, and returns the extended slice. The
-// result is deterministic in (die, site, conditions).
-func (d *Die) ActiveFaults(dst []Fault, site int, cond Conditions) []Fault {
+// ActiveFaultsNaive is the reference fault evaluator: a full linear scan of
+// the site's weak cells, each taking the exact per-cell decision. It is
+// retained verbatim so the indexed evaluator (ActiveFaults, see index.go) can
+// be differentially tested against it; production read paths use the indexed
+// one.
+func (d *Die) ActiveFaultsNaive(dst []Fault, site int, cond Conditions) []Fault {
 	scale := cond.JitterScale
 	if scale <= 0 {
 		scale = 1
@@ -384,9 +420,8 @@ func (d *Die) ActiveFaults(dst []Fault, site int, cond Conditions) []Fault {
 	return dst
 }
 
-// ExpectedFaultsAt returns the deterministic (jitter-free) chip-level fault
-// count at the given voltage and temperature — the model's median behavior.
-func (d *Die) ExpectedFaultsAt(v, tempC float64) int {
+// expectedFaultsAtNaive is the full-scan reference for ExpectedFaultsAt.
+func (d *Die) expectedFaultsAtNaive(v, tempC float64) int {
 	n := 0
 	for _, cs := range d.cells {
 		for _, c := range cs {
@@ -398,11 +433,8 @@ func (d *Die) ExpectedFaultsAt(v, tempC float64) int {
 	return n
 }
 
-// VminAt returns the die's effective minimum safe voltage at the given
-// temperature: the highest critical voltage of any weak cell. The paper's
-// ITD finding implies Vmin falls as temperature rises ("lower Vmin at higher
-// temperatures"); this exposes that derived quantity directly.
-func (d *Die) VminAt(tempC float64) float64 {
+// vminAtNaive is the full-scan reference for VminAt.
+func (d *Die) vminAtNaive(tempC float64) float64 {
 	maxVc := 0.0
 	for _, cs := range d.cells {
 		for _, c := range cs {
