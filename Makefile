@@ -2,8 +2,14 @@ GO ?= go
 LABEL ?= local
 BENCH ?= .
 BENCHTIME ?= 1x
+# The committed baseline bench-compare diffs against, and the selector and
+# benchtime it was recorded with — keep all three in step when refreshing it.
+BASELINE ?= BENCH_pr4.json
+BASELINE_BENCH ?= FullPool|Fig03FaultPowerSweep|DieConstruction
+BASELINE_BENCHTIME ?= 2s
+THRESHOLD ?= 50
 
-.PHONY: build test race bench bench-smoke bench-json
+.PHONY: build test race bench bench-smoke bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -27,3 +33,11 @@ bench-smoke:
 # tracked PR over PR (see README "Performance").
 bench-json:
 	$(GO) run ./cmd/benchjson -label $(LABEL) -bench '$(BENCH)' -benchtime $(BENCHTIME)
+
+# Re-run the committed baseline's benchmarks and fail on >$(THRESHOLD)%
+# ns/op regressions against it (the CI bench-compare job). -count 3 folds
+# to per-metric medians so one noisy run cannot fail the gate alone.
+bench-compare:
+	$(GO) run ./cmd/benchjson -label compare -bench '$(BASELINE_BENCH)' \
+		-benchtime $(BASELINE_BENCHTIME) -count 3 -out BENCH_compare.json
+	$(GO) run ./cmd/benchjson -compare $(BASELINE) BENCH_compare.json -threshold $(THRESHOLD)

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Delta is one benchmark's old-vs-new reading of the compared metric.
+type Delta struct {
+	Name     string
+	Old, New float64
+	Pct      float64 // (New-Old)/Old × 100; positive = slower
+}
+
+// Comparison is the outcome of diffing two baselines on one metric.
+type Comparison struct {
+	Metric     string
+	Threshold  float64 // percent; deltas above it are regressions
+	Regressed  []Delta
+	Improved   []Delta // deltas below -Threshold (informational)
+	Steady     []Delta // within ±Threshold
+	Missing    []string
+	CPUChanged bool
+}
+
+// compareBaselines diffs new against old on the given metric. Benchmarks
+// present only in new are ignored (adding a benchmark must not fail the
+// gate); benchmarks missing from new are reported so a silently deleted hot
+// path cannot pass as "no regressions". Entries without the metric on
+// either side are skipped — custom-metric-only benchmarks have nothing to
+// diff.
+func compareBaselines(oldB, newB *Baseline, metric string, threshold float64) Comparison {
+	cmp := Comparison{
+		Metric:     metric,
+		Threshold:  threshold,
+		CPUChanged: oldB.CPU != "" && newB.CPU != "" && oldB.CPU != newB.CPU,
+	}
+	byName := make(map[string]Result, len(newB.Results))
+	for _, r := range newB.Results {
+		byName[r.Name] = r
+	}
+	for _, o := range oldB.Results {
+		n, ok := byName[o.Name]
+		if !ok {
+			cmp.Missing = append(cmp.Missing, o.Name)
+			continue
+		}
+		ov, okO := o.Metrics[metric]
+		nv, okN := n.Metrics[metric]
+		if !okO || !okN || ov <= 0 {
+			continue
+		}
+		d := Delta{Name: o.Name, Old: ov, New: nv, Pct: 100 * (nv - ov) / ov}
+		switch {
+		case d.Pct > threshold:
+			cmp.Regressed = append(cmp.Regressed, d)
+		case d.Pct < -threshold:
+			cmp.Improved = append(cmp.Improved, d)
+		default:
+			cmp.Steady = append(cmp.Steady, d)
+		}
+	}
+	return cmp
+}
+
+// render writes the human report. The exit decision stays with the caller.
+func (c Comparison) render(w io.Writer, oldPath, newPath string) {
+	fmt.Fprintf(w, "benchjson: comparing %s (old) vs %s (new) on %s, threshold %g%%\n",
+		oldPath, newPath, c.Metric, c.Threshold)
+	if c.CPUChanged {
+		fmt.Fprintf(w, "warning: baselines come from different CPUs — deltas include machine drift\n")
+	}
+	line := func(tag string, d Delta) {
+		fmt.Fprintf(w, "  %-10s %-32s %14.1f -> %14.1f  %+7.1f%%\n", tag, d.Name, d.Old, d.New, d.Pct)
+	}
+	for _, d := range c.Regressed {
+		line("REGRESSED", d)
+	}
+	for _, d := range c.Improved {
+		line("improved", d)
+	}
+	for _, d := range c.Steady {
+		line("ok", d)
+	}
+	for _, name := range c.Missing {
+		fmt.Fprintf(w, "  %-10s %-32s missing from the new baseline\n", "warning", name)
+	}
+	if len(c.Regressed) > 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) regressed more than %g%% on %s\n",
+			len(c.Regressed), c.Threshold, c.Metric)
+	} else {
+		fmt.Fprintf(w, "benchjson: no %s regressions beyond %g%%\n", c.Metric, c.Threshold)
+	}
+}
+
+// runCompare implements `benchjson -compare old.json new.json [-threshold
+// pct] [-metric unit]`. Flags and positionals are scanned by hand so the
+// documented order (paths before flags) parses. Returns the process exit
+// code: 0 clean, 1 regressions found, 2 usage or read errors.
+func runCompare(argv []string, w io.Writer) int {
+	threshold := 10.0
+	metric := "ns/op"
+	var paths []string
+	usage := func(msg string) int {
+		fmt.Fprintf(os.Stderr, "benchjson: %s\nusage: benchjson -compare old.json new.json [-threshold pct] [-metric unit]\n", msg)
+		return 2
+	}
+	for i := 0; i < len(argv); i++ {
+		switch a := argv[i]; a {
+		case "-compare", "--compare":
+			// The mode marker itself.
+		case "-threshold", "--threshold", "-metric", "--metric":
+			i++
+			if i >= len(argv) {
+				return usage(a + " needs a value")
+			}
+			if a == "-metric" || a == "--metric" {
+				metric = argv[i]
+				continue
+			}
+			v, err := strconv.ParseFloat(argv[i], 64)
+			if err != nil || v < 0 {
+				return usage("bad threshold " + strconv.Quote(argv[i]))
+			}
+			threshold = v
+		default:
+			if len(a) > 0 && a[0] == '-' {
+				return usage("unknown flag " + strconv.Quote(a))
+			}
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) != 2 {
+		return usage(fmt.Sprintf("compare mode needs exactly two baseline files, got %d", len(paths)))
+	}
+	oldB, err := readBaseline(paths[0])
+	if err != nil {
+		return usage(err.Error())
+	}
+	newB, err := readBaseline(paths[1])
+	if err != nil {
+		return usage(err.Error())
+	}
+	cmp := compareBaselines(oldB, newB, metric, threshold)
+	cmp.render(w, paths[0], paths[1])
+	if len(cmp.Regressed) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// readBaseline loads and sanity-checks one baseline file.
+func readBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Results) == 0 {
+		return nil, fmt.Errorf("%s: baseline has no results", path)
+	}
+	return &b, nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineOf(results ...Result) *Baseline {
+	return &Baseline{Label: "t", Bench: ".", Benchtime: "1x", CPU: "cpu0", Results: results}
+}
+
+func res(name string, nsop float64) Result {
+	return Result{Name: name, Iters: 1, Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestCompareBaselinesClassifiesDeltas(t *testing.T) {
+	oldB := baselineOf(res("A", 100), res("B", 100), res("C", 100), res("Gone", 50))
+	newB := baselineOf(res("A", 131), res("B", 105), res("C", 60), res("Added", 10))
+	c := compareBaselines(oldB, newB, "ns/op", 30)
+	if len(c.Regressed) != 1 || c.Regressed[0].Name != "A" {
+		t.Fatalf("regressed %+v, want only A", c.Regressed)
+	}
+	if c.Regressed[0].Pct < 30.9 || c.Regressed[0].Pct > 31.1 {
+		t.Fatalf("A delta %+v, want ~+31%%", c.Regressed[0])
+	}
+	if len(c.Improved) != 1 || c.Improved[0].Name != "C" {
+		t.Fatalf("improved %+v, want only C", c.Improved)
+	}
+	if len(c.Steady) != 1 || c.Steady[0].Name != "B" {
+		t.Fatalf("steady %+v, want only B", c.Steady)
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "Gone" {
+		t.Fatalf("missing %+v, want only Gone", c.Missing)
+	}
+}
+
+func TestCompareBaselinesExactlyAtThresholdPasses(t *testing.T) {
+	c := compareBaselines(baselineOf(res("A", 100)), baselineOf(res("A", 110)), "ns/op", 10)
+	if len(c.Regressed) != 0 {
+		t.Fatalf("a delta exactly at the threshold regressed: %+v", c.Regressed)
+	}
+}
+
+func TestCompareBaselinesSkipsMissingMetric(t *testing.T) {
+	oldB := baselineOf(Result{Name: "A", Metrics: map[string]float64{"MB/s": 5}})
+	newB := baselineOf(res("A", 999))
+	c := compareBaselines(oldB, newB, "ns/op", 10)
+	if len(c.Regressed)+len(c.Improved)+len(c.Steady) != 0 {
+		t.Fatalf("metric-less benchmark was diffed: %+v", c)
+	}
+}
+
+func writeBaseline(t *testing.T, dir, name string, b *Baseline) string {
+	t.Helper()
+	blob, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBaseline(t, dir, "old.json", baselineOf(res("A", 100)))
+	fastP := writeBaseline(t, dir, "fast.json", baselineOf(res("A", 104)))
+	slowP := writeBaseline(t, dir, "slow.json", baselineOf(res("A", 200)))
+
+	var out strings.Builder
+	// The documented invocation order: paths first, flags after.
+	if code := runCompare([]string{"-compare", oldP, fastP, "-threshold", "5"}, &out); code != 0 {
+		t.Fatalf("clean compare exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no ns/op regressions") {
+		t.Fatalf("clean compare output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := runCompare([]string{"-compare", oldP, slowP, "-threshold", "5"}, &out); code != 1 {
+		t.Fatalf("synthetic regression exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("regression output lacks the REGRESSED marker:\n%s", out.String())
+	}
+
+	// Default threshold (10%) tolerates the fast file too.
+	out.Reset()
+	if code := runCompare([]string{"-compare", oldP, fastP}, &out); code != 0 {
+		t.Fatalf("default-threshold compare exited %d", code)
+	}
+
+	// Usage errors: wrong arity, unreadable file, bad threshold.
+	for _, argv := range [][]string{
+		{"-compare", oldP},
+		{"-compare", oldP, fastP, slowP},
+		{"-compare", oldP, filepath.Join(dir, "nope.json")},
+		{"-compare", oldP, fastP, "-threshold", "x"},
+		{"-compare", oldP, fastP, "-bogus"},
+	} {
+		if code := runCompare(argv, &out); code != 2 {
+			t.Fatalf("%v exited %d, want 2", argv, code)
+		}
+	}
+}

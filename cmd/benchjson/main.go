@@ -11,6 +11,17 @@
 // The output schema is one object per benchmark with every reported metric
 // (ns/op, B/op, allocs/op, MB/s, and custom b.ReportMetric units) keyed by
 // unit.
+//
+// Compare mode diffs two baselines and exits non-zero when any benchmark
+// regressed by more than the threshold — the CI gate that keeps committed
+// baselines honest:
+//
+//	go run ./cmd/benchjson -compare BENCH_pr4.json BENCH_new.json -threshold 50
+//	make bench-compare
+//
+// Only regressions on the compared metric (default ns/op) fail; new
+// benchmarks are ignored and ones missing from the new baseline are
+// reported as warnings.
 package main
 
 import (
@@ -49,6 +60,15 @@ type Baseline struct {
 }
 
 func main() {
+	// Compare mode is dispatched before flag.Parse so the documented
+	// invocation shape — `-compare old.json new.json [-threshold pct]` —
+	// works as written (the flag package would stop flag scanning at the
+	// first positional argument).
+	for _, a := range os.Args[1:] {
+		if a == "-compare" || a == "--compare" {
+			os.Exit(runCompare(os.Args[1:], os.Stdout))
+		}
+	}
 	label := flag.String("label", "local", "baseline label; also names the default output file")
 	bench := flag.String("bench", ".", "benchmark selector passed to -bench")
 	benchtime := flag.String("benchtime", "1x", "passed to -benchtime")

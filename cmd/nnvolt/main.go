@@ -8,6 +8,13 @@
 //	nnvolt -benchmark reuters -icbp         # ICBP-protected placement
 //	nnvolt -benchmark mnist -full           # paper topology (slow)
 //	nnvolt -benchmark mnist -power          # include the Fig. 10 breakdown
+//
+// With -submit, the network is still trained and quantized locally, but the
+// sweep runs on a remote fpgavoltd daemon: the quantized words and the test
+// set are serialized into the versioned nn wire format and shipped as an
+// nn-inference campaign, streaming progress back over SSE.
+//
+//	nnvolt -benchmark mnist -submit http://fpgavoltd:8080 -boards 4
 package main
 
 import (
@@ -35,8 +42,17 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "placement seed")
 		power     = flag.Bool("power", false, "print the on-chip power breakdown")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		submit    = flag.String("submit", "", "fpgavoltd base URL: run the sweep remotely as an nn-inference campaign")
+		platName  = flag.String("platform", "VC707", "board model of a -submit campaign")
+		boards    = flag.Int("boards", 1, "fleet size of a -submit campaign")
 	)
 	flag.Parse()
+	if *submit != "" && *icbp {
+		check(fmt.Errorf("-icbp needs the in-process FVM and cannot ride -submit"))
+	}
+	if *submit != "" && *power {
+		check(fmt.Errorf("-power reads the local accelerator's power model and cannot ride -submit"))
+	}
 
 	opts := fpgavolt.DatasetOptions{TrainSamples: *train, TestSamples: *test}
 	if !*full {
@@ -65,6 +81,18 @@ func main() {
 	q := fpgavolt.QuantizeNetwork(net)
 	fmt.Printf("final training loss %.4f, weight-bit sparsity %s zeros\n",
 		loss, report.Pct(1-q.OneBitFraction(), 1))
+
+	if *submit != "" {
+		// -brams is "ignored with -full" on the local path; the remote
+		// fleet must match, or a paper-scale network would never place on
+		// 200-BRAM boards (spec BRAMs 0 = the full chip).
+		remoteBRAMs := *brams
+		if *full {
+			remoteBRAMs = 0
+		}
+		submitRemote(ctx, *submit, *platName, *boards, remoteBRAMs, q, ds, *seed)
+		return
+	}
 
 	p := fpgavolt.VC707()
 	if !*full {
@@ -106,6 +134,47 @@ func main() {
 		t.AddRow(report.F(r.V, 2), report.Pct(r.Error, 2), fmt.Sprintf("%d", r.WeightFault))
 	}
 	t.Render(os.Stdout)
+}
+
+// submitRemote ships the locally-trained network and test set to a running
+// fpgavoltd as an nn-inference campaign, streams its SSE feed, and renders
+// each board's accuracy-vs-voltage curve from the job detail.
+func submitRemote(ctx context.Context, base, platName string, boards, brams int, q *fpgavolt.Quantized, ds *fpgavolt.Dataset, seed uint64) {
+	client := fpgavolt.NewServiceClient(base, nil)
+	spec := []fpgavolt.BoardSpec{{Platform: platName, Replicas: boards, BRAMs: brams}}
+	job, err := client.SubmitInference(ctx, spec, q, ds.TestX, ds.TestY, seed)
+	check(err)
+	fmt.Printf("submitted %s to %s: %d×%s, %d test samples, wire format v%d\n",
+		job.ID, base, boards, platName, len(ds.TestX), fpgavolt.WireVersion)
+	final, err := client.Wait(ctx, job.ID, func(ev fpgavolt.JobEvent) error {
+		switch ev.Type {
+		case "done":
+			fmt.Printf("  [%5.1f%%] board %2d %-8s done, %s error at deepest level\n",
+				ev.Progress, ev.Board, ev.Platform, report.Pct(ev.InferError, 2))
+		case "failed":
+			fmt.Printf("  [%5.1f%%] board %2d %-8s FAILED: %s\n", ev.Progress, ev.Board, ev.Platform, ev.Error)
+		}
+		return nil
+	})
+	check(err)
+	if final.State != fpgavolt.JobDone {
+		check(fmt.Errorf("job %s finished %s: %s", final.ID, final.State, final.Error))
+	}
+	for _, br := range final.BoardResults {
+		t := report.NewTable(
+			fmt.Sprintf("%s: remote classification error vs VCCBRAM (board %d, %s S/N %s)",
+				ds.Name, br.Board, br.Platform, br.Serial),
+			"VCCBRAM (V)", "error", "faulty weight bits")
+		for _, pt := range br.Inference {
+			t.AddRow(report.F(pt.V, 2), report.Pct(pt.Error, 2), fmt.Sprintf("%d", pt.WeightFault))
+		}
+		t.Render(os.Stdout)
+	}
+	if agg := final.Aggregate; agg != nil && agg.InferenceError.N > 1 {
+		fmt.Printf("cross-chip inference error at deepest level: min %s  median %s  max %s\n",
+			report.Pct(agg.InferenceError.Min, 2), report.Pct(agg.InferenceError.Median, 2),
+			report.Pct(agg.InferenceError.Max, 2))
+	}
 }
 
 func check(err error) {

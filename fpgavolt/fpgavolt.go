@@ -26,7 +26,9 @@
 //     async job queue, SSE progress streams (per-job and a fleet-wide
 //     /v1/events firehose), a journal-backed job table that survives
 //     restarts, store-backed FVM/Vmin query endpoints with admin delete,
-//     and a typed Client.
+//     and a typed Client. Every campaign kind rides the API — including NN
+//     inference, whose quantized network and test set travel as versioned
+//     wire documents (Quantized.MarshalWire / MarshalTestSet).
 //
 // A minimal session:
 //
@@ -173,6 +175,9 @@ type (
 	FVMInfo = server.FVMInfo
 	// VminInfo is one board's stored operating window.
 	VminInfo = server.VminInfo
+	// InferencePoint is one voltage step of an nn-inference job's accuracy
+	// curve, as served in job details.
+	InferencePoint = server.InferencePoint
 )
 
 // The job lifecycle states a Service reports.
@@ -293,6 +298,33 @@ func PaperTopology() []int { return nn.PaperTopology() }
 // QuantizeNetwork converts a trained network to its 16-bit per-layer
 // minimum-precision fixed-point form (Fig. 9).
 func QuantizeNetwork(n *Network) *Quantized { return nn.Quantize(n) }
+
+// WireVersion is the current version of the nn wire format the service and
+// clients exchange (network and test-set documents).
+const WireVersion = nn.WireVersion
+
+// UnmarshalQuantized decodes a network wire document produced by
+// Quantized.MarshalWire — the versioned form an nn-inference campaign ships
+// to a remote service. Decoding is strict: malformed topology, formats, or
+// word counts error rather than yielding a partial network.
+func UnmarshalQuantized(data []byte) (*Quantized, error) { return nn.UnmarshalWire(data) }
+
+// MarshalTestSet serializes an aligned test set into its versioned wire
+// form (float32 inputs, base64-packed) for an nn-inference submission.
+func MarshalTestSet(xs [][]float64, ys []int) ([]byte, error) { return nn.MarshalTestSet(xs, ys) }
+
+// UnmarshalTestSet decodes a MarshalTestSet document. Evaluating the
+// decoded copy locally is what makes a local run bit-identical to the
+// service's (inputs narrow to float32 on the wire).
+func UnmarshalTestSet(data []byte) ([][]float64, []int, error) { return nn.UnmarshalTestSet(data) }
+
+// NewInferenceRequest assembles the wire form of an nn-inference campaign
+// submission: the quantized network and test set ride the request as
+// versioned wire documents. Submit it with Client.Submit, or use
+// Client.SubmitInference to do both steps at once.
+func NewInferenceRequest(boards []BoardSpec, q *Quantized, xs [][]float64, ys []int, seed uint64) (CampaignRequest, error) {
+	return server.NewInferenceRequest(boards, q, xs, ys, seed)
+}
 
 // BuildAccelerator compiles and loads an NN design onto a board; cs may be
 // nil for the default placement, or the output of ICBPConstraints.

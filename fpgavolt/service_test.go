@@ -65,4 +65,47 @@ func TestServicePublicAPI(t *testing.T) {
 		t.Fatalf("library fleet re-characterized: %d sweeps, %d hits",
 			fleet.Characterizations(), res.Agg.CacheHits)
 	}
+
+	// The NN campaign kind rides the same API: train a tiny classifier,
+	// round-trip it through the public wire helpers, and submit it.
+	ds, err := fpgavolt.Benchmark("mnist", fpgavolt.DatasetOptions{
+		TrainSamples: 200, TestSamples: 32, Features: 36,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fpgavolt.NewNetwork([]int{36, 12, 10}, "service-public-api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(ds.TrainX, ds.TrainY, fpgavolt.TrainOptions{Epochs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	q := fpgavolt.QuantizeNetwork(net)
+	doc, err := q.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := fpgavolt.UnmarshalQuantized(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.TotalWords() != q.TotalWords() {
+		t.Fatalf("wire round trip changed the network: %d vs %d words", q2.TotalWords(), q.TotalWords())
+	}
+	nnJob, err := client.SubmitInference(ctx, []fpgavolt.BoardSpec{{Platform: "KC705-A", BRAMs: 24}},
+		q, ds.TestX, ds.TestY, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnFinal, err := client.Wait(ctx, nnJob.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nnFinal.State != fpgavolt.JobDone || len(nnFinal.BoardResults) != 1 {
+		t.Fatalf("inference job %+v", nnFinal)
+	}
+	if len(nnFinal.BoardResults[0].Inference) == 0 {
+		t.Fatal("inference job detail lacks the accuracy-vs-voltage curve")
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/platform"
 	"repro/internal/power"
+	"repro/internal/sem"
 	"repro/internal/xdc"
 )
 
@@ -32,7 +33,27 @@ type Accelerator struct {
 	Design *bitstream.Design
 	BS     *bitstream.Bitstream
 
-	blocks [][]int // per layer: physical block indices in cell order
+	blocks [][]int   // per layer: physical block indices in cell order
+	gate   *sem.Gate // shared read budget held during parameter readback
+}
+
+// SetReadGate installs a shared budget on the accelerator's undervolted
+// parameter readback: EvaluateAt and LayerFaultCounts hold one unit while
+// they read. The fleet engine hands every board's accelerator its read gate
+// so serial inference readback counts against the same fleet-wide ceiling
+// the sweep scan workers share. nil removes the gate.
+func (a *Accelerator) SetReadGate(g *sem.Gate) { a.gate = g }
+
+// acquireReadGate takes one budget unit (no-op when ungated), returning a
+// release func.
+func (a *Accelerator) acquireReadGate(ctx context.Context) (func(), error) {
+	if a.gate == nil {
+		return func() {}, nil
+	}
+	if err := a.gate.Acquire(ctx, 1); err != nil {
+		return nil, err
+	}
+	return func() { a.gate.Release(1) }, nil
 }
 
 // Build compiles the design (placing with the given constraints and seed)
@@ -166,14 +187,26 @@ func (a *Accelerator) EvaluateAt(ctx context.Context, v float64, xs [][]float64,
 	if err := ctx.Err(); err != nil {
 		return InferenceResult{}, err
 	}
+	// The gate is a cancellable blocking point, so it is taken before the
+	// rail moves: a campaign cancelled while queued for read budget must
+	// not leave VCCBRAM underscaled. It is released as soon as the readback
+	// ends — the float evaluation below is not BRAM read work and must not
+	// serialize the fleet.
+	release, err := a.acquireReadGate(ctx)
+	if err != nil {
+		return InferenceResult{}, err
+	}
 	if err := a.Board.SetVCCBRAM(v); err != nil {
+		release()
 		return InferenceResult{}, err
 	}
 	if !a.Board.Operating() {
+		release()
 		return InferenceResult{}, board.ErrNotOperating
 	}
 	run := a.Board.BeginRun()
 	words, faults, err := a.ReadParameters(run)
+	release()
 	if err != nil {
 		return InferenceResult{}, err
 	}
@@ -244,6 +277,13 @@ func (a *Accelerator) LayerFaultCounts(ctx context.Context, v float64) ([]int, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// As in EvaluateAt: the cancellable gate wait happens before the rail
+	// moves, never with VCCBRAM already underscaled.
+	release, err := a.acquireReadGate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if err := a.Board.SetVCCBRAM(v); err != nil {
 		return nil, err
 	}

@@ -354,6 +354,15 @@ func (t Thresholds) GuardbandFrac() float64 {
 // pool) detects faults at each level. The board is reconfigured and restored
 // to nominal before returning.
 func DiscoverBRAMThresholds(ctx context.Context, b *board.Board, probeRuns int) (Thresholds, error) {
+	return DiscoverBRAMThresholdsGated(ctx, b, probeRuns, nil)
+}
+
+// DiscoverBRAMThresholdsGated is DiscoverBRAMThresholds under a shared read
+// budget: each voltage level's probe passes are executed while holding one
+// unit of gate (nil = ungated). Discovery reads serially, so without the
+// gate a fleet of concurrent discoveries would bypass the engine's
+// fleet-wide read ceiling entirely.
+func DiscoverBRAMThresholdsGated(ctx context.Context, b *board.Board, probeRuns int, gate *sem.Gate) (Thresholds, error) {
 	if probeRuns <= 0 {
 		probeRuns = 3
 	}
@@ -375,13 +384,9 @@ func DiscoverBRAMThresholds(ctx context.Context, b *board.Board, probeRuns int) 
 		// The probe only asks "any faults at this level?", so it rides the
 		// count-only path (bit granularity instead of the old word
 		// granularity — zero iff zero either way).
-		faults := 0
-		for r := 0; r < probeRuns; r++ {
-			n, _, _, err := b.CountFaultsInto(nil, b.BeginRun())
-			if err != nil {
-				return th, err
-			}
-			faults += n
+		faults, err := probeLevel(ctx, b, probeRuns, gate)
+		if err != nil {
+			return th, restoreNominal(b, err)
 		}
 		if faults == 0 && !sawFault {
 			th.Vmin = v
@@ -394,6 +399,27 @@ func DiscoverBRAMThresholds(ctx context.Context, b *board.Board, probeRuns int) 
 	}
 	b.Configure()
 	return th, nil
+}
+
+// probeLevel counts faults across probeRuns read passes at the current
+// voltage, holding one unit of the read budget (when gated) for the whole
+// probe — the serial-path analogue of a scanPool worker's hold.
+func probeLevel(ctx context.Context, b *board.Board, probeRuns int, gate *sem.Gate) (int, error) {
+	if gate != nil {
+		if err := gate.Acquire(ctx, 1); err != nil {
+			return 0, err
+		}
+		defer gate.Release(1)
+	}
+	faults := 0
+	for r := 0; r < probeRuns; r++ {
+		n, _, _, err := b.CountFaultsInto(nil, b.BeginRun())
+		if err != nil {
+			return 0, err
+		}
+		faults += n
+	}
+	return faults, nil
 }
 
 // DiscoverIntThresholds locates the VCCINT boundaries (Fig. 1b) using the

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/platform"
+	"repro/internal/sem"
 	"repro/internal/stats"
 )
 
@@ -208,6 +209,41 @@ func TestDiscoverBRAMThresholds(t *testing.T) {
 	// Board restored and operating.
 	if !b.Operating() || b.VCCBRAM() != cal.Vnom {
 		t.Fatal("board not restored after discovery")
+	}
+}
+
+func TestDiscoverBRAMThresholdsGated(t *testing.T) {
+	// The gated variant must produce the identical discovery (the gate only
+	// schedules) and leave no units held.
+	gate := sem.New(1)
+	bare := newBoard(t, 60)
+	want, err := DiscoverBRAMThresholds(context.Background(), bare, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gatedBoard := newBoard(t, 60)
+	got, err := DiscoverBRAMThresholdsGated(context.Background(), gatedBoard, 2, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("gated discovery %+v differs from ungated %+v", got, want)
+	}
+	st := gate.Stats()
+	if st.Peak != 1 || st.InUse != 0 {
+		t.Fatalf("gate stats %+v: probes never acquired, or leaked units", st)
+	}
+
+	// A dead context surfaces promptly through the gate acquire, with the
+	// rail restored.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := newBoard(t, 60)
+	if _, err := DiscoverBRAMThresholdsGated(ctx, b, 2, sem.New(1)); err == nil {
+		t.Fatal("cancelled gated discovery returned nil error")
+	}
+	if b.VCCBRAM() != b.Platform.Cal.Vnom {
+		t.Fatal("rail left underscaled after cancellation")
 	}
 }
 

@@ -125,7 +125,10 @@ type Event struct {
 	Serial    string
 	FromCache bool    // done: the result was served from the FVM cache
 	Faults    float64 // done: faults/Mbit at the deepest level (when known)
-	Err       error   // failed: what went wrong
+	// InferError is the board's classification error at the deepest
+	// inference level (done events of NNInference campaigns only).
+	InferError float64
+	Err        error // failed: what went wrong
 	// Progress is the campaign-level completion percentage (0..100) at the
 	// moment the event was emitted: finished boards over the fleet, each
 	// board weighted by how many sweep steps its study costs, so a
@@ -564,6 +567,9 @@ func (f *Fleet) runBoard(ctx context.Context, c Campaign, pm *progressMeter, idx
 	if s := res.finalSweep(); s != nil && len(s.Levels) > 0 {
 		done.Faults = s.Final().FaultsPerMbit
 	}
+	if n := len(res.Inference); n > 0 {
+		done.InferError = res.Inference[n-1].Error
+	}
 	c.emit(ctx, done)
 	return res
 }
@@ -660,6 +666,10 @@ func (f *Fleet) inferenceBoard(ctx context.Context, c Campaign, p platform.Platf
 	if err != nil {
 		return err
 	}
+	// Inference readback is serial per board, but N boards run at once:
+	// each board's parameter read pass holds one unit of the fleet-wide
+	// read budget, the same gate the sweep scan workers share.
+	a.SetReadGate(f.readGate)
 	rs, err := a.Sweep(ctx, c.TestX, c.TestY, 0)
 	if err != nil {
 		return err
@@ -710,7 +720,9 @@ func (f *Fleet) thresholdsBoard(ctx context.Context, c Campaign, p platform.Plat
 	b := board.New(p)
 	b.SetOnBoardTemp(c.Sweep.Normalized(p.Cal).OnBoardC)
 	f.characterizations.Add(2)
-	thB, err := characterize.DiscoverBRAMThresholds(ctx, b, c.ProbeRuns)
+	// The per-level fault probes are serial reads; gating them keeps the
+	// fleet's read budget a true ceiling when many boards discover at once.
+	thB, err := characterize.DiscoverBRAMThresholdsGated(ctx, b, c.ProbeRuns, f.readGate)
 	if err != nil {
 		return err
 	}

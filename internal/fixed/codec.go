@@ -1,0 +1,34 @@
+package fixed
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WordBytes is the encoded size of one Word in the wire codec.
+const WordBytes = 2
+
+// EncodeWords packs ws into the compact wire form: each 16-bit word
+// little-endian, in slice order. The layout is fixed — it is part of the
+// versioned nn wire format — so it must never silently change.
+func EncodeWords(ws []Word) []byte {
+	out := make([]byte, len(ws)*WordBytes)
+	for i, w := range ws {
+		binary.LittleEndian.PutUint16(out[i*WordBytes:], uint16(w))
+	}
+	return out
+}
+
+// DecodeWords unpacks a blob written by EncodeWords. The blob length must be
+// an exact multiple of the word size: a truncated or padded blob is a
+// malformed document, not a short read.
+func DecodeWords(blob []byte) ([]Word, error) {
+	if len(blob)%WordBytes != 0 {
+		return nil, fmt.Errorf("fixed: word blob length %d is not a multiple of %d", len(blob), WordBytes)
+	}
+	ws := make([]Word, len(blob)/WordBytes)
+	for i := range ws {
+		ws[i] = Word(binary.LittleEndian.Uint16(blob[i*WordBytes:]))
+	}
+	return ws, nil
+}

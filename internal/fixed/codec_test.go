@@ -1,0 +1,44 @@
+package fixed
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestWordCodecRoundTrip(t *testing.T) {
+	ws := []Word{0, 1, 0x7FFF, 0x8000, 0xFFFF, 0xAAAA, 0x5555}
+	blob := EncodeWords(ws)
+	if len(blob) != len(ws)*WordBytes {
+		t.Fatalf("encoded %d words into %d bytes", len(ws), len(blob))
+	}
+	got, err := DecodeWords(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, ws) {
+		t.Fatalf("round trip: got %v want %v", got, ws)
+	}
+
+	// Empty slices round-trip to empty, not nil errors.
+	got, err = DecodeWords(EncodeWords(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestDecodeWordsRejectsOddLength(t *testing.T) {
+	for _, n := range []int{1, 3, 5} {
+		if _, err := DecodeWords(make([]byte, n)); err == nil {
+			t.Fatalf("decoded a %d-byte blob without error", n)
+		}
+	}
+}
+
+func TestWordCodecIsLittleEndian(t *testing.T) {
+	// The byte layout is part of the versioned wire format: changing it
+	// would break decode of documents written by older builds.
+	blob := EncodeWords([]Word{0x1234})
+	if blob[0] != 0x34 || blob[1] != 0x12 {
+		t.Fatalf("encoding is not little-endian: % x", blob)
+	}
+}

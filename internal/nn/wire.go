@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/fixed"
+)
+
+// WireVersion is the current version of the nn wire format. Decoders accept
+// exactly this version; any change to the layout below must bump it.
+const WireVersion = 1
+
+// Wire-format bounds. Decode rejects documents outside them before any large
+// allocation happens, so a hostile or corrupt document cannot make an
+// unauthenticated endpoint materialize unbounded memory. The caps leave
+// generous headroom over the paper's largest configuration (the Table III
+// topology is 6 levels and ~1.5 M parameters; MNIST's test split is 10 000
+// samples of 784 features).
+const (
+	// MaxWireLevels bounds len(Topology) (levels, i.e. layers + 1).
+	MaxWireLevels = 16
+	// MaxWireNodes bounds a single level's width.
+	MaxWireNodes = 1 << 16
+	// MaxWireWords bounds the total stored words across all layers (~4 M
+	// words = 8 MB decoded; the paper topology needs ~1.5 M).
+	MaxWireWords = 1 << 22
+	// MaxWireSamples bounds a wire test set's sample count.
+	MaxWireSamples = 1 << 16
+	// MaxWireFeatures bounds a wire test set's per-sample feature count.
+	MaxWireFeatures = MaxWireNodes
+)
+
+// wireQuantized is the JSON envelope of a serialized Quantized network. The
+// weight blobs are base64 of the fixed word codec (little-endian uint16), so
+// a paper-scale network rides in ~4 MB of JSON instead of the ~20 MB a
+// float-array encoding would take.
+type wireQuantized struct {
+	Version  int         `json:"version"`
+	Topology []int       `json:"topology"`
+	Layers   []wireLayer `json:"layers"`
+}
+
+// wireLayer is one layer's format and parameter words (weights then biases,
+// as Quantize lays them out).
+type wireLayer struct {
+	Digit uint8  `json:"digit"`
+	Frac  uint8  `json:"frac"`
+	Words string `json:"words"`
+}
+
+// validateShape checks the structural invariants shared by encode and
+// decode: a plausible topology, one valid format and exactly In*Out+Out
+// words per layer, and a bounded total.
+func (q *Quantized) validateShape() error {
+	if len(q.Topology) < 2 {
+		return fmt.Errorf("nn: topology %v needs at least input and output levels", q.Topology)
+	}
+	if len(q.Topology) > MaxWireLevels {
+		return fmt.Errorf("nn: topology has %d levels, limit %d", len(q.Topology), MaxWireLevels)
+	}
+	for _, n := range q.Topology {
+		if n <= 0 || n > MaxWireNodes {
+			return fmt.Errorf("nn: level size %d out of range [1, %d]", n, MaxWireNodes)
+		}
+	}
+	layers := len(q.Topology) - 1
+	if len(q.Formats) != layers || len(q.Words) != layers {
+		return fmt.Errorf("nn: %d-level topology with %d formats and %d word layers",
+			len(q.Topology), len(q.Formats), len(q.Words))
+	}
+	total := 0
+	for j := 0; j < layers; j++ {
+		if !q.Formats[j].Valid() {
+			return fmt.Errorf("nn: layer %d format %+v does not use the %d magnitude bits",
+				j, q.Formats[j], fixed.MagnitudeBits)
+		}
+		want := q.Topology[j]*q.Topology[j+1] + q.Topology[j+1]
+		if len(q.Words[j]) != want {
+			return fmt.Errorf("nn: layer %d has %d words, want %d", j, len(q.Words[j]), want)
+		}
+		total += want
+		if total > MaxWireWords {
+			return fmt.Errorf("nn: network exceeds the %d-word wire limit", MaxWireWords)
+		}
+	}
+	return nil
+}
+
+// MarshalWire serializes the quantized network into the versioned wire form:
+// a JSON envelope carrying the topology, each layer's fixed-point format,
+// and its words as base64 of the compact binary codec. The document is what
+// lets an NNInference campaign ride the fpgavoltd HTTP API.
+func (q *Quantized) MarshalWire() ([]byte, error) {
+	if err := q.validateShape(); err != nil {
+		return nil, fmt.Errorf("nn: marshal wire: %w", err)
+	}
+	doc := wireQuantized{Version: WireVersion, Topology: q.Topology}
+	for j, f := range q.Formats {
+		doc.Layers = append(doc.Layers, wireLayer{
+			Digit: f.Digit,
+			Frac:  f.Frac,
+			Words: base64.StdEncoding.EncodeToString(fixed.EncodeWords(q.Words[j])),
+		})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalWire decodes a MarshalWire document, strictly: unknown versions,
+// malformed base64, and any topology/format/word-count inconsistency are
+// errors, never a partially-populated network. The returned Quantized is
+// fully independent of data.
+func UnmarshalWire(data []byte) (*Quantized, error) {
+	var doc wireQuantized
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("nn: unmarshal wire: %w", err)
+	}
+	if doc.Version != WireVersion {
+		return nil, fmt.Errorf("nn: unsupported wire version %d (have %d)", doc.Version, WireVersion)
+	}
+	q := &Quantized{Topology: doc.Topology}
+	if len(doc.Layers) != len(doc.Topology)-1 {
+		// Checked here (not just by validateShape) so a short Layers slice
+		// errors on counts, not on a misleading index panic below.
+		return nil, fmt.Errorf("nn: unmarshal wire: %d levels with %d layers", len(doc.Topology), len(doc.Layers))
+	}
+	for j, l := range doc.Layers {
+		f := fixed.Format{Digit: l.Digit, Frac: l.Frac}
+		if !f.Valid() {
+			return nil, fmt.Errorf("nn: unmarshal wire: layer %d format s%d.%d invalid", j, l.Digit, l.Frac)
+		}
+		blob, err := base64.StdEncoding.DecodeString(l.Words)
+		if err != nil {
+			return nil, fmt.Errorf("nn: unmarshal wire: layer %d words: %w", j, err)
+		}
+		ws, err := fixed.DecodeWords(blob)
+		if err != nil {
+			return nil, fmt.Errorf("nn: unmarshal wire: layer %d: %w", j, err)
+		}
+		q.Formats = append(q.Formats, f)
+		q.Words = append(q.Words, ws)
+	}
+	if err := q.validateShape(); err != nil {
+		return nil, fmt.Errorf("nn: unmarshal wire: %w", err)
+	}
+	return q, nil
+}
+
+// wireTestSet is the JSON envelope of a serialized test set: row-major
+// float32 inputs (base64, little-endian) plus plain integer labels.
+type wireTestSet struct {
+	Version  int    `json:"version"`
+	Samples  int    `json:"samples"`
+	Features int    `json:"features"`
+	X        string `json:"x"`
+	Y        []int  `json:"y"`
+}
+
+// MarshalTestSet serializes an aligned test set into the versioned wire
+// form. Inputs are narrowed to float32 — ample for the pixel-scale features
+// the benchmarks use, and half the bytes; callers who need the remote run to
+// match a local one bit-for-bit should evaluate the decoded copy (see
+// UnmarshalTestSet), which is exactly what the service does.
+func MarshalTestSet(xs [][]float64, ys []int) ([]byte, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("nn: marshal test set: %d inputs, %d labels", len(xs), len(ys))
+	}
+	if len(xs) > MaxWireSamples {
+		return nil, fmt.Errorf("nn: marshal test set: %d samples exceed the %d limit", len(xs), MaxWireSamples)
+	}
+	features := len(xs[0])
+	if features == 0 || features > MaxWireFeatures {
+		return nil, fmt.Errorf("nn: marshal test set: %d features out of range [1, %d]", features, MaxWireFeatures)
+	}
+	blob := make([]byte, 0, len(xs)*features*4)
+	var scratch [4]byte
+	for i, x := range xs {
+		if len(x) != features {
+			return nil, fmt.Errorf("nn: marshal test set: sample %d has %d features, want %d", i, len(x), features)
+		}
+		if ys[i] < 0 {
+			return nil, fmt.Errorf("nn: marshal test set: negative label %d at sample %d", ys[i], i)
+		}
+		for _, v := range x {
+			f := float32(v)
+			if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+				return nil, fmt.Errorf("nn: marshal test set: non-finite input %g at sample %d", v, i)
+			}
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(f))
+			blob = append(blob, scratch[:]...)
+		}
+	}
+	return json.Marshal(wireTestSet{
+		Version:  WireVersion,
+		Samples:  len(xs),
+		Features: features,
+		X:        base64.StdEncoding.EncodeToString(blob),
+		Y:        ys,
+	})
+}
+
+// UnmarshalTestSet decodes a MarshalTestSet document, strictly: the blob
+// length must match samples×features exactly, labels must be non-negative,
+// and every input must be finite.
+func UnmarshalTestSet(data []byte) ([][]float64, []int, error) {
+	var doc wireTestSet
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("nn: unmarshal test set: %w", err)
+	}
+	if doc.Version != WireVersion {
+		return nil, nil, fmt.Errorf("nn: unsupported test-set wire version %d (have %d)", doc.Version, WireVersion)
+	}
+	if doc.Samples <= 0 || doc.Samples > MaxWireSamples {
+		return nil, nil, fmt.Errorf("nn: unmarshal test set: %d samples out of range [1, %d]", doc.Samples, MaxWireSamples)
+	}
+	if doc.Features <= 0 || doc.Features > MaxWireFeatures {
+		return nil, nil, fmt.Errorf("nn: unmarshal test set: %d features out of range [1, %d]", doc.Features, MaxWireFeatures)
+	}
+	if len(doc.Y) != doc.Samples {
+		return nil, nil, fmt.Errorf("nn: unmarshal test set: %d labels for %d samples", len(doc.Y), doc.Samples)
+	}
+	blob, err := base64.StdEncoding.DecodeString(doc.X)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nn: unmarshal test set: inputs: %w", err)
+	}
+	if len(blob) != doc.Samples*doc.Features*4 {
+		return nil, nil, fmt.Errorf("nn: unmarshal test set: %d input bytes for %d×%d samples",
+			len(blob), doc.Samples, doc.Features)
+	}
+	xs := make([][]float64, doc.Samples)
+	for i := range xs {
+		row := make([]float64, doc.Features)
+		for k := range row {
+			bits := binary.LittleEndian.Uint32(blob[(i*doc.Features+k)*4:])
+			v := float64(math.Float32frombits(bits))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("nn: unmarshal test set: non-finite input at sample %d", i)
+			}
+			row[k] = v
+		}
+		xs[i] = row
+	}
+	ys := make([]int, doc.Samples)
+	for i, y := range doc.Y {
+		if y < 0 {
+			return nil, nil, fmt.Errorf("nn: unmarshal test set: negative label %d at sample %d", y, i)
+		}
+		ys[i] = y
+	}
+	return xs, ys, nil
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+// fuzzSeedNetwork builds a tiny but real document for the seed corpus.
+func fuzzSeedNetwork(tb testing.TB) []byte {
+	tb.Helper()
+	q := &Quantized{
+		Topology: []int{2, 3, 2},
+		Formats:  []fixed.Format{fixed.NewFormat(0), fixed.NewFormat(1)},
+		Words: [][]fixed.Word{
+			make([]fixed.Word, 2*3+3),
+			make([]fixed.Word, 3*2+2),
+		},
+	}
+	for _, ws := range q.Words {
+		for i := range ws {
+			ws[i] = fixed.Word(i * 257)
+		}
+	}
+	data, err := q.MarshalWire()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzUnmarshalWire asserts the network decoder's contract: any input either
+// decodes into a network that re-validates and round-trips, or errors — it
+// must never panic, whatever topology/format/word-count corruption the
+// document carries.
+func FuzzUnmarshalWire(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"topology":[2,2],"layers":[{"digit":0,"frac":15,"words":"AAAA"}]}`))
+	f.Add([]byte(`{"version":1,"topology":[1,1],"layers":[{"digit":7,"frac":8,"words":"!!"}]}`))
+	f.Add(fuzzSeedNetwork(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := UnmarshalWire(data)
+		if err != nil {
+			return
+		}
+		// An accepted document must satisfy every invariant the rest of the
+		// system assumes (Dequantize and the placement pipeline index by
+		// topology without re-checking).
+		if err := q.validateShape(); err != nil {
+			t.Fatalf("decoder accepted an invalid network: %v", err)
+		}
+		out, err := q.MarshalWire()
+		if err != nil {
+			t.Fatalf("re-encode of accepted network failed: %v", err)
+		}
+		q2, err := UnmarshalWire(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatal("decode/encode/decode is not a fixed point")
+		}
+	})
+}
+
+// FuzzUnmarshalTestSet asserts the test-set decoder errors (never panics) on
+// malformed documents and only accepts internally consistent ones.
+func FuzzUnmarshalTestSet(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	seed, err := MarshalTestSet([][]float64{{0.5, 0.25}, {1, 0}}, []int{1, 0})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	var doc map[string]any
+	if err := json.Unmarshal(seed, &doc); err != nil {
+		f.Fatal(err)
+	}
+	doc["samples"] = 3
+	grown, err := json.Marshal(doc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(grown)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, ys, err := UnmarshalTestSet(data)
+		if err != nil {
+			return
+		}
+		if len(xs) == 0 || len(xs) != len(ys) {
+			t.Fatalf("decoder accepted a misaligned set: %d inputs, %d labels", len(xs), len(ys))
+		}
+		features := len(xs[0])
+		for i, x := range xs {
+			if len(x) != features {
+				t.Fatalf("decoder accepted a ragged set at sample %d", i)
+			}
+			if ys[i] < 0 {
+				t.Fatalf("decoder accepted negative label %d", ys[i])
+			}
+		}
+		// Accepted sets re-encode canonically.
+		out, err := MarshalTestSet(xs, ys)
+		if err != nil {
+			t.Fatalf("re-encode of accepted test set failed: %v", err)
+		}
+		x2, y2, err := UnmarshalTestSet(out)
+		if err != nil || !reflect.DeepEqual(xs, x2) || !reflect.DeepEqual(ys, y2) {
+			t.Fatalf("decode/encode/decode is not a fixed point: %v", err)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+// trainedQuantized returns a small trained network's deployment form plus a
+// matching test set, the fixture the wire tests share.
+func trainedQuantized(t *testing.T) (*Quantized, [][]float64, []int) {
+	t.Helper()
+	xs, ys := tinyDataset()
+	xs, ys = xs[:64], ys[:64]
+	net, err := New([]int{12, 8, 4, 3}, "wire-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(xs, ys, TrainOptions{Epochs: 4, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return Quantize(net), xs, ys
+}
+
+func TestWireRoundTripIsDeepEqual(t *testing.T) {
+	q, _, _ := trainedQuantized(t)
+	data, err := q.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalWire(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, q) {
+		t.Fatal("decode(encode(q)) is not deep-equal to q")
+	}
+	// A second encode of the decoded network is byte-identical: the format
+	// has one canonical form.
+	data2, err := got.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("re-encoding the decoded network changed the document")
+	}
+}
+
+func TestWireRoundTripInferenceIsBitIdentical(t *testing.T) {
+	q, xs, ys := trainedQuantized(t)
+	data, err := q.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalWire(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := q.Dequantize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Dequantize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.NewScratch(), b.NewScratch()
+	for i, x := range xs {
+		oa := append([]float64(nil), a.Forward(x, sa)...)
+		ob := b.Forward(x, sb)
+		for k := range oa {
+			if oa[k] != ob[k] {
+				t.Fatalf("sample %d output %d differs: %v vs %v", i, k, oa[k], ob[k])
+			}
+		}
+	}
+	if ea, eb := a.Evaluate(xs, ys, 1), b.Evaluate(xs, ys, 1); ea != eb {
+		t.Fatalf("error rates diverged: %v vs %v", ea, eb)
+	}
+}
+
+func TestUnmarshalWireRejectsMalformedDocuments(t *testing.T) {
+	q, _, _ := trainedQuantized(t)
+	good, err := q.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(t *testing.T, f func(doc map[string]any)) []byte {
+		t.Helper()
+		var doc map[string]any
+		if err := json.Unmarshal(good, &doc); err != nil {
+			t.Fatal(err)
+		}
+		f(doc)
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	layer := func(doc map[string]any, j int) map[string]any {
+		return doc["layers"].([]any)[j].(map[string]any)
+	}
+	cases := map[string][]byte{
+		"not json":         []byte("not json"),
+		"empty":            []byte(`{}`),
+		"wrong version":    mutate(t, func(d map[string]any) { d["version"] = WireVersion + 1 }),
+		"empty topology":   mutate(t, func(d map[string]any) { d["topology"] = []int{} }),
+		"single level":     mutate(t, func(d map[string]any) { d["topology"] = []int{4} }),
+		"zero level width": mutate(t, func(d map[string]any) { d["topology"] = []int{2, 0, 2} }),
+		"negative width":   mutate(t, func(d map[string]any) { d["topology"] = []int{2, -8, 2} }),
+		"huge width":       mutate(t, func(d map[string]any) { d["topology"] = []int{2, MaxWireNodes + 1, 2} }),
+		"layer count":      mutate(t, func(d map[string]any) { d["layers"] = d["layers"].([]any)[:1] }),
+		"bad format":       mutate(t, func(d map[string]any) { layer(d, 0)["digit"] = 9 }),
+		"bad base64":       mutate(t, func(d map[string]any) { layer(d, 0)["words"] = "!!!" }),
+		"odd blob":         mutate(t, func(d map[string]any) { layer(d, 0)["words"] = "AAA=" }), // 2 chars of payload → 1 byte
+		"short words":      mutate(t, func(d map[string]any) { layer(d, 0)["words"] = "AAAA" }),
+		"topology mismatch": mutate(t, func(d map[string]any) {
+			d["topology"] = []int{13, 8, 4, 3} // words sized for 12 inputs
+		}),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalWire(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestMarshalWireRejectsBadShapes(t *testing.T) {
+	q, _, _ := trainedQuantized(t)
+	broken := &Quantized{Topology: q.Topology, Formats: q.Formats, Words: q.Words[:1]}
+	if _, err := broken.MarshalWire(); err == nil {
+		t.Fatal("marshaled a network with a missing word layer")
+	}
+	short := &Quantized{
+		Topology: q.Topology,
+		Formats:  q.Formats,
+		Words:    [][]fixed.Word{q.Words[0][:3], q.Words[1], q.Words[2]},
+	}
+	if _, err := short.MarshalWire(); err == nil {
+		t.Fatal("marshaled a network with truncated words")
+	}
+}
+
+func TestTestSetWireRoundTrip(t *testing.T) {
+	_, xs, ys := trainedQuantized(t)
+	data, err := MarshalTestSet(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, gy, err := UnmarshalTestSet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gx) != len(xs) || len(gy) != len(ys) {
+		t.Fatalf("round trip sizes %d/%d, want %d/%d", len(gx), len(gy), len(xs), len(ys))
+	}
+	for i := range xs {
+		if gy[i] != ys[i] {
+			t.Fatalf("label %d changed: %d vs %d", i, gy[i], ys[i])
+		}
+		for k := range xs[i] {
+			// The wire narrows to float32; the decoded value must be the
+			// exact float32 image of the original.
+			if want := float64(float32(xs[i][k])); gx[i][k] != want {
+				t.Fatalf("input [%d][%d] decoded as %v, want %v", i, k, gx[i][k], want)
+			}
+		}
+	}
+
+	// A decoded set re-encodes byte-identically (float32 is a fixed point of
+	// the narrowing), so payloads are stable across hops.
+	data2, err := MarshalTestSet(gx, gy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("re-encoding the decoded test set changed the document")
+	}
+}
+
+func TestTestSetWireRejectsMalformedDocuments(t *testing.T) {
+	data, err := MarshalTestSet([][]float64{{0.5, 1}, {0.25, 0}}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(doc map[string]any)) []byte {
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		f(doc)
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := map[string][]byte{
+		"not json":        []byte("["),
+		"empty":           []byte(`{}`),
+		"wrong version":   mutate(func(d map[string]any) { d["version"] = 99 }),
+		"zero samples":    mutate(func(d map[string]any) { d["samples"] = 0 }),
+		"huge samples":    mutate(func(d map[string]any) { d["samples"] = MaxWireSamples + 1 }),
+		"zero features":   mutate(func(d map[string]any) { d["features"] = 0 }),
+		"label count":     mutate(func(d map[string]any) { d["y"] = []int{0} }),
+		"negative label":  mutate(func(d map[string]any) { d["y"] = []int{0, -1} }),
+		"bad base64":      mutate(func(d map[string]any) { d["x"] = "%" }),
+		"short blob":      mutate(func(d map[string]any) { d["x"] = "AAAAAA==" }),
+		"features resize": mutate(func(d map[string]any) { d["features"] = 3 }),
+	}
+	for name, doc := range cases {
+		if _, _, err := UnmarshalTestSet(doc); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	if _, err := MarshalTestSet([][]float64{{1, 2}, {3}}, []int{0, 1}); err == nil {
+		t.Error("marshaled a ragged test set")
+	}
+	if _, err := MarshalTestSet(nil, nil); err == nil {
+		t.Error("marshaled an empty test set")
+	}
+	if _, err := MarshalTestSet([][]float64{{1}}, []int{-2}); err == nil {
+		t.Error("marshaled a negative label")
+	}
+}

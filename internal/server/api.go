@@ -1,12 +1,14 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"time"
 
 	"repro/internal/characterize"
 	"repro/internal/engine"
+	"repro/internal/nn"
 	"repro/internal/platform"
 )
 
@@ -25,11 +27,13 @@ type BoardSpec struct {
 }
 
 // CampaignRequest is the body of POST /v1/campaigns. Kind names an engine
-// campaign kind; the inference kind is rejected — deploying a network
-// requires in-process data the JSON API does not carry.
+// campaign kind; "nn-inference" campaigns additionally carry the quantized
+// network and its test set as nested wire documents (nn.MarshalWire /
+// nn.MarshalTestSet), so the one campaign kind that needs bulk data can ride
+// the same JSON endpoint as the synthetic sweeps.
 type CampaignRequest struct {
 	// Kind is the engine kind name: "characterization", "temperature-study",
-	// "pattern-study", or "threshold-discovery".
+	// "nn-inference", "pattern-study", or "threshold-discovery".
 	Kind string `json:"kind"`
 	// Boards lists the fleet inventory.
 	Boards []BoardSpec `json:"boards"`
@@ -47,9 +51,24 @@ type CampaignRequest struct {
 	Patterns []string `json:"patterns,omitempty"`
 	// ProbeRuns tunes threshold discovery's per-level probe (0 = 3).
 	ProbeRuns int `json:"probe_runs,omitempty"`
+	// Net is the versioned wire form of the quantized network an
+	// "nn-inference" campaign deploys (nn.MarshalWire). Raw JSON, so the
+	// document nests without double encoding.
+	Net json.RawMessage `json:"net,omitempty"`
+	// TestSet is the wire form of the campaign's test set
+	// (nn.MarshalTestSet).
+	TestSet json.RawMessage `json:"test_set,omitempty"`
+	// Seed is the placement seed of an nn-inference campaign (0 = 1).
+	Seed uint64 `json:"seed,omitempty"`
 	// SkipCache forces re-characterization even when the store is warm.
 	SkipCache bool `json:"skip_cache,omitempty"`
 }
+
+// maxInferenceSamples caps an nn-inference submission's test-set size — MNIST's
+// full 10 000-sample test split, the largest set the paper evaluates. Together
+// with the nn wire caps on network size it bounds the work one
+// unauthenticated POST can schedule.
+const maxInferenceSamples = 10000
 
 // campaign compiles the request into an engine campaign. Validation errors
 // are returned as *apiError with a 400 status.
@@ -58,15 +77,27 @@ func (req *CampaignRequest) campaign() (engine.Campaign, error) {
 	if err != nil {
 		return engine.Campaign{}, badRequestf("unknown campaign kind %q", req.Kind)
 	}
-	if kind == engine.NNInference {
-		return engine.Campaign{}, badRequestf("inference campaigns need an in-process network; use the fpgavolt library API")
-	}
 	c := engine.Campaign{
 		Kind:      kind,
 		Sweep:     characterize.Options{Runs: req.Runs, OnBoardC: req.TempC},
 		Temps:     req.Temps,
 		ProbeRuns: req.ProbeRuns,
+		Seed:      req.Seed,
 		SkipCache: req.SkipCache,
+	}
+	if kind == engine.NNInference {
+		if err := req.decodeInference(&c); err != nil {
+			return engine.Campaign{}, err
+		}
+	} else {
+		// Inference-only fields on another kind are rejected, not silently
+		// ignored — a client setting them expects them to matter.
+		if len(req.Net) > 0 || len(req.TestSet) > 0 {
+			return engine.Campaign{}, badRequestf("net/test_set only ride %q campaigns", engine.NNInference)
+		}
+		if req.Seed != 0 {
+			return engine.Campaign{}, badRequestf("seed only rides %q campaigns", engine.NNInference)
+		}
 	}
 	// Every work-multiplying field is bounded: an unauthenticated POST must
 	// not be able to schedule an effectively unbounded campaign.
@@ -115,6 +146,40 @@ func (req *CampaignRequest) campaign() (engine.Campaign, error) {
 		}
 	}
 	return c, nil
+}
+
+// decodeInference unpacks and cross-validates the request's network and
+// test-set wire documents into the campaign. Every structural check (shape,
+// bounds, word counts) happens in the nn decoders; here the two documents
+// are checked against each other, since a network fed inputs of the wrong
+// width or labels outside its output layer would fault at campaign time on
+// every board.
+func (req *CampaignRequest) decodeInference(c *engine.Campaign) error {
+	if len(req.Net) == 0 || len(req.TestSet) == 0 {
+		return badRequestf("%q campaigns need net and test_set wire documents", engine.NNInference)
+	}
+	q, err := nn.UnmarshalWire(req.Net)
+	if err != nil {
+		return badRequestf("net: %v", err)
+	}
+	xs, ys, err := nn.UnmarshalTestSet(req.TestSet)
+	if err != nil {
+		return badRequestf("test_set: %v", err)
+	}
+	if len(xs) > maxInferenceSamples {
+		return badRequestf("test set has %d samples, limit %d", len(xs), maxInferenceSamples)
+	}
+	if got, want := len(xs[0]), q.Topology[0]; got != want {
+		return badRequestf("test set has %d features but the network expects %d", got, want)
+	}
+	classes := q.Topology[len(q.Topology)-1]
+	for i, y := range ys {
+		if y >= classes {
+			return badRequestf("label %d at sample %d outside the network's %d classes", y, i, classes)
+		}
+	}
+	c.Net, c.TestX, c.TestY = q, xs, ys
+	return nil
 }
 
 // inventory expands the board specs into the fleet inventory.
@@ -181,6 +246,27 @@ func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCancelled
 }
 
+// NewInferenceRequest assembles the wire form of an NN-inference campaign:
+// the quantized network and its test set are serialized into their versioned
+// wire documents and embedded in the request. seed 0 means placement seed 1.
+func NewInferenceRequest(boards []BoardSpec, q *nn.Quantized, xs [][]float64, ys []int, seed uint64) (CampaignRequest, error) {
+	netDoc, err := q.MarshalWire()
+	if err != nil {
+		return CampaignRequest{}, err
+	}
+	tsDoc, err := nn.MarshalTestSet(xs, ys)
+	if err != nil {
+		return CampaignRequest{}, err
+	}
+	return CampaignRequest{
+		Kind:    engine.NNInference.String(),
+		Boards:  boards,
+		Net:     netDoc,
+		TestSet: tsDoc,
+		Seed:    seed,
+	}, nil
+}
+
 // PatternStatus is one fill's outcome in a pattern-study job.
 type PatternStatus struct {
 	Name          string  `json:"name"`
@@ -203,7 +289,18 @@ type BoardStatus struct {
 	IntVminV   float64         `json:"int_vmin_v,omitempty"`
 	IntVcrashV float64         `json:"int_vcrash_v,omitempty"`
 	Patterns   []PatternStatus `json:"patterns,omitempty"`
-	Error      string          `json:"error,omitempty"`
+	// Inference is the board's accuracy-vs-voltage curve (nn-inference
+	// jobs), deepest level last — the Fig. 11 data, per chip.
+	Inference []InferencePoint `json:"inference,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// InferencePoint is one voltage step of an nn-inference job's accuracy
+// curve.
+type InferencePoint struct {
+	V           float64 `json:"v"`
+	Error       float64 `json:"error"`
+	WeightFault int     `json:"weight_fault"`
 }
 
 // JobStatus is the wire form of a job, returned by submit and job queries.
@@ -231,18 +328,21 @@ type JobStatus struct {
 // firehose streams and resumes by, and Job names the job the event belongs
 // to — both persist in the journal, so cursors survive restarts.
 type JobEvent struct {
-	Seq       int      `json:"seq"`
-	GSeq      int64    `json:"gseq,omitempty"`
-	Job       string   `json:"job,omitempty"`
-	Type      string   `json:"type"` // start | done | failed | campaign
-	Board     int      `json:"board,omitempty"`
-	Platform  string   `json:"platform,omitempty"`
-	Serial    string   `json:"serial,omitempty"`
-	FromCache bool     `json:"from_cache,omitempty"`
-	Faults    float64  `json:"faults_per_mbit,omitempty"`
-	Progress  float64  `json:"progress"`
-	State     JobState `json:"state,omitempty"` // campaign event only
-	Error     string   `json:"error,omitempty"`
+	Seq       int     `json:"seq"`
+	GSeq      int64   `json:"gseq,omitempty"`
+	Job       string  `json:"job,omitempty"`
+	Type      string  `json:"type"` // start | done | failed | campaign
+	Board     int     `json:"board,omitempty"`
+	Platform  string  `json:"platform,omitempty"`
+	Serial    string  `json:"serial,omitempty"`
+	FromCache bool    `json:"from_cache,omitempty"`
+	Faults    float64 `json:"faults_per_mbit,omitempty"`
+	// InferError is the board's classification error at the deepest
+	// inference level (done events of nn-inference jobs).
+	InferError float64  `json:"infer_error,omitempty"`
+	Progress   float64  `json:"progress"`
+	State      JobState `json:"state,omitempty"` // campaign event only
+	Error      string   `json:"error,omitempty"`
 }
 
 // FVMInfo is one stored characterization, as listed by GET /v1/fvms.

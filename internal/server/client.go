@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/fvm"
+	"repro/internal/nn"
 )
 
 // Client is the typed HTTP client for the campaign service. It speaks the
@@ -95,6 +96,18 @@ func (c *Client) Submit(ctx context.Context, req CampaignRequest) (JobStatus, er
 	var st JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/campaigns", req, &st)
 	return st, err
+}
+
+// SubmitInference serializes the quantized network and test set into their
+// wire documents and submits an nn-inference campaign across the given
+// boards — the remote counterpart of building an engine.Campaign with an
+// in-process *nn.Quantized. seed 0 means placement seed 1.
+func (c *Client) SubmitInference(ctx context.Context, boards []BoardSpec, q *nn.Quantized, xs [][]float64, ys []int, seed uint64) (JobStatus, error) {
+	req, err := NewInferenceRequest(boards, q, xs, ys, seed)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("client: %w", err)
+	}
+	return c.Submit(ctx, req)
 }
 
 // Job fetches one job's status.

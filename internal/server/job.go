@@ -92,14 +92,15 @@ func (j *Job) setRunning() bool {
 // the streams.
 func (j *Job) appendEngineEvent(ev engine.Event) {
 	je := JobEvent{
-		Type:      ev.Kind.String(),
-		Job:       j.id,
-		Board:     ev.Board,
-		Platform:  ev.Platform,
-		Serial:    ev.Serial,
-		FromCache: ev.FromCache,
-		Faults:    ev.Faults,
-		Progress:  ev.Progress,
+		Type:       ev.Kind.String(),
+		Job:        j.id,
+		Board:      ev.Board,
+		Platform:   ev.Platform,
+		Serial:     ev.Serial,
+		FromCache:  ev.FromCache,
+		Faults:     ev.Faults,
+		InferError: ev.InferError,
+		Progress:   ev.Progress,
 	}
 	if ev.Err != nil {
 		je.Error = ev.Err.Error()
@@ -134,6 +135,10 @@ func (j *Job) finish(res *engine.CampaignResult, err error) {
 	j.finished = time.Now()
 	j.result = res
 	j.err = err
+	// The bulk inference payload (network words + test set) is dead weight
+	// once the job is terminal; drop the job's copy so finished history
+	// entries don't pin megabytes each. The engine ran on its own copy.
+	j.campaign.Net, j.campaign.TestX, j.campaign.TestY = nil, nil, nil
 	switch {
 	case err == nil:
 		j.state = JobDone
@@ -172,6 +177,7 @@ func (j *Job) markCancelled() {
 	}
 	j.state = JobCancelled
 	j.finished = time.Now()
+	j.campaign.Net, j.campaign.TestX, j.campaign.TestY = nil, nil, nil
 	te := JobEvent{
 		Seq: len(j.events), Type: "campaign", Job: j.id, Progress: j.progress,
 		State: JobCancelled, Error: context.Canceled.Error(),
@@ -268,6 +274,11 @@ func (j *Job) statusLocked(includeResults bool) JobStatus {
 			for _, pr := range r.Patterns {
 				bs.Patterns = append(bs.Patterns, PatternStatus{
 					Name: pr.Name, FaultsPerMbit: pr.FaultsPerMbit, Flip10Share: pr.Flip10Share,
+				})
+			}
+			for _, ir := range r.Inference {
+				bs.Inference = append(bs.Inference, InferencePoint{
+					V: ir.V, Error: ir.Error, WeightFault: ir.WeightFault,
 				})
 			}
 			st.BoardResults = append(st.BoardResults, bs)

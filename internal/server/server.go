@@ -16,7 +16,12 @@
 //	GET    /healthz             liveness + queue depth + journal health
 //
 // Campaigns run on a bounded worker pool fed by a bounded queue: a full
-// queue answers 503 instead of buffering without limit. Every campaign's
+// queue answers 503 instead of buffering without limit. Every engine kind
+// is accepted, including nn-inference: the quantized network and its test
+// set ride the submission as versioned wire documents (nn.MarshalWire /
+// nn.MarshalTestSet) under a raised body limit that applies to that kind
+// only, and the job's detail carries each board's accuracy-vs-voltage
+// curve. Every campaign's
 // fleet shares the server's FVM cache and store, so characterization
 // results persist across jobs and process restarts, and a re-submitted
 // characterization campaign is served from disk instead of re-measuring
@@ -37,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -277,14 +283,42 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Submission body limits. Synthetic-sweep campaigns are small documents;
+// only nn-inference submissions — whose network words and test set dominate
+// — may use the larger cap (a paper-scale network plus MNIST's full test
+// split ride in well under it).
+const (
+	maxSubmitBody   = 1 << 20
+	maxNNSubmitBody = 48 << 20
+)
+
 // handleSubmit enqueues a campaign and answers 202 with the queued job.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	// A campaign submission is a small document; anything bigger is not a
-	// campaign.
-	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	// The kind-specific limit can only be enforced after the kind is known
+	// (it lives in the body), so the body is read under the large cap and
+	// re-checked once decoded: a non-NN campaign bigger than the small cap
+	// is rejected with 413. The transient large read is the unavoidable
+	// price of carrying the kind in the document itself.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxNNSubmitBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds the %d-byte submission limit", maxNNSubmitBody)})
+			return
+		}
+		writeError(w, badRequestf("read request: %v", err))
+		return
+	}
 	var req CampaignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(raw, &req); err != nil {
 		writeError(w, badRequestf("decode request: %v", err))
+		return
+	}
+	if len(raw) > maxSubmitBody && req.Kind != engine.NNInference.String() {
+		writeError(w, &apiError{status: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("%q submissions are limited to %d bytes; only nn-inference bodies may be larger",
+				req.Kind, maxSubmitBody)})
 		return
 	}
 	c, err := req.campaign()

@@ -389,15 +389,27 @@ func TestValidationAndErrors(t *testing.T) {
 		t.Fatalf("malformed body answered %d", resp.StatusCode)
 	}
 
-	// An oversized body is cut off, not buffered.
+	// A body over the 1 MB cap is refused for every kind but nn-inference
+	// (the large cap exists solely for network words and test sets).
 	huge := strings.NewReader(`{"kind":"` + strings.Repeat("x", 2<<20) + `"}`)
 	resp2, err := http.Post(baseURL(client)+"/v1/campaigns", "application/json", huge)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	if resp2.StatusCode != 400 {
-		t.Fatalf("oversized body answered %d", resp2.StatusCode)
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body answered %d, want 413", resp2.StatusCode)
+	}
+
+	// Beyond the nn-inference cap the body is cut off regardless of kind.
+	vast := strings.NewReader(`{"kind":"` + strings.Repeat("x", 49<<20) + `"}`)
+	resp3, err := http.Post(baseURL(client)+"/v1/campaigns", "application/json", vast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("vast body answered %d, want 413", resp3.StatusCode)
 	}
 }
 
