@@ -4,12 +4,17 @@ BENCH ?= .
 BENCHTIME ?= 1x
 # The committed baseline bench-compare diffs against, and the selector and
 # benchtime it was recorded with — keep all three in step when refreshing it.
-BASELINE ?= BENCH_pr4.json
-BASELINE_BENCH ?= FullPool|Fig03FaultPowerSweep|DieConstruction
+# Calibration must stay in the selector: the compare normalizes ns/op by its
+# old→new ratio, so runner-speed drift is not mistaken for a code change.
+BASELINE ?= BENCH_pr6.json
+BASELINE_BENCH ?= FullPool|Fig03FaultPowerSweep|DieConstruction|JournalAppend|FirehoseResumeDeep|Calibration
 BASELINE_BENCHTIME ?= 2s
-THRESHOLD ?= 50
+THRESHOLD ?= 40
+# Journal appends are gated on bytes/event (deterministic), not ns/op
+# (fsync-noisy): tight threshold, separate compare pass below.
+JOURNAL_THRESHOLD ?= 10
 
-.PHONY: build test race bench bench-smoke bench-json bench-compare
+.PHONY: build test race bench bench-smoke bench-json bench-compare loadgen loadgen-smoke
 
 build:
 	$(GO) build ./...
@@ -34,10 +39,35 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/benchjson -label $(LABEL) -bench '$(BENCH)' -benchtime $(BENCHTIME)
 
-# Re-run the committed baseline's benchmarks and fail on >$(THRESHOLD)%
-# ns/op regressions against it (the CI bench-compare job). -count 3 folds
-# to per-metric medians so one noisy run cannot fail the gate alone.
+# Re-run the committed baseline's benchmarks and fail on regressions against
+# it (the CI bench-compare job). Two passes: ns/op calibrated by the
+# machine-speed benchmark and skipping the fsync-bound journal appends, then
+# the journal appends on their deterministic bytes/event metric. -count 3
+# folds to per-metric medians so one noisy run cannot fail the gate alone.
 bench-compare:
 	$(GO) run ./cmd/benchjson -label compare -bench '$(BASELINE_BENCH)' \
 		-benchtime $(BASELINE_BENCHTIME) -count 3 -out BENCH_compare.json
-	$(GO) run ./cmd/benchjson -compare $(BASELINE) BENCH_compare.json -threshold $(THRESHOLD)
+	$(GO) run ./cmd/benchjson -compare $(BASELINE) BENCH_compare.json \
+		-threshold $(THRESHOLD) -calibrate Calibration -skip JournalAppend
+	$(GO) run ./cmd/benchjson -compare $(BASELINE) BENCH_compare.json \
+		-metric bytes/event -threshold $(JOURNAL_THRESHOLD)
+
+# Serving-path load test: a self-hosted daemon under 200 concurrent
+# submit/SSE/query clients. Fails if any SSE event is dropped or any job
+# does not complete; writes LOADGEN_$(LABEL).json in the benchjson schema.
+loadgen:
+	$(GO) run ./cmd/fpgavoltd-loadgen -selfhost -clients 200 -jobs 200 \
+		-label $(LABEL) -out LOADGEN_$(LABEL).json
+
+# CI smoke: the full 200-client load plus a calibrated latency diff against
+# the committed serving-path baseline. Latency quantiles are far noisier
+# than micro-benchmarks, so the gate is wide — it exists to catch
+# serving-path collapse (O(N) event appends, dropped events, stalled
+# streams), not millisecond drift.
+loadgen-smoke:
+	$(GO) run ./cmd/fpgavoltd-loadgen -selfhost -clients 200 -jobs 200 \
+		-label smoke -out LOADGEN_smoke.json
+	$(GO) run ./cmd/benchjson -compare LOADGEN_pr6.json LOADGEN_smoke.json \
+		-threshold 400 -calibrate Calibration
+	$(GO) run ./cmd/benchjson -compare LOADGEN_pr6.json LOADGEN_smoke.json \
+		-metric bytes/event -threshold 25

@@ -13,8 +13,13 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/board"
@@ -30,7 +35,9 @@ import (
 	"repro/internal/power"
 	"repro/internal/prng"
 	"repro/internal/report"
+	"repro/internal/server"
 	"repro/internal/silicon"
+	"repro/internal/store"
 )
 
 // benchCfg is the reduced scale every figure benchmark runs at.
@@ -514,4 +521,147 @@ func BenchmarkPRNGHierarchy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = root.DeriveN(uint64(i), uint64(i>>4)).Uint64()
 	}
+}
+
+// calibrationSink defeats dead-code elimination in BenchmarkCalibration.
+var calibrationSink uint64
+
+// BenchmarkCalibration runs a fixed pure-CPU workload (xorshift over a
+// constant iteration count) whose timing depends only on the machine, never
+// on repository code. `benchjson -compare -calibrate Calibration` divides
+// every new reading by this benchmark's old→new ratio, so a slower or faster
+// CI runner does not masquerade as a code regression or mask a real one.
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := uint64(0x9e3779b97f4a7c15)
+		for j := 0; j < 1<<18; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		calibrationSink = x
+	}
+}
+
+// benchJournalPayload is a realistic per-event journal payload: the wire
+// form of a mid-campaign board event.
+var benchJournalPayload = json.RawMessage(`{"seq":7,"gseq":42,"job":"job-0007","type":"done","board":3,"platform":"VC707","serial":"VC707-003","faults_per_mbit":12.5,"progress":50}`)
+
+// BenchmarkJournalAppend measures appending one event to a disk-journaled
+// job whose log already holds `preload` events. The event log is
+// append-only, so ns/op and bytes/event must stay flat from 100 to 10 000
+// preloaded events — the O(events²) rewrite-everything journal this design
+// replaced grew both linearly.
+func BenchmarkJournalAppend(b *testing.B) {
+	for _, preload := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("preload=%d", preload), func(b *testing.B) {
+			st, err := store.OpenDisk(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			// Compaction off: this benchmark isolates the append path's
+			// cost (compaction's amortized rewrite is accounted
+			// separately and would otherwise land inside random measured
+			// windows).
+			st.SetEventLogTuning(0, 1<<30)
+			const id = "bench-journal"
+			if err := st.PutJob(&store.JobRecord{ID: id, Seq: 1, Payload: json.RawMessage(`{"id":"bench-journal"}`)}); err != nil {
+				b.Fatal(err)
+			}
+			seq := 0
+			appendOne := func() {
+				ev := store.EventRecord{Job: id, Seq: seq, GSeq: int64(seq + 1), Payload: benchJournalPayload}
+				seq++
+				if err := st.AppendJobEvents(id, []store.EventRecord{ev}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < preload; i++ {
+				appendOne()
+			}
+			bytesAt := st.JournalBytes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				appendOne()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(st.JournalBytes()-bytesAt)/float64(b.N), "bytes/event")
+		})
+	}
+}
+
+// BenchmarkFirehoseResumeDeep measures a client resuming the /v1/events
+// firehose from global sequence 1 against a freshly restarted server whose
+// in-memory window (64 events) holds only the tail — every earlier event
+// must page back from the journal. The measured pass is the full HTTP SSE
+// round trip, cursor 1 → caught up.
+func BenchmarkFirehoseResumeDeep(b *testing.B) {
+	st := store.NewMem()
+	boot := func() (*server.Server, *httptest.Server, *server.Client) {
+		srv, err := server.New(server.Config{
+			Store: st, Workers: 4, QueueDepth: 64,
+			FirehoseBuffer: 64, JobEventWindow: 64, MaxJobHistory: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		return srv, ts, server.NewClient(ts.URL, ts.Client())
+	}
+	shutdown := func(srv *server.Server, ts *httptest.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		ts.Close()
+	}
+
+	// Seed the journal with ~20× the firehose window: 20 campaigns of 32
+	// boards (65 events each; every campaign past the first rides the FVM
+	// cache). Track the last global sequence so the measured resume knows
+	// when it has caught up.
+	srv, ts, client := boot()
+	ctx := context.Background()
+	var lastG int64
+	for i := 0; i < 20; i++ {
+		job, err := client.Submit(ctx, server.CampaignRequest{
+			Kind:   "characterization",
+			Boards: []server.BoardSpec{{Platform: "VC707", Replicas: 32, BRAMs: 1}},
+			Runs:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Wait(ctx, job.ID, func(ev server.JobEvent) error {
+			if ev.GSeq > lastG {
+				lastG = ev.GSeq
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	shutdown(srv, ts)
+	srv, ts, client = boot() // restart: the window is empty, the journal is not
+	defer shutdown(srv, ts)
+
+	caughtUp := errors.New("caught up")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := 0
+		err := client.Firehose(ctx, 1, func(ev server.JobEvent) error {
+			events++
+			if ev.GSeq >= lastG {
+				return caughtUp
+			}
+			return nil
+		})
+		if !errors.Is(err, caughtUp) {
+			b.Fatalf("resume ended early after %d events: %v", events, err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lastG-1), "events/resume")
 }

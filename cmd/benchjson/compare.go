@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 )
 
 // Delta is one benchmark's old-vs-new reading of the compared metric.
@@ -24,6 +25,9 @@ type Comparison struct {
 	Steady     []Delta // within ±Threshold
 	Missing    []string
 	CPUChanged bool
+	CalName    string  // calibration benchmark, "" when uncalibrated
+	CalScale   float64 // newCal/oldCal on Metric; new values are divided by it
+	Skip       string  // name substring excluded from the diff, "" = none
 }
 
 // compareBaselines diffs new against old on the given metric. Benchmarks
@@ -32,17 +36,44 @@ type Comparison struct {
 // path cannot pass as "no regressions". Entries without the metric on
 // either side are skipped — custom-metric-only benchmarks have nothing to
 // diff.
-func compareBaselines(oldB, newB *Baseline, metric string, threshold float64) Comparison {
+//
+// When calibrate names a benchmark, its metric ratio newCal/oldCal is taken
+// as the machine-speed drift between the two runs and every new value is
+// divided by it before classification: a uniformly slower runner does not
+// flag regressions, and a uniformly faster one does not mask them. The
+// calibration benchmark itself measures the machine, not the code, so it is
+// never classified. Naming a benchmark that lacks the metric on either side
+// is an error — silently falling back to an uncalibrated diff would defeat
+// the point.
+//
+// skip, when non-empty, excludes benchmarks whose name contains it from the
+// diff entirely — for benchmarks gated on a different metric by a separate
+// compare invocation (e.g. JournalAppend's fsync-noisy ns/op is skipped by
+// the ns/op pass and gated on bytes/event instead).
+func compareBaselines(oldB, newB *Baseline, metric string, threshold float64, calibrate, skip string) (Comparison, error) {
 	cmp := Comparison{
 		Metric:     metric,
 		Threshold:  threshold,
 		CPUChanged: oldB.CPU != "" && newB.CPU != "" && oldB.CPU != newB.CPU,
+		CalName:    calibrate,
+		CalScale:   1,
+		Skip:       skip,
 	}
 	byName := make(map[string]Result, len(newB.Results))
 	for _, r := range newB.Results {
 		byName[r.Name] = r
 	}
+	if calibrate != "" {
+		scale, err := calibrationScale(oldB.Results, byName, metric, calibrate)
+		if err != nil {
+			return cmp, err
+		}
+		cmp.CalScale = scale
+	}
 	for _, o := range oldB.Results {
+		if o.Name == calibrate || (skip != "" && strings.Contains(o.Name, skip)) {
+			continue
+		}
 		n, ok := byName[o.Name]
 		if !ok {
 			cmp.Missing = append(cmp.Missing, o.Name)
@@ -53,7 +84,8 @@ func compareBaselines(oldB, newB *Baseline, metric string, threshold float64) Co
 		if !okO || !okN || ov <= 0 {
 			continue
 		}
-		d := Delta{Name: o.Name, Old: ov, New: nv, Pct: 100 * (nv - ov) / ov}
+		d := Delta{Name: o.Name, Old: ov, New: nv / cmp.CalScale}
+		d.Pct = 100 * (d.New - d.Old) / d.Old
 		switch {
 		case d.Pct > threshold:
 			cmp.Regressed = append(cmp.Regressed, d)
@@ -63,14 +95,40 @@ func compareBaselines(oldB, newB *Baseline, metric string, threshold float64) Co
 			cmp.Steady = append(cmp.Steady, d)
 		}
 	}
-	return cmp
+	return cmp, nil
+}
+
+// calibrationScale resolves the machine-drift ratio from the named
+// calibration benchmark, requiring a positive reading of the metric on both
+// sides.
+func calibrationScale(oldResults []Result, newByName map[string]Result, metric, name string) (float64, error) {
+	var ov, nv float64
+	for _, o := range oldResults {
+		if o.Name == name {
+			ov = o.Metrics[metric]
+		}
+	}
+	if n, ok := newByName[name]; ok {
+		nv = n.Metrics[metric]
+	}
+	if ov <= 0 || nv <= 0 {
+		return 0, fmt.Errorf("calibration benchmark %q needs a positive %s reading in both baselines (old %g, new %g)",
+			name, metric, ov, nv)
+	}
+	return nv / ov, nil
 }
 
 // render writes the human report. The exit decision stays with the caller.
 func (c Comparison) render(w io.Writer, oldPath, newPath string) {
 	fmt.Fprintf(w, "benchjson: comparing %s (old) vs %s (new) on %s, threshold %g%%\n",
 		oldPath, newPath, c.Metric, c.Threshold)
-	if c.CPUChanged {
+	if c.CalName != "" {
+		fmt.Fprintf(w, "calibrated by %s: machine scale ×%.3f (new values normalized)\n", c.CalName, c.CalScale)
+	}
+	if c.Skip != "" {
+		fmt.Fprintf(w, "skipping benchmarks matching %q on this metric\n", c.Skip)
+	}
+	if c.CPUChanged && c.CalName == "" {
 		fmt.Fprintf(w, "warning: baselines come from different CPUs — deltas include machine drift\n")
 	}
 	line := func(tag string, d Delta) {
@@ -97,28 +155,39 @@ func (c Comparison) render(w io.Writer, oldPath, newPath string) {
 }
 
 // runCompare implements `benchjson -compare old.json new.json [-threshold
-// pct] [-metric unit]`. Flags and positionals are scanned by hand so the
-// documented order (paths before flags) parses. Returns the process exit
-// code: 0 clean, 1 regressions found, 2 usage or read errors.
+// pct] [-metric unit] [-calibrate bench] [-skip substr]`. Flags and
+// positionals are scanned by hand so the documented order (paths before
+// flags) parses. Returns the process exit code: 0 clean, 1 regressions
+// found, 2 usage or read errors.
 func runCompare(argv []string, w io.Writer) int {
 	threshold := 10.0
 	metric := "ns/op"
+	calibrate := ""
+	skip := ""
 	var paths []string
 	usage := func(msg string) int {
-		fmt.Fprintf(os.Stderr, "benchjson: %s\nusage: benchjson -compare old.json new.json [-threshold pct] [-metric unit]\n", msg)
+		fmt.Fprintf(os.Stderr, "benchjson: %s\nusage: benchjson -compare old.json new.json [-threshold pct] [-metric unit] [-calibrate bench] [-skip substr]\n", msg)
 		return 2
 	}
 	for i := 0; i < len(argv); i++ {
 		switch a := argv[i]; a {
 		case "-compare", "--compare":
 			// The mode marker itself.
-		case "-threshold", "--threshold", "-metric", "--metric":
+		case "-threshold", "--threshold", "-metric", "--metric", "-calibrate", "--calibrate", "-skip", "--skip":
 			i++
 			if i >= len(argv) {
 				return usage(a + " needs a value")
 			}
 			if a == "-metric" || a == "--metric" {
 				metric = argv[i]
+				continue
+			}
+			if a == "-calibrate" || a == "--calibrate" {
+				calibrate = argv[i]
+				continue
+			}
+			if a == "-skip" || a == "--skip" {
+				skip = argv[i]
 				continue
 			}
 			v, err := strconv.ParseFloat(argv[i], 64)
@@ -144,7 +213,10 @@ func runCompare(argv []string, w io.Writer) int {
 	if err != nil {
 		return usage(err.Error())
 	}
-	cmp := compareBaselines(oldB, newB, metric, threshold)
+	cmp, err := compareBaselines(oldB, newB, metric, threshold, calibrate, skip)
+	if err != nil {
+		return usage(err.Error())
+	}
 	cmp.render(w, paths[0], paths[1])
 	if len(cmp.Regressed) > 0 {
 		return 1

@@ -19,7 +19,10 @@ func res(name string, nsop float64) Result {
 func TestCompareBaselinesClassifiesDeltas(t *testing.T) {
 	oldB := baselineOf(res("A", 100), res("B", 100), res("C", 100), res("Gone", 50))
 	newB := baselineOf(res("A", 131), res("B", 105), res("C", 60), res("Added", 10))
-	c := compareBaselines(oldB, newB, "ns/op", 30)
+	c, err := compareBaselines(oldB, newB, "ns/op", 30, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c.Regressed) != 1 || c.Regressed[0].Name != "A" {
 		t.Fatalf("regressed %+v, want only A", c.Regressed)
 	}
@@ -38,7 +41,10 @@ func TestCompareBaselinesClassifiesDeltas(t *testing.T) {
 }
 
 func TestCompareBaselinesExactlyAtThresholdPasses(t *testing.T) {
-	c := compareBaselines(baselineOf(res("A", 100)), baselineOf(res("A", 110)), "ns/op", 10)
+	c, err := compareBaselines(baselineOf(res("A", 100)), baselineOf(res("A", 110)), "ns/op", 10, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c.Regressed) != 0 {
 		t.Fatalf("a delta exactly at the threshold regressed: %+v", c.Regressed)
 	}
@@ -47,9 +53,89 @@ func TestCompareBaselinesExactlyAtThresholdPasses(t *testing.T) {
 func TestCompareBaselinesSkipsMissingMetric(t *testing.T) {
 	oldB := baselineOf(Result{Name: "A", Metrics: map[string]float64{"MB/s": 5}})
 	newB := baselineOf(res("A", 999))
-	c := compareBaselines(oldB, newB, "ns/op", 10)
+	c, err := compareBaselines(oldB, newB, "ns/op", 10, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c.Regressed)+len(c.Improved)+len(c.Steady) != 0 {
 		t.Fatalf("metric-less benchmark was diffed: %+v", c)
+	}
+}
+
+func TestCompareCalibrationNormalizesMachineDrift(t *testing.T) {
+	// The whole new run is 2× slower — including the calibration benchmark —
+	// so nothing really regressed.
+	oldB := baselineOf(res("A", 100), res("B", 100), res("Calibration", 50))
+	newB := baselineOf(res("A", 200), res("B", 230), res("Calibration", 100))
+	c, err := compareBaselines(oldB, newB, "ns/op", 10, "Calibration", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CalScale < 1.999 || c.CalScale > 2.001 {
+		t.Fatalf("scale %g, want 2", c.CalScale)
+	}
+	// A is exactly machine drift → steady at ~0%; B is 2.3× raw, i.e. a real
+	// +15%-beyond-drift regression the normalization must still catch.
+	if len(c.Steady) != 1 || c.Steady[0].Name != "A" {
+		t.Fatalf("steady %+v, want only A", c.Steady)
+	}
+	if p := c.Steady[0].Pct; p < -0.01 || p > 0.01 {
+		t.Fatalf("A normalized delta %g%%, want ~0", p)
+	}
+	if len(c.Regressed) != 1 || c.Regressed[0].Name != "B" {
+		t.Fatalf("regressed %+v, want only B", c.Regressed)
+	}
+	if p := c.Regressed[0].Pct; p < 14.9 || p > 15.1 {
+		t.Fatalf("B normalized delta %g%%, want ~+15", p)
+	}
+	// The calibration benchmark measures the machine, never the code.
+	for _, d := range append(append(c.Regressed, c.Improved...), c.Steady...) {
+		if d.Name == "Calibration" {
+			t.Fatalf("calibration benchmark was classified: %+v", d)
+		}
+	}
+}
+
+func TestCompareCalibrationDoesNotMaskRegressionOnFasterMachine(t *testing.T) {
+	// New machine is 2× faster; A's raw time is unchanged, which is really a
+	// 2× regression an uncalibrated diff would wave through as steady.
+	oldB := baselineOf(res("A", 100), res("Calibration", 100))
+	newB := baselineOf(res("A", 100), res("Calibration", 50))
+	c, err := compareBaselines(oldB, newB, "ns/op", 25, "Calibration", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regressed) != 1 || c.Regressed[0].Name != "A" {
+		t.Fatalf("regressed %+v, want A flagged after normalization", c.Regressed)
+	}
+}
+
+func TestCompareSkipExcludesMatchingNames(t *testing.T) {
+	// JournalAppend-style entries regress wildly on ns/op but are gated on
+	// another metric by a second invocation — -skip keeps them out of this
+	// one, classification and missing-list both.
+	oldB := baselineOf(res("A", 100), res("JournalAppend/preload=100", 100), res("JournalAppend/preload=10000", 100))
+	newB := baselineOf(res("A", 100), res("JournalAppend/preload=100", 900))
+	c, err := compareBaselines(oldB, newB, "ns/op", 10, "", "JournalAppend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regressed) != 0 || len(c.Missing) != 0 {
+		t.Fatalf("skipped benchmarks leaked into the diff: %+v", c)
+	}
+	if len(c.Steady) != 1 || c.Steady[0].Name != "A" {
+		t.Fatalf("steady %+v, want only A", c.Steady)
+	}
+}
+
+func TestCompareCalibrationMissingIsAnError(t *testing.T) {
+	oldB := baselineOf(res("A", 100), res("Calibration", 100))
+	newB := baselineOf(res("A", 100))
+	if _, err := compareBaselines(oldB, newB, "ns/op", 10, "Calibration", ""); err == nil {
+		t.Fatal("missing calibration benchmark in new baseline did not error")
+	}
+	if _, err := compareBaselines(newB, oldB, "ns/op", 10, "Calibration", ""); err == nil {
+		t.Fatal("missing calibration benchmark in old baseline did not error")
 	}
 }
 
@@ -95,13 +181,28 @@ func TestRunCompareExitCodes(t *testing.T) {
 		t.Fatalf("default-threshold compare exited %d", code)
 	}
 
-	// Usage errors: wrong arity, unreadable file, bad threshold.
+	// -calibrate end to end: both runs carry a calibration benchmark that is
+	// 2× slower in new, which explains slow.json's 2× away entirely.
+	calOldP := writeBaseline(t, dir, "cal-old.json", baselineOf(res("A", 100), res("Calibration", 100)))
+	calNewP := writeBaseline(t, dir, "cal-new.json", baselineOf(res("A", 200), res("Calibration", 200)))
+	out.Reset()
+	if code := runCompare([]string{"-compare", calOldP, calNewP, "-threshold", "5", "-calibrate", "Calibration"}, &out); code != 0 {
+		t.Fatalf("calibrated compare exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "calibrated by Calibration") {
+		t.Fatalf("calibrated output lacks the calibration line:\n%s", out.String())
+	}
+
+	// Usage errors: wrong arity, unreadable file, bad threshold, missing
+	// calibration benchmark.
 	for _, argv := range [][]string{
 		{"-compare", oldP},
 		{"-compare", oldP, fastP, slowP},
 		{"-compare", oldP, filepath.Join(dir, "nope.json")},
 		{"-compare", oldP, fastP, "-threshold", "x"},
 		{"-compare", oldP, fastP, "-bogus"},
+		{"-compare", oldP, fastP, "-calibrate", "Calibration"},
+		{"-compare", oldP, fastP, "-calibrate"},
 	} {
 		if code := runCompare(argv, &out); code != 2 {
 			t.Fatalf("%v exited %d, want 2", argv, code)

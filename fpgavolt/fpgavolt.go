@@ -161,6 +161,10 @@ type (
 	ServiceConfig = server.Config
 	// Client is the typed HTTP client for a running Service.
 	Client = server.Client
+	// APIStatusError is a non-2xx service response, carrying the HTTP
+	// status so clients can distinguish admission control (503) from
+	// hard failures.
+	APIStatusError = server.APIStatusError
 	// CampaignRequest is the wire form of a campaign submission.
 	CampaignRequest = server.CampaignRequest
 	// BoardSpec requests boards of one platform model.

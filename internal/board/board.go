@@ -11,6 +11,7 @@ package board
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/bram"
 	"repro/internal/platform"
@@ -286,9 +287,15 @@ func readFaulty(b *Board, eval silicon.Eval, dst []uint16, site int, scratch []s
 // the die's descending-Vc weak-cell order: p10[i]/p01[i] count how many of
 // the first i cells would, when active, manifest as a 1→0 / 0→1 flip against
 // the block's *current* contents. The cache is keyed to the block's content
-// generation and rebuilt lazily after any write, so the count-only read path
-// resolves the whole definitely-faulty prefix with two array lookups and
-// consults stored words only inside the marginal band.
+// generation and refreshed lazily after any write, so the count-only read
+// path resolves the whole definitely-faulty prefix with two array lookups
+// and consults stored words only inside the marginal band.
+//
+// A refresh is a content delta, not a rebuild, whenever the block can name
+// the rows written since the last pass (its dirty feed): only the weak cells
+// on those rows are re-examined, and the prefix sums are patched with one
+// suffix pass from the first changed cell. Bulk fills and feed overflow fall
+// back to the full O(weak cells) rebuild.
 //
 // Entries are written without synchronization: concurrent Readers never
 // share a site within one pass (the scan hands each site to one worker), and
@@ -297,36 +304,124 @@ func readFaulty(b *Board, eval silicon.Eval, dst []uint16, site int, scratch []s
 type siteCounts struct {
 	gen      uint64
 	p10, p01 []int32
+	obs      []uint8 // per weak cell: 1 if observable against current contents
+	byRow    []int32 // weak-cell indices sorted by row, built on first delta
+	chg      []int32 // scratch: changed cell indices of one delta
 }
 
-// countsFor returns the site's up-to-date prefix sums, rebuilding them if the
-// block's contents changed since the last pass.
+// countsFor returns the site's up-to-date prefix sums, patching or rebuilding
+// them if the block's contents changed since the last pass.
 func (b *Board) countsFor(site int) *siteCounts {
 	sc := &b.counts[site]
 	blk := b.Pool.Block(site)
-	if gen := blk.Gen(); sc.gen != gen || sc.p10 == nil {
-		cells := b.Die.WeakCells(site)
-		if cap(sc.p10) < len(cells)+1 {
-			sc.p10 = make([]int32, len(cells)+1)
-			sc.p01 = make([]int32, len(cells)+1)
+	gen := blk.Gen()
+	if sc.gen == gen && sc.p10 != nil {
+		return sc
+	}
+	cells := b.Die.WeakCells(site)
+	rows, partial := blk.TakeDirty()
+	if sc.p10 != nil && partial {
+		sc.applyDelta(blk, cells, rows)
+		sc.gen = gen
+		return sc
+	}
+	if cap(sc.p10) < len(cells)+1 {
+		sc.p10 = make([]int32, len(cells)+1)
+		sc.p01 = make([]int32, len(cells)+1)
+		sc.obs = make([]uint8, len(cells))
+	}
+	sc.p10, sc.p01 = sc.p10[:len(cells)+1], sc.p01[:len(cells)+1]
+	sc.obs = sc.obs[:len(cells)]
+	sc.p10[0], sc.p01[0] = 0, 0
+	var c10, c01 int32
+	for i, c := range cells {
+		bit := blk.ReadRaw(int(c.Row)) >> c.Col & 1
+		sc.obs[i] = 0
+		if c.Flip01 {
+			if bit == 0 {
+				c01++
+				sc.obs[i] = 1
+			}
+		} else if bit == 1 {
+			c10++
+			sc.obs[i] = 1
 		}
-		sc.p10, sc.p01 = sc.p10[:len(cells)+1], sc.p01[:len(cells)+1]
-		sc.p10[0], sc.p01[0] = 0, 0
-		var c10, c01 int32
-		for i, c := range cells {
-			bit := blk.ReadRaw(int(c.Row)) >> c.Col & 1
+		sc.p10[i+1], sc.p01[i+1] = c10, c01
+	}
+	sc.gen = gen
+	return sc
+}
+
+// applyDelta patches the prefix sums after single-word writes: re-examine
+// only the weak cells on the written rows, then fold the observability flips
+// into p10/p01 with one suffix pass starting at the first changed cell —
+// O(cells on written rows + suffix) instead of O(all weak cells), and no
+// block reads outside the written rows.
+func (sc *siteCounts) applyDelta(blk *bram.Block, cells []silicon.WeakCell, rows []uint16) {
+	if len(rows) == 0 {
+		return
+	}
+	if sc.byRow == nil {
+		sc.byRow = make([]int32, len(cells))
+		for i := range sc.byRow {
+			sc.byRow[i] = int32(i)
+		}
+		sort.Slice(sc.byRow, func(a, b int) bool {
+			return cells[sc.byRow[a]].Row < cells[sc.byRow[b]].Row
+		})
+	}
+	sc.chg = sc.chg[:0]
+	sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+	prev := -1
+	for _, r := range rows {
+		row := int(r)
+		if row == prev {
+			continue // the feed may repeat a row; one examination suffices
+		}
+		prev = row
+		lo := sort.Search(len(sc.byRow), func(i int) bool {
+			return int(cells[sc.byRow[i]].Row) >= row
+		})
+		for k := lo; k < len(sc.byRow) && int(cells[sc.byRow[k]].Row) == row; k++ {
+			idx := sc.byRow[k]
+			c := cells[idx]
+			bit := blk.ReadRaw(row) >> c.Col & 1
+			var now uint8
 			if c.Flip01 {
 				if bit == 0 {
-					c01++
+					now = 1
 				}
 			} else if bit == 1 {
-				c10++
+				now = 1
 			}
-			sc.p10[i+1], sc.p01[i+1] = c10, c01
+			if now != sc.obs[idx] {
+				sc.obs[idx] = now
+				sc.chg = append(sc.chg, idx)
+			}
 		}
-		sc.gen = gen
 	}
-	return sc
+	if len(sc.chg) == 0 {
+		return
+	}
+	sort.Slice(sc.chg, func(a, b int) bool { return sc.chg[a] < sc.chg[b] })
+	var d10, d01 int32
+	ci := 0
+	for i := int(sc.chg[0]); i < len(cells); i++ {
+		for ci < len(sc.chg) && int(sc.chg[ci]) == i {
+			var d int32 = 1
+			if sc.obs[i] == 0 {
+				d = -1
+			}
+			if cells[i].Flip01 {
+				d01 += d
+			} else {
+				d10 += d
+			}
+			ci++
+		}
+		sc.p10[i+1] += d10
+		sc.p01[i+1] += d01
+	}
 }
 
 // countSite counts one site's observable mismatches under the pass

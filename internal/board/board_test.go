@@ -1,6 +1,7 @@
 package board
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 	"testing"
@@ -501,5 +502,107 @@ func TestCountFaultsIntoErrors(t *testing.T) {
 	r := b.NewReader()
 	if _, _, _, err := r.CountInto(0, 1); err != ErrNotOperating {
 		t.Fatalf("crashed board CountInto err = %v", err)
+	}
+}
+
+// TestCountsDeltaMatchesFullRebuild is the differential test for the
+// content-delta prefix-sum path: a board mutated by single-word writes (which
+// refresh its fault counts via the dirty-row delta) must report exactly the
+// counts of a twin board holding identical contents written in bulk (which
+// always rebuilds from scratch), and both must match an independent
+// readout-and-compare. The schedule exercises the delta's edge cases: writes
+// that flip observability back and forth, rows with no weak cells, dirty-feed
+// overflow, and bulk fills interleaved with deltas.
+func TestCountsDeltaMatchesFullRebuild(t *testing.T) {
+	delta, full := testBoard(), testBoard() // same serial: identical dies
+	cal := delta.Platform.Cal
+	src := prng.NewKeyed("counts-delta-differential")
+	sites := delta.Pool.Len()
+
+	// mirror copies delta's exact contents onto full via the bulk path, so
+	// full's next count pass rebuilds its prefix sums from scratch.
+	mirror := func() {
+		full.FillAllFunc(func(site, row int) uint16 {
+			return delta.Pool.Block(site).ReadRaw(row)
+		})
+	}
+	compare := func(step string) {
+		t.Helper()
+		runD, runF := delta.BeginRun(), full.BeginRun()
+		if runD != runF {
+			t.Fatalf("%s: run counters diverged (%d vs %d)", step, runD, runF)
+		}
+		perD := make([]int, sites)
+		perF := make([]int, sites)
+		dTot, d10, d01, err := delta.CountFaultsInto(perD, runD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fTot, f10, f01, err := full.CountFaultsInto(perF, runF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dTot != fTot || d10 != f10 || d01 != f01 {
+			t.Fatalf("%s: delta path (%d,%d,%d) != full rebuild (%d,%d,%d)",
+				step, dTot, d10, d01, fTot, f10, f01)
+		}
+		for s := range perD {
+			if perD[s] != perF[s] {
+				t.Fatalf("%s: site %d delta %d != full %d", step, s, perD[s], perF[s])
+			}
+		}
+		// Independent reference on a sampled site: snapshot and compare.
+		s := int(src.Uint64() % uint64(sites))
+		n, _, _ := countViaReadout(t, delta, s, runD)
+		if n != perD[s] {
+			t.Fatalf("%s: site %d delta count %d != readout %d", step, s, perD[s], n)
+		}
+	}
+
+	for _, v := range []float64{cal.Vmin - 0.02, cal.Vcrash + 0.02} {
+		if err := delta.SetVCCBRAM(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.SetVCCBRAM(v); err != nil {
+			t.Fatal(err)
+		}
+		// Small batches of random single-word writes: the delta path proper.
+		for step := 0; step < 8; step++ {
+			for i := 0; i < 12; i++ {
+				site := int(src.Uint64() % uint64(sites))
+				row := int(src.Uint64() % bram.Rows)
+				delta.Pool.Block(site).Write(row, uint16(src.Uint64()))
+			}
+			mirror()
+			compare(fmt.Sprintf("v=%.2f batch %d", v, step))
+		}
+		// Flip one weak cell's stored polarity back and forth so its
+		// observability toggles 1→0→1 across refreshes.
+		if cells := delta.Die.WeakCells(0); len(cells) > 0 {
+			c := cells[0]
+			blk := delta.Pool.Block(0)
+			for i := 0; i < 2; i++ {
+				blk.Write(int(c.Row), blk.ReadRaw(int(c.Row))^(1<<c.Col))
+				mirror()
+				compare(fmt.Sprintf("v=%.2f weak-cell toggle %d", v, i))
+			}
+		}
+		// A burst past the dirty-feed bound forces the overflow fallback.
+		blk := delta.Pool.Block(1 % sites)
+		for row := 0; row < 3*bram.Rows/4; row++ {
+			blk.Write(row, uint16(src.Uint64()))
+		}
+		mirror()
+		compare(fmt.Sprintf("v=%.2f overflow burst", v))
+		// Bulk fill, then more deltas on top of the rebuilt sums.
+		delta.FillAll(0xAAAA)
+		full.FillAll(0xAAAA)
+		for i := 0; i < 12; i++ {
+			site := int(src.Uint64() % uint64(sites))
+			row := int(src.Uint64() % bram.Rows)
+			delta.Pool.Block(site).Write(row, uint16(src.Uint64()))
+		}
+		mirror()
+		compare(fmt.Sprintf("v=%.2f post-fill deltas", v))
 	}
 }

@@ -33,7 +33,19 @@ type Block struct {
 	words  []uint16
 	parity []uint8 // 2 parity bits per row, even parity over each byte
 	gen    uint64  // content generation, bumped by every write path
+
+	// dirty is the change feed behind TakeDirty: the rows written since the
+	// last drain, complete only while dirtyAll is unset. Bulk writes and
+	// overflow past maxDirtyRows degrade the feed to "everything changed"
+	// rather than growing it without bound.
+	dirty    []uint16
+	dirtyAll bool
 }
+
+// maxDirtyRows bounds the per-block dirty-row feed. Past it, a consumer's
+// delta update would touch most of the derived state anyway, so the feed
+// collapses to a full-rebuild signal.
+const maxDirtyRows = 64
 
 // NewBlock allocates a zeroed block at the given floorplan site.
 func NewBlock(index int, site silicon.Site) *Block {
@@ -56,6 +68,30 @@ func (b *Block) Write(row int, w uint16) {
 	b.words[row] = w
 	b.parity[row] = evenParity(w)
 	b.gen++
+	b.noteDirty(row)
+}
+
+func (b *Block) noteDirty(row int) {
+	if b.dirtyAll {
+		return
+	}
+	if len(b.dirty) >= maxDirtyRows {
+		b.dirty, b.dirtyAll = b.dirty[:0], true
+		return
+	}
+	b.dirty = append(b.dirty, uint16(row))
+}
+
+// TakeDirty drains the block's dirty-row feed: the rows written since the
+// previous drain (duplicates possible), and whether that list is complete.
+// ok=false means a bulk write (Fill, FillFunc) or feed overflow made the list
+// meaningless — the consumer must rebuild whatever it derives from the
+// contents. The feed has a single consumer by contract: the board's
+// observable-fault prefix sums.
+func (b *Block) TakeDirty() (rows []uint16, ok bool) {
+	rows, ok = b.dirty, !b.dirtyAll
+	b.dirty, b.dirtyAll = nil, false
+	return rows, ok
 }
 
 // Gen returns the block's content generation: it changes whenever any write
@@ -108,6 +144,7 @@ func (b *Block) Fill(pattern uint16) {
 		b.parity[r] = p
 	}
 	b.gen++
+	b.dirty, b.dirtyAll = nil, true
 }
 
 // FillFunc writes pattern(row) to every row; used for random and per-row
@@ -119,6 +156,7 @@ func (b *Block) FillFunc(pattern func(row int) uint16) {
 		b.parity[r] = evenParity(w)
 	}
 	b.gen++
+	b.dirty, b.dirtyAll = nil, true
 }
 
 // evenParity returns one even-parity bit per byte of w (the 7-series BRAM

@@ -32,3 +32,70 @@ func DecodeWords(blob []byte) ([]Word, error) {
 	}
 	return ws, nil
 }
+
+// EncodePackedWords packs ws into the sparse wire form (nn wire v2), built
+// for the paper's weight statistics: sign-magnitude words are mostly small
+// magnitudes and, at paper sparsity, often exactly zero. Each non-zero word
+// is sign-rotated (magnitude<<1 | sign, so small magnitudes of either sign
+// stay small) and stored as one unsigned varint; a run of zero words is a
+// 0x00 tag followed by a varint run length. A non-zero word's varint never
+// begins with 0x00, so the tag is unambiguous. The layout is fixed — part of
+// the versioned nn wire format — and must never silently change.
+func EncodePackedWords(ws []Word) []byte {
+	out := make([]byte, 0, len(ws))
+	var scratch [binary.MaxVarintLen64]byte
+	for i := 0; i < len(ws); {
+		if ws[i] == 0 {
+			run := 1
+			for i+run < len(ws) && ws[i+run] == 0 {
+				run++
+			}
+			out = append(out, 0x00)
+			out = append(out, scratch[:binary.PutUvarint(scratch[:], uint64(run))]...)
+			i += run
+			continue
+		}
+		u := uint64(ws[i]&^SignMask)<<1 | uint64(ws[i]>>15)
+		out = append(out, scratch[:binary.PutUvarint(scratch[:], u)]...)
+		i++
+	}
+	return out
+}
+
+// DecodePackedWords unpacks a blob written by EncodePackedWords. maxWords
+// bounds the decoded length BEFORE allocation, so a hostile run length cannot
+// make the decoder materialize unbounded memory; truncated varints, oversize
+// values, zero-length runs, and trailing garbage are all malformed documents.
+func DecodePackedWords(blob []byte, maxWords int) ([]Word, error) {
+	ws := make([]Word, 0, min(maxWords, len(blob)))
+	for off := 0; off < len(blob); {
+		if blob[off] == 0x00 {
+			run, n := binary.Uvarint(blob[off+1:])
+			if n <= 0 || run == 0 {
+				return nil, fmt.Errorf("fixed: packed blob has a malformed zero run at byte %d", off)
+			}
+			if uint64(len(ws))+run > uint64(maxWords) {
+				return nil, fmt.Errorf("fixed: packed blob exceeds the %d-word bound", maxWords)
+			}
+			ws = append(ws, make([]Word, run)...)
+			off += 1 + n
+			continue
+		}
+		u, n := binary.Uvarint(blob[off:])
+		if n <= 0 || u > 0xffff {
+			return nil, fmt.Errorf("fixed: packed blob has a malformed word at byte %d", off)
+		}
+		if len(ws) >= maxWords {
+			return nil, fmt.Errorf("fixed: packed blob exceeds the %d-word bound", maxWords)
+		}
+		w := Word(u>>1) | Word(u&1)<<15
+		if w == 0 {
+			// A zero word outside a run would re-encode differently; reject
+			// the non-canonical form so encode∘decode is the identity.
+			return nil, fmt.Errorf("fixed: packed blob has a non-canonical zero at byte %d", off)
+		}
+		ws = append(ws, w)
+		off += n
+	}
+	return ws, nil
+}

@@ -42,3 +42,103 @@ func TestWordCodecIsLittleEndian(t *testing.T) {
 		t.Fatalf("encoding is not little-endian: % x", blob)
 	}
 }
+
+func TestPackedWordCodecRoundTrip(t *testing.T) {
+	cases := map[string][]Word{
+		"empty":         nil,
+		"all zeros":     make([]Word, 300),
+		"single zero":   {0},
+		"no zeros":      {1, 0x7fff, SignMask | 1, SignMask | 0x7fff, 128, 127},
+		"negative zero": {SignMask}, // unreachable via Quantize, but a valid bit pattern
+		"mixed runs":    {0, 0, 0, 5, 0, SignMask | 9, 0, 0, 0, 0, 0, 0, 0, 3},
+		"run at end":    {7, 0, 0, 0},
+	}
+	for name, ws := range cases {
+		blob := EncodePackedWords(ws)
+		got, err := DecodePackedWords(blob, len(ws))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(ws) {
+			t.Fatalf("%s: decoded %d words, want %d", name, len(got), len(ws))
+		}
+		for i := range ws {
+			if got[i] != ws[i] {
+				t.Fatalf("%s: word %d decoded as %#x, want %#x", name, i, got[i], ws[i])
+			}
+		}
+	}
+}
+
+func TestPackedWordCodecExhaustiveSingleWord(t *testing.T) {
+	// Every 16-bit pattern survives the sign-rotation round trip.
+	for u := 0; u <= 0xffff; u++ {
+		ws := []Word{Word(u)}
+		got, err := DecodePackedWords(EncodePackedWords(ws), 1)
+		if err != nil || len(got) != 1 || got[0] != ws[0] {
+			t.Fatalf("word %#x: got %v, %v", u, got, err)
+		}
+	}
+}
+
+func TestPackedWordSmallMagnitudesAreOneByte(t *testing.T) {
+	// The sign rotation is what makes small magnitudes of either sign cheap:
+	// |mag| < 64 fits one varint byte, sign included.
+	for _, w := range []Word{1, 63, SignMask | 1, SignMask | 63} {
+		if n := len(EncodePackedWords([]Word{w})); n != 1 {
+			t.Fatalf("word %#x encoded in %d bytes, want 1", w, n)
+		}
+	}
+	if n := len(EncodePackedWords(make([]Word, 1000))); n > 3 {
+		t.Fatalf("1000-zero run encoded in %d bytes, want <=3", n)
+	}
+}
+
+func TestDecodePackedWordsRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated run tag":    {0x00},
+		"zero-length run":      {0x00, 0x00},
+		"truncated run varint": {0x00, 0x80},
+		"truncated word":       {0x80},
+		"oversize word":        {0x80, 0x80, 0x80, 0x01}, // > 16 bits
+		"non-canonical zero":   {0x80, 0x00},             // varint 0 outside a run
+	}
+	for name, blob := range cases {
+		if _, err := DecodePackedWords(blob, 1<<20); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// The word bound rejects before allocation, for runs and singles alike.
+	if _, err := DecodePackedWords(EncodePackedWords(make([]Word, 10)), 9); err == nil {
+		t.Error("run past maxWords decoded without error")
+	}
+	if _, err := DecodePackedWords(EncodePackedWords([]Word{1, 2}), 1); err == nil {
+		t.Error("words past maxWords decoded without error")
+	}
+}
+
+// FuzzPackedWordCodec asserts the packed decoder never panics and that
+// encode∘decode is the identity on everything it accepts.
+func FuzzPackedWordCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodePackedWords([]Word{0, 0, 5, SignMask | 9, 0}))
+	f.Add([]byte{0x00, 0x05, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		ws, err := DecodePackedWords(blob, 1<<16)
+		if err != nil {
+			return
+		}
+		got, err := DecodePackedWords(EncodePackedWords(ws), len(ws))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(got) != len(ws) {
+			t.Fatalf("re-decode length %d, want %d", len(got), len(ws))
+		}
+		for i := range ws {
+			if got[i] != ws[i] {
+				t.Fatalf("word %d: %#x != %#x", i, got[i], ws[i])
+			}
+		}
+	})
+}

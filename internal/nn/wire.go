@@ -10,9 +10,23 @@ import (
 	"repro/internal/fixed"
 )
 
-// WireVersion is the current version of the nn wire format. Decoders accept
-// exactly this version; any change to the layout below must bump it.
-const WireVersion = 1
+// WireVersion is the current version of the nn wire format: encoders emit
+// it, decoders accept it and every earlier version back to MinWireVersion.
+// Any change to the layout below must bump it.
+//
+// Version history:
+//
+//	v1 — weight words as base64 of the flat codec (fixed.EncodeWords,
+//	     2 bytes/word).
+//	v2 — weight words as base64 of the sparse codec
+//	     (fixed.EncodePackedWords: sign-rotated varints with zero-run
+//	     compression), sized to the paper's weight statistics (76.3% of
+//	     MNIST weight bits are "0"). Test-set documents are unchanged
+//	     beyond the version stamp.
+const WireVersion = 2
+
+// MinWireVersion is the oldest wire version decoders still accept.
+const MinWireVersion = 1
 
 // Wire-format bounds. Decode rejects documents outside them before any large
 // allocation happens, so a hostile or corrupt document cannot make an
@@ -35,9 +49,10 @@ const (
 )
 
 // wireQuantized is the JSON envelope of a serialized Quantized network. The
-// weight blobs are base64 of the fixed word codec (little-endian uint16), so
-// a paper-scale network rides in ~4 MB of JSON instead of the ~20 MB a
-// float-array encoding would take.
+// weight blobs are base64 of a fixed word codec — flat little-endian uint16
+// in v1, the zero-run/varint sparse codec in v2 — so a paper-scale network
+// rides in ~2 MB of JSON instead of the ~20 MB a float-array encoding would
+// take.
 type wireQuantized struct {
 	Version  int         `json:"version"`
 	Topology []int       `json:"topology"`
@@ -103,7 +118,7 @@ func (q *Quantized) MarshalWire() ([]byte, error) {
 		doc.Layers = append(doc.Layers, wireLayer{
 			Digit: f.Digit,
 			Frac:  f.Frac,
-			Words: base64.StdEncoding.EncodeToString(fixed.EncodeWords(q.Words[j])),
+			Words: base64.StdEncoding.EncodeToString(fixed.EncodePackedWords(q.Words[j])),
 		})
 	}
 	return json.Marshal(doc)
@@ -111,15 +126,17 @@ func (q *Quantized) MarshalWire() ([]byte, error) {
 
 // UnmarshalWire decodes a MarshalWire document, strictly: unknown versions,
 // malformed base64, and any topology/format/word-count inconsistency are
-// errors, never a partially-populated network. The returned Quantized is
-// fully independent of data.
+// errors, never a partially-populated network. Both current wire versions
+// decode — v1's flat word blobs and v2's sparse ones — so documents written
+// before the codec change stay readable. The returned Quantized is fully
+// independent of data.
 func UnmarshalWire(data []byte) (*Quantized, error) {
 	var doc wireQuantized
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("nn: unmarshal wire: %w", err)
 	}
-	if doc.Version != WireVersion {
-		return nil, fmt.Errorf("nn: unsupported wire version %d (have %d)", doc.Version, WireVersion)
+	if doc.Version < MinWireVersion || doc.Version > WireVersion {
+		return nil, fmt.Errorf("nn: unsupported wire version %d (accept %d..%d)", doc.Version, MinWireVersion, WireVersion)
 	}
 	q := &Quantized{Topology: doc.Topology}
 	if len(doc.Layers) != len(doc.Topology)-1 {
@@ -136,7 +153,12 @@ func UnmarshalWire(data []byte) (*Quantized, error) {
 		if err != nil {
 			return nil, fmt.Errorf("nn: unmarshal wire: layer %d words: %w", j, err)
 		}
-		ws, err := fixed.DecodeWords(blob)
+		var ws []fixed.Word
+		if doc.Version >= 2 {
+			ws, err = fixed.DecodePackedWords(blob, MaxWireWords)
+		} else {
+			ws, err = fixed.DecodeWords(blob)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("nn: unmarshal wire: layer %d: %w", j, err)
 		}
@@ -210,8 +232,10 @@ func UnmarshalTestSet(data []byte) ([][]float64, []int, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, nil, fmt.Errorf("nn: unmarshal test set: %w", err)
 	}
-	if doc.Version != WireVersion {
-		return nil, nil, fmt.Errorf("nn: unsupported test-set wire version %d (have %d)", doc.Version, WireVersion)
+	if doc.Version < MinWireVersion || doc.Version > WireVersion {
+		// The test-set layout is identical across versions; the stamp still
+		// gates so a future layout change has somewhere to hook.
+		return nil, nil, fmt.Errorf("nn: unsupported test-set wire version %d (accept %d..%d)", doc.Version, MinWireVersion, WireVersion)
 	}
 	if doc.Samples <= 0 || doc.Samples > MaxWireSamples {
 		return nil, nil, fmt.Errorf("nn: unmarshal test set: %d samples out of range [1, %d]", doc.Samples, MaxWireSamples)

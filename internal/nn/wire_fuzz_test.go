@@ -40,6 +40,10 @@ func FuzzUnmarshalWire(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"version":1,"topology":[2,2],"layers":[{"digit":0,"frac":15,"words":"AAAA"}]}`))
 	f.Add([]byte(`{"version":1,"topology":[1,1],"layers":[{"digit":7,"frac":8,"words":"!!"}]}`))
+	// v2 sparse-codec seeds: a full zero run, and a run mixed with varint
+	// words (including a sign-rotated negative).
+	f.Add([]byte(`{"version":2,"topology":[2,2],"layers":[{"digit":0,"frac":15,"words":"AAY="}]}`))
+	f.Add([]byte(`{"version":2,"topology":[1,1],"layers":[{"digit":0,"frac":15,"words":"AAEC"}]}`))
 	f.Add(fuzzSeedNetwork(f))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		q, err := UnmarshalWire(data)

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -226,4 +227,108 @@ func TestTestSetWireRejectsMalformedDocuments(t *testing.T) {
 	if _, err := MarshalTestSet([][]float64{{1}}, []int{-2}); err == nil {
 		t.Error("marshaled a negative label")
 	}
+}
+
+// marshalWireV1 renders q in the retired v1 layout (flat 2-byte word blobs),
+// the form every pre-v2 document on disk or in flight carries.
+func marshalWireV1(t *testing.T, q *Quantized) []byte {
+	t.Helper()
+	doc := wireQuantized{Version: 1, Topology: q.Topology}
+	for j, f := range q.Formats {
+		doc.Layers = append(doc.Layers, wireLayer{
+			Digit: f.Digit,
+			Frac:  f.Frac,
+			Words: base64.StdEncoding.EncodeToString(fixed.EncodeWords(q.Words[j])),
+		})
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestWireV1StillDecodes pins backward compatibility across the v2 codec
+// change: a v1 document decodes to the same network a v2 one does.
+func TestWireV1StillDecodes(t *testing.T) {
+	q, _, _ := trainedQuantized(t)
+	got, err := UnmarshalWire(marshalWireV1(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, q) {
+		t.Fatal("v1 document did not decode to the original network")
+	}
+	// Its re-encode is a current-version document that round-trips.
+	data2, err := got.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := UnmarshalWire(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q2, q) {
+		t.Fatal("v1→v2 re-encode did not round-trip")
+	}
+}
+
+// paperSparsityQuantized builds a network with the deployment statistics the
+// paper reports for its trained MNIST model — the overwhelming majority of
+// weight bits logic "0" (76.3%), here as a pruned layer mix of exact-zero
+// words and small magnitudes of both signs.
+func paperSparsityQuantized(t *testing.T) *Quantized {
+	t.Helper()
+	q := &Quantized{
+		Topology: []int{64, 32, 10},
+		Formats:  []fixed.Format{fixed.NewFormat(0), fixed.NewFormat(4)},
+	}
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 16
+	}
+	for j := 0; j < len(q.Topology)-1; j++ {
+		n := q.Topology[j]*q.Topology[j+1] + q.Topology[j+1]
+		ws := make([]fixed.Word, n)
+		for i := range ws {
+			r := next()
+			switch {
+			case r%100 < 70: // pruned weight
+				ws[i] = 0
+			default: // small magnitude, either sign
+				w := fixed.Word(r % 256)
+				if w != 0 && r%2 == 1 {
+					w |= fixed.SignMask
+				}
+				ws[i] = w
+			}
+		}
+		q.Words = append(q.Words, ws)
+	}
+	if frac := fixed.OneBitFraction(append(append([]fixed.Word{}, q.Words[0]...), q.Words[1]...)); frac > 0.25 {
+		t.Fatalf("fixture one-bit fraction %.3f, want paper-like sparsity (<0.25)", frac)
+	}
+	return q
+}
+
+// TestWireV2ShrinksPaperSparsityNet pins the point of the codec change: on a
+// network with the paper's weight sparsity, the v2 document is at least 40%
+// smaller than the v1 rendering of the same network.
+func TestWireV2ShrinksPaperSparsityNet(t *testing.T) {
+	q := paperSparsityQuantized(t)
+	v2, err := q.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := marshalWireV1(t, q)
+	if got, err := UnmarshalWire(v2); err != nil || !reflect.DeepEqual(got, q) {
+		t.Fatalf("v2 round trip broken: %v", err)
+	}
+	shrink := 1 - float64(len(v2))/float64(len(v1))
+	if shrink < 0.40 {
+		t.Fatalf("v2 document is %d bytes vs %d for v1 (%.1f%% shrink), want >=40%%",
+			len(v2), len(v1), 100*shrink)
+	}
+	t.Logf("v1 %d bytes → v2 %d bytes (%.1f%% shrink)", len(v1), len(v2), 100*shrink)
 }

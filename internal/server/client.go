@@ -136,7 +136,20 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 // context ends, or fn returns an error (which stops the stream and is
 // returned).
 func (c *Client) Events(ctx context.Context, id string, fn func(JobEvent) error) error {
-	ended, err := c.streamSSE(ctx, "/v1/jobs/"+url.PathEscape(id)+"/events", "",
+	return c.EventsFrom(ctx, id, -1, fn)
+}
+
+// EventsFrom is Events with a resume cursor: pass the Seq of the last event
+// a previous subscription delivered (rides the Last-Event-ID header) and the
+// replay starts just past it — served from the journal when the server has
+// trimmed that depth out of memory, so the cursor stays valid at any age,
+// including across a server restart. after < 0 replays from the start.
+func (c *Client) EventsFrom(ctx context.Context, id string, after int, fn func(JobEvent) error) error {
+	cursor := ""
+	if after >= 0 {
+		cursor = strconv.Itoa(after)
+	}
+	ended, err := c.streamSSE(ctx, "/v1/jobs/"+url.PathEscape(id)+"/events", cursor,
 		func(ev JobEvent) (bool, error) {
 			if err := fn(ev); err != nil {
 				return false, err

@@ -13,16 +13,18 @@ const defaultFirehoseBuffer = 8192
 // every job event, tagged with its job id and stamped with a global
 // sequence number, in one totally ordered stream. The global sequence is
 // what makes the stream resumable — it rides each event into the job
-// journal, so after a restart the firehose replays exactly where the
+// journal, so after a restart the firehose resumes exactly where the
 // previous process left off.
 //
-// The replay log is a bounded in-memory window (journaled events re-seed
-// it on boot). A subscriber whose cursor has fallen off the window resumes
-// from the oldest retained event; live events are never dropped for a
-// connected subscriber, because delivery is pull-based off this log.
+// The replay log is a bounded in-memory window holding only events
+// appended since boot. A subscriber whose cursor predates the window (a
+// deep resume, or any resume across a restart) is paged out of the journal
+// by the handler until it catches up to low; live events are never dropped
+// for a connected subscriber, because delivery is pull-based off this log.
 type firehose struct {
 	mu     sync.Mutex
 	next   int64      // next global sequence to assign (starts at 1)
+	low    int64      // every event with GSeq > low is retained in buf
 	buf    []JobEvent // recent events in GSeq order
 	max    int
 	notify chan struct{}
@@ -50,40 +52,57 @@ func (f *firehose) append(ev *JobEvent) {
 }
 
 // admitLocked appends one event and trims the log to its window; callers
-// hold f.mu. Trimming reallocates so the dropped prefix is actually freed.
+// hold f.mu. Trimming reallocates so the dropped prefix is actually freed,
+// and raises low past the dropped events — cursors below it must page from
+// the journal instead.
 func (f *firehose) admitLocked(ev JobEvent) {
 	f.buf = append(f.buf, ev)
 	if len(f.buf) > f.max {
-		f.buf = append([]JobEvent(nil), f.buf[len(f.buf)-f.max:]...)
+		drop := len(f.buf) - f.max
+		if g := f.buf[drop-1].GSeq; g > f.low {
+			f.low = g
+		}
+		f.buf = append([]JobEvent(nil), f.buf[drop:]...)
 	}
 }
 
-// seed replays journaled events into the log at boot. evs must be sorted
-// by GSeq; the assignment counter resumes after the highest sequence ever
-// issued, so post-restart events never reuse a journaled cursor.
-func (f *firehose) seed(evs []JobEvent, maxGSeq int64) {
+// startAfter resumes the sequence counter after a restart: the next stamp
+// is maxGSeq+1, and the (empty) window covers nothing older — deep resumes
+// page from the journal.
+func (f *firehose) startAfter(maxGSeq int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, ev := range evs {
-		if ev.GSeq > 0 {
-			f.admitLocked(ev)
-		}
-	}
 	if maxGSeq >= f.next {
 		f.next = maxGSeq + 1
 	}
+	if maxGSeq > f.low {
+		f.low = maxGSeq
+	}
+}
+
+// lowWater reports the newest global sequence NOT retained in the window —
+// a cursor must be >= it for since to serve the resume.
+func (f *firehose) lowWater() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.low
 }
 
 // since returns the retained events with GSeq > after and a channel closed
 // on the next append — the same drain-then-wait triple the per-job streams
-// use, minus the terminal flag (the firehose never ends).
-func (f *firehose) since(after int64) ([]JobEvent, <-chan struct{}) {
+// use, minus the terminal flag (the firehose never ends). ok is false when
+// the cursor predates the window; the caller must page the gap from the
+// journal (or clamp to lowWater when there is none).
+func (f *firehose) since(after int64) ([]JobEvent, <-chan struct{}, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if after < f.low {
+		return nil, f.notify, false
+	}
 	i := sort.Search(len(f.buf), func(i int) bool { return f.buf[i].GSeq > after })
 	var evs []JobEvent
 	if i < len(f.buf) {
 		evs = append(evs, f.buf[i:]...)
 	}
-	return evs, f.notify
+	return evs, f.notify, true
 }

@@ -47,20 +47,31 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	progress float64
-	events   []JobEvent
-	result   *engine.CampaignResult
-	err      error
-	notify   chan struct{}
+	// events is the in-memory tail of the job's event log, holding
+	// sequences [eventsBase, eventsBase+len(events)). With journaling on,
+	// the tail is trimmed to memWindow once events are durably appended —
+	// older sequences are paged back from the journal on demand — so a
+	// long campaign's history does not live in RAM twice. Without a
+	// journal the tail is never trimmed and base stays 0.
+	events     []JobEvent
+	eventsBase int
+	// jnPending queues events appended under mu but not yet written to the
+	// journal; journal.sync drains it in order. Always empty when jn is nil.
+	jnPending []JobEvent
+	memWindow int
+	result    *engine.CampaignResult
+	err       error
+	notify    chan struct{}
 	// restored holds the journaled status snapshot of a job replayed from
 	// a previous process. Such jobs never run again; their status is
 	// served from this snapshot instead of recomputed from engine results.
 	restored *JobStatus
 }
 
-func newJob(id string, c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc, fh *firehose, jn *journal) *Job {
+func newJob(id string, c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc, fh *firehose, jn *journal, window int) *Job {
 	return &Job{
 		id: id, kind: c.Kind, campaign: c, inventory: inv, ctx: ctx, cancel: cancel,
-		fh: fh, jn: jn,
+		fh: fh, jn: jn, memWindow: window,
 		state: JobQueued, created: time.Now(), notify: make(chan struct{}),
 	}
 }
@@ -69,6 +80,36 @@ func newJob(id string, c engine.Campaign, inv []platform.Platform, ctx context.C
 func (j *Job) signalLocked() {
 	close(j.notify)
 	j.notify = make(chan struct{})
+}
+
+// queueJournalLocked enqueues one event for the journal; callers hold j.mu
+// and must call j.jn.sync(j) after releasing it. With journaling off the
+// queue must stay empty — nothing would ever drain it.
+func (j *Job) queueJournalLocked(ev JobEvent) {
+	if j.jn != nil {
+		j.jnPending = append(j.jnPending, ev)
+	}
+}
+
+// trimJournaled drops in-memory events below upto (the journal's durable
+// frontier) beyond the configured window, so RAM holds a bounded recent
+// tail and the journal serves the rest. Never trims past what is durable:
+// an SSE replay must not depend on a write that failed.
+func (j *Job) trimJournaled(upto int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.memWindow <= 0 {
+		return
+	}
+	cut := j.eventsBase + len(j.events) - j.memWindow
+	if cut > upto {
+		cut = upto
+	}
+	if cut <= j.eventsBase {
+		return
+	}
+	j.events = append([]JobEvent(nil), j.events[cut-j.eventsBase:]...)
+	j.eventsBase = cut
 }
 
 // setRunning transitions queued → running. It reports false when the job was
@@ -83,7 +124,7 @@ func (j *Job) setRunning() bool {
 	j.started = time.Now()
 	j.signalLocked()
 	j.mu.Unlock()
-	j.jn.put(j)
+	j.jn.putMeta(j)
 	return true
 }
 
@@ -112,12 +153,13 @@ func (j *Job) appendEngineEvent(ev engine.Event) {
 		je.Progress = j.progress
 	}
 	j.progress = je.Progress
-	je.Seq = len(j.events)
+	je.Seq = j.eventsBase + len(j.events)
 	j.fh.append(&je) // stamps je.GSeq; fh.mu nests inside j.mu everywhere
 	j.events = append(j.events, je)
+	j.queueJournalLocked(je)
 	j.signalLocked()
 	j.mu.Unlock()
-	j.jn.put(j)
+	j.jn.sync(j)
 }
 
 // finish records the campaign outcome, appends the terminal event, wakes
@@ -151,7 +193,7 @@ func (j *Job) finish(res *engine.CampaignResult, err error) {
 		j.state = JobFailed
 	}
 	te := JobEvent{
-		Seq: len(j.events), Type: "campaign", Job: j.id,
+		Seq: j.eventsBase + len(j.events), Type: "campaign", Job: j.id,
 		Progress: j.progress, State: j.state,
 	}
 	if err != nil {
@@ -159,9 +201,11 @@ func (j *Job) finish(res *engine.CampaignResult, err error) {
 	}
 	j.fh.append(&te)
 	j.events = append(j.events, te)
+	j.queueJournalLocked(te)
 	j.signalLocked()
 	j.mu.Unlock()
-	j.jn.put(j)
+	j.jn.sync(j)
+	j.jn.putMeta(j)
 	if j.onTerminal != nil {
 		j.onTerminal()
 	}
@@ -179,14 +223,16 @@ func (j *Job) markCancelled() {
 	j.finished = time.Now()
 	j.campaign.Net, j.campaign.TestX, j.campaign.TestY = nil, nil, nil
 	te := JobEvent{
-		Seq: len(j.events), Type: "campaign", Job: j.id, Progress: j.progress,
+		Seq: j.eventsBase + len(j.events), Type: "campaign", Job: j.id, Progress: j.progress,
 		State: JobCancelled, Error: context.Canceled.Error(),
 	}
 	j.fh.append(&te)
 	j.events = append(j.events, te)
+	j.queueJournalLocked(te)
 	j.signalLocked()
 	j.mu.Unlock()
-	j.jn.put(j)
+	j.jn.sync(j)
+	j.jn.putMeta(j)
 	if j.onTerminal != nil {
 		j.onTerminal()
 	}
@@ -200,17 +246,6 @@ func (j *Job) status(includeResults bool) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.statusLocked(includeResults)
-}
-
-// document snapshots the job's journal form under one lock acquisition, so
-// the status and the event log it carries can never disagree.
-func (j *Job) document() jobDocument {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return jobDocument{
-		Status: j.statusLocked(true),
-		Events: append([]JobEvent(nil), j.events...),
-	}
 }
 
 func (j *Job) statusLocked(includeResults bool) JobStatus {
@@ -287,23 +322,52 @@ func (j *Job) statusLocked(includeResults bool) JobStatus {
 	return st
 }
 
+// eventPageSize bounds how many journaled events one eventsSince call pages
+// back into memory for a deep resume; the SSE loop drains page after page.
+const eventPageSize = 512
+
 // eventsSince returns the events at sequence ≥ from, whether the job is
 // terminal, and a channel that is closed on the next change. The triple lets
-// an SSE stream drain history, then block until there is more.
+// an SSE stream drain history, then block until there is more. Sequences
+// below the in-memory tail — trimmed live history, or any history of a job
+// restored after a restart — are paged from the journal, so a client can
+// resume from sequence 0 without the server holding the log in RAM.
 func (j *Job) eventsSince(from int) ([]JobEvent, bool, <-chan struct{}) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	// from == len is a legitimate tail-wait; anything outside [0, len] is a
-	// bogus cursor and replays from the start — otherwise a beyond-the-log
-	// cursor would wait forever and never see the terminal event.
-	if from < 0 || from > len(j.events) {
+	base := j.eventsBase
+	total := base + len(j.events)
+	terminal := j.state.Terminal()
+	notify := j.notify
+	// from == total is a legitimate tail-wait; anything outside [0, total]
+	// is a bogus cursor and replays from the start — otherwise a
+	// beyond-the-log cursor would wait forever and never see the terminal
+	// event.
+	if from < 0 || from > total {
 		from = 0
 	}
-	var evs []JobEvent
-	if from < len(j.events) {
-		evs = append(evs, j.events[from:]...)
+	if from >= base || j.jn == nil {
+		if from < base {
+			from = base // journaling off: the in-memory tail is all there is
+		}
+		var evs []JobEvent
+		if from < total {
+			evs = append(evs, j.events[from-base:]...)
+		}
+		j.mu.Unlock()
+		return evs, terminal, notify
 	}
-	return evs, j.state.Terminal(), j.notify
+	j.mu.Unlock()
+	// Cursor predates the tail: page the gap from the journal. A page may
+	// overlap the tail (the same immutable events) or come back short when
+	// best-effort writes were dropped; either way the cursor advances by
+	// what is served and the next call continues from there.
+	if evs := j.jn.readEvents(j.id, from, eventPageSize); len(evs) > 0 {
+		return evs, terminal, notify
+	}
+	// Nothing journaled at this depth (a gap): fall forward to the tail.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]JobEvent(nil), j.events...), terminal, notify
 }
 
 // jobTable is the server's job registry. Retention is bounded: beyond max
@@ -341,11 +405,11 @@ func (j *Job) terminal() bool {
 }
 
 // create registers a new job for the campaign and returns it.
-func (t *jobTable) create(c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc, fh *firehose, jn *journal, onTerminal func()) *Job {
+func (t *jobTable) create(c engine.Campaign, inv []platform.Platform, ctx context.Context, cancel context.CancelFunc, fh *firehose, jn *journal, window int, onTerminal func()) *Job {
 	t.mu.Lock()
 	t.seq++
 	id := fmt.Sprintf("job-%04d", t.seq)
-	j := newJob(id, c, inv, ctx, cancel, fh, jn)
+	j := newJob(id, c, inv, ctx, cancel, fh, jn, window)
 	j.seq = t.seq
 	j.onTerminal = onTerminal
 	t.jobs[id] = j

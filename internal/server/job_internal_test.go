@@ -33,7 +33,7 @@ func TestFinishClassifiesCancellation(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()
-			j := newJob("job-0001", engine.Campaign{}, nil, ctx, cancel, newFirehose(0), nil)
+			j := newJob("job-0001", engine.Campaign{}, nil, ctx, cancel, newFirehose(0), nil, 0)
 			if !j.setRunning() {
 				t.Fatal("setRunning refused a queued job")
 			}
@@ -65,7 +65,7 @@ func TestEvictOnCompletion(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		j := tbl.create(engine.Campaign{}, nil, ctx, cancel, fh, nil, tbl.sweep)
+		j := tbl.create(engine.Campaign{}, nil, ctx, cancel, fh, nil, 0, tbl.sweep)
 		jobs = append(jobs, j)
 	}
 	// All four are live: over max, but nothing may be evicted.
@@ -88,8 +88,8 @@ func TestEvictOnCompletion(t *testing.T) {
 
 // TestFirehoseSequencingAndWindow covers the multiplexer in isolation:
 // global sequences are dense and monotonic, since() resumes mid-stream, a
-// stale cursor degrades to the retained window, and seed() continues the
-// numbering after a (simulated) restart.
+// cursor below the window reports !ok (the handler pages the journal), and
+// startAfter() continues the numbering after a (simulated) restart.
 func TestFirehoseSequencingAndWindow(t *testing.T) {
 	fh := newFirehose(4)
 	for i := 0; i < 6; i++ {
@@ -100,29 +100,37 @@ func TestFirehoseSequencingAndWindow(t *testing.T) {
 		}
 	}
 	// The window holds the newest 4 (gseq 3..6); a cursor inside it
-	// resumes exactly, one before it degrades to the oldest retained.
-	evs, _ := fh.since(4)
-	if len(evs) != 2 || evs[0].GSeq != 5 || evs[1].GSeq != 6 {
-		t.Fatalf("since(4) = %+v", evs)
+	// resumes exactly, one before it must be paged from the journal.
+	evs, _, ok := fh.since(4)
+	if !ok || len(evs) != 2 || evs[0].GSeq != 5 || evs[1].GSeq != 6 {
+		t.Fatalf("since(4) = %+v, ok=%v", evs, ok)
 	}
-	evs, _ = fh.since(0)
-	if len(evs) != 4 || evs[0].GSeq != 3 {
-		t.Fatalf("stale cursor replayed %+v, want gseq 3..6", evs)
+	if lw := fh.lowWater(); lw != 2 {
+		t.Fatalf("lowWater = %d, want 2 (gseq 1..2 dropped)", lw)
 	}
-	if evs, _ := fh.since(99); len(evs) != 0 {
-		t.Fatalf("future cursor replayed %+v", evs)
+	if _, _, ok := fh.since(0); ok {
+		t.Fatal("cursor below the window must report !ok")
+	}
+	if evs, _, ok := fh.since(2); !ok || len(evs) != 4 || evs[0].GSeq != 3 {
+		t.Fatalf("window-edge cursor replayed %+v, ok=%v, want gseq 3..6", evs, ok)
+	}
+	if evs, _, ok := fh.since(99); !ok || len(evs) != 0 {
+		t.Fatalf("future cursor replayed %+v, ok=%v", evs, ok)
 	}
 
-	// A fresh firehose seeded from journaled events resumes the counter.
+	// A fresh firehose resumed past journaled history continues the counter
+	// and pages everything older from the journal.
 	fh2 := newFirehose(16)
-	fh2.seed([]JobEvent{{GSeq: 2}, {GSeq: 7}}, 7)
+	fh2.startAfter(7)
 	ev := JobEvent{Job: "job-0002", Type: "start"}
 	fh2.append(&ev)
 	if ev.GSeq != 8 {
-		t.Fatalf("post-seed append stamped gseq %d, want 8", ev.GSeq)
+		t.Fatalf("post-restart append stamped gseq %d, want 8", ev.GSeq)
 	}
-	evs, _ = fh2.since(2)
-	if len(evs) != 2 || evs[0].GSeq != 7 || evs[1].GSeq != 8 {
-		t.Fatalf("seeded replay since(2) = %+v", evs)
+	if _, _, ok := fh2.since(2); ok {
+		t.Fatal("pre-restart cursor must page from the journal, not the window")
+	}
+	if evs, _, ok := fh2.since(7); !ok || len(evs) != 1 || evs[0].GSeq != 8 {
+		t.Fatalf("live-edge resume = %+v, ok=%v", evs, ok)
 	}
 }

@@ -4,32 +4,42 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"sort"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/store"
 )
 
-// jobDocument is the journaled form of one job: its full wire status
-// (terminal results included) plus the complete event log. The store treats
-// it as an opaque payload; the server is the only writer and reader, so the
-// wire types double as the schema.
+// jobMeta is the journaled metadata of one job: its full wire status
+// (terminal results included), O(1) in the job's event count. Events are
+// appended separately through the store's event log, so a journal write on
+// an event mutation costs O(that event), not O(the job's history).
+type jobMeta struct {
+	Status JobStatus `json:"status"`
+}
+
+// jobDocument is the PRE-event-log journaled form: status plus the complete
+// embedded event log, rewritten wholesale on every mutation. It survives
+// only as the migration decode target — replay detects a v1 payload by its
+// non-empty Events, appends those events into the split event log once, and
+// rewrites the record as a jobMeta. The shared "status" envelope is what
+// lets one decode serve both schemas.
 type jobDocument struct {
 	Status JobStatus  `json:"status"`
 	Events []JobEvent `json:"events"`
 }
 
 // journal write-throughs job state into the store, so the job table — not
-// just the FVMs it produced — survives a restart. Every mutation
-// re-journals the job's whole document: event logs are small (one entry
-// per board transition), and a single atomic record per job keeps replay
-// trivial. A nil *journal is valid and inert, which is how the
-// DisableJournal configuration is expressed.
+// just the FVMs it produced — survives a restart. Job metadata is one
+// record, rewritten only on state transitions; events are appended to the
+// store's per-job event log, one O(1) write each, and read back in pages
+// for deep SSE/firehose resume. A nil *journal is valid and inert, which is
+// how the DisableJournal configuration is expressed.
 //
 // Journal writes are deliberately best-effort: a full disk must degrade
 // the service to PR-2 semantics (jobs forgotten on restart), not fail live
-// campaigns. Failures are counted and surfaced through /healthz.
+// campaigns. Failures are counted and surfaced through /healthz; readers
+// tolerate the resulting gaps.
 type journal struct {
 	st   store.Store
 	errs atomic.Uint64
@@ -37,13 +47,12 @@ type journal struct {
 
 func newJournal(st store.Store) *journal { return &journal{st: st} }
 
-// put persists j's current document. The job's journal mutex is held
+// putMeta persists j's metadata record. The job's journal mutex is held
 // across snapshot AND write: two racing puts (say, the submit handler's
-// queued-state write and the worker's first event) would otherwise be free
-// to land on disk in the opposite order of their snapshots, leaving a
-// stale document as the job's final journaled truth — which a later
-// restart would replay as an interrupted job.
-func (jn *journal) put(j *Job) {
+// queued-state write and the worker's running transition) would otherwise
+// be free to land on disk in the opposite order of their snapshots, leaving
+// a stale status as the job's journaled truth.
+func (jn *journal) putMeta(j *Job) {
 	if jn == nil {
 		return
 	}
@@ -54,8 +63,7 @@ func (jn *journal) put(j *Job) {
 		// now would resurrect it on the next restart.
 		return
 	}
-	doc := j.document()
-	payload, err := json.Marshal(doc)
+	payload, err := json.Marshal(jobMeta{Status: j.status(true)})
 	if err == nil {
 		err = jn.st.PutJob(&store.JobRecord{ID: j.id, Seq: j.seq, Payload: payload})
 	}
@@ -64,8 +72,125 @@ func (jn *journal) put(j *Job) {
 	}
 }
 
-// drop deletes an evicted job's record and tombstones the job, so an
-// in-flight put racing with the eviction cannot write the record back.
+// sync drains j's pending events into the store's event log. The drain is
+// serialized by jnMu (outside j.mu, like every journal write), so two
+// appenders racing here cannot land their batches out of order — each drain
+// takes whatever is queued, in queue order, and the loser finds the queue
+// empty. On success the job may trim its in-memory tail down to its window;
+// on failure the events stay counted as journal errors and the tail is kept
+// whole, so SSE never depends on a write that did not happen.
+func (jn *journal) sync(j *Job) {
+	if jn == nil {
+		return
+	}
+	j.jnMu.Lock()
+	defer j.jnMu.Unlock()
+	if j.jnDropped {
+		return
+	}
+	j.mu.Lock()
+	pending := j.jnPending
+	j.jnPending = nil
+	j.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	recs := make([]store.EventRecord, 0, len(pending))
+	for i := range pending {
+		payload, err := json.Marshal(&pending[i])
+		if err != nil {
+			jn.errs.Add(1)
+			continue
+		}
+		recs = append(recs, store.EventRecord{
+			Job: j.id, Seq: pending[i].Seq, GSeq: pending[i].GSeq, Payload: payload,
+		})
+	}
+	if len(recs) == 0 {
+		return
+	}
+	if err := jn.st.AppendJobEvents(j.id, recs); err != nil {
+		jn.errs.Add(1)
+		return
+	}
+	j.trimJournaled(recs[len(recs)-1].Seq + 1)
+}
+
+// migrateEvents appends a v1 document's embedded events into the split
+// event log. A re-run after a crashed migration appends duplicates, which
+// the store's reader-side Seq dedup and the next compaction absorb.
+func (jn *journal) migrateEvents(id string, evs []JobEvent) {
+	if jn == nil || len(evs) == 0 {
+		return
+	}
+	recs := make([]store.EventRecord, 0, len(evs))
+	for i := range evs {
+		payload, err := json.Marshal(&evs[i])
+		if err != nil {
+			continue
+		}
+		recs = append(recs, store.EventRecord{
+			Job: id, Seq: evs[i].Seq, GSeq: evs[i].GSeq, Payload: payload,
+		})
+	}
+	if err := jn.st.AppendJobEvents(id, recs); err != nil {
+		jn.errs.Add(1)
+	}
+}
+
+// readEvents pages one job's journaled events with Seq >= from. Corrupt
+// payloads are skipped; a store read failure degrades to an empty page (the
+// caller falls forward to the in-memory tail).
+func (jn *journal) readEvents(id string, from, limit int) []JobEvent {
+	if jn == nil {
+		return nil
+	}
+	recs, err := jn.st.ReadJobEvents(id, from, limit)
+	if err != nil {
+		return nil
+	}
+	return decodeEventRecords(recs)
+}
+
+// firehosePage pages journaled events across all jobs with GSeq > after.
+func (jn *journal) firehosePage(after int64, limit int) []JobEvent {
+	if jn == nil {
+		return nil
+	}
+	recs, err := jn.st.ReadFirehose(after, limit)
+	if err != nil {
+		return nil
+	}
+	return decodeEventRecords(recs)
+}
+
+func decodeEventRecords(recs []store.EventRecord) []JobEvent {
+	evs := make([]JobEvent, 0, len(recs))
+	for _, rec := range recs {
+		var ev JobEvent
+		if err := json.Unmarshal(rec.Payload, &ev); err != nil {
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// stats reports the next event sequence a job's journal would assign.
+func (jn *journal) stats(id string) (nextSeq int, lastGSeq int64) {
+	if jn == nil {
+		return 0, 0
+	}
+	nextSeq, lastGSeq, err := jn.st.JobEventStats(id)
+	if err != nil {
+		return 0, 0
+	}
+	return nextSeq, lastGSeq
+}
+
+// drop deletes an evicted job's record (event log included) and tombstones
+// the job, so an in-flight write racing with the eviction cannot write the
+// record back.
 func (jn *journal) drop(jobs ...*Job) {
 	if jn == nil {
 		return
@@ -102,38 +227,53 @@ func (jn *journal) errors() uint64 {
 	return jn.errs.Load()
 }
 
-// replayJournal rebuilds the job table and the firehose replay log from
-// the journal at boot. Jobs journaled in a non-terminal state were running
-// or queued when the previous process died; they are marked failed with a
-// restart marker (their boards may be half-measured, and the engine that
-// was driving them is gone). Torn journal records are skipped — replay
-// must degrade, not refuse to boot.
+// replayJournal rebuilds the job table from the journal at boot. Only
+// metadata records and the stores' bounded event-log indexes are read —
+// never the event bodies — so boot cost is O(jobs), not O(events); deep
+// SSE and firehose resumes page events on demand instead. Jobs journaled in
+// a non-terminal state were running or queued when the previous process
+// died; they are marked failed with a restart marker. Torn journal records
+// are skipped — replay must degrade, not refuse to boot. Old full-document
+// (v1) records are migrated into the split layout once, then serve
+// exactly like native ones.
 func (s *Server) replayJournal() error {
 	recs, err := s.cfg.Store.ListJobs()
 	if err != nil {
 		return fmt.Errorf("replay journal: %w", err)
 	}
 	type loaded struct {
-		rec *store.JobRecord
-		doc jobDocument
+		rec    *store.JobRecord
+		status JobStatus
 	}
 	var docs []loaded
 	var maxSeq int
-	var maxGSeq int64
 	for _, rec := range recs {
 		var doc jobDocument
 		if err := json.Unmarshal(rec.Payload, &doc); err != nil || doc.Status.ID != rec.ID {
 			continue
 		}
+		if len(doc.Events) > 0 {
+			// v1 migration: events move to the event log, then the record is
+			// rewritten O(1). Crash between the two replays the migration,
+			// and the reader-side dedup makes that harmless.
+			s.jn.migrateEvents(rec.ID, doc.Events)
+			if meta, err := json.Marshal(jobMeta{Status: doc.Status}); err == nil {
+				if err := s.cfg.Store.PutJob(&store.JobRecord{ID: rec.ID, Seq: rec.Seq, Payload: meta}); err != nil {
+					s.jn.errs.Add(1)
+				}
+			}
+		}
 		if rec.Seq > maxSeq {
 			maxSeq = rec.Seq
 		}
-		for _, ev := range doc.Events {
-			if ev.GSeq > maxGSeq {
-				maxGSeq = ev.GSeq
-			}
-		}
-		docs = append(docs, loaded{rec, doc})
+		docs = append(docs, loaded{rec, doc.Status})
+	}
+	// The global sequence must resume past every journaled event — read it
+	// before retention trims any job, so a dropped job's sequences are
+	// never reissued.
+	maxGSeq, err := s.cfg.Store.LastGSeq()
+	if err != nil {
+		return fmt.Errorf("replay journal: %w", err)
 	}
 	// The table's retention bound applies to replayed jobs too: keep the
 	// newest MaxJobHistory, unjournal the rest. recs (and so docs) are
@@ -144,18 +284,14 @@ func (s *Server) replayJournal() error {
 		}
 		docs = docs[drop:]
 	}
-	// Seed the firehose before appending any restart markers, so marker
-	// events draw global sequences greater than every replayed one.
-	var all []JobEvent
-	for _, d := range docs {
-		all = append(all, d.doc.Events...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].GSeq < all[j].GSeq })
-	s.fh.seed(all, maxGSeq)
+	// The firehose window starts empty: restart markers appended below draw
+	// fresh sequences, and resumes below the window page from the journal.
+	s.fh.startAfter(maxGSeq)
 
 	var interrupted []*Job
 	for _, d := range docs {
-		j := restoreJob(d.rec, d.doc, s.fh, s.jn)
+		nextSeq, _ := s.jn.stats(d.rec.ID)
+		j := restoreJob(d.rec, d.status, nextSeq, s.fh, s.jn, s.cfg.JobEventWindow)
 		s.jobs.adopt(j)
 		if !j.terminal() {
 			interrupted = append(interrupted, j)
@@ -168,29 +304,31 @@ func (s *Server) replayJournal() error {
 	return nil
 }
 
-// restoreJob rebuilds a Job from its journal document. Restored jobs never
-// run again: their context is born cancelled, and their status is served
-// from the journaled snapshot rather than recomputed.
-func restoreJob(rec *store.JobRecord, doc jobDocument, fh *firehose, jn *journal) *Job {
+// restoreJob rebuilds a Job from its journaled metadata. Restored jobs
+// never run again: their context is born cancelled, and their status is
+// served from the journaled snapshot rather than recomputed. Their events
+// stay in the journal — eventsBase starts at the log's end, so any SSE
+// replay pages from the store instead of RAM.
+func restoreJob(rec *store.JobRecord, st JobStatus, nextSeq int, fh *firehose, jn *journal, window int) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	st := doc.Status
 	return &Job{
 		id: rec.ID, seq: rec.Seq,
 		ctx: ctx, cancel: cancel,
-		state:    st.State,
-		created:  st.Created,
-		progress: st.Progress,
-		events:   doc.Events,
-		notify:   make(chan struct{}),
-		fh:       fh, jn: jn,
-		restored: &st,
+		state:      st.State,
+		created:    st.Created,
+		progress:   st.Progress,
+		eventsBase: nextSeq,
+		notify:     make(chan struct{}),
+		fh:         fh, jn: jn,
+		memWindow: window,
+		restored:  &st,
 	}
 }
 
 // failRestored finishes a replayed job that was queued or running when the
 // previous daemon died: state failed, a terminal event (with a fresh global
-// sequence) appended, and the updated document journaled back.
+// sequence) appended and journaled, and the metadata record updated.
 func (j *Job) failRestored(msg string) {
 	j.mu.Lock()
 	if j.restored == nil || j.state.Terminal() {
@@ -204,12 +342,14 @@ func (j *Job) failRestored(msg string) {
 	j.restored.Error = msg
 	j.restored.Finished = &now
 	te := JobEvent{
-		Seq: len(j.events), Type: "campaign", Job: j.id,
+		Seq: j.eventsBase + len(j.events), Type: "campaign", Job: j.id,
 		Progress: j.progress, State: JobFailed, Error: msg,
 	}
 	j.fh.append(&te)
 	j.events = append(j.events, te)
+	j.queueJournalLocked(te)
 	j.signalLocked()
 	j.mu.Unlock()
-	j.jn.put(j)
+	j.jn.sync(j)
+	j.jn.putMeta(j)
 }

@@ -263,6 +263,120 @@ func readSSEIDs(t *testing.T, resp *http.Response) []int {
 	return ids
 }
 
+// TestDeepResumeWithEvictedWindow is the acceptance test for journal-paged
+// resume: the server keeps only a 4-event in-memory tail per job and a
+// 4-event firehose window, a campaign emits far more than that, and every
+// stream still replays completely — live, after the fact, and across a
+// restart from cursor 1 — because anything older than the windows is paged
+// out of the journal on demand.
+func TestDeepResumeWithEvictedWindow(t *testing.T) {
+	mem := store.NewMem()
+	cfg := server.Config{Workers: 1, JobEventWindow: 4, FirehoseBuffer: 4}
+	srv1, client1 := newService(t, mem, cfg)
+	ctx := context.Background()
+
+	job, err := client1.Submit(ctx, server.CampaignRequest{
+		Kind:   "characterization",
+		Boards: []server.BoardSpec{{Platform: "VC707", Replicas: 6, BRAMs: 24}},
+		Runs:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live stream must deliver the whole log even though the server
+	// trims its in-memory tail to 4 events as the journal absorbs them.
+	var live []server.JobEvent
+	if _, err := client1.Wait(ctx, job.ID, func(ev server.JobEvent) error {
+		live = append(live, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) < 3*cfg.JobEventWindow {
+		t.Fatalf("campaign emitted %d events; the test needs well past the %d-event window",
+			len(live), cfg.JobEventWindow)
+	}
+	for i, ev := range live {
+		if ev.Seq != i {
+			t.Fatalf("live stream seq %d at position %d: trimmed tail lost an event", ev.Seq, i)
+		}
+	}
+	lastG := live[len(live)-1].GSeq
+
+	// After-the-fact full replay: the prefix is long gone from RAM.
+	var replay []server.JobEvent
+	if err := client1.Events(ctx, job.ID, func(ev server.JobEvent) error {
+		replay = append(replay, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(live) {
+		t.Fatalf("journal-paged replay returned %d events, want %d", len(replay), len(live))
+	}
+	// Mid-depth resume below the window.
+	var resumed []server.JobEvent
+	if err := client1.EventsFrom(ctx, job.ID, live[1].Seq, func(ev server.JobEvent) error {
+		resumed = append(resumed, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != len(live)-2 || resumed[0].Seq != 2 {
+		t.Fatalf("deep resume from seq 1 replayed %d events starting at %d, want %d from 2",
+			len(resumed), resumed[0].Seq, len(live)-2)
+	}
+
+	// --- Restart: the firehose window starts empty; the journal is the ---
+	// --- only history either stream has. --------------------------------
+	sctx, scancel := context.WithTimeout(ctx, 30*time.Second)
+	defer scancel()
+	if err := srv1.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	_, client2 := newService(t, mem, cfg)
+
+	// Firehose resume from cursor 1 — any depth means ANY depth.
+	var fhEvs []server.JobEvent
+	err = client2.Firehose(ctx, 1, func(ev server.JobEvent) error {
+		fhEvs = append(fhEvs, ev)
+		if ev.GSeq == lastG {
+			return errStopStream
+		}
+		return nil
+	})
+	if !errors.Is(err, errStopStream) {
+		t.Fatalf("restarted firehose resume ended with %v after %d events", err, len(fhEvs))
+	}
+	if int64(len(fhEvs)) != lastG-1 {
+		t.Fatalf("firehose resume from cursor 1 replayed %d events, want %d", len(fhEvs), lastG-1)
+	}
+	for i, ev := range fhEvs {
+		if ev.GSeq != int64(i)+2 {
+			t.Fatalf("firehose resume gseq %d at position %d: journal paging skipped or duplicated", ev.GSeq, i)
+		}
+	}
+
+	// Per-job replay across the restart: the restored job holds zero events
+	// in memory, so the entire stream pages from the journal and still ends
+	// on the terminal event.
+	var again []server.JobEvent
+	if err := client2.Events(ctx, job.ID, func(ev server.JobEvent) error {
+		again = append(again, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(live) {
+		t.Fatalf("post-restart replay returned %d events, want %d", len(again), len(live))
+	}
+	for i, ev := range again {
+		if ev.Seq != i {
+			t.Fatalf("post-restart replay seq %d at position %d", ev.Seq, i)
+		}
+	}
+}
+
 // TestJournalReplaysInterruptedJobAsFailed boots a server over a journal
 // holding a job that was still running when the previous process died: it
 // must come back failed with a restart marker, its stream must terminate,

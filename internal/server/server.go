@@ -89,6 +89,13 @@ type Config struct {
 	// FirehoseBuffer bounds the /v1/events in-memory replay window
 	// (default 8192 events).
 	FirehoseBuffer int
+	// JobEventWindow bounds how many of a job's most recent events stay in
+	// memory once durably journaled (default 2048; negative disables
+	// trimming). Older sequences are paged back from the journal on
+	// demand, so deep SSE resume works without the server holding every
+	// event in RAM. Ignored when the journal is disabled — memory then
+	// keeps the whole log.
+	JobEventWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SSEKeepAlive <= 0 {
 		c.SSEKeepAlive = 15 * time.Second
+	}
+	if c.JobEventWindow == 0 {
+		c.JobEventWindow = 2048
 	}
 	return c
 }
@@ -337,7 +347,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// /healthz poll) should ever queue behind. intakeMu guards only what
 	// it must: the draining check and the queue send racing close().
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	job := s.jobs.create(c, inv, ctx, cancel, s.fh, s.jn, s.jobCompleted)
+	job := s.jobs.create(c, inv, ctx, cancel, s.fh, s.jn, s.cfg.JobEventWindow, s.jobCompleted)
 	reject := func(msg string) {
 		// The submission was refused: it must not linger in the listing as
 		// a phantom cancelled job the client was told never existed.
@@ -361,7 +371,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Journaled from the moment it is queued: a crash before the first
 	// event still replays this job (as failed-with-restart-marker).
-	s.jn.put(job)
+	s.jn.putMeta(job)
 	writeJSON(w, http.StatusAccepted, job.status(true))
 }
 
@@ -485,12 +495,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// firehosePageSize bounds how many journaled events one deep-resume page
+// pulls back into memory; the handler loops page after page until the
+// cursor reaches the live window.
+const firehosePageSize = 512
+
 // handleFirehose streams every job's events, multiplexed in global-sequence
 // order and tagged with job ids — the fleet dashboard feed. The stream has
 // no terminal event; it runs until the client disconnects or the server
 // shuts down. Last-Event-ID (or ?after=) carries a global sequence, which
 // survives restarts via the journal; a cursor older than the in-memory
-// replay window resumes from the oldest retained event.
+// replay window — any depth, including 0 across a restart — is paged out of
+// the journal until it catches up to the window, then streams live. Only
+// with no journal (or a gap from dropped best-effort writes) does the
+// cursor clamp forward to the oldest retained event.
 func (s *Server) handleFirehose(w http.ResponseWriter, r *http.Request) {
 	var after int64
 	if c := cmp.Or(r.Header.Get("Last-Event-ID"), r.URL.Query().Get("after")); c != "" {
@@ -505,15 +523,36 @@ func (s *Server) handleFirehose(w http.ResponseWriter, r *http.Request) {
 	keepalive := time.NewTicker(s.cfg.SSEKeepAlive)
 	defer keepalive.Stop()
 
+	emit := func(ev JobEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.GSeq, ev.Type, data)
+		after = ev.GSeq
+		return true
+	}
 	for {
-		evs, changed := s.fh.since(after)
+		evs, changed, inWindow := s.fh.since(after)
+		if !inWindow {
+			if page := s.jn.firehosePage(after, firehosePageSize); len(page) > 0 {
+				for _, ev := range page {
+					if !emit(ev) {
+						return
+					}
+				}
+				flusher.Flush()
+				continue
+			}
+			// Nothing journaled below the window: clamp to its edge. The
+			// low-water mark only rises, so this always makes progress.
+			after = s.fh.lowWater()
+			continue
+		}
 		for _, ev := range evs {
-			data, err := json.Marshal(ev)
-			if err != nil {
+			if !emit(ev) {
 				return
 			}
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.GSeq, ev.Type, data)
-			after = ev.GSeq
 		}
 		if len(evs) > 0 {
 			flusher.Flush()

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,6 +32,18 @@ type Disk struct {
 	index   map[string]idxEntry // id → key + summary + put order
 	seq     int64               // last put sequence handed out
 	dirty   bool                // index has entries not yet flushed to disk
+
+	// Event-log state (see eventlog.go). evMu guards only the map; each
+	// jobLog's fields are guarded by its job's stripe lock.
+	evMu        sync.Mutex
+	evLogs      map[string]*jobLog
+	segSize     int
+	compactTail int
+	compactCh   chan string
+	quit        chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+	jnBytes     atomic.Uint64 // journal bytes written, for benchmarks
 }
 
 // OpenDisk opens (or initializes) a store rooted at dir. A missing directory
@@ -45,7 +58,14 @@ func OpenDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: init jobs dir: %w", err)
 	}
-	d := &Disk{root: dir, index: make(map[string]idxEntry)}
+	d := &Disk{
+		root: dir, index: make(map[string]idxEntry),
+		evLogs:      make(map[string]*jobLog),
+		segSize:     defaultEventSegSize,
+		compactTail: defaultCompactTail,
+		compactCh:   make(chan string, 128),
+		quit:        make(chan struct{}),
+	}
 	if err := d.loadIndex(); err != nil {
 		// Recovery path: the index is a cache of blob metadata, never the
 		// source of truth. Rebuild it by scanning the objects. A version-1
@@ -56,6 +76,11 @@ func OpenDisk(dir string) (*Disk, error) {
 	} else if err := d.healIndex(); err != nil {
 		return nil, err
 	}
+	if err := d.scanEventLogs(); err != nil {
+		return nil, err
+	}
+	d.wg.Add(1)
+	go d.compactLoop()
 	return d, nil
 }
 
@@ -451,7 +476,11 @@ func (d *Disk) PutJob(rec *JobRecord) error {
 	mu := d.jobStripe(rec.ID)
 	mu.Lock()
 	defer mu.Unlock()
-	return atomicWrite(d.jobPath(rec.ID), raw)
+	if err := atomicWrite(d.jobPath(rec.ID), raw); err != nil {
+		return err
+	}
+	d.addJnBytes(len(raw))
+	return nil
 }
 
 // ListJobs returns every journaled job in submission order. Corrupt or
@@ -489,23 +518,34 @@ func (d *Disk) ListJobs() ([]*JobRecord, error) {
 	return out, nil
 }
 
-// DeleteJob removes one journaled job; an absent id is not an error.
+// DeleteJob removes one journaled job — its metadata record and its whole
+// event log; an absent id is not an error.
 func (d *Disk) DeleteJob(id string) error {
 	if !ValidJobID(id) {
 		return fmt.Errorf("store: malformed job id %q", id)
 	}
 	mu := d.jobStripe(id)
 	mu.Lock()
-	err := os.Remove(d.jobPath(id))
-	mu.Unlock()
-	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+	defer mu.Unlock()
+	if err := os.Remove(d.jobPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: delete job %s: %w", id, err)
 	}
-	return nil
+	return d.dropEventLog(id)
 }
 
-// Close flushes the index. Blobs themselves are durable at Put time.
+// Close stops the compactor, releases event-log handles, and flushes the
+// index. Blobs themselves are durable at Put time.
 func (d *Disk) Close() error {
+	d.closeOnce.Do(func() { close(d.quit) })
+	d.wg.Wait()
+	d.evMu.Lock()
+	for _, jl := range d.evLogs {
+		if jl.f != nil {
+			jl.f.Close()
+			jl.f = nil
+		}
+	}
+	d.evMu.Unlock()
 	d.indexMu.Lock()
 	defer d.indexMu.Unlock()
 	return d.flushIndexLocked()

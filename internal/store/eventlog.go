@@ -1,0 +1,565 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the Disk half of the per-job event log: the storage that
+// makes journaling a job event O(bytes of that event) instead of O(bytes of
+// the job's whole history).
+//
+// Layout per job:
+//
+//	jobs/<id>.json                                the metadata record (PutJob)
+//	jobs/<id>.log                                 append-only JSONL tail
+//	jobs/<id>.segs/seg-<s0>-<s1>-<g0>-<g1>.json   sealed, immutable segments
+//
+// Appends go to the tail — one JSON line per event, O_APPEND + fsync, no
+// rewrite of anything. When the tail grows past compactTail live events, a
+// background compactor seals full segments of segSize events (atomic write,
+// fsynced) and rewrites the tail with only the remainder, so the total
+// bytes ever written for an n-event log is O(n), not O(n²), and replay
+// after a restart only scans the bounded tail plus segment *names*. Segment
+// filenames carry their Seq and GSeq ranges, which is what lets boot and
+// firehose paging prune without opening segment bodies.
+//
+// Crash discipline: a segment is sealed before the tail is rewritten, so a
+// crash in between leaves the same events in both places — readers dedup by
+// Seq (sealed copy wins) and the next compaction drops the stale tail
+// prefix. A torn final tail line (power cut mid-append) fails to decode and
+// is skipped. No state here is authoritative for the blobs or the index;
+// losing a tail line degrades the journal, never the store.
+
+const (
+	// defaultEventSegSize is how many events a sealed segment holds.
+	defaultEventSegSize = 256
+	// defaultCompactTail is the live-tail length that triggers compaction.
+	defaultCompactTail = 512
+)
+
+// segInfo describes one sealed segment without its body: the Seq range it
+// covers and the GSeq range it contains, both recoverable from the filename
+// alone.
+type segInfo struct {
+	minSeq, maxSeq int
+	firstG, lastG  int64
+}
+
+func (s segInfo) fileName() string {
+	return fmt.Sprintf("seg-%d-%d-%d-%d.json", s.minSeq, s.maxSeq, s.firstG, s.lastG)
+}
+
+// parseSegName inverts fileName; ok is false for anything else in the dir.
+func parseSegName(name string) (segInfo, bool) {
+	var s segInfo
+	n, err := fmt.Sscanf(name, "seg-%d-%d-%d-%d.json", &s.minSeq, &s.maxSeq, &s.firstG, &s.lastG)
+	if err != nil || n != 4 || s.fileName() != name {
+		return segInfo{}, false
+	}
+	return s, true
+}
+
+// jobLog is the in-memory index of one job's event log. The map holding
+// these is guarded by evMu; the fields of one jobLog are guarded by the
+// job's stripe lock (write lock to mutate, read lock to read), the same
+// lock that serializes the job's file I/O.
+type jobLog struct {
+	segs     []segInfo // ascending by minSeq
+	sealedTo int       // 1 + highest Seq covered by a sealed segment
+	liveTail int       // tail events with Seq >= sealedTo
+	nextSeq  int       // 1 + highest Seq seen anywhere in the log
+	lastG    int64     // highest GSeq seen anywhere in the log
+	f        *os.File  // cached append handle; nil when closed
+}
+
+func (d *Disk) jobLogPath(id string) string {
+	return filepath.Join(d.root, "jobs", id+".log")
+}
+
+func (d *Disk) jobSegsDir(id string) string {
+	return filepath.Join(d.root, "jobs", id+".segs")
+}
+
+// evLog returns id's log index, creating it if absent. Callers hold the
+// job's stripe write lock.
+func (d *Disk) evLog(id string) *jobLog {
+	d.evMu.Lock()
+	defer d.evMu.Unlock()
+	jl := d.evLogs[id]
+	if jl == nil {
+		jl = &jobLog{}
+		d.evLogs[id] = jl
+	}
+	return jl
+}
+
+// evLogPeek returns id's log index or nil. Callers hold at least the job's
+// stripe read lock if they read the returned struct's fields.
+func (d *Disk) evLogPeek(id string) *jobLog {
+	d.evMu.Lock()
+	defer d.evMu.Unlock()
+	return d.evLogs[id]
+}
+
+// SetEventLogTuning adjusts the compaction geometry: segSize events per
+// sealed segment, compaction once the live tail exceeds compactTail. A
+// test/bench hook — call before concurrent use; zero or negative values
+// keep the defaults.
+func (d *Disk) SetEventLogTuning(segSize, compactTail int) {
+	if segSize > 0 {
+		d.segSize = segSize
+	}
+	if compactTail > 0 {
+		d.compactTail = compactTail
+	}
+}
+
+// JournalBytes reports the total bytes written to the job journal — meta
+// records, event appends, and compaction rewrites. Instrumentation for the
+// bytes-per-event benchmarks; not part of the Store interface.
+func (d *Disk) JournalBytes() uint64 { return d.jnBytes.Load() }
+
+func (d *Disk) addJnBytes(n int) { d.jnBytes.Add(uint64(n)) }
+
+// AppendJobEvents appends events to one job's tail: one marshal and one
+// O_APPEND write per call, fsynced, with no rewrite of prior history.
+func (d *Disk) AppendJobEvents(id string, evs []EventRecord) error {
+	if !ValidJobID(id) {
+		return fmt.Errorf("store: malformed job id %q", id)
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for i := range evs {
+		rec := evs[i]
+		rec.Job = id
+		line, err := json.Marshal(&rec)
+		if err != nil {
+			return fmt.Errorf("store: encode event %s/%d: %w", id, rec.Seq, err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	mu := d.jobStripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	jl := d.evLog(id)
+	if jl.f == nil {
+		f, err := d.openTail(id)
+		if err != nil {
+			return err
+		}
+		jl.f = f
+	}
+	if _, err := jl.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("store: append events %s: %w", id, err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync event log %s: %w", id, err)
+	}
+	d.addJnBytes(buf.Len())
+	for i := range evs {
+		if evs[i].Seq >= jl.sealedTo {
+			jl.liveTail++
+		}
+		if evs[i].Seq >= jl.nextSeq {
+			jl.nextSeq = evs[i].Seq + 1
+		}
+		if evs[i].GSeq > jl.lastG {
+			jl.lastG = evs[i].GSeq
+		}
+	}
+	if jl.liveTail >= d.compactTail {
+		d.kickCompact(id)
+	}
+	return nil
+}
+
+// openTail opens id's tail for appending. A tail whose last byte is not a
+// newline ends in a torn line from a crashed append; terminate it first, so
+// the next event starts a fresh line instead of fusing with (and corrupting)
+// the torn one.
+func (d *Disk) openTail(id string) (*os.File, error) {
+	path := d.jobLogPath(id)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open event log %s: %w", id, err)
+	}
+	if rf, err := os.Open(path); err == nil {
+		if info, err := rf.Stat(); err == nil && info.Size() > 0 {
+			last := make([]byte, 1)
+			if _, err := rf.ReadAt(last, info.Size()-1); err == nil && last[0] != '\n' {
+				if _, err := f.Write([]byte{'\n'}); err != nil {
+					rf.Close()
+					f.Close()
+					return nil, fmt.Errorf("store: heal torn tail %s: %w", id, err)
+				}
+			}
+		}
+		rf.Close()
+	}
+	return f, nil
+}
+
+// readTail decodes the tail log, skipping torn or corrupt lines. Callers
+// hold at least the job's stripe read lock.
+func (d *Disk) readTail(id string) []EventRecord {
+	raw, err := os.ReadFile(d.jobLogPath(id))
+	if err != nil {
+		return nil
+	}
+	var out []EventRecord
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev EventRecord
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// readSeg decodes one sealed segment; a corrupt segment degrades to empty
+// rather than failing the read.
+func (d *Disk) readSeg(id string, sg segInfo) []EventRecord {
+	raw, err := os.ReadFile(filepath.Join(d.jobSegsDir(id), sg.fileName()))
+	if err != nil {
+		return nil
+	}
+	var out []EventRecord
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil
+	}
+	return out
+}
+
+// ReadJobEvents returns id's events with Seq >= from, ascending and
+// de-duplicated by Seq, reading only the segments whose range overlaps.
+func (d *Disk) ReadJobEvents(id string, from, limit int) ([]EventRecord, error) {
+	if !ValidJobID(id) {
+		return nil, fmt.Errorf("store: malformed job id %q", id)
+	}
+	mu := d.jobStripe(id)
+	mu.RLock()
+	defer mu.RUnlock()
+	jl := d.evLogPeek(id)
+	if jl == nil {
+		return nil, nil
+	}
+	var out []EventRecord
+	for _, sg := range jl.segs {
+		if sg.maxSeq < from {
+			continue
+		}
+		for _, ev := range d.readSeg(id, sg) {
+			if ev.Seq >= from {
+				out = append(out, ev)
+			}
+		}
+		if limit > 0 && len(out) >= limit && sg.maxSeq >= jl.nextSeq-1 {
+			break
+		}
+	}
+	// Sealed copies were appended first, so dedup keeps them over any stale
+	// tail duplicates left by a crash mid-compaction.
+	for _, ev := range d.readTail(id) {
+		if ev.Seq >= from {
+			out = append(out, ev)
+		}
+	}
+	return capEvents(sortDedupEvents(out), limit), nil
+}
+
+// JobEventStats reports the next event sequence and the highest global
+// sequence in id's log, from the in-memory index alone.
+func (d *Disk) JobEventStats(id string) (int, int64, error) {
+	if !ValidJobID(id) {
+		return 0, 0, fmt.Errorf("store: malformed job id %q", id)
+	}
+	mu := d.jobStripe(id)
+	mu.RLock()
+	defer mu.RUnlock()
+	jl := d.evLogPeek(id)
+	if jl == nil {
+		return 0, 0, nil
+	}
+	return jl.nextSeq, jl.lastG, nil
+}
+
+// ReadFirehose returns events across all jobs with GSeq > after, in GSeq
+// order, pruning jobs and segments by their indexed GSeq ranges so a resume
+// near the live edge never reads cold history.
+func (d *Disk) ReadFirehose(after int64, limit int) ([]EventRecord, error) {
+	d.evMu.Lock()
+	ids := make([]string, 0, len(d.evLogs))
+	for id := range d.evLogs {
+		ids = append(ids, id)
+	}
+	d.evMu.Unlock()
+	sort.Strings(ids)
+	var all []EventRecord
+	for _, id := range ids {
+		mu := d.jobStripe(id)
+		mu.RLock()
+		jl := d.evLogPeek(id)
+		if jl == nil || jl.lastG <= after {
+			mu.RUnlock()
+			continue
+		}
+		var evs []EventRecord
+		for _, sg := range jl.segs {
+			if sg.lastG <= after {
+				continue
+			}
+			evs = append(evs, d.readSeg(id, sg)...)
+		}
+		evs = append(evs, d.readTail(id)...)
+		mu.RUnlock()
+		evs = sortDedupEvents(evs)
+		for _, ev := range evs {
+			if ev.GSeq > after {
+				all = append(all, ev)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].GSeq < all[j].GSeq })
+	return capEvents(all, limit), nil
+}
+
+// LastGSeq reports the highest global sequence in any job's log.
+func (d *Disk) LastGSeq() (int64, error) {
+	d.evMu.Lock()
+	ids := make([]string, 0, len(d.evLogs))
+	for id := range d.evLogs {
+		ids = append(ids, id)
+	}
+	d.evMu.Unlock()
+	var max int64
+	for _, id := range ids {
+		mu := d.jobStripe(id)
+		mu.RLock()
+		if jl := d.evLogPeek(id); jl != nil && jl.lastG > max {
+			max = jl.lastG
+		}
+		mu.RUnlock()
+	}
+	return max, nil
+}
+
+// kickCompact queues id for background compaction; a full queue skips — the
+// next append past the threshold retries.
+func (d *Disk) kickCompact(id string) {
+	select {
+	case d.compactCh <- id:
+	default:
+	}
+}
+
+// compactLoop drains compaction requests until Close.
+func (d *Disk) compactLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case id := <-d.compactCh:
+			_ = d.CompactJob(id)
+		}
+	}
+}
+
+// CompactJob folds id's tail into sealed segments: every full segSize chunk
+// of live tail events becomes an immutable segment file, then the tail is
+// rewritten with only the remainder. Exported so tests and operators can
+// force a fold; the background compactor calls it on its own past the tail
+// threshold. Sealing happens before the tail rewrite, so a crash in between
+// duplicates events rather than losing them — readers dedup by Seq.
+func (d *Disk) CompactJob(id string) error {
+	if !ValidJobID(id) {
+		return fmt.Errorf("store: malformed job id %q", id)
+	}
+	mu := d.jobStripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	jl := d.evLogPeek(id)
+	if jl == nil {
+		return nil
+	}
+	tail := d.readTail(id)
+	live := make([]EventRecord, 0, len(tail))
+	for _, ev := range tail {
+		if ev.Seq >= jl.sealedTo {
+			live = append(live, ev)
+		}
+	}
+	live = sortDedupEvents(live)
+	sealed := 0
+	for len(live)-sealed >= d.segSize {
+		chunk := live[sealed : sealed+d.segSize]
+		sg := segInfo{minSeq: chunk[0].Seq, maxSeq: chunk[len(chunk)-1].Seq}
+		sg.firstG, sg.lastG = chunk[0].GSeq, chunk[0].GSeq
+		for _, ev := range chunk {
+			if ev.GSeq < sg.firstG {
+				sg.firstG = ev.GSeq
+			}
+			if ev.GSeq > sg.lastG {
+				sg.lastG = ev.GSeq
+			}
+		}
+		raw, err := json.Marshal(chunk)
+		if err != nil {
+			return fmt.Errorf("store: encode segment %s: %w", id, err)
+		}
+		if err := os.MkdirAll(d.jobSegsDir(id), 0o755); err != nil {
+			return fmt.Errorf("store: segment dir %s: %w", id, err)
+		}
+		if err := atomicWrite(filepath.Join(d.jobSegsDir(id), sg.fileName()), raw); err != nil {
+			return err
+		}
+		d.addJnBytes(len(raw))
+		jl.segs = append(jl.segs, sg)
+		jl.sealedTo = sg.maxSeq + 1
+		sealed += d.segSize
+	}
+	rest := live[sealed:]
+	if sealed == 0 && len(rest) == len(tail) {
+		return nil // nothing sealed, no stale prefix: leave the tail alone
+	}
+	var buf bytes.Buffer
+	for i := range rest {
+		line, err := json.Marshal(&rest[i])
+		if err != nil {
+			return fmt.Errorf("store: encode event %s/%d: %w", id, rest[i].Seq, err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	// The rewrite replaces the tail's inode; drop the cached append handle
+	// so the next append reopens the new file instead of a deleted one.
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+	if err := atomicWrite(d.jobLogPath(id), buf.Bytes()); err != nil {
+		return err
+	}
+	d.addJnBytes(buf.Len())
+	jl.liveTail = len(rest)
+	return nil
+}
+
+// dropEventLog removes id's tail, segments, and index entry. Callers hold
+// the job's stripe write lock.
+func (d *Disk) dropEventLog(id string) error {
+	d.evMu.Lock()
+	jl := d.evLogs[id]
+	delete(d.evLogs, id)
+	d.evMu.Unlock()
+	if jl != nil && jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+	if err := os.Remove(d.jobLogPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete event log %s: %w", id, err)
+	}
+	if err := os.RemoveAll(d.jobSegsDir(id)); err != nil {
+		return fmt.Errorf("store: delete segments %s: %w", id, err)
+	}
+	return nil
+}
+
+// scanEventLogs rebuilds the in-memory event-log index at open: segment
+// ranges come from filenames alone, and only the bounded tails are read —
+// boot cost is O(jobs + tail events), never O(all events).
+func (d *Disk) scanEventLogs() error {
+	dir := filepath.Join(d.root, "jobs")
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: scan event logs: %w", err)
+	}
+	logs := make(map[string]*jobLog)
+	get := func(id string) *jobLog {
+		jl := logs[id]
+		if jl == nil {
+			jl = &jobLog{}
+			logs[id] = jl
+		}
+		return jl
+	}
+	// Pass 1: segment directories, so sealedTo is known before tails are
+	// classified.
+	for _, de := range des {
+		if !de.IsDir() || !strings.HasSuffix(de.Name(), ".segs") {
+			continue
+		}
+		id := strings.TrimSuffix(de.Name(), ".segs")
+		if !ValidJobID(id) {
+			continue
+		}
+		segDes, err := os.ReadDir(filepath.Join(dir, de.Name()))
+		if err != nil {
+			continue
+		}
+		jl := get(id)
+		for _, sde := range segDes {
+			sg, ok := parseSegName(sde.Name())
+			if !ok {
+				continue
+			}
+			jl.segs = append(jl.segs, sg)
+		}
+		sort.Slice(jl.segs, func(i, j int) bool { return jl.segs[i].minSeq < jl.segs[j].minSeq })
+		for _, sg := range jl.segs {
+			if sg.maxSeq+1 > jl.sealedTo {
+				jl.sealedTo = sg.maxSeq + 1
+			}
+			if sg.maxSeq+1 > jl.nextSeq {
+				jl.nextSeq = sg.maxSeq + 1
+			}
+			if sg.lastG > jl.lastG {
+				jl.lastG = sg.lastG
+			}
+		}
+	}
+	// Pass 2: tails.
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".log") {
+			continue
+		}
+		id := strings.TrimSuffix(de.Name(), ".log")
+		if !ValidJobID(id) {
+			continue
+		}
+		jl := get(id)
+		for _, ev := range d.readTail(id) {
+			if ev.Seq >= jl.sealedTo {
+				jl.liveTail++
+			}
+			if ev.Seq+1 > jl.nextSeq {
+				jl.nextSeq = ev.Seq + 1
+			}
+			if ev.GSeq > jl.lastG {
+				jl.lastG = ev.GSeq
+			}
+		}
+	}
+	d.evMu.Lock()
+	d.evLogs = logs
+	d.evMu.Unlock()
+	return nil
+}

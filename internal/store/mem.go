@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -12,19 +13,21 @@ import (
 // encoding the Disk store uses, so the serialization path is exercised and
 // callers can never alias a stored record's internals.
 type Mem struct {
-	mu    sync.RWMutex
-	blobs map[string][]byte   // id → encoded record
-	keys  map[string]idxEntry // id → key + summary + put order
-	jobs  map[string][]byte   // job id → encoded journal record
-	seq   int64
+	mu     sync.RWMutex
+	blobs  map[string][]byte   // id → encoded record
+	keys   map[string]idxEntry // id → key + summary + put order
+	jobs   map[string][]byte   // job id → encoded journal record
+	events map[string][][]byte // job id → encoded event records, append order
+	seq    int64
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem {
 	return &Mem{
-		blobs: make(map[string][]byte),
-		keys:  make(map[string]idxEntry),
-		jobs:  make(map[string][]byte),
+		blobs:  make(map[string][]byte),
+		keys:   make(map[string]idxEntry),
+		jobs:   make(map[string][]byte),
+		events: make(map[string][][]byte),
 	}
 }
 
@@ -144,12 +147,128 @@ func (m *Mem) ListJobs() ([]*JobRecord, error) {
 	return out, nil
 }
 
-// DeleteJob removes one journaled job; an absent id is not an error.
+// DeleteJob removes one journaled job and its event log; an absent id is
+// not an error.
 func (m *Mem) DeleteJob(id string) error {
 	m.mu.Lock()
 	delete(m.jobs, id)
+	delete(m.events, id)
 	m.mu.Unlock()
 	return nil
+}
+
+// AppendJobEvents appends events to one job's log. Like jobs and blobs,
+// events round-trip through JSON so the serialization path is exercised
+// hermetically and callers can never alias stored internals.
+func (m *Mem) AppendJobEvents(id string, evs []EventRecord) error {
+	if !ValidJobID(id) {
+		return fmt.Errorf("store: malformed job id %q", id)
+	}
+	encoded := make([][]byte, 0, len(evs))
+	for i := range evs {
+		rec := evs[i]
+		rec.Job = id
+		raw, err := json.Marshal(&rec)
+		if err != nil {
+			return fmt.Errorf("store: encode event %s/%d: %w", id, rec.Seq, err)
+		}
+		encoded = append(encoded, raw)
+	}
+	m.mu.Lock()
+	m.events[id] = append(m.events[id], encoded...)
+	m.mu.Unlock()
+	return nil
+}
+
+// decodeEventsLocked decodes one job's stored events; corrupt entries are
+// skipped, mirroring the Disk store's degrade-not-fail reads.
+func (m *Mem) decodeEventsLocked(id string) []EventRecord {
+	raws := m.events[id]
+	out := make([]EventRecord, 0, len(raws))
+	for _, raw := range raws {
+		var ev EventRecord
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// ReadJobEvents returns id's events with Seq >= from, ascending and
+// de-duplicated by Seq, capped at limit.
+func (m *Mem) ReadJobEvents(id string, from, limit int) ([]EventRecord, error) {
+	if !ValidJobID(id) {
+		return nil, fmt.Errorf("store: malformed job id %q", id)
+	}
+	m.mu.RLock()
+	evs := m.decodeEventsLocked(id)
+	m.mu.RUnlock()
+	out := evs[:0]
+	for _, ev := range evs {
+		if ev.Seq >= from {
+			out = append(out, ev)
+		}
+	}
+	return capEvents(sortDedupEvents(out), limit), nil
+}
+
+// JobEventStats reports the next event sequence and highest global
+// sequence in id's log.
+func (m *Mem) JobEventStats(id string) (int, int64, error) {
+	if !ValidJobID(id) {
+		return 0, 0, fmt.Errorf("store: malformed job id %q", id)
+	}
+	m.mu.RLock()
+	evs := m.decodeEventsLocked(id)
+	m.mu.RUnlock()
+	var nextSeq int
+	var lastG int64
+	for _, ev := range evs {
+		if ev.Seq+1 > nextSeq {
+			nextSeq = ev.Seq + 1
+		}
+		if ev.GSeq > lastG {
+			lastG = ev.GSeq
+		}
+	}
+	return nextSeq, lastG, nil
+}
+
+// ReadFirehose returns events across all jobs with GSeq > after, in GSeq
+// order, capped at limit.
+func (m *Mem) ReadFirehose(after int64, limit int) ([]EventRecord, error) {
+	m.mu.RLock()
+	ids := make([]string, 0, len(m.events))
+	for id := range m.events {
+		ids = append(ids, id)
+	}
+	var all []EventRecord
+	for _, id := range ids {
+		for _, ev := range m.decodeEventsLocked(id) {
+			if ev.GSeq > after {
+				all = append(all, ev)
+			}
+		}
+	}
+	m.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].GSeq < all[j].GSeq })
+	return capEvents(all, limit), nil
+}
+
+// LastGSeq reports the highest global sequence in any job's log.
+func (m *Mem) LastGSeq() (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var max int64
+	for id := range m.events {
+		for _, ev := range m.decodeEventsLocked(id) {
+			if ev.GSeq > max {
+				max = ev.GSeq
+			}
+		}
+	}
+	return max, nil
 }
 
 // Close is a no-op.

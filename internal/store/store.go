@@ -168,9 +168,28 @@ type Meta struct {
 // under. Seq preserves submission order across restarts, so a replayed job
 // table lists jobs in the order they were created and new ids never collide
 // with journaled ones.
+//
+// Since the event log split (PR 6) the payload carries only the job's
+// metadata — its status snapshot — while events are appended separately via
+// AppendJobEvents. Old full-document payloads (status + embedded events)
+// still replay; the service layer migrates them to the split layout once.
 type JobRecord struct {
 	ID      string          `json:"id"`
 	Seq     int             `json:"seq"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// EventRecord is one appended job event: an opaque payload plus the
+// ordering the store indexes it by. Seq orders events within one job
+// (dense from 0 in healthy operation, but readers must tolerate gaps from
+// dropped best-effort writes); GSeq is the service-wide total order the
+// firehose pages by. Appending one event writes O(len(Payload)) bytes —
+// never the job's history — which is what makes journaling O(1) per event
+// instead of O(events²) per job.
+type EventRecord struct {
+	Job     string          `json:"job"`
+	Seq     int             `json:"seq"`
+	GSeq    int64           `json:"gseq"`
 	Payload json.RawMessage `json:"payload"`
 }
 
@@ -216,12 +235,34 @@ type Store interface {
 	// GC bounds the store to the newest keep records per (platform,
 	// serial), returning what it removed. keep <= 0 is a no-op.
 	GC(keep int) ([]Meta, error)
-	// PutJob journals one campaign job, replacing any previous version.
+	// PutJob journals one campaign job's metadata record, replacing any
+	// previous version. The payload should stay O(1) in the job's event
+	// count — events belong in AppendJobEvents.
 	PutJob(rec *JobRecord) error
 	// ListJobs returns every journaled job in submission (Seq) order.
 	ListJobs() ([]*JobRecord, error)
-	// DeleteJob removes one journaled job; absent ids are not an error.
+	// DeleteJob removes one journaled job, its event log included; absent
+	// ids are not an error.
 	DeleteJob(id string) error
+	// AppendJobEvents appends events to one job's event log. The cost is
+	// O(bytes appended), independent of how many events the job already
+	// has. Records are copied; the caller keeps ownership of evs.
+	AppendJobEvents(id string, evs []EventRecord) error
+	// ReadJobEvents returns the job's events with Seq >= from, ascending,
+	// de-duplicated by Seq, capped at limit (limit <= 0 means no cap).
+	ReadJobEvents(id string, from, limit int) ([]EventRecord, error)
+	// JobEventStats reports the sequence the job's next event would take
+	// (0 when it has none) and the highest global sequence in its log,
+	// without reading the log body.
+	JobEventStats(id string) (nextSeq int, lastGSeq int64, err error)
+	// ReadFirehose returns events across all jobs with GSeq > after, in
+	// GSeq order, capped at limit (limit <= 0 means no cap). This is the
+	// paging primitive behind deep firehose resume.
+	ReadFirehose(after int64, limit int) ([]EventRecord, error)
+	// LastGSeq reports the highest global sequence present in any job's
+	// event log, so a restarted service can resume issuing sequences
+	// without replaying event bodies.
+	LastGSeq() (int64, error)
 	// Close releases any resources. The store must not be used afterwards.
 	Close() error
 }
@@ -278,6 +319,31 @@ func gcVictims(entries map[string]idxEntry, keep int) []string {
 	}
 	sort.Strings(victims)
 	return victims
+}
+
+// sortDedupEvents orders records by Seq and drops duplicate sequences,
+// keeping the first occurrence. Duplicates are legitimate on-disk states: a
+// crash between sealing a segment and rewriting the tail, or an interrupted
+// full-document migration, leaves the same event in two places, and the
+// contract is that readers — not writers — make the log exactly-once.
+func sortDedupEvents(evs []EventRecord) []EventRecord {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	out := evs[:0]
+	for _, ev := range evs {
+		if n := len(out); n > 0 && out[n-1].Seq == ev.Seq {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// capEvents truncates to the first limit records; limit <= 0 means no cap.
+func capEvents(evs []EventRecord, limit int) []EventRecord {
+	if limit > 0 && len(evs) > limit {
+		return evs[:limit]
+	}
+	return evs
 }
 
 // sortJobs orders journal records by submission sequence (ties by id).
