@@ -9,12 +9,12 @@ BENCHTIME ?= 1x
 BASELINE ?= BENCH_pr6.json
 BASELINE_BENCH ?= FullPool|Fig03FaultPowerSweep|DieConstruction|JournalAppend|FirehoseResumeDeep|Calibration
 BASELINE_BENCHTIME ?= 2s
-THRESHOLD ?= 40
+THRESHOLD ?= 30
 # Journal appends are gated on bytes/event (deterministic), not ns/op
 # (fsync-noisy): tight threshold, separate compare pass below.
 JOURNAL_THRESHOLD ?= 10
 
-.PHONY: build test race bench bench-smoke bench-json bench-compare loadgen loadgen-smoke
+.PHONY: build test race bench bench-smoke bench-json bench-compare loadgen loadgen-smoke federation-smoke
 
 build:
 	$(GO) build ./...
@@ -71,3 +71,11 @@ loadgen-smoke:
 		-threshold 400 -calibrate Calibration
 	$(GO) run ./cmd/benchjson -compare LOADGEN_pr6.json LOADGEN_smoke.json \
 		-metric bytes/event -threshold 25
+
+# CI federation smoke: three in-process daemons behind a federation
+# coordinator, driven through the coordinator's /v1 API by 100 concurrent
+# submit/SSE/query clients. The gate is the loadgen's delivery accounting
+# over the coordinator's re-stamped streams: any gap in per-job Seq or
+# merged-firehose GSeq density — an event lost in the fan-in — fails the run.
+federation-smoke:
+	$(GO) run ./cmd/fpgavoltd-loadgen -selfhost -federate 3 -clients 100 -jobs 100

@@ -9,11 +9,16 @@
 // Usage:
 //
 //	fpgavoltd-loadgen -selfhost [-clients 200] [-jobs 200] [-out lg.json]
+//	fpgavoltd-loadgen -selfhost -federate 3 [-clients 200] ...
 //	fpgavoltd-loadgen -addr http://127.0.0.1:8080 [-clients 200] ...
 //
 // With -selfhost the tool boots an in-process fpgavoltd (disk store in a
 // temp dir, journal on) on a loopback listener and tears it down after; with
-// -addr it targets an already-running daemon. Every job's SSE stream is
+// -addr it targets an already-running daemon (or coordinator — the federated
+// /v1 surface is the same). -federate N replaces the single selfhost daemon
+// with N in-process daemons behind a federation coordinator, so the same
+// delivery accounting gates the coordinator's merged, re-stamped streams:
+// the CI federation-smoke job runs this mode and fails on any dropped event. Every job's SSE stream is
 // checked for per-job sequence density and the firehose for global-sequence
 // density, so the run fails (exit 1) if even one event is dropped. Submit
 // hitting admission control (503 queue-full) backs off and retries — those
@@ -166,8 +171,9 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 		replicas = fs.Int("replicas", 4, "boards per campaign (events per job scale with it)")
 		brams    = fs.Int("brams", 1, "BRAMs per simulated board (campaign size knob)")
 		runs     = fs.Int("runs", 1, "read-pass runs per voltage level")
-		workers  = fs.Int("workers", runtime.NumCPU(), "selfhost: concurrent campaign jobs")
-		queue    = fs.Int("queue", 32, "selfhost: pending-job queue depth (admission-control bound)")
+		workers  = fs.Int("workers", runtime.NumCPU(), "selfhost: concurrent campaign jobs (per daemon when federated)")
+		queue    = fs.Int("queue", 32, "selfhost: pending-job queue depth (admission-control bound, per daemon when federated)")
+		federate = fs.Int("federate", 0, "selfhost: shard across N in-process daemons behind a federation coordinator (0 = single daemon)")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "overall run deadline")
 		label    = fs.String("label", "loadgen", "benchjson baseline label")
 		out      = fs.String("out", "", "write a benchjson baseline file")
@@ -182,6 +188,10 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 	}
 	if *clients <= 0 || *jobs <= 0 || *replicas <= 0 {
 		fmt.Fprintln(w, "fpgavoltd-loadgen: -clients, -jobs, and -replicas must be positive")
+		return 2
+	}
+	if *federate > 0 && !*selfhost {
+		fmt.Fprintln(w, "fpgavoltd-loadgen: -federate needs -selfhost (with -addr, point it at a running fpgavoltctl instead)")
 		return 2
 	}
 	ctx, cancel := context.WithTimeout(ctx, *timeout)
@@ -208,33 +218,97 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 		if jb, ok := st.(interface{ JournalBytes() uint64 }); ok {
 			journalBytes = jb.JournalBytes
 		}
-		svc, err := fpgavolt.NewService(fpgavolt.ServiceConfig{
-			Store:      st,
-			Workers:    *workers,
-			QueueDepth: *queue,
-			// Keep the whole run's jobs listable: eviction mid-run would
-			// turn delivery accounting into false drops.
-			MaxJobHistory: *jobs + 16,
-		})
-		if err != nil {
-			fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
-			return 2
+		if *federate > 0 {
+			// Federated selfhost: N in-process daemons on volatile stores
+			// fronted by a coordinator journaling to the disk store — the
+			// same topology fpgavoltctl serves — so the drop detectors below
+			// run against the coordinator's re-stamped Seq/GSeq numbering
+			// and the journal metric measures the coordinator's log.
+			var urls []string
+			for i := 0; i < *federate; i++ {
+				dsvc, err := fpgavolt.NewService(fpgavolt.ServiceConfig{
+					Store:      fpgavolt.NewMemStore(),
+					Workers:    *workers,
+					QueueDepth: *queue,
+					// Every federated job fans out up to one downstream
+					// campaign per board; keep them all listable so the
+					// coordinator's post-stream job fetch cannot 404.
+					MaxJobHistory: (*jobs)*(*replicas) + 16,
+				})
+				if err != nil {
+					fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
+					return 2
+				}
+				dln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
+					return 2
+				}
+				dhs := &http.Server{Handler: dsvc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+				go dhs.Serve(dln)
+				defer func() {
+					sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer scancel()
+					dhs.Shutdown(sctx)
+					dsvc.Shutdown(sctx)
+				}()
+				urls = append(urls, "http://"+dln.Addr().String())
+			}
+			coord, err := fpgavolt.NewFederation(fpgavolt.FederationConfig{
+				Downstreams:   urls,
+				Store:         st,
+				MaxJobHistory: *jobs + 16,
+			})
+			if err != nil {
+				fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
+				return 2
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
+				return 2
+			}
+			hs := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 10 * time.Second}
+			go hs.Serve(ln)
+			// LIFO defers drain the coordinator before its daemons go away.
+			defer func() {
+				sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer scancel()
+				hs.Shutdown(sctx)
+				coord.Shutdown(sctx)
+			}()
+			base = "http://" + ln.Addr().String()
+			fmt.Fprintf(w, "selfhost federation on %s (%d daemons, journal %s, %d workers x queue %d each)\n",
+				base, *federate, dir, *workers, *queue)
+		} else {
+			svc, err := fpgavolt.NewService(fpgavolt.ServiceConfig{
+				Store:      st,
+				Workers:    *workers,
+				QueueDepth: *queue,
+				// Keep the whole run's jobs listable: eviction mid-run would
+				// turn delivery accounting into false drops.
+				MaxJobHistory: *jobs + 16,
+			})
+			if err != nil {
+				fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
+				return 2
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
+				return 2
+			}
+			hs := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+			go hs.Serve(ln)
+			defer func() {
+				sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer scancel()
+				hs.Shutdown(sctx)
+				svc.Shutdown(sctx)
+			}()
+			base = "http://" + ln.Addr().String()
+			fmt.Fprintf(w, "selfhost daemon on %s (store %s, %d workers, queue %d)\n", base, dir, *workers, *queue)
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
-			return 2
-		}
-		hs := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
-		go hs.Serve(ln)
-		defer func() {
-			sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer scancel()
-			hs.Shutdown(sctx)
-			svc.Shutdown(sctx)
-		}()
-		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(w, "selfhost daemon on %s (store %s, %d workers, queue %d)\n", base, dir, *workers, *queue)
 	}
 
 	g := newLoadgen(base, *clients)

@@ -10,7 +10,12 @@
 //
 //	fpgavoltd [-listen :8080] [-store fvm-store] [-workers 2]
 //	          [-queue 16] [-fleet-workers 0] [-max-boards 64]
-//	          [-journal=true] [-gc-keep 0]
+//	          [-journal=true] [-gc-keep 0] [-job-retain 0]
+//	          [-auth-token ""]
+//
+// With -auth-token (or FPGAVOLTD_TOKEN in the environment) every mutating
+// endpoint — campaign submission, job cancellation, record deletion, GC —
+// requires `Authorization: Bearer <token>`; reads and streams stay open.
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -68,9 +73,14 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		journal      = fs.Bool("journal", true, "journal jobs into the store so listings survive restarts")
 		gcKeep       = fs.Int("gc-keep", 0, "keep only the newest N store records per (platform, serial); 0 = unbounded")
+		jobRetain    = fs.Int("job-retain", 0, "trim a finished job's journaled event log to its last N events; 0 = keep everything")
+		authToken    = fs.String("auth-token", "", "bearer token required on mutating endpoints (default $FPGAVOLTD_TOKEN; empty = open)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *authToken == "" {
+		*authToken = os.Getenv("FPGAVOLTD_TOKEN")
 	}
 
 	st, err := fpgavolt.OpenDiskStore(*storeDir)
@@ -85,6 +95,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		MaxBoards:      *maxBoards,
 		DisableJournal: !*journal,
 		GCKeep:         *gcKeep,
+		JobRetain:      *jobRetain,
+		AuthToken:      *authToken,
 	})
 	if err != nil {
 		return err

@@ -15,6 +15,15 @@
 // nn-inference campaign, streaming progress back over SSE.
 //
 //	nnvolt -benchmark mnist -submit http://fpgavoltd:8080 -boards 4
+//
+// Training is the slow step, so the quantized network can be reused across
+// runs: -save-net writes the versioned wire document after quantization,
+// and -net loads one instead of training — the same document an
+// nn-inference campaign ships, so a saved network is also a ready-made
+// campaign payload.
+//
+//	nnvolt -benchmark mnist -save-net mnist.net.json
+//	nnvolt -benchmark mnist -net mnist.net.json -icbp
 package main
 
 import (
@@ -45,6 +54,8 @@ func main() {
 		submit    = flag.String("submit", "", "fpgavoltd base URL: run the sweep remotely as an nn-inference campaign")
 		platName  = flag.String("platform", "VC707", "board model of a -submit campaign")
 		boards    = flag.Int("boards", 1, "fleet size of a -submit campaign")
+		netIn     = flag.String("net", "", "load a quantized network wire document instead of training")
+		saveNet   = flag.String("save-net", "", "write the quantized network's wire document to this file")
 	)
 	flag.Parse()
 	if *submit != "" && *icbp {
@@ -66,21 +77,44 @@ func main() {
 	ds, err := fpgavolt.Benchmark(*benchmark, opts)
 	check(err)
 
-	topo := []int{ds.NumFeatures, 128, 64, 32, 16, ds.NumClasses}
-	if *full {
-		topo = []int{ds.NumFeatures, 1024, 512, 256, 128, ds.NumClasses}
+	var q *fpgavolt.Quantized
+	if *netIn != "" {
+		raw, err := os.ReadFile(*netIn)
+		check(err)
+		q, err = fpgavolt.UnmarshalQuantized(raw)
+		check(err)
+		// The saved network must still fit the benchmark it is deployed
+		// against: wrong feature width or class count would fault on every
+		// sample, not fail loudly.
+		if q.Topology[0] != ds.NumFeatures || q.Topology[len(q.Topology)-1] != ds.NumClasses {
+			check(fmt.Errorf("network %s has topology %v; benchmark %s needs %d features and %d classes",
+				*netIn, q.Topology, ds.Name, ds.NumFeatures, ds.NumClasses))
+		}
+		fmt.Printf("loaded quantized network %v from %s, weight-bit sparsity %s zeros\n",
+			q.Topology, *netIn, report.Pct(1-q.OneBitFraction(), 1))
+	} else {
+		topo := []int{ds.NumFeatures, 128, 64, 32, 16, ds.NumClasses}
+		if *full {
+			topo = []int{ds.NumFeatures, 1024, 512, 256, 128, ds.NumClasses}
+		}
+		fmt.Printf("training %v on %s (%d train / %d test samples)...\n",
+			topo, ds.Name, len(ds.TrainX), len(ds.TestX))
+		net, err := fpgavolt.NewNetwork(topo, "nnvolt:"+*benchmark)
+		check(err)
+		loss, err := net.Train(ds.TrainX, ds.TrainY, fpgavolt.TrainOptions{
+			Epochs: *epochs, LearnRate: 0.3, Workers: *workers, Seed: "nnvolt:" + *benchmark,
+		})
+		check(err)
+		q = fpgavolt.QuantizeNetwork(net)
+		fmt.Printf("final training loss %.4f, weight-bit sparsity %s zeros\n",
+			loss, report.Pct(1-q.OneBitFraction(), 1))
 	}
-	fmt.Printf("training %v on %s (%d train / %d test samples)...\n",
-		topo, ds.Name, len(ds.TrainX), len(ds.TestX))
-	net, err := fpgavolt.NewNetwork(topo, "nnvolt:"+*benchmark)
-	check(err)
-	loss, err := net.Train(ds.TrainX, ds.TrainY, fpgavolt.TrainOptions{
-		Epochs: *epochs, LearnRate: 0.3, Workers: *workers, Seed: "nnvolt:" + *benchmark,
-	})
-	check(err)
-	q := fpgavolt.QuantizeNetwork(net)
-	fmt.Printf("final training loss %.4f, weight-bit sparsity %s zeros\n",
-		loss, report.Pct(1-q.OneBitFraction(), 1))
+	if *saveNet != "" {
+		doc, err := q.MarshalWire()
+		check(err)
+		check(os.WriteFile(*saveNet, doc, 0o644))
+		fmt.Printf("saved quantized network (wire v%d) to %s\n", fpgavolt.WireVersion, *saveNet)
+	}
 
 	if *submit != "" {
 		// -brams is "ignored with -full" on the local path; the remote

@@ -63,6 +63,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fed"
 	"repro/internal/fvm"
 	"repro/internal/nn"
 	"repro/internal/placement"
@@ -182,6 +183,18 @@ type (
 	// InferencePoint is one voltage step of an nn-inference job's accuracy
 	// curve, as served in job details.
 	InferencePoint = server.InferencePoint
+	// ShardStatus summarizes one downstream daemon's share of a federated
+	// job.
+	ShardStatus = server.ShardStatus
+	// ShardRetry records one shard re-run on a survivor after its daemon
+	// died mid-campaign.
+	ShardRetry = server.ShardRetry
+	// Federation is the federated control plane: a coordinator that fronts
+	// many Services behind the same /v1 API, sharding campaigns across them
+	// by consistent hashing with work-stealing and failover.
+	Federation = fed.Coordinator
+	// FederationConfig tunes a Federation.
+	FederationConfig = fed.Config
 )
 
 // The job lifecycle states a Service reports.
@@ -389,6 +402,11 @@ func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
 // "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient; streaming
 // requires a client without a global timeout.
 func NewServiceClient(base string, hc *http.Client) *Client { return server.NewClient(base, hc) }
+
+// NewFederation assembles a federated control plane over running Services.
+// The coordinator serves the same /v1 surface a single Service does, so
+// NewServiceClient speaks to it unchanged.
+func NewFederation(cfg FederationConfig) (*Federation, error) { return fed.New(cfg) }
 
 // Experiments returns the full registry in the paper's presentation order.
 func Experiments() []Experiment { return experiments.All() }

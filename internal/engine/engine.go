@@ -740,48 +740,86 @@ func (f *Fleet) thresholdsBoard(ctx context.Context, c Campaign, p platform.Plat
 // layer so index summaries and fleet aggregates can never disagree.
 func ObservedVmin(s *characterize.Sweep) float64 { return store.SweepVmin(s) }
 
-// aggregate folds per-board outcomes into the fleet summary.
-func aggregate(results []BoardResult) Aggregate {
-	agg := Aggregate{Boards: len(results)}
+// BoardSample is one board's scalar contribution to the fleet aggregate —
+// the campaign-kind payload of a BoardResult boiled down to the numbers
+// Aggregate summarizes. It exists so a result that crossed a process
+// boundary (a federation shard, say) can still be folded into the same
+// fleet summary the in-process engine computes: callers rebuild samples
+// from the wire form and hand them to AggregateSamples.
+//
+// Each metric is a slice because a board may legitimately contribute zero
+// values to a given summary (a pattern study has no Vmin) and, per metric,
+// order within the board is preserved by the fold.
+type BoardSample struct {
+	Failed    bool
+	FromCache bool
+
+	Faults     []float64 // faults/Mbit at the deepest measured level
+	Vmins      []float64 // observed Vmin (sweeps, BRAM thresholds)
+	Vcrashes   []float64 // observed Vcrash
+	ZeroShares []float64 // fraction of never-faulting BRAMs
+	InferErrs  []float64 // classification error at the deepest level
+}
+
+// Sample reduces the board's outcome to its aggregate contribution.
+func (r *BoardResult) Sample() BoardSample {
+	s := BoardSample{Failed: r.Err != nil, FromCache: r.FromCache}
+	if s.Failed {
+		return s
+	}
+	if sw := r.finalSweep(); sw != nil && len(sw.Levels) > 0 {
+		s.Faults = append(s.Faults, sw.Final().FaultsPerMbit)
+		s.Vmins = append(s.Vmins, ObservedVmin(sw))
+		s.Vcrashes = append(s.Vcrashes, sw.Final().V)
+	}
+	// Pattern studies contribute their worst-case fill, so the fleet
+	// spread reflects the most pessimistic data pattern per chip.
+	if len(r.Patterns) > 0 {
+		worst := r.Patterns[0].FaultsPerMbit
+		for _, pr := range r.Patterns[1:] {
+			if pr.FaultsPerMbit > worst {
+				worst = pr.FaultsPerMbit
+			}
+		}
+		s.Faults = append(s.Faults, worst)
+	}
+	// Threshold discovery contributes the BRAM rail's boundaries to the
+	// fleet's Vmin/Vcrash spread.
+	if r.BRAMThresholds != nil {
+		s.Vmins = append(s.Vmins, r.BRAMThresholds.Vmin)
+		s.Vcrashes = append(s.Vcrashes, r.BRAMThresholds.Vcrash)
+	}
+	if r.FVM != nil {
+		s.ZeroShares = append(s.ZeroShares, r.FVM.ZeroShare())
+	}
+	if n := len(r.Inference); n > 0 {
+		s.InferErrs = append(s.InferErrs, r.Inference[n-1].Error)
+	}
+	return s
+}
+
+// AggregateSamples folds per-board samples into the fleet summary. The fold
+// is order-preserving and purely a function of the samples, so shards
+// aggregated remotely and merged here are bit-identical to a single-process
+// run over the same boards in the same order.
+func AggregateSamples(samples []BoardSample) Aggregate {
+	agg := Aggregate{Boards: len(samples)}
 	var faults, vmins, vcrashes, zeros, inferr []float64
-	for i := range results {
-		r := &results[i]
-		if r.Err != nil {
+	for i := range samples {
+		s := &samples[i]
+		if s.Failed {
 			agg.Failed++
 			continue
 		}
 		agg.Completed++
-		if r.FromCache {
+		if s.FromCache {
 			agg.CacheHits++
 		}
-		if s := r.finalSweep(); s != nil && len(s.Levels) > 0 {
-			faults = append(faults, s.Final().FaultsPerMbit)
-			vmins = append(vmins, ObservedVmin(s))
-			vcrashes = append(vcrashes, s.Final().V)
-		}
-		// Pattern studies contribute their worst-case fill, so the fleet
-		// spread reflects the most pessimistic data pattern per chip.
-		if len(r.Patterns) > 0 {
-			worst := r.Patterns[0].FaultsPerMbit
-			for _, pr := range r.Patterns[1:] {
-				if pr.FaultsPerMbit > worst {
-					worst = pr.FaultsPerMbit
-				}
-			}
-			faults = append(faults, worst)
-		}
-		// Threshold discovery contributes the BRAM rail's boundaries to the
-		// fleet's Vmin/Vcrash spread.
-		if r.BRAMThresholds != nil {
-			vmins = append(vmins, r.BRAMThresholds.Vmin)
-			vcrashes = append(vcrashes, r.BRAMThresholds.Vcrash)
-		}
-		if r.FVM != nil {
-			zeros = append(zeros, r.FVM.ZeroShare())
-		}
-		if n := len(r.Inference); n > 0 {
-			inferr = append(inferr, r.Inference[n-1].Error)
-		}
+		faults = append(faults, s.Faults...)
+		vmins = append(vmins, s.Vmins...)
+		vcrashes = append(vcrashes, s.Vcrashes...)
+		zeros = append(zeros, s.ZeroShares...)
+		inferr = append(inferr, s.InferErrs...)
 	}
 	agg.FaultsPerMbit = stats.Summarize(faults)
 	agg.ObservedVmin = stats.Summarize(vmins)
@@ -796,4 +834,13 @@ func aggregate(results []BoardResult) Aggregate {
 		agg.SpreadRatio = agg.FaultsPerMbit.Max / minF
 	}
 	return agg
+}
+
+// aggregate folds per-board outcomes into the fleet summary.
+func aggregate(results []BoardResult) Aggregate {
+	samples := make([]BoardSample, len(results))
+	for i := range results {
+		samples[i] = results[i].Sample()
+	}
+	return AggregateSamples(samples)
 }

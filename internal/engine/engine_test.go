@@ -459,3 +459,23 @@ func TestReadBudgetDefaultsToGOMAXPROCS(t *testing.T) {
 		t.Fatalf("default gate capacity = %d, want GOMAXPROCS %d", st.Capacity, runtime.GOMAXPROCS(0))
 	}
 }
+
+// TestAggregateSamplesMatchesAggregate pins the federation merge contract:
+// folding per-board Sample()s through the exported AggregateSamples must
+// reproduce the in-process fleet aggregate bit for bit.
+func TestAggregateSamplesMatchesAggregate(t *testing.T) {
+	f := testFleet(t, Options{Workers: 4})
+	res, err := f.RunCampaign(context.Background(), Campaign{
+		Kind: Characterization, Sweep: fastSweep(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]BoardSample, len(res.Boards))
+	for i := range res.Boards {
+		samples[i] = res.Boards[i].Sample()
+	}
+	if got := AggregateSamples(samples); got != res.Agg {
+		t.Fatalf("AggregateSamples diverged from the engine aggregate:\n got %+v\nwant %+v", got, res.Agg)
+	}
+}

@@ -1,0 +1,866 @@
+// Package fed is the federated control plane: a coordinator that fronts N
+// downstream fpgavoltd daemons behind the same /v1 API one daemon serves.
+//
+// A submitted campaign is sharded across the daemons by consistent hashing
+// keyed on (platform, serial) — a board always lands on the same daemon, so
+// that daemon's FVM store and cache stay warm for it — with work-stealing
+// when the shards finish unevenly. Downstream events are re-stamped under
+// the coordinator's own per-job and global sequences and merged into one
+// restart-safe SSE stream; the coordinator journals every event and job
+// state into its own store, so Last-Event-ID resume works across
+// coordinator restarts exactly like it does on a single daemon. Health
+// checks detect a daemon dying mid-campaign; its unfinished shard is
+// retried on a survivor, and the retry is surfaced in the job detail.
+// Query endpoints (/v1/fvms, /v1/vmin) answer over the union of the
+// downstream stores with per-daemon fan-out.
+package fed
+
+import (
+	"cmp"
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// Config tunes a coordinator.
+type Config struct {
+	// Downstreams lists the base URLs of the daemons being fronted
+	// (e.g. "http://127.0.0.1:8081"). At least one is required.
+	Downstreams []string
+	// Store is the coordinator's own journal: federated jobs, their
+	// re-stamped event logs, and the global firehose sequence persist here.
+	// Required; use store.NewMem() for a non-durable coordinator.
+	Store store.Store
+	// MaxBoards caps a federated campaign's fleet size (default 256 — the
+	// federation exists to run fleets bigger than one daemon's default 64).
+	MaxBoards int
+	// ChunkBoards is the shard granularity: how many boards ride one
+	// downstream campaign (default 4). Smaller chunks steal better;
+	// larger ones amortize per-campaign overhead.
+	ChunkBoards int
+	// RetryLimit bounds how many daemons one chunk may be attempted on
+	// before its boards are marked failed (default 3).
+	RetryLimit int
+	// VNodes is the virtual nodes per daemon on the hash ring (default 64).
+	VNodes int
+	// MaxJobHistory caps the coordinator's job table (default 256).
+	MaxJobHistory int
+	// JobRetain, when > 0, trims a terminal federated job's journaled event
+	// log to (at least) its last JobRetain events.
+	JobRetain int
+	// HealthEvery is the downstream health-check cadence (default 1s).
+	HealthEvery time.Duration
+	// SSEKeepAlive is the idle interval between SSE comment frames
+	// (default 15s).
+	SSEKeepAlive time.Duration
+	// FirehoseBuffer bounds the merged /v1/events replay window
+	// (default 8192 events).
+	FirehoseBuffer int
+	// AuthToken, when non-empty, gates the coordinator's own mutating
+	// endpoints behind `Authorization: Bearer <token>`.
+	AuthToken string
+	// DownstreamToken is the bearer token the coordinator presents on
+	// federation-internal calls to the daemons (their -auth-token).
+	DownstreamToken string
+	// HTTPClient issues every downstream call; nil uses a client without a
+	// global timeout, which streaming requires.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBoards <= 0 {
+		c.MaxBoards = 256
+	}
+	if c.ChunkBoards <= 0 {
+		c.ChunkBoards = 4
+	}
+	if c.RetryLimit <= 0 {
+		c.RetryLimit = 3
+	}
+	if c.MaxJobHistory <= 0 {
+		c.MaxJobHistory = 256
+	}
+	if c.HealthEvery <= 0 {
+		c.HealthEvery = time.Second
+	}
+	if c.SSEKeepAlive <= 0 {
+		c.SSEKeepAlive = 15 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+// Coordinator is the federated control plane. Create with New, serve via
+// Handler, stop with Shutdown.
+type Coordinator struct {
+	cfg     Config
+	mux     *http.ServeMux
+	ring    *ring
+	clients map[string]*server.Client
+	fh      *firehose
+	jnErrs  atomic.Uint64
+
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*fedJob
+	order    []string
+	draining bool
+	healthy  map[string]bool
+
+	wg sync.WaitGroup
+}
+
+// New assembles a coordinator over the configured daemons, replays its
+// journal, and starts the health monitor.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Downstreams) == 0 {
+		return nil, fmt.Errorf("fed: Config.Downstreams is required")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("fed: Config.Store is required")
+	}
+	// Normalize before the ring is built: the daemon name on the ring, in
+	// the client map, and in the health table must be the same string.
+	norm := make([]string, len(cfg.Downstreams))
+	for i, d := range cfg.Downstreams {
+		norm[i] = strings.TrimRight(d, "/")
+	}
+	cfg.Downstreams = norm
+	ctx, abort := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		ring:    newRing(cfg.Downstreams, cfg.VNodes),
+		clients: make(map[string]*server.Client, len(cfg.Downstreams)),
+		fh:      newFirehose(cfg.FirehoseBuffer),
+		baseCtx: ctx,
+		abort:   abort,
+		jobs:    make(map[string]*fedJob),
+		healthy: make(map[string]bool, len(cfg.Downstreams)),
+	}
+	seen := make(map[string]bool, len(cfg.Downstreams))
+	for _, d := range cfg.Downstreams {
+		if seen[d] {
+			return nil, fmt.Errorf("fed: downstream %s listed twice", d)
+		}
+		seen[d] = true
+		c.clients[d] = server.NewClient(d, cfg.HTTPClient).SetToken(cfg.DownstreamToken)
+		c.healthy[d] = true // optimistic until the first health check
+	}
+	if err := c.replayJournal(); err != nil {
+		return nil, err
+	}
+	c.routes()
+	c.wg.Add(1)
+	go c.healthLoop()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler tree — the same /v1
+// surface a single daemon serves.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Shutdown stops intake, cancels running federated jobs (their downstream
+// shards are cancelled best-effort), and waits for the runners to exit.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.abort()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Coordinator) routes() {
+	c.mux.HandleFunc("POST /v1/campaigns", c.requireAuth(c.handleSubmit))
+	c.mux.HandleFunc("GET /v1/jobs", c.handleJobs)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.requireAuth(c.handleCancel))
+	c.mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	c.mux.HandleFunc("GET /v1/events", c.handleFirehose)
+	c.mux.HandleFunc("GET /v1/fvms", c.handleFVMs)
+	c.mux.HandleFunc("GET /v1/fvms/{id}", c.handleFVM)
+	c.mux.HandleFunc("DELETE /v1/fvms/{id}", c.requireAuth(c.handleDeleteFVM))
+	c.mux.HandleFunc("GET /v1/vmin", c.handleVmin)
+	c.mux.HandleFunc("POST /v1/gc", c.requireAuth(c.handleGC))
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+}
+
+// requireAuth mirrors the daemon's bearer gate on the coordinator's own
+// mutating endpoints.
+func (c *Coordinator) requireAuth(h http.HandlerFunc) http.HandlerFunc {
+	if c.cfg.AuthToken == "" {
+		return h
+	}
+	want := []byte(c.cfg.AuthToken)
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(strings.TrimSpace(tok)), want) != 1 {
+			writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// --- health -----------------------------------------------------------
+
+// healthLoop probes every downstream's /healthz on a fixed cadence. A
+// failed probe marks the daemon dead — its queued chunks migrate and new
+// boards hash past it — and a later success revives it.
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		for d := range c.clients {
+			c.setHealthy(d, c.probe(d))
+		}
+	}
+}
+
+// probe reports whether one downstream currently answers /healthz.
+func (c *Coordinator) probe(daemon string) bool {
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.HealthEvery)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, daemon+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Coordinator) setHealthy(daemon string, ok bool) {
+	c.mu.Lock()
+	c.healthy[daemon] = ok
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) isHealthy(daemon string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.healthy[daemon]
+}
+
+// --- coordinator journal ----------------------------------------------
+
+// fedJobMeta is the journaled form of one federated job — the same
+// {"status": ...} envelope the daemon journals, so the two layouts stay
+// mutually readable by the same tooling.
+type fedJobMeta struct {
+	Status server.JobStatus `json:"status"`
+}
+
+// putJobMeta persists j's metadata record, O(1) in its event count.
+func (c *Coordinator) putJobMeta(j *fedJob) {
+	payload, err := json.Marshal(fedJobMeta{Status: j.status(true)})
+	if err == nil {
+		err = c.cfg.Store.PutJob(&store.JobRecord{ID: j.id, Seq: j.seq, Payload: payload})
+	}
+	if err != nil {
+		c.jnErrs.Add(1)
+	}
+}
+
+// retainTerminal applies Config.JobRetain to a terminal job's event log.
+func (c *Coordinator) retainTerminal(id string) {
+	if c.cfg.JobRetain <= 0 {
+		return
+	}
+	if err := c.cfg.Store.TrimJobEvents(id, c.cfg.JobRetain); err != nil {
+		c.jnErrs.Add(1)
+	}
+}
+
+// readJobEvents pages one job's journaled events with Seq >= from.
+func (c *Coordinator) readJobEvents(id string, from, limit int) []server.JobEvent {
+	recs, err := c.cfg.Store.ReadJobEvents(id, from, limit)
+	if err != nil {
+		return nil
+	}
+	return decodeEventRecords(recs)
+}
+
+// firehosePage pages journaled events across all jobs with GSeq > after.
+func (c *Coordinator) firehosePage(after int64, limit int) []server.JobEvent {
+	recs, err := c.cfg.Store.ReadFirehose(after, limit)
+	if err != nil {
+		return nil
+	}
+	return decodeEventRecords(recs)
+}
+
+func decodeEventRecords(recs []store.EventRecord) []server.JobEvent {
+	evs := make([]server.JobEvent, 0, len(recs))
+	for _, rec := range recs {
+		var ev server.JobEvent
+		if err := json.Unmarshal(rec.Payload, &ev); err != nil {
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// replayJournal rebuilds the job table from the coordinator's store at
+// boot. Jobs journaled non-terminal were mid-campaign when the previous
+// coordinator died; they come back failed with a restart marker (their
+// downstream shards either finished without anyone to merge them or were
+// cancelled by the daemons' own restart handling). The firehose sequence
+// resumes past everything journaled, so a client's Last-Event-ID stays
+// valid across the restart.
+func (c *Coordinator) replayJournal() error {
+	recs, err := c.cfg.Store.ListJobs()
+	if err != nil {
+		return fmt.Errorf("fed: replay journal: %w", err)
+	}
+	maxGSeq, err := c.cfg.Store.LastGSeq()
+	if err != nil {
+		return fmt.Errorf("fed: replay journal: %w", err)
+	}
+	c.fh.startAfter(maxGSeq)
+	var interrupted []*fedJob
+	for _, rec := range recs {
+		var meta fedJobMeta
+		if err := json.Unmarshal(rec.Payload, &meta); err != nil || meta.Status.ID != rec.ID {
+			continue
+		}
+		nextSeq, _, err := c.cfg.Store.JobEventStats(rec.ID)
+		if err != nil {
+			nextSeq = 0
+		}
+		st := meta.Status
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		j := &fedJob{
+			id: rec.ID, seq: rec.Seq, kind: st.Kind,
+			ctx: ctx, cancel: cancel, c: c,
+			state: st.State, created: st.Created, progress: st.Progress,
+			eventsBase: nextSeq,
+			notify:     make(chan struct{}),
+			restored:   &st,
+		}
+		c.mu.Lock()
+		if rec.Seq > c.seq {
+			c.seq = rec.Seq
+		}
+		c.jobs[j.id] = j
+		c.order = append(c.order, j.id)
+		c.mu.Unlock()
+		if !st.State.Terminal() {
+			interrupted = append(interrupted, j)
+		}
+	}
+	for _, j := range interrupted {
+		j.failRestored("coordinator restarted mid-campaign")
+	}
+	return nil
+}
+
+// failRestored finishes a replayed job that was live when the previous
+// coordinator died: failed state, terminal event with a fresh coordinator
+// sequence, journal updated.
+func (j *fedJob) failRestored(msg string) {
+	j.mu.Lock()
+	if j.restored == nil || j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	j.state = server.JobFailed
+	j.finished = now
+	j.restored.State = server.JobFailed
+	j.restored.Error = msg
+	j.restored.Finished = &now
+	te := server.JobEvent{Type: "campaign", Progress: j.progress, State: server.JobFailed, Error: msg}
+	out := j.appendEventLocked(te)
+	j.mu.Unlock()
+	j.journalEvent(out)
+	j.c.putJobMeta(j)
+}
+
+// --- job table --------------------------------------------------------
+
+// createJob registers a new federated job. The coordinator's history bound
+// mirrors the daemon's: beyond MaxJobHistory the oldest terminal jobs are
+// evicted and unjournaled.
+func (c *Coordinator) createJob(req server.CampaignRequest, flat []server.BoardSpec) *fedJob {
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("fed-%04d", c.seq)
+	c.mu.Unlock()
+	j := c.newFedJob(id, c.seq, req, flat)
+	c.mu.Lock()
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	var evicted []string
+	if excess := len(c.jobs) - c.cfg.MaxJobHistory; excess > 0 {
+		kept := c.order[:0]
+		for _, oid := range c.order {
+			old := c.jobs[oid]
+			if excess > 0 && old != nil && old.terminal() {
+				delete(c.jobs, oid)
+				evicted = append(evicted, oid)
+				excess--
+				continue
+			}
+			kept = append(kept, oid)
+		}
+		c.order = kept
+	}
+	c.mu.Unlock()
+	for _, oid := range evicted {
+		if err := c.cfg.Store.DeleteJob(oid); err != nil {
+			c.jnErrs.Add(1)
+		}
+	}
+	return j
+}
+
+func (c *Coordinator) getJob(id string) (*fedJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 48<<20))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	var req server.CampaignRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	// Validate up front: a bad submission is a 400 at the coordinator, not
+	// N downstream failures — and the expansion is the shard plan.
+	if err := req.Validate(c.cfg.MaxBoards); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	flat, err := server.ExpandBoards(req.Boards, c.cfg.MaxBoards)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	c.mu.Lock()
+	draining := c.draining
+	c.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	j := c.createJob(req, flat)
+	c.putJobMeta(j)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.runJob(j)
+	}()
+	writeJSON(w, http.StatusAccepted, j.status(true))
+}
+
+func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	jobs := make([]*fedJob, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	out := make([]server.JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) lookupJob(w http.ResponseWriter, r *http.Request) (*fedJob, bool) {
+	j, ok := c.getJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := c.lookupJob(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status(true))
+	}
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+const sseRetryHint = 2 * time.Second
+
+func startSSE(w http.ResponseWriter) (http.Flusher, bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "retry: %d\n\n", sseRetryHint.Milliseconds())
+	flusher.Flush()
+	return flusher, true
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	next := 0
+	if after := cmp.Or(r.Header.Get("Last-Event-ID"), r.URL.Query().Get("after")); after != "" {
+		if n, err := strconv.Atoi(after); err == nil && n >= 0 {
+			next = n + 1
+		}
+	}
+	flusher, ok := startSSE(w)
+	if !ok {
+		return
+	}
+	keepalive := time.NewTicker(c.cfg.SSEKeepAlive)
+	defer keepalive.Stop()
+	for {
+		evs, terminal, changed := j.eventsSince(next)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			next = ev.Seq + 1
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			if evs, _, _ := j.eventsSince(next); len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-changed:
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-c.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// firehosePageSize bounds one deep-resume page of the merged stream.
+const firehosePageSize = 512
+
+func (c *Coordinator) handleFirehose(w http.ResponseWriter, r *http.Request) {
+	var after int64
+	if q := cmp.Or(r.Header.Get("Last-Event-ID"), r.URL.Query().Get("after")); q != "" {
+		if n, err := strconv.ParseInt(q, 10, 64); err == nil && n > 0 {
+			after = n
+		}
+	}
+	flusher, ok := startSSE(w)
+	if !ok {
+		return
+	}
+	keepalive := time.NewTicker(c.cfg.SSEKeepAlive)
+	defer keepalive.Stop()
+	emit := func(ev server.JobEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.GSeq, ev.Type, data)
+		after = ev.GSeq
+		return true
+	}
+	for {
+		evs, changed, inWindow := c.fh.since(after)
+		if !inWindow {
+			if page := c.firehosePage(after, firehosePageSize); len(page) > 0 {
+				for _, ev := range page {
+					if !emit(ev) {
+						return
+					}
+				}
+				flusher.Flush()
+				continue
+			}
+			after = c.fh.lowWater()
+			continue
+		}
+		for _, ev := range evs {
+			if !emit(ev) {
+				return
+			}
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		select {
+		case <-changed:
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-c.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// fanout runs fn against every downstream concurrently and collects the
+// non-error results. Dead daemons are skipped — a fleet query must degrade
+// to the reachable union, not fail because one box is down.
+func fanout[T any](c *Coordinator, ctx context.Context, fn func(cl *server.Client) (T, error)) []T {
+	var mu sync.Mutex
+	var out []T
+	var wg sync.WaitGroup
+	for d, cl := range c.clients {
+		if !c.isHealthy(d) {
+			continue
+		}
+		wg.Add(1)
+		go func(cl *server.Client) {
+			defer wg.Done()
+			v, err := fn(cl)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out = append(out, v)
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	return out
+}
+
+func (c *Coordinator) handleFVMs(w http.ResponseWriter, r *http.Request) {
+	platformQ, serialQ := r.URL.Query().Get("platform"), r.URL.Query().Get("serial")
+	lists := fanout(c, r.Context(), func(cl *server.Client) ([]server.FVMInfo, error) {
+		return cl.FVMs(r.Context(), platformQ, serialQ)
+	})
+	out := []server.FVMInfo{}
+	seen := make(map[string]bool)
+	for _, l := range lists {
+		for _, f := range l {
+			// The same content address on two daemons (a retried shard
+			// re-characterized a board) is one record in the union.
+			if seen[f.ID] {
+				continue
+			}
+			seen[f.ID] = true
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Platform != out[k].Platform {
+			return out[i].Platform < out[k].Platform
+		}
+		if out[i].Serial != out[k].Serial {
+			return out[i].Serial < out[k].Serial
+		}
+		return out[i].ID < out[k].ID
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleFVM(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !store.ValidID(id) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no FVM %q", id))
+		return
+	}
+	for d, cl := range c.clients {
+		if !c.isHealthy(d) {
+			continue
+		}
+		m, err := cl.FVM(r.Context(), id)
+		if err == nil {
+			writeJSON(w, http.StatusOK, m)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("no FVM %q", id))
+}
+
+func (c *Coordinator) handleDeleteFVM(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !store.ValidID(id) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no FVM %q", id))
+		return
+	}
+	deleted := fanout(c, r.Context(), func(cl *server.Client) (bool, error) {
+		if err := cl.DeleteFVM(r.Context(), id); err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+	if len(deleted) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no FVM %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+func (c *Coordinator) handleVmin(w http.ResponseWriter, r *http.Request) {
+	platformQ, serialQ := r.URL.Query().Get("platform"), r.URL.Query().Get("serial")
+	lists := fanout(c, r.Context(), func(cl *server.Client) ([]server.VminInfo, error) {
+		return cl.Vmin(r.Context(), platformQ, serialQ)
+	})
+	out := []server.VminInfo{}
+	seen := make(map[server.VminInfo]bool)
+	for _, l := range lists {
+		for _, v := range l {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Platform != out[k].Platform {
+			return out[i].Platform < out[k].Platform
+		}
+		if out[i].Serial != out[k].Serial {
+			return out[i].Serial < out[k].Serial
+		}
+		return out[i].TempC < out[k].TempC
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleGC(w http.ResponseWriter, r *http.Request) {
+	keep := 0
+	if q := r.URL.Query().Get("keep"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("keep %q must be a positive integer", q))
+			return
+		}
+		keep = n
+	}
+	counts := fanout(c, r.Context(), func(cl *server.Client) (int, error) {
+		return cl.GC(r.Context(), keep)
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": total, "daemons": len(counts)})
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	draining := c.draining
+	type dh struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+	}
+	daemons := make([]dh, 0, len(c.healthy))
+	alive := 0
+	for _, d := range c.cfg.Downstreams {
+		ok := c.healthy[strings.TrimRight(d, "/")]
+		if ok {
+			alive++
+		}
+		daemons = append(daemons, dh{URL: strings.TrimRight(d, "/"), Healthy: ok})
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             !draining && alive > 0,
+		"federation":     true,
+		"draining":       draining,
+		"daemons":        daemons,
+		"journal_errors": c.jnErrs.Load(),
+	})
+}
+
+// --- response helpers -------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeAPIError maps a validation error onto the coordinator's response: a
+// downstream *APIStatusError keeps its status, and anything else out of
+// server.Validate / server.ExpandBoards is a 400 by construction.
+func writeAPIError(w http.ResponseWriter, err error) {
+	var se *server.APIStatusError
+	if errors.As(err, &se) {
+		writeError(w, se.StatusCode, se.Message)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}

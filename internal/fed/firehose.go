@@ -1,0 +1,92 @@
+package fed
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// defaultFirehoseBuffer bounds the coordinator firehose's in-memory replay
+// window when Config.FirehoseBuffer is zero.
+const defaultFirehoseBuffer = 8192
+
+// firehose is the coordinator-wide event multiplexer behind the federated
+// GET /v1/events: every event from every federated job, re-stamped with the
+// coordinator's own global sequence, in one totally ordered stream. It is
+// the same pull-based windowed log the daemon uses — the coordinator
+// persists each stamped event into its own store, so a cursor survives
+// coordinator restarts and deep resumes page from the journal.
+type firehose struct {
+	mu     sync.Mutex
+	next   int64 // next global sequence to assign (starts at 1)
+	low    int64 // every event with GSeq > low is retained in buf
+	buf    []server.JobEvent
+	max    int
+	notify chan struct{}
+}
+
+func newFirehose(max int) *firehose {
+	if max <= 0 {
+		max = defaultFirehoseBuffer
+	}
+	return &firehose{next: 1, max: max, notify: make(chan struct{})}
+}
+
+// append stamps ev with the next coordinator sequence, admits it to the
+// replay window, and wakes subscribers. The stamp is written through the
+// pointer so the journal write-through keeps it.
+func (f *firehose) append(ev *server.JobEvent) {
+	f.mu.Lock()
+	ev.GSeq = f.next
+	f.next++
+	f.buf = append(f.buf, *ev)
+	if len(f.buf) > f.max {
+		drop := len(f.buf) - f.max
+		if g := f.buf[drop-1].GSeq; g > f.low {
+			f.low = g
+		}
+		f.buf = append([]server.JobEvent(nil), f.buf[drop:]...)
+	}
+	close(f.notify)
+	f.notify = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// startAfter resumes the sequence counter past everything journaled by a
+// previous coordinator process; the empty window covers nothing older, so
+// resumes below it page from the store.
+func (f *firehose) startAfter(maxGSeq int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if maxGSeq >= f.next {
+		f.next = maxGSeq + 1
+	}
+	if maxGSeq > f.low {
+		f.low = maxGSeq
+	}
+}
+
+// lowWater reports the newest sequence NOT retained in the window.
+func (f *firehose) lowWater() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.low
+}
+
+// since returns the retained events with GSeq > after and a channel closed
+// on the next append. ok is false when the cursor predates the window; the
+// caller pages the gap from the coordinator journal.
+func (f *firehose) since(after int64) ([]server.JobEvent, <-chan struct{}, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if after < f.low {
+		return nil, f.notify, false
+	}
+	i := sort.Search(len(f.buf), func(i int) bool { return f.buf[i].GSeq > after })
+	var evs []server.JobEvent
+	if i < len(f.buf) {
+		evs = append(evs, f.buf[i:]...)
+	}
+	return evs, f.notify, true
+}

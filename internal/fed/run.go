@@ -1,0 +1,437 @@
+package fed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// chunk is the federation work unit: a run of consecutive fleet positions
+// (global board indices) that hash to the same daemon, capped at
+// Config.ChunkBoards. A chunk rides one downstream campaign; on daemon
+// death the whole chunk is retried on a survivor, and the per-board dedup
+// in fedJob keeps a partially-completed first attempt from double counting.
+type chunk struct {
+	boards   []int
+	attempts int
+}
+
+// sched is one job's work-stealing scheduler: a chunk queue per daemon plus
+// a pending count covering queued AND in-flight chunks — a retried chunk is
+// still pending while it waits on a survivor's queue, so completion cannot
+// be declared from empty queues alone.
+type sched struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[string][]*chunk
+	pending int
+	stopped bool
+}
+
+func newSched(daemons []string) *sched {
+	s := &sched{queues: make(map[string][]*chunk, len(daemons))}
+	s.cond = sync.NewCond(&s.mu)
+	for _, d := range daemons {
+		s.queues[d] = nil
+	}
+	return s
+}
+
+// push queues ch on daemon d and wakes every runner (any of them may steal
+// it).
+func (s *sched) push(d string, ch *chunk) {
+	s.mu.Lock()
+	s.queues[d] = append(s.queues[d], ch)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// done retires one chunk for good — merged or permanently failed.
+func (s *sched) done() {
+	s.mu.Lock()
+	s.pending--
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// stop unblocks every runner (job cancelled).
+func (s *sched) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// pop blocks until daemon d has work (its own queue first, then the longest
+// other queue — the steal), every chunk is retired, or the job stops.
+// stolen reports whether the chunk came from another daemon's queue. A
+// runner whose daemon is unhealthy takes no work — unless NO daemon is
+// healthy, where optimistic attempts (bounded by the chunk retry limit) are
+// the only way the job can still terminate.
+func (s *sched) pop(d string, healthy func(string) bool) (ch *chunk, stolen bool, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped || s.pending == 0 {
+			return nil, false, false
+		}
+		take := healthy(d)
+		if !take {
+			take = true
+			for v := range s.queues {
+				if v != d && healthy(v) {
+					take = false
+					break
+				}
+			}
+		}
+		if take {
+			if q := s.queues[d]; len(q) > 0 {
+				ch = q[0]
+				s.queues[d] = q[1:]
+				return ch, false, true
+			}
+			victim, best := "", 0
+			for v, q := range s.queues {
+				if v != d && len(q) > best {
+					victim, best = v, len(q)
+				}
+			}
+			if victim != "" {
+				q := s.queues[victim]
+				// Steal from the tail: the victim drains its queue from the
+				// head, so the two contend on opposite ends.
+				ch = q[len(q)-1]
+				s.queues[victim] = q[:len(q)-1]
+				return ch, true, true
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
+// runJob executes one federated campaign to its terminal state.
+func (c *Coordinator) runJob(j *fedJob) {
+	// Completion releases the job context so the per-job watcher goroutines
+	// exit; the downstream streams are already closed by then.
+	defer j.cancel()
+	if j.ctx.Err() != nil || !j.setRunning() {
+		j.finish(server.JobCancelled, "campaign cancelled")
+		return
+	}
+
+	// Shard plan: every board's home daemon comes off the hash ring,
+	// skipping daemons that are currently dead. If nothing is healthy the
+	// plan falls back to the full ring — the optimistic attempts below fail
+	// fast and bounded rather than hanging the job.
+	owners := make([]string, len(j.flat))
+	for i, b := range j.flat {
+		key := boardKey(b.Platform, b.Serial)
+		o := c.ring.owner(key, func(d string) bool { return !c.isHealthy(d) })
+		if o == "" {
+			o = c.ring.owner(key, nil)
+		}
+		if o == "" {
+			j.finish(server.JobFailed, "federation has no downstream daemons")
+			return
+		}
+		owners[i] = o
+	}
+	s := newSched(c.cfg.Downstreams)
+	for i := 0; i < len(owners); {
+		k := i + 1
+		for k < len(owners) && owners[k] == owners[i] && k-i < c.cfg.ChunkBoards {
+			k++
+		}
+		ch := &chunk{boards: make([]int, 0, k-i)}
+		for g := i; g < k; g++ {
+			ch.boards = append(ch.boards, g)
+		}
+		s.queues[owners[i]] = append(s.queues[owners[i]], ch)
+		s.pending++
+		i = k
+	}
+
+	// The watcher wakes blocked runners when the job is cancelled, and on
+	// the health cadence so a runner parked on a dead daemon re-checks after
+	// the daemon revives (or after every other daemon dies).
+	go func() {
+		t := time.NewTicker(c.cfg.HealthEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-j.ctx.Done():
+				s.stop()
+				return
+			case <-t.C:
+				s.cond.Broadcast()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, d := range c.cfg.Downstreams {
+		wg.Add(1)
+		go func(d string) {
+			defer wg.Done()
+			for {
+				ch, stolen, ok := s.pop(d, c.isHealthy)
+				if !ok {
+					return
+				}
+				c.runChunk(j, s, d, ch, stolen)
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	if j.ctx.Err() != nil {
+		j.finish(server.JobCancelled, "campaign cancelled")
+		return
+	}
+	// Every chunk merged or failed its boards: fold the wire results into
+	// the same fleet aggregate a single daemon computes. The fold runs over
+	// the global fleet order, so the summary is bit-identical to the
+	// unsharded run.
+	j.mu.Lock()
+	samples := make([]engine.BoardSample, len(j.flat))
+	for i := range j.flat {
+		samples[i] = sampleFromStatus(j.kind, j.results[i])
+	}
+	agg := engine.AggregateSamples(samples)
+	j.agg = &agg
+	j.mu.Unlock()
+	j.finish(server.JobDone, "")
+}
+
+// runChunk executes one chunk on one daemon: submit the chunk's boards as a
+// downstream campaign, re-stamp its event stream, and merge its results.
+// Failures route through chunkFailed, which decides between retrying on a
+// survivor and failing the chunk's boards.
+func (c *Coordinator) runChunk(j *fedJob, s *sched, daemon string, ch *chunk, stolen bool) {
+	req := j.req
+	req.Boards = make([]server.BoardSpec, len(ch.boards))
+	for i, g := range ch.boards {
+		req.Boards[i] = j.flat[g]
+	}
+	cl := c.clients[daemon]
+	var sub server.JobStatus
+	for attempt := 0; ; attempt++ {
+		var err error
+		sub, err = cl.Submit(j.ctx, req)
+		if err == nil {
+			break
+		}
+		// Queue-full is the daemon's admission control working, not a
+		// failure: back off long enough for a downstream worker to drain a
+		// job, without burning the chunk's retry budget.
+		var se *server.APIStatusError
+		if errors.As(err, &se) && se.StatusCode == http.StatusServiceUnavailable && attempt < 1000 {
+			select {
+			case <-j.ctx.Done():
+				s.done()
+				return
+			case <-time.After(time.Duration(5+attempt%20) * time.Millisecond):
+			}
+			continue
+		}
+		c.chunkFailed(j, s, daemon, ch, fmt.Errorf("submit: %w", err))
+		return
+	}
+	j.noteShard(daemon, len(ch.boards), sub.ID, stolen)
+	final, err := cl.Wait(j.ctx, sub.ID, func(ev server.JobEvent) error {
+		switch ev.Type {
+		case "start", "done", "failed":
+			if ev.Board >= 0 && ev.Board < len(ch.boards) {
+				j.boardEvent(ev, ch.boards[ev.Board])
+			}
+		}
+		// The downstream terminal "campaign" event is absorbed: the
+		// federated job has exactly one terminal event, the coordinator's.
+		return nil
+	})
+	if err != nil {
+		if j.ctx.Err() != nil {
+			// Cancelled above: stop the orphaned downstream run, best-effort.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			cl.Cancel(ctx, sub.ID)
+			cancel()
+			s.done()
+			return
+		}
+		c.chunkFailed(j, s, daemon, ch, fmt.Errorf("stream %s: %w", sub.ID, err))
+		return
+	}
+	switch final.State {
+	case server.JobDone:
+		j.mergeResults(ch, final.BoardResults)
+		s.done()
+	default:
+		// The daemon stayed reachable but its job died (or was cancelled
+		// underneath us): retry elsewhere without declaring the daemon dead.
+		c.chunkFailed(j, s, daemon, ch, fmt.Errorf("downstream job %s ended %s: %s", sub.ID, final.State, final.Error))
+	}
+}
+
+// chunkFailed routes one failed chunk attempt: permanent request rejections
+// fail the chunk's boards outright, transport errors mark the daemon dead,
+// and everything retryable goes back on a survivor's queue — recorded as a
+// ShardRetry and a "retry" event, the federation-visible trace of the
+// failover.
+func (c *Coordinator) chunkFailed(j *fedJob, s *sched, daemon string, ch *chunk, err error) {
+	reason := err.Error()
+	var se *server.APIStatusError
+	switch {
+	case errors.As(err, &se):
+		if se.StatusCode >= 400 && se.StatusCode < 500 && se.StatusCode != http.StatusRequestTimeout && se.StatusCode != http.StatusTooManyRequests {
+			// The daemon understood the request and refused it (bad token,
+			// disagreeing validation). Deterministic — no daemon will differ.
+			j.failBoards(ch, reason)
+			s.done()
+			return
+		}
+	default:
+		// Transport-level death: the health monitor will confirm, but the
+		// scheduler must stop routing to this daemon now.
+		c.setHealthy(daemon, false)
+	}
+	ch.attempts++
+	if ch.attempts >= c.cfg.RetryLimit {
+		j.failBoards(ch, fmt.Sprintf("%s (attempt %d of %d)", reason, ch.attempts, c.cfg.RetryLimit))
+		s.done()
+		return
+	}
+	key := boardKey(j.flat[ch.boards[0]].Platform, j.flat[ch.boards[0]].Serial)
+	to := c.ring.owner(key, func(d string) bool { return d == daemon || !c.isHealthy(d) })
+	if to == "" {
+		// Nothing else is healthy; re-queue on the ring wherever it lands
+		// (possibly the same daemon, if it revives) rather than giving up
+		// while retry budget remains.
+		to = c.ring.owner(key, nil)
+	}
+	if to == "" {
+		j.failBoards(ch, "no downstream daemon available: "+reason)
+		s.done()
+		return
+	}
+	j.noteRetry(daemon, to, len(ch.boards), reason)
+	s.push(to, ch)
+}
+
+// --- fedJob bookkeeping for the scheduler ------------------------------
+
+// noteShard credits daemon with one executed chunk in the job's shard map.
+func (j *fedJob) noteShard(daemon string, boards int, downstreamJob string, stolen bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range j.shards {
+		if j.shards[i].Daemon == daemon {
+			j.shards[i].Boards += boards
+			j.shards[i].Jobs = append(j.shards[i].Jobs, downstreamJob)
+			if stolen {
+				j.shards[i].Stolen++
+			}
+			return
+		}
+	}
+	sh := server.ShardStatus{Daemon: daemon, Boards: boards, Jobs: []string{downstreamJob}}
+	if stolen {
+		sh.Stolen = 1
+	}
+	j.shards = append(j.shards, sh)
+}
+
+// noteRetry records one chunk failover in the job detail and its event
+// stream.
+func (j *fedJob) noteRetry(from, to string, boards int, reason string) {
+	j.mu.Lock()
+	j.retries = append(j.retries, server.ShardRetry{From: from, To: to, Boards: boards, Reason: reason})
+	out := j.appendEventLocked(server.JobEvent{Type: "retry", Error: reason})
+	j.mu.Unlock()
+	j.journalEvent(out)
+}
+
+// mergeResults lands one successful chunk's board rows at their global
+// fleet positions. The downstream Board indices are shard-local; they are
+// rewritten to the coordinator's global order.
+func (j *fedJob) mergeResults(ch *chunk, finals []server.BoardStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, bs := range finals {
+		if bs.Board < 0 || bs.Board >= len(ch.boards) {
+			continue
+		}
+		g := ch.boards[bs.Board]
+		bs.Board = g
+		j.results[g] = bs
+	}
+}
+
+// failBoards marks every board of a permanently failed chunk. Chunks merge
+// atomically, so a chunk that reaches here merged nothing — every one of
+// its boards gets the failure row, and boards that streamed a premature
+// "done" on an earlier partial attempt stay counted (the dedup in
+// boardEvent) without resurrecting results that were never merged.
+func (j *fedJob) failBoards(ch *chunk, reason string) {
+	for _, g := range ch.boards {
+		spec := j.flat[g]
+		j.mu.Lock()
+		j.results[g] = server.BoardStatus{Board: g, Platform: spec.Platform, Serial: spec.Serial, Error: reason}
+		j.mu.Unlock()
+		j.boardEvent(server.JobEvent{Type: "failed", Platform: spec.Platform, Serial: spec.Serial, Error: reason}, g)
+	}
+}
+
+// sampleFromStatus rebuilds a board's aggregate contribution from its wire
+// row — the inverse of the daemon's BoardStatus projection, matched case by
+// case against engine.BoardResult.Sample so a federated fold is
+// bit-identical to the in-process one.
+func sampleFromStatus(kind string, bs server.BoardStatus) engine.BoardSample {
+	s := engine.BoardSample{Failed: bs.Error != "", FromCache: bs.FromCache}
+	if s.Failed {
+		return s
+	}
+	switch kind {
+	case engine.Characterization.String():
+		// Sweep final level + the board's FVM zero-fault share.
+		if bs.VcrashV != 0 {
+			s.Faults = []float64{bs.FaultsPerMbit}
+			s.Vmins = []float64{bs.VminV}
+			s.Vcrashes = []float64{bs.VcrashV}
+		}
+		s.ZeroShares = []float64{bs.ZeroShare}
+	case engine.TemperatureStudy.String():
+		// The daemon reports the last (hottest) sweep, exactly what
+		// finalSweep feeds the in-process aggregate.
+		if bs.VcrashV != 0 {
+			s.Faults = []float64{bs.FaultsPerMbit}
+			s.Vmins = []float64{bs.VminV}
+			s.Vcrashes = []float64{bs.VcrashV}
+		}
+	case engine.KindPattern.String():
+		if len(bs.Patterns) > 0 {
+			worst := bs.Patterns[0].FaultsPerMbit
+			for _, pr := range bs.Patterns[1:] {
+				if pr.FaultsPerMbit > worst {
+					worst = pr.FaultsPerMbit
+				}
+			}
+			s.Faults = []float64{worst}
+		}
+	case engine.KindThresholds.String():
+		// The wire Vmin/Vcrash of a threshold job are the BRAM rail's.
+		s.Vmins = []float64{bs.VminV}
+		s.Vcrashes = []float64{bs.VcrashV}
+	case engine.NNInference.String():
+		if n := len(bs.Inference); n > 0 {
+			s.InferErrs = []float64{bs.Inference[n-1].Error}
+		}
+	}
+	return s
+}

@@ -182,23 +182,27 @@ func (req *CampaignRequest) decodeInference(c *engine.Campaign) error {
 	return nil
 }
 
-// inventory expands the board specs into the fleet inventory.
-func (req *CampaignRequest) inventory(maxBoards int) ([]platform.Platform, error) {
-	if len(req.Boards) == 0 {
+// ExpandBoards normalizes board specs into one explicit single-replica spec
+// per enrolled board, in fleet order: platform names resolved, replica
+// serials minted exactly as the engine would (the first replica keeps the
+// reference serial, the rest get derived dies), BRAMs carried through
+// verbatim. The expansion is the federation shard unit — a downstream daemon
+// handed one expanded spec enrolls a board identical to the one a single
+// daemon running the whole fleet would — and it is also what inventory
+// itself builds on, so the two can never drift.
+func ExpandBoards(specs []BoardSpec, maxBoards int) ([]BoardSpec, error) {
+	if len(specs) == 0 {
 		return nil, badRequestf("campaign needs at least one board spec")
 	}
-	var out []platform.Platform
+	var out []BoardSpec
 	seen := make(map[string]bool) // platform|serial → enrolled
-	for i, spec := range req.Boards {
+	for i, spec := range specs {
 		p, err := platform.ByName(spec.Platform)
 		if err != nil {
 			return nil, badRequestf("boards[%d]: %v", i, err)
 		}
 		if spec.BRAMs < 0 {
 			return nil, badRequestf("boards[%d]: negative brams", i)
-		}
-		if spec.BRAMs > 0 {
-			p = p.Scaled(spec.BRAMs)
 		}
 		if spec.Serial != "" {
 			p = p.WithSerial(spec.Serial)
@@ -223,10 +227,41 @@ func (req *CampaignRequest) inventory(maxBoards int) ([]platform.Platform, error
 				return nil, badRequestf("boards[%d]: %s S/N %s enrolled more than once", i, rep.Name, rep.Serial)
 			}
 			seen[id] = true
-			out = append(out, rep)
+			out = append(out, BoardSpec{Platform: rep.Name, Serial: rep.Serial, Replicas: 1, BRAMs: spec.BRAMs})
 		}
 	}
 	return out, nil
+}
+
+// inventory expands the board specs into the fleet inventory.
+func (req *CampaignRequest) inventory(maxBoards int) ([]platform.Platform, error) {
+	flat, err := ExpandBoards(req.Boards, maxBoards)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]platform.Platform, 0, len(flat))
+	for _, spec := range flat {
+		p, err := platform.ByName(spec.Platform)
+		if err != nil {
+			return nil, badRequestf("boards: %v", err)
+		}
+		if spec.BRAMs > 0 {
+			p = p.Scaled(spec.BRAMs)
+		}
+		out = append(out, p.WithSerial(spec.Serial))
+	}
+	return out, nil
+}
+
+// Validate compiles the request without enrolling anything — the check a
+// federation coordinator runs before sharding, so a bad submission is a 400
+// at the front door instead of N downstream failures.
+func (req *CampaignRequest) Validate(maxBoards int) error {
+	if _, err := req.campaign(); err != nil {
+		return err
+	}
+	_, err := req.inventory(maxBoards)
+	return err
 }
 
 // JobState is a job's lifecycle phase.
@@ -286,9 +321,14 @@ type BoardStatus struct {
 	VcrashV       float64 `json:"vcrash_v,omitempty"`
 	// IntVminV/IntVcrashV carry the VCCINT rail of a threshold-discovery
 	// job (VminV/VcrashV then hold the VCCBRAM rail).
-	IntVminV   float64         `json:"int_vmin_v,omitempty"`
-	IntVcrashV float64         `json:"int_vcrash_v,omitempty"`
-	Patterns   []PatternStatus `json:"patterns,omitempty"`
+	IntVminV   float64 `json:"int_vmin_v,omitempty"`
+	IntVcrashV float64 `json:"int_vcrash_v,omitempty"`
+	// ZeroShare is the fraction of the board's BRAMs that never faulted
+	// (characterization jobs) — the per-board term of the aggregate's
+	// ZeroFaultShare, carried so shard results can be re-aggregated
+	// bit-identically by a federation coordinator.
+	ZeroShare float64         `json:"zero_share,omitempty"`
+	Patterns  []PatternStatus `json:"patterns,omitempty"`
 	// Inference is the board's accuracy-vs-voltage curve (nn-inference
 	// jobs), deepest level last — the Fig. 11 data, per chip.
 	Inference []InferencePoint `json:"inference,omitempty"`
@@ -319,6 +359,35 @@ type JobStatus struct {
 
 	Aggregate    *engine.Aggregate `json:"aggregate,omitempty"`
 	BoardResults []BoardStatus     `json:"board_results,omitempty"`
+
+	// Shards and Retries describe how a federated job was spread across
+	// downstream daemons; both stay empty on a single daemon. Retries lists
+	// every shard that had to be re-run on a survivor after its original
+	// daemon failed mid-campaign.
+	Shards  []ShardStatus `json:"shards,omitempty"`
+	Retries []ShardRetry  `json:"retries,omitempty"`
+}
+
+// ShardStatus summarizes one downstream daemon's share of a federated job.
+type ShardStatus struct {
+	// Daemon is the downstream base URL the shard ran on.
+	Daemon string `json:"daemon"`
+	// Boards is how many of the job's boards this daemon executed.
+	Boards int `json:"boards"`
+	// Jobs lists the downstream job ids the shard was split into.
+	Jobs []string `json:"jobs,omitempty"`
+	// Stolen counts chunks this daemon pulled from another daemon's queue —
+	// the work-stealing telemetry.
+	Stolen int `json:"stolen,omitempty"`
+}
+
+// ShardRetry records one chunk of boards re-run elsewhere after its daemon
+// died or refused mid-campaign.
+type ShardRetry struct {
+	From   string `json:"from"` // daemon the chunk was assigned to
+	To     string `json:"to"`   // survivor that re-ran it
+	Boards int    `json:"boards"`
+	Reason string `json:"reason"`
 }
 
 // JobEvent is one server-sequenced campaign event, streamed over SSE and

@@ -1,0 +1,166 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// wantStatus asserts err is an APIStatusError with the given code.
+func wantStatus(t *testing.T, err error, code int) {
+	t.Helper()
+	var ae *server.APIStatusError
+	if !errors.As(err, &ae) || ae.StatusCode != code {
+		t.Fatalf("got %v, want HTTP %d", err, code)
+	}
+}
+
+func TestAuthTokenGatesMutations(t *testing.T) {
+	st := store.NewMem()
+	_, open := newService(t, st, server.Config{Workers: 1, FleetWorkers: 2, AuthToken: "s3cret", GCKeep: 4})
+	ctx := context.Background()
+
+	// Every mutating endpoint refuses an unauthenticated caller.
+	if _, err := open.Submit(ctx, smallCampaign()); err == nil {
+		t.Fatal("unauthenticated submit accepted")
+	} else {
+		wantStatus(t, err, http.StatusUnauthorized)
+	}
+	if _, err := open.Cancel(ctx, "job-0001"); err == nil {
+		t.Fatal("unauthenticated cancel accepted")
+	} else {
+		wantStatus(t, err, http.StatusUnauthorized)
+	}
+	if err := open.DeleteFVM(ctx, "0000000000000000000000000000000000000000000000000000000000000000"); err == nil {
+		t.Fatal("unauthenticated FVM delete accepted")
+	} else {
+		wantStatus(t, err, http.StatusUnauthorized)
+	}
+	if _, err := open.GC(ctx, 1); err == nil {
+		t.Fatal("unauthenticated GC accepted")
+	} else {
+		wantStatus(t, err, http.StatusUnauthorized)
+	}
+	// A wrong token is as good as none.
+	if _, err := open.SetToken("wrong").Submit(ctx, smallCampaign()); err == nil {
+		t.Fatal("wrong token accepted")
+	} else {
+		wantStatus(t, err, http.StatusUnauthorized)
+	}
+
+	// Reads stay open: the dashboard needs no credential.
+	if _, err := open.SetToken("").Jobs(ctx); err != nil {
+		t.Fatalf("unauthenticated job listing: %v", err)
+	}
+	if _, err := open.FVMs(ctx, "", ""); err != nil {
+		t.Fatalf("unauthenticated FVM listing: %v", err)
+	}
+
+	// The right token runs a campaign end to end, SSE included.
+	auth := open.SetToken("s3cret")
+	job, err := auth.Submit(ctx, smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := auth.Wait(ctx, job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.JobDone {
+		t.Fatalf("job finished %q (%s), want done", final.State, final.Error)
+	}
+}
+
+func TestGCEndpointReboundsStore(t *testing.T) {
+	st := store.NewMem()
+	_, client := newService(t, st, server.Config{Workers: 1, FleetWorkers: 2})
+	ctx := context.Background()
+
+	// Two characterizations of the same boards at different temperatures:
+	// two records per (platform, serial).
+	for _, temp := range []float64{50, 60} {
+		req := smallCampaign()
+		req.TempC = temp
+		job, err := client.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final, err := client.Wait(ctx, job.ID, nil); err != nil || final.State != server.JobDone {
+			t.Fatalf("campaign at %g°C: state=%v err=%v", temp, final.State, err)
+		}
+	}
+	if fvms, _ := client.FVMs(ctx, "", ""); len(fvms) != 4 {
+		t.Fatalf("stored %d FVMs, want 4", len(fvms))
+	}
+	// No bound configured and none passed: 400.
+	if _, err := client.GC(ctx, 0); err == nil {
+		t.Fatal("GC without a bound accepted")
+	} else {
+		wantStatus(t, err, http.StatusBadRequest)
+	}
+	removed, err := client.GC(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("GC removed %d records, want 2", removed)
+	}
+	fvms, err := client.FVMs(ctx, "", "")
+	if err != nil || len(fvms) != 2 {
+		t.Fatalf("%d FVMs after GC (%v), want 2", len(fvms), err)
+	}
+	// The newest records (60 °C) are the survivors.
+	for _, f := range fvms {
+		if f.TempC != 60 {
+			t.Fatalf("GC kept the older %g°C record", f.TempC)
+		}
+	}
+}
+
+func TestJobRetainTrimsTerminalJournal(t *testing.T) {
+	st := store.NewMem()
+	_, client := newService(t, st, server.Config{Workers: 1, FleetWorkers: 2, JobRetain: 2})
+	ctx := context.Background()
+
+	job, err := client.Submit(ctx, smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Wait(ctx, job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.JobDone {
+		t.Fatalf("job finished %q, want done", final.State)
+	}
+	// The trim runs in the worker just after the terminal journal write;
+	// Wait returns on the SSE terminal event, which can race ahead of it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs, err := st.ReadJobEvents(job.ID, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) == 2 {
+			// The retained suffix ends with the terminal campaign event.
+			var last server.JobEvent
+			if err := json.Unmarshal(evs[1].Payload, &last); err != nil {
+				t.Fatal(err)
+			}
+			if last.Type != "campaign" {
+				t.Fatalf("retained tail ends with %q, want the terminal campaign event", last.Type)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal still holds %d events, want the retained 2", len(evs))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

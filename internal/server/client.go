@@ -20,8 +20,9 @@ import (
 // exact wire types the server emits, including the SSE event stream, so a
 // Go consumer never touches raw JSON.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
 }
 
 // NewClient returns a client for the service at base (e.g.
@@ -36,6 +37,21 @@ func NewClient(base string, hc *http.Client) *Client {
 
 // BaseURL returns the service root this client talks to.
 func (c *Client) BaseURL() string { return c.base }
+
+// SetToken attaches a bearer token to every subsequent request — the client
+// side of Config.AuthToken. An empty token sends no Authorization header.
+// Returns c for chaining.
+func (c *Client) SetToken(token string) *Client {
+	c.token = token
+	return c
+}
+
+// authorize stamps the bearer token onto one outgoing request.
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+}
 
 // do issues one request and decodes the JSON response into out (which may be
 // nil). Non-2xx responses come back as *APIStatusError.
@@ -55,6 +71,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -196,6 +213,7 @@ func (c *Client) streamSSE(ctx context.Context, path, lastEventID string, fn fun
 	if lastEventID != "" {
 		req.Header.Set("Last-Event-ID", lastEventID)
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return false, err
@@ -279,6 +297,22 @@ func (c *Client) FVM(ctx context.Context, id string) (*fvm.Map, error) {
 // DeleteFVM removes one stored record — the admin counterpart of FVMs.
 func (c *Client) DeleteFVM(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/fvms/"+url.PathEscape(id), nil, nil)
+}
+
+// GC re-bounds the server's FVM store to the newest keep records per
+// (platform, serial) and returns how many records were removed. keep <= 0
+// uses the server's configured GCKeep (the server answers 400 when it has
+// none).
+func (c *Client) GC(ctx context.Context, keep int) (int, error) {
+	path := "/v1/gc"
+	if keep > 0 {
+		path += "?keep=" + strconv.Itoa(keep)
+	}
+	var out struct {
+		Removed int `json:"removed"`
+	}
+	err := c.do(ctx, http.MethodPost, path, nil, &out)
+	return out.Removed, err
 }
 
 // Vmin lists the observed operating window of every stored sweep matching

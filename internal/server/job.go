@@ -206,6 +206,7 @@ func (j *Job) finish(res *engine.CampaignResult, err error) {
 	j.mu.Unlock()
 	j.jn.sync(j)
 	j.jn.putMeta(j)
+	j.jn.retainTerminal(j.id)
 	if j.onTerminal != nil {
 		j.onTerminal()
 	}
@@ -233,6 +234,7 @@ func (j *Job) markCancelled() {
 	j.mu.Unlock()
 	j.jn.sync(j)
 	j.jn.putMeta(j)
+	j.jn.retainTerminal(j.id)
 	if j.onTerminal != nil {
 		j.onTerminal()
 	}
@@ -305,6 +307,9 @@ func (j *Job) statusLocked(includeResults bool) JobStatus {
 			}
 			if th := r.IntThresholds; th != nil {
 				bs.IntVminV, bs.IntVcrashV = th.Vmin, th.Vcrash
+			}
+			if r.FVM != nil {
+				bs.ZeroShare = r.FVM.ZeroShare()
 			}
 			for _, pr := range r.Patterns {
 				bs.Patterns = append(bs.Patterns, PatternStatus{

@@ -41,11 +41,28 @@ type jobDocument struct {
 // campaigns. Failures are counted and surfaced through /healthz; readers
 // tolerate the resulting gaps.
 type journal struct {
-	st   store.Store
-	errs atomic.Uint64
+	st store.Store
+	// retain, when > 0, trims each terminal job's durable event log to (at
+	// least) its last retain events — Config.JobRetain.
+	retain int
+	errs   atomic.Uint64
 }
 
-func newJournal(st store.Store) *journal { return &journal{st: st} }
+func newJournal(st store.Store, retain int) *journal {
+	return &journal{st: st, retain: retain}
+}
+
+// retainTerminal applies the journal's retention bound to a job that just
+// reached (or was replayed in) a terminal state. Best-effort, like every
+// journal write: a failed trim keeps more history, never less.
+func (jn *journal) retainTerminal(id string) {
+	if jn == nil || jn.retain <= 0 {
+		return
+	}
+	if err := jn.st.TrimJobEvents(id, jn.retain); err != nil {
+		jn.errs.Add(1)
+	}
+}
 
 // putMeta persists j's metadata record. The job's journal mutex is held
 // across snapshot AND write: two racing puts (say, the submit handler's
@@ -295,6 +312,10 @@ func (s *Server) replayJournal() error {
 		s.jobs.adopt(j)
 		if !j.terminal() {
 			interrupted = append(interrupted, j)
+		} else {
+			// Retention applies to replayed history too, so a daemon whose
+			// JobRetain was lowered (or first set) reclaims disk at boot.
+			s.jn.retainTerminal(j.id)
 		}
 	}
 	s.jobs.bumpSeq(maxSeq)
@@ -352,4 +373,5 @@ func (j *Job) failRestored(msg string) {
 	j.mu.Unlock()
 	j.jn.sync(j)
 	j.jn.putMeta(j)
+	j.jn.retainTerminal(j.id)
 }

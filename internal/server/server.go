@@ -39,6 +39,7 @@ package server
 import (
 	"cmp"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -96,6 +97,17 @@ type Config struct {
 	// event in RAM. Ignored when the journal is disabled — memory then
 	// keeps the whole log.
 	JobEventWindow int
+	// JobRetain, when > 0, trims a terminal job's durable event log down to
+	// (at least) its last JobRetain events — the Disk store drops whole
+	// sealed segments, never the live tail — bounding journal growth at
+	// federation scale. Deep SSE resume then replays only the retained
+	// suffix. 0 keeps everything.
+	JobRetain int
+	// AuthToken, when non-empty, requires `Authorization: Bearer <token>`
+	// on every mutating endpoint (campaign submission, job cancel, FVM
+	// delete, GC). Reads and streams stay open. Empty leaves the whole API
+	// open, matching pre-auth deployments.
+	AuthToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -167,7 +179,7 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan *Job, cfg.QueueDepth),
 	}
 	if !cfg.DisableJournal {
-		s.jn = newJournal(cfg.Store)
+		s.jn = newJournal(cfg.Store, cfg.JobRetain)
 	}
 	s.jobs = newJobTable(cfg.MaxJobHistory, func(jobs []*Job) { s.jn.drop(jobs...) })
 	if s.jn != nil {
@@ -209,17 +221,67 @@ func (s *Server) runGC() {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/campaigns", s.requireAuth(s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.requireAuth(s.handleCancel))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/events", s.handleFirehose)
 	s.mux.HandleFunc("GET /v1/fvms", s.handleFVMs)
 	s.mux.HandleFunc("GET /v1/fvms/{id}", s.handleFVM)
-	s.mux.HandleFunc("DELETE /v1/fvms/{id}", s.handleDeleteFVM)
+	s.mux.HandleFunc("DELETE /v1/fvms/{id}", s.requireAuth(s.handleDeleteFVM))
 	s.mux.HandleFunc("GET /v1/vmin", s.handleVmin)
+	s.mux.HandleFunc("POST /v1/gc", s.requireAuth(s.handleGC))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// requireAuth enforces Config.AuthToken on mutating handlers. With no token
+// configured it is a pass-through; with one, the request must present the
+// exact token as `Authorization: Bearer <token>` — compared in constant
+// time, so the check leaks nothing about the prefix it rejected on.
+func (s *Server) requireAuth(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.AuthToken == "" {
+		return h
+	}
+	want := []byte(s.cfg.AuthToken)
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(strings.TrimSpace(tok)), want) != 1 {
+			writeError(w, &apiError{status: http.StatusUnauthorized,
+				msg: "missing or invalid bearer token"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleGC re-bounds the FVM store to the newest ?keep= records per
+// (platform, serial) — Config.GCKeep when the query is absent — and evicts
+// what it removed from the in-memory cache level. The admin lever for
+// reclaiming disk on demand instead of waiting for the next terminal job.
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	keep := s.cfg.GCKeep
+	if q := r.URL.Query().Get("keep"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeError(w, badRequestf("keep %q must be a positive integer", q))
+			return
+		}
+		keep = n
+	}
+	if keep <= 0 {
+		writeError(w, badRequestf("no retention bound: pass ?keep= or configure GCKeep"))
+		return
+	}
+	removed, err := s.cfg.Store.GC(keep)
+	if err != nil {
+		writeError(w, fmt.Errorf("gc: %w", err))
+		return
+	}
+	for _, m := range removed {
+		s.cache.Invalidate(engine.CacheKeyFromStore(m.Key))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": len(removed), "keep": keep})
 }
 
 // worker drains the queue until Shutdown closes it.

@@ -460,6 +460,44 @@ func (d *Disk) CompactJob(id string) error {
 	return nil
 }
 
+// TrimJobEvents drops sealed segments whose entire Seq range falls below
+// the job's last keepLast events. Only whole immutable segments go — the
+// live tail and any segment straddling the cutoff stay — so retention is
+// coarse but can never lose an event newer than the bound. This is what
+// keeps a terminal job's journal from pinning its whole event history on
+// disk at federation scale.
+func (d *Disk) TrimJobEvents(id string, keepLast int) error {
+	if !ValidJobID(id) {
+		return fmt.Errorf("store: malformed job id %q", id)
+	}
+	if keepLast <= 0 {
+		return nil
+	}
+	mu := d.jobStripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	jl := d.evLogPeek(id)
+	if jl == nil {
+		return nil
+	}
+	cutoff := jl.nextSeq - keepLast
+	kept := jl.segs[:0]
+	for _, sg := range jl.segs {
+		if sg.maxSeq < cutoff {
+			if err := os.Remove(filepath.Join(d.jobSegsDir(id), sg.fileName())); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				// Keep the index entry for a segment still on disk; the next
+				// trim retries.
+				kept = append(kept, sg)
+				continue
+			}
+			continue
+		}
+		kept = append(kept, sg)
+	}
+	jl.segs = kept
+	return nil
+}
+
 // dropEventLog removes id's tail, segments, and index entry. Callers hold
 // the job's stripe write lock.
 func (d *Disk) dropEventLog(id string) error {

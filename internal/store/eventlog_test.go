@@ -343,3 +343,96 @@ func TestEventRecordDedup(t *testing.T) {
 		t.Fatalf("capEvents broke ordering: %s", got)
 	}
 }
+
+// trimConformance exercises the retention contract both implementations
+// share: at least keepLast events stay readable, older history may go, and
+// the newest events always survive.
+func trimConformance(t *testing.T, s Store) {
+	t.Helper()
+	const n = 100
+	appendN(t, s, "job-0001", 0, n, 1)
+	if err := s.TrimJobEvents("job-0001", 0); err != nil {
+		t.Fatal(err)
+	}
+	if evs, _ := s.ReadJobEvents("job-0001", 0, 0); len(evs) != n {
+		t.Fatalf("keepLast=0 trimmed: %d events left, want %d", len(evs), n)
+	}
+	if err := s.TrimJobEvents("job-0001", 10); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := s.ReadJobEvents("job-0001", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < 10 {
+		t.Fatalf("trim kept %d events, want at least 10", len(evs))
+	}
+	for i, ev := range evs {
+		if want := n - len(evs) + i; ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (suffix must be contiguous)", i, ev.Seq, want)
+		}
+	}
+	if evs[len(evs)-1].Seq != n-1 {
+		t.Fatalf("newest event %d lost by trim", n-1)
+	}
+	// Stats still report the true frontier: trims must never rewind Seq/GSeq
+	// allocation.
+	nextSeq, lastG, _ := s.JobEventStats("job-0001")
+	if nextSeq != n || lastG != int64(n) {
+		t.Fatalf("stats after trim = (next %d, lastG %d), want (%d, %d)", nextSeq, lastG, n, n)
+	}
+	if err := s.TrimJobEvents("no-such-job", 5); err != nil {
+		t.Fatalf("trimming an absent job: %v", err)
+	}
+	if err := s.TrimJobEvents("../evil", 5); err == nil {
+		t.Fatal("trim with a malformed id must fail")
+	}
+}
+
+func TestMemTrimJobEvents(t *testing.T) { trimConformance(t, NewMem()) }
+
+// TestDiskTrimJobEvents compacts most of the log into sealed segments, trims,
+// and asserts old segments are gone from disk while the retained suffix —
+// and the index rebuilt by a reopen — stay intact.
+func TestDiskTrimJobEvents(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetEventLogTuning(16, 1<<30) // manual compaction only
+	trimConformance(t, d)
+
+	segsBefore, _ := os.ReadDir(d.jobSegsDir("job-0001"))
+	if err := d.CompactJob("job-0001"); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := os.ReadDir(d.jobSegsDir("job-0001"))
+	if len(segsAfter) <= len(segsBefore) {
+		t.Fatalf("compaction sealed nothing (%d -> %d segments)", len(segsBefore), len(segsAfter))
+	}
+	if err := d.TrimJobEvents("job-0001", 8); err != nil {
+		t.Fatal(err)
+	}
+	segsTrimmed, _ := os.ReadDir(d.jobSegsDir("job-0001"))
+	if len(segsTrimmed) >= len(segsAfter) {
+		t.Fatalf("trim removed no segment files (%d -> %d)", len(segsAfter), len(segsTrimmed))
+	}
+	evs, _ := d.ReadJobEvents("job-0001", 0, 0)
+	if len(evs) < 8 || evs[len(evs)-1].Seq != 99 {
+		t.Fatalf("trimmed log = %d events ending at seq %d, want >= 8 ending at 99", len(evs), evs[len(evs)-1].Seq)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen rebuilds the index from what survived; the frontier holds.
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	nextSeq, lastG, _ := d2.JobEventStats("job-0001")
+	if nextSeq != 100 || lastG != 100 {
+		t.Fatalf("reopened stats = (next %d, lastG %d), want (100, 100)", nextSeq, lastG)
+	}
+}

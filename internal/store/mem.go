@@ -256,6 +256,38 @@ func (m *Mem) ReadFirehose(after int64, limit int) ([]EventRecord, error) {
 	return capEvents(all, limit), nil
 }
 
+// TrimJobEvents drops the job's oldest stored events, keeping the last
+// keepLast (by Seq). Mem trims exactly; the Disk store trims whole sealed
+// segments, so it may keep more — both honor "never fewer".
+func (m *Mem) TrimJobEvents(id string, keepLast int) error {
+	if !ValidJobID(id) {
+		return fmt.Errorf("store: malformed job id %q", id)
+	}
+	if keepLast <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	evs := m.decodeEventsLocked(id)
+	evs = sortDedupEvents(evs)
+	if len(evs) <= keepLast {
+		return nil
+	}
+	cutoff := evs[len(evs)-keepLast].Seq
+	kept := make([][]byte, 0, keepLast)
+	for _, raw := range m.events[id] {
+		var ev EventRecord
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			continue // trimming is the one place corrupt entries get dropped
+		}
+		if ev.Seq >= cutoff {
+			kept = append(kept, raw)
+		}
+	}
+	m.events[id] = kept
+	return nil
+}
+
 // LastGSeq reports the highest global sequence in any job's log.
 func (m *Mem) LastGSeq() (int64, error) {
 	m.mu.RLock()

@@ -259,6 +259,13 @@ type Store interface {
 	// GSeq order, capped at limit (limit <= 0 means no cap). This is the
 	// paging primitive behind deep firehose resume.
 	ReadFirehose(after int64, limit int) ([]EventRecord, error)
+	// TrimJobEvents drops a job's oldest durable events so that at least
+	// the last keepLast remain readable. Retention is best-effort and
+	// coarse: implementations may keep more than asked (the Disk store
+	// trims whole sealed segments and never the live tail) but must never
+	// keep fewer. keepLast <= 0 is a no-op. Trimming a job that is still
+	// appending is allowed; readers see a shorter history, not a torn one.
+	TrimJobEvents(id string, keepLast int) error
 	// LastGSeq reports the highest global sequence present in any job's
 	// event log, so a restarted service can resume issuing sequences
 	// without replaying event bodies.
