@@ -14,7 +14,7 @@ THRESHOLD ?= 30
 # (fsync-noisy): tight threshold, separate compare pass below.
 JOURNAL_THRESHOLD ?= 10
 
-.PHONY: build test race bench bench-smoke bench-json bench-compare loadgen loadgen-smoke federation-smoke
+.PHONY: build test race lint bench bench-smoke bench-json bench-compare loadgen loadgen-smoke federation-smoke federation-smoke-race
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Invariant gate: go vet plus the repo's own analyzers (cmd/fpgavoltvet),
+# which mechanize the invariants past PRs broke by hand — see README
+# "Static analysis". staticcheck and govulncheck run when installed (CI
+# installs them; locally they are optional extras, not requirements).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/fpgavoltvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed, skipping"; fi
 
 # Full benchmark suite with real timings.
 bench:
@@ -79,3 +91,9 @@ loadgen-smoke:
 # merged-firehose GSeq density — an event lost in the fan-in — fails the run.
 federation-smoke:
 	$(GO) run ./cmd/fpgavoltd-loadgen -selfhost -federate 3 -clients 100 -jobs 100
+
+# The same federated drive with the race detector on the whole stack —
+# coordinator, daemons, and loadgen share one process, so this is the
+# widest cross-daemon interleaving the repo can check (CI race job).
+federation-smoke-race:
+	$(GO) run -race ./cmd/fpgavoltd-loadgen -selfhost -federate 3 -clients 100 -jobs 100

@@ -11,7 +11,7 @@
 //	fpgavoltd [-listen :8080] [-store fvm-store] [-workers 2]
 //	          [-queue 16] [-fleet-workers 0] [-max-boards 64]
 //	          [-journal=true] [-gc-keep 0] [-job-retain 0]
-//	          [-auth-token ""]
+//	          [-job-live-segs 0] [-auth-token ""]
 //
 // With -auth-token (or FPGAVOLTD_TOKEN in the environment) every mutating
 // endpoint — campaign submission, job cancellation, record deletion, GC —
@@ -74,6 +74,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		journal      = fs.Bool("journal", true, "journal jobs into the store so listings survive restarts")
 		gcKeep       = fs.Int("gc-keep", 0, "keep only the newest N store records per (platform, serial); 0 = unbounded")
 		jobRetain    = fs.Int("job-retain", 0, "trim a finished job's journaled event log to its last N events; 0 = keep everything")
+		jobLiveSegs  = fs.Int("job-live-segs", 0, "cap a running job's sealed event-log segments; older history is dropped and resumes below it get a truncation marker; 0 = unlimited")
 		authToken    = fs.String("auth-token", "", "bearer token required on mutating endpoints (default $FPGAVOLTD_TOKEN; empty = open)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +87,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	st, err := fpgavolt.OpenDiskStore(*storeDir)
 	if err != nil {
 		return err
+	}
+	if *jobLiveSegs > 0 {
+		if capper, ok := st.(interface{ SetLiveSegCap(int) }); ok {
+			capper.SetLiveSegCap(*jobLiveSegs)
+		}
 	}
 	svc, err := fpgavolt.NewService(fpgavolt.ServiceConfig{
 		Store:          st,

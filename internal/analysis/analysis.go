@@ -1,0 +1,264 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface this repo needs: typed AST
+// analyzers, a go-list-driven package loader, and a diagnostic pipeline with
+// line-scoped suppressions. It exists because the repo's correctness
+// invariants — seeded PRNG only in model code, errors.Is for cancellation,
+// paired Gate.Acquire/Release, tmp+fsync+rename writes in the store,
+// constant-time token compares — were enforced only by review, and three of
+// them have each been violated once (the PR 3 wrapped-context.Canceled bug,
+// the PR 5 leaked-gate-unit-on-probe-error bug, PR 7's raw-FNV clustering).
+// cmd/fpgavoltvet drives the analyzers in internal/analysis/* over ./... and
+// CI gates on a clean run.
+//
+// The API mirrors go/analysis deliberately (Analyzer, Pass, Reportf), so the
+// checkers port to the upstream driver mechanically if x/tools ever becomes
+// a dependency. Only the standard library is used: packages are loaded via
+// `go list -export` and type-checked from source against the toolchain's
+// export data, which needs no network and no third-party module.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppressions.
+	Name string
+	// Doc is a one-paragraph description: what the analyzer enforces and
+	// which historical bug motivated it.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed sources, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and object resolutions.
+	Info *types.Info
+	// Path is the import path analyzers should scope on. For test variants
+	// it is the package under test (repro/internal/store, not
+	// "repro/internal/store [repro/internal/store.test]"), so path-scoped
+	// analyzers treat a package and its tests alike.
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowPragma is the suppression marker: a comment of the form
+// `//lint:allow <analyzer> <reason>` on the finding's line (or the line
+// directly above it) drops that analyzer's diagnostics for that line. The
+// reason is mandatory — an unexplained suppression is itself a finding.
+const AllowPragma = "//lint:allow"
+
+// suppression records one allow pragma: which analyzer it silences and the
+// line it covers (pragma line and the line after both count).
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+	hasWhy   bool
+	pos      token.Pos
+}
+
+// collectSuppressions scans a package's comments for allow pragmas.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPragma) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPragma)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, suppression{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					hasWhy:   len(fields) > 1,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics in file/line order. Suppressed findings are dropped; an allow
+// pragma with no reason, or one that suppresses nothing, is reported as a
+// finding itself so stale pragmas cannot accumulate.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		raw := make([]Diagnostic, 0, 8)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		sups := collectSuppressions(pkg.Fset, pkg.Files)
+		used := make([]bool, len(sups))
+		for _, d := range raw {
+			suppressed := false
+			for i, s := range sups {
+				if s.analyzer != d.Analyzer || s.file != d.Pos.Filename {
+					continue
+				}
+				if s.line == d.Pos.Line || s.line == d.Pos.Line-1 {
+					if s.hasWhy {
+						suppressed = true
+						used[i] = true
+					}
+				}
+			}
+			if !suppressed {
+				diags = append(diags, d)
+			}
+		}
+		for i, s := range sups {
+			switch {
+			case !s.hasWhy:
+				diags = append(diags, Diagnostic{
+					Analyzer: "lintpragma",
+					Pos:      pkg.Fset.Position(s.pos),
+					Message:  fmt.Sprintf("allow pragma for %q needs a reason: //lint:allow %s <why>", s.analyzer, s.analyzer),
+				})
+			case !used[i] && !knownAnalyzer(analyzers, s.analyzer):
+				diags = append(diags, Diagnostic{
+					Analyzer: "lintpragma",
+					Pos:      pkg.Fset.Position(s.pos),
+					Message:  fmt.Sprintf("allow pragma names unknown analyzer %q", s.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+func knownAnalyzer(analyzers []*Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PathScoped reports whether base (a slash-separated import path) denotes
+// one of the named packages: its last segment is in names, or it ends in
+// "internal/<name>". Fixture packages under testdata match by their last
+// segment, so analyzers behave identically on fixtures and the live tree.
+func PathScoped(base string, names ...string) bool {
+	last := base
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		last = base[i+1:]
+	}
+	for _, n := range names {
+		if last == n || strings.HasSuffix(base, "internal/"+n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the function or method object a call invokes, or nil.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether obj is the package-level function pkgPath.name.
+func IsPkgFunc(obj types.Object, pkgPath, name string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsErrorType reports whether t is the error interface (or a named interface
+// type that is exactly error — what err-typed expressions resolve to).
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	it, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Identical(it, types.Universe.Lookup("error").Type().Underlying())
+}
+
+// IsUntypedNil reports whether the expression's type is the untyped nil.
+func IsUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// TestPragmaHygiene pins the suppression contract on the pragma fixture:
+// a reasonless pragma suppresses nothing and is itself a finding, and a
+// pragma naming an unknown analyzer is a finding.
+func TestPragmaHygiene(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, "./testdata/src/pragma")
+	if err != nil {
+		t.Fatalf("load pragma fixture: %v", err)
+	}
+	diags, err := analysis.Run(suite.Analyzers(), pkgs)
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	want := []struct{ analyzer, substr string }{
+		{"errclass", "error compared with =="}, // reasonless pragma must NOT suppress
+		{"lintpragma", `allow pragma for "errclass" needs a reason`},
+		{"lintpragma", `allow pragma names unknown analyzer "nosuchcheck"`},
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %s diagnostic containing %q in %v", w.analyzer, w.substr, diags)
+		}
+	}
+	if len(diags) != len(want) {
+		t.Errorf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+}
+
+func TestPathScoped(t *testing.T) {
+	cases := []struct {
+		base string
+		want bool
+	}{
+		{"repro/internal/store", true},
+		{"repro/internal/store/substore", false},
+		{"repro/internal/analysis/atomicfs/testdata/src/store", true},
+		{"store", true},
+		{"repro/internal/server", false},
+	}
+	for _, c := range cases {
+		if got := analysis.PathScoped(c.base, "store"); got != c.want {
+			t.Errorf("PathScoped(%q, store) = %v, want %v", c.base, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package analysistest runs one analyzer over a fixture package and checks
+// its diagnostics against `// want "substring"` comments in the fixture
+// sources — the same contract as golang.org/x/tools/go/analysis/analysistest,
+// reimplemented on the stdlib loader. A fixture line may carry several
+// expectations (`// want "a" "b"`); every expectation must be matched by a
+// diagnostic on its line, and every diagnostic must be expected — so
+// fixtures prove both the red case (the historical bug shape fires) and the
+// green case (the blessed idiom, and suppressed lines, stay silent).
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quoteRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` entry: a substring that must appear in a
+// diagnostic on this file:line.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run loads the fixture package at dir (a path relative to the test's
+// working directory, e.g. "testdata/src/probe") and asserts the analyzer's
+// diagnostics exactly match the fixture's want comments. Suppression
+// pragmas in the fixture are honored, so a `//lint:allow` line with no want
+// comment proves the pragma works.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: true}, "./"+strings.TrimPrefix(dir, "./"))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(pkg)...)
+	}
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func collectWants(pkg *analysis.Package) []*expectation {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quoteRE.FindAllStringSubmatch(m[1], -1) {
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, substr: unescape(q[1])})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// NoFindings asserts the analyzer is silent over the given packages of the
+// real tree — the green half of an invariant that has no in-tree red case.
+func NoFindings(t *testing.T, a *analysis.Analyzer, dir string, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir, Tests: true}, patterns...)
+	if err != nil {
+		t.Fatalf("load %v: %v", patterns, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,85 @@
+// Package atomicfs enforces the store's write discipline. internal/store's
+// crash-safety story rests on exactly two durable-write shapes: atomicWrite
+// (temp file + fsync + rename, so readers observe the old blob or the new
+// one, never a torn write) and O_APPEND log handles (the event-log tail,
+// where a torn final line is detected and healed at open). A direct
+// os.WriteFile or os.Create landing at a final path silently reintroduces
+// torn-write windows that only a power cut exposes, so inside
+// internal/store (tests excluded — they corrupt files on purpose) this
+// analyzer reports:
+//
+//   - os.WriteFile and os.Create anywhere;
+//   - os.OpenFile whose flags do not include os.O_APPEND.
+//
+// os.CreateTemp stays legal: writing a temp name then renaming is
+// atomicWrite's own mechanism.
+package atomicfs
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfs checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfs",
+	Doc: "inside internal/store, durable writes must go through atomicWrite (tmp+fsync+rename) " +
+		"or O_APPEND log handles — never os.WriteFile/os.Create at a final path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathScoped(pass.Path, "store") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests inject corruption deliberately
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return
+	}
+	switch obj.Name() {
+	case "WriteFile":
+		pass.Reportf(call.Pos(),
+			"os.WriteFile lands bytes at the final path non-atomically (a crash mid-write leaves a torn file); use atomicWrite")
+	case "Create":
+		pass.Reportf(call.Pos(),
+			"os.Create truncates the final path in place (readers can observe the empty window); use atomicWrite or an O_APPEND handle")
+	case "OpenFile":
+		if len(call.Args) >= 2 && !mentionsAppend(call.Args[1]) {
+			pass.Reportf(call.Pos(),
+				"os.OpenFile without O_APPEND in internal/store: non-append writes must go through atomicWrite")
+		}
+	}
+}
+
+// mentionsAppend reports whether the flag expression references O_APPEND
+// anywhere (os.O_APPEND|os.O_CREATE|... shapes included).
+func mentionsAppend(flag ast.Expr) bool {
+	found := false
+	ast.Inspect(flag, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "O_APPEND" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,56 @@
+// Package store is the atomicfs fixture: direct final-path writes red, the
+// atomicWrite (tmp+fsync+rename) and O_APPEND log-handle shapes green.
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func torn(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "os.WriteFile lands bytes at the final path non-atomically"
+}
+
+func truncates(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create truncates the final path in place"
+}
+
+func randomAccess(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // want "os.OpenFile without O_APPEND"
+}
+
+// appendLog is the event-log shape: append-only handles are crash-safe
+// because a torn final line is detected and healed at open.
+func appendLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// atomicWrite is the other blessed shape: temp file, fsync, rename.
+func atomicWrite(path string, b []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// scratch shows the escape hatch: an explained allow pragma.
+func scratch(path string, b []byte) error {
+	//lint:allow atomicfs fixture: scratch file outside the store's durability contract
+	return os.WriteFile(path, b, 0o644)
+}

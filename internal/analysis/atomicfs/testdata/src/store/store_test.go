@@ -1,0 +1,9 @@
+package store
+
+import "os"
+
+// Test helpers corrupt files in place on purpose — that is how the store's
+// recovery paths get exercised — so atomicfs must skip _test.go files.
+func corruptInPlace(path string) error {
+	return os.WriteFile(path, []byte("torn"), 0o644)
+}

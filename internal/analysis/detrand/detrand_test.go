@@ -1,0 +1,15 @@
+package detrand
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/silicon", Analyzer)
+}
+
+func TestOutOfScopePackagesAreIgnored(t *testing.T) {
+	analysistest.Run(t, "testdata/src/notmodel", Analyzer)
+}

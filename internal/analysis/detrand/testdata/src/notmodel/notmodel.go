@@ -1,0 +1,24 @@
+// Package notmodel is outside the deterministic-model scope, so detrand
+// must stay completely silent here even on shapes it would flag elsewhere.
+package notmodel
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func jitter() int {
+	return rand.Intn(10)
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Package silicon is the detrand fixture: it is named like a model package
+// so the analyzer scopes to it. Red cases reproduce the nondeterminism
+// shapes the analyzer exists to stop; green cases are the blessed idioms.
+package silicon
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClockSeed() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic model package silicon"
+}
+
+func globalRandDraw() int {
+	return rand.Intn(64) // want "rand.Intn in deterministic model package silicon"
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+func orderDependentSum(m map[uint32]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation into sum inside map iteration"
+	}
+	return sum
+}
+
+// sortedKeys is the blessed idiom: collect, then sort after the loop.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loopLocal appends to a slice declared inside the loop body: its order
+// never escapes an iteration, so it cannot make output order-dependent.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// intSum accumulates an integer: integer addition is associative, so visit
+// order cannot change the result.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// suppressedClock shows the escape hatch: an explained allow pragma.
+func suppressedClock() time.Time {
+	//lint:allow detrand fixture: boot stamp is display-only, never feeds the model
+	return time.Now()
+}

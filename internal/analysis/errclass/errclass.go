@@ -1,0 +1,80 @@
+// Package errclass forbids comparing errors by identity. The PR 3 bug this
+// mechanizes: Job.finish classified cancellation with
+// `err == context.Canceled`, so a DeadlineExceeded (or any *wrapped*
+// cancellation, e.g. fmt.Errorf("%w", ctx.Err())) fell through and a
+// cancelled campaign journaled as a generic failure. Wrapped errors make
+// identity comparison silently wrong, so every sentinel classification must
+// go through errors.Is. The analyzer reports:
+//
+//   - `err == sentinel` / `err != sentinel` where both sides are
+//     error-typed (nil compares stay legal — they test presence, not class);
+//   - `switch err { case sentinel: }` on an error-typed tag with non-nil
+//     cases.
+package errclass
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errclass checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc: "forbid ==/!= and switch on error values (wrapped errors break identity); " +
+		"classify with errors.Is/errors.As",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if analysis.IsUntypedNil(pass.Info, be.X) || analysis.IsUntypedNil(pass.Info, be.Y) {
+		return
+	}
+	tx, ty := pass.Info.Types[be.X].Type, pass.Info.Types[be.Y].Type
+	if !analysis.IsErrorType(tx) || !analysis.IsErrorType(ty) {
+		return
+	}
+	pass.Reportf(be.Pos(),
+		"error compared with %s: identity misses wrapped errors (the PR 3 cancellation bug); use errors.Is", be.Op)
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	if !analysis.IsErrorType(pass.Info.Types[sw.Tag].Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if !analysis.IsUntypedNil(pass.Info, e) {
+				pass.Reportf(sw.Pos(),
+					"switch on error value: case matching is identity and misses wrapped errors; use errors.Is chains")
+				return
+			}
+		}
+	}
+}

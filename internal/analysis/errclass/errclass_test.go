@@ -1,0 +1,11 @@
+package errclass
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errclass", Analyzer)
+}

@@ -1,0 +1,67 @@
+// Package errclass is the errclass fixture: the PR 3 identity-comparison
+// bug shape red, the errors.Is idiom and plain nil presence checks green.
+package errclass
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errProbe = errors.New("probe failed")
+
+func classifyEq(err error) bool {
+	return err == context.Canceled // want "error compared with =="
+}
+
+func classifyNeq(err error) bool {
+	return err != io.EOF // want "error compared with !="
+}
+
+func classifySwitch(err error) string {
+	switch err { // want "switch on error value"
+	case context.Canceled:
+		return "cancelled"
+	case context.DeadlineExceeded:
+		return "deadline"
+	}
+	return "other"
+}
+
+// classifyIs is the blessed idiom: errors.Is sees through wrapping.
+func classifyIs(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	}
+	return "other"
+}
+
+// Nil comparisons test presence, not class: legal in both shapes.
+func presence(err error) bool {
+	return err != nil
+}
+
+func nilSwitch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	}
+	return "failed"
+}
+
+func wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("probe: %w", err)
+}
+
+// suppressed shows the escape hatch: an explained allow pragma.
+func suppressed(err error) bool {
+	//lint:allow errclass fixture: sentinel is never wrapped in this package
+	return err == errProbe
+}

@@ -1,0 +1,445 @@
+// Package gatepair proves every sem.Gate unit acquired in a function is
+// released on every path out of it. The PR 5 bug this mechanizes:
+// DiscoverBRAMThresholdsGated held a read-budget unit across a level probe
+// and returned early on the probe's error path without Release, so one
+// faulted board permanently shrank the fleet-wide read budget — a leak no
+// test noticed until the budget ran dry.
+//
+// The analyzer walks each function's statement structure (an abstract
+// control-flow interpretation over the AST) tracking, per gate expression,
+// whether an acquired unit is still unprotected. Protection is:
+//
+//   - a Release on the same gate expression on that path;
+//   - a `defer gate.Release(n)` (function-scoped, covers all later paths);
+//   - handing the unit to a function literal that releases it (the
+//     release-func idiom: `return func() { g.Release(1) }, nil`).
+//
+// The error-check guards around Acquire/TryAcquire are understood, so
+// `if err := g.Acquire(ctx, 1); err != nil { return err }` does not flag the
+// failure return. A return (or fall-through) while a unit is unprotected is
+// a finding.
+//
+// repro/internal/sem itself is exempt: the semaphore's own tests acquire and
+// leak deliberately to probe the gate's accounting.
+package gatepair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the gatepair checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "gatepair",
+	Doc: "a sem.Gate.Acquire/TryAcquire unit must be Released (or defer-Released, or handed " +
+		"to a release closure) on every path out of the function — the PR 5 leaked-unit bug class",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Path == "repro/internal/sem" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// gateMethod classifies a call as one of sem.Gate's pairing-relevant
+// methods, returning the gate's receiver expression rendered as a stable
+// key ("o.Gate", "f.gate", ...).
+func gateMethod(pass *analysis.Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil || !analysis.PathScoped(obj.Pkg().Path(), "sem") {
+		return "", "", false
+	}
+	switch obj.Name() {
+	case "Acquire", "TryAcquire", "Release":
+		return types.ExprString(sel.X), obj.Name(), true
+	}
+	return "", "", false
+}
+
+// acquireInfo remembers the most recent un-consumed acquire so the guard
+// `if err != nil { ... }` / `if !ok { ... }` that follows it can be
+// classified as the failure path.
+type acquireInfo struct {
+	key   string
+	guard types.Object // the err (Acquire) or ok (TryAcquire) variable; nil if unassigned
+	try   bool
+}
+
+// state is the abstract machine state: per gate key, whether an acquired
+// unit is currently unprotected on this path.
+type state struct {
+	liab map[string]bool
+	acq  *acquireInfo
+}
+
+func (s state) clone() state {
+	m := make(map[string]bool, len(s.liab))
+	for k, v := range s.liab {
+		m[k] = v
+	}
+	return state{liab: m, acq: s.acq}
+}
+
+func (s state) set(key string, v bool) state {
+	c := s.clone()
+	c.liab[key] = v
+	return c
+}
+
+// merge ORs liabilities across branches that can both reach the join point.
+func merge(a, b state) state {
+	c := a.clone()
+	for k, v := range b.liab {
+		c.liab[k] = c.liab[k] || v
+	}
+	c.acq = nil
+	return c
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass}
+	st, terminated := c.walkStmts(body.List, state{liab: map[string]bool{}})
+	if terminated {
+		return
+	}
+	for key, liab := range st.liab {
+		if liab {
+			c.pass.Reportf(body.End()-1,
+				"unit acquired on %s can fall off the end of the function without Release", key)
+		}
+	}
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt, st state) (state, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		st, terminated = c.walkStmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, st state) (state, bool) {
+	// A function literal that releases a gate takes over the obligation
+	// (the release-func idiom); clear its liability wherever the literal
+	// is created.
+	st = c.clearClosureReleases(s, st)
+
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isNoReturnCall(c.pass, call) {
+			return st, true
+		}
+		return c.scanCalls(s, st), false
+	case *ast.AssignStmt:
+		return c.walkAssign(s, st), false
+	case *ast.DeclStmt:
+		return c.scanCalls(s, st), false
+	case *ast.DeferStmt:
+		if key, method, ok := gateMethod(c.pass, s.Call); ok && method == "Release" {
+			return st.set(key, false), false
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		st = c.clearClosureReleases(s, st) // return func(){g.Release(1)}, nil
+		for key, liab := range st.liab {
+			if liab {
+				c.pass.Reportf(s.Pos(),
+					"unit acquired on %s escapes without Release on this return path (PR 5 bug class); Release or defer Release before returning", key)
+			}
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, true // break/continue/goto: end this path conservatively
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		return c.walkIf(s, st)
+	case *ast.ForStmt:
+		bodySt := st
+		if s.Init != nil {
+			bodySt, _ = c.walkStmt(s.Init, bodySt)
+		}
+		after, _ := c.walkStmts(s.Body.List, bodySt)
+		return merge(st, after), false
+	case *ast.RangeStmt:
+		after, _ := c.walkStmts(s.Body.List, st)
+		return merge(st, after), false
+	case *ast.SwitchStmt:
+		return c.walkClauses(s.Init, s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		return c.walkClauses(s.Init, s.Body.List, st)
+	case *ast.SelectStmt:
+		return c.walkClauses(nil, s.Body.List, st)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st)
+	case *ast.GoStmt:
+		return st, false // closures were scanned above; a leak inside is its own unit
+	default:
+		return st, false
+	}
+}
+
+// walkAssign processes `err := g.Acquire(ctx, n)` / `ok := g.TryAcquire(n)`
+// (recording the guard variable) and any other gate calls in the statement.
+func (c *checker) walkAssign(as *ast.AssignStmt, st state) state {
+	if len(as.Rhs) == 1 && len(as.Lhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if key, method, ok := gateMethod(c.pass, call); ok && method != "Release" {
+				st = st.set(key, true)
+				var guard types.Object
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					if def := c.pass.Info.Defs[id]; def != nil {
+						guard = def
+					} else {
+						guard = c.pass.Info.Uses[id]
+					}
+				}
+				c2 := st.clone()
+				c2.acq = &acquireInfo{key: key, guard: guard, try: method == "TryAcquire"}
+				return c2
+			}
+		}
+	}
+	return c.scanCalls(as, st)
+}
+
+// scanCalls applies gate calls appearing anywhere in a statement (outside
+// function literals): Release clears liability, Acquire/TryAcquire set it.
+func (c *checker) scanCalls(n ast.Node, st state) state {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := gateMethod(c.pass, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Release":
+			st.liab[key] = false
+		case "Acquire", "TryAcquire":
+			st.liab[key] = true
+			st.acq = &acquireInfo{key: key, try: method == "TryAcquire"}
+		}
+		return true
+	})
+	return st
+}
+
+// walkIf handles the guard patterns around acquisition so failure paths are
+// not charged with a unit that was never granted.
+func (c *checker) walkIf(s *ast.IfStmt, st state) (state, bool) {
+	if s.Init != nil {
+		st, _ = c.walkStmt(s.Init, st)
+	}
+	bodySt, afterSt := st, st
+	if key, failureBody, ok := c.guardPolarity(s.Cond, st.acq); ok {
+		if failureBody {
+			bodySt = st.set(key, false) // body runs only when the acquire failed
+			afterSt = st.set(key, true)
+		} else {
+			bodySt = st.set(key, true)
+			afterSt = st.set(key, false)
+		}
+	}
+	stB, termB := c.walkStmts(s.Body.List, bodySt)
+	stE, termE := afterSt, false
+	if s.Else != nil {
+		stE, termE = c.walkStmt(s.Else, afterSt)
+	}
+	switch {
+	case termB && termE:
+		return st, true
+	case termB:
+		return stE, false
+	case termE:
+		return stB, false
+	default:
+		return merge(stB, stE), false
+	}
+}
+
+// guardPolarity classifies an if-condition as the success/failure check of
+// the pending acquire (or of a TryAcquire called directly in the
+// condition). failureBody reports whether the if-body is the failure path.
+func (c *checker) guardPolarity(cond ast.Expr, acq *acquireInfo) (key string, failureBody, ok bool) {
+	cond = ast.Unparen(cond)
+	// if !g.TryAcquire(n) { ... }   /   if g.TryAcquire(n) { ... }
+	neg := false
+	if ue, isNot := cond.(*ast.UnaryExpr); isNot && ue.Op == token.NOT {
+		neg = true
+		cond = ast.Unparen(ue.X)
+	}
+	if call, isCall := cond.(*ast.CallExpr); isCall {
+		if k, method, isGate := gateMethod(c.pass, call); isGate && method == "TryAcquire" {
+			return k, neg, true
+		}
+	}
+	if acq == nil || acq.guard == nil {
+		return "", false, false
+	}
+	if acq.try {
+		// if !ok { ... } / if ok { ... }
+		if id, isIdent := cond.(*ast.Ident); isIdent && c.pass.Info.Uses[id] == acq.guard {
+			return acq.key, neg, true
+		}
+		return "", false, false
+	}
+	// if err != nil { ... } / if err == nil { ... }
+	be, isBin := cond.(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return "", false, false
+	}
+	var idSide ast.Expr
+	switch {
+	case analysis.IsUntypedNil(c.pass.Info, be.Y):
+		idSide = be.X
+	case analysis.IsUntypedNil(c.pass.Info, be.X):
+		idSide = be.Y
+	default:
+		return "", false, false
+	}
+	id, isIdent := ast.Unparen(idSide).(*ast.Ident)
+	if !isIdent || c.pass.Info.Uses[id] != acq.guard {
+		return "", false, false
+	}
+	return acq.key, be.Op == token.NEQ, true
+}
+
+// walkClauses handles switch/type-switch/select bodies: every clause starts
+// from the same entry state; the join is the OR over clauses that can fall
+// out. The statement terminates only if every clause terminates and one of
+// them is the default (or it is a select, which always takes a clause).
+func (c *checker) walkClauses(init ast.Stmt, clauses []ast.Stmt, st state) (state, bool) {
+	if init != nil {
+		st, _ = c.walkStmt(init, st)
+	}
+	out := st
+	allTerminate := len(clauses) > 0
+	hasDefault := false
+	isSelect := false
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		entry := st
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			body = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			isSelect = true
+			body = cl.Body
+			if comm := cl.Comm; comm != nil {
+				entry, _ = c.walkStmt(comm, st)
+			}
+		}
+		clSt, clTerm := c.walkStmts(body, entry)
+		if clTerm {
+			continue
+		}
+		allTerminate = false
+		out = merge(out, clSt)
+	}
+	if allTerminate && (hasDefault || isSelect) {
+		return st, true
+	}
+	return out, false
+}
+
+// clearClosureReleases clears liability for any gate released inside a
+// function literal created by this statement: the closure now owns the
+// unit (the acquireReadGate release-func idiom).
+func (c *checker) clearClosureReleases(n ast.Node, st state) state {
+	cleared := map[string]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, method, ok := gateMethod(c.pass, call); ok && method == "Release" {
+				cleared[key] = true
+			}
+			return true
+		})
+		return false
+	})
+	if len(cleared) == 0 {
+		return st
+	}
+	out := st.clone()
+	for key := range cleared {
+		out.liab[key] = false
+	}
+	return out
+}
+
+// isNoReturnCall recognizes calls that never return — panic, os.Exit,
+// runtime.Goexit, log.Fatal*, and testing's Fatal/Fatalf/FailNow/Skip* —
+// so paths ending in them are not charged with a leak.
+func isNoReturnCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if pass.Info.Uses[id] == types.Universe.Lookup("panic") {
+			return true
+		}
+	}
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "os":
+		return obj.Name() == "Exit"
+	case "runtime":
+		return obj.Name() == "Goexit"
+	case "log":
+		switch obj.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	case "testing":
+		switch obj.Name() {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+// Package gatepair is the gatepair fixture: the PR 5 leaked-unit shapes
+// red, the defer/guard/release-func idioms green. It exercises the real
+// repro/internal/sem.Gate so method resolution matches the live tree.
+package gatepair
+
+import (
+	"context"
+
+	"repro/internal/sem"
+)
+
+func probe() error { return nil }
+func work()        {}
+
+// leakOnProbeError is the PR 5 bug shape: a unit acquired for the probe
+// escapes on the probe's error path.
+func leakOnProbeError(ctx context.Context, g *sem.Gate) error {
+	if err := g.Acquire(ctx, 1); err != nil {
+		return err
+	}
+	if err := probe(); err != nil {
+		return err // want "escapes without Release on this return path"
+	}
+	g.Release(1)
+	return nil
+}
+
+// leakFallsOffEnd acquires and never releases on the success path.
+func leakFallsOffEnd(g *sem.Gate) {
+	if g.TryAcquire(1) {
+		work()
+	}
+} // want "can fall off the end of the function without Release"
+
+// deferRelease is the blessed idiom: the failure return is guarded, every
+// later path is covered by the defer.
+func deferRelease(ctx context.Context, g *sem.Gate) error {
+	if err := g.Acquire(ctx, 1); err != nil {
+		return err
+	}
+	defer g.Release(1)
+	return probe()
+}
+
+// tryGuard pairs TryAcquire with its recorded ok guard.
+func tryGuard(g *sem.Gate) bool {
+	ok := g.TryAcquire(1)
+	if !ok {
+		return false
+	}
+	work()
+	g.Release(1)
+	return true
+}
+
+// inlineTry guards on the TryAcquire call itself.
+func inlineTry(g *sem.Gate) {
+	if !g.TryAcquire(1) {
+		return
+	}
+	defer g.Release(1)
+	work()
+}
+
+// releaseFunc hands the unit to a closure the caller must invoke — the
+// accel read-gate idiom.
+func releaseFunc(ctx context.Context, g *sem.Gate) (func(), error) {
+	if err := g.Acquire(ctx, 1); err != nil {
+		return nil, err
+	}
+	return func() { g.Release(1) }, nil
+}
+
+// goroutineHandsOff releases from a spawned goroutine: the closure owns the
+// unit from the moment it is created.
+func goroutineHandsOff(ctx context.Context, g *sem.Gate) error {
+	if err := g.Acquire(ctx, 1); err != nil {
+		return err
+	}
+	go func() {
+		defer g.Release(1)
+		work()
+	}()
+	return nil
+}
+
+// suppressed leaks deliberately (a sacrificial probe unit) and says why.
+func suppressed(ctx context.Context, g *sem.Gate) error {
+	if err := g.Acquire(ctx, 1); err != nil {
+		return err
+	}
+	//lint:allow gatepair fixture: sacrificial probe unit, reclaimed by gate teardown
+	return probe()
+}

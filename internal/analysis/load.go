@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked compilation unit.
+type Package struct {
+	// Path is the import path analyzers scope on: for test variants, the
+	// package under test.
+	Path string
+	// ImportPath is the unit's exact go-list identity (test variants carry
+	// the " [pkg.test]" suffix).
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// LoadConfig controls Load.
+type LoadConfig struct {
+	// Dir is the working directory for go list (defaults to the process
+	// working directory). Patterns are resolved relative to it.
+	Dir string
+	// Tests includes each matched package's test variants: the package
+	// recompiled with its in-package _test.go files, and the external
+	// _test package if one exists.
+	Tests bool
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	ForTest    string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -deps -export -json patterns...` and type-checks every
+// matched package from source, resolving imports through the toolchain's
+// export data. This is the offline equivalent of
+// golang.org/x/tools/go/packages.Load(NeedTypes|NeedSyntax): no network, no
+// modules beyond the standard library. Dependencies are *not* re-analyzed —
+// only the packages the patterns name come back.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := []string{"list", "-deps", "-export", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := map[string]*listPkg{}
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		lp := p
+		byPath[lp.ImportPath] = &lp
+		order = append(order, &lp)
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range order {
+		if !analyzable(lp, byPath) {
+			continue
+		}
+		pkg, err := typecheck(fset, lp, byPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// analyzable picks the compilation units worth running analyzers on:
+// packages the patterns matched directly, skipping generated test mains, and
+// skipping the plain variant of a package whose in-package test variant is
+// also loaded (the variant is a superset of its files — analyzing both would
+// double-report every finding in the non-test sources).
+func analyzable(lp *listPkg, byPath map[string]*listPkg) bool {
+	if lp.DepOnly || lp.Standard {
+		return false
+	}
+	if lp.Error != nil {
+		return false
+	}
+	if strings.HasSuffix(lp.ImportPath, ".test") {
+		return false // generated test main
+	}
+	if lp.ForTest == "" {
+		variant := lp.ImportPath + " [" + lp.ImportPath + ".test]"
+		if v, ok := byPath[variant]; ok && !v.DepOnly {
+			return false // the test variant supersedes this unit
+		}
+	}
+	return true
+}
+
+// basePath is the import path scoping should use: the package under test
+// for test variants, the import path itself otherwise. External test
+// packages ("pkg_test") keep their ForTest base too, so path-scoped
+// analyzers cover them as part of the package they exercise.
+func basePath(lp *listPkg) string {
+	if lp.ForTest != "" {
+		return lp.ForTest
+	}
+	return lp.ImportPath
+}
+
+// typecheck parses and type-checks one unit from source. Imports resolve via
+// the importer below; any parse or type error is fatal — analyzers require a
+// compiling tree, exactly like go vet.
+func typecheck(fset *token.FileSet, lp *listPkg, byPath map[string]*listPkg) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: newExportImporter(fset, lp, byPath),
+	}
+	tpkg, err := conf.Check(basePath(lp), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:       basePath(lp),
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// newExportImporter resolves one unit's imports from the export data files
+// `go list -export` reported, honoring the unit's ImportMap (which is how an
+// external test package sees the in-package test variant of the package
+// under test). A fresh importer per unit keeps the per-unit ImportMap from
+// leaking between units through the gc importer's internal cache.
+func newExportImporter(fset *token.FileSet, lp *listPkg, byPath map[string]*listPkg) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		resolved := path
+		if m, ok := lp.ImportMap[path]; ok {
+			resolved = m
+		}
+		dep, ok := byPath[resolved]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (resolved %q) importing into %s", path, resolved, lp.ImportPath)
+		}
+		return os.Open(dep.Export)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

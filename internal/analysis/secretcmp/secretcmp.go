@@ -1,0 +1,117 @@
+// Package secretcmp forbids timing-leaky comparisons of secret material.
+// PR 7 put a bearer token on the API's mutating endpoints; `==` or
+// bytes.Equal on the presented token returns at the first differing byte,
+// so response timing leaks how much of a guess is right — the classic
+// byte-at-a-time token recovery. The repo's blessed idiom is
+// subtle.ConstantTimeCompare over both byte slices.
+//
+// The analyzer flags ==/!= on string or []byte operands, and
+// bytes.Equal/strings.EqualFold calls, where either operand's name marks it
+// as secret material (token, secret, passw*, credential, bearer, apikey).
+// Presence checks against the empty string (`cfg.AuthToken == ""`) stay
+// legal: they compare against a public constant, not a guess.
+package secretcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the secretcmp checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "secretcmp",
+	Doc: "compare tokens/secrets with crypto/subtle.ConstantTimeCompare, not ==/bytes.Equal " +
+		"(early-exit compares leak match length through timing)",
+	Run: run,
+}
+
+var secretName = regexp.MustCompile(`(?i)(token|secret|passw|credential|bearer|apikey|api_key)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.CallExpr:
+				checkEqualCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !comparableSecretType(pass, be.X) || !comparableSecretType(pass, be.Y) {
+		return
+	}
+	if isEmptyStringLit(be.X) || isEmptyStringLit(be.Y) {
+		return // presence check, not a guess comparison
+	}
+	if namesSecret(pass, be.X) || namesSecret(pass, be.Y) {
+		pass.Reportf(be.Pos(),
+			"secret compared with %s leaks the match length through timing; use subtle.ConstantTimeCompare", be.Op)
+	}
+}
+
+func checkEqualCall(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil || len(call.Args) < 2 {
+		return
+	}
+	leaky := (obj.Pkg().Path() == "bytes" && obj.Name() == "Equal") ||
+		(obj.Pkg().Path() == "strings" && obj.Name() == "EqualFold")
+	if !leaky {
+		return
+	}
+	if namesSecret(pass, call.Args[0]) || namesSecret(pass, call.Args[1]) {
+		pass.Reportf(call.Pos(),
+			"%s.%s on a secret exits at the first differing byte; use subtle.ConstantTimeCompare",
+			obj.Pkg().Name(), obj.Name())
+	}
+}
+
+// comparableSecretType limits the check to string and []byte shapes —
+// the types secrets travel as.
+func comparableSecretType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return false
+}
+
+func isEmptyStringLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING && (lit.Value == `""` || lit.Value == "``")
+}
+
+// namesSecret reports whether any identifier or field name inside the
+// expression marks it as secret material. Literals never match: the names
+// under scrutiny are the program's own bindings, not payload text.
+func namesSecret(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && secretName.MatchString(id.Name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,11 @@
+package secretcmp
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/secretcmp", Analyzer)
+}

@@ -1,0 +1,47 @@
+// Package secretcmp is the secretcmp fixture: early-exit comparisons of
+// secret-named values red, presence checks and ConstantTimeCompare green.
+package secretcmp
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"strings"
+)
+
+func eqLeak(presented, storedToken string) bool {
+	return presented == storedToken // want "secret compared with =="
+}
+
+func neqLeak(apiKey, guess string) bool {
+	return apiKey != guess // want "secret compared with !="
+}
+
+func bytesLeak(token, guess []byte) bool {
+	return bytes.Equal(token, guess) // want "bytes.Equal on a secret"
+}
+
+func foldLeak(bearer, guess string) bool {
+	return strings.EqualFold(bearer, guess) // want "strings.EqualFold on a secret"
+}
+
+// Presence checks against the empty string are legal: "" is public
+// knowledge, so timing reveals nothing about the secret's bytes.
+func configured(authToken string) bool {
+	return authToken != ""
+}
+
+// constantTime is the blessed idiom.
+func constantTime(token, presented []byte) bool {
+	return subtle.ConstantTimeCompare(token, presented) == 1
+}
+
+// Non-secret names compare freely.
+func plainCompare(name, other string) bool {
+	return name == other
+}
+
+// suppressed shows the escape hatch: an explained allow pragma.
+func suppressed(tokenID, other string) bool {
+	//lint:allow secretcmp fixture: tokenID is a public identifier, not the secret
+	return tokenID == other
+}

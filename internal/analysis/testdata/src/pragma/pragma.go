@@ -1,0 +1,18 @@
+// Package pragma is the lintpragma fixture: a reasonless allow pragma and
+// one naming an unknown analyzer must each surface as a finding, and a
+// reasonless pragma must not suppress the diagnostic under it.
+package pragma
+
+import "errors"
+
+var errProbe = errors.New("probe")
+
+func reasonless(err error) bool {
+	//lint:allow errclass
+	return err == errProbe
+}
+
+func unknownAnalyzer(err error) bool {
+	//lint:allow nosuchcheck the checker this silences does not exist
+	return !errors.Is(err, errProbe)
+}

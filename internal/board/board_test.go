@@ -1,6 +1,7 @@
 package board
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -496,11 +497,11 @@ func TestCountFaultsIntoErrors(t *testing.T) {
 	if err := b.SetVCCBRAM(b.Platform.Cal.Vcrash - 0.01); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := b.CountFaultsInto(nil, b.BeginRun()); err != ErrNotOperating {
+	if _, _, _, err := b.CountFaultsInto(nil, b.BeginRun()); !errors.Is(err, ErrNotOperating) {
 		t.Fatalf("crashed board CountFaultsInto err = %v", err)
 	}
 	r := b.NewReader()
-	if _, _, _, err := r.CountInto(0, 1); err != ErrNotOperating {
+	if _, _, _, err := r.CountInto(0, 1); !errors.Is(err, ErrNotOperating) {
 		t.Fatalf("crashed board CountInto err = %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package sem
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -73,7 +74,7 @@ func TestAcquireRespectsContext(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- g.Acquire(ctx, 1) }()
 	cancel()
-	if err := <-done; err != context.Canceled {
+	if err := <-done; !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled Acquire returned %v", err)
 	}
 	// The cancelled waiter must not leave the gate wedged.

@@ -396,11 +396,16 @@ type ShardRetry struct {
 // within one job; GSeq is the server-wide total order the /v1/events
 // firehose streams and resumes by, and Job names the job the event belongs
 // to — both persist in the journal, so cursors survive restarts.
+//
+// A "truncated" event is synthetic: the daemon's journal dropped the job's
+// event history through Seq (the -job-live-segs cap evicted it mid-flight),
+// so a resume from earlier than that cannot be satisfied by anyone. Clients
+// should treat it as "events ≤ Seq are gone" and continue from Seq+1.
 type JobEvent struct {
 	Seq       int     `json:"seq"`
 	GSeq      int64   `json:"gseq,omitempty"`
 	Job       string  `json:"job,omitempty"`
-	Type      string  `json:"type"` // start | done | failed | campaign
+	Type      string  `json:"type"` // start | done | failed | campaign | truncated
 	Board     int     `json:"board,omitempty"`
 	Platform  string  `json:"platform,omitempty"`
 	Serial    string  `json:"serial,omitempty"`

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // TestFinishClassifiesCancellation drives Job.finish the way the worker
@@ -132,5 +133,26 @@ func TestFirehoseSequencingAndWindow(t *testing.T) {
 	}
 	if evs, _, ok := fh2.since(7); !ok || len(evs) != 1 || evs[0].GSeq != 8 {
 		t.Fatalf("live-edge resume = %+v, ok=%v", evs, ok)
+	}
+}
+
+// TestDecodeTruncationMarker pins the journal's handling of the store's
+// synthetic Truncated records: they decode to a payload-free "truncated"
+// event carrying the drop edge, and ordinary records around them still
+// decode from their payloads.
+func TestDecodeTruncationMarker(t *testing.T) {
+	recs := []store.EventRecord{
+		{Job: "job-0001", Seq: 9, GSeq: 42, Truncated: true},
+		{Job: "job-0001", Seq: 10, GSeq: 43, Payload: []byte(`{"seq":10,"gseq":43,"job":"job-0001","type":"start"}`)},
+	}
+	evs := decodeEventRecords(recs)
+	if len(evs) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(evs))
+	}
+	if evs[0].Type != "truncated" || evs[0].Seq != 9 || evs[0].GSeq != 42 || evs[0].Job != "job-0001" {
+		t.Fatalf("marker decoded as %+v", evs[0])
+	}
+	if evs[1].Type != "start" || evs[1].Seq != 10 {
+		t.Fatalf("event after marker decoded as %+v", evs[1])
 	}
 }

@@ -184,6 +184,13 @@ func (jn *journal) firehosePage(after int64, limit int) []JobEvent {
 func decodeEventRecords(recs []store.EventRecord) []JobEvent {
 	evs := make([]JobEvent, 0, len(recs))
 	for _, rec := range recs {
+		if rec.Truncated {
+			// Synthetic marker, no payload: the store dropped this job's
+			// history through rec.Seq. Surface it as its own event type so
+			// resuming clients see the gap instead of inferring one.
+			evs = append(evs, JobEvent{Seq: rec.Seq, GSeq: rec.GSeq, Job: rec.Job, Type: "truncated"})
+			continue
+		}
 		var ev JobEvent
 		if err := json.Unmarshal(rec.Payload, &ev); err != nil {
 			continue

@@ -39,6 +39,7 @@ type Disk struct {
 	evLogs      map[string]*jobLog
 	segSize     int
 	compactTail int
+	liveSegCap  int // sealed segments kept per live job; 0 = unlimited
 	compactCh   chan string
 	quit        chan struct{}
 	closeOnce   sync.Once

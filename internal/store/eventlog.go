@@ -77,6 +77,8 @@ type jobLog struct {
 	liveTail int       // tail events with Seq >= sealedTo
 	nextSeq  int       // 1 + highest Seq seen anywhere in the log
 	lastG    int64     // highest GSeq seen anywhere in the log
+	minAvail int       // 1 + highest Seq dropped by the live cap; 0 = nothing dropped
+	truncG   int64     // highest GSeq known dropped (conservative after reopen)
 	f        *os.File  // cached append handle; nil when closed
 }
 
@@ -119,6 +121,20 @@ func (d *Disk) SetEventLogTuning(segSize, compactTail int) {
 	}
 	if compactTail > 0 {
 		d.compactTail = compactTail
+	}
+}
+
+// SetLiveSegCap bounds how many sealed segments one job's event log may
+// accumulate while the job is still appending: each compaction drops the
+// oldest sealed segments past the cap, so a long-running campaign's journal
+// holds the newest cap*segSize sealed events plus the live tail instead of
+// its entire history. Readers paging below the dropped range receive a
+// synthetic Truncated marker record (see EventRecord.Truncated) in place of
+// the missing prefix, so deep resumes learn the history is gone instead of
+// silently skipping it. Zero or negative keeps the default: unlimited.
+func (d *Disk) SetLiveSegCap(n int) {
+	if n > 0 {
+		d.liveSegCap = n
 	}
 }
 
@@ -279,7 +295,15 @@ func (d *Disk) ReadJobEvents(id string, from, limit int) ([]EventRecord, error) 
 			out = append(out, ev)
 		}
 	}
-	return capEvents(sortDedupEvents(out), limit), nil
+	out = sortDedupEvents(out)
+	if jl.minAvail > 0 && from < jl.minAvail {
+		// The caller asked for history the live cap dropped: lead the page
+		// with a marker instead of a silent gap, so a deep SSE resume knows
+		// events through minAvail-1 are unrecoverable.
+		marker := EventRecord{Job: id, Seq: jl.minAvail - 1, GSeq: jl.truncG, Truncated: true}
+		out = append([]EventRecord{marker}, out...)
+	}
+	return capEvents(out, limit), nil
 }
 
 // JobEventStats reports the next event sequence and the highest global
@@ -326,7 +350,14 @@ func (d *Disk) ReadFirehose(after int64, limit int) ([]EventRecord, error) {
 			evs = append(evs, d.readSeg(id, sg)...)
 		}
 		evs = append(evs, d.readTail(id)...)
+		minAvail, truncG := jl.minAvail, jl.truncG
 		mu.RUnlock()
+		if minAvail > 0 && truncG > after {
+			// The resume point predates history the live cap dropped: mark
+			// the truncation at its global position so the consumer sees it
+			// before this job's surviving events.
+			all = append(all, EventRecord{Job: id, Seq: minAvail - 1, GSeq: truncG, Truncated: true})
+		}
 		evs = sortDedupEvents(evs)
 		for _, ev := range evs {
 			if ev.GSeq > after {
@@ -433,6 +464,7 @@ func (d *Disk) CompactJob(id string) error {
 		jl.sealedTo = sg.maxSeq + 1
 		sealed += d.segSize
 	}
+	d.enforceLiveSegCapLocked(id, jl)
 	rest := live[sealed:]
 	if sealed == 0 && len(rest) == len(tail) {
 		return nil // nothing sealed, no stale prefix: leave the tail alone
@@ -458,6 +490,29 @@ func (d *Disk) CompactJob(id string) error {
 	d.addJnBytes(buf.Len())
 	jl.liveTail = len(rest)
 	return nil
+}
+
+// enforceLiveSegCapLocked drops the oldest sealed segments past the live
+// cap, advancing the log's truncation edge so readers below it get a marker
+// instead of a silent gap. A segment that cannot be unlinked stays indexed
+// and the next compaction retries. Callers hold the job's stripe write lock.
+func (d *Disk) enforceLiveSegCapLocked(id string, jl *jobLog) {
+	if d.liveSegCap <= 0 {
+		return
+	}
+	for len(jl.segs) > d.liveSegCap {
+		sg := jl.segs[0]
+		if err := os.Remove(filepath.Join(d.jobSegsDir(id), sg.fileName())); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return
+		}
+		jl.segs = jl.segs[1:]
+		if sg.maxSeq+1 > jl.minAvail {
+			jl.minAvail = sg.maxSeq + 1
+		}
+		if sg.lastG > jl.truncG {
+			jl.truncG = sg.lastG
+		}
+	}
 }
 
 // TrimJobEvents drops sealed segments whose entire Seq range falls below
@@ -539,6 +594,16 @@ func (d *Disk) scanEventLogs() error {
 		}
 		return jl
 	}
+	// firstAvail tracks each job's lowest surviving (Seq, GSeq): job event
+	// sequences are dense from 0, so a log whose lowest Seq is positive lost
+	// its prefix to the live cap (or a retention trim) before the restart,
+	// and minAvail must be rederived so the truncation marker survives reboot.
+	type firstAvail struct {
+		seq int
+		g   int64
+		any bool
+	}
+	firsts := make(map[string]*firstAvail)
 	// Pass 1: segment directories, so sealedTo is known before tails are
 	// classified.
 	for _, de := range des {
@@ -562,6 +627,9 @@ func (d *Disk) scanEventLogs() error {
 			jl.segs = append(jl.segs, sg)
 		}
 		sort.Slice(jl.segs, func(i, j int) bool { return jl.segs[i].minSeq < jl.segs[j].minSeq })
+		if len(jl.segs) > 0 {
+			firsts[id] = &firstAvail{seq: jl.segs[0].minSeq, g: jl.segs[0].firstG, any: true}
+		}
 		for _, sg := range jl.segs {
 			if sg.maxSeq+1 > jl.sealedTo {
 				jl.sealedTo = sg.maxSeq + 1
@@ -584,6 +652,11 @@ func (d *Disk) scanEventLogs() error {
 			continue
 		}
 		jl := get(id)
+		fa := firsts[id]
+		if fa == nil {
+			fa = &firstAvail{}
+			firsts[id] = fa
+		}
 		for _, ev := range d.readTail(id) {
 			if ev.Seq >= jl.sealedTo {
 				jl.liveTail++
@@ -593,6 +666,20 @@ func (d *Disk) scanEventLogs() error {
 			}
 			if ev.GSeq > jl.lastG {
 				jl.lastG = ev.GSeq
+			}
+			if !fa.any || ev.Seq < fa.seq {
+				fa.seq, fa.g, fa.any = ev.Seq, ev.GSeq, true
+			}
+		}
+	}
+	for id, fa := range firsts {
+		if fa.any && fa.seq > 0 {
+			jl := logs[id]
+			jl.minAvail = fa.seq
+			// The dropped events' exact GSeqs are gone with them; everything
+			// below the first surviving GSeq is a safe over-approximation.
+			if fa.g > 0 {
+				jl.truncG = fa.g - 1
 			}
 		}
 	}

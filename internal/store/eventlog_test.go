@@ -436,3 +436,98 @@ func TestDiskTrimJobEvents(t *testing.T) {
 		t.Fatalf("reopened stats = (next %d, lastG %d), want (100, 100)", nextSeq, lastG)
 	}
 }
+
+// TestLiveSegCap exercises the mid-flight retention bound: with a live
+// sealed-segment cap set, compaction drops the oldest sealed segments of a
+// still-appending job, reads below the dropped range lead with a Truncated
+// marker instead of a silent gap, and the truncation edge survives a reopen.
+func TestLiveSegCap(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetEventLogTuning(4, 1<<30) // tiny segments, manual compaction only
+	d.SetLiveSegCap(2)
+	const n = 40 // seals 10 segments of 4; cap keeps the newest 2
+	appendN(t, d, "job-0001", 0, n, 1)
+	if err := d.CompactJob("job-0001"); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := os.ReadDir(d.jobSegsDir("job-0001"))
+	if len(segs) != 2 {
+		t.Fatalf("cap left %d sealed segments on disk, want 2", len(segs))
+	}
+	// Seqs 0..31 are gone; 32..39 survive in the two newest segments.
+	const minAvail = n - 2*4
+
+	verify := func(s Store, label string) {
+		t.Helper()
+		evs, err := s.ReadJobEvents("job-0001", 0, 0)
+		if err != nil {
+			t.Fatalf("%s: deep read: %v", label, err)
+		}
+		if len(evs) != 1+8 {
+			t.Fatalf("%s: deep read = %d records, want marker + 8 events", label, len(evs))
+		}
+		m := evs[0]
+		if !m.Truncated || m.Seq != minAvail-1 || m.Job != "job-0001" || len(m.Payload) != 0 {
+			t.Fatalf("%s: deep read must lead with a truncation marker at seq %d, got %+v", label, minAvail-1, m)
+		}
+		for i, ev := range evs[1:] {
+			if ev.Truncated || ev.Seq != minAvail+i {
+				t.Fatalf("%s: surviving event %d = %+v", label, i, ev)
+			}
+		}
+		// A read at or above the truncation edge sees no marker.
+		evs, _ = s.ReadJobEvents("job-0001", minAvail, 0)
+		if len(evs) != 8 || evs[0].Truncated {
+			t.Fatalf("%s: read from %d = %d records (first truncated=%v), want 8 plain events",
+				label, minAvail, len(evs), len(evs) > 0 && evs[0].Truncated)
+		}
+		// A deep firehose resume carries the marker before the survivors...
+		fh, err := s.ReadFirehose(0, 0)
+		if err != nil {
+			t.Fatalf("%s: firehose: %v", label, err)
+		}
+		if len(fh) != 1+8 || !fh[0].Truncated {
+			t.Fatalf("%s: firehose from 0 = %d records (first truncated=%v), want marker + 8",
+				label, len(fh), len(fh) > 0 && fh[0].Truncated)
+		}
+		// ...and a resume past the edge streams clean.
+		if fh, _ := s.ReadFirehose(fh[0].GSeq, 0); len(fh) != 8 || fh[0].Truncated {
+			t.Fatalf("%s: firehose past the edge = %d records, want 8 plain events", label, len(fh))
+		}
+		// The frontier never rewinds: new appends continue the sequence.
+		nextSeq, lastG, _ := s.JobEventStats("job-0001")
+		if nextSeq != n || lastG != int64(n) {
+			t.Fatalf("%s: stats = (next %d, lastG %d), want (%d, %d)", label, nextSeq, lastG, n, n)
+		}
+	}
+	verify(d, "live")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the truncation edge is rederived from the surviving layout.
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	verify(d2, "reopened")
+
+	// The job is still live: appends keep flowing and the next compaction
+	// advances the edge rather than resurrecting history.
+	d2.SetEventLogTuning(4, 1<<30)
+	d2.SetLiveSegCap(2)
+	appendN(t, d2, "job-0001", n, 8, int64(n)+1)
+	if err := d2.CompactJob("job-0001"); err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := d2.ReadJobEvents("job-0001", 0, 0)
+	if len(evs) != 1+8 || !evs[0].Truncated || evs[0].Seq != n-1 {
+		t.Fatalf("after more appends: %d records, marker seq %d, want marker at %d + 8 events",
+			len(evs), evs[0].Seq, n-1)
+	}
+}

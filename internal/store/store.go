@@ -191,6 +191,12 @@ type EventRecord struct {
 	Seq     int             `json:"seq"`
 	GSeq    int64           `json:"gseq"`
 	Payload json.RawMessage `json:"payload"`
+	// Truncated marks a synthetic marker record, never an appended event:
+	// the store dropped this job's history at and below Seq (a live
+	// sealed-segment cap evicted the oldest segments), so a reader paging
+	// from earlier than this cannot get those events from anyone. Marker
+	// records carry no Payload.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // ValidJobID reports whether id is safe to use as a journal filename:
