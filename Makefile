@@ -14,7 +14,11 @@ THRESHOLD ?= 30
 # (fsync-noisy): tight threshold, separate compare pass below.
 JOURNAL_THRESHOLD ?= 10
 
-.PHONY: build test race lint bench bench-smoke bench-json bench-compare loadgen loadgen-smoke federation-smoke federation-smoke-race
+.PHONY: build test race lint bench bench-smoke bench-json bench-compare loadgen loadgen-smoke federation-smoke federation-smoke-race chaos-smoke chaos-smoke-race
+
+# The chaos seed is pinned so CI failures replay locally: the same seed
+# reproduces the same fault schedule bit-for-bit.
+CHAOS_SEED ?= 20260808
 
 build:
 	$(GO) build ./...
@@ -97,3 +101,18 @@ federation-smoke:
 # widest cross-daemon interleaving the repo can check (CI race job).
 federation-smoke-race:
 	$(GO) run -race ./cmd/fpgavoltd-loadgen -selfhost -federate 3 -clients 100 -jobs 100
+
+# CI chaos smoke: the federated drive with deterministic fault injection on
+# every coordinator→daemon request — added latency, connection resets,
+# injected 503s, torn and stalled SSE streams, scheduled purely by
+# CHAOS_SEED. The zero-drop delivery gate is unchanged: retries, breakers,
+# and stream resumes must absorb every fault without losing a single event
+# or failing a job.
+chaos-smoke:
+	$(GO) run ./cmd/fpgavoltd-loadgen -selfhost -federate 3 -clients 50 -jobs 60 -chaos $(CHAOS_SEED)
+
+# Chaos under the race detector: fault-injection paths (breaker trips,
+# stream resumes, degraded-journal markers) are exactly the interleavings a
+# fair-weather run never exercises.
+chaos-smoke-race:
+	$(GO) run -race ./cmd/fpgavoltd-loadgen -selfhost -federate 3 -clients 50 -jobs 60 -chaos $(CHAOS_SEED)

@@ -16,7 +16,16 @@
 //	fpgavoltctl -downstream http://host1:8080 -downstream http://host2:8080
 //	            [-listen :9090] [-store fed-store] [-max-boards 256]
 //	            [-chunk-boards 4] [-retry-limit 3] [-health-every 1s]
-//	            [-job-retain 0] [-auth-token ""] [-downstream-token ""]
+//	            [-health-fail 3] [-health-ok 2] [-downstream-timeout 15s]
+//	            [-stream-retries 5] [-job-retain 0] [-auth-token ""]
+//	            [-downstream-token ""]
+//
+// Every daemon sits behind a circuit breaker: -health-fail consecutive
+// failures (probes or real calls) trip it open, -health-ok consecutive
+// successes close it again, so one dropped probe never flaps a daemon out of
+// the shard plan. -downstream-timeout bounds every non-streaming downstream
+// call; broken event streams are resumed in place up to -stream-retries
+// times before the shard fails over.
 //
 // -auth-token (or FPGAVOLTCTL_TOKEN) gates the coordinator's own mutating
 // endpoints; -downstream-token (or FPGAVOLTD_TOKEN) is the bearer token the
@@ -72,6 +81,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		chunkBoards  = fs.Int("chunk-boards", 4, "boards per downstream shard (smaller steals better)")
 		retryLimit   = fs.Int("retry-limit", 3, "attempts per shard before its boards fail")
 		healthEvery  = fs.Duration("health-every", time.Second, "downstream health-check cadence")
+		healthFail   = fs.Int("health-fail", 3, "consecutive probe/call failures that trip a daemon's circuit breaker open")
+		healthOk     = fs.Int("health-ok", 2, "consecutive successes that close a tripped breaker again")
+		downTimeout  = fs.Duration("downstream-timeout", 15*time.Second, "deadline on every non-streaming coordinator→daemon call")
+		streamRetry  = fs.Int("stream-retries", 5, "consecutive fruitless event-stream resumes before a shard fails over")
 		jobRetain    = fs.Int("job-retain", 0, "trim a finished job's journaled event log to its last N events; 0 = keep everything")
 		authToken    = fs.String("auth-token", "", "bearer token required on mutating endpoints (default $FPGAVOLTCTL_TOKEN; empty = open)")
 		downToken    = fs.String("downstream-token", "", "bearer token presented to the daemons (default $FPGAVOLTD_TOKEN)")
@@ -95,15 +108,19 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 	coord, err := fpgavolt.NewFederation(fpgavolt.FederationConfig{
-		Downstreams:     downstreams,
-		Store:           st,
-		MaxBoards:       *maxBoards,
-		ChunkBoards:     *chunkBoards,
-		RetryLimit:      *retryLimit,
-		HealthEvery:     *healthEvery,
-		JobRetain:       *jobRetain,
-		AuthToken:       *authToken,
-		DownstreamToken: *downToken,
+		Downstreams:       downstreams,
+		Store:             st,
+		MaxBoards:         *maxBoards,
+		ChunkBoards:       *chunkBoards,
+		RetryLimit:        *retryLimit,
+		HealthEvery:       *healthEvery,
+		HealthFailN:       *healthFail,
+		HealthOkN:         *healthOk,
+		DownstreamTimeout: *downTimeout,
+		StreamRetries:     *streamRetry,
+		JobRetain:         *jobRetain,
+		AuthToken:         *authToken,
+		DownstreamToken:   *downToken,
 	})
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@
 //
 //	fpgavoltd-loadgen -selfhost [-clients 200] [-jobs 200] [-out lg.json]
 //	fpgavoltd-loadgen -selfhost -federate 3 [-clients 200] ...
+//	fpgavoltd-loadgen -selfhost -federate 3 -chaos 20260808 ...
 //	fpgavoltd-loadgen -addr http://127.0.0.1:8080 [-clients 200] ...
 //
 // With -selfhost the tool boots an in-process fpgavoltd (disk store in a
@@ -23,6 +24,13 @@
 // density, so the run fails (exit 1) if even one event is dropped. Submit
 // hitting admission control (503 queue-full) backs off and retries — those
 // retries are counted, not fatal.
+//
+// -chaos <seed> (federated selfhost only) routes every coordinator→daemon
+// request through the deterministic fault injector: added latency, connection
+// resets, injected 503s, and torn/stalled SSE streams, all scheduled purely
+// by the seed and a request counter. The zero-drop gates still apply — the
+// run fails if chaos costs a single event — and the same seed replays the
+// same fault schedule, so a chaos failure is reproducible.
 //
 // -out writes the benchjson baseline schema: p50/p95/p99 per endpoint (with
 // p95 doubling as ns/op so `benchjson -compare` gates on it), journal
@@ -49,6 +57,7 @@ import (
 	"time"
 
 	"repro/fpgavolt"
+	"repro/internal/chaos"
 )
 
 func main() {
@@ -163,20 +172,21 @@ func measureCalibration() benchResult {
 func run(ctx context.Context, args []string, w io.Writer) int {
 	fs := flag.NewFlagSet("fpgavoltd-loadgen", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "", "base URL of a running fpgavoltd (empty with -selfhost)")
-		selfhost = fs.Bool("selfhost", false, "boot an in-process daemon on loopback and drive that")
-		storeDir = fs.String("store", "", "selfhost store directory (empty = temp dir, removed after)")
-		clients  = fs.Int("clients", 200, "concurrent client workers")
-		jobs     = fs.Int("jobs", 200, "total campaigns to submit across all workers")
-		replicas = fs.Int("replicas", 4, "boards per campaign (events per job scale with it)")
-		brams    = fs.Int("brams", 1, "BRAMs per simulated board (campaign size knob)")
-		runs     = fs.Int("runs", 1, "read-pass runs per voltage level")
-		workers  = fs.Int("workers", runtime.NumCPU(), "selfhost: concurrent campaign jobs (per daemon when federated)")
-		queue    = fs.Int("queue", 32, "selfhost: pending-job queue depth (admission-control bound, per daemon when federated)")
-		federate = fs.Int("federate", 0, "selfhost: shard across N in-process daemons behind a federation coordinator (0 = single daemon)")
-		timeout  = fs.Duration("timeout", 5*time.Minute, "overall run deadline")
-		label    = fs.String("label", "loadgen", "benchjson baseline label")
-		out      = fs.String("out", "", "write a benchjson baseline file")
+		addr      = fs.String("addr", "", "base URL of a running fpgavoltd (empty with -selfhost)")
+		selfhost  = fs.Bool("selfhost", false, "boot an in-process daemon on loopback and drive that")
+		storeDir  = fs.String("store", "", "selfhost store directory (empty = temp dir, removed after)")
+		clients   = fs.Int("clients", 200, "concurrent client workers")
+		jobs      = fs.Int("jobs", 200, "total campaigns to submit across all workers")
+		replicas  = fs.Int("replicas", 4, "boards per campaign (events per job scale with it)")
+		brams     = fs.Int("brams", 1, "BRAMs per simulated board (campaign size knob)")
+		runs      = fs.Int("runs", 1, "read-pass runs per voltage level")
+		workers   = fs.Int("workers", runtime.NumCPU(), "selfhost: concurrent campaign jobs (per daemon when federated)")
+		queue     = fs.Int("queue", 32, "selfhost: pending-job queue depth (admission-control bound, per daemon when federated)")
+		federate  = fs.Int("federate", 0, "selfhost: shard across N in-process daemons behind a federation coordinator (0 = single daemon)")
+		chaosSeed = fs.Uint64("chaos", 0, "inject deterministic faults on every coordinator→daemon call, scheduled by this seed (0 = off; needs -federate)")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "overall run deadline")
+		label     = fs.String("label", "loadgen", "benchjson baseline label")
+		out       = fs.String("out", "", "write a benchjson baseline file")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -194,10 +204,15 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 		fmt.Fprintln(w, "fpgavoltd-loadgen: -federate needs -selfhost (with -addr, point it at a running fpgavoltctl instead)")
 		return 2
 	}
+	if *chaosSeed != 0 && *federate == 0 {
+		fmt.Fprintln(w, "fpgavoltd-loadgen: -chaos needs -federate (faults are injected on the coordinator→daemon hop)")
+		return 2
+	}
 	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
 
 	base := *addr
+	var chaosT *chaos.Transport
 	var journalBytes func() uint64
 	if *selfhost {
 		dir := *storeDir
@@ -254,11 +269,22 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 				}()
 				urls = append(urls, "http://"+dln.Addr().String())
 			}
-			coord, err := fpgavolt.NewFederation(fpgavolt.FederationConfig{
+			fedCfg := fpgavolt.FederationConfig{
 				Downstreams:   urls,
 				Store:         st,
 				MaxJobHistory: *jobs + 16,
-			})
+			}
+			if *chaosSeed != 0 {
+				chaosT = chaos.New(*chaosSeed, nil)
+				fedCfg.HTTPClient = &http.Client{Transport: chaosT}
+				// Chaos eats attempts: give shards and streams more retry
+				// budget, and probe fast enough that a breaker tripped by an
+				// injected fault recovers within the run.
+				fedCfg.RetryLimit = 8
+				fedCfg.StreamRetries = 8
+				fedCfg.HealthEvery = 100 * time.Millisecond
+			}
+			coord, err := fpgavolt.NewFederation(fedCfg)
 			if err != nil {
 				fmt.Fprintln(w, "fpgavoltd-loadgen:", err)
 				return 2
@@ -339,6 +365,9 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 
 	fmt.Fprintf(w, "%d jobs over %d clients: %d events streamed, %d firehose events, %d submit retries, dropped %d\n",
 		*jobs, *clients, totalEvents, g.fhEvents.Load(), g.retries.Load(), g.dropped.Load())
+	if chaosT != nil {
+		fmt.Fprintf(w, "chaos seed %d: %s\n", *chaosSeed, chaosT.Report())
+	}
 	for _, r := range results {
 		switch {
 		case r.Metrics["p50-ns"] > 0:

@@ -1,0 +1,93 @@
+// Package ctxhttp enforces context plumbing on outbound HTTP. The
+// federation's resilience story — per-call deadlines on every coordinator →
+// daemon request, cancellation that actually severs a stuck stream — only
+// holds if every request is built with http.NewRequestWithContext. A bare
+// http.NewRequest (or the package-level http.Get / client.Get sugar, which
+// bake in context.Background) produces a request no deadline or shutdown can
+// reach: the call pins its goroutine until the kernel gives up. So inside
+// internal/fed and internal/server (tests excluded — they talk to local
+// httptest listeners that cannot hang) this analyzer reports:
+//
+//   - http.NewRequest anywhere (use http.NewRequestWithContext);
+//   - the context-free request sugar: package-level http.Get / Post /
+//     PostForm / Head, and the same methods on *http.Client.
+//
+// (*http.Client).Do stays legal: it carries whatever context the request
+// was built with, which is exactly the discipline being enforced.
+package ctxhttp
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxhttp checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxhttp",
+	Doc: "inside internal/fed and internal/server, outbound requests must be built with " +
+		"http.NewRequestWithContext — never http.NewRequest or the Get/Post sugar, which no deadline can cancel",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathScoped(pass.Path, "fed", "server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests hit local httptest listeners that cannot hang
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// requestSugar is the context-free convenience surface, shared by the
+// package-level functions and the *http.Client methods.
+var requestSugar = map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if recv := sig.Recv(); recv != nil {
+		// Only *http.Client's request sugar is banned; Do carries the
+		// request's own context.
+		if !strings.HasSuffix(recv.Type().String(), "net/http.Client") {
+			return
+		}
+		if requestSugar[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"(*http.Client).%s bakes in context.Background — build the request with http.NewRequestWithContext and use Do", fn.Name())
+		}
+		return
+	}
+	switch {
+	case fn.Name() == "NewRequest":
+		pass.Reportf(call.Pos(),
+			"http.NewRequest builds a request no deadline or shutdown can cancel; use http.NewRequestWithContext")
+	case requestSugar[fn.Name()]:
+		pass.Reportf(call.Pos(),
+			"http.%s bakes in context.Background — build the request with http.NewRequestWithContext and use (*http.Client).Do", fn.Name())
+	}
+}

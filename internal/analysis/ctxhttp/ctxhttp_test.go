@@ -1,0 +1,11 @@
+package ctxhttp
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fed", Analyzer)
+}

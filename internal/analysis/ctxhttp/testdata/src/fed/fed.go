@@ -1,0 +1,42 @@
+// Package fed is the ctxhttp fixture: context-free request construction
+// red, http.NewRequestWithContext + Do (and suppressed lines) green.
+package fed
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+func bareRequest(u string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, u, nil) // want "http.NewRequest builds a request no deadline or shutdown can cancel"
+}
+
+func packageSugar(u string) {
+	http.Get(u)                                               // want "http.Get bakes in context.Background"
+	http.Post(u, "application/json", strings.NewReader("{}")) // want "http.Post bakes in context.Background"
+	http.PostForm(u, url.Values{})                            // want "http.PostForm bakes in context.Background"
+	http.Head(u)                                              // want "http.Head bakes in context.Background"
+}
+
+func clientSugar(cl *http.Client, u string) {
+	cl.Get(u)  // want "(*http.Client).Get bakes in context.Background"
+	cl.Head(u) // want "(*http.Client).Head bakes in context.Background"
+}
+
+// blessed is the enforced discipline: the request carries a caller context,
+// and Do honors it.
+func blessed(ctx context.Context, cl *http.Client, u string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Do(req)
+}
+
+// scratch shows the escape hatch: an explained allow pragma.
+func scratch(u string) {
+	//lint:allow ctxhttp fixture: fire-and-forget beacon, deliberately unbounded
+	http.Get(u)
+}

@@ -1,0 +1,10 @@
+package fed
+
+import "net/http"
+
+// Tests are exempt: they talk to local httptest listeners that cannot hang,
+// and the convenience calls keep them readable. No want comment here proves
+// the _test.go skip works.
+func hitLocalFixture(u string) {
+	http.Get(u)
+}

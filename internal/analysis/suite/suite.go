@@ -6,6 +6,7 @@ package suite
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicfs"
+	"repro/internal/analysis/ctxhttp"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/errclass"
 	"repro/internal/analysis/gatepair"
@@ -16,6 +17,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicfs.Analyzer,
+		ctxhttp.Analyzer,
 		detrand.Analyzer,
 		errclass.Analyzer,
 		gatepair.Analyzer,

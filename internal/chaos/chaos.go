@@ -1,0 +1,317 @@
+// Package chaos is a deterministic, seed-driven fault injector for the
+// serving stack — the software counterpart of the paper's method of running
+// hardware under deliberately injected stress and measuring how gracefully
+// it degrades.
+//
+// Transport wraps any http.RoundTripper and injects transport-level faults:
+// added latency, connection resets, synthesized 503s, and — on SSE
+// responses — truncated bodies, bounded stalls, and dropped byte ranges.
+// Every decision is a pure function of (seed, request ordinal) through the
+// SplitMix64 mixer in internal/prng: no wall clock, no global generator, so
+// the same seed over the same request ordinals replays the same fault
+// schedule bit-identically (Plan exposes the schedule directly). The store
+// counterpart lives in internal/store as FaultHooks (fsync failure, ENOSPC
+// on append, rename failure mid-atomicWrite) so disk-path degradation is
+// injectable with the same discipline.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// Fault identifies one injected failure mode.
+type Fault uint8
+
+const (
+	// FaultNone: the request proceeds untouched.
+	FaultNone Fault = iota
+	// FaultLatency delays the request before it is forwarded.
+	FaultLatency
+	// FaultReset fails the request with a connection reset before any bytes
+	// leave the process — so a reset POST never creates downstream state.
+	FaultReset
+	// Fault503 answers with a synthesized 503 without forwarding, the shape
+	// of a daemon's admission control refusing work.
+	Fault503
+	// FaultTruncate ends an SSE response body early with a clean EOF (no
+	// terminal event: the client sees an unexpectedly ended stream).
+	FaultTruncate
+	// FaultStall freezes an SSE body for a bounded interval, then resets it.
+	FaultStall
+	// FaultDrop silently discards a byte range mid-SSE-body, tearing a frame.
+	FaultDrop
+
+	numFaults
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultLatency:
+		return "latency"
+	case FaultReset:
+		return "reset"
+	case Fault503:
+		return "inject503"
+	case FaultTruncate:
+		return "truncate"
+	case FaultStall:
+		return "stall"
+	case FaultDrop:
+		return "drop-bytes"
+	}
+	return "unknown"
+}
+
+// Profile is the fault mix: per-mille rates per request (pre-flight faults)
+// and per streaming response (body faults), plus the magnitude bounds the
+// schedule draws from. Magnitudes affect only how long a fault takes, never
+// whether or where one fires, so two runs with one seed inject the same
+// faults at the same request ordinals and byte offsets regardless of
+// machine speed.
+type Profile struct {
+	// Pre-flight faults, applied to every request before it is forwarded.
+	ResetPerMille   int
+	Inject503PM     int
+	LatencyPerMille int
+	// Body faults, applied only to text/event-stream responses.
+	TruncatePerMille int
+	StallPerMille    int
+	DropPerMille     int
+	// MaxLatency bounds FaultLatency delays; MaxStall bounds FaultStall.
+	MaxLatency time.Duration
+	MaxStall   time.Duration
+}
+
+// DefaultProfile is the mix the -chaos flag uses: every fault class fires
+// often enough that a few hundred requests exercise all of them, while the
+// rates stay low enough that bounded retry budgets always win.
+func DefaultProfile() Profile {
+	return Profile{
+		ResetPerMille:    20,  // 2% of requests reset before sending
+		Inject503PM:      30,  // 3% answered 503 without forwarding
+		LatencyPerMille:  100, // 10% delayed
+		TruncatePerMille: 120, // 12% of SSE streams end early
+		StallPerMille:    80,  // 8% freeze, then reset
+		DropPerMille:     120, // 12% lose a mid-stream byte range
+		MaxLatency:       25 * time.Millisecond,
+		MaxStall:         400 * time.Millisecond,
+	}
+}
+
+// Decision is the complete fault plan for one request ordinal.
+type Decision struct {
+	// Pre is the pre-flight fault: FaultNone, FaultLatency (delay Latency),
+	// FaultReset, or Fault503.
+	Pre     Fault
+	Latency time.Duration
+	// Stream is the body fault armed for this request, applied only if the
+	// response turns out to be an SSE stream: FaultNone, FaultTruncate,
+	// FaultStall, or FaultDrop. After is the clean byte count delivered
+	// before it fires; Skip is the dropped range for FaultDrop; Stall is the
+	// freeze duration for FaultStall.
+	Stream Fault
+	After  int64
+	Skip   int64
+	Stall  time.Duration
+}
+
+// Plan returns the deterministic decision for request ordinal k under seed:
+// a pure function of its arguments, so replaying the same ordinals replays
+// the same schedule. Transport numbers requests in arrival order; under
+// concurrency the ordinal→request pairing follows goroutine scheduling, but
+// the schedule itself — which ordinals fault, and how — is fixed by the seed.
+func Plan(seed uint64, p Profile, k uint64) Decision {
+	// An independent draw stream per ordinal: mixing k before xoring keeps
+	// neighboring ordinals' streams uncorrelated.
+	s0 := prng.Mix64(seed ^ prng.Mix64(k+0x9e3779b97f4a7c15))
+	draw := func(i uint64) uint64 { return prng.Mix64(s0 + i) }
+
+	var d Decision
+	switch w := draw(0) % 1000; {
+	case w < uint64(p.ResetPerMille):
+		d.Pre = FaultReset
+	case w < uint64(p.ResetPerMille+p.Inject503PM):
+		d.Pre = Fault503
+	case w < uint64(p.ResetPerMille+p.Inject503PM+p.LatencyPerMille):
+		d.Pre = FaultLatency
+		if p.MaxLatency > 0 {
+			d.Latency = time.Millisecond + time.Duration(draw(1)%uint64(p.MaxLatency))
+		}
+	}
+	switch w := draw(2) % 1000; {
+	case w < uint64(p.TruncatePerMille):
+		d.Stream = FaultTruncate
+	case w < uint64(p.TruncatePerMille+p.StallPerMille):
+		d.Stream = FaultStall
+		if p.MaxStall > 0 {
+			d.Stall = 10*time.Millisecond + time.Duration(draw(3)%uint64(p.MaxStall))
+		}
+	case w < uint64(p.TruncatePerMille+p.StallPerMille+p.DropPerMille):
+		d.Stream = FaultDrop
+		d.Skip = 16 + int64(draw(4)%512)
+	}
+	// Enough clean bytes that the SSE preamble and some events get through
+	// before the body fault fires — mid-stream breaks, not connect failures.
+	d.After = 64 + int64(draw(5)%4096)
+	return d
+}
+
+// Transport is a chaos-injecting http.RoundTripper. Wrap the transport a
+// client would otherwise use (nil means http.DefaultTransport) and hand the
+// result to an http.Client.
+type Transport struct {
+	seed    uint64
+	profile Profile
+	inner   http.RoundTripper
+
+	n      atomic.Uint64
+	counts [numFaults]atomic.Uint64
+}
+
+// New returns a Transport over inner with the default profile.
+func New(seed uint64, inner http.RoundTripper) *Transport {
+	return NewWithProfile(seed, DefaultProfile(), inner)
+}
+
+// NewWithProfile returns a Transport over inner with an explicit fault mix.
+func NewWithProfile(seed uint64, p Profile, inner http.RoundTripper) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{seed: seed, profile: p, inner: inner}
+}
+
+// resetErr is the injected connection reset: a *net.OpError wrapping
+// ECONNRESET, the same shape a severed TCP connection produces, so callers'
+// transport-error classification cannot tell chaos from a real dead peer.
+func resetErr() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+// RoundTrip numbers the request, applies its planned pre-flight fault, and
+// arms the planned body fault when the response is an SSE stream.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	k := t.n.Add(1) - 1
+	d := Plan(t.seed, t.profile, k)
+	switch d.Pre {
+	case FaultLatency:
+		t.counts[FaultLatency].Add(1)
+		timer := time.NewTimer(d.Latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	case FaultReset:
+		t.counts[FaultReset].Add(1)
+		return nil, resetErr()
+	case Fault503:
+		t.counts[Fault503].Add(1)
+		const body = `{"error":"chaos: injected 503"}`
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || d.Stream == FaultNone || !isEventStream(resp) {
+		return resp, err
+	}
+	t.counts[d.Stream].Add(1)
+	resp.Body = &faultBody{rc: resp.Body, d: d, remaining: d.After}
+	return resp, nil
+}
+
+// Requests reports how many requests the transport has numbered.
+func (t *Transport) Requests() uint64 { return t.n.Load() }
+
+// Counts reports how many faults of each kind have been injected.
+func (t *Transport) Counts() map[Fault]uint64 {
+	out := make(map[Fault]uint64, int(numFaults))
+	for f := FaultLatency; f < numFaults; f++ {
+		if n := t.counts[f].Load(); n > 0 {
+			out[f] = n
+		}
+	}
+	return out
+}
+
+// Report is a one-line human summary of what has been injected so far.
+func (t *Transport) Report() string {
+	c := func(f Fault) uint64 { return t.counts[f].Load() }
+	return fmt.Sprintf("chaos: %d requests — %d delayed, %d reset, %d injected 503, %d truncated, %d stalled, %d dropped-bytes",
+		t.Requests(), c(FaultLatency), c(FaultReset), c(Fault503),
+		c(FaultTruncate), c(FaultStall), c(FaultDrop))
+}
+
+func isEventStream(resp *http.Response) bool {
+	return resp != nil && strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream")
+}
+
+// faultBody delivers d.After clean bytes of a streaming response, then
+// fires the armed body fault: truncate (clean EOF), stall (a bounded freeze
+// followed by a reset), or drop (a skipped byte range that tears the
+// current SSE frame, then passthrough).
+type faultBody struct {
+	rc        io.ReadCloser
+	d         Decision
+	remaining int64
+	tripped   bool
+	stalled   bool
+}
+
+func (b *faultBody) Read(p []byte) (int, error) {
+	if !b.tripped && b.remaining <= 0 {
+		b.tripped = true
+	}
+	if b.tripped {
+		switch b.d.Stream {
+		case FaultTruncate:
+			return 0, io.EOF
+		case FaultStall:
+			if !b.stalled {
+				b.stalled = true
+				// The stall is bounded by the schedule, never by the wall
+				// clock: the decision already fixed its duration.
+				time.Sleep(b.d.Stall)
+			}
+			return 0, resetErr()
+		case FaultDrop:
+			if b.d.Skip > 0 {
+				if _, err := io.CopyN(io.Discard, b.rc, b.d.Skip); err != nil {
+					b.d.Skip = 0
+					return 0, err
+				}
+				b.d.Skip = 0
+			}
+			return b.rc.Read(p)
+		}
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}
+
+func (b *faultBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Plan is pure: the same (seed, profile, ordinal) always yields the same
+// decision, and distinct seeds yield distinct schedules.
+func TestPlanDeterministic(t *testing.T) {
+	p := DefaultProfile()
+	for k := uint64(0); k < 2000; k++ {
+		a, b := Plan(42, p, k), Plan(42, p, k)
+		if a != b {
+			t.Fatalf("Plan(42, k=%d) not deterministic: %+v vs %+v", k, a, b)
+		}
+	}
+	diff := 0
+	for k := uint64(0); k < 2000; k++ {
+		if Plan(1, p, k) != Plan(2, p, k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical 2000-request schedules")
+	}
+}
+
+// Every fault class fires within a modest request budget under the default
+// profile, and the empirical rates are in the right per-mille ballpark.
+func TestPlanCoversAllFaults(t *testing.T) {
+	p := DefaultProfile()
+	pre := map[Fault]int{}
+	stream := map[Fault]int{}
+	const n = 10000
+	for k := uint64(0); k < n; k++ {
+		d := Plan(7, p, k)
+		pre[d.Pre]++
+		stream[d.Stream]++
+	}
+	for f, want := range map[Fault]int{
+		FaultReset:   p.ResetPerMille,
+		Fault503:     p.Inject503PM,
+		FaultLatency: p.LatencyPerMille,
+	} {
+		got := pre[f] * 1000 / n
+		if got < want/2 || got > want*2 {
+			t.Errorf("pre fault %v: %d per mille, want near %d", f, got, want)
+		}
+	}
+	for f, want := range map[Fault]int{
+		FaultTruncate: p.TruncatePerMille,
+		FaultStall:    p.StallPerMille,
+		FaultDrop:     p.DropPerMille,
+	} {
+		got := stream[f] * 1000 / n
+		if got < want/2 || got > want*2 {
+			t.Errorf("stream fault %v: %d per mille, want near %d", f, got, want)
+		}
+	}
+}
+
+// Two transports with the same seed inject the identical fault sequence over
+// the same requests — the bit-identical replay the -chaos flag relies on.
+func TestTransportReplaysSchedule(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	run := func(seed uint64) []string {
+		tr := New(seed, nil)
+		cl := &http.Client{Transport: tr}
+		var got []string
+		for i := 0; i < 300; i++ {
+			resp, err := cl.Get(srv.URL)
+			switch {
+			case err != nil:
+				got = append(got, "err")
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				resp.Body.Close()
+				got = append(got, "503")
+			default:
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				got = append(got, "ok")
+			}
+		}
+		return got
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: run A saw %q, run B saw %q", i, a[i], b[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, want := range []string{"ok", "err", "503"} {
+		if !seen[want] {
+			t.Errorf("outcome %q never occurred in 300 requests", want)
+		}
+	}
+}
+
+// Injected resets surface as *net.OpError wrapping ECONNRESET — the same
+// error shape a real severed connection produces.
+func TestResetErrShape(t *testing.T) {
+	p := Profile{ResetPerMille: 1000}
+	tr := NewWithProfile(1, p, http.DefaultTransport)
+	cl := &http.Client{Transport: tr}
+	_, err := cl.Get("http://127.0.0.1:0/unreachable")
+	if err == nil {
+		t.Fatal("expected injected reset, got nil error")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("injected reset should wrap ECONNRESET, got %v", err)
+	}
+}
+
+// Body faults fire only on text/event-stream responses; plain responses
+// pass through untouched even when the schedule armed a stream fault.
+func TestStreamFaultsOnlyOnSSE(t *testing.T) {
+	const payload = "data: {\"seq\":1}\n\n"
+	body := strings.Repeat(payload, 4096)
+	mkSrv := func(sse bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if sse {
+				w.Header().Set("Content-Type", "text/event-stream")
+			}
+			io.WriteString(w, body)
+		}))
+	}
+	p := Profile{TruncatePerMille: 1000} // every stream truncates
+	read := func(srv *httptest.Server) (int, error) {
+		cl := &http.Client{Transport: NewWithProfile(5, p, http.DefaultTransport)}
+		resp, err := cl.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		defer resp.Body.Close()
+		n, err := io.Copy(io.Discard, resp.Body)
+		return int(n), err
+	}
+
+	sse := mkSrv(true)
+	defer sse.Close()
+	n, err := read(sse)
+	if err != nil {
+		t.Fatalf("truncated SSE body should end with clean EOF, got %v", err)
+	}
+	if n >= len(body) {
+		t.Fatalf("SSE body was not truncated: read all %d bytes", n)
+	}
+
+	plain := mkSrv(false)
+	defer plain.Close()
+	n, err = read(plain)
+	if err != nil || n != len(body) {
+		t.Fatalf("plain body must pass through: read %d/%d bytes, err %v", n, len(body), err)
+	}
+}
+
+// A stalled SSE body freezes for its scheduled bounded interval, then
+// resets — it never hangs forever.
+func TestStallIsBounded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		io.WriteString(w, strings.Repeat("data: x\n\n", 2048))
+	}))
+	defer srv.Close()
+	p := Profile{StallPerMille: 1000, MaxStall: 50 * time.Millisecond}
+	cl := &http.Client{Transport: NewWithProfile(3, p, http.DefaultTransport)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	start := time.Now()
+	_, err = io.Copy(io.Discard, resp.Body)
+	elapsed := time.Since(start)
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("stalled body should end in a reset, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("stall not bounded: %v", elapsed)
+	}
+}
+
+// Injected 503s carry a JSON error body so API clients decode them through
+// their normal status-error path.
+func TestInjected503Body(t *testing.T) {
+	p := Profile{Inject503PM: 1000}
+	cl := &http.Client{Transport: NewWithProfile(11, p, http.DefaultTransport)}
+	resp, err := cl.Get("http://127.0.0.1:0/unreachable")
+	if err != nil {
+		t.Fatalf("injected 503 should not error at transport level: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "chaos") {
+		t.Fatalf("503 body should identify the injector, got %q", b)
+	}
+}

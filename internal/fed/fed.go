@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fvm"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -63,6 +64,24 @@ type Config struct {
 	JobRetain int
 	// HealthEvery is the downstream health-check cadence (default 1s).
 	HealthEvery time.Duration
+	// HealthFailN is how many consecutive failures (probes or real calls)
+	// trip a daemon's circuit breaker open (default 3). One dropped probe
+	// must not flap a healthy daemon out of the shard plan.
+	HealthFailN int
+	// HealthOkN is how many consecutive successes close an open breaker
+	// again (default 2). Between the two thresholds the daemon is
+	// half-open: it takes trial traffic, and a single failure re-opens it.
+	HealthOkN int
+	// DownstreamTimeout bounds every non-streaming downstream call —
+	// submits, status/query reads, fan-out unions, cancels (default 15s).
+	// SSE streams are exempt (see HTTPClient); their liveness is governed
+	// by the stream-resume loop instead.
+	DownstreamTimeout time.Duration
+	// StreamRetries bounds how many consecutive broken event streams one
+	// chunk tolerates before the chunk counts as failed on that daemon
+	// (default 5). Each break resumes from the last seen event, so a
+	// retried stream never replays work, only the tail.
+	StreamRetries int
 	// SSEKeepAlive is the idle interval between SSE comment frames
 	// (default 15s).
 	SSEKeepAlive time.Duration
@@ -96,6 +115,18 @@ func (c Config) withDefaults() Config {
 	if c.HealthEvery <= 0 {
 		c.HealthEvery = time.Second
 	}
+	if c.HealthFailN <= 0 {
+		c.HealthFailN = 3
+	}
+	if c.HealthOkN <= 0 {
+		c.HealthOkN = 2
+	}
+	if c.DownstreamTimeout <= 0 {
+		c.DownstreamTimeout = 15 * time.Second
+	}
+	if c.StreamRetries <= 0 {
+		c.StreamRetries = 5
+	}
 	if c.SSEKeepAlive <= 0 {
 		c.SSEKeepAlive = 15 * time.Second
 	}
@@ -118,12 +149,15 @@ type Coordinator struct {
 	baseCtx context.Context
 	abort   context.CancelFunc
 
+	// health is the per-daemon circuit-breaker table, fed by both the probe
+	// loop and real downstream call outcomes (see health.go).
+	health *health
+
 	mu       sync.Mutex
 	seq      int
 	jobs     map[string]*fedJob
 	order    []string
 	draining bool
-	healthy  map[string]bool
 
 	wg sync.WaitGroup
 }
@@ -155,7 +189,9 @@ func New(cfg Config) (*Coordinator, error) {
 		baseCtx: ctx,
 		abort:   abort,
 		jobs:    make(map[string]*fedJob),
-		healthy: make(map[string]bool, len(cfg.Downstreams)),
+		// Every breaker starts closed — optimistic until probes say
+		// otherwise, like the pre-breaker health table.
+		health: newHealth(norm, cfg.HealthFailN, cfg.HealthOkN),
 	}
 	seen := make(map[string]bool, len(cfg.Downstreams))
 	for _, d := range cfg.Downstreams {
@@ -164,7 +200,6 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		seen[d] = true
 		c.clients[d] = server.NewClient(d, cfg.HTTPClient).SetToken(cfg.DownstreamToken)
-		c.healthy[d] = true // optimistic until the first health check
 	}
 	if err := c.replayJournal(); err != nil {
 		return nil, err
@@ -233,9 +268,11 @@ func (c *Coordinator) requireAuth(h http.HandlerFunc) http.HandlerFunc {
 
 // --- health -----------------------------------------------------------
 
-// healthLoop probes every downstream's /healthz on a fixed cadence. A
-// failed probe marks the daemon dead — its queued chunks migrate and new
-// boards hash past it — and a later success revives it.
+// healthLoop probes every downstream's /healthz on a fixed cadence and
+// feeds the results into the circuit-breaker table. HealthFailN consecutive
+// failures trip a daemon open — its queued chunks migrate and new boards
+// hash past it — and HealthOkN consecutive successes close it again; a
+// single dropped probe moves no breaker (the flapping fix).
 func (c *Coordinator) healthLoop() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.cfg.HealthEvery)
@@ -247,7 +284,11 @@ func (c *Coordinator) healthLoop() {
 		case <-t.C:
 		}
 		for d := range c.clients {
-			c.setHealthy(d, c.probe(d))
+			if c.probe(d) {
+				c.health.ok(d)
+			} else {
+				c.health.fail(d)
+			}
 		}
 	}
 }
@@ -269,16 +310,18 @@ func (c *Coordinator) probe(daemon string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-func (c *Coordinator) setHealthy(daemon string, ok bool) {
-	c.mu.Lock()
-	c.healthy[daemon] = ok
-	c.mu.Unlock()
+// isHealthy reports whether a daemon should receive traffic — its breaker
+// is closed or half-open (trial traffic is how recovery is proved).
+func (c *Coordinator) isHealthy(daemon string) bool {
+	return c.health.available(daemon)
 }
 
-func (c *Coordinator) isHealthy(daemon string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.healthy[daemon]
+// callCtx bounds one non-streaming downstream call. Every coordinator →
+// daemon request except the SSE event streams goes through this; without
+// it, a daemon that accepts connections but never answers would pin
+// fan-outs and submits forever.
+func (c *Coordinator) callCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, c.cfg.DownstreamTimeout)
 }
 
 // --- coordinator journal ----------------------------------------------
@@ -298,6 +341,7 @@ func (c *Coordinator) putJobMeta(j *fedJob) {
 	}
 	if err != nil {
 		c.jnErrs.Add(1)
+		j.noteJournalDegraded()
 	}
 }
 
@@ -670,37 +714,57 @@ func (c *Coordinator) handleFirehose(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// fanout runs fn against every downstream concurrently and collects the
-// non-error results. Dead daemons are skipped — a fleet query must degrade
-// to the reachable union, not fail because one box is down.
-func fanout[T any](c *Coordinator, ctx context.Context, fn func(cl *server.Client) (T, error)) []T {
+// fanout runs fn against every downstream concurrently, each call bounded
+// by DownstreamTimeout, and collects the non-error results plus the sorted
+// list of daemons that did not answer — open breakers and failed calls
+// alike. A fleet query must degrade to the reachable union, not fail
+// because one box is down; the missing list is what lets the handler tell
+// the client the union is partial. Call outcomes feed the breaker table: a
+// transport failure counts against the daemon, while any HTTP status —
+// even an error one — proves the daemon alive.
+func fanout[T any](c *Coordinator, ctx context.Context, fn func(ctx context.Context, cl *server.Client) (T, error)) (out []T, missing []string) {
 	var mu sync.Mutex
-	var out []T
 	var wg sync.WaitGroup
 	for d, cl := range c.clients {
 		if !c.isHealthy(d) {
+			missing = append(missing, d)
 			continue
 		}
 		wg.Add(1)
-		go func(cl *server.Client) {
+		go func(d string, cl *server.Client) {
 			defer wg.Done()
-			v, err := fn(cl)
-			if err != nil {
+			cctx, cancel := c.callCtx(ctx)
+			defer cancel()
+			v, err := fn(cctx, cl)
+			var se *server.APIStatusError
+			switch {
+			case err == nil:
+				c.health.ok(d)
+				mu.Lock()
+				out = append(out, v)
+				mu.Unlock()
 				return
+			case errors.As(err, &se):
+				// The daemon answered — an HTTP error is liveness, not
+				// death — but its result is still missing from the union.
+				c.health.ok(d)
+			default:
+				c.health.fail(d)
 			}
 			mu.Lock()
-			out = append(out, v)
+			missing = append(missing, d)
 			mu.Unlock()
-		}(cl)
+		}(d, cl)
 	}
 	wg.Wait()
-	return out
+	sort.Strings(missing)
+	return out, missing
 }
 
 func (c *Coordinator) handleFVMs(w http.ResponseWriter, r *http.Request) {
 	platformQ, serialQ := r.URL.Query().Get("platform"), r.URL.Query().Get("serial")
-	lists := fanout(c, r.Context(), func(cl *server.Client) ([]server.FVMInfo, error) {
-		return cl.FVMs(r.Context(), platformQ, serialQ)
+	lists, missing := fanout(c, r.Context(), func(ctx context.Context, cl *server.Client) ([]server.FVMInfo, error) {
+		return cl.FVMs(ctx, platformQ, serialQ)
 	})
 	out := []server.FVMInfo{}
 	seen := make(map[string]bool)
@@ -724,6 +788,13 @@ func (c *Coordinator) handleFVMs(w http.ResponseWriter, r *http.Request) {
 		}
 		return out[i].ID < out[k].ID
 	})
+	// Graceful degradation: every daemon answered → the bare array (daemon
+	// parity); survivors only → the partial envelope, so a client can tell
+	// "the fleet has these" from "the daemons I could reach have these".
+	if len(missing) > 0 {
+		writeJSON(w, http.StatusOK, server.FVMList{FVMs: out, Partial: true, Missing: missing})
+		return
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -737,7 +808,11 @@ func (c *Coordinator) handleFVM(w http.ResponseWriter, r *http.Request) {
 		if !c.isHealthy(d) {
 			continue
 		}
-		m, err := cl.FVM(r.Context(), id)
+		m, err := func() (*fvm.Map, error) {
+			ctx, cancel := c.callCtx(r.Context())
+			defer cancel()
+			return cl.FVM(ctx, id)
+		}()
 		if err == nil {
 			writeJSON(w, http.StatusOK, m)
 			return
@@ -752,8 +827,8 @@ func (c *Coordinator) handleDeleteFVM(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no FVM %q", id))
 		return
 	}
-	deleted := fanout(c, r.Context(), func(cl *server.Client) (bool, error) {
-		if err := cl.DeleteFVM(r.Context(), id); err != nil {
+	deleted, missing := fanout(c, r.Context(), func(ctx context.Context, cl *server.Client) (bool, error) {
+		if err := cl.DeleteFVM(ctx, id); err != nil {
 			return false, err
 		}
 		return true, nil
@@ -762,13 +837,19 @@ func (c *Coordinator) handleDeleteFVM(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no FVM %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+	resp := map[string]any{"deleted": id}
+	if len(missing) > 0 {
+		// The record may survive on an unreachable daemon; say so instead
+		// of claiming a fleet-wide delete.
+		resp["partial"], resp["missing"] = true, missing
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleVmin(w http.ResponseWriter, r *http.Request) {
 	platformQ, serialQ := r.URL.Query().Get("platform"), r.URL.Query().Get("serial")
-	lists := fanout(c, r.Context(), func(cl *server.Client) ([]server.VminInfo, error) {
-		return cl.Vmin(r.Context(), platformQ, serialQ)
+	lists, missing := fanout(c, r.Context(), func(ctx context.Context, cl *server.Client) ([]server.VminInfo, error) {
+		return cl.Vmin(ctx, platformQ, serialQ)
 	})
 	out := []server.VminInfo{}
 	seen := make(map[server.VminInfo]bool)
@@ -790,6 +871,10 @@ func (c *Coordinator) handleVmin(w http.ResponseWriter, r *http.Request) {
 		}
 		return out[i].TempC < out[k].TempC
 	})
+	if len(missing) > 0 {
+		writeJSON(w, http.StatusOK, server.VminList{Vmin: out, Partial: true, Missing: missing})
+		return
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -803,33 +888,42 @@ func (c *Coordinator) handleGC(w http.ResponseWriter, r *http.Request) {
 		}
 		keep = n
 	}
-	counts := fanout(c, r.Context(), func(cl *server.Client) (int, error) {
-		return cl.GC(r.Context(), keep)
+	counts, missing := fanout(c, r.Context(), func(ctx context.Context, cl *server.Client) (int, error) {
+		return cl.GC(ctx, keep)
 	})
 	total := 0
 	for _, n := range counts {
 		total += n
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": total, "daemons": len(counts)})
+	resp := map[string]any{"removed": total, "daemons": len(counts)}
+	if len(missing) > 0 {
+		resp["partial"], resp["missing"] = true, missing
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	draining := c.draining
+	c.mu.Unlock()
 	type dh struct {
 		URL     string `json:"url"`
 		Healthy bool   `json:"healthy"`
+		// Breaker is the daemon's circuit-breaker position (closed |
+		// half-open | open); Fails counts its consecutive failures so far.
+		Breaker string `json:"breaker"`
+		Fails   int    `json:"fails,omitempty"`
 	}
-	daemons := make([]dh, 0, len(c.healthy))
+	daemons := make([]dh, 0, len(c.cfg.Downstreams))
 	alive := 0
 	for _, d := range c.cfg.Downstreams {
-		ok := c.healthy[strings.TrimRight(d, "/")]
+		state, fails := c.health.snapshot(d)
+		ok := state != breakerOpen
 		if ok {
 			alive++
 		}
-		daemons = append(daemons, dh{URL: strings.TrimRight(d, "/"), Healthy: ok})
+		daemons = append(daemons, dh{URL: d, Healthy: ok, Breaker: state.String(), Fails: fails})
 	}
-	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":             !draining && alive > 0,
 		"federation":     true,

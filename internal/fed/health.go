@@ -1,0 +1,140 @@
+package fed
+
+import "sync"
+
+// breakerState is one daemon's circuit-breaker position. The breaker and
+// the hysteresis health table are one mechanism: consecutive failures
+// (probes or real calls) trip it open, consecutive successes close it, and
+// a half-open daemon takes trial traffic that decides which way it goes.
+type breakerState uint8
+
+const (
+	// breakerClosed: healthy — takes traffic and shard assignments.
+	breakerClosed breakerState = iota
+	// breakerHalfOpen: recovering — takes trial traffic; one failure
+	// re-opens, okN consecutive successes close.
+	breakerHalfOpen
+	// breakerOpen: tripped — skipped by shard planning, fan-out queries,
+	// and chunk retry targets until a probe succeeds.
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// daemonHealth is one daemon's breaker position plus the consecutive-result
+// counters that move it.
+type daemonHealth struct {
+	state breakerState
+	fails int // consecutive failures; failN trips the breaker open
+	oks   int // consecutive successes while recovering; okN closes it
+}
+
+// health is the per-daemon circuit-breaker table. Probe results and real
+// downstream call outcomes feed the same counters, so a daemon that answers
+// probes but resets every real connection still trips.
+type health struct {
+	mu    sync.Mutex
+	failN int // consecutive failures to trip open (hysteresis down)
+	okN   int // consecutive successes to close again (hysteresis up)
+	m     map[string]*daemonHealth
+}
+
+// newHealth builds the table with every daemon optimistically closed, the
+// same way the pre-breaker table started healthy until the first probe.
+func newHealth(daemons []string, failN, okN int) *health {
+	h := &health{failN: failN, okN: okN, m: make(map[string]*daemonHealth, len(daemons))}
+	for _, d := range daemons {
+		h.m[d] = &daemonHealth{state: breakerClosed}
+	}
+	return h
+}
+
+func (h *health) get(d string) *daemonHealth {
+	dh, ok := h.m[d]
+	if !ok {
+		dh = &daemonHealth{state: breakerClosed}
+		h.m[d] = dh
+	}
+	return dh
+}
+
+// ok records a successful probe or downstream call. A single success never
+// flips an open daemon straight to closed — it goes half-open and must
+// string okN successes together, so one lucky probe between crashes cannot
+// flap the daemon back into the shard plan.
+func (h *health) ok(d string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dh := h.get(d)
+	dh.fails = 0
+	switch dh.state {
+	case breakerClosed:
+		dh.oks = 0
+	case breakerOpen, breakerHalfOpen:
+		dh.state = breakerHalfOpen
+		dh.oks++
+		if dh.oks >= h.okN {
+			dh.state = breakerClosed
+			dh.oks = 0
+		}
+	}
+}
+
+// fail records a failed probe or downstream call. A closed daemon needs
+// failN consecutive failures to trip — one dropped probe is weather, not a
+// dead daemon — but a half-open one re-opens immediately: it was on
+// probation and failed it.
+func (h *health) fail(d string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dh := h.get(d)
+	dh.oks = 0
+	if dh.state == breakerHalfOpen {
+		dh.state = breakerOpen
+		dh.fails = h.failN
+		return
+	}
+	dh.fails++
+	if dh.fails >= h.failN {
+		dh.state = breakerOpen
+	}
+}
+
+// trip opens the breaker immediately, bypassing the failure threshold — for
+// unambiguous evidence like a transport error on a real streaming call,
+// where waiting out failN probe ticks would stall a running campaign's
+// chunk migration.
+func (h *health) trip(d string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dh := h.get(d)
+	dh.oks = 0
+	dh.fails = h.failN
+	dh.state = breakerOpen
+}
+
+// available reports whether d should receive traffic: closed, or half-open
+// (trial traffic is how a recovering daemon proves itself).
+func (h *health) available(d string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.get(d).state != breakerOpen
+}
+
+// snapshot reports one daemon's breaker position for /healthz.
+func (h *health) snapshot(d string) (state breakerState, fails int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dh := h.get(d)
+	return dh.state, dh.fails
+}

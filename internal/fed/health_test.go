@@ -1,0 +1,107 @@
+package fed
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerSingleFailureIsWeather is the flapping regression: one dropped
+// probe (or one failed call) against a closed breaker must not take the
+// daemon out of rotation.
+func TestBreakerSingleFailureIsWeather(t *testing.T) {
+	h := newHealth([]string{"a", "b"}, 3, 2)
+	h.fail("a")
+	if !h.available("a") {
+		t.Fatal("one failure tripped a closed breaker; threshold is 3")
+	}
+	if state, fails := h.snapshot("a"); state != breakerClosed || fails != 1 {
+		t.Fatalf("after one failure: state=%s fails=%d, want closed/1", state, fails)
+	}
+	// A success wipes the streak: fail, ok, fail, ok ... forever flaps
+	// nothing.
+	for i := 0; i < 10; i++ {
+		h.ok("a")
+		h.fail("a")
+	}
+	if !h.available("a") {
+		t.Fatal("alternating ok/fail tripped the breaker; only consecutive failures may")
+	}
+}
+
+// TestBreakerTripsOnConsecutiveFailures walks the full hysteresis cycle:
+// failN consecutive failures open the breaker, a success moves it half-open
+// (available for trial traffic), okN consecutive successes close it, and a
+// failure while half-open re-opens it immediately.
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	h := newHealth([]string{"a"}, 3, 2)
+	h.fail("a")
+	h.fail("a")
+	if !h.available("a") {
+		t.Fatal("breaker opened after 2 failures, want 3")
+	}
+	h.fail("a")
+	if h.available("a") {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+
+	// First success: half-open, taking trial traffic but not yet closed.
+	h.ok("a")
+	if state, _ := h.snapshot("a"); state != breakerHalfOpen {
+		t.Fatalf("after one success: state=%s, want half-open", state)
+	}
+	if !h.available("a") {
+		t.Fatal("half-open daemon must take trial traffic")
+	}
+
+	// Probation failure: straight back to open, no threshold.
+	h.fail("a")
+	if state, _ := h.snapshot("a"); state != breakerOpen {
+		t.Fatalf("half-open breaker survived a failure: state=%s", state)
+	}
+
+	// okN consecutive successes close it for good.
+	h.ok("a")
+	h.ok("a")
+	if state, _ := h.snapshot("a"); state != breakerClosed {
+		t.Fatalf("after %d successes: state=%s, want closed", 2, state)
+	}
+}
+
+// TestBreakerTripBypassesThreshold: unambiguous evidence (a transport error
+// on a real call) opens the breaker without waiting out failN probes.
+func TestBreakerTripBypassesThreshold(t *testing.T) {
+	h := newHealth([]string{"a"}, 5, 2)
+	h.trip("a")
+	if h.available("a") {
+		t.Fatal("trip left the breaker available")
+	}
+	if state, fails := h.snapshot("a"); state != breakerOpen || fails != 5 {
+		t.Fatalf("after trip: state=%s fails=%d, want open/5", state, fails)
+	}
+	// An unknown daemon auto-registers closed.
+	if !h.available("new-daemon") {
+		t.Fatal("unknown daemon should default to closed/available")
+	}
+}
+
+// TestBackoffBounded: every decorrelated-jitter delay stays within
+// [base, cap], and two chains draw different sequences (distinct seeds).
+func TestBackoffBounded(t *testing.T) {
+	base, cap := 5*time.Millisecond, 200*time.Millisecond
+	b1, b2 := newBackoff(base, cap), newBackoff(base, cap)
+	same := true
+	for i := 0; i < 200; i++ {
+		d1, d2 := b1.next(), b2.next()
+		for _, d := range []time.Duration{d1, d2} {
+			if d < base || d > cap {
+				t.Fatalf("delay %v outside [%v, %v]", d, base, cap)
+			}
+		}
+		if d1 != d2 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two backoff chains drew identical sequences; seeds should differ")
+	}
+}

@@ -52,6 +52,10 @@ type fedJob struct {
 	errMsg    string
 	notify    chan struct{}
 	restored  *server.JobStatus
+	// jnDegraded marks that a coordinator journal write for this job failed
+	// and the one-time journal_degraded marker was emitted; the job keeps
+	// running on the live stream alone.
+	jnDegraded bool
 }
 
 func (c *Coordinator) newFedJob(id string, seq int, req server.CampaignRequest, flat []server.BoardSpec) *fedJob {
@@ -99,7 +103,29 @@ func (j *fedJob) journalEvent(ev server.JobEvent) {
 	}
 	if err != nil {
 		j.c.jnErrs.Add(1)
+		j.noteJournalDegraded()
 	}
+}
+
+// noteJournalDegraded appends the one-time journal_degraded marker after a
+// failed coordinator journal write: the job keeps running and live streams
+// learn its durable history has a gap. The marker draws a real Seq (live
+// SSE stays dense) and is itself journaled best-effort — the jnDegraded
+// flag stops the recursion if that write fails too. Terminal and replayed
+// jobs are skipped: their streams were already closed out.
+func (j *fedJob) noteJournalDegraded() {
+	j.mu.Lock()
+	if j.jnDegraded || j.restored != nil || j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.jnDegraded = true
+	out := j.appendEventLocked(server.JobEvent{
+		Type:  "journal_degraded",
+		Error: "journal write failed: event history may not survive a restart",
+	})
+	j.mu.Unlock()
+	j.journalEvent(out)
 }
 
 // appendEvent sequences, stamps, journals, and wakes streams in one call.

@@ -1,0 +1,66 @@
+package fed
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// Backoff bounds for the two retryable downstream paths. Submits retry
+// quickly (admission-control 503s clear as soon as a queue slot frees);
+// broken event streams back off a little longer before resuming, since the
+// daemon may be mid-restart.
+const (
+	submitBackoffBase = 5 * time.Millisecond
+	submitBackoffCap  = 200 * time.Millisecond
+	streamBackoffBase = 10 * time.Millisecond
+	streamBackoffCap  = 500 * time.Millisecond
+)
+
+// backoffSeq hands each backoff chain a distinct deterministic seed. A
+// counter through the SplitMix64 mixer — not the clock — so retry timing
+// never feeds back into any decision a chaos seed is supposed to control.
+var backoffSeq atomic.Uint64
+
+// backoff produces capped decorrelated-jitter delays: each delay is drawn
+// uniformly from [base, min(3·prev, cap)], so concurrent retriers spread
+// out instead of thundering in lockstep, and the ceiling caps how long a
+// stuck chunk waits between attempts.
+type backoff struct {
+	base, cap time.Duration
+	prev      time.Duration
+	state     uint64
+}
+
+func newBackoff(base, cap time.Duration) backoff {
+	return backoff{base: base, cap: cap, state: prng.Mix64(backoffSeq.Add(1))}
+}
+
+// next returns the next delay in the chain.
+func (b *backoff) next() time.Duration {
+	b.state = prng.Mix64(b.state + 1)
+	span := 3 * b.prev
+	if span < b.base {
+		span = b.base
+	}
+	if span > b.cap {
+		span = b.cap
+	}
+	d := b.base + time.Duration(b.state%uint64(span-b.base+1))
+	b.prev = d
+	return d
+}
+
+// sleep waits out the next delay, or returns false when ctx ends first.
+func (b *backoff) sleep(ctx context.Context) bool {
+	t := time.NewTimer(b.next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

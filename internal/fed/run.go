@@ -222,22 +222,27 @@ func (c *Coordinator) runChunk(j *fedJob, s *sched, daemon string, ch *chunk, st
 	}
 	cl := c.clients[daemon]
 	var sub server.JobStatus
+	bo := newBackoff(submitBackoffBase, submitBackoffCap)
 	for attempt := 0; ; attempt++ {
 		var err error
-		sub, err = cl.Submit(j.ctx, req)
+		sub, err = func() (server.JobStatus, error) {
+			ctx, cancel := c.callCtx(j.ctx)
+			defer cancel()
+			return cl.Submit(ctx, req)
+		}()
 		if err == nil {
+			c.health.ok(daemon)
 			break
 		}
 		// Queue-full is the daemon's admission control working, not a
-		// failure: back off long enough for a downstream worker to drain a
-		// job, without burning the chunk's retry budget.
+		// failure: jittered backoff until a downstream worker drains a job,
+		// without burning the chunk's retry budget. A chaos-injected 503
+		// rides the same path — retried in place, invisible to the job.
 		var se *server.APIStatusError
 		if errors.As(err, &se) && se.StatusCode == http.StatusServiceUnavailable && attempt < 1000 {
-			select {
-			case <-j.ctx.Done():
+			if !bo.sleep(j.ctx) {
 				s.done()
 				return
-			case <-time.After(time.Duration(5+attempt%20) * time.Millisecond):
 			}
 			continue
 		}
@@ -245,17 +250,7 @@ func (c *Coordinator) runChunk(j *fedJob, s *sched, daemon string, ch *chunk, st
 		return
 	}
 	j.noteShard(daemon, len(ch.boards), sub.ID, stolen)
-	final, err := cl.Wait(j.ctx, sub.ID, func(ev server.JobEvent) error {
-		switch ev.Type {
-		case "start", "done", "failed":
-			if ev.Board >= 0 && ev.Board < len(ch.boards) {
-				j.boardEvent(ev, ch.boards[ev.Board])
-			}
-		}
-		// The downstream terminal "campaign" event is absorbed: the
-		// federated job has exactly one terminal event, the coordinator's.
-		return nil
-	})
+	final, err := c.waitChunk(j, cl, daemon, sub.ID, ch)
 	if err != nil {
 		if j.ctx.Err() != nil {
 			// Cancelled above: stop the orphaned downstream run, best-effort.
@@ -279,6 +274,93 @@ func (c *Coordinator) runChunk(j *fedJob, s *sched, daemon string, ch *chunk, st
 	}
 }
 
+// waitChunk follows one downstream campaign to its terminal event, resuming
+// a broken stream from the last re-stamped Seq (the Last-Event-ID cursor) so
+// a chaos-severed connection — or a daemon mid-restart — costs a reconnect,
+// not a full chunk failover. Every break feeds the breaker; a resume that
+// delivered fresh events resets the break budget, so only StreamRetries
+// consecutive *fruitless* reconnects abandon the stream. Deterministic
+// refusals (4xx: the downstream job is gone) surface immediately — resuming
+// cannot help, chunkFailed must re-shard.
+func (c *Coordinator) waitChunk(j *fedJob, cl *server.Client, daemon, jobID string, ch *chunk) (server.JobStatus, error) {
+	after := -1
+	breaks := 0
+	bo := newBackoff(streamBackoffBase, streamBackoffCap)
+	for {
+		progressed := false
+		err := cl.EventsFrom(j.ctx, jobID, after, func(ev server.JobEvent) error {
+			if ev.Seq > after {
+				after = ev.Seq
+				progressed = true
+			}
+			switch ev.Type {
+			case "start", "done", "failed":
+				if ev.Board >= 0 && ev.Board < len(ch.boards) {
+					j.boardEvent(ev, ch.boards[ev.Board])
+				}
+			}
+			// Everything else — the downstream terminal "campaign" event,
+			// its retry/truncated/journal_degraded markers — is absorbed:
+			// the federated job has exactly one terminal event and one
+			// journal, the coordinator's.
+			return nil
+		})
+		if err == nil {
+			return c.finalStatus(j.ctx, cl, daemon, jobID)
+		}
+		if j.ctx.Err() != nil {
+			return server.JobStatus{}, err
+		}
+		var se *server.APIStatusError
+		if errors.As(err, &se) && se.StatusCode >= 400 && se.StatusCode < 500 &&
+			se.StatusCode != http.StatusRequestTimeout && se.StatusCode != http.StatusTooManyRequests {
+			return server.JobStatus{}, err
+		}
+		c.health.fail(daemon)
+		if progressed {
+			breaks = 0
+		}
+		breaks++
+		if breaks > c.cfg.StreamRetries {
+			return server.JobStatus{}, fmt.Errorf("stream broke %d times without progress: %w", breaks, err)
+		}
+		if !bo.sleep(j.ctx) {
+			return server.JobStatus{}, j.ctx.Err()
+		}
+	}
+}
+
+// finalStatus fetches a finished downstream job's full document — board
+// results included — under per-call deadlines, retrying transient failures:
+// the chunk already ran to completion, so giving up here over one dropped
+// response would waste the whole run.
+func (c *Coordinator) finalStatus(ctx context.Context, cl *server.Client, daemon, jobID string) (server.JobStatus, error) {
+	bo := newBackoff(submitBackoffBase, submitBackoffCap)
+	var last error
+	for attempt := 0; attempt < 5; attempt++ {
+		st, err := func() (server.JobStatus, error) {
+			cctx, cancel := c.callCtx(ctx)
+			defer cancel()
+			return cl.Job(cctx, jobID)
+		}()
+		if err == nil {
+			c.health.ok(daemon)
+			return st, nil
+		}
+		last = err
+		var se *server.APIStatusError
+		if errors.As(err, &se) && se.StatusCode >= 400 && se.StatusCode < 500 &&
+			se.StatusCode != http.StatusRequestTimeout && se.StatusCode != http.StatusTooManyRequests {
+			return server.JobStatus{}, err
+		}
+		c.health.fail(daemon)
+		if !bo.sleep(ctx) {
+			break
+		}
+	}
+	return server.JobStatus{}, fmt.Errorf("final status: %w", last)
+}
+
 // chunkFailed routes one failed chunk attempt: permanent request rejections
 // fail the chunk's boards outright, transport errors mark the daemon dead,
 // and everything retryable goes back on a survivor's queue — recorded as a
@@ -297,9 +379,10 @@ func (c *Coordinator) chunkFailed(j *fedJob, s *sched, daemon string, ch *chunk,
 			return
 		}
 	default:
-		// Transport-level death: the health monitor will confirm, but the
-		// scheduler must stop routing to this daemon now.
-		c.setHealthy(daemon, false)
+		// Transport-level death: unambiguous evidence, so trip the breaker
+		// open immediately — waiting out failN probe ticks would stall the
+		// chunk's migration to a survivor.
+		c.health.trip(daemon)
 	}
 	ch.attempts++
 	if ch.attempts >= c.cfg.RetryLimit {

@@ -401,11 +401,19 @@ type ShardRetry struct {
 // event history through Seq (the -job-live-segs cap evicted it mid-flight),
 // so a resume from earlier than that cannot be satisfied by anyone. Clients
 // should treat it as "events ≤ Seq are gone" and continue from Seq+1.
+//
+// A "journal_degraded" event marks that a journal write for this job failed
+// (full or failing disk): the job keeps running and the live stream stays
+// authoritative, but event history at or before this point may not survive
+// a daemon restart. Emitted at most once per job. Federated jobs
+// additionally use "retry" for a chunk re-run on a survivor.
 type JobEvent struct {
-	Seq       int     `json:"seq"`
-	GSeq      int64   `json:"gseq,omitempty"`
-	Job       string  `json:"job,omitempty"`
-	Type      string  `json:"type"` // start | done | failed | campaign | truncated
+	Seq  int    `json:"seq"`
+	GSeq int64  `json:"gseq,omitempty"`
+	Job  string `json:"job,omitempty"`
+	// Type: start | done | failed | retry | campaign | truncated |
+	// journal_degraded.
+	Type      string  `json:"type"`
 	Board     int     `json:"board,omitempty"`
 	Platform  string  `json:"platform,omitempty"`
 	Serial    string  `json:"serial,omitempty"`
@@ -443,6 +451,25 @@ type VminInfo struct {
 	VminV         float64 `json:"vmin_v"`
 	VcrashV       float64 `json:"vcrash_v"`
 	FaultsPerMbit float64 `json:"faults_per_mbit"` // at the deepest level
+}
+
+// FVMList is the degraded-mode envelope of GET /v1/fvms. A lone daemon (and
+// a federation with every downstream answering) returns the bare array; a
+// federation coordinator that could not reach every daemon wraps the union
+// of the survivors' answers in this envelope with Partial set, so a client
+// can tell "the fleet has 12 FVMs" from "the 2 daemons I could reach have
+// 12 FVMs". Missing lists the unreachable daemons' base URLs.
+type FVMList struct {
+	FVMs    []FVMInfo `json:"fvms"`
+	Partial bool      `json:"partial,omitempty"`
+	Missing []string  `json:"missing,omitempty"`
+}
+
+// VminList is the degraded-mode envelope of GET /v1/vmin, mirroring FVMList.
+type VminList struct {
+	Vmin    []VminInfo `json:"vmin"`
+	Partial bool       `json:"partial,omitempty"`
+	Missing []string   `json:"missing,omitempty"`
 }
 
 // apiError carries an HTTP status with a message.

@@ -278,11 +278,28 @@ func (c *Client) Wait(ctx context.Context, id string, fn func(JobEvent) error) (
 }
 
 // FVMs lists stored characterizations, optionally filtered by platform
-// and/or serial (empty strings match everything).
+// and/or serial (empty strings match everything). A degraded federation's
+// partial answer decodes transparently — use FVMList to see Partial/Missing.
 func (c *Client) FVMs(ctx context.Context, platformName, serial string) ([]FVMInfo, error) {
-	var out []FVMInfo
-	err := c.do(ctx, http.MethodGet, "/v1/fvms"+listQuery(platformName, serial), nil, &out)
-	return out, err
+	out, err := c.FVMList(ctx, platformName, serial)
+	return out.FVMs, err
+}
+
+// FVMList lists stored characterizations with the degraded-mode envelope: a
+// federation coordinator that could not reach every daemon sets Partial and
+// names the Missing daemons; a complete answer (or a lone daemon's bare
+// array) leaves both zero. The wire shape is sniffed, so one client speaks
+// to both daemon and coordinator.
+func (c *Client) FVMList(ctx context.Context, platformName, serial string) (FVMList, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/fvms"+listQuery(platformName, serial), nil, &raw); err != nil {
+		return FVMList{}, err
+	}
+	var out FVMList
+	if isJSONArray(raw) {
+		return out, json.Unmarshal(raw, &out.FVMs)
+	}
+	return out, json.Unmarshal(raw, &out)
 }
 
 // FVM fetches one stored record's full Fault Variation Map.
@@ -318,9 +335,37 @@ func (c *Client) GC(ctx context.Context, keep int) (int, error) {
 // Vmin lists the observed operating window of every stored sweep matching
 // the optional platform/serial filter.
 func (c *Client) Vmin(ctx context.Context, platformName, serial string) ([]VminInfo, error) {
-	var out []VminInfo
-	err := c.do(ctx, http.MethodGet, "/v1/vmin"+listQuery(platformName, serial), nil, &out)
-	return out, err
+	out, err := c.VminList(ctx, platformName, serial)
+	return out.Vmin, err
+}
+
+// VminList is Vmin with the degraded-mode envelope, mirroring FVMList.
+func (c *Client) VminList(ctx context.Context, platformName, serial string) (VminList, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/vmin"+listQuery(platformName, serial), nil, &raw); err != nil {
+		return VminList{}, err
+	}
+	var out VminList
+	if isJSONArray(raw) {
+		return out, json.Unmarshal(raw, &out.Vmin)
+	}
+	return out, json.Unmarshal(raw, &out)
+}
+
+// isJSONArray reports whether the document's first token opens an array —
+// how the client tells a bare list from the partial-union envelope.
+func isJSONArray(raw json.RawMessage) bool {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '[':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
 }
 
 func listQuery(platformName, serial string) string {

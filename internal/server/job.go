@@ -59,9 +59,13 @@ type Job struct {
 	// journal; journal.sync drains it in order. Always empty when jn is nil.
 	jnPending []JobEvent
 	memWindow int
-	result    *engine.CampaignResult
-	err       error
-	notify    chan struct{}
+	// jnDegraded marks that a journal write for this job has failed and the
+	// one-time journal_degraded marker event has been emitted. The job keeps
+	// running — durability degrades, service does not.
+	jnDegraded bool
+	result     *engine.CampaignResult
+	err        error
+	notify     chan struct{}
 	// restored holds the journaled status snapshot of a job replayed from
 	// a previous process. Such jobs never run again; their status is
 	// served from this snapshot instead of recomputed from engine results.
@@ -89,6 +93,33 @@ func (j *Job) queueJournalLocked(ev JobEvent) {
 	if j.jn != nil {
 		j.jnPending = append(j.jnPending, ev)
 	}
+}
+
+// noteJournalDegraded appends the one-time journal_degraded marker event
+// after a failed journal write: the job keeps running, and live streams
+// learn its durable history has a gap instead of discovering it after a
+// restart. Callers hold jnMu (both journal error paths do), so the marker
+// is only queued for the journal — the next successful drain persists it; a
+// recursive jn.sync here would deadlock on jnMu. The marker draws a real
+// Seq, so live SSE stays dense. Terminal and replayed jobs are skipped:
+// their streams have already been told the job's story ended.
+func (j *Job) noteJournalDegraded() {
+	j.mu.Lock()
+	if j.jnDegraded || j.restored != nil || j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.jnDegraded = true
+	ev := JobEvent{
+		Seq: j.eventsBase + len(j.events), Type: "journal_degraded", Job: j.id,
+		Progress: j.progress,
+		Error:    "journal write failed: event history may not survive a restart",
+	}
+	j.fh.append(&ev)
+	j.events = append(j.events, ev)
+	j.queueJournalLocked(ev)
+	j.signalLocked()
+	j.mu.Unlock()
 }
 
 // trimJournaled drops in-memory events below upto (the journal's durable

@@ -86,6 +86,7 @@ func (jn *journal) putMeta(j *Job) {
 	}
 	if err != nil {
 		jn.errs.Add(1)
+		j.noteJournalDegraded()
 	}
 }
 
@@ -128,6 +129,7 @@ func (jn *journal) sync(j *Job) {
 	}
 	if err := jn.st.AppendJobEvents(j.id, recs); err != nil {
 		jn.errs.Add(1)
+		j.noteJournalDegraded()
 		return
 	}
 	j.trimJournaled(recs[len(recs)-1].Seq + 1)

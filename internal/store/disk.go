@@ -45,6 +45,8 @@ type Disk struct {
 	closeOnce   sync.Once
 	wg          sync.WaitGroup
 	jnBytes     atomic.Uint64 // journal bytes written, for benchmarks
+
+	faults atomic.Pointer[FaultHooks] // fault-injection hooks; nil = none
 }
 
 // OpenDisk opens (or initializes) a store rooted at dir. A missing directory
@@ -290,7 +292,7 @@ func (d *Disk) flushIndexLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: encode index: %w", err)
 	}
-	if err := atomicWrite(d.indexPath(), raw); err != nil {
+	if err := d.atomicWrite(d.indexPath(), raw); err != nil {
 		return err
 	}
 	d.dirty = false
@@ -320,7 +322,7 @@ func (d *Disk) Put(rec *Record) error {
 	}
 	mu := d.stripe(id)
 	mu.Lock()
-	err = atomicWrite(path, raw)
+	err = d.atomicWrite(path, raw)
 	mu.Unlock()
 	if err != nil {
 		return err
@@ -477,7 +479,7 @@ func (d *Disk) PutJob(rec *JobRecord) error {
 	mu := d.jobStripe(rec.ID)
 	mu.Lock()
 	defer mu.Unlock()
-	if err := atomicWrite(d.jobPath(rec.ID), raw); err != nil {
+	if err := d.atomicWrite(d.jobPath(rec.ID), raw); err != nil {
 		return err
 	}
 	d.addJnBytes(len(raw))
@@ -556,7 +558,9 @@ func (d *Disk) Close() error {
 // fsync, and a rename, so concurrent readers see either the previous
 // content or the new content in full — and a power cut after Put returns
 // cannot leave a journaled rename pointing at unflushed data blocks.
-func atomicWrite(path string, data []byte) error {
+// FaultHooks (WriteSync, Rename) may abort the write before either step,
+// leaving the previous content intact.
+func (d *Disk) atomicWrite(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -568,6 +572,11 @@ func atomicWrite(path string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: write %s: %w", path, err)
 	}
+	if err := d.faultWriteSync(path); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
@@ -576,6 +585,10 @@ func atomicWrite(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := d.faultRename(path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename %s: %w", path, err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)

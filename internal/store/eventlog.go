@@ -176,8 +176,14 @@ func (d *Disk) AppendJobEvents(id string, evs []EventRecord) error {
 		}
 		jl.f = f
 	}
+	if err := d.faultAppendWrite(id); err != nil {
+		return fmt.Errorf("store: append events %s: %w", id, err)
+	}
 	if _, err := jl.f.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("store: append events %s: %w", id, err)
+	}
+	if err := d.faultAppendSync(id); err != nil {
+		return fmt.Errorf("store: sync event log %s: %w", id, err)
 	}
 	if err := jl.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync event log %s: %w", id, err)
@@ -456,7 +462,7 @@ func (d *Disk) CompactJob(id string) error {
 		if err := os.MkdirAll(d.jobSegsDir(id), 0o755); err != nil {
 			return fmt.Errorf("store: segment dir %s: %w", id, err)
 		}
-		if err := atomicWrite(filepath.Join(d.jobSegsDir(id), sg.fileName()), raw); err != nil {
+		if err := d.atomicWrite(filepath.Join(d.jobSegsDir(id), sg.fileName()), raw); err != nil {
 			return err
 		}
 		d.addJnBytes(len(raw))
@@ -484,7 +490,7 @@ func (d *Disk) CompactJob(id string) error {
 		jl.f.Close()
 		jl.f = nil
 	}
-	if err := atomicWrite(d.jobLogPath(id), buf.Bytes()); err != nil {
+	if err := d.atomicWrite(d.jobLogPath(id), buf.Bytes()); err != nil {
 		return err
 	}
 	d.addJnBytes(buf.Len())

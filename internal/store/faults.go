@@ -1,0 +1,60 @@
+package store
+
+// Fault hooks: the disk-level half of the chaos-injection discipline (the
+// HTTP half lives in internal/chaos). Each hook fires immediately before
+// the operation it names; returning a non-nil error aborts that operation
+// cleanly — no bytes are written first — so an injected ENOSPC or fsync
+// failure exercises exactly the error path a real full or failing disk
+// would, and recovery tests can reopen the store and assert the journal
+// replays to the last durable event.
+
+// FaultHooks intercepts Disk write operations for fault-injection tests.
+// A nil hook (or a nil *FaultHooks) means the operation proceeds normally.
+type FaultHooks struct {
+	// AppendWrite fires before the event-log tail write in AppendJobEvents
+	// (inject ENOSPC mid-append). AppendSync fires before the tail fsync.
+	AppendWrite func(job string) error
+	AppendSync  func(job string) error
+	// WriteSync fires before the temp-file fsync inside atomicWrite;
+	// Rename fires before the rename that publishes it. Both receive the
+	// destination path.
+	WriteSync func(path string) error
+	Rename    func(path string) error
+}
+
+// SetFaultHooks installs (or, with nil, removes) the fault hooks. Safe to
+// call concurrently with store operations; in-flight operations keep the
+// hooks they started with.
+func (d *Disk) SetFaultHooks(h *FaultHooks) {
+	d.faults.Store(h)
+}
+
+// faultAppendWrite reports the injected error, if any, for the event-log
+// tail write of job id.
+func (d *Disk) faultAppendWrite(id string) error {
+	if h := d.faults.Load(); h != nil && h.AppendWrite != nil {
+		return h.AppendWrite(id)
+	}
+	return nil
+}
+
+func (d *Disk) faultAppendSync(id string) error {
+	if h := d.faults.Load(); h != nil && h.AppendSync != nil {
+		return h.AppendSync(id)
+	}
+	return nil
+}
+
+func (d *Disk) faultWriteSync(path string) error {
+	if h := d.faults.Load(); h != nil && h.WriteSync != nil {
+		return h.WriteSync(path)
+	}
+	return nil
+}
+
+func (d *Disk) faultRename(path string) error {
+	if h := d.faults.Load(); h != nil && h.Rename != nil {
+		return h.Rename(path)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// reopen closes d and opens a fresh Disk over the same root — the
+// crash/restart boundary every fault test must cross: whatever survives
+// reopen is what a daemon restarted after the fault would see.
+func reopen(t *testing.T, d *Disk) *Disk {
+	t.Helper()
+	root := d.Root()
+	if err := d.Close(); err != nil {
+		t.Fatalf("close before reopen: %v", err)
+	}
+	nd, err := OpenDisk(root)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return nd
+}
+
+// assertDense asserts the job's replayed events are exactly seqs [0, n).
+func assertDense(t *testing.T, d *Disk, id string, n int) {
+	t.Helper()
+	evs, err := d.ReadJobEvents(id, 0, 0)
+	if err != nil {
+		t.Fatalf("read after reopen: %v", err)
+	}
+	if len(evs) != n {
+		t.Fatalf("replayed %d events, want %d", len(evs), n)
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: replay not dense", i, ev.Seq)
+		}
+	}
+}
+
+// An injected ENOSPC mid-append fails that batch cleanly: nothing from it
+// is readable, earlier events are untouched, and once space "returns" the
+// same batch appends and the journal replays dense across a reopen.
+func TestAppendENOSPCMidBatch(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { d.Close() }()
+	const id = "job-enospc"
+	appendN(t, d, id, 0, 5, 1)
+
+	d.SetFaultHooks(&FaultHooks{
+		AppendWrite: func(job string) error { return syscall.ENOSPC },
+	})
+	err = d.AppendJobEvents(id, []EventRecord{testEvent(5, 6)})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append under ENOSPC = %v, want ENOSPC", err)
+	}
+	if evs, _ := d.ReadJobEvents(id, 0, 0); len(evs) != 5 {
+		t.Fatalf("failed batch leaked: %d events readable, want 5", len(evs))
+	}
+	if next, _, err := d.JobEventStats(id); err != nil || next != 5 {
+		t.Fatalf("stats after failed append = (next %d, %v), want next 5", next, err)
+	}
+
+	// Space returns: the caller retries the same batch, then keeps going.
+	d.SetFaultHooks(nil)
+	appendN(t, d, id, 5, 5, 6)
+
+	d = reopen(t, d)
+	assertDense(t, d, id, 10)
+	if next, lastG, err := d.JobEventStats(id); err != nil || next != 10 || lastG != 10 {
+		t.Fatalf("stats after reopen = (next %d, lastG %d, %v), want (10, 10)", next, lastG, err)
+	}
+}
+
+// An injected fsync failure surfaces as an error — the caller must treat
+// the batch as non-durable — and a reopen replays a dense prefix containing
+// at least every previously fsynced event, with retried batches deduped by
+// the reader.
+func TestAppendFsyncFailureReplaysDurable(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { d.Close() }()
+	const id = "job-fsync"
+	appendN(t, d, id, 0, 5, 1)
+
+	injected := errors.New("injected fsync failure")
+	d.SetFaultHooks(&FaultHooks{
+		AppendSync: func(job string) error { return injected },
+	})
+	if err := d.AppendJobEvents(id, []EventRecord{testEvent(5, 6)}); !errors.Is(err, injected) {
+		t.Fatalf("append under failing fsync = %v, want injected error", err)
+	}
+
+	// The disk recovers and the caller retries the unacknowledged batch —
+	// its bytes may or may not have landed, so the reader's seq dedup must
+	// absorb the overlap either way.
+	d.SetFaultHooks(nil)
+	appendN(t, d, id, 5, 3, 6)
+
+	d = reopen(t, d)
+	assertDense(t, d, id, 8)
+}
+
+// A rename failure mid-atomicWrite on the job meta record leaves the
+// previous version intact: a half-written temp file never shadows the
+// journaled record, across a reopen included.
+func TestRenameFailureMidAtomicWrite(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { d.Close() }()
+	old := &JobRecord{ID: "job-ren", Seq: 1, Payload: json.RawMessage(`{"state":"running"}`)}
+	if err := d.PutJob(old); err != nil {
+		t.Fatal(err)
+	}
+
+	d.SetFaultHooks(&FaultHooks{
+		Rename: func(path string) error {
+			if strings.Contains(path, "job-ren") {
+				return errors.New("injected rename failure")
+			}
+			return nil
+		},
+	})
+	upd := &JobRecord{ID: "job-ren", Seq: 1, Payload: json.RawMessage(`{"state":"done"}`)}
+	if err := d.PutJob(upd); err == nil {
+		t.Fatal("PutJob with failing rename must error")
+	}
+	d.SetFaultHooks(nil)
+
+	d = reopen(t, d)
+	jobs, err := d.ListJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *JobRecord
+	for _, j := range jobs {
+		if j.ID == "job-ren" {
+			got = j
+		}
+	}
+	if got == nil {
+		t.Fatal("journaled job lost after failed overwrite")
+	}
+	if !strings.Contains(string(got.Payload), "running") {
+		t.Fatalf("failed overwrite corrupted the record: %s", got.Payload)
+	}
+}
+
+// A temp-file fsync failure mid-atomicWrite aborts a blob Put without
+// publishing anything: the old version stays readable and the temp file
+// does not survive as garbage.
+func TestWriteSyncFailureKeepsOldBlob(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { d.Close() }()
+	rec := testRecord(t, "VC707", "fault-01", 10)
+	if err := d.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	d.SetFaultHooks(&FaultHooks{
+		WriteSync: func(path string) error { return syscall.EIO },
+	})
+	upd := testRecord(t, "VC707", "fault-01", 10)
+	upd.Sweep.Levels[1].MedianFaults = 999
+	if err := d.Put(upd); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Put under failing fsync = %v, want EIO", err)
+	}
+	d.SetFaultHooks(nil)
+
+	d = reopen(t, d)
+	got, ok, err := d.Get(rec.Key)
+	if err != nil || !ok {
+		t.Fatalf("old blob lost after failed overwrite: ok=%v err=%v", ok, err)
+	}
+	if got.Sweep.Final().MedianFaults != 10 {
+		t.Fatalf("failed overwrite published partial data: faults=%v", got.Sweep.Final().MedianFaults)
+	}
+}
