@@ -6,8 +6,8 @@ BENCHTIME ?= 1x
 # benchtime it was recorded with — keep all three in step when refreshing it.
 # Calibration must stay in the selector: the compare normalizes ns/op by its
 # old→new ratio, so runner-speed drift is not mistaken for a code change.
-BASELINE ?= BENCH_pr6.json
-BASELINE_BENCH ?= FullPool|Fig03FaultPowerSweep|DieConstruction|JournalAppend|FirehoseResumeDeep|Calibration
+BASELINE ?= BENCH_pr10.json
+BASELINE_BENCH ?= FullPool|Fig03FaultPowerSweep|DieConstruction|JournalAppend|FirehoseResumeDeep|MitigationSweep|Calibration
 BASELINE_BENCHTIME ?= 2s
 THRESHOLD ?= 30
 # Journal appends are gated on bytes/event (deterministic), not ns/op

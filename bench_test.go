@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dvfs"
 	"repro/internal/ecc"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fixed"
 	"repro/internal/nn"
@@ -664,4 +665,33 @@ func BenchmarkFirehoseResumeDeep(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(lastG-1), "events/resume")
+}
+
+// BenchmarkMitigationSweep races all four mitigation arms down the shared
+// VCCBRAM ladder on a small mixed fleet — the PR-10 tentpole's hot path:
+// one silicon eval per level feeding the unprotected readout, the SECDED
+// scrubber, the ICBP re-placement, and the iso-energy DVFS search. The
+// reported metrics are the campaign's headline: the median minimum safe
+// voltage per arm (the Section IV comparison) and the energy saving the ECC
+// arm banks there.
+func BenchmarkMitigationSweep(b *testing.B) {
+	inventory := append(platform.VC707().Scaled(48).Replicas(2), platform.KC705A().Scaled(48))
+	var agg engine.Aggregate
+	for i := 0; i < b.N; i++ {
+		fleet := engine.NewFleet(inventory, engine.Options{Workers: 2})
+		res, err := fleet.RunCampaign(context.Background(), engine.Campaign{
+			Kind:         engine.KindMitigation,
+			MitIsoEnergy: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg = res.Agg
+	}
+	for _, ma := range agg.Mitigation {
+		b.ReportMetric(ma.MinSafeV.Median, ma.Arm+"-min-safe-v")
+		if ma.Arm == engine.ArmECC {
+			b.ReportMetric(ma.EnergySavings.Median, "ecc-energy-savings")
+		}
+	}
 }

@@ -9,11 +9,17 @@
 //	fpgavolt temps      -platform VC707 [-brams N] [-runs N]
 //	fpgavolt fvm        -platform VC707 [-brams N] [-runs N] [-save fvm.json] [-classes]
 //	fpgavolt campaign   [-platforms all] [-boards N] [-brams N] [-runs N] [-repeat N] [-store DIR]
+//	fpgavolt mitigation [-platforms all] [-boards N] [-brams N] [-arms a,b,..] [-iso-energy]
 //
 // The campaign subcommand shards a characterization sweep across a whole
 // fleet of boards (any mix of platforms, distinct serials per replica),
 // streams per-board progress, and reports the cross-chip variation spread;
 // with -repeat > 1 the later rounds are served from the FVM cache.
+//
+// The mitigation subcommand races the paper's protection schemes —
+// unprotected, SECDED ECC scrubbing, ICBP placement, and guardbanded DVFS —
+// down one shared voltage ladder on every fleet board and reports each arm's
+// minimum safe voltage and energy savings, per board and across chips.
 package main
 
 import (
@@ -39,6 +45,10 @@ func main() {
 	cmd := os.Args[1]
 	if cmd == "campaign" {
 		runCampaignCmd(ctx, os.Args[2:])
+		return
+	}
+	if cmd == "mitigation" {
+		runMitigationCmd(ctx, os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -291,8 +301,123 @@ func runCampaignCmd(ctx context.Context, args []string) {
 	}
 }
 
+// runMitigationCmd races the mitigation arms across a fleet and reports each
+// arm's minimum safe voltage and energy savings.
+func runMitigationCmd(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("mitigation", flag.ExitOnError)
+	var (
+		platforms = fs.String("platforms", "all", `comma-separated platform names, or "all"`)
+		boards    = fs.Int("boards", 4, "fleet size; replicas are spread across the platform mix")
+		brams     = fs.Int("brams", 48, "simulated BRAM pool size per board (0 = full chips)")
+		arms      = fs.String("arms", "", "comma-separated arm subset (empty = all four)")
+		isoEnergy = fs.Bool("iso-energy", false, "DVFS arm matches the undervolted energy instead of holding a guardband")
+		workers   = fs.Int("workers", 0, "concurrent boards (0 = all CPUs)")
+		quiet     = fs.Bool("quiet", false, "suppress per-level progress events")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	var mix []fpgavolt.Platform
+	if *platforms == "all" {
+		mix = fpgavolt.Platforms()
+	} else {
+		for _, name := range strings.Split(*platforms, ",") {
+			p, err := fpgavolt.PlatformByName(strings.TrimSpace(name))
+			check(err)
+			mix = append(mix, p)
+		}
+	}
+	if *boards < 1 {
+		check(fmt.Errorf("mitigation needs at least one board"))
+	}
+	var inventory []fpgavolt.Platform
+	for i, p := range mix {
+		if *brams > 0 {
+			p = p.Scaled(*brams)
+		}
+		n := *boards / len(mix)
+		if i < *boards%len(mix) {
+			n++
+		}
+		inventory = append(inventory, p.Replicas(n)...)
+	}
+	fleet := fpgavolt.NewFleet(inventory, fpgavolt.FleetOptions{Workers: *workers})
+	fmt.Printf("fleet: %d boards across %d platform(s), %d BRAMs each\n",
+		fleet.Size(), len(mix), *brams)
+
+	var armList []string
+	if *arms != "" {
+		for _, a := range strings.Split(*arms, ",") {
+			armList = append(armList, strings.TrimSpace(a))
+		}
+	}
+	events := make(chan fpgavolt.FleetEvent, 16)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range events {
+			if *quiet {
+				continue
+			}
+			switch ev.Kind {
+			case fpgavolt.FleetEventStart:
+				fmt.Printf("  [%2d] %-8s S/N %-22s racing arms...\n", ev.Board, ev.Platform, ev.Serial)
+			case fpgavolt.FleetEventLevel:
+				fmt.Printf("  [%2d] %-8s %.2f V (%.0f%% of campaign)\n", ev.Board, ev.Platform, ev.V, ev.Progress)
+			case fpgavolt.FleetEventDone:
+				fmt.Printf("  [%2d] %-8s S/N %-22s done (%.1f faults/Mbit unprotected)\n",
+					ev.Board, ev.Platform, ev.Serial, ev.Faults)
+			case fpgavolt.FleetEventFailed:
+				fmt.Printf("  [%2d] %-8s S/N %-22s FAILED: %v\n", ev.Board, ev.Platform, ev.Serial, ev.Err)
+			}
+		}
+	}()
+	start := time.Now()
+	res, err := fpgavolt.RunCampaign(ctx, fleet, fpgavolt.Campaign{
+		Kind:         fpgavolt.CampaignMitigation,
+		MitArms:      armList,
+		MitIsoEnergy: *isoEnergy,
+		Events:       events,
+	})
+	close(events)
+	<-drained
+	check(err)
+	fmt.Printf("mitigation campaign finished in %v (%d/%d boards)\n",
+		time.Since(start).Round(time.Millisecond), res.Agg.Completed, res.Agg.Boards)
+
+	t := report.NewTable("per-board mitigation arms",
+		"board", "platform", "arm", "min safe V", "energy savings", "deepest faults/Mbit")
+	for _, br := range res.Boards {
+		if br.Err != nil {
+			t.AddRow(fmt.Sprintf("%d", br.Board), br.Platform, "error: "+br.Err.Error(), "", "", "")
+			continue
+		}
+		for _, arm := range br.Mitigation {
+			deepest := ""
+			if n := len(arm.Levels); n > 0 {
+				deepest = report.F(arm.Levels[n-1].FaultsPerMbit, 1)
+			}
+			t.AddRow(fmt.Sprintf("%d", br.Board), br.Platform, arm.Arm,
+				report.F(arm.MinSafeV, 2), report.Pct(arm.EnergySavings, 1), deepest)
+		}
+	}
+	t.Render(os.Stdout)
+
+	agg := report.NewTable("cross-chip mitigation spread",
+		"arm", "boards", "min safe V (min/med/max)", "energy savings (min/med/max)")
+	for _, ma := range res.Agg.Mitigation {
+		agg.AddRow(ma.Arm, fmt.Sprintf("%d", ma.Boards),
+			fmt.Sprintf("%s / %s / %s", report.F(ma.MinSafeV.Min, 2),
+				report.F(ma.MinSafeV.Median, 2), report.F(ma.MinSafeV.Max, 2)),
+			fmt.Sprintf("%s / %s / %s", report.Pct(ma.EnergySavings.Min, 1),
+				report.Pct(ma.EnergySavings.Median, 1), report.Pct(ma.EnergySavings.Max, 1)))
+	}
+	agg.Render(os.Stdout)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fpgavolt <sweep|thresholds|patterns|temps|fvm|campaign> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fpgavolt <sweep|thresholds|patterns|temps|fvm|campaign|mitigation> [flags]
 run "fpgavolt <cmd> -h" for flags`)
 	os.Exit(2)
 }

@@ -31,6 +31,13 @@
 // endpoints; -downstream-token (or FPGAVOLTD_TOKEN) is the bearer token the
 // coordinator presents to the daemons. Queries (/v1/fvms, /v1/vmin) answer
 // over the union of every reachable daemon's store.
+//
+// Every campaign kind rides the federation unchanged, mitigation included: a
+// `"kind": "mitigation"` submission (see the kind-scoped `mitigation{}`
+// request object) shards its boards like any other campaign, per-level
+// progress events cross the fan-in, and the coordinator's aggregate carries
+// each arm's cross-chip min-safe-voltage and energy-savings spread exactly as
+// a single daemon would report it.
 package main
 
 import (

@@ -218,14 +218,48 @@ const (
 	CampaignPatterns = engine.KindPattern
 	// CampaignThresholds discovers both rails' Vmin/Vcrash on every board.
 	CampaignThresholds = engine.KindThresholds
+	// CampaignMitigation races the paper's mitigation arms — unprotected,
+	// SECDED ECC scrubbing, ICBP placement, and guardbanded DVFS — down one
+	// shared voltage ladder on every board (Section IV).
+	CampaignMitigation = engine.KindMitigation
 )
 
 // The fleet event kinds a campaign streams per board.
 const (
 	FleetEventStart  = engine.EventBoardStart
+	FleetEventLevel  = engine.EventLevel
 	FleetEventDone   = engine.EventBoardDone
 	FleetEventFailed = engine.EventBoardFailed
 )
+
+// Mitigation campaign types.
+type (
+	// MitigationSpec is the kind-scoped wire knobs of a mitigation campaign.
+	MitigationSpec = server.MitigationSpec
+	// MitigationArm is one protection scheme's full per-level curve plus its
+	// min-safe voltage and energy savings, as held in a FleetBoardResult.
+	MitigationArm = engine.MitigationArm
+	// MitigationPoint is one (arm, voltage) measurement.
+	MitigationPoint = engine.MitigationPoint
+	// MitigationAggregate is the cross-chip spread of one arm's min-safe
+	// voltage and energy savings.
+	MitigationAggregate = engine.MitigationAggregate
+	// MitigationArmStatus is the wire form of one arm's curve in a JobStatus.
+	MitigationArmStatus = server.MitigationArmStatus
+	// MitigationLevel is the wire form of one MitigationPoint.
+	MitigationLevel = server.MitigationLevel
+)
+
+// The mitigation arms a CampaignMitigation can race, in canonical order.
+const (
+	ArmUnprotected = engine.ArmUnprotected
+	ArmECC         = engine.ArmECC
+	ArmICBP        = engine.ArmICBP
+	ArmDVFS        = engine.ArmDVFS
+)
+
+// MitigationArms returns all four arms in canonical order.
+func MitigationArms() []string { return engine.MitigationArms() }
 
 // Experiment framework types.
 type (
@@ -341,6 +375,14 @@ func UnmarshalTestSet(data []byte) ([][]float64, []int, error) { return nn.Unmar
 // Client.SubmitInference to do both steps at once.
 func NewInferenceRequest(boards []BoardSpec, q *Quantized, xs [][]float64, ys []int, seed uint64) (CampaignRequest, error) {
 	return server.NewInferenceRequest(boards, q, xs, ys, seed)
+}
+
+// NewMitigationRequest assembles the wire form of a mitigation campaign:
+// every board races the requested arms (all four when spec.Arms is empty)
+// down one shared voltage ladder. Submit it with Client.Submit, or use
+// Client.SubmitMitigation to do both steps at once.
+func NewMitigationRequest(boards []BoardSpec, spec MitigationSpec) CampaignRequest {
+	return server.NewMitigationRequest(boards, spec)
 }
 
 // BuildAccelerator compiles and loads an NN design onto a board; cs may be

@@ -45,6 +45,11 @@ func buildDataPositions() [DataBits]int {
 	return out
 }
 
+// DataPosition returns the codeword bit position that carries data bit i —
+// the hook fault models use to flip exactly the data bits a raw memory
+// readout observed flipped.
+func DataPosition(i int) int { return dataPositions[i] }
+
 // Encode produces the SECDED codeword of a 16-bit data word.
 func Encode(data uint16) Codeword {
 	var cw uint32

@@ -56,6 +56,11 @@ const (
 	// KindThresholds runs Fig. 1 threshold discovery on every board,
 	// locating both rails' Vmin and Vcrash boundaries.
 	KindThresholds
+	// KindMitigation sweeps VCCBRAM from nominal to Vcrash on every board
+	// and compares undervolting-fault mitigation arms — unprotected, ECC,
+	// ICBP placement, and the DVFS guardband baseline — at each level
+	// (the arXiv:1903.12514 evaluation, fleet-wide).
+	KindMitigation
 )
 
 // String names the campaign kind.
@@ -71,6 +76,8 @@ func (k CampaignKind) String() string {
 		return "pattern-study"
 	case KindThresholds:
 		return "threshold-discovery"
+	case KindMitigation:
+		return "mitigation"
 	}
 	return "unknown"
 }
@@ -78,7 +85,7 @@ func (k CampaignKind) String() string {
 // Kinds returns every campaign kind, in declaration order — the one list
 // KindByName and campaign validation both derive from.
 func Kinds() []CampaignKind {
-	return []CampaignKind{Characterization, TemperatureStudy, NNInference, KindPattern, KindThresholds}
+	return []CampaignKind{Characterization, TemperatureStudy, NNInference, KindPattern, KindThresholds, KindMitigation}
 }
 
 // KindByName resolves a campaign kind from its String form.
@@ -99,6 +106,10 @@ const (
 	EventBoardStart EventKind = iota
 	EventBoardDone
 	EventBoardFailed
+	// EventLevel marks one completed voltage level of a mitigation sweep:
+	// the board is still running, V carries the level's voltage and Faults
+	// the unprotected faults/Mbit observed there.
+	EventLevel
 )
 
 // String names the event kind.
@@ -110,6 +121,8 @@ func (k EventKind) String() string {
 		return "done"
 	case EventBoardFailed:
 		return "failed"
+	case EventLevel:
+		return "level"
 	}
 	return "unknown"
 }
@@ -125,6 +138,8 @@ type Event struct {
 	Serial    string
 	FromCache bool    // done: the result was served from the FVM cache
 	Faults    float64 // done: faults/Mbit at the deepest level (when known)
+	// V is the voltage of a mitigation level event (level events only).
+	V float64
 	// InferError is the board's classification error at the deepest
 	// inference level (done events of NNInference campaigns only).
 	InferError float64
@@ -153,6 +168,7 @@ type BoardResult struct {
 	Patterns       []characterize.PatternResult // KindPattern, in Campaign.Patterns order
 	BRAMThresholds *characterize.Thresholds     // KindThresholds: VCCBRAM boundaries
 	IntThresholds  *characterize.Thresholds     // KindThresholds: VCCINT boundaries
+	Mitigation     []MitigationArm              // KindMitigation, in requested-arm order
 
 	Err error
 }
@@ -194,6 +210,9 @@ type Aggregate struct {
 	// InferenceError summarizes the per-board classification error at the
 	// deepest inference level (NNInference campaigns only).
 	InferenceError stats.Summary
+	// Mitigation compares the arms of a KindMitigation campaign across the
+	// fleet, in canonical arm order (only arms at least one board ran).
+	Mitigation []MitigationAggregate
 }
 
 // Campaign describes one fleet-wide study.
@@ -225,6 +244,17 @@ type Campaign struct {
 
 	// ProbeRuns tunes KindThresholds' per-level fault probe (0 → 3).
 	ProbeRuns int
+
+	// MitArms selects the arms of a KindMitigation campaign (subset of
+	// MitigationArms(); empty → all four, canonical order).
+	MitArms []string
+	// MitVoltages fixes the mitigation ladder (strictly descending; empty →
+	// each platform's nominal..Vcrash at the standard step).
+	MitVoltages []float64
+	// MitIsoEnergy makes the DVFS arm search for the guardbanded voltage
+	// whose energy matches each level's undervolted energy (iso-energy
+	// comparison) instead of scaling frequency at the level's own voltage.
+	MitIsoEnergy bool
 
 	// Events optionally receives per-board progress. The engine stops
 	// sending when RunCampaign returns and never closes the channel; an
@@ -423,6 +453,11 @@ func (c Campaign) validate() error {
 				len(c.TestX), len(c.TestY))
 		}
 	}
+	if c.Kind == KindMitigation {
+		if err := ValidateMitigation(c.MitArms, c.MitVoltages); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -510,6 +545,8 @@ func (c Campaign) boardWeight(p platform.Platform) float64 {
 	case KindThresholds:
 		// Both rails sweep from nominal toward the discovery floor.
 		return 2 * float64(len(voltage.SweepDown(p.Cal.Vnom, 0.40, voltage.Step)))
+	case KindMitigation:
+		return float64(len(c.mitigationLadder(p)))
 	}
 	return 1
 }
@@ -550,6 +587,8 @@ func (f *Fleet) runBoard(ctx context.Context, c Campaign, pm *progressMeter, idx
 		err = f.patternBoard(ctx, c, p, &res)
 	case KindThresholds:
 		err = f.thresholdsBoard(ctx, c, p, &res)
+	case KindMitigation:
+		err = f.mitigationBoard(ctx, c, pm, idx, p, &res)
 	default:
 		err = fmt.Errorf("engine: unknown campaign kind %d", c.Kind)
 	}
@@ -569,6 +608,13 @@ func (f *Fleet) runBoard(ctx context.Context, c Campaign, pm *progressMeter, idx
 	}
 	if n := len(res.Inference); n > 0 {
 		done.InferError = res.Inference[n-1].Error
+	}
+	// A mitigation study has no characterization sweep; its done event
+	// reports the unprotected arm's deepest-level fault rate.
+	if done.Faults == 0 && len(res.Mitigation) > 0 {
+		if pts := res.Mitigation[0].Levels; len(pts) > 0 {
+			done.Faults = pts[len(pts)-1].FaultsPerMbit
+		}
 	}
 	c.emit(ctx, done)
 	return res
@@ -759,6 +805,10 @@ type BoardSample struct {
 	Vcrashes   []float64 // observed Vcrash
 	ZeroShares []float64 // fraction of never-faulting BRAMs
 	InferErrs  []float64 // classification error at the deepest level
+
+	// Mitigation carries the board's per-arm scalar outcomes (mitigation
+	// campaigns only), in the board's arm order.
+	Mitigation []MitigationSample
 }
 
 // Sample reduces the board's outcome to its aggregate contribution.
@@ -795,6 +845,17 @@ func (r *BoardResult) Sample() BoardSample {
 	if n := len(r.Inference); n > 0 {
 		s.InferErrs = append(s.InferErrs, r.Inference[n-1].Error)
 	}
+	for i := range r.Mitigation {
+		arm := &r.Mitigation[i]
+		s.Mitigation = append(s.Mitigation, MitigationSample{
+			Arm: arm.Arm, MinSafeV: arm.MinSafeV, EnergySavings: arm.EnergySavings,
+		})
+		// The unprotected arm's deepest level doubles as the board's
+		// contribution to the fleet's faults/Mbit spread.
+		if arm.Arm == ArmUnprotected && len(arm.Levels) > 0 {
+			s.Faults = append(s.Faults, arm.Levels[len(arm.Levels)-1].FaultsPerMbit)
+		}
+	}
 	return s
 }
 
@@ -826,6 +887,7 @@ func AggregateSamples(samples []BoardSample) Aggregate {
 	agg.ObservedVcrash = stats.Summarize(vcrashes)
 	agg.ZeroFaultShare = stats.Summarize(zeros)
 	agg.InferenceError = stats.Summarize(inferr)
+	agg.Mitigation = aggregateMitigation(samples)
 	if len(faults) > 0 {
 		minF := agg.FaultsPerMbit.Min
 		if minF < 1 {

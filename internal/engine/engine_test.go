@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -208,7 +209,7 @@ func TestCampaignCancellation(t *testing.T) {
 
 func TestCampaignDeadline(t *testing.T) {
 	f := testFleet(t, Options{Workers: 2})
-	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
 	defer cancel()
 	_, err := f.RunCampaign(ctx, Campaign{Kind: Characterization, Sweep: fastSweep()})
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -475,7 +476,7 @@ func TestAggregateSamplesMatchesAggregate(t *testing.T) {
 	for i := range res.Boards {
 		samples[i] = res.Boards[i].Sample()
 	}
-	if got := AggregateSamples(samples); got != res.Agg {
+	if got := AggregateSamples(samples); !reflect.DeepEqual(got, res.Agg) {
 		t.Fatalf("AggregateSamples diverged from the engine aggregate:\n got %+v\nwant %+v", got, res.Agg)
 	}
 }

@@ -944,7 +944,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	// The coordinator answers with the same error envelope as a daemon, so
+	// a client never needs to know which layer refused it.
+	writeJSON(w, status, server.ErrorBody{Error: msg})
 }
 
 // writeAPIError maps a validation error onto the coordinator's response: a

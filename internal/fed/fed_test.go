@@ -184,6 +184,136 @@ func TestFederatedMatchesSingleDaemon(t *testing.T) {
 	if len(vmins) != 6 {
 		t.Fatalf("federated vmin union has %d rows, want 6", len(vmins))
 	}
+
+	// Extended to kind "mitigation": the same fleet compares all four
+	// mitigation arms (iso-energy DVFS), and the coordinator's aggregate
+	// and every per-board arm curve must be bit-identical to the solo
+	// daemon's.
+	mitReq := server.NewMitigationRequest(fleetCampaign().Boards, server.MitigationSpec{IsoEnergy: true})
+	mitRef, err := solo.Submit(ctx, mitReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitWant, err := solo.Wait(ctx, mitRef.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mitWant.State != server.JobDone {
+		t.Fatalf("solo mitigation job ended %q (%s)", mitWant.State, mitWant.Error)
+	}
+	mitJob, err := fc.SetToken("front-secret").Submit(ctx, mitReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitGot, err := fc.Wait(ctx, mitJob.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mitGot.State != server.JobDone {
+		t.Fatalf("federated mitigation job ended %q (%s)", mitGot.State, mitGot.Error)
+	}
+	if !reflect.DeepEqual(mitGot.Aggregate, mitWant.Aggregate) {
+		t.Fatalf("federated mitigation aggregate diverged:\n  fed:  %+v\n  solo: %+v",
+			mitGot.Aggregate, mitWant.Aggregate)
+	}
+	if !reflect.DeepEqual(mitGot.BoardResults, mitWant.BoardResults) {
+		t.Fatalf("federated mitigation board rows diverged:\n  fed:  %+v\n  solo: %+v",
+			mitGot.BoardResults, mitWant.BoardResults)
+	}
+	for _, bs := range mitGot.BoardResults {
+		if len(bs.Mitigation) != 4 {
+			t.Fatalf("board %d carries %d arms, want 4", bs.Board, len(bs.Mitigation))
+		}
+		for _, arm := range bs.Mitigation {
+			if len(arm.Levels) == 0 {
+				t.Fatalf("board %d arm %q has no levels through the fan-in", bs.Board, arm.Arm)
+			}
+		}
+	}
+	// The downstream per-level firehose survives re-stamping: the merged
+	// stream carries level events, densely sequenced.
+	levels := 0
+	if err := fc.Events(ctx, mitJob.ID, func(ev server.JobEvent) error {
+		if ev.Type == "level" {
+			levels++
+			if ev.V <= 0 {
+				t.Fatalf("re-stamped level event lost its voltage: %+v", ev)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if levels == 0 {
+		t.Fatal("no per-level events crossed the federation fan-in")
+	}
+}
+
+// TestMitigationJournalRoundTrip runs a mitigation campaign on one daemon,
+// restarts the daemon over the same store, and requires the restored job to
+// serve the identical aggregate and per-board arm curves from its journal.
+func TestMitigationJournalRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMem()
+	cfg := server.Config{Store: st, Workers: 1, FleetWorkers: 2}
+
+	srv1, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	cl1 := server.NewClient(ts1.URL, http.DefaultClient)
+	req := server.NewMitigationRequest(fleetCampaign().Boards[:1], server.MitigationSpec{
+		Arms: []string{"unprotected", "ecc", "dvfs"},
+	})
+	job, err := cl1.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cl1.Wait(ctx, job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.State != server.JobDone {
+		t.Fatalf("first-life job ended %q (%s)", want.State, want.Error)
+	}
+	ts1.Close()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life over the same journal: the job's full document — curves
+	// included — must come back bit-identical.
+	srv2, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv2.Shutdown(sctx)
+	})
+	cl2 := server.NewClient(ts2.URL, http.DefaultClient)
+	restored, err := cl2.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.State != server.JobDone || restored.Progress != 100 {
+		t.Fatalf("restored job is %q at %.1f%%, want done at 100%%", restored.State, restored.Progress)
+	}
+	if !reflect.DeepEqual(restored.Aggregate, want.Aggregate) {
+		t.Fatalf("aggregate did not round-trip the journal:\n  got:  %+v\n  want: %+v",
+			restored.Aggregate, want.Aggregate)
+	}
+	if !reflect.DeepEqual(restored.BoardResults, want.BoardResults) {
+		t.Fatalf("board rows did not round-trip the journal:\n  got:  %+v\n  want: %+v",
+			restored.BoardResults, want.BoardResults)
+	}
+	if got := len(restored.BoardResults[0].Mitigation); got != 3 {
+		t.Fatalf("restored job carries %d arms, want the 3 requested", got)
+	}
 }
 
 // newService boots a plain single daemon and returns its client (reference

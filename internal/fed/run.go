@@ -294,7 +294,7 @@ func (c *Coordinator) waitChunk(j *fedJob, cl *server.Client, daemon, jobID stri
 				progressed = true
 			}
 			switch ev.Type {
-			case "start", "done", "failed":
+			case "start", "level", "done", "failed":
 				if ev.Board >= 0 && ev.Board < len(ch.boards) {
 					j.boardEvent(ev, ch.boards[ev.Board])
 				}
@@ -514,6 +514,19 @@ func sampleFromStatus(kind string, bs server.BoardStatus) engine.BoardSample {
 	case engine.NNInference.String():
 		if n := len(bs.Inference); n > 0 {
 			s.InferErrs = []float64{bs.Inference[n-1].Error}
+		}
+	case engine.KindMitigation.String():
+		// Per-arm scalars in the board's arm order, plus the unprotected
+		// arm's deepest level into the fleet's faults/Mbit spread — the
+		// exact shape BoardResult.Sample builds in process.
+		for i := range bs.Mitigation {
+			arm := &bs.Mitigation[i]
+			s.Mitigation = append(s.Mitigation, engine.MitigationSample{
+				Arm: arm.Arm, MinSafeV: arm.MinSafeV, EnergySavings: arm.EnergySavings,
+			})
+			if arm.Arm == engine.ArmUnprotected && len(arm.Levels) > 0 {
+				s.Faults = append(s.Faults, arm.Levels[len(arm.Levels)-1].FaultsPerMbit)
+			}
 		}
 	}
 	return s

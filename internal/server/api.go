@@ -27,13 +27,17 @@ type BoardSpec struct {
 }
 
 // CampaignRequest is the body of POST /v1/campaigns. Kind names an engine
-// campaign kind; "nn-inference" campaigns additionally carry the quantized
-// network and its test set as nested wire documents (nn.MarshalWire /
-// nn.MarshalTestSet), so the one campaign kind that needs bulk data can ride
-// the same JSON endpoint as the synthetic sweeps.
+// campaign kind; kind-specific knobs ride in the matching kind-scoped
+// sub-object (Inference, Pattern, Thresholds, Temperature, Mitigation).
+// The original flat v1 fields (Temps, Patterns, ProbeRuns, Net, TestSet,
+// Seed) are still accepted and decode identically — deprecated, but every
+// pre-redesign client keeps working. Setting the same knob both flat and
+// scoped is a 400, never a silent pick. "mitigation" post-dates the
+// redesign and is scoped-only.
 type CampaignRequest struct {
 	// Kind is the engine kind name: "characterization", "temperature-study",
-	// "nn-inference", "pattern-study", or "threshold-discovery".
+	// "nn-inference", "pattern-study", "threshold-discovery", or
+	// "mitigation".
 	Kind string `json:"kind"`
 	// Boards lists the fleet inventory.
 	Boards []BoardSpec `json:"boards"`
@@ -43,25 +47,86 @@ type CampaignRequest struct {
 	// 0 means the paper's 50 °C default (exact-zero and sub-zero
 	// temperatures are outside the simulated rig's envelope).
 	TempC float64 `json:"temp_c,omitempty"`
+
+	// The kind-scoped sub-objects. Each is only accepted on its own kind.
+	Inference   *InferenceSpec   `json:"inference,omitempty"`
+	Pattern     *PatternSpec     `json:"pattern,omitempty"`
+	Thresholds  *ThresholdsSpec  `json:"thresholds,omitempty"`
+	Temperature *TemperatureSpec `json:"temperature,omitempty"`
+	Mitigation  *MitigationSpec  `json:"mitigation,omitempty"`
+
 	// Temps lists the ladder of a temperature study (empty = 50..80 °C);
 	// each entry must be in (0, 125].
+	//
+	// Deprecated: set Temperature.Temps instead.
 	Temps []float64 `json:"temps,omitempty"`
 	// Patterns lists hex fill words for a pattern study; the words "random"
 	// and "zero" select those fills. Empty = the paper's five.
+	//
+	// Deprecated: set Pattern.Fills instead.
 	Patterns []string `json:"patterns,omitempty"`
 	// ProbeRuns tunes threshold discovery's per-level probe (0 = 3).
+	//
+	// Deprecated: set Thresholds.ProbeRuns instead.
 	ProbeRuns int `json:"probe_runs,omitempty"`
 	// Net is the versioned wire form of the quantized network an
 	// "nn-inference" campaign deploys (nn.MarshalWire). Raw JSON, so the
 	// document nests without double encoding.
+	//
+	// Deprecated: set Inference.Net instead.
 	Net json.RawMessage `json:"net,omitempty"`
 	// TestSet is the wire form of the campaign's test set
 	// (nn.MarshalTestSet).
+	//
+	// Deprecated: set Inference.TestSet instead.
 	TestSet json.RawMessage `json:"test_set,omitempty"`
 	// Seed is the placement seed of an nn-inference campaign (0 = 1).
+	//
+	// Deprecated: set Inference.Seed instead.
 	Seed uint64 `json:"seed,omitempty"`
 	// SkipCache forces re-characterization even when the store is warm.
 	SkipCache bool `json:"skip_cache,omitempty"`
+}
+
+// InferenceSpec is the kind-scoped form of an nn-inference campaign's
+// inputs: the network and test set as versioned wire documents plus the
+// placement seed.
+type InferenceSpec struct {
+	Net     json.RawMessage `json:"net,omitempty"`
+	TestSet json.RawMessage `json:"test_set,omitempty"`
+	Seed    uint64          `json:"seed,omitempty"`
+}
+
+// PatternSpec is the kind-scoped form of a pattern study's inputs.
+type PatternSpec struct {
+	// Fills lists hex fill words, "random", or "zero" (empty = the
+	// paper's five).
+	Fills []string `json:"fills,omitempty"`
+}
+
+// ThresholdsSpec is the kind-scoped form of threshold discovery's inputs.
+type ThresholdsSpec struct {
+	ProbeRuns int `json:"probe_runs,omitempty"`
+}
+
+// TemperatureSpec is the kind-scoped form of a temperature study's inputs.
+type TemperatureSpec struct {
+	Temps []float64 `json:"temps,omitempty"`
+}
+
+// MitigationSpec selects a mitigation campaign's arms and ladder. Unlike
+// the older kinds it has no flat equivalents — it shipped with the
+// kind-scoped schema.
+type MitigationSpec struct {
+	// Arms is the subset of engine.MitigationArms() to run (empty = all
+	// four); results always report in canonical order.
+	Arms []string `json:"arms,omitempty"`
+	// Voltages fixes the sweep ladder, strictly descending (empty = each
+	// platform's nominal..Vcrash at the standard step).
+	Voltages []float64 `json:"voltages,omitempty"`
+	// IsoEnergy makes the DVFS arm search for the guardbanded point whose
+	// energy matches each level's undervolted energy.
+	IsoEnergy bool `json:"iso_energy,omitempty"`
 }
 
 // maxInferenceSamples caps an nn-inference submission's test-set size — MNIST's
@@ -70,12 +135,91 @@ type CampaignRequest struct {
 // unauthenticated POST can schedule.
 const maxInferenceSamples = 10000
 
+// scopedKindCheck rejects kind-scoped sub-objects riding the wrong kind —
+// a client nesting them expects them to matter.
+func (req *CampaignRequest) scopedKindCheck(kind engine.CampaignKind) error {
+	checks := []struct {
+		name string
+		set  bool
+		kind engine.CampaignKind
+	}{
+		{"inference", req.Inference != nil, engine.NNInference},
+		{"pattern", req.Pattern != nil, engine.KindPattern},
+		{"thresholds", req.Thresholds != nil, engine.KindThresholds},
+		{"temperature", req.Temperature != nil, engine.TemperatureStudy},
+		{"mitigation", req.Mitigation != nil, engine.KindMitigation},
+	}
+	for _, ck := range checks {
+		if ck.set && kind != ck.kind {
+			return badRequestf("%s{} only rides %q campaigns", ck.name, ck.kind)
+		}
+	}
+	return nil
+}
+
+// foldScoped resolves each kind-scoped knob into its flat field, so the
+// one flat compile path below serves both schemas and a scoped request can
+// never decode differently from its flat equivalent. A knob set in both
+// forms is a conflict — 400, never a silent pick.
+func (req *CampaignRequest) foldScoped() error {
+	if s := req.Inference; s != nil {
+		if len(s.Net) > 0 {
+			if len(req.Net) > 0 {
+				return badRequestf("net set both flat and in inference{}: pick one")
+			}
+			req.Net = s.Net
+		}
+		if len(s.TestSet) > 0 {
+			if len(req.TestSet) > 0 {
+				return badRequestf("test_set set both flat and in inference{}: pick one")
+			}
+			req.TestSet = s.TestSet
+		}
+		if s.Seed != 0 {
+			if req.Seed != 0 {
+				return badRequestf("seed set both flat and in inference{}: pick one")
+			}
+			req.Seed = s.Seed
+		}
+	}
+	if s := req.Pattern; s != nil && len(s.Fills) > 0 {
+		if len(req.Patterns) > 0 {
+			return badRequestf("fills set both flat (patterns) and in pattern{}: pick one")
+		}
+		req.Patterns = s.Fills
+	}
+	if s := req.Thresholds; s != nil && s.ProbeRuns != 0 {
+		if req.ProbeRuns != 0 {
+			return badRequestf("probe_runs set both flat and in thresholds{}: pick one")
+		}
+		req.ProbeRuns = s.ProbeRuns
+	}
+	if s := req.Temperature; s != nil && len(s.Temps) > 0 {
+		if len(req.Temps) > 0 {
+			return badRequestf("temps set both flat and in temperature{}: pick one")
+		}
+		req.Temps = s.Temps
+	}
+	return nil
+}
+
 // campaign compiles the request into an engine campaign. Validation errors
 // are returned as *apiError with a 400 status.
-func (req *CampaignRequest) campaign() (engine.Campaign, error) {
-	kind, err := engine.KindByName(req.Kind)
+func (r *CampaignRequest) campaign() (engine.Campaign, error) {
+	kind, err := engine.KindByName(r.Kind)
 	if err != nil {
-		return engine.Campaign{}, badRequestf("unknown campaign kind %q", req.Kind)
+		return engine.Campaign{}, badRequestf("unknown campaign kind %q", r.Kind)
+	}
+	if err := r.scopedKindCheck(kind); err != nil {
+		return engine.Campaign{}, err
+	}
+	// Compile from a normalized copy: scoped knobs fold into the flat
+	// fields, then the pre-redesign flat path runs unchanged — a golden
+	// flat request decodes bit-identically to what it always did.
+	reqCopy := *r
+	req := &reqCopy
+	if err := req.foldScoped(); err != nil {
+		return engine.Campaign{}, err
 	}
 	c := engine.Campaign{
 		Kind:      kind,
@@ -143,6 +287,18 @@ func (req *CampaignRequest) campaign() (engine.Campaign, error) {
 			} else {
 				c.Patterns = append(c.Patterns, characterize.Options{Pattern: uint16(w)})
 			}
+		}
+	}
+	if kind == engine.KindMitigation {
+		if m := req.Mitigation; m != nil {
+			c.MitArms = m.Arms
+			c.MitVoltages = m.Voltages
+			c.MitIsoEnergy = m.IsoEnergy
+		}
+		// Engine-level validation runs here too, so a malformed arm set is
+		// a 400 at the door instead of a failed job.
+		if err := engine.ValidateMitigation(c.MitArms, c.MitVoltages); err != nil {
+			return engine.Campaign{}, badRequestf("mitigation: %v", err)
 		}
 	}
 	return c, nil
@@ -294,12 +450,24 @@ func NewInferenceRequest(boards []BoardSpec, q *nn.Quantized, xs [][]float64, ys
 		return CampaignRequest{}, err
 	}
 	return CampaignRequest{
-		Kind:    engine.NNInference.String(),
-		Boards:  boards,
-		Net:     netDoc,
-		TestSet: tsDoc,
-		Seed:    seed,
+		Kind:   engine.NNInference.String(),
+		Boards: boards,
+		Inference: &InferenceSpec{
+			Net:     netDoc,
+			TestSet: tsDoc,
+			Seed:    seed,
+		},
 	}, nil
+}
+
+// NewMitigationRequest assembles the wire form of a mitigation-comparison
+// campaign. The kind is scoped-only: there are no flat fields to set.
+func NewMitigationRequest(boards []BoardSpec, spec MitigationSpec) CampaignRequest {
+	return CampaignRequest{
+		Kind:       engine.KindMitigation.String(),
+		Boards:     boards,
+		Mitigation: &spec,
+	}
 }
 
 // PatternStatus is one fill's outcome in a pattern-study job.
@@ -332,7 +500,34 @@ type BoardStatus struct {
 	// Inference is the board's accuracy-vs-voltage curve (nn-inference
 	// jobs), deepest level last — the Fig. 11 data, per chip.
 	Inference []InferencePoint `json:"inference,omitempty"`
-	Error     string           `json:"error,omitempty"`
+	// Mitigation carries the board's per-arm comparison curves
+	// (mitigation jobs), canonical arm order.
+	Mitigation []MitigationArmStatus `json:"mitigation,omitempty"`
+	Error      string                `json:"error,omitempty"`
+}
+
+// MitigationArmStatus is one arm's outcome on one board of a mitigation
+// job: the full level curve plus the arm's min-safe voltage and the energy
+// saving it buys there.
+type MitigationArmStatus struct {
+	Arm           string            `json:"arm"`
+	MinSafeV      float64           `json:"min_safe_v"`
+	EnergySavings float64           `json:"energy_savings"`
+	Levels        []MitigationLevel `json:"levels"`
+}
+
+// MitigationLevel is one voltage step of a mitigation arm's curve.
+type MitigationLevel struct {
+	V             float64 `json:"v"`
+	FaultsPerMbit float64 `json:"faults_per_mbit"`
+	WordErrors    int     `json:"word_errors"`
+	Accuracy      float64 `json:"accuracy"`
+	EnergyJ       float64 `json:"energy_j"`
+	FreqScale     float64 `json:"freq_scale"`
+	// Corrected/Detected/Silent break down the ECC arm's decode outcomes.
+	Corrected int `json:"corrected,omitempty"`
+	Detected  int `json:"detected,omitempty"`
+	Silent    int `json:"silent,omitempty"`
 }
 
 // InferencePoint is one voltage step of an nn-inference job's accuracy
@@ -411,7 +606,7 @@ type JobEvent struct {
 	Seq  int    `json:"seq"`
 	GSeq int64  `json:"gseq,omitempty"`
 	Job  string `json:"job,omitempty"`
-	// Type: start | done | failed | retry | campaign | truncated |
+	// Type: start | level | done | failed | retry | campaign | truncated |
 	// journal_degraded.
 	Type      string  `json:"type"`
 	Board     int     `json:"board,omitempty"`
@@ -419,6 +614,8 @@ type JobEvent struct {
 	Serial    string  `json:"serial,omitempty"`
 	FromCache bool    `json:"from_cache,omitempty"`
 	Faults    float64 `json:"faults_per_mbit,omitempty"`
+	// V is the voltage of a mitigation "level" event.
+	V float64 `json:"v,omitempty"`
 	// InferError is the board's classification error at the deepest
 	// inference level (done events of nn-inference jobs).
 	InferError float64  `json:"infer_error,omitempty"`
@@ -484,7 +681,9 @@ func badRequestf(format string, args ...any) *apiError {
 	return &apiError{status: 400, msg: fmt.Sprintf(format, args...)}
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
+// ErrorBody is the one JSON error envelope every non-2xx response uses —
+// daemon and federation coordinator alike, admission-control 503s
+// included. Clients can always decode {"error": "..."}.
+type ErrorBody struct {
 	Error string `json:"error"`
 }

@@ -100,7 +100,7 @@ func (e *APIStatusError) Error() string {
 }
 
 func decodeAPIError(resp *http.Response) error {
-	var body errorBody
+	var body ErrorBody
 	msg := resp.Status
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
 		msg = body.Error
@@ -125,6 +125,13 @@ func (c *Client) SubmitInference(ctx context.Context, boards []BoardSpec, q *nn.
 		return JobStatus{}, fmt.Errorf("client: %w", err)
 	}
 	return c.Submit(ctx, req)
+}
+
+// SubmitMitigation submits a mitigation-comparison campaign across the
+// given boards: per board, a VCCBRAM sweep comparing the spec's arms
+// (empty = unprotected, ecc, icbp, dvfs).
+func (c *Client) SubmitMitigation(ctx context.Context, boards []BoardSpec, spec MitigationSpec) (JobStatus, error) {
+	return c.Submit(ctx, NewMitigationRequest(boards, spec))
 }
 
 // Job fetches one job's status.

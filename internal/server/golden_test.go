@@ -1,0 +1,266 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/characterize"
+	"repro/internal/engine"
+	"repro/internal/nn"
+)
+
+// readGolden loads one pre-redesign request body from the corpus.
+func readGolden(t testing.TB, kind string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", kind+".json"))
+	if err != nil {
+		t.Fatalf("golden corpus is missing a %q body: %v", kind, err)
+	}
+	return data
+}
+
+// decodeGolden runs a corpus body through exactly the handler's path:
+// json.Unmarshal into a CampaignRequest, then campaign().
+func decodeGolden(t testing.TB, data []byte) engine.Campaign {
+	t.Helper()
+	var req CampaignRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		t.Fatalf("golden body does not decode: %v", err)
+	}
+	c, err := req.campaign()
+	if err != nil {
+		t.Fatalf("golden body does not compile: %v", err)
+	}
+	return c
+}
+
+// TestGoldenCorpus pins the API redesign's compatibility bar: a corpus of
+// flat pre-redesign request bodies, one per campaign kind, each of which
+// must keep compiling to exactly the engine.Campaign it always did. A
+// mitigation body rides along even though the kind post-dates the flat
+// schema — it pins the kind-scoped form itself.
+func TestGoldenCorpus(t *testing.T) {
+	for _, kind := range engine.Kinds() {
+		if _, err := os.Stat(filepath.Join("testdata", "golden", kind.String()+".json")); err != nil {
+			t.Errorf("no golden body for kind %q: %v", kind, err)
+		}
+	}
+
+	t.Run("characterization", func(t *testing.T) {
+		got := decodeGolden(t, readGolden(t, "characterization"))
+		want := engine.Campaign{
+			Kind:      engine.Characterization,
+			Sweep:     characterize.Options{Runs: 12, OnBoardC: 60},
+			SkipCache: true,
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("decoded campaign drifted:\n  got:  %+v\n  want: %+v", got, want)
+		}
+	})
+
+	t.Run("temperature-study", func(t *testing.T) {
+		got := decodeGolden(t, readGolden(t, "temperature-study"))
+		want := engine.Campaign{
+			Kind:  engine.TemperatureStudy,
+			Sweep: characterize.Options{Runs: 6},
+			Temps: []float64{50, 65, 80},
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("decoded campaign drifted:\n  got:  %+v\n  want: %+v", got, want)
+		}
+	})
+
+	t.Run("pattern-study", func(t *testing.T) {
+		got := decodeGolden(t, readGolden(t, "pattern-study"))
+		want := engine.Campaign{
+			Kind:  engine.KindPattern,
+			Sweep: characterize.Options{Runs: 8},
+			Patterns: []characterize.Options{
+				{Pattern: 0xFFFF},
+				{Pattern: 0xAAAA},
+				{RandomFill: true},
+				{ZeroFill: true, PatternName: "16'h0000"},
+				{ZeroFill: true, PatternName: "16'h0000"},
+			},
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("decoded campaign drifted:\n  got:  %+v\n  want: %+v", got, want)
+		}
+	})
+
+	t.Run("threshold-discovery", func(t *testing.T) {
+		got := decodeGolden(t, readGolden(t, "threshold-discovery"))
+		want := engine.Campaign{
+			Kind:      engine.KindThresholds,
+			ProbeRuns: 5,
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("decoded campaign drifted:\n  got:  %+v\n  want: %+v", got, want)
+		}
+	})
+
+	t.Run("nn-inference", func(t *testing.T) {
+		data := readGolden(t, "nn-inference")
+		got := decodeGolden(t, data)
+		// The expected network and test set are the golden body's own wire
+		// documents, decoded by the same strict decoders the handler uses.
+		var raw struct {
+			Net     json.RawMessage `json:"net"`
+			TestSet json.RawMessage `json:"test_set"`
+		}
+		if err := json.Unmarshal(data, &raw); err != nil {
+			t.Fatal(err)
+		}
+		q, err := nn.UnmarshalWire(raw.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, ys, err := nn.UnmarshalTestSet(raw.TestSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := engine.Campaign{
+			Kind: engine.NNInference,
+			Seed: 7,
+			Net:  q, TestX: xs, TestY: ys,
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("decoded campaign drifted:\n  got:  %+v\n  want: %+v", got, want)
+		}
+	})
+
+	t.Run("mitigation", func(t *testing.T) {
+		got := decodeGolden(t, readGolden(t, "mitigation"))
+		want := engine.Campaign{
+			Kind:         engine.KindMitigation,
+			MitArms:      []string{"dvfs", "unprotected"},
+			MitVoltages:  []float64{0.9, 0.8, 0.7},
+			MitIsoEnergy: true,
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("decoded campaign drifted:\n  got:  %+v\n  want: %+v", got, want)
+		}
+	})
+}
+
+// TestGoldenFlatScopedAgreement rebuilds each flat golden body in the
+// kind-scoped schema and requires the two to compile to identical campaigns
+// — the redesign's core invariant, checked over the exact corpus bodies.
+func TestGoldenFlatScopedAgreement(t *testing.T) {
+	for _, kind := range []string{"temperature-study", "pattern-study", "threshold-discovery", "nn-inference"} {
+		t.Run(kind, func(t *testing.T) {
+			data := readGolden(t, kind)
+			var flat CampaignRequest
+			if err := json.Unmarshal(data, &flat); err != nil {
+				t.Fatal(err)
+			}
+			scoped := liftScoped(flat)
+			flatC, err := flat.campaign()
+			if err != nil {
+				t.Fatal(err)
+			}
+			scopedC, err := scoped.campaign()
+			if err != nil {
+				t.Fatalf("scoped equivalent does not compile: %v", err)
+			}
+			if !reflect.DeepEqual(flatC, scopedC) {
+				t.Fatalf("scoped form decodes differently:\n  flat:   %+v\n  scoped: %+v", flatC, scopedC)
+			}
+		})
+	}
+}
+
+// liftScoped rewrites a flat request into its kind-scoped equivalent.
+func liftScoped(flat CampaignRequest) CampaignRequest {
+	scoped := flat
+	if len(flat.Net) > 0 || len(flat.TestSet) > 0 || flat.Seed != 0 {
+		scoped.Inference = &InferenceSpec{Net: flat.Net, TestSet: flat.TestSet, Seed: flat.Seed}
+		scoped.Net, scoped.TestSet, scoped.Seed = nil, nil, 0
+	}
+	if len(flat.Patterns) > 0 {
+		scoped.Pattern = &PatternSpec{Fills: flat.Patterns}
+		scoped.Patterns = nil
+	}
+	if flat.ProbeRuns != 0 {
+		scoped.Thresholds = &ThresholdsSpec{ProbeRuns: flat.ProbeRuns}
+		scoped.ProbeRuns = 0
+	}
+	if len(flat.Temps) > 0 {
+		scoped.Temperature = &TemperatureSpec{Temps: flat.Temps}
+		scoped.Temps = nil
+	}
+	return scoped
+}
+
+// FuzzCampaignRequest throws arbitrary bodies at the request compiler. Two
+// properties must hold for every input: campaign() never panics, and a
+// request that compiles keeps compiling to the same engine.Campaign after
+// its scoped sub-objects are folded into the flat fields by hand.
+func FuzzCampaignRequest(f *testing.F) {
+	for _, kind := range engine.Kinds() {
+		if data, err := os.ReadFile(filepath.Join("testdata", "golden", kind.String()+".json")); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"kind":"mitigation","mitigation":{"arms":["ecc","ecc"]}}`))
+	f.Add([]byte(`{"kind":"pattern-study","patterns":["zzzz"],"pattern":{"fills":["ffff"]}}`))
+	f.Add([]byte(`{"kind":"characterization","runs":-1}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req CampaignRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		c1, err := req.campaign() // must not panic
+		if err != nil {
+			return
+		}
+		// Hand-fold the scoped sub-objects and re-compile: the flat form of
+		// any accepted request must mean the same campaign.
+		flat := req
+		if s := flat.Inference; s != nil {
+			if len(s.Net) > 0 {
+				flat.Net = s.Net
+			}
+			if len(s.TestSet) > 0 {
+				flat.TestSet = s.TestSet
+			}
+			if s.Seed != 0 {
+				flat.Seed = s.Seed
+			}
+			flat.Inference = nil
+		}
+		if s := flat.Pattern; s != nil {
+			if len(s.Fills) > 0 {
+				flat.Patterns = s.Fills
+			}
+			flat.Pattern = nil
+		}
+		if s := flat.Thresholds; s != nil {
+			if s.ProbeRuns != 0 {
+				flat.ProbeRuns = s.ProbeRuns
+			}
+			flat.Thresholds = nil
+		}
+		if s := flat.Temperature; s != nil {
+			if len(s.Temps) > 0 {
+				flat.Temps = s.Temps
+			}
+			flat.Temperature = nil
+		}
+		if flat.Mitigation != nil {
+			// Mitigation has no flat form — folding is the identity.
+			return
+		}
+		c2, err := flat.campaign()
+		if err != nil {
+			t.Fatalf("scoped form compiled but its flat fold was rejected: %v\nbody: %s", err, data)
+		}
+		if !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("scoped and flat forms disagree:\n  scoped: %+v\n  flat:   %+v\nbody: %s", c1, c2, data)
+		}
+	})
+}

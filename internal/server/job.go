@@ -171,6 +171,7 @@ func (j *Job) appendEngineEvent(ev engine.Event) {
 		Serial:     ev.Serial,
 		FromCache:  ev.FromCache,
 		Faults:     ev.Faults,
+		V:          ev.V,
 		InferError: ev.InferError,
 		Progress:   ev.Progress,
 	}
@@ -351,6 +352,20 @@ func (j *Job) statusLocked(includeResults bool) JobStatus {
 				bs.Inference = append(bs.Inference, InferencePoint{
 					V: ir.V, Error: ir.Error, WeightFault: ir.WeightFault,
 				})
+			}
+			for ai := range r.Mitigation {
+				arm := &r.Mitigation[ai]
+				as := MitigationArmStatus{
+					Arm: arm.Arm, MinSafeV: arm.MinSafeV, EnergySavings: arm.EnergySavings,
+				}
+				for _, pt := range arm.Levels {
+					as.Levels = append(as.Levels, MitigationLevel{
+						V: pt.V, FaultsPerMbit: pt.FaultsPerMbit, WordErrors: pt.WordErrors,
+						Accuracy: pt.Accuracy, EnergyJ: pt.EnergyJ, FreqScale: pt.FreqScale,
+						Corrected: pt.Corrected, Detected: pt.Detected, Silent: pt.Silent,
+					})
+				}
+				bs.Mitigation = append(bs.Mitigation, as)
 			}
 			st.BoardResults = append(st.BoardResults, bs)
 		}

@@ -787,5 +787,5 @@ func writeError(w http.ResponseWriter, err error) {
 	if errors.As(err, &ae) {
 		status = ae.status
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, ErrorBody{Error: err.Error()})
 }
